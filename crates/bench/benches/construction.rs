@@ -1,0 +1,32 @@
+//! Criterion bench: construction wall time per method per operator class
+//! (the honestly-measured half of Fig. 8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simgpu::Tuner;
+
+fn construction(c: &mut Criterion) {
+    let spec = hardware::GpuSpec::rtx4090();
+    let ops = [
+        ("gemm2048", tensor_expr::OpSpec::gemm(2048, 2048, 2048)),
+        ("gemm_unbalanced", tensor_expr::OpSpec::gemm(65536, 4, 1024)),
+        ("gemv", tensor_expr::OpSpec::gemv(16384, 8192)),
+        ("conv_c1", tensor_expr::OpSpec::conv2d(128, 256, 30, 30, 256, 3, 3, 2, 0)),
+        ("pool_p1", tensor_expr::OpSpec::avg_pool2d(16, 48, 48, 48, 2, 2)),
+    ];
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    for (name, op) in &ops {
+        let roller = roller::Roller::default();
+        group.bench_with_input(BenchmarkId::new("roller", name), op, |b, op| {
+            b.iter(|| roller.compile(op, &spec))
+        });
+        let gensor = gensor::Gensor::default();
+        group.bench_with_input(BenchmarkId::new("gensor", name), op, |b, op| {
+            b.iter(|| gensor.compile(op, &spec))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, construction);
+criterion_main!(benches);

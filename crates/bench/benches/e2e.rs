@@ -1,0 +1,25 @@
+//! Criterion bench: end-to-end model compilation pipelines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use models::{compile_model, zoo};
+
+fn e2e(c: &mut Criterion) {
+    let spec = hardware::GpuSpec::rtx4090();
+    let bert = zoo::bert_small(8, 128);
+    let mobilenet = zoo::mobilenet_v2(128);
+    let mut group = c.benchmark_group("e2e_compile");
+    group.sample_size(10);
+    group.bench_function("roller/bert_small", |b| {
+        b.iter(|| compile_model(&roller::Roller::default(), &bert, &spec))
+    });
+    group.bench_function("gensor/bert_small", |b| {
+        b.iter(|| compile_model(&gensor::Gensor::default(), &bert, &spec))
+    });
+    group.bench_function("gensor/mobilenet_v2", |b| {
+        b.iter(|| compile_model(&gensor::Gensor::default(), &mobilenet, &spec))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, e2e);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench: CPU executor throughput (scheduled vs naive reference).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etir::{Action, Etir};
+use interp::{execute_reference, execute_scheduled, tensor::make_inputs};
+
+fn interp_bench(c: &mut Criterion) {
+    let spec = hardware::GpuSpec::rtx4090();
+    let op = tensor_expr::OpSpec::gemm(64, 48, 56);
+    let mut e = Etir::initial(op.clone(), &spec);
+    for a in [
+        Action::Tile { dim: 0 },
+        Action::Tile { dim: 0 },
+        Action::Tile { dim: 0 },
+        Action::Tile { dim: 1 },
+        Action::Tile { dim: 1 },
+        Action::TileReduce { dim: 0 },
+        Action::TileReduce { dim: 0 },
+        Action::Cache,
+        Action::Tile { dim: 0 },
+        Action::SetVthread { dim: 1 },
+    ] {
+        if e.can_apply(&a) {
+            e = e.apply(&a);
+        }
+    }
+    let inputs = make_inputs(&op, 3);
+    c.bench_function("interp/reference_gemm", |b| {
+        b.iter(|| execute_reference(std::hint::black_box(&op), &inputs))
+    });
+    c.bench_function("interp/scheduled_gemm", |b| {
+        b.iter(|| execute_scheduled(std::hint::black_box(&e), &inputs))
+    });
+}
+
+criterion_group!(benches, interp_bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench: throughput of the analytical kernel model — the cost
+//! oracle every policy queries in its inner loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etir::{Action, Etir};
+
+fn scheduled_gemm(spec: &hardware::GpuSpec) -> Etir {
+    let mut e = Etir::initial(tensor_expr::OpSpec::gemm(4096, 4096, 4096), spec);
+    for _ in 0..7 {
+        e = e.apply(&Action::Tile { dim: 0 });
+        e = e.apply(&Action::Tile { dim: 1 });
+    }
+    for _ in 0..5 {
+        e = e.apply(&Action::TileReduce { dim: 0 });
+    }
+    e = e.apply(&Action::Cache);
+    for _ in 0..3 {
+        e = e.apply(&Action::Tile { dim: 0 });
+        e = e.apply(&Action::Tile { dim: 1 });
+    }
+    e
+}
+
+fn simulator(c: &mut Criterion) {
+    let spec = hardware::GpuSpec::rtx4090();
+    let gemm = scheduled_gemm(&spec);
+    let conv = Etir::initial(
+        tensor_expr::OpSpec::conv2d(128, 256, 30, 30, 256, 3, 3, 2, 0),
+        &spec,
+    );
+    c.bench_function("simulate/gemm", |b| {
+        b.iter(|| simgpu::simulate(std::hint::black_box(&gemm), &spec))
+    });
+    c.bench_function("simulate/conv", |b| {
+        b.iter(|| simgpu::simulate(std::hint::black_box(&conv), &spec))
+    });
+    c.bench_function("schedule_stats/gemm", |b| {
+        b.iter(|| etir::analytics::ScheduleStats::compute(std::hint::black_box(&gemm)))
+    });
+    let policy = gensor::Policy::default();
+    c.bench_function("policy/transition_probs", |b| {
+        b.iter(|| policy.transition_probs(std::hint::black_box(&gemm), &spec, 10))
+    });
+}
+
+criterion_group!(benches, simulator);
+criterion_main!(benches);

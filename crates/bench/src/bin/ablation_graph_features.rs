@@ -1,0 +1,73 @@
+//! Extended ablation (beyond Table VI): which *graph features* carry the
+//! improvement? Disables one policy feature at a time:
+//!
+//! * `tree mode` — no inverse edges (the walk degenerates to a stochastic
+//!   Roller-style tree);
+//! * `no vThread` — Table VI's published ablation;
+//! * `no unroll` — drops the unroll primitive.
+
+use bench::{geomean, print_table, write_json};
+use gensor::{Gensor, GensorConfig, Policy, Walk};
+use serde::Serialize;
+use simgpu::Tuner;
+
+#[derive(Serialize)]
+struct Row {
+    variant: String,
+    op: String,
+    gflops: f64,
+}
+
+fn variant(name: &str, policy: Policy) -> (String, Gensor) {
+    let cfg = GensorConfig {
+        walk: Walk { policy, ..Walk::default() },
+        ..GensorConfig::default()
+    };
+    (name.to_string(), Gensor::with_config(cfg))
+}
+
+fn main() {
+    let spec = hardware::GpuSpec::rtx4090();
+    let suite = tensor_expr::benchmark_suite();
+    let ops: Vec<_> = ["C1", "C5", "M1", "M3", "M4", "V1", "P2"]
+        .iter()
+        .map(|l| suite.iter().find(|c| &c.label == l).unwrap().clone())
+        .collect();
+
+    let variants = vec![
+        variant("full graph", Policy::default()),
+        variant("tree mode (no inverse)", Policy { enable_inverse: false, ..Policy::default() }),
+        variant("no vThread", Policy { enable_vthread: false, ..Policy::default() }),
+        variant("no unroll", Policy { enable_unroll: false, ..Policy::default() }),
+    ];
+
+    println!("Policy-feature ablation on {} (GFLOPS)\n", spec.name);
+    let mut data = Vec::new();
+    let mut rows = Vec::new();
+    let mut rel: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut full: Vec<f64> = Vec::new();
+    for (name, tuner) in &variants {
+        let mut row = vec![name.clone()];
+        let mut rels = Vec::new();
+        for (i, cfg) in ops.iter().enumerate() {
+            let g = tuner.compile(&cfg.op, &spec).report.gflops;
+            row.push(format!("{:.0}", g));
+            if name == "full graph" {
+                full.push(g);
+            }
+            rels.push(g / full[i]);
+            data.push(Row { variant: name.clone(), op: cfg.label.clone(), gflops: g });
+        }
+        rel.push((name.clone(), rels));
+        rows.push(row);
+    }
+    let mut headers = vec!["variant"];
+    let labels: Vec<&str> = ops.iter().map(|c| c.label.as_str()).collect();
+    headers.extend(labels);
+    print_table(&headers, &rows);
+    println!("\nGeomean vs full graph:");
+    for (name, rels) in &rel {
+        println!("  {name:<24} {:.3}", geomean(rels));
+    }
+    write_json("ablation_graph_features", &data);
+}

@@ -1,0 +1,85 @@
+//! Fig. 10 — inference performance vs optimization time, ResNet-34
+//! (batch 128) on the RTX 4090.
+//!
+//! Each method is swept over its natural budget knob (Ansor: measurement
+//! trials; Gensor: chain count; Roller has no knob) and plotted as
+//! (total optimization seconds, end-to-end throughput). The paper's shape:
+//! Gensor sits near Ansor's throughput at optimization times in Roller's
+//! order of magnitude.
+
+use bench::{print_table, write_json};
+use gensor::{Gensor, GensorConfig};
+use models::{compile_model, zoo};
+use serde::Serialize;
+use simgpu::Tuner;
+
+#[derive(Serialize)]
+struct Point {
+    method: String,
+    budget: String,
+    optimization_s: f64,
+    throughput_fps: f64,
+}
+
+fn main() {
+    let spec = hardware::GpuSpec::rtx4090();
+    let graph = zoo::resnet34(128);
+    println!("Fig. 10 — performance vs optimization time ({}, {})\n", graph.name, spec.name);
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut push = |method: &str, budget: String, tuner: &dyn Tuner| {
+        let cm = compile_model(tuner, &graph, &spec);
+        points.push(Point {
+            method: method.to_string(),
+            budget,
+            optimization_s: cm.tuning_s,
+            throughput_fps: cm.throughput,
+        });
+    };
+
+    push("PyTorch", "-".into(), &search::Eager);
+    push("Roller", "-".into(), &roller::Roller::default());
+    for chains in [2usize, 8, 24] {
+        let g = Gensor::with_config(GensorConfig { chains, ..Default::default() });
+        push("Gensor", format!("{chains} chains"), &g);
+    }
+    for trials in [50u64, 200, 1000] {
+        push("Ansor", format!("{trials} trials"), &search::Ansor::with_trials(trials));
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.method.clone(),
+                p.budget.clone(),
+                format!("{:.3}", p.optimization_s),
+                format!("{:.1}", p.throughput_fps),
+            ]
+        })
+        .collect();
+    print_table(&["method", "budget", "opt time (s)", "fps"], &rows);
+
+    let best = |m: &str| {
+        points
+            .iter()
+            .filter(|p| p.method == m)
+            .map(|p| p.throughput_fps)
+            .fold(f64::MIN, f64::max)
+    };
+    println!(
+        "\nGensor reaches {:.0}% of Ansor's best throughput at {:.1e}x less optimization time",
+        100.0 * best("Gensor") / best("Ansor"),
+        points
+            .iter()
+            .filter(|p| p.method == "Ansor")
+            .map(|p| p.optimization_s)
+            .fold(f64::MAX, f64::min)
+            / points
+                .iter()
+                .filter(|p| p.method == "Gensor")
+                .map(|p| p.optimization_s)
+                .fold(f64::MAX, f64::min)
+    );
+    write_json("fig10_tradeoff", &points);
+}

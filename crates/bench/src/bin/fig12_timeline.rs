@@ -1,0 +1,88 @@
+//! Fig. 12 — optimize/infer timeline under dynamic structural changes.
+//!
+//! MobileNetV2 with its channel widths adjusted three times; each phase
+//! infers 2000 batches of 128 frames, then the changed model is
+//! re-optimized. Compared: PyTorch (zero optimization, slow inference),
+//! Ansor (simulated measurement clock dominates), Roller, Gensor. The
+//! paper's conclusion: Gensor's total is the shortest.
+
+use bench::write_json;
+use models::timeline::{run_scenario, SegmentKind, Timeline, SCENARIO_WIDTHS};
+use serde::Serialize;
+use simgpu::Tuner;
+
+#[derive(Serialize)]
+struct Out {
+    method: String,
+    segments: Vec<(String, f64)>,
+    optimize_s: f64,
+    total_s: f64,
+}
+
+fn render(t: &Timeline) -> String {
+    // ASCII bar: each segment scaled to characters.
+    let mut s = String::new();
+    for seg in &t.segments {
+        let ch = if seg.kind == SegmentKind::Optimize { 'z' } else { '#' };
+        let len = ((seg.seconds / 3.0).ceil() as usize).clamp(1, 120);
+        s.extend(std::iter::repeat_n(ch, len));
+    }
+    s
+}
+
+fn main() {
+    let spec = hardware::GpuSpec::rtx4090();
+    // 2000 batches of 128 images per inference phase, as in the paper.
+    let frames = 2000 * 128;
+    println!(
+        "Fig. 12 — optimize ('z') / inference ('#') timeline, MobileNetV2 on {}, {} channel phases\n",
+        spec.name,
+        SCENARIO_WIDTHS.len()
+    );
+    let methods: Vec<Box<dyn Tuner>> = vec![
+        Box::new(search::Eager),
+        Box::new(search::Ansor::with_trials(1000)),
+        Box::new(roller::Roller::default()),
+        Box::new(gensor::Gensor::default()),
+    ];
+    let mut outs = Vec::new();
+    for t in &methods {
+        let tl = run_scenario(t.as_ref(), &spec, &SCENARIO_WIDTHS, frames, 128);
+        println!(
+            "{:<8} total {:>9.1}s (opt {:>8.1}s)  {}",
+            tl.method,
+            tl.total_s(),
+            tl.optimize_s(),
+            render(&tl)
+        );
+        outs.push(Out {
+            method: tl.method.clone(),
+            segments: tl
+                .segments
+                .iter()
+                .map(|s| {
+                    (
+                        if s.kind == SegmentKind::Optimize { "optimize" } else { "inference" }
+                            .to_string(),
+                        s.seconds,
+                    )
+                })
+                .collect(),
+            optimize_s: tl.optimize_s(),
+            total_s: tl.total_s(),
+        });
+    }
+    let total = |m: &str| outs.iter().find(|o| o.method == m).unwrap().total_s;
+    let winner = outs
+        .iter()
+        .min_by(|a, b| a.total_s.total_cmp(&b.total_s))
+        .unwrap();
+    println!(
+        "\nShortest total: {} ({:.1}s). Gensor vs PyTorch: {:.2}x, vs Roller: {:.2}x",
+        winner.method,
+        winner.total_s,
+        total("PyTorch") / total("Gensor"),
+        total("Roller") / total("Gensor"),
+    );
+    write_json("fig12_timeline", &outs);
+}

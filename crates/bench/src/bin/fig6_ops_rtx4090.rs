@@ -1,0 +1,9 @@
+//! Fig. 6 — operator performance on the RTX 4090, relative to Ansor.
+//!
+//! Regenerates the paper's Fig. 6: the 32 Table IV operators compiled with
+//! cuBLAS-sim, Ansor-sim, Roller and Gensor; FLOPS normalized to Ansor.
+
+fn main() {
+    let spec = hardware::GpuSpec::rtx4090();
+    bench::opsweep::run_sweep(&spec, "Ansor", "fig6_ops_rtx4090");
+}

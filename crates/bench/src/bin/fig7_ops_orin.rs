@@ -1,0 +1,8 @@
+//! Fig. 7 — operator performance on the Jetson Orin Nano, relative to
+//! Ansor (the paper keeps Ansor as the normalizer even on the edge device
+//! for the per-operator figure).
+
+fn main() {
+    let spec = hardware::GpuSpec::orin_nano();
+    bench::opsweep::run_sweep(&spec, "Ansor", "fig7_ops_orin");
+}

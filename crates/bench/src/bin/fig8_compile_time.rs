@@ -1,0 +1,75 @@
+//! Fig. 8 — compilation time for different GEMM shapes.
+//!
+//! Construction methods (Roller, Gensor) are timed honestly with the Rust
+//! wall clock; the searching method (Ansor) additionally carries its
+//! simulated on-device measurement clock, which is what dominates a real
+//! search deployment. The paper's shape: Roller < 1 s, Gensor a factor of
+//! a few to ~10× slower, Ansor three to five orders of magnitude above
+//! both.
+
+use bench::{print_table, write_json};
+use serde::Serialize;
+use simgpu::Tuner;
+
+#[derive(Serialize)]
+struct Row {
+    shape: String,
+    method: String,
+    wall_s: f64,
+    simulated_s: f64,
+    total_s: f64,
+    candidates: u64,
+}
+
+fn main() {
+    let spec = hardware::GpuSpec::rtx4090();
+    let sizes = [512u64, 1024, 2048, 4096, 8192, 16384];
+    let methods: Vec<Box<dyn Tuner>> = vec![
+        Box::new(roller::Roller::default()),
+        Box::new(gensor::Gensor::default()),
+        Box::new(search::Ansor::default()),
+    ];
+    println!("Fig. 8 — compilation time for square GEMMs on {}\n", spec.name);
+    let mut data = Vec::new();
+    let mut rows = Vec::new();
+    for &s in &sizes {
+        let op = tensor_expr::OpSpec::gemm(s, s, s);
+        for t in &methods {
+            let ck = t.compile(&op, &spec);
+            rows.push(vec![
+                format!("{s}^3"),
+                t.name().to_string(),
+                format!("{:.4}", ck.wall_time_s),
+                format!("{:.1}", ck.simulated_tuning_s),
+                format!("{:.4}", ck.total_tuning_s()),
+                format!("{}", ck.candidates_evaluated),
+            ]);
+            data.push(Row {
+                shape: format!("{s}^3"),
+                method: t.name().to_string(),
+                wall_s: ck.wall_time_s,
+                simulated_s: ck.simulated_tuning_s,
+                total_s: ck.total_tuning_s(),
+                candidates: ck.candidates_evaluated,
+            });
+        }
+    }
+    print_table(
+        &["GEMM", "method", "wall(s)", "sim(s)", "total(s)", "candidates"],
+        &rows,
+    );
+    // Order-of-magnitude summary.
+    let avg = |m: &str| {
+        let xs: Vec<f64> = data.iter().filter(|r| r.method == m).map(|r| r.total_s).collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    let (r, g, a) = (avg("Roller"), avg("Gensor"), avg("Ansor"));
+    println!("\nAverages: Roller {r:.4} s, Gensor {g:.4} s, Ansor {a:.1} s");
+    println!(
+        "Gensor/Roller = {:.1}x; Ansor/Gensor = {:.0}x ({} orders of magnitude)",
+        g / r,
+        a / g,
+        (a / g).log10().round()
+    );
+    write_json("fig8_compile_time", &data);
+}

@@ -1,0 +1,130 @@
+//! Fig. 9 — end-to-end model performance.
+//!
+//! (a) RTX 4090: BERT-small, ResNet-50, MobileNetV2, GPT-2 with PyTorch,
+//!     Roller, Gensor — throughput relative to Ansor (baseline bars carry
+//!     the absolute samples/s).
+//! (b) Orin Nano: BERT-small, ResNet-50, MobileNetV2 with PyTorch and
+//!     Gensor relative to Roller (the paper drops Ansor on the edge device
+//!     — the search runs out of memory — and GPT-2 does not fit).
+
+use bench::{print_table, write_json};
+use models::{compile_model, zoo, ModelGraph};
+use serde::Serialize;
+use simgpu::Tuner;
+
+#[derive(Serialize)]
+struct Row {
+    device: String,
+    model: String,
+    method: String,
+    throughput: f64,
+    relative: f64,
+    pass_ms: f64,
+}
+
+fn sweep(
+    spec: &hardware::GpuSpec,
+    graphs: &[ModelGraph],
+    methods: &[Box<dyn Tuner>],
+    baseline: &str,
+    data: &mut Vec<Row>,
+) {
+    println!("\n=== {} (baseline = {}) ===\n", spec.name, baseline);
+    let mut rows = Vec::new();
+    for g in graphs {
+        let compiled: Vec<_> = methods
+            .iter()
+            .map(|t| compile_model(t.as_ref(), g, spec))
+            .collect();
+        let base = compiled
+            .iter()
+            .find(|c| c.method == baseline)
+            .expect("baseline compiled")
+            .throughput;
+        for c in &compiled {
+            rows.push(vec![
+                g.name.clone(),
+                c.method.clone(),
+                format!("{:.1}", c.throughput),
+                format!("{:.2}", c.throughput / base),
+            ]);
+            data.push(Row {
+                device: spec.name.clone(),
+                model: g.name.clone(),
+                method: c.method.clone(),
+                throughput: c.throughput,
+                relative: c.throughput / base,
+                pass_ms: c.pass_time_us / 1000.0,
+            });
+        }
+    }
+    print_table(&["model", "method", "fps/sps", "relative"], &rows);
+}
+
+fn main() {
+    let mut data = Vec::new();
+
+    // (a) Cloud server.
+    let server = hardware::GpuSpec::rtx4090();
+    let server_models = [
+        zoo::bert_small(8, 128),
+        zoo::resnet50(128),
+        zoo::mobilenet_v2(128),
+        zoo::gpt2(1, 1024),
+    ];
+    let server_methods: Vec<Box<dyn Tuner>> = vec![
+        Box::new(search::Ansor::default()),
+        Box::new(search::Eager),
+        Box::new(roller::Roller::default()),
+        Box::new(gensor::Gensor::default()),
+    ];
+    sweep(&server, &server_models, &server_methods, "Ansor", &mut data);
+
+    // (b) Edge device: smaller batches, no Ansor, no GPT-2.
+    let edge = hardware::GpuSpec::orin_nano();
+    let edge_models = [
+        zoo::bert_small(1, 128),
+        zoo::resnet50(8),
+        zoo::mobilenet_v2(8),
+    ];
+    let edge_methods: Vec<Box<dyn Tuner>> = vec![
+        Box::new(search::Eager),
+        Box::new(roller::Roller::default()),
+        Box::new(gensor::Gensor::default()),
+    ];
+    sweep(&edge, &edge_models, &edge_methods, "Roller", &mut data);
+
+    // Paper headline ratios: mean over models of the per-model speedup.
+    let avg_ratio = |device: &str, a: &str, b: &str| {
+        let models: std::collections::BTreeSet<String> = data
+            .iter()
+            .filter(|r| r.device.contains(device))
+            .map(|r| r.model.clone())
+            .collect();
+        let mut acc = 0.0;
+        let mut n = 0;
+        for m in &models {
+            let get = |meth: &str| {
+                data.iter()
+                    .find(|r| r.device.contains(device) && &r.model == m && r.method == meth)
+                    .map(|r| r.throughput)
+            };
+            if let (Some(x), Some(y)) = (get(a), get(b)) {
+                acc += x / y;
+                n += 1;
+            }
+        }
+        acc / n as f64
+    };
+    println!(
+        "\nRTX 4090: Gensor = {:.2}x Roller, {:.1}x PyTorch (paper: 1.2x Roller, 7.2x PyTorch)",
+        avg_ratio("4090", "Gensor", "Roller"),
+        avg_ratio("4090", "Gensor", "PyTorch"),
+    );
+    println!(
+        "Orin Nano: Gensor = {:.2}x Roller, {:.1}x PyTorch (paper: 1.19x Roller, 2.6x PyTorch)",
+        avg_ratio("Orin", "Gensor", "Roller"),
+        avg_ratio("Orin", "Gensor", "PyTorch"),
+    );
+    write_json("fig9_end_to_end", &data);
+}

@@ -1,0 +1,46 @@
+//! Table IV — the operator benchmark suite: shapes, FLOPs, arithmetic
+//! intensity and provenance.
+
+use bench::{print_table, write_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    label: String,
+    class: String,
+    shape: String,
+    gflop: f64,
+    intensity: f64,
+    from_paper: bool,
+}
+
+fn main() {
+    let suite = tensor_expr::benchmark_suite();
+    let rows_data: Vec<Row> = suite
+        .iter()
+        .map(|c| Row {
+            label: c.label.clone(),
+            class: c.op.class().name().to_string(),
+            shape: c.op.label(),
+            gflop: c.op.flops() / 1e9,
+            intensity: c.op.arithmetic_intensity(),
+            from_paper: c.from_paper,
+        })
+        .collect();
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                r.class.clone(),
+                r.shape.clone(),
+                format!("{:.2}", r.gflop),
+                format!("{:.1}", r.intensity),
+                if r.from_paper { "paper".into() } else { "reconstructed".into() },
+            ]
+        })
+        .collect();
+    println!("Table IV — benchmark suite (32 operator configurations)\n");
+    print_table(&["label", "class", "shape", "GFLOP", "FLOP/B", "source"], &rows);
+    write_json("table4_suite", &rows_data);
+}

@@ -1,0 +1,81 @@
+//! Table VI — ablation: the contribution of graph-based construction and
+//! of vThread, on the RTX 4090.
+//!
+//! Rows: Roller (tree baseline), Gensor without vThread (graph only),
+//! full Gensor. Columns: FLOPS, SM occupancy, memory busy — for Conv2d
+//! (C1), GEMM (M1/G1), GEMV (V1) and AvgPooling2d (P1). Also prints the
+//! paper's attribution split: what share of the total improvement comes
+//! from the graph vs from vThread.
+
+use bench::{print_table, write_json};
+use serde::Serialize;
+use simgpu::Tuner;
+
+#[derive(Serialize)]
+struct Cell {
+    op_label: String,
+    method: String,
+    tflops: f64,
+    sm_occupancy: f64,
+    mem_busy: f64,
+}
+
+fn main() {
+    let spec = hardware::GpuSpec::rtx4090();
+    let suite = tensor_expr::benchmark_suite();
+    let pick = |l: &str| suite.iter().find(|c| c.label == l).unwrap().op.clone();
+    let ops = [
+        ("Conv2d (C1)", pick("C1")),
+        ("GEMM (G1)", pick("M1")),
+        ("GEMV (V1)", pick("V1")),
+        ("AvgPooling2d (P1)", pick("P1")),
+    ];
+    let methods: Vec<Box<dyn Tuner>> = vec![
+        Box::new(roller::Roller::default()),
+        Box::new(gensor::Gensor::without_vthread()),
+        Box::new(gensor::Gensor::default()),
+    ];
+
+    println!("Table VI — graph-construction & vThread ablation on {}\n", spec.name);
+    let mut data: Vec<Cell> = Vec::new();
+    let mut rows = Vec::new();
+    for (label, op) in &ops {
+        for t in &methods {
+            let ck = t.compile(op, &spec);
+            rows.push(vec![
+                label.to_string(),
+                t.name().to_string(),
+                format!("{:.2}T", ck.report.tflops()),
+                format!("{:.2}%", ck.report.sm_occupancy * 100.0),
+                format!("{:.2}%", ck.report.mem_busy * 100.0),
+            ]);
+            data.push(Cell {
+                op_label: label.to_string(),
+                method: t.name().to_string(),
+                tflops: ck.report.tflops(),
+                sm_occupancy: ck.report.sm_occupancy,
+                mem_busy: ck.report.mem_busy,
+            });
+        }
+    }
+    print_table(&["op", "method", "FLOPS", "SM Occ.", "MemBusy"], &rows);
+
+    // Attribution: improvement Roller → w/o vThread is the graph's share;
+    // w/o vThread → full Gensor is vThread's (paper: 79.24% / 20.76%).
+    let mut graph_gain = 0.0;
+    let mut vthread_gain = 0.0;
+    for chunk in data.chunks(3) {
+        let (r, g0, g1) = (&chunk[0], &chunk[1], &chunk[2]);
+        graph_gain += (g0.tflops - r.tflops).max(0.0) / r.tflops;
+        vthread_gain += (g1.tflops - g0.tflops).max(0.0) / r.tflops;
+    }
+    let total = graph_gain + vthread_gain;
+    if total > 0.0 {
+        println!(
+            "\nImprovement attribution: graph construction {:.1}%, vThread {:.1}% (paper: 79.2% / 20.8%)",
+            100.0 * graph_gain / total,
+            100.0 * vthread_gain / total
+        );
+    }
+    write_json("table6_ablation", &data);
+}

@@ -1,0 +1,14 @@
+use gensor::{Walk};
+use rand::SeedableRng;
+fn main() {
+    let spec = hardware::GpuSpec::rtx4090();
+    let op = tensor_expr::OpSpec::gemm(1024, 512, 2048);
+    for seed in 0..5u64 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let rec = Walk::default().run(&op, &spec, &mut rng);
+        println!("seed {seed}: steps {} harvest {} terminal {} complete {}", rec.steps, rec.top_results.len(), rec.terminal.describe(), rec.terminal.is_complete());
+    }
+    // accept probs along schedule
+    let mut t = 1e6f64;
+    for i in 0..20 { if i%4==0 { println!("step {i} T={t:.3e} accept={:.4} boost={:.3}", Walk::accept_prob(t), gensor::Policy::cache_boost(i)); } t/=2.0; }
+}

@@ -1,0 +1,94 @@
+//! Shared experiment-harness utilities.
+//!
+//! Every table and figure of the paper's evaluation has a dedicated binary
+//! in `src/bin/` (see DESIGN.md §4 for the index). The binaries print the
+//! paper-style rows to stdout and drop machine-readable JSON into
+//! `results/` at the workspace root.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+pub mod methods;
+pub mod opsweep;
+
+/// Directory the harness binaries write JSON results into.
+pub fn results_dir() -> PathBuf {
+    let dir = workspace_root().join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Workspace root (where `Cargo.toml` with `[workspace]` lives).
+pub fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → two levels up.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+/// Serialize `value` to `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize");
+    std::fs::write(&path, json).expect("write json");
+    eprintln!("[saved] {}", path.display());
+}
+
+/// Render an aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i == 0 {
+                s.push_str(&format!("{:<w$}", c, w = widths[i]));
+            } else {
+                s.push_str(&format!("  {:>w$}", c, w = widths[i]));
+            }
+        }
+        s
+    };
+    println!("{}", line(headers.iter().map(|h| h.to_string()).collect()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        println!("{}", line(row.clone()));
+    }
+}
+
+/// Geometric mean of a slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_reciprocals_is_one() {
+        let g = geomean(&[2.0, 0.5, 4.0, 0.25]);
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn results_dir_is_creatable() {
+        assert!(results_dir().is_dir());
+    }
+
+    #[test]
+    fn workspace_root_has_manifest() {
+        assert!(workspace_root().join("Cargo.toml").is_file());
+    }
+}

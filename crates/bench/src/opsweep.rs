@@ -1,0 +1,85 @@
+//! Shared implementation of the Fig. 6 / Fig. 7 operator sweeps.
+
+use crate::methods::all_tuners;
+use crate::{geomean, print_table, write_json};
+use hardware::GpuSpec;
+use serde::Serialize;
+
+/// One operator × method measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct OpResult {
+    pub label: String,
+    pub op: String,
+    pub method: String,
+    pub gflops: f64,
+    pub time_us: f64,
+    pub relative_to_baseline: f64,
+}
+
+/// Run the 32-operator sweep on `spec`, reporting FLOPS relative to
+/// `baseline_method` (the paper normalizes Figs. 6–7 to Ansor).
+pub fn run_sweep(spec: &GpuSpec, baseline_method: &str, json_name: &str) {
+    let suite = tensor_expr::benchmark_suite();
+    let tuners = all_tuners();
+    println!(
+        "Operator performance on {} (relative FLOPS, baseline = {baseline_method})\n",
+        spec.name
+    );
+
+    let mut results: Vec<OpResult> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut rel: std::collections::HashMap<String, Vec<f64>> = Default::default();
+
+    for cfg in &suite {
+        let measured: Vec<(String, f64, f64)> = tuners
+            .iter()
+            .map(|t| {
+                let ck = t.compile(&cfg.op, spec);
+                (t.name().to_string(), ck.report.gflops, ck.report.time_us)
+            })
+            .collect();
+        let base = measured
+            .iter()
+            .find(|(n, _, _)| n == baseline_method)
+            .map(|(_, g, _)| *g)
+            .expect("baseline method in registry");
+        let mut row = vec![cfg.label.clone()];
+        for (name, gflops, time_us) in &measured {
+            let r = gflops / base;
+            row.push(format!("{r:.2}"));
+            rel.entry(name.clone()).or_default().push(r);
+            results.push(OpResult {
+                label: cfg.label.clone(),
+                op: cfg.op.label(),
+                method: name.clone(),
+                gflops: *gflops,
+                time_us: *time_us,
+                relative_to_baseline: r,
+            });
+        }
+        rows.push(row);
+    }
+
+    let mut headers = vec!["op"];
+    let names: Vec<String> = tuners.iter().map(|t| t.name().to_string()).collect();
+    for n in &names {
+        headers.push(n);
+    }
+    print_table(&headers, &rows);
+
+    println!("\nGeomean relative FLOPS (baseline {baseline_method} = 1.00):");
+    for n in &names {
+        println!("  {n:<8} {:.3}", geomean(&rel[n]));
+    }
+    // The paper's headline statistics.
+    let g: Vec<f64> = rel["Gensor"].clone();
+    let r: Vec<f64> = rel["Roller"].clone();
+    let cu: Vec<f64> = rel["cuBLAS"].clone();
+    let gr: Vec<f64> = g.iter().zip(&r).map(|(a, b)| a / b).collect();
+    let gcu: Vec<f64> = g.iter().zip(&cu).map(|(a, b)| a / b).collect();
+    let gr_avg = gr.iter().sum::<f64>() / gr.len() as f64;
+    let gr_max = gr.iter().cloned().fold(f64::MIN, f64::max);
+    println!("\nGensor vs Roller: avg {:.1}% faster, max {:.1}% faster", (gr_avg - 1.0) * 100.0, (gr_max - 1.0) * 100.0);
+    println!("Gensor vs cuBLAS: {:.1}% of cuBLAS on average (paper: 81.2%)", geomean(&gcu) * 100.0);
+    write_json(json_name, &results);
+}

@@ -1,0 +1,344 @@
+//! Command parsing and dispatch (dependency-free argument handling).
+
+use hardware::GpuSpec;
+use models::compile_model;
+use simgpu::Tuner;
+use std::fmt::Write as _;
+use tensor_expr::OpSpec;
+
+/// CLI failure: bad usage with an explanation.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// Malformed command line.
+    Usage(String),
+}
+
+/// Top-level usage text.
+pub fn usage() -> String {
+    "\
+gensor — graph-based construction tensor compiler (Rust reproduction)
+
+USAGE:
+  gensor compile <op> <dims...> [--gpu G] [--method M] [--emit E]
+  gensor compare <op> <dims...> [--gpu G]
+  gensor model <name> [--batch B] [--gpu G] [--method M]
+  gensor devices
+
+OPS:
+  gemm M K N | gemv M N | conv N C H W OC KH KW S P | pool N C H W F S
+  elementwise ELEMS INPUTS
+
+OPTIONS:
+  --gpu     rtx4090 (default) | orin | a100
+  --method  gensor (default) | roller | ansor | cublas | pytorch
+  --emit    summary (default) | cuda | pseudo | harness | json
+  --batch   model batch size (default 8)
+
+MODELS:
+  resnet50 | resnet34 | mobilenetv2 | bert | gpt2
+"
+    .to_string()
+}
+
+fn parse_gpu(name: &str) -> Result<GpuSpec, CliError> {
+    match name {
+        "rtx4090" | "4090" => Ok(GpuSpec::rtx4090()),
+        "orin" | "orin-nano" => Ok(GpuSpec::orin_nano()),
+        "a100" => Ok(GpuSpec::a100()),
+        other => Err(CliError::Usage(format!("unknown GPU '{other}'"))),
+    }
+}
+
+fn parse_method(name: &str) -> Result<Box<dyn Tuner>, CliError> {
+    Ok(match name {
+        "gensor" => Box::new(gensor::Gensor::default()),
+        "roller" => Box::new(roller::Roller::default()),
+        "ansor" => Box::new(search::Ansor::default()),
+        "cublas" | "vendor" => Box::new(search::VendorLib),
+        "pytorch" | "eager" => Box::new(search::Eager),
+        other => return Err(CliError::Usage(format!("unknown method '{other}'"))),
+    })
+}
+
+/// Split positional arguments from `--key value` options.
+fn split_args(args: &[String]) -> Result<(Vec<&str>, Vec<(&str, &str)>), CliError> {
+    let mut pos = Vec::new();
+    let mut opts = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if let Some(key) = a.strip_prefix("--") {
+            let val = args
+                .get(i + 1)
+                .ok_or_else(|| CliError::Usage(format!("--{key} needs a value")))?;
+            opts.push((key, val.as_str()));
+            i += 2;
+        } else {
+            pos.push(a);
+            i += 1;
+        }
+    }
+    Ok((pos, opts))
+}
+
+fn opt<'a>(opts: &[(&str, &'a str)], key: &str, default: &'a str) -> &'a str {
+    opts.iter()
+        .rev()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| *v)
+        .unwrap_or(default)
+}
+
+fn dims(pos: &[&str], n: usize, what: &str) -> Result<Vec<u64>, CliError> {
+    if pos.len() != n {
+        return Err(CliError::Usage(format!("{what} expects {n} dims, got {}", pos.len())));
+    }
+    pos.iter()
+        .map(|p| {
+            p.parse::<u64>()
+                .map_err(|_| CliError::Usage(format!("bad dimension '{p}'")))
+        })
+        .collect()
+}
+
+fn parse_op(pos: &[&str]) -> Result<OpSpec, CliError> {
+    let (kind, rest) = pos
+        .split_first()
+        .ok_or_else(|| CliError::Usage("missing operator".into()))?;
+    Ok(match *kind {
+        "gemm" => {
+            let d = dims(rest, 3, "gemm")?;
+            OpSpec::gemm(d[0], d[1], d[2])
+        }
+        "gemv" => {
+            let d = dims(rest, 2, "gemv")?;
+            OpSpec::gemv(d[0], d[1])
+        }
+        "conv" => {
+            let d = dims(rest, 9, "conv")?;
+            OpSpec::conv2d(d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7], d[8])
+        }
+        "pool" => {
+            let d = dims(rest, 6, "pool")?;
+            OpSpec::avg_pool2d(d[0], d[1], d[2], d[3], d[4], d[5])
+        }
+        "elementwise" => {
+            let d = dims(rest, 2, "elementwise")?;
+            OpSpec::elementwise(d[0], d[1] as u32, 1)
+        }
+        other => return Err(CliError::Usage(format!("unknown op '{other}'"))),
+    })
+}
+
+/// Run the CLI, returning the text to print.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (pos, opts) = split_args(args)?;
+    let (cmd, rest) = pos
+        .split_first()
+        .ok_or_else(|| CliError::Usage("missing command".into()))?;
+    match *cmd {
+        "devices" => Ok(devices()),
+        "compile" => compile(rest, &opts),
+        "compare" => compare(rest, &opts),
+        "model" => model(rest, &opts),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}
+
+fn devices() -> String {
+    let mut out = String::new();
+    for spec in GpuSpec::all_presets() {
+        let dram = spec.level(hardware::LevelKind::Dram);
+        let _ = writeln!(
+            out,
+            "{:<18} {:>4} SMs  {:>8.1} TFLOPS fp32  {:>7.0} GB/s  L2 {:>3} MB",
+            spec.name,
+            spec.num_sms,
+            spec.peak_fp32_gflops / 1000.0,
+            dram.bandwidth_gbps(),
+            spec.level(hardware::LevelKind::L2).capacity_bytes >> 20,
+        );
+    }
+    out
+}
+
+fn compile(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
+    let op = parse_op(pos)?;
+    let gpu = parse_gpu(opt(opts, "gpu", "rtx4090"))?;
+    let method = parse_method(opt(opts, "method", "gensor"))?;
+    let emit = opt(opts, "emit", "summary");
+    let ck = method.compile(&op, &gpu);
+    Ok(match emit {
+        "cuda" => codegen::emit_cuda(&ck.etir),
+        "harness" => codegen::emit_host_harness(&ck.etir),
+        "pseudo" => codegen::emit_pseudo(&ck.etir),
+        "json" => {
+            let v = serde_json::json!({
+                "op": op.label(),
+                "gpu": gpu.name,
+                "method": method.name(),
+                "schedule": ck.etir,
+                "report": ck.report,
+                "tuning_s": ck.total_tuning_s(),
+            });
+            serde_json::to_string_pretty(&v).expect("serialize") + "\n"
+        }
+        "summary" => {
+            let mut out = String::new();
+            let _ = writeln!(out, "op       : {}", op.label());
+            let _ = writeln!(out, "gpu      : {}", gpu.name);
+            let _ = writeln!(out, "method   : {}", method.name());
+            let _ = writeln!(out, "schedule : {}", ck.etir.describe());
+            let _ = writeln!(
+                out,
+                "perf     : {:.1} GFLOPS ({:.1}% of peak), {:.3} ms",
+                ck.report.gflops,
+                100.0 * ck.report.gflops / gpu.peak_fp32_gflops,
+                ck.report.time_ms()
+            );
+            let _ = writeln!(
+                out,
+                "profile  : occ {:.0}%  mem-busy {:.0}%  L2-hit {:.0}%",
+                ck.report.sm_occupancy * 100.0,
+                ck.report.mem_busy * 100.0,
+                ck.report.l2_hit_rate * 100.0
+            );
+            let _ = writeln!(out, "tuning   : {:.4} s ({} candidates)", ck.total_tuning_s(), ck.candidates_evaluated);
+            out
+        }
+        other => return Err(CliError::Usage(format!("unknown emit mode '{other}'"))),
+    })
+}
+
+fn compare(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
+    let op = parse_op(pos)?;
+    let gpu = parse_gpu(opt(opts, "gpu", "rtx4090"))?;
+    let mut out = format!("{} on {}\n", op.label(), gpu.name);
+    let _ = writeln!(out, "{:<10} {:>12} {:>10} {:>12}", "method", "GFLOPS", "time(ms)", "tuning(s)");
+    for name in ["pytorch", "cublas", "roller", "gensor", "ansor"] {
+        let t = parse_method(name)?;
+        let ck = t.compile(&op, &gpu);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12.1} {:>10.3} {:>12.3}",
+            t.name(),
+            ck.report.gflops,
+            ck.report.time_ms(),
+            ck.total_tuning_s()
+        );
+    }
+    Ok(out)
+}
+
+fn model(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
+    let name = pos
+        .first()
+        .ok_or_else(|| CliError::Usage("missing model name".into()))?;
+    let batch: u64 = opt(opts, "batch", "8")
+        .parse()
+        .map_err(|_| CliError::Usage("bad --batch".into()))?;
+    let gpu = parse_gpu(opt(opts, "gpu", "rtx4090"))?;
+    let method = parse_method(opt(opts, "method", "gensor"))?;
+    let graph = match *name {
+        "resnet50" => models::zoo::resnet50(batch),
+        "resnet34" => models::zoo::resnet34(batch),
+        "mobilenetv2" | "mobilenet" => models::zoo::mobilenet_v2(batch),
+        "bert" | "bert-small" => models::zoo::bert_small(batch, 128),
+        "gpt2" => models::zoo::gpt2(batch, 1024),
+        other => return Err(CliError::Usage(format!("unknown model '{other}'"))),
+    };
+    let cm = compile_model(method.as_ref(), &graph, &gpu);
+    let mut out = String::new();
+    let _ = writeln!(out, "model      : {} (batch {})", graph.name, graph.batch);
+    let _ = writeln!(out, "gpu        : {}", gpu.name);
+    let _ = writeln!(out, "method     : {}", cm.method);
+    let _ = writeln!(out, "kernels    : {} unique / {} launches", graph.unique_ops(), graph.total_launches());
+    let _ = writeln!(out, "pass time  : {:.3} ms", cm.pass_time_us / 1000.0);
+    let _ = writeln!(out, "throughput : {:.1} samples/s", cm.throughput);
+    let _ = writeln!(out, "tuning     : {:.3} s", cm.tuning_s);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(line: &str) -> Result<String, CliError> {
+        let args: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        run(&args)
+    }
+
+    #[test]
+    fn devices_lists_all_presets() {
+        let out = call("devices").unwrap();
+        assert!(out.contains("RTX 4090"));
+        assert!(out.contains("Orin Nano"));
+        assert!(out.contains("A100"));
+    }
+
+    #[test]
+    fn compile_summary_gemm() {
+        let out = call("compile gemm 512 256 512").unwrap();
+        assert!(out.contains("GEMM[512,256,512]"));
+        assert!(out.contains("method   : Gensor"));
+        assert!(out.contains("GFLOPS"));
+    }
+
+    #[test]
+    fn compile_cuda_emission() {
+        let out = call("compile gemm 256 128 256 --emit cuda --method roller").unwrap();
+        assert!(out.contains("__global__ void gemm_kernel"));
+    }
+
+    #[test]
+    fn compile_harness_emission() {
+        let out = call("compile gemm 128 64 128 --emit harness --method roller").unwrap();
+        assert!(out.contains("int main()"));
+        assert!(out.contains("PASS"));
+    }
+
+    #[test]
+    fn compile_json_is_valid() {
+        let out = call("compile gemv 1024 512 --emit json").unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["op"], "GEMV[1024,512]");
+        assert!(v["report"]["gflops"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn compile_conv_on_orin() {
+        let out = call("compile conv 8 32 28 28 64 3 3 1 1 --gpu orin --method roller").unwrap();
+        assert!(out.contains("Orin"));
+    }
+
+    #[test]
+    fn compare_lists_all_methods() {
+        let out = call("compare gemm 512 512 512").unwrap();
+        for m in ["PyTorch", "cuBLAS", "Roller", "Gensor", "Ansor"] {
+            assert!(out.contains(m), "missing {m} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn model_summary() {
+        let out = call("model bert --batch 2 --method roller").unwrap();
+        assert!(out.contains("BERT-small"));
+        assert!(out.contains("throughput"));
+    }
+
+    #[test]
+    fn usage_errors_are_informative() {
+        assert!(matches!(call("compile gemm 1 2"), Err(CliError::Usage(_))));
+        assert!(matches!(call("compile frob 1"), Err(CliError::Usage(_))));
+        assert!(matches!(call("compile gemm 1 2 3 --gpu h100"), Err(CliError::Usage(_))));
+        assert!(matches!(call(""), Err(CliError::Usage(_))));
+        assert!(matches!(call("compile gemm 1 2 3 --emit asm"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn last_option_wins() {
+        let out = call("compile gemm 256 256 256 --method roller --method cublas").unwrap();
+        assert!(out.contains("cuBLAS"));
+    }
+}

@@ -1,0 +1,27 @@
+//! `gensor` — command-line front end for the compilation stack.
+//!
+//! ```text
+//! gensor compile gemm 4096 4096 4096 [--gpu rtx4090|orin|a100] [--method gensor|roller|ansor|cublas|pytorch] [--emit cuda|pseudo|json]
+//! gensor compile conv N C H W OC KH KW S P [...]
+//! gensor compile gemv M N [...]
+//! gensor compile pool N C H W F S [...]
+//! gensor compare gemm 8192 8192 8192 [--gpu ...]
+//! gensor model resnet50|resnet34|mobilenetv2|bert|gpt2 [--batch B] [--gpu ...] [--method ...]
+//! gensor devices
+//! ```
+
+use cli::{run, CliError};
+
+mod cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{}", cli::usage());
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! `codegen` — CUDA-C source emission from scheduled ETIR programs.
+//!
+//! The paper's implementation hands the optimized schedule to TVM for code
+//! generation (§V). This crate is the equivalent back end of the Rust
+//! stack: it turns an [`etir::Etir`] into a complete, compilable CUDA-C
+//! translation unit — grid/block launch geometry, `__shared__` staging
+//! buffers, virtual-thread strip-mining, register-tile accumulation,
+//! `#pragma unroll` annotations and ragged-edge masking.
+//!
+//! There is no CUDA toolchain in this environment, so the emitted source is
+//! validated structurally (tests check launch geometry, staging sizes,
+//! masking and brace balance against the schedule's analytics) while the
+//! *semantics* of the same schedule are validated by executing it with the
+//! `interp` crate — together they cover what running the kernel would.
+
+pub mod harness;
+pub mod kernels;
+pub mod launch;
+pub mod pseudo;
+
+pub use harness::emit_host_harness;
+pub use kernels::emit_cuda;
+pub use launch::LaunchConfig;
+pub use pseudo::emit_pseudo;

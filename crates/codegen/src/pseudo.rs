@@ -1,0 +1,63 @@
+//! Generic pseudo-code emission for any operator via the loop-primitive IR.
+//!
+//! Unlike the per-class CUDA emitters, this path works uniformly for every
+//! operator: it lowers the schedule through the Table I primitives
+//! (`etir::lower`) and pretty-prints the resulting nest. Useful for
+//! debugging schedules and for documentation.
+
+use etir::{Etir, LoopNest};
+
+/// Render the scheduled loop structure as indented pseudo-code.
+pub fn emit_pseudo(e: &Etir) -> String {
+    let nest = LoopNest::from_etir(e);
+    format!(
+        "// {} — {}\n{}",
+        e.op.label(),
+        e.describe(),
+        nest.to_nest().render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etir::Action;
+    use hardware::GpuSpec;
+    use tensor_expr::OpSpec;
+
+    #[test]
+    fn pseudo_for_all_classes() {
+        let spec = GpuSpec::rtx4090();
+        let ops = vec![
+            OpSpec::gemm(64, 32, 64),
+            OpSpec::gemv(128, 64),
+            OpSpec::conv2d(2, 4, 8, 8, 4, 3, 3, 1, 1),
+            OpSpec::avg_pool2d(2, 4, 8, 8, 2, 2),
+            OpSpec::elementwise(256, 2, 1),
+        ];
+        for op in ops {
+            let mut e = Etir::initial(op, &spec);
+            for a in [Action::Tile { dim: 0 }, Action::Tile { dim: 0 }] {
+                if e.can_apply(&a) {
+                    e = e.apply(&a);
+                }
+            }
+            let s = emit_pseudo(&e);
+            assert!(s.contains("compute"), "{s}");
+            assert!(s.contains("// blockIdx"), "{s}");
+        }
+    }
+
+    #[test]
+    fn pseudo_shows_vthread_loops() {
+        let spec = GpuSpec::rtx4090();
+        let mut e = Etir::initial(OpSpec::gemm(64, 32, 64), &spec);
+        for _ in 0..4 {
+            e = e.apply(&Action::Tile { dim: 0 });
+        }
+        e = e.apply(&Action::Cache);
+        e = e.apply(&Action::SetVthread { dim: 0 });
+        let s = emit_pseudo(&e);
+        assert!(s.contains("// vthread"));
+    }
+}

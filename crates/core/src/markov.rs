@@ -1,0 +1,394 @@
+//! §IV-D — convergence and validity analysis of the construction chain.
+//!
+//! For small operators the construction graph can be enumerated explicitly.
+//! This module builds the finite state space `S` and transition matrix `P`
+//! of the *within-level* chain (tiling and inverse-tiling edges; the
+//! one-way `cache` edge is excluded, exactly as the paper restricts its
+//! irreducibility argument to "states within the same-level memories") and
+//! verifies the paper's three claims mechanically:
+//!
+//! 1. **Irreducibility** — inverse tiling makes same-level states mutually
+//!    reachable (strong connectivity).
+//! 2. **Aperiodicity** — return times have gcd 1 (computed as the gcd of
+//!    `d(u) + 1 − d(v)` over all edges of a BFS labelling).
+//! 3. **Stationarity** — an irreducible aperiodic finite chain has a unique
+//!    stationary distribution; we find it by power iteration and check
+//!    `πP = π`.
+//!
+//! It also runs the multiplicative value iteration of Eqs. 5–6. The paper
+//! states the bare Bellman form `V_{k+1}(i) = max_a π(a|i)·V_k(j)`; taken
+//! literally that contracts every value to 0 (all `π < 1`), so — keeping
+//! the paper's monotone-convergence intent — we anchor the recursion with
+//! each state's own payoff: `V_{k+1}(i) = max(payoff(i), max_a
+//! π(a|i)·V_k(j))`. The fixed point is the best probability-discounted
+//! payoff reachable from each state, is reached in ≤ |S| sweeps, and its
+//! argmax is the maximum-payoff state, which is the claim of §IV-D.
+
+use crate::policy::Policy;
+use etir::{Action, Etir};
+use hardware::GpuSpec;
+use std::collections::HashMap;
+use tensor_expr::OpSpec;
+
+/// An explicitly enumerated within-level construction chain.
+#[derive(Debug, Clone)]
+pub struct ChainSpace {
+    /// The enumerated states.
+    pub states: Vec<Etir>,
+    /// Row-stochastic transition matrix: `probs[i]` lists `(j, p)` pairs.
+    pub probs: Vec<Vec<(usize, f64)>>,
+}
+
+impl ChainSpace {
+    /// Enumerate every state reachable from the unscheduled state of `op`
+    /// through within-level tiling edges (no cache, no unroll, no vthread),
+    /// then fill in the normalized transition probabilities at annealing
+    /// step `t = 0`.
+    ///
+    /// `laziness` is the self-loop mass per state — the probability that a
+    /// sampling round proposes a blocked configuration and the walk stays
+    /// put. With `laziness = 0` the pure ±doubling chain is *bipartite*
+    /// (every edge flips the parity of `Σ log₂ tile`), hence periodic with
+    /// period 2 — the paper's aperiodicity argument ("the number of steps
+    /// for a state to return to itself may be 2, 3, or others") implicitly
+    /// assumes such rejected-proposal self-loops; any `laziness > 0` makes
+    /// the chain aperiodic without changing its stationary behaviour
+    /// qualitatively.
+    ///
+    /// Panics if the space exceeds `max_states` — pick a small operator.
+    pub fn enumerate(
+        op: &OpSpec,
+        spec: &GpuSpec,
+        max_states: usize,
+        laziness: f64,
+    ) -> ChainSpace {
+        assert!((0.0..1.0).contains(&laziness));
+        let policy = Policy {
+            enable_vthread: false,
+            enable_unroll: false,
+            ..Policy::default()
+        };
+        let root = Etir::initial(op.clone(), spec);
+        let mut index: HashMap<Etir, usize> = HashMap::new();
+        let mut states = vec![root.clone()];
+        index.insert(root, 0);
+        let mut frontier = vec![0usize];
+        while let Some(i) = frontier.pop() {
+            let here = states[i].clone();
+            for row in policy.transition_probs(&here, spec, 0) {
+                if row.action == Action::Cache {
+                    continue;
+                }
+                let next = here.apply(&row.action);
+                if !index.contains_key(&next) {
+                    assert!(
+                        states.len() < max_states,
+                        "state space exceeds {max_states}; use a smaller operator"
+                    );
+                    index.insert(next.clone(), states.len());
+                    frontier.push(states.len());
+                    states.push(next);
+                }
+            }
+        }
+        // Second pass: per-state distributions restricted to the subgraph,
+        // renormalized (the cache edge's mass is redistributed), with the
+        // rejected-proposal self-loop added.
+        let mut probs = Vec::with_capacity(states.len());
+        for (i, s) in states.iter().enumerate() {
+            let rows: Vec<(usize, f64)> = policy
+                .transition_probs(s, spec, 0)
+                .into_iter()
+                .filter(|r| r.action != Action::Cache)
+                .map(|r| (index[&s.apply(&r.action)], r.benefit))
+                .collect();
+            let total: f64 = rows.iter().map(|(_, b)| b).sum();
+            let mut row: Vec<(usize, f64)> = rows
+                .into_iter()
+                .map(|(j, b)| (j, (1.0 - laziness) * b / total))
+                .collect();
+            if laziness > 0.0 {
+                row.push((i, laziness));
+            }
+            probs.push(row);
+        }
+        ChainSpace { states, probs }
+    }
+
+    /// Number of states `|S|`.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the space is empty (never true after `enumerate`).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Strong connectivity of the transition graph (irreducibility).
+    pub fn is_irreducible(&self) -> bool {
+        let n = self.len();
+        let fwd: Vec<Vec<usize>> = self
+            .probs
+            .iter()
+            .map(|row| row.iter().map(|&(j, _)| j).collect())
+            .collect();
+        let mut bwd = vec![Vec::new(); n];
+        for (i, row) in fwd.iter().enumerate() {
+            for &j in row {
+                bwd[j].push(i);
+            }
+        }
+        reachable_count(&fwd, 0) == n && reachable_count(&bwd, 0) == n
+    }
+
+    /// Period of the chain: gcd over all edges `(u → v)` of
+    /// `d(u) + 1 − d(v)` for a BFS distance labelling `d` (standard result
+    /// for strongly connected graphs). 1 means aperiodic.
+    pub fn period(&self) -> u64 {
+        let n = self.len();
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        dist[0] = 0;
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in &self.probs[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        let mut g: u64 = 0;
+        for (u, row) in self.probs.iter().enumerate() {
+            for &(v, _) in row {
+                if dist[u] != usize::MAX && dist[v] != usize::MAX {
+                    let diff = (dist[u] as i64 + 1 - dist[v] as i64).unsigned_abs();
+                    if diff != 0 {
+                        g = gcd(g, diff);
+                    }
+                }
+            }
+        }
+        if g == 0 {
+            1
+        } else {
+            g
+        }
+    }
+
+    /// Stationary distribution by power iteration; returns `(π, iters)`.
+    pub fn stationary(&self, tol: f64, max_iters: usize) -> (Vec<f64>, usize) {
+        let n = self.len();
+        let mut pi = vec![1.0 / n as f64; n];
+        for it in 0..max_iters {
+            let mut next = vec![0.0; n];
+            for (i, row) in self.probs.iter().enumerate() {
+                for &(j, p) in row {
+                    next[j] += pi[i] * p;
+                }
+            }
+            let delta: f64 = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+            pi = next;
+            if delta < tol {
+                return (pi, it + 1);
+            }
+        }
+        (pi, max_iters)
+    }
+
+    /// Total-variation residual of `πP = π` for a candidate distribution.
+    pub fn stationarity_residual(&self, pi: &[f64]) -> f64 {
+        let n = self.len();
+        let mut next = vec![0.0; n];
+        for (i, row) in self.probs.iter().enumerate() {
+            for &(j, p) in row {
+                next[j] += pi[i] * p;
+            }
+        }
+        pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum()
+    }
+
+    /// Multiplicative value iteration (Eqs. 5–6, payoff-anchored; see the
+    /// module docs). Returns `(V, argmax_state_index, sweeps)`.
+    pub fn value_iteration(&self, payoff: &[f64], tol: f64) -> (Vec<f64>, usize, usize) {
+        assert_eq!(payoff.len(), self.len());
+        let mut v = payoff.to_vec();
+        let mut sweeps = 0;
+        loop {
+            sweeps += 1;
+            let mut next = payoff.to_vec();
+            for (i, row) in self.probs.iter().enumerate() {
+                for &(j, p) in row {
+                    let via = p * v[j];
+                    if via > next[i] {
+                        next[i] = via;
+                    }
+                }
+            }
+            let delta: f64 = v
+                .iter()
+                .zip(&next)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            // Monotone non-decreasing, as §IV-D argues.
+            debug_assert!(next.iter().zip(&v).all(|(n, o)| *n >= *o - 1e-12));
+            v = next;
+            if delta < tol || sweeps > self.len() + 2 {
+                break;
+            }
+        }
+        let argmax = (0..v.len())
+            .max_by(|&a, &b| v[a].total_cmp(&v[b]))
+            .unwrap();
+        (v, argmax, sweeps)
+    }
+}
+
+fn reachable_count(adj: &[Vec<usize>], from: usize) -> usize {
+    let mut seen = vec![false; adj.len()];
+    let mut stack = vec![from];
+    seen[from] = true;
+    let mut count = 1;
+    while let Some(u) = stack.pop() {
+        for &v in &adj[u] {
+            if !seen[v] {
+                seen[v] = true;
+                count += 1;
+                stack.push(v);
+            }
+        }
+    }
+    count
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_space() -> ChainSpace {
+        let spec = GpuSpec::rtx4090();
+        ChainSpace::enumerate(&OpSpec::gemm(16, 8, 16), &spec, 2_000, 0.02)
+    }
+
+    #[test]
+    fn enumeration_is_finite_and_rooted() {
+        let s = small_space();
+        assert!(!s.is_empty());
+        assert!(s.len() > 20, "space too small to be interesting: {}", s.len());
+        assert!(s.len() < 2_000);
+        // Row-stochastic.
+        for row in &s.probs {
+            let total: f64 = row.iter().map(|&(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-9, "row sums to {total}");
+        }
+    }
+
+    #[test]
+    fn chain_is_irreducible() {
+        // The paper's claim: inverse tiling makes same-level states
+        // mutually convertible.
+        assert!(small_space().is_irreducible());
+    }
+
+    #[test]
+    fn chain_is_aperiodic() {
+        assert_eq!(small_space().period(), 1);
+    }
+
+    #[test]
+    fn pure_doubling_chain_is_bipartite_without_self_loops() {
+        // Documents the gap in the paper's §IV-D argument: every tiling
+        // edge flips the parity of Σ log₂(tile), so without rejected-
+        // proposal self-loops the within-level chain has period 2, not 1.
+        let spec = GpuSpec::rtx4090();
+        let s = ChainSpace::enumerate(&OpSpec::gemm(16, 8, 16), &spec, 2_000, 0.0);
+        assert_eq!(s.period(), 2);
+    }
+
+    #[test]
+    fn without_inverse_edges_the_chain_is_reducible() {
+        // Sanity for the argument: remove backtracking and strong
+        // connectivity must fail (a pure growth tree cannot return).
+        let spec = GpuSpec::rtx4090();
+        let policy = Policy {
+            enable_vthread: false,
+            enable_unroll: false,
+            enable_inverse: false,
+        };
+        // Re-enumerate manually with the tree policy.
+        let root = Etir::initial(OpSpec::gemm(16, 8, 16), &spec);
+        let mut index = HashMap::new();
+        let mut states = vec![root.clone()];
+        index.insert(root, 0usize);
+        let mut frontier = vec![0usize];
+        while let Some(i) = frontier.pop() {
+            let here = states[i].clone();
+            for row in policy.transition_probs(&here, &spec, 0) {
+                if row.action == Action::Cache {
+                    continue;
+                }
+                let next = here.apply(&row.action);
+                if !index.contains_key(&next) {
+                    index.insert(next.clone(), states.len());
+                    frontier.push(states.len());
+                    states.push(next);
+                }
+            }
+        }
+        // From the deepest state nothing is reachable except itself.
+        let deepest = states
+            .iter()
+            .position(|s| {
+                policy
+                    .transition_probs(s, &spec, 0)
+                    .iter()
+                    .all(|r| r.action == Action::Cache)
+            })
+            .expect("growth must saturate");
+        assert!(deepest > 0);
+    }
+
+    #[test]
+    fn stationary_distribution_exists_and_is_fixed() {
+        let s = small_space();
+        let (pi, iters) = s.stationary(1e-12, 100_000);
+        assert!(iters < 100_000, "power iteration did not converge");
+        let total: f64 = pi.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(pi.iter().all(|&p| p >= 0.0));
+        assert!(s.stationarity_residual(&pi) < 1e-9);
+    }
+
+    #[test]
+    fn value_iteration_converges_to_max_payoff_state() {
+        let s = small_space();
+        // Payoff: simulated GFLOPS of each state (0 for unlaunchable).
+        let spec = GpuSpec::rtx4090();
+        let payoff: Vec<f64> = s
+            .states
+            .iter()
+            .map(|e| simgpu::simulate(e, &spec).map(|r| r.gflops).unwrap_or(0.0))
+            .collect();
+        let (v, argmax, sweeps) = s.value_iteration(&payoff, 1e-12);
+        assert!(sweeps <= s.len() + 2, "sweeps {sweeps}");
+        // V dominates payoff and the argmax is the max-payoff state.
+        for (vi, pi) in v.iter().zip(&payoff) {
+            assert!(vi >= pi);
+        }
+        let best_payoff = (0..payoff.len())
+            .max_by(|&a, &b| payoff[a].total_cmp(&payoff[b]))
+            .unwrap();
+        assert_eq!(argmax, best_payoff);
+        // §IV-D: "convergence can generally be achieved after about 100
+        // iterations" — our sweep count for this space is well inside that.
+        assert!(sweeps <= 100, "sweeps {sweeps}");
+    }
+}

@@ -1,0 +1,243 @@
+//! The user-facing Gensor tuner: parallel multi-chain construction.
+//!
+//! One Markov walk explores one trajectory through the construction graph.
+//! Like any Monte-Carlo process, independent chains multiply coverage for
+//! free, so the tuner runs several walks with decorrelated seeds — in
+//! parallel with `crossbeam::scope` worker threads, one RNG stream per
+//! chain — and scores every harvested state with the analytical performance
+//! model (`simgpu`), keeping the global winner.
+
+use crate::walk::Walk;
+use etir::Etir;
+use hardware::GpuSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simgpu::{pick_best, CompiledKernel, KernelReport, Tuner};
+use std::time::Instant;
+use tensor_expr::OpSpec;
+
+/// Tuner configuration.
+#[derive(Debug, Clone)]
+pub struct GensorConfig {
+    /// Number of independent Markov chains.
+    pub chains: usize,
+    /// Base RNG seed; chain `i` uses `seed + i`.
+    pub seed: u64,
+    /// The walk (temperature schedule + policy).
+    pub walk: Walk,
+}
+
+impl Default for GensorConfig {
+    fn default() -> Self {
+        GensorConfig { chains: 16, seed: 0xC0FFEE, walk: Walk::default() }
+    }
+}
+
+/// The Gensor tuner.
+#[derive(Debug, Clone, Default)]
+pub struct Gensor {
+    /// Configuration.
+    pub cfg: GensorConfig,
+}
+
+impl Gensor {
+    /// Gensor with a custom configuration.
+    pub fn with_config(cfg: GensorConfig) -> Self {
+        Gensor { cfg }
+    }
+
+    /// The Table VI ablation variant: graph construction without the
+    /// `setVthread` primitive.
+    pub fn without_vthread() -> Self {
+        let mut cfg = GensorConfig::default();
+        cfg.walk.policy.enable_vthread = false;
+        Gensor { cfg }
+    }
+
+    /// Degenerate single-chain variant for experiments that study one walk.
+    pub fn single_chain(seed: u64) -> Self {
+        Gensor { cfg: GensorConfig { chains: 1, seed, ..GensorConfig::default() } }
+    }
+
+    /// Chains actually launched for `op`: the configured count scaled by
+    /// the operator's iteration-space rank (a rank-7 conv graph has ~2.3×
+    /// the branching of a rank-3 GEMM, and independent chains are the
+    /// Monte-Carlo lever for coverage).
+    pub fn chains_for(&self, op: &OpSpec) -> usize {
+        let rank = op.spatial_extents().len() + op.reduce_extents().len();
+        (self.cfg.chains * rank).div_ceil(3).max(1)
+    }
+
+    /// Run all chains, returning per-chain winners (used by the
+    /// convergence-study experiment as well as `compile`).
+    pub fn run_chains(&self, op: &OpSpec, spec: &GpuSpec) -> Vec<(Etir, KernelReport, u64)> {
+        let chains = self.chains_for(op);
+        let seeds: Vec<u64> = (0..chains)
+            .map(|i| self.cfg.seed.wrapping_add(i as u64))
+            .collect();
+        let walk = &self.cfg.walk;
+        let results = simgpu::parallel_map(&seeds, |&seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rec = walk.run(op, spec, &mut rng);
+            // Every visited state was scored online; the harvested
+            // top_results and the best-seen state compete.
+            let n = (rec.steps + 1) as u64;
+            let mut chain_best = pick_best(&rec.top_results, spec);
+            if let Some((e, t)) = rec.best_seen {
+                let better = chain_best.as_ref().is_none_or(|(_, br)| t < br.time_us);
+                if better {
+                    if let Ok(r) = simgpu::simulate(&e, spec) {
+                        chain_best = Some((e, r));
+                    }
+                }
+            }
+            chain_best.map(|(e, r)| (e, r, n))
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+impl Tuner for Gensor {
+    fn name(&self) -> &'static str {
+        if self.cfg.walk.policy.enable_vthread {
+            "Gensor"
+        } else {
+            "Gensor w/o vThread"
+        }
+    }
+
+    fn compile(&self, op: &OpSpec, spec: &GpuSpec) -> CompiledKernel {
+        let t0 = Instant::now();
+        let per_chain = self.run_chains(op, spec);
+        let candidates_evaluated: u64 = per_chain.iter().map(|(_, _, n)| n).sum();
+        let best = per_chain
+            .into_iter()
+            .min_by(|a, b| a.1.time_us.total_cmp(&b.1.time_us));
+        let (etir, report) = match best {
+            Some((e, r, _)) => (e, r),
+            None => {
+                // Pathological: every harvested state unlaunchable; fall
+                // back to the (always feasible) unscheduled program.
+                let e = Etir::initial(op.clone(), spec);
+                let r = simgpu::simulate(&e, spec).expect("initial state is feasible");
+                (e, r)
+            }
+        };
+        CompiledKernel {
+            etir,
+            report,
+            wall_time_s: t0.elapsed().as_secs_f64(),
+            simulated_tuning_s: 0.0,
+            candidates_evaluated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roller::Roller;
+
+    #[test]
+    fn gensor_compiles_a_gemm_well() {
+        let spec = GpuSpec::rtx4090();
+        let op = OpSpec::gemm(2048, 2048, 2048);
+        let ck = Gensor::default().compile(&op, &spec);
+        let frac = ck.report.gflops / spec.peak_fp32_gflops;
+        assert!(frac > 0.2, "Gensor should land ≥20% of peak, got {frac:.3}");
+        assert_eq!(ck.simulated_tuning_s, 0.0, "construction never measures");
+    }
+
+    #[test]
+    fn gensor_is_reproducible() {
+        let spec = GpuSpec::rtx4090();
+        let op = OpSpec::gemm(1024, 512, 2048);
+        let a = Gensor::default().compile(&op, &spec);
+        let b = Gensor::default().compile(&op, &spec);
+        assert_eq!(a.etir, b.etir);
+    }
+
+    #[test]
+    fn gensor_beats_roller_on_average_over_gemms() {
+        // The paper's headline: graph construction outperforms the
+        // tree-based method (≈18% average on the suite; here we assert a
+        // strict average win over a GEMM sample).
+        let spec = GpuSpec::rtx4090();
+        let shapes = [
+            (2048u64, 2048u64, 2048u64),
+            (8192, 8192, 8192),
+            (65536, 4, 1024),
+            (32768, 64, 2048),
+            (16384, 32, 1024),
+        ];
+        let gensor = Gensor::default();
+        let roller = Roller::default();
+        let mut ratio_sum = 0.0;
+        for (m, k, n) in shapes {
+            let op = OpSpec::gemm(m, k, n);
+            let g = gensor.compile(&op, &spec);
+            let r = roller.compile(&op, &spec);
+            let ratio = g.report.gflops / r.report.gflops;
+            ratio_sum += ratio;
+        }
+        let avg = ratio_sum / shapes.len() as f64;
+        assert!(avg > 1.0, "Gensor/Roller average ratio {avg:.3} ≤ 1");
+    }
+
+    #[test]
+    fn vthread_ablation_never_sets_vthreads() {
+        let spec = GpuSpec::rtx4090();
+        let op = OpSpec::gemm(4096, 512, 4096);
+        let ck = Gensor::without_vthread().compile(&op, &spec);
+        assert!(ck.etir.vthreads.iter().all(|&v| v == 1));
+        assert_eq!(Gensor::without_vthread().name(), "Gensor w/o vThread");
+    }
+
+    #[test]
+    fn full_gensor_at_least_matches_ablation() {
+        let spec = GpuSpec::rtx4090();
+        let op = OpSpec::gemm(4096, 512, 4096);
+        let full = Gensor::default().compile(&op, &spec);
+        let ablated = Gensor::without_vthread().compile(&op, &spec);
+        assert!(
+            full.report.gflops >= ablated.report.gflops * 0.98,
+            "full {} vs ablated {}",
+            full.report.gflops,
+            ablated.report.gflops
+        );
+    }
+
+    #[test]
+    fn more_chains_never_hurt() {
+        let spec = GpuSpec::rtx4090();
+        let op = OpSpec::gemm(2048, 1024, 2048);
+        let one = Gensor::with_config(GensorConfig { chains: 1, ..Default::default() })
+            .compile(&op, &spec);
+        let eight = Gensor::with_config(GensorConfig { chains: 8, ..Default::default() })
+            .compile(&op, &spec);
+        // Chain 0 of the 8-chain run is the same walk as the 1-chain run,
+        // so the 8-chain result can only be equal or better.
+        assert!(eight.report.time_us <= one.report.time_us * 1.0001);
+    }
+
+    #[test]
+    fn compiles_every_operator_class() {
+        let spec = GpuSpec::orin_nano();
+        let gensor = Gensor::with_config(GensorConfig { chains: 4, ..Default::default() });
+        for op in [
+            OpSpec::gemm(1024, 256, 512),
+            OpSpec::gemv(8192, 1024),
+            OpSpec::conv2d(8, 32, 28, 28, 64, 3, 3, 1, 1),
+            OpSpec::avg_pool2d(16, 48, 48, 48, 2, 2),
+            OpSpec::elementwise(1 << 20, 2, 1),
+        ] {
+            let ck = gensor.compile(&op, &spec);
+            assert!(ck.report.gflops > 0.0, "{}", op.label());
+            assert!(
+                etir::analytics::MemCheck::check(&ck.etir, &spec).fits(),
+                "{} chose unlaunchable schedule",
+                op.label()
+            );
+        }
+    }
+}

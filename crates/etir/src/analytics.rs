@@ -1,0 +1,451 @@
+//! Footprint / traffic analytics over ETIR states.
+//!
+//! These are the `Q(T)` (memory traffic) and `F(T)` (memory footprint)
+//! quantities of the paper's benefit formulas, plus the resource figures
+//! (threads, registers, shared memory) needed for the memory-capacity check
+//! ("Gensor conducts memory check for each transition; if memory required
+//! for the configuration exceeds the cache capacity, the probability is
+//! directly set to 0", §IV-C) and for the performance simulator.
+
+use crate::state::Etir;
+use hardware::{GpuSpec, LevelKind};
+use serde::{Deserialize, Serialize};
+use tensor_expr::DTYPE_BYTES;
+
+/// Register overhead per thread beyond accumulators and operand slices
+/// (addressing, loop counters, predicates).
+const REG_OVERHEAD: u64 = 16;
+
+/// Derived, hardware-independent-shape quantities of a schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleStats {
+    /// Thread blocks launched (`Π ceil(extent / smem_tile)`).
+    pub grid_blocks: u64,
+    /// Physical threads per block.
+    pub threads_per_block: u64,
+    /// Virtual threads per block.
+    pub vthreads_per_block: u64,
+    /// Shared memory staged per block, bytes (input tiles for one reduction
+    /// step).
+    pub smem_bytes_per_block: u64,
+    /// 32-bit registers per thread (accumulators + operand slice + fixed
+    /// overhead).
+    pub regs_per_thread: u64,
+    /// Reduction steps each block executes.
+    pub reduce_steps: u64,
+    /// Total DRAM traffic in bytes: every block re-loads its input tiles
+    /// each reduction step, plus the output is written once.
+    pub dram_traffic_bytes: f64,
+    /// Total shared-memory→register traffic in bytes.
+    pub smem_traffic_bytes: f64,
+    /// Fraction of launched spatial work that is useful (1.0 = perfect
+    /// tiling, < 1 when tiles are ragged).
+    pub tile_efficiency: f64,
+}
+
+impl ScheduleStats {
+    /// Compute all quantities for `e`.
+    pub fn compute(e: &Etir) -> ScheduleStats {
+        let op = &e.op;
+        let sp_ext = op.spatial_extents();
+        let smem_tile = e.clamped_smem_tile();
+        let grid_blocks = op.num_tiles(&smem_tile);
+        let reduce_steps = op.reduce_steps(&e.reduce_tile);
+
+        // --- Shared-memory footprint: input tiles of one reduction step.
+        let block_fp = op.tile_footprint(&smem_tile, &e.reduce_tile);
+        let smem_bytes_per_block = block_fp.input_bytes();
+
+        // --- Registers: accumulator tile + one reduce-element operand
+        // slice + overhead.
+        let unit_rd = vec![1u64; e.reduce_rank()];
+        let reg_fp = op.tile_footprint(&e.reg_tile, &unit_rd);
+        let regs_per_thread =
+            reg_fp.output + reg_fp.inputs.iter().sum::<u64>() + REG_OVERHEAD;
+
+        // --- DRAM traffic: per block, the staged input tiles are loaded
+        // once per reduction step; the output tile is written once.
+        let in_bytes_per_step = block_fp.input_bytes() as f64;
+        let out_bytes = (op.output_elems() * DTYPE_BYTES) as f64;
+        let dram_traffic_bytes =
+            grid_blocks as f64 * reduce_steps as f64 * in_bytes_per_step + out_bytes;
+
+        // --- SMEM→register traffic: every register tile re-reads its
+        // operand slices for each element of the reduce space.
+        let total_reduce_elems: u64 = op.reduce_extents().iter().product::<u64>().max(1);
+        let num_reg_tiles: u64 = sp_ext
+            .iter()
+            .zip(&e.reg_tile)
+            .map(|(&ext, &t)| ext.div_ceil(t.max(1)))
+            .product();
+        let reg_in_bytes: f64 = (reg_fp.inputs.iter().sum::<u64>() * DTYPE_BYTES) as f64;
+        let smem_traffic_bytes =
+            num_reg_tiles as f64 * total_reduce_elems as f64 * reg_in_bytes + out_bytes;
+
+        ScheduleStats {
+            grid_blocks,
+            threads_per_block: e.threads_per_block(),
+            vthreads_per_block: e.total_vthreads(),
+            smem_bytes_per_block,
+            regs_per_thread,
+            reduce_steps,
+            dram_traffic_bytes,
+            smem_traffic_bytes,
+            tile_efficiency: op.tile_efficiency(&smem_tile),
+        }
+    }
+
+    /// The paper's `Q(T)`: traffic *into* the tiles of the given schedulable
+    /// level (0 = DRAM→SMEM, 1 = SMEM→REG), in bytes.
+    pub fn traffic_at_level(&self, level: usize) -> f64 {
+        match level {
+            0 => self.dram_traffic_bytes,
+            _ => self.smem_traffic_bytes,
+        }
+    }
+
+    /// The paper's `F(T)`: per-unit footprint at the given schedulable
+    /// level (0 = shared memory per block, 1 = registers per thread), bytes.
+    pub fn footprint_at_level(&self, level: usize) -> f64 {
+        match level {
+            0 => self.smem_bytes_per_block.max(1) as f64,
+            _ => (self.regs_per_thread * 4).max(1) as f64,
+        }
+    }
+}
+
+/// Outcome of the capacity check for one state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemCheck {
+    /// Fits all hardware limits.
+    Fits,
+    /// Shared memory per block exceeds the device limit.
+    SmemOverflow { need: u64, cap: u64 },
+    /// Register demand per thread exceeds the device limit.
+    RegOverflow { need: u64, cap: u64 },
+    /// Block has more threads than the device allows.
+    TooManyThreads { need: u64, cap: u64 },
+    /// Block shape gives zero threads (degenerate).
+    NoThreads,
+}
+
+impl MemCheck {
+    /// Check `e` against `spec`. This is the transition filter of §IV-C.
+    pub fn check(e: &Etir, spec: &GpuSpec) -> MemCheck {
+        let stats = ScheduleStats::compute(e);
+        Self::check_stats(&stats, spec)
+    }
+
+    /// Same check when the caller already has the stats.
+    pub fn check_stats(stats: &ScheduleStats, spec: &GpuSpec) -> MemCheck {
+        if stats.threads_per_block == 0 {
+            return MemCheck::NoThreads;
+        }
+        if stats.smem_bytes_per_block > spec.max_smem_per_block {
+            return MemCheck::SmemOverflow {
+                need: stats.smem_bytes_per_block,
+                cap: spec.max_smem_per_block,
+            };
+        }
+        if stats.regs_per_thread > spec.max_regs_per_thread as u64 {
+            return MemCheck::RegOverflow {
+                need: stats.regs_per_thread,
+                cap: spec.max_regs_per_thread as u64,
+            };
+        }
+        if stats.threads_per_block > spec.max_threads_per_block as u64 {
+            return MemCheck::TooManyThreads {
+                need: stats.threads_per_block,
+                cap: spec.max_threads_per_block as u64,
+            };
+        }
+        // A block also cannot out-demand the register file of a whole SM.
+        let regs_per_block = stats.regs_per_thread * stats.threads_per_block;
+        if regs_per_block > spec.regs_per_sm as u64 {
+            return MemCheck::RegOverflow {
+                need: stats.regs_per_thread,
+                cap: (spec.regs_per_sm as u64 / stats.threads_per_block.max(1)),
+            };
+        }
+        MemCheck::Fits
+    }
+
+    /// Whether the state is feasible.
+    pub fn fits(&self) -> bool {
+        matches!(self, MemCheck::Fits)
+    }
+
+    /// Capacity-only check used as the *transition* filter during
+    /// construction (§IV-C: "if memory required for the configuration
+    /// exceeds the cache capacity, the probability is directly set to 0").
+    ///
+    /// Thread-count limits are deliberately not checked here: a partially
+    /// scheduled state (block tile chosen, register tile not yet) has no
+    /// final thread shape, so mid-construction states may legally pass
+    /// through thread-infeasible configurations. The full check (including
+    /// threads) is applied by the simulator before any state can be chosen
+    /// as a winner.
+    pub fn check_capacity(e: &Etir, spec: &GpuSpec) -> MemCheck {
+        let stats = ScheduleStats::compute(e);
+        Self::check_capacity_stats(&stats, spec)
+    }
+
+    /// [`MemCheck::check_capacity`] when the stats are already computed.
+    pub fn check_capacity_stats(stats: &ScheduleStats, spec: &GpuSpec) -> MemCheck {
+        if stats.smem_bytes_per_block > spec.max_smem_per_block {
+            return MemCheck::SmemOverflow {
+                need: stats.smem_bytes_per_block,
+                cap: spec.max_smem_per_block,
+            };
+        }
+        if stats.regs_per_thread > spec.max_regs_per_thread as u64 {
+            return MemCheck::RegOverflow {
+                need: stats.regs_per_thread,
+                cap: spec.max_regs_per_thread as u64,
+            };
+        }
+        MemCheck::Fits
+    }
+}
+
+/// DRAM burst-line size in bytes: transactions shorter than this waste the
+/// remainder of the line. 64 B (two 32-B sectors) is the effective
+/// fine-grained granularity on the modelled parts.
+pub const DRAM_LINE_BYTES: f64 = 64.0;
+
+/// Coalescing efficiency of the schedule's DRAM traffic, in (0, 1].
+///
+/// Each staged input region streams rows of `tile_row_elems` contiguous
+/// elements; a row shorter than the DRAM line leaves the rest of the line
+/// unused. The per-input efficiencies are combined weighted by each input's
+/// share of the staged bytes. This is what separates a reduction-staging
+/// tile of 8 elements (32 B rows → half the line wasted) from one of 32+
+/// elements — the effect behind the paper's GEMV results (Table VI), where
+/// Roller's transaction-aligned but untuned reduction tile leaves
+/// bandwidth on the floor.
+pub fn dram_efficiency(e: &Etir) -> f64 {
+    let smem_tile = e.clamped_smem_tile();
+    let fp = e.op.tile_footprint(&smem_tile, &e.reduce_tile);
+    let rows = e.op.tile_row_elems(&smem_tile, &e.reduce_tile);
+    let total_bytes: f64 = fp.inputs.iter().map(|&b| b as f64).sum::<f64>() * DTYPE_BYTES as f64;
+    if total_bytes <= 0.0 {
+        return 1.0;
+    }
+    let mut weighted = 0.0;
+    for (&elems, &row) in fp.inputs.iter().zip(&rows) {
+        let bytes = elems as f64 * DTYPE_BYTES as f64;
+        let row_bytes = row as f64 * DTYPE_BYTES as f64;
+        let eff = (row_bytes / DRAM_LINE_BYTES).clamp(1.0 / 16.0, 1.0);
+        weighted += bytes / total_bytes * eff;
+    }
+    weighted.clamp(1.0 / 16.0, 1.0)
+}
+
+/// L2-level traffic estimate: bytes requested from L2 by all blocks, plus
+/// the share expected to miss to DRAM given inter-block reuse.
+///
+/// Blocks along the same row/column of the spatial space share input tiles
+/// (e.g. all GEMM blocks in one grid row reload the same `A` tile). L2
+/// serves those re-loads when the concurrently-live working set fits. We
+/// estimate the *hit rate* as the fraction of block-level traffic that is
+/// redundant with respect to compulsory traffic, damped by how far the
+/// resident working set overflows the L2 capacity.
+pub fn l2_hit_rate(e: &Etir, spec: &GpuSpec) -> f64 {
+    let stats = ScheduleStats::compute(e);
+    let compulsory = e.op.compulsory_bytes() as f64;
+    let requested = stats.dram_traffic_bytes.max(1.0);
+    // Redundant fraction: re-reads that *could* be L2 hits.
+    let redundant = (1.0 - compulsory / requested).clamp(0.0, 1.0);
+    // Capacity damping: the reuse window is one "wave" of concurrent blocks.
+    let l2_cap = spec.level(LevelKind::L2).capacity_bytes as f64;
+    let concurrent_blocks = (spec.num_sms as f64).min(stats.grid_blocks as f64).max(1.0);
+    let live_set = concurrent_blocks * stats.smem_bytes_per_block.max(1) as f64
+        * stats.reduce_steps.max(1) as f64;
+    let fit = (l2_cap / live_set).min(1.0);
+    // Even a fully-captured window can't convert *all* redundancy (cold
+    // misses at wave boundaries); 0.95 ceiling keeps it physical.
+    (redundant * fit * 0.95 + (1.0 - redundant) * 0.0).clamp(0.0, 0.99)
+        + small_baseline(redundant)
+}
+
+/// Streaming accesses still enjoy some L2 hits from prefetch-like line
+/// granularity; give a small floor proportional to non-redundant traffic.
+fn small_baseline(redundant: f64) -> f64 {
+    0.05 * (1.0 - redundant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use tensor_expr::OpSpec;
+
+    fn scheduled_gemm() -> Etir {
+        // GEMM 1024x1024x1024 with smem tile 64x64, reduce tile 8,
+        // reg tile 4x4, vthreads 2x1.
+        let spec = GpuSpec::rtx4090();
+        let mut e = Etir::initial(OpSpec::gemm(1024, 1024, 1024), &spec);
+        for _ in 0..6 {
+            e = e.apply(&Action::Tile { dim: 0 });
+            e = e.apply(&Action::Tile { dim: 1 });
+        }
+        for _ in 0..3 {
+            e = e.apply(&Action::TileReduce { dim: 0 });
+        }
+        e = e.apply(&Action::Cache);
+        for _ in 0..2 {
+            e = e.apply(&Action::Tile { dim: 0 });
+            e = e.apply(&Action::Tile { dim: 1 });
+        }
+        e = e.apply(&Action::SetVthread { dim: 0 });
+        e
+    }
+
+    #[test]
+    fn gemm_stats_match_hand_calculation() {
+        let e = scheduled_gemm();
+        let s = ScheduleStats::compute(&e);
+        // Grid: (1024/64)^2 = 256 blocks.
+        assert_eq!(s.grid_blocks, 256);
+        // Threads: dim0 64/(4*2)=8, dim1 64/4=16 → 128.
+        assert_eq!(s.threads_per_block, 128);
+        assert_eq!(s.vthreads_per_block, 2);
+        // SMEM: A tile 64x8 + B tile 8x64 = 1024 elems = 4096 B.
+        assert_eq!(s.smem_bytes_per_block, 4096);
+        // Regs: 4x4 acc + (4 + 4) operand slice + 16 = 40.
+        assert_eq!(s.regs_per_thread, 16 + 8 + 16);
+        // Reduce steps: 1024/8 = 128.
+        assert_eq!(s.reduce_steps, 128);
+        // DRAM traffic: 256 blocks * 128 steps * 4096 B + 1024*1024*4 out.
+        let expect = 256.0 * 128.0 * 4096.0 + (1024.0 * 1024.0 * 4.0);
+        assert!((s.dram_traffic_bytes - expect).abs() < 1.0);
+        assert_eq!(s.tile_efficiency, 1.0);
+    }
+
+    #[test]
+    fn bigger_smem_tiles_cut_dram_traffic() {
+        let spec = GpuSpec::rtx4090();
+        let small = Etir::initial(OpSpec::gemm(1024, 1024, 1024), &spec);
+        let big = scheduled_gemm();
+        let qs = ScheduleStats::compute(&small).dram_traffic_bytes;
+        let qb = ScheduleStats::compute(&big).dram_traffic_bytes;
+        assert!(qb < qs / 10.0, "tiling should slash traffic: {qb} vs {qs}");
+    }
+
+    #[test]
+    fn reg_tiling_cuts_smem_traffic() {
+        let spec = GpuSpec::rtx4090();
+        let mut base = Etir::initial(OpSpec::gemm(512, 512, 512), &spec);
+        for _ in 0..5 {
+            base = base.apply(&Action::Tile { dim: 0 });
+            base = base.apply(&Action::Tile { dim: 1 });
+        }
+        base = base.apply(&Action::Cache);
+        let no_reg = ScheduleStats::compute(&base).smem_traffic_bytes;
+        let mut tiled = base.clone();
+        for _ in 0..2 {
+            tiled = tiled.apply(&Action::Tile { dim: 0 });
+            tiled = tiled.apply(&Action::Tile { dim: 1 });
+        }
+        let with_reg = ScheduleStats::compute(&tiled).smem_traffic_bytes;
+        assert!(with_reg < no_reg / 2.0);
+    }
+
+    #[test]
+    fn memcheck_flags_smem_overflow() {
+        let spec = GpuSpec::rtx4090();
+        let mut e = Etir::initial(OpSpec::gemm(1 << 14, 1 << 14, 1 << 14), &spec);
+        // 4096x4096 smem tile with reduce tile 4 → A+B tiles = 2*4096*4*4B
+        // = 128 KB < cap... grow reduce tile to blow it up.
+        for _ in 0..12 {
+            e = e.apply(&Action::Tile { dim: 0 });
+            e = e.apply(&Action::Tile { dim: 1 });
+        }
+        for _ in 0..6 {
+            e = e.apply(&Action::TileReduce { dim: 0 });
+        }
+        // 4096*64*2 elems * 4 B = 2 MB ≫ 100 KB.
+        assert!(matches!(
+            MemCheck::check(&e, &spec),
+            MemCheck::SmemOverflow { .. }
+        ));
+    }
+
+    #[test]
+    fn memcheck_flags_thread_overflow() {
+        let spec = GpuSpec::rtx4090();
+        let mut e = Etir::initial(OpSpec::gemm(4096, 64, 4096), &spec);
+        for _ in 0..6 {
+            e = e.apply(&Action::Tile { dim: 0 });
+            e = e.apply(&Action::Tile { dim: 1 });
+        }
+        // 64x64 block tile, reg tile 1 → 4096 threads > 1024.
+        assert!(matches!(
+            MemCheck::check(&e, &spec),
+            MemCheck::TooManyThreads { .. }
+        ));
+    }
+
+    #[test]
+    fn memcheck_flags_reg_overflow() {
+        let spec = GpuSpec::rtx4090();
+        let mut e = Etir::initial(OpSpec::gemm(4096, 64, 4096), &spec);
+        for _ in 0..9 {
+            e = e.apply(&Action::Tile { dim: 0 });
+            e = e.apply(&Action::Tile { dim: 1 });
+        }
+        e = e.apply(&Action::Cache);
+        for _ in 0..5 {
+            e = e.apply(&Action::Tile { dim: 0 });
+            e = e.apply(&Action::Tile { dim: 1 });
+        }
+        // 32x32 accumulator tile = 1024 regs > 255.
+        assert!(matches!(
+            MemCheck::check(&e, &spec),
+            MemCheck::RegOverflow { .. }
+        ));
+    }
+
+    #[test]
+    fn initial_state_fits_every_preset() {
+        for spec in GpuSpec::all_presets() {
+            let e = Etir::initial(OpSpec::gemm(8192, 8192, 8192), &spec);
+            assert!(MemCheck::check(&e, &spec).fits(), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn traffic_and_footprint_level_selectors() {
+        let e = scheduled_gemm();
+        let s = ScheduleStats::compute(&e);
+        assert_eq!(s.traffic_at_level(0), s.dram_traffic_bytes);
+        assert_eq!(s.traffic_at_level(1), s.smem_traffic_bytes);
+        assert_eq!(s.footprint_at_level(0), s.smem_bytes_per_block as f64);
+        assert_eq!(s.footprint_at_level(1), (s.regs_per_thread * 4) as f64);
+    }
+
+    #[test]
+    fn l2_hit_rate_rises_with_tiling() {
+        let spec = GpuSpec::rtx4090();
+        let untiled = Etir::initial(OpSpec::gemm(4096, 4096, 4096), &spec);
+        let tiled = scheduled_gemm();
+        let h0 = l2_hit_rate(&untiled, &spec);
+        let h1 = l2_hit_rate(&tiled, &spec);
+        assert!((0.0..=1.0).contains(&h0));
+        assert!((0.0..=1.0).contains(&h1));
+        assert!(h1 > 0.3, "tiled GEMM should see substantial L2 reuse: {h1}");
+    }
+
+    #[test]
+    fn elementwise_has_minimal_smem_and_regs() {
+        let spec = GpuSpec::rtx4090();
+        let mut e = Etir::initial(OpSpec::elementwise(1 << 20, 2, 1), &spec);
+        for _ in 0..8 {
+            e = e.apply(&Action::Tile { dim: 0 });
+        }
+        let s = ScheduleStats::compute(&e);
+        assert_eq!(s.reduce_steps, 1);
+        assert!(s.regs_per_thread < 32);
+        assert!(MemCheck::check(&e, &spec).fits());
+    }
+}

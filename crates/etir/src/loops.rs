@@ -1,0 +1,437 @@
+//! A small explicit loop-nest IR with the paper's Table I scheduling
+//! primitives: `split`, `fuse`, `tile` (= split + reorder), `unroll`, and
+//! `cache` (staging markers).
+//!
+//! The construction policies never manipulate this IR — they work on the
+//! compact [`crate::Etir`] state — but lowering (`crate::lower`) *expresses*
+//! an ETIR as a sequence of these primitive applications, which is exactly
+//! how the schedule would be realised on top of a TVM-like tensor IR. The
+//! code generator and the CPU interpreter walk the resulting nest.
+
+use serde::{Deserialize, Serialize};
+
+/// What a loop binds to at execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Binding {
+    /// CUDA `blockIdx` dimension.
+    Grid,
+    /// Virtual thread (strip-mined, re-aggregated at codegen).
+    VThread,
+    /// CUDA `threadIdx` dimension.
+    Thread,
+    /// Ordinary serial loop.
+    Serial,
+    /// Serial loop annotated `#pragma unroll`.
+    Unrolled,
+}
+
+/// One loop of the nest.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Loop {
+    /// Unique name within the nest, e.g. `"m.grid"`, `"k.inner"`.
+    pub name: String,
+    /// Trip count.
+    pub extent: u64,
+    /// Execution binding.
+    pub binding: Binding,
+}
+
+/// One element of the (linearised, outer→inner) nest body.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Item {
+    /// A loop level.
+    Loop(Loop),
+    /// Stage the named operand into the memory level (`"SMEM"`/`"REG"`) at
+    /// this position — the `cache` primitive of Table I.
+    CacheRead { operand: String, level: String },
+    /// Write the accumulator back out.
+    CacheWrite { operand: String, level: String },
+    /// The innermost compute statement.
+    Compute,
+}
+
+/// A loop nest: a linear outer→inner list of items containing exactly one
+/// [`Item::Compute`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Nest {
+    pub items: Vec<Item>,
+}
+
+/// Errors from primitive application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoopError {
+    NoSuchLoop(String),
+    NotDivisible { name: String, extent: u64, factor: u64 },
+    NotAdjacent(String, String),
+    BadFactor(u64),
+}
+
+impl std::fmt::Display for LoopError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoopError::NoSuchLoop(n) => write!(f, "no loop named {n}"),
+            LoopError::NotDivisible { name, extent, factor } => {
+                write!(f, "loop {name} extent {extent} not divisible by {factor}")
+            }
+            LoopError::NotAdjacent(a, b) => write!(f, "loops {a},{b} not adjacent"),
+            LoopError::BadFactor(x) => write!(f, "bad factor {x}"),
+        }
+    }
+}
+
+impl std::error::Error for LoopError {}
+
+impl Nest {
+    /// A naive serial nest over the given `(name, extent)` axes with the
+    /// compute statement innermost.
+    pub fn naive(axes: &[(&str, u64)]) -> Nest {
+        let mut items: Vec<Item> = axes
+            .iter()
+            .map(|(n, e)| {
+                Item::Loop(Loop { name: (*n).to_string(), extent: *e, binding: Binding::Serial })
+            })
+            .collect();
+        items.push(Item::Compute);
+        Nest { items }
+    }
+
+    /// Loops in outer→inner order.
+    pub fn loops(&self) -> Vec<&Loop> {
+        self.items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Loop(l) => Some(l),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Product of all loop extents — invariant under split/fuse.
+    pub fn volume(&self) -> u128 {
+        self.loops().iter().map(|l| l.extent as u128).product()
+    }
+
+    fn loop_pos(&self, name: &str) -> Result<usize, LoopError> {
+        self.items
+            .iter()
+            .position(|i| matches!(i, Item::Loop(l) if l.name == name))
+            .ok_or_else(|| LoopError::NoSuchLoop(name.to_string()))
+    }
+
+    /// `split`: divide loop `name` (extent `E`) into `name.outer` (extent
+    /// `E/factor`) and `name.inner` (extent `factor`), inner placed directly
+    /// inside outer. Table I: `L → (L1, L2)`.
+    pub fn split(&mut self, name: &str, factor: u64) -> Result<(), LoopError> {
+        if factor == 0 {
+            return Err(LoopError::BadFactor(factor));
+        }
+        let pos = self.loop_pos(name)?;
+        let (extent, binding) = match &self.items[pos] {
+            Item::Loop(l) => (l.extent, l.binding),
+            _ => unreachable!(),
+        };
+        if extent % factor != 0 {
+            return Err(LoopError::NotDivisible { name: name.to_string(), extent, factor });
+        }
+        let outer = Loop {
+            name: format!("{name}.outer"),
+            extent: extent / factor,
+            binding,
+        };
+        let inner = Loop {
+            name: format!("{name}.inner"),
+            extent: factor,
+            binding,
+        };
+        self.items.splice(pos..=pos, [Item::Loop(outer), Item::Loop(inner)]);
+        Ok(())
+    }
+
+    /// `fuse`: merge two *adjacent* loops into one with the product extent.
+    /// Table I: `(L1, L2) → L`.
+    pub fn fuse(&mut self, a: &str, b: &str, fused_name: &str) -> Result<(), LoopError> {
+        let pa = self.loop_pos(a)?;
+        let pb = self.loop_pos(b)?;
+        if pb != pa + 1 {
+            return Err(LoopError::NotAdjacent(a.to_string(), b.to_string()));
+        }
+        let (ea, bind) = match &self.items[pa] {
+            Item::Loop(l) => (l.extent, l.binding),
+            _ => unreachable!(),
+        };
+        let eb = match &self.items[pb] {
+            Item::Loop(l) => l.extent,
+            _ => unreachable!(),
+        };
+        let fused = Loop { name: fused_name.to_string(), extent: ea * eb, binding: bind };
+        self.items.splice(pa..=pb, [Item::Loop(fused)]);
+        Ok(())
+    }
+
+    /// Reorder the loops into the order given by `names` (which must be a
+    /// permutation of all loop names). Non-loop items keep their relative
+    /// position with respect to the compute statement: cache markers stay
+    /// put by index among non-loop items. Combined with [`Nest::split`] this
+    /// realises Table I's `tile` primitive (`L → [T1, T2]`).
+    pub fn reorder(&mut self, names: &[&str]) -> Result<(), LoopError> {
+        let mut pool: Vec<Loop> = Vec::new();
+        for i in &self.items {
+            if let Item::Loop(l) = i {
+                pool.push(l.clone());
+            }
+        }
+        if names.len() != pool.len() {
+            return Err(LoopError::NoSuchLoop(format!(
+                "reorder wants {} loops, nest has {}",
+                names.len(),
+                pool.len()
+            )));
+        }
+        let mut ordered = Vec::with_capacity(pool.len());
+        for n in names {
+            let idx = pool
+                .iter()
+                .position(|l| l.name == *n)
+                .ok_or_else(|| LoopError::NoSuchLoop((*n).to_string()))?;
+            ordered.push(pool.remove(idx));
+        }
+        let mut it = ordered.into_iter();
+        for item in &mut self.items {
+            if matches!(item, Item::Loop(_)) {
+                *item = Item::Loop(it.next().unwrap());
+            }
+        }
+        Ok(())
+    }
+
+    /// Change the binding of loop `name` (e.g. bind to `Grid` or `Thread`).
+    pub fn bind(&mut self, name: &str, binding: Binding) -> Result<(), LoopError> {
+        let pos = self.loop_pos(name)?;
+        if let Item::Loop(l) = &mut self.items[pos] {
+            l.binding = binding;
+        }
+        Ok(())
+    }
+
+    /// `unroll`: annotate loop `name` fully unrolled. Table I:
+    /// `L → Σ L_i`.
+    pub fn unroll(&mut self, name: &str) -> Result<(), LoopError> {
+        self.bind(name, Binding::Unrolled)
+    }
+
+    /// `cache`: insert a staging marker directly *inside* loop `name`
+    /// (i.e. just after it). Table I: `C(T)`.
+    pub fn cache_read(&mut self, after: &str, operand: &str, level: &str) -> Result<(), LoopError> {
+        let pos = self.loop_pos(after)?;
+        self.items.insert(
+            pos + 1,
+            Item::CacheRead { operand: operand.to_string(), level: level.to_string() },
+        );
+        Ok(())
+    }
+
+    /// Insert a write-back marker just before the position of `Compute`'s
+    /// enclosing loop `before` (used for the register→global epilogue).
+    pub fn cache_write(&mut self, operand: &str, level: &str) -> Result<(), LoopError> {
+        let pos = self
+            .items
+            .iter()
+            .position(|i| matches!(i, Item::Compute))
+            .expect("nest must contain Compute");
+        self.items.insert(
+            pos + 1,
+            Item::CacheWrite { operand: operand.to_string(), level: level.to_string() },
+        );
+        Ok(())
+    }
+
+    /// Pretty-print as indented pseudo-code.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut depth = 0usize;
+        for item in &self.items {
+            match item {
+                Item::Loop(l) => {
+                    let tag = match l.binding {
+                        Binding::Grid => " // blockIdx",
+                        Binding::VThread => " // vthread",
+                        Binding::Thread => " // threadIdx",
+                        Binding::Unrolled => " // #pragma unroll",
+                        Binding::Serial => "",
+                    };
+                    out.push_str(&format!(
+                        "{}for {} in 0..{}{}\n",
+                        "  ".repeat(depth),
+                        l.name,
+                        l.extent,
+                        tag
+                    ));
+                    depth += 1;
+                }
+                Item::CacheRead { operand, level } => {
+                    out.push_str(&format!("{}stage {} -> {}\n", "  ".repeat(depth), operand, level));
+                }
+                Item::CacheWrite { operand, level } => {
+                    out.push_str(&format!("{}write {} <- {}\n", "  ".repeat(depth), operand, level));
+                }
+                Item::Compute => {
+                    out.push_str(&format!("{}compute\n", "  ".repeat(depth)));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_nest_has_unit_structure() {
+        let n = Nest::naive(&[("m", 64), ("n", 32), ("k", 16)]);
+        assert_eq!(n.loops().len(), 3);
+        assert_eq!(n.volume(), 64 * 32 * 16);
+    }
+
+    #[test]
+    fn split_preserves_volume_and_names() {
+        let mut n = Nest::naive(&[("m", 64)]);
+        n.split("m", 16).unwrap();
+        assert_eq!(n.volume(), 64);
+        let names: Vec<_> = n.loops().iter().map(|l| l.name.clone()).collect();
+        assert_eq!(names, vec!["m.outer", "m.inner"]);
+        assert_eq!(n.loops()[0].extent, 4);
+        assert_eq!(n.loops()[1].extent, 16);
+    }
+
+    #[test]
+    fn split_rejects_non_divisible() {
+        let mut n = Nest::naive(&[("m", 10)]);
+        assert_eq!(
+            n.split("m", 3),
+            Err(LoopError::NotDivisible { name: "m".into(), extent: 10, factor: 3 })
+        );
+    }
+
+    #[test]
+    fn fuse_is_split_inverse() {
+        let mut n = Nest::naive(&[("m", 64), ("n", 8)]);
+        n.split("m", 16).unwrap();
+        n.fuse("m.outer", "m.inner", "m").unwrap();
+        assert_eq!(n, Nest::naive(&[("m", 64), ("n", 8)]));
+    }
+
+    #[test]
+    fn fuse_requires_adjacency() {
+        let mut n = Nest::naive(&[("a", 2), ("b", 3), ("c", 4)]);
+        assert!(matches!(n.fuse("a", "c", "ac"), Err(LoopError::NotAdjacent(..))));
+    }
+
+    #[test]
+    fn reorder_permutes_loops_only() {
+        let mut n = Nest::naive(&[("a", 2), ("b", 3)]);
+        n.cache_read("a", "A", "SMEM").unwrap();
+        n.reorder(&["b", "a"]).unwrap();
+        let names: Vec<_> = n.loops().iter().map(|l| l.name.clone()).collect();
+        assert_eq!(names, vec!["b", "a"]);
+        // Cache marker still after the first loop slot.
+        assert!(matches!(n.items[1], Item::CacheRead { .. }));
+        assert_eq!(n.volume(), 6);
+    }
+
+    #[test]
+    fn reorder_rejects_unknown_loop() {
+        let mut n = Nest::naive(&[("a", 2)]);
+        assert!(n.reorder(&["zzz"]).is_err());
+    }
+
+    #[test]
+    fn tile_is_split_plus_reorder() {
+        // Table I "tile": L → [T1, T2] for two loops.
+        let mut n = Nest::naive(&[("m", 64), ("n", 64)]);
+        n.split("m", 8).unwrap();
+        n.split("n", 8).unwrap();
+        n.reorder(&["m.outer", "n.outer", "m.inner", "n.inner"]).unwrap();
+        let names: Vec<_> = n.loops().iter().map(|l| l.name.clone()).collect();
+        assert_eq!(names, vec!["m.outer", "n.outer", "m.inner", "n.inner"]);
+        assert_eq!(n.volume(), 64 * 64);
+    }
+
+    #[test]
+    fn unroll_changes_binding_only() {
+        let mut n = Nest::naive(&[("k", 8)]);
+        n.unroll("k").unwrap();
+        assert_eq!(n.loops()[0].binding, Binding::Unrolled);
+        assert_eq!(n.volume(), 8);
+    }
+
+    #[test]
+    fn render_shows_structure() {
+        let mut n = Nest::naive(&[("m", 4), ("k", 2)]);
+        n.bind("m", Binding::Grid).unwrap();
+        n.cache_read("m", "A", "SMEM").unwrap();
+        let s = n.render();
+        assert!(s.contains("for m in 0..4 // blockIdx"));
+        assert!(s.contains("stage A -> SMEM"));
+        assert!(s.contains("compute"));
+    }
+
+    #[test]
+    fn cache_write_lands_after_compute() {
+        let mut n = Nest::naive(&[("m", 4)]);
+        n.cache_write("C", "GLOBAL").unwrap();
+        let pos_c = n.items.iter().position(|i| matches!(i, Item::Compute)).unwrap();
+        assert!(matches!(n.items[pos_c + 1], Item::CacheWrite { .. }));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// split preserves iteration volume for every divisor.
+        #[test]
+        fn split_preserves_volume(extent_log in 1u32..12, factor_log in 0u32..12) {
+            let extent = 1u64 << extent_log;
+            let factor = 1u64 << factor_log.min(extent_log);
+            let mut n = Nest::naive(&[("x", extent), ("y", 3)]);
+            let before = n.volume();
+            n.split("x", factor).unwrap();
+            prop_assert_eq!(n.volume(), before);
+        }
+
+        /// split then fuse round-trips exactly.
+        #[test]
+        fn split_fuse_roundtrip(extent_log in 1u32..12, factor_log in 0u32..12) {
+            let extent = 1u64 << extent_log;
+            let factor = 1u64 << factor_log.min(extent_log);
+            let mut n = Nest::naive(&[("x", extent)]);
+            let orig = n.clone();
+            n.split("x", factor).unwrap();
+            n.fuse("x.outer", "x.inner", "x").unwrap();
+            prop_assert_eq!(n, orig);
+        }
+
+        /// reorder is volume- and multiset-preserving for any permutation.
+        #[test]
+        fn reorder_preserves_loops(perm in proptest::sample::subsequence(vec![0usize,1,2], 3)) {
+            prop_assume!(perm.len() == 3);
+            let mut n = Nest::naive(&[("a", 2), ("b", 3), ("c", 5)]);
+            let names = ["a", "b", "c"];
+            let order: Vec<&str> = perm.iter().map(|&i| names[i]).collect();
+            // subsequence keeps order; rotate to get a different permutation
+            let mut order = order;
+            order.rotate_left(1);
+            let before = n.volume();
+            n.reorder(&order).unwrap();
+            prop_assert_eq!(n.volume(), before);
+            let got: Vec<String> = n.loops().iter().map(|l| l.name.clone()).collect();
+            let mut sorted = got.clone();
+            sorted.sort();
+            prop_assert_eq!(sorted, vec!["a".to_string(), "b".into(), "c".into()]);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Lowering: from the compact [`Etir`] schedule state to an explicit,
+//! executable loop structure.
+//!
+//! [`LoopNest`] is the summary form consumed by the CPU interpreter and the
+//! performance simulator; [`LoopNest::to_nest`] additionally *derives* the
+//! explicit [`crate::loops::Nest`] by applying the Table I primitives
+//! (split / reorder / bind / unroll / cache) exactly as a TVM-style schedule
+//! would — grid loops outermost, then virtual-thread loops, physical-thread
+//! loops, the staged reduction, and the register tile innermost.
+
+use crate::loops::{Binding, Nest};
+use crate::state::Etir;
+use serde::{Deserialize, Serialize};
+use tensor_expr::OpSpec;
+
+/// Fully-resolved loop extents of a scheduled operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopNest {
+    /// The operator.
+    pub op: OpSpec,
+    /// Padded spatial extents (`grid[i] * smem_tile[i]`, ≥ true extents).
+    pub padded_extents: Vec<u64>,
+    /// Blocks per spatial dim.
+    pub grid: Vec<u64>,
+    /// Block (shared-memory) tile per spatial dim.
+    pub smem_tile: Vec<u64>,
+    /// Virtual threads per spatial dim.
+    pub vthreads: Vec<u64>,
+    /// Physical threads per spatial dim.
+    pub thread_dims: Vec<u64>,
+    /// Per-thread register tile per spatial dim.
+    pub reg_tile: Vec<u64>,
+    /// Staged reduction tile per reduce dim.
+    pub reduce_tile: Vec<u64>,
+    /// Reduction steps per reduce dim (`ceil(extent / tile)`).
+    pub reduce_steps: Vec<u64>,
+    /// Unroll factor for the innermost reduction loop.
+    pub unroll: u64,
+}
+
+impl LoopNest {
+    /// Resolve the loop extents of `e`.
+    pub fn from_etir(e: &Etir) -> LoopNest {
+        let sp_ext = e.op.spatial_extents();
+        let rd_ext = e.op.reduce_extents();
+        let smem_tile: Vec<u64> = e
+            .smem_tile
+            .iter()
+            .zip(&sp_ext)
+            .map(|(&t, &ext)| t.min(ext.next_power_of_two()))
+            .collect();
+        let grid: Vec<u64> = sp_ext
+            .iter()
+            .zip(&smem_tile)
+            .map(|(&ext, &t)| ext.div_ceil(t))
+            .collect();
+        let padded_extents: Vec<u64> = grid.iter().zip(&smem_tile).map(|(&g, &t)| g * t).collect();
+        let thread_dims = e.thread_dims();
+        let reduce_steps: Vec<u64> = rd_ext
+            .iter()
+            .zip(&e.reduce_tile)
+            .map(|(&ext, &t)| ext.div_ceil(t.min(ext.next_power_of_two())))
+            .collect();
+        LoopNest {
+            op: e.op.clone(),
+            padded_extents,
+            grid,
+            smem_tile,
+            vthreads: e.vthreads.clone(),
+            thread_dims,
+            reg_tile: e.reg_tile.clone(),
+            reduce_tile: e.reduce_tile.clone(),
+            reduce_steps,
+            unroll: e.unroll,
+        }
+    }
+
+    /// Total blocks launched.
+    pub fn total_blocks(&self) -> u64 {
+        self.grid.iter().product()
+    }
+
+    /// Physical threads per block.
+    pub fn threads_per_block(&self) -> u64 {
+        self.thread_dims.iter().product()
+    }
+
+    /// Express this schedule as an explicit loop nest via the Table I
+    /// primitives. The returned nest is what `codegen` prints and what the
+    /// schedule would look like applied to a TVM-like tensor IR.
+    pub fn to_nest(&self) -> Nest {
+        let sp_names = self.op.spatial_names();
+        let rd_names = self.op.reduce_names();
+        // Naive padded nest: spatial axes then reduce axes.
+        let mut axes: Vec<(String, u64)> = Vec::new();
+        for (i, n) in sp_names.iter().enumerate() {
+            axes.push((n.to_string(), self.padded_extents[i]));
+        }
+        for (j, n) in rd_names.iter().enumerate() {
+            axes.push((n.to_string(), self.reduce_steps[j] * self.reduce_tile[j]));
+        }
+        let borrowed: Vec<(&str, u64)> = axes.iter().map(|(n, e)| (n.as_str(), *e)).collect();
+        let mut nest = Nest::naive(&borrowed);
+
+        // Split every spatial axis: grid / vthread / thread / reg.
+        for (i, n) in sp_names.iter().enumerate() {
+            nest.split(n, self.smem_tile[i]).expect("grid split");
+            let inner = format!("{n}.inner");
+            let per_vt = self.smem_tile[i] / self.vthreads[i];
+            nest.split(&inner, per_vt).expect("vthread split");
+            // `{n}.inner.outer` now has extent = vthreads.
+            let inner2 = format!("{n}.inner.inner");
+            nest.split(&inner2, self.reg_tile[i]).expect("thread split");
+            nest.bind(&format!("{n}.outer"), Binding::Grid).unwrap();
+            nest.bind(&format!("{n}.inner.outer"), Binding::VThread).unwrap();
+            nest.bind(&format!("{n}.inner.inner.outer"), Binding::Thread).unwrap();
+        }
+        // Split every reduce axis into outer step / inner element.
+        for (j, n) in rd_names.iter().enumerate() {
+            nest.split(n, self.reduce_tile[j]).expect("reduce split");
+        }
+
+        // Reorder: grids, vthreads, threads, reduce outers, reduce inners,
+        // register loops.
+        let mut order: Vec<String> = Vec::new();
+        for n in &sp_names {
+            order.push(format!("{n}.outer"));
+        }
+        for n in &sp_names {
+            order.push(format!("{n}.inner.outer"));
+        }
+        for n in &sp_names {
+            order.push(format!("{n}.inner.inner.outer"));
+        }
+        for n in &rd_names {
+            order.push(format!("{n}.outer"));
+        }
+        for n in &rd_names {
+            order.push(format!("{n}.inner"));
+        }
+        for n in &sp_names {
+            order.push(format!("{n}.inner.inner.inner"));
+        }
+        let order_ref: Vec<&str> = order.iter().map(|s| s.as_str()).collect();
+        nest.reorder(&order_ref).expect("reorder");
+
+        // Cache staging: operands into SMEM at the reduction step level,
+        // into registers at the element level; accumulator written back.
+        let input_names = self.op.input_names();
+        if let Some(first_rd) = rd_names.first() {
+            let smem_anchor = format!("{first_rd}.outer");
+            for op_name in &input_names {
+                nest.cache_read(&smem_anchor, op_name, "SMEM").unwrap();
+            }
+            let reg_anchor = format!("{}.inner", rd_names.last().unwrap());
+            for op_name in &input_names {
+                nest.cache_read(&reg_anchor, op_name, "REG").unwrap();
+            }
+            // Unroll the innermost reduce element loop if requested.
+            if self.unroll > 1 {
+                nest.unroll(&reg_anchor).unwrap();
+            }
+        } else {
+            // Elementwise: stage straight into registers under the last
+            // thread loop.
+            let anchor = format!("{}.inner.inner.outer", sp_names.last().unwrap());
+            for op_name in &input_names {
+                nest.cache_read(&anchor, op_name, "REG").unwrap();
+            }
+        }
+        nest.cache_write("out", "GLOBAL").unwrap();
+        nest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::loops::{Binding, Item};
+    use hardware::GpuSpec;
+
+    fn scheduled_gemm() -> Etir {
+        let spec = GpuSpec::rtx4090();
+        let mut e = Etir::initial(OpSpec::gemm(256, 64, 512), &spec);
+        for _ in 0..5 {
+            e = e.apply(&Action::Tile { dim: 0 }); // smem m = 32
+        }
+        for _ in 0..6 {
+            e = e.apply(&Action::Tile { dim: 1 }); // smem n = 64
+        }
+        for _ in 0..3 {
+            e = e.apply(&Action::TileReduce { dim: 0 }); // k tile 8
+        }
+        e = e.apply(&Action::Cache);
+        for _ in 0..2 {
+            e = e.apply(&Action::Tile { dim: 0 }); // reg m = 4
+            e = e.apply(&Action::Tile { dim: 1 }); // reg n = 4
+        }
+        e = e.apply(&Action::SetVthread { dim: 0 }); // vt m = 2
+        e.apply(&Action::Unroll)
+    }
+
+    #[test]
+    fn gemm_loopnest_extents() {
+        let nest = LoopNest::from_etir(&scheduled_gemm());
+        assert_eq!(nest.grid, vec![256 / 32, 512 / 64]);
+        assert_eq!(nest.smem_tile, vec![32, 64]);
+        assert_eq!(nest.vthreads, vec![2, 1]);
+        assert_eq!(nest.thread_dims, vec![32 / (4 * 2), 64 / 4]);
+        assert_eq!(nest.reduce_steps, vec![64 / 8]);
+        assert_eq!(nest.total_blocks(), 64);
+        assert_eq!(nest.threads_per_block(), 4 * 16);
+    }
+
+    #[test]
+    fn ragged_extents_are_padded() {
+        let spec = GpuSpec::rtx4090();
+        let mut e = Etir::initial(OpSpec::gemm(100, 16, 60), &spec);
+        for _ in 0..5 {
+            e = e.apply(&Action::Tile { dim: 0 }); // smem 32
+        }
+        for _ in 0..4 {
+            e = e.apply(&Action::Tile { dim: 1 }); // smem 16
+        }
+        let nest = LoopNest::from_etir(&e);
+        assert_eq!(nest.grid, vec![4, 4]);
+        assert_eq!(nest.padded_extents, vec![128, 64]);
+    }
+
+    #[test]
+    fn to_nest_volume_covers_padded_space() {
+        let ln = LoopNest::from_etir(&scheduled_gemm());
+        let nest = ln.to_nest();
+        let spatial_padded: u128 = ln.padded_extents.iter().map(|&x| x as u128).product();
+        let reduce_padded: u128 = ln
+            .reduce_steps
+            .iter()
+            .zip(&ln.reduce_tile)
+            .map(|(&s, &t)| (s * t) as u128)
+            .product();
+        assert_eq!(nest.volume(), spatial_padded * reduce_padded);
+    }
+
+    #[test]
+    fn to_nest_binds_grid_vthread_thread() {
+        let nest = LoopNest::from_etir(&scheduled_gemm()).to_nest();
+        let loops = nest.loops();
+        let bindings: Vec<Binding> = loops.iter().map(|l| l.binding).collect();
+        // First two loops are grid, next two vthread, next two thread.
+        assert_eq!(&bindings[0..2], &[Binding::Grid, Binding::Grid]);
+        assert_eq!(&bindings[2..4], &[Binding::VThread, Binding::VThread]);
+        assert_eq!(&bindings[4..6], &[Binding::Thread, Binding::Thread]);
+        // vthread extents match the schedule.
+        assert_eq!(loops[2].extent, 2);
+        assert_eq!(loops[3].extent, 1);
+    }
+
+    #[test]
+    fn to_nest_stages_operands_both_levels() {
+        let nest = LoopNest::from_etir(&scheduled_gemm()).to_nest();
+        let smem_stages = nest
+            .items
+            .iter()
+            .filter(|i| matches!(i, Item::CacheRead { level, .. } if level == "SMEM"))
+            .count();
+        let reg_stages = nest
+            .items
+            .iter()
+            .filter(|i| matches!(i, Item::CacheRead { level, .. } if level == "REG"))
+            .count();
+        assert_eq!(smem_stages, 2); // A and B
+        assert_eq!(reg_stages, 2);
+    }
+
+    #[test]
+    fn to_nest_render_is_parsable_pseudocode() {
+        let s = LoopNest::from_etir(&scheduled_gemm()).to_nest().render();
+        assert!(s.contains("// blockIdx"));
+        assert!(s.contains("// vthread"));
+        assert!(s.contains("// threadIdx"));
+        assert!(s.contains("// #pragma unroll"));
+        assert!(s.contains("stage A -> SMEM"));
+        assert!(s.contains("stage B -> REG"));
+    }
+
+    #[test]
+    fn elementwise_lowering_works_without_reduce() {
+        let spec = GpuSpec::rtx4090();
+        let mut e = Etir::initial(OpSpec::elementwise(1 << 12, 2, 1), &spec);
+        for _ in 0..8 {
+            e = e.apply(&Action::Tile { dim: 0 });
+        }
+        let ln = LoopNest::from_etir(&e);
+        let nest = ln.to_nest();
+        assert!(nest.volume() >= 1 << 12);
+        assert!(nest.items.iter().any(|i| matches!(i, Item::CacheRead { .. })));
+    }
+
+    #[test]
+    fn unscheduled_state_lowers_to_degenerate_nest() {
+        let spec = GpuSpec::rtx4090();
+        let e = Etir::initial(OpSpec::gemv(64, 32), &spec);
+        let ln = LoopNest::from_etir(&e);
+        assert_eq!(ln.total_blocks(), 64);
+        assert_eq!(ln.threads_per_block(), 1);
+        let nest = ln.to_nest();
+        assert_eq!(nest.volume(), 64 * 32);
+    }
+}

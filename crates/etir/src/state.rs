@@ -1,0 +1,385 @@
+//! The ETIR schedule state — one node of the construction graph.
+
+use crate::action::Action;
+use hardware::GpuSpec;
+use serde::{Deserialize, Serialize};
+use tensor_expr::OpSpec;
+
+/// A fully-specified (possibly partial-quality) schedule for one operator.
+///
+/// Per spatial dimension `i` the paper's tile vector `D_i = [T_2, T_1, T_0]`
+/// is stored as `smem_tile[i]` (block tile staged in shared memory),
+/// `reg_tile[i]` (per-thread register tile) and `vthreads[i]` (virtual-thread
+/// count). The number of *physical* threads along dimension `i` is
+/// `smem_tile[i] / (reg_tile[i] · vthreads[i])` — divisibility is a struct
+/// invariant maintained by [`Etir::apply`] and checked by [`Etir::validate`].
+///
+/// Reduce dimensions carry a single staging tile (`reduce_tile`): the chunk
+/// of the reduction axis loaded into shared memory per reduction step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Etir {
+    /// The operator being scheduled.
+    pub op: OpSpec,
+    /// Number of schedulable memory levels (2 on all NVIDIA presets:
+    /// shared memory, then registers).
+    pub num_levels: usize,
+    /// Level currently being scheduled: `0` = shared-memory tiles,
+    /// `1` = register tiles. Advanced by the `cache` action; when it reaches
+    /// `num_levels` the construction is complete.
+    pub cur_level: usize,
+    /// Shared-memory (block) tile per spatial dim.
+    pub smem_tile: Vec<u64>,
+    /// Register (per-thread) tile per spatial dim.
+    pub reg_tile: Vec<u64>,
+    /// Virtual-thread count per spatial dim (paper's `setVthread`).
+    pub vthreads: Vec<u64>,
+    /// Staged reduction-step tile per reduce dim.
+    pub reduce_tile: Vec<u64>,
+    /// Unroll factor applied to the innermost reduction loop (1 = none).
+    pub unroll: u64,
+}
+
+impl Etir {
+    /// The unscheduled initial state (paper §IV-D: "the initial state refers
+    /// to the unscheduled state without partitioning, caching, or virtual
+    /// threads"): all tiles 1, scheduling starts at the shared-memory level.
+    pub fn initial(op: OpSpec, spec: &GpuSpec) -> Self {
+        let sd = op.spatial_extents().len();
+        let rd = op.reduce_extents().len();
+        Etir {
+            op,
+            num_levels: spec.num_schedulable_levels(),
+            cur_level: 0,
+            smem_tile: vec![1; sd],
+            reg_tile: vec![1; sd],
+            vthreads: vec![1; sd],
+            reduce_tile: vec![1; rd],
+            unroll: 1,
+        }
+    }
+
+    /// Number of spatial dimensions.
+    pub fn spatial_rank(&self) -> usize {
+        self.smem_tile.len()
+    }
+
+    /// Number of reduce dimensions.
+    pub fn reduce_rank(&self) -> usize {
+        self.reduce_tile.len()
+    }
+
+    /// Physical threads along each spatial dim.
+    pub fn thread_dims(&self) -> Vec<u64> {
+        self.smem_tile
+            .iter()
+            .zip(self.reg_tile.iter().zip(&self.vthreads))
+            .map(|(&s, (&r, &v))| s / (r * v))
+            .collect()
+    }
+
+    /// Total physical threads per block.
+    pub fn threads_per_block(&self) -> u64 {
+        self.thread_dims().iter().product()
+    }
+
+    /// Total virtual threads per block (product over dims).
+    pub fn total_vthreads(&self) -> u64 {
+        self.vthreads.iter().product()
+    }
+
+    /// Whether the schedule has visited every level (construction finished).
+    pub fn is_complete(&self) -> bool {
+        self.cur_level >= self.num_levels
+    }
+
+    /// Struct-invariant check. `Ok` does **not** mean the schedule fits the
+    /// hardware — that is [`crate::analytics::MemCheck`]'s job — only that
+    /// the tile algebra is self-consistent.
+    pub fn validate(&self) -> Result<(), String> {
+        let sp = self.op.spatial_extents();
+        let rd = self.op.reduce_extents();
+        if self.smem_tile.len() != sp.len()
+            || self.reg_tile.len() != sp.len()
+            || self.vthreads.len() != sp.len()
+        {
+            return Err("spatial tile rank mismatch".into());
+        }
+        if self.reduce_tile.len() != rd.len() {
+            return Err("reduce tile rank mismatch".into());
+        }
+        for i in 0..sp.len() {
+            let (s, r, v) = (self.smem_tile[i], self.reg_tile[i], self.vthreads[i]);
+            if s == 0 || r == 0 || v == 0 {
+                return Err(format!("zero tile in dim {i}"));
+            }
+            if s % (r * v) != 0 {
+                return Err(format!(
+                    "dim {i}: smem tile {s} not divisible by reg*vthread {}",
+                    r * v
+                ));
+            }
+        }
+        for (j, (&t, &e)) in self.reduce_tile.iter().zip(&rd).enumerate() {
+            if t == 0 {
+                return Err(format!("zero reduce tile in dim {j}"));
+            }
+            if t > e.next_power_of_two() {
+                return Err(format!("reduce tile {t} absurdly exceeds extent {e}"));
+            }
+        }
+        if self.unroll == 0 || !self.unroll.is_power_of_two() {
+            return Err("unroll must be a positive power of two".into());
+        }
+        if self.cur_level > self.num_levels {
+            return Err("cur_level out of range".into());
+        }
+        Ok(())
+    }
+
+    /// Whether `action` may be applied in this state (divisibility, extent
+    /// caps, level bounds). Capacity feasibility is checked separately.
+    pub fn can_apply(&self, action: &Action) -> bool {
+        let sp = self.op.spatial_extents();
+        let rd = self.op.reduce_extents();
+        match *action {
+            Action::Tile { dim } => {
+                // Growing the tile at the current level.
+                match self.cur_level {
+                    0 => self.smem_tile[dim] < sp[dim].next_power_of_two(),
+                    1 => {
+                        // Register tile grows inside the block tile; one
+                        // thread cannot own more than the whole block tile.
+                        self.reg_tile[dim] * self.vthreads[dim] * 2 <= self.smem_tile[dim]
+                    }
+                    _ => false,
+                }
+            }
+            Action::InvTile { dim } => match self.cur_level {
+                // Shrinking must preserve divisibility by reg*vthread.
+                0 => {
+                    let s = self.smem_tile[dim];
+                    s > 1 && (s / 2).is_multiple_of(self.reg_tile[dim] * self.vthreads[dim])
+                }
+                1 => self.reg_tile[dim] > 1,
+                _ => false,
+            },
+            Action::TileReduce { dim } => {
+                !self.is_complete() && self.reduce_tile[dim] < rd[dim].next_power_of_two()
+            }
+            Action::InvTileReduce { dim } => !self.is_complete() && self.reduce_tile[dim] > 1,
+            Action::Cache => !self.is_complete(),
+            Action::SetVthread { dim } => {
+                // vThreads subdivide the thread extent of the block tile.
+                self.cur_level >= 1
+                    && !self.is_complete()
+                    && self.reg_tile[dim] * self.vthreads[dim] * 2 <= self.smem_tile[dim]
+            }
+            Action::InvVthread { dim } => !self.is_complete() && self.vthreads[dim] > 1,
+            Action::Unroll => !self.is_complete() && self.unroll < 8,
+            Action::InvUnroll => !self.is_complete() && self.unroll > 1,
+        }
+    }
+
+    /// Apply `action`, returning the successor state (graph edge traversal).
+    ///
+    /// Panics if `!self.can_apply(action)`; policies must enumerate with
+    /// [`Action::enumerate`] + [`Etir::can_apply`] first.
+    pub fn apply(&self, action: &Action) -> Etir {
+        assert!(self.can_apply(action), "inapplicable action {action:?}");
+        let mut next = self.clone();
+        match *action {
+            Action::Tile { dim } => match self.cur_level {
+                0 => next.smem_tile[dim] *= 2,
+                1 => next.reg_tile[dim] *= 2,
+                _ => unreachable!(),
+            },
+            Action::InvTile { dim } => match self.cur_level {
+                0 => next.smem_tile[dim] /= 2,
+                1 => next.reg_tile[dim] /= 2,
+                _ => unreachable!(),
+            },
+            Action::TileReduce { dim } => next.reduce_tile[dim] *= 2,
+            Action::InvTileReduce { dim } => next.reduce_tile[dim] /= 2,
+            Action::Cache => next.cur_level += 1,
+            Action::SetVthread { dim } => next.vthreads[dim] *= 2,
+            Action::InvVthread { dim } => next.vthreads[dim] /= 2,
+            Action::Unroll => next.unroll *= 2,
+            Action::InvUnroll => next.unroll /= 2,
+        }
+        debug_assert_eq!(next.validate(), Ok(()));
+        next
+    }
+
+    /// Effective (extent-clamped) shared-memory tile.
+    pub fn clamped_smem_tile(&self) -> Vec<u64> {
+        self.smem_tile
+            .iter()
+            .zip(self.op.spatial_extents())
+            .map(|(&t, e)| t.min(e.next_power_of_two()))
+            .collect()
+    }
+
+    /// Display string: `smem[64,128] reg[4,8] vt[2,1] red[8] u2 @lvl1`.
+    pub fn describe(&self) -> String {
+        format!(
+            "smem{:?} reg{:?} vt{:?} red{:?} u{} @lvl{}",
+            self.smem_tile, self.reg_tile, self.vthreads, self.reduce_tile, self.unroll,
+            self.cur_level
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemm_state() -> Etir {
+        Etir::initial(OpSpec::gemm(1024, 512, 2048), &GpuSpec::rtx4090())
+    }
+
+    #[test]
+    fn initial_state_is_unscheduled() {
+        let e = gemm_state();
+        assert_eq!(e.smem_tile, vec![1, 1]);
+        assert_eq!(e.reg_tile, vec![1, 1]);
+        assert_eq!(e.vthreads, vec![1, 1]);
+        assert_eq!(e.reduce_tile, vec![1]);
+        assert_eq!(e.cur_level, 0);
+        assert_eq!(e.num_levels, 2);
+        assert!(!e.is_complete());
+        e.validate().unwrap();
+    }
+
+    #[test]
+    fn tile_grows_current_level_only() {
+        let e = gemm_state();
+        let e2 = e.apply(&Action::Tile { dim: 0 });
+        assert_eq!(e2.smem_tile, vec![2, 1]);
+        assert_eq!(e2.reg_tile, vec![1, 1]);
+        let e3 = e2.apply(&Action::Cache); // now scheduling registers
+        let e4 = e3.apply(&Action::Tile { dim: 0 });
+        assert_eq!(e4.smem_tile, vec![2, 1]);
+        assert_eq!(e4.reg_tile, vec![2, 1]);
+    }
+
+    #[test]
+    fn inv_tile_backtracks() {
+        let e = gemm_state().apply(&Action::Tile { dim: 1 });
+        let back = e.apply(&Action::InvTile { dim: 1 });
+        assert_eq!(back.smem_tile, gemm_state().smem_tile);
+    }
+
+    #[test]
+    fn reg_tile_cannot_exceed_block_tile() {
+        let mut e = gemm_state();
+        for _ in 0..3 {
+            e = e.apply(&Action::Tile { dim: 0 }); // smem_tile[0] = 8
+        }
+        e = e.apply(&Action::Cache);
+        e = e.apply(&Action::Tile { dim: 0 }); // reg 2
+        e = e.apply(&Action::Tile { dim: 0 }); // reg 4
+        e = e.apply(&Action::Tile { dim: 0 }); // reg 8 == smem tile
+        assert!(!e.can_apply(&Action::Tile { dim: 0 }));
+    }
+
+    #[test]
+    fn vthread_requires_room_in_block_tile() {
+        let mut e = gemm_state();
+        e = e.apply(&Action::Tile { dim: 0 }); // smem 2
+        e = e.apply(&Action::Cache);
+        assert!(e.can_apply(&Action::SetVthread { dim: 0 }));
+        let ev = e.apply(&Action::SetVthread { dim: 0 });
+        assert_eq!(ev.vthreads, vec![2, 1]);
+        // smem 2 = reg 1 * vt 2 * threads 1; no room for more vthreads.
+        assert!(!ev.can_apply(&Action::SetVthread { dim: 0 }));
+        assert_eq!(ev.thread_dims(), vec![1, 1]);
+    }
+
+    #[test]
+    fn vthread_only_after_first_cache() {
+        let e = gemm_state().apply(&Action::Tile { dim: 0 });
+        assert!(!e.can_apply(&Action::SetVthread { dim: 0 }));
+    }
+
+    #[test]
+    fn smem_shrink_preserves_divisibility() {
+        let mut e = gemm_state();
+        for _ in 0..2 {
+            e = e.apply(&Action::Tile { dim: 0 }); // smem 4
+        }
+        e = e.apply(&Action::Cache);
+        e = e.apply(&Action::Tile { dim: 0 }); // reg 2
+        // cur_level is 1 so InvTile now shrinks reg, not smem; force a
+        // hypothetical smem shrink check via a level-0 clone.
+        let mut lvl0 = e.clone();
+        lvl0.cur_level = 0;
+        // smem 4 / 2 = 2, reg*vt = 2 → divisible → allowed.
+        assert!(lvl0.can_apply(&Action::InvTile { dim: 0 }));
+        let shrunk = lvl0.apply(&Action::InvTile { dim: 0 });
+        // smem 2 / 2 = 1 not divisible by reg*vt = 2 → blocked.
+        assert!(!shrunk.can_apply(&Action::InvTile { dim: 0 }));
+    }
+
+    #[test]
+    fn cache_terminates_construction() {
+        let e = gemm_state().apply(&Action::Cache).apply(&Action::Cache);
+        assert!(e.is_complete());
+        assert!(!e.can_apply(&Action::Cache));
+        assert!(!e.can_apply(&Action::Tile { dim: 0 }));
+    }
+
+    #[test]
+    fn unroll_capped_at_8() {
+        let mut e = gemm_state();
+        for _ in 0..3 {
+            assert!(e.can_apply(&Action::Unroll));
+            e = e.apply(&Action::Unroll);
+        }
+        assert_eq!(e.unroll, 8);
+        assert!(!e.can_apply(&Action::Unroll));
+        assert!(e.can_apply(&Action::InvUnroll));
+    }
+
+    #[test]
+    fn thread_count_algebra() {
+        let mut e = gemm_state();
+        for _ in 0..6 {
+            e = e.apply(&Action::Tile { dim: 0 }); // smem[0]=64
+        }
+        for _ in 0..5 {
+            e = e.apply(&Action::Tile { dim: 1 }); // smem[1]=32
+        }
+        e = e.apply(&Action::Cache);
+        e = e.apply(&Action::Tile { dim: 0 }); // reg[0]=2
+        e = e.apply(&Action::SetVthread { dim: 0 }); // vt[0]=2
+        assert_eq!(e.thread_dims(), vec![64 / (2 * 2), 32]);
+        assert_eq!(e.threads_per_block(), 16 * 32);
+        assert_eq!(e.total_vthreads(), 2);
+    }
+
+    #[test]
+    fn tile_growth_capped_at_next_pow2_of_extent() {
+        let op = OpSpec::gemm(6, 8, 8); // extent 6 → cap 8
+        let mut e = Etir::initial(op, &GpuSpec::rtx4090());
+        for _ in 0..3 {
+            e = e.apply(&Action::Tile { dim: 0 });
+        }
+        assert_eq!(e.smem_tile[0], 8);
+        assert!(!e.can_apply(&Action::Tile { dim: 0 }));
+    }
+
+    #[test]
+    fn validate_catches_broken_divisibility() {
+        let mut e = gemm_state();
+        e.smem_tile = vec![4, 4];
+        e.reg_tile = vec![3, 1];
+        assert!(e.validate().is_err());
+    }
+
+    #[test]
+    fn elementwise_has_no_reduce_dims() {
+        let e = Etir::initial(OpSpec::elementwise(1 << 16, 1, 1), &GpuSpec::rtx4090());
+        assert_eq!(e.reduce_rank(), 0);
+        e.validate().unwrap();
+    }
+}

@@ -1,0 +1,19 @@
+//! Hardware models for the Gensor tensor-compilation stack.
+//!
+//! Construction tensor compilers never profile on the device while they
+//! build a schedule; instead they consult an *architecture description* —
+//! peak throughput, the memory hierarchy (capacity / latency / bandwidth per
+//! level), and the occupancy limits of the compute units. This crate is that
+//! description. The Gensor policy (`gensor` crate), the Roller baseline
+//! (`roller`) and the analytical performance simulator (`simgpu`) are all
+//! parameterised by a [`GpuSpec`].
+//!
+//! Two device presets mirror the paper's evaluation platforms
+//! ([`GpuSpec::rtx4090`] for the cloud server, [`GpuSpec::orin_nano`] for the
+//! edge device), plus a [`GpuSpec::a100`] preset used by tests to check the
+//! stack generalises across architectures.
+
+pub mod presets;
+pub mod spec;
+
+pub use spec::{GpuSpec, LevelKind, MemLevel};

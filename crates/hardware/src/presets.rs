@@ -1,0 +1,245 @@
+//! Device presets for the paper's evaluation platforms.
+//!
+//! Numbers come from public datasheets / whitepapers. Latencies are the
+//! usual microbenchmark ballparks (Jia et al.-style dissections); the stack
+//! only depends on their *ordering and ratios*, not the exact cycle counts.
+
+use crate::spec::{GpuSpec, LevelKind, MemLevel};
+
+impl GpuSpec {
+    /// NVIDIA GeForce RTX 4090 (AD102) — the paper's cloud-server GPU.
+    ///
+    /// 128 SMs @ ~2.52 GHz boost, 82.6 TFLOPS FP32 peak, 24 GB GDDR6X at
+    /// ~1008 GB/s, 72 MB L2, 128 KB shared memory per SM (100 KB usable by
+    /// one block on Ada).
+    pub fn rtx4090() -> GpuSpec {
+        GpuSpec {
+            name: "NVIDIA RTX 4090".into(),
+            num_sms: 128,
+            clock_ghz: 2.52,
+            peak_fp32_gflops: 82_580.0,
+            warp_size: 32,
+            max_threads_per_sm: 1536,
+            max_threads_per_block: 1024,
+            max_blocks_per_sm: 24,
+            regs_per_sm: 65_536,
+            max_regs_per_thread: 255,
+            max_smem_per_block: 100 * 1024,
+            kernel_launch_overhead_us: 3.0,
+            levels: vec![
+                MemLevel {
+                    kind: LevelKind::Dram,
+                    name: "GDDR6X".into(),
+                    capacity_bytes: 24 * (1 << 30),
+                    latency_ns: 420.0,
+                    bandwidth_bytes_per_us: 1_008_000.0, // 1008 GB/s
+                    banks: 0,
+                    bank_width_bytes: 0,
+                },
+                MemLevel {
+                    kind: LevelKind::L2,
+                    name: "L2".into(),
+                    capacity_bytes: 72 * (1 << 20),
+                    latency_ns: 230.0,
+                    bandwidth_bytes_per_us: 5_000_000.0, // ~5 TB/s
+                    banks: 0,
+                    bank_width_bytes: 0,
+                },
+                MemLevel {
+                    kind: LevelKind::Shared,
+                    name: "SMEM".into(),
+                    capacity_bytes: 128 * 1024,
+                    latency_ns: 25.0,
+                    // 128 B/clock/SM × 128 SMs × 2.52 GHz ≈ 41.3 TB/s.
+                    bandwidth_bytes_per_us: 41_300_000.0,
+                    banks: 32,
+                    bank_width_bytes: 4,
+                },
+                MemLevel {
+                    kind: LevelKind::Register,
+                    name: "REG".into(),
+                    capacity_bytes: 255 * 4, // per-thread
+                    latency_ns: 0.4,
+                    bandwidth_bytes_per_us: 330_000_000.0,
+                    banks: 0,
+                    bank_width_bytes: 0,
+                },
+            ],
+        }
+    }
+
+    /// NVIDIA Jetson Orin Nano 8 GB — the paper's edge GPU.
+    ///
+    /// Ampere iGPU with 1024 CUDA cores (8 SMs) at ~625 MHz (15 W mode),
+    /// ~1.28 TFLOPS FP32, shared LPDDR5 at 68 GB/s, 2 MB L2, 164 KB
+    /// shared-memory carve-out per SM.
+    pub fn orin_nano() -> GpuSpec {
+        GpuSpec {
+            name: "NVIDIA Orin Nano".into(),
+            num_sms: 8,
+            clock_ghz: 0.625,
+            peak_fp32_gflops: 1_280.0,
+            warp_size: 32,
+            max_threads_per_sm: 1536,
+            max_threads_per_block: 1024,
+            max_blocks_per_sm: 16,
+            regs_per_sm: 65_536,
+            max_regs_per_thread: 255,
+            max_smem_per_block: 100 * 1024,
+            kernel_launch_overhead_us: 8.0, // slower host interface
+            levels: vec![
+                MemLevel {
+                    kind: LevelKind::Dram,
+                    name: "LPDDR5".into(),
+                    capacity_bytes: 8 * (1 << 30),
+                    latency_ns: 550.0,
+                    bandwidth_bytes_per_us: 68_000.0, // 68 GB/s
+                    banks: 0,
+                    bank_width_bytes: 0,
+                },
+                MemLevel {
+                    kind: LevelKind::L2,
+                    name: "L2".into(),
+                    capacity_bytes: 2 * (1 << 20),
+                    latency_ns: 260.0,
+                    bandwidth_bytes_per_us: 400_000.0, // ~0.4 TB/s
+                    banks: 0,
+                    bank_width_bytes: 0,
+                },
+                MemLevel {
+                    kind: LevelKind::Shared,
+                    name: "SMEM".into(),
+                    capacity_bytes: 164 * 1024,
+                    latency_ns: 29.0,
+                    // 128 B/clock/SM × 8 SMs × 0.625 GHz ≈ 0.64 TB/s.
+                    bandwidth_bytes_per_us: 640_000.0,
+                    banks: 32,
+                    bank_width_bytes: 4,
+                },
+                MemLevel {
+                    kind: LevelKind::Register,
+                    name: "REG".into(),
+                    capacity_bytes: 255 * 4,
+                    latency_ns: 1.6,
+                    bandwidth_bytes_per_us: 5_120_000.0,
+                    banks: 0,
+                    bank_width_bytes: 0,
+                },
+            ],
+        }
+    }
+
+    /// NVIDIA A100-SXM4-40GB — not in the paper; used by tests to check the
+    /// stack is not over-fit to the two evaluation devices.
+    pub fn a100() -> GpuSpec {
+        GpuSpec {
+            name: "NVIDIA A100".into(),
+            num_sms: 108,
+            clock_ghz: 1.41,
+            peak_fp32_gflops: 19_500.0,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_threads_per_block: 1024,
+            max_blocks_per_sm: 32,
+            regs_per_sm: 65_536,
+            max_regs_per_thread: 255,
+            max_smem_per_block: 163 * 1024,
+            kernel_launch_overhead_us: 3.5,
+            levels: vec![
+                MemLevel {
+                    kind: LevelKind::Dram,
+                    name: "HBM2e".into(),
+                    capacity_bytes: 40 * (1 << 30),
+                    latency_ns: 480.0,
+                    bandwidth_bytes_per_us: 1_555_000.0,
+                    banks: 0,
+                    bank_width_bytes: 0,
+                },
+                MemLevel {
+                    kind: LevelKind::L2,
+                    name: "L2".into(),
+                    capacity_bytes: 40 * (1 << 20),
+                    latency_ns: 200.0,
+                    bandwidth_bytes_per_us: 4_500_000.0,
+                    banks: 0,
+                    bank_width_bytes: 0,
+                },
+                MemLevel {
+                    kind: LevelKind::Shared,
+                    name: "SMEM".into(),
+                    capacity_bytes: 164 * 1024,
+                    latency_ns: 27.0,
+                    bandwidth_bytes_per_us: 19_500_000.0,
+                    banks: 32,
+                    bank_width_bytes: 4,
+                },
+                MemLevel {
+                    kind: LevelKind::Register,
+                    name: "REG".into(),
+                    capacity_bytes: 255 * 4,
+                    latency_ns: 0.7,
+                    bandwidth_bytes_per_us: 156_000_000.0,
+                    banks: 0,
+                    bank_width_bytes: 0,
+                },
+            ],
+        }
+    }
+
+    /// All presets, for data-driven tests.
+    pub fn all_presets() -> Vec<GpuSpec> {
+        vec![GpuSpec::rtx4090(), GpuSpec::orin_nano(), GpuSpec::a100()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        for spec in GpuSpec::all_presets() {
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", spec.name));
+        }
+    }
+
+    #[test]
+    fn server_is_faster_than_edge_everywhere() {
+        let server = GpuSpec::rtx4090();
+        let edge = GpuSpec::orin_nano();
+        assert!(server.peak_fp32_gflops > 10.0 * edge.peak_fp32_gflops);
+        assert!(
+            server.level(LevelKind::Dram).bandwidth_bytes_per_us
+                > edge.level(LevelKind::Dram).bandwidth_bytes_per_us
+        );
+        assert!(server.num_sms > edge.num_sms);
+    }
+
+    #[test]
+    fn presets_have_two_schedulable_levels() {
+        for spec in GpuSpec::all_presets() {
+            assert_eq!(spec.num_schedulable_levels(), 2, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn smem_banks_modelled() {
+        for spec in GpuSpec::all_presets() {
+            let smem = spec.level(LevelKind::Shared);
+            assert_eq!(smem.banks, 32);
+            assert_eq!(smem.bank_width_bytes, 4);
+        }
+    }
+
+    #[test]
+    fn rtx4090_roofline_ridge_is_compute_heavy() {
+        // FLOP:byte ridge point of the 4090 should be ~80, i.e. GEMMs need
+        // large tiles before they become compute-bound — the regime where
+        // scheduling quality matters.
+        let s = GpuSpec::rtx4090();
+        let ridge =
+            s.peak_fp32_gflops / (s.level(LevelKind::Dram).bandwidth_bytes_per_us / 1000.0);
+        assert!(ridge > 50.0 && ridge < 120.0, "ridge = {ridge}");
+    }
+}

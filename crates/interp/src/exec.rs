@@ -1,0 +1,318 @@
+//! The scheduled executor: runs an [`etir::Etir`] with its exact blocked
+//! loop structure.
+//!
+//! Loop order mirrors `etir::lower`: grid blocks → staged reduction steps →
+//! virtual-thread groups → physical threads → register tile → reduction
+//! elements within the step. Within a block tile, the spatial offset along
+//! dimension `i` decomposes as
+//!
+//! ```text
+//! local_i = (vthread_i · threads_i + thread_i) · reg_i + r_i
+//! ```
+//!
+//! which is a bijection onto `[0, smem_tile_i)` thanks to the ETIR
+//! divisibility invariant — the executor asserts full coverage in debug
+//! builds. Out-of-extent lanes (ragged tiles) and out-of-window taps
+//! (conv/pool padding) are masked exactly as the generated CUDA masks them.
+
+use crate::reference::for_each_point;
+use crate::semantics::{combine, finalize, input_coords};
+use crate::tensor::{output_shape, Tensor};
+use etir::{Etir, LoopNest};
+
+/// Execute the scheduled program `e` on `inputs`.
+///
+/// Panics if the number or shapes of `inputs` do not match `e.op` (this is
+/// an executor for tests and examples, not a user-facing API boundary).
+pub fn execute_scheduled(e: &Etir, inputs: &[Tensor]) -> Tensor {
+    let nest = LoopNest::from_etir(e);
+    let op = &e.op;
+    let sp_ext = op.spatial_extents();
+    let rd_ext = op.reduce_extents();
+    let expected_shapes = crate::tensor::input_shapes(op);
+    assert_eq!(inputs.len(), expected_shapes.len(), "wrong input count");
+    for (t, s) in inputs.iter().zip(&expected_shapes) {
+        assert_eq!(&t.shape, s, "input shape mismatch");
+    }
+
+    let mut out = Tensor::zeros(output_shape(op));
+    let rank = sp_ext.len();
+    let block_volume: u64 = nest.smem_tile.iter().product();
+
+    // Reduce-space iteration bounds; degenerate to a single step when the
+    // operator has no reduce axes.
+    let rd_steps: Vec<u64> = if rd_ext.is_empty() { vec![1] } else { nest.reduce_steps.clone() };
+    let rd_tile: Vec<u64> = if rd_ext.is_empty() { vec![1] } else { nest.reduce_tile.clone() };
+
+    let mut vals = vec![0.0f32; inputs.len()];
+    let mut global_sp = vec![0u64; rank];
+    let mut global_rd = vec![0u64; rd_ext.len()];
+
+    for_each_point(&nest.grid, |block| {
+        // Per-block accumulators, one per block-tile cell (padded cells are
+        // simply never touched).
+        let mut acc = vec![0.0f32; block_volume as usize];
+        #[cfg(debug_assertions)]
+        let mut covered = vec![false; block_volume as usize];
+
+        for_each_point(&rd_steps, |step| {
+            for_each_point(&nest.vthreads, |vt| {
+                for_each_point(&nest.thread_dims, |th| {
+                    for_each_point(&nest.reg_tile, |rg| {
+                        // Local offset within the block tile, per dim.
+                        let mut local_flat = 0u64;
+                        let mut in_range = true;
+                        for i in 0..rank {
+                            let local = (vt[i] * nest.thread_dims[i] + th[i]) * nest.reg_tile[i]
+                                + rg[i];
+                            debug_assert!(local < nest.smem_tile[i]);
+                            local_flat = local_flat * nest.smem_tile[i] + local;
+                            let g = block[i] * nest.smem_tile[i] + local;
+                            if g >= sp_ext[i] {
+                                in_range = false;
+                                break;
+                            }
+                            global_sp[i] = g;
+                        }
+                        if !in_range {
+                            return;
+                        }
+                        #[cfg(debug_assertions)]
+                        {
+                            covered[local_flat as usize] = true;
+                        }
+                        // Fold the reduction elements of this step.
+                        for_each_point(&rd_tile, |rr| {
+                            let mut rd_ok = true;
+                            for (j, &ext) in rd_ext.iter().enumerate() {
+                                let g = step[j] * nest.reduce_tile[j] + rr[j];
+                                if g >= ext {
+                                    rd_ok = false;
+                                    break;
+                                }
+                                global_rd[j] = g;
+                            }
+                            if !rd_ok {
+                                return;
+                            }
+                            for (i, t) in inputs.iter().enumerate() {
+                                vals[i] = match input_coords(op, i, &global_sp, &global_rd) {
+                                    Some(c) => t.get(&c),
+                                    None => 0.0,
+                                };
+                            }
+                            acc[local_flat as usize] += combine(op, &vals);
+                        });
+                    });
+                });
+            });
+        });
+
+        // Epilogue: write finalized accumulators back to global memory,
+        // skipping padded lanes.
+        let mut write_sp = vec![0u64; rank];
+        for_each_point(&nest.smem_tile, |local| {
+            let mut ok = true;
+            let mut flat = 0u64;
+            for i in 0..rank {
+                flat = flat * nest.smem_tile[i] + local[i];
+                let g = block[i] * nest.smem_tile[i] + local[i];
+                if g >= sp_ext[i] {
+                    ok = false;
+                    break;
+                }
+                write_sp[i] = g;
+            }
+            if ok {
+                #[cfg(debug_assertions)]
+                debug_assert!(
+                    covered[flat as usize],
+                    "vthread/thread/reg decomposition missed local cell {flat}"
+                );
+                out.set(&write_sp, finalize(op, acc[flat as usize]));
+            }
+        });
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_schedule;
+    use etir::Action;
+    use hardware::GpuSpec;
+    use tensor_expr::OpSpec;
+
+    fn apply_seq(mut e: Etir, actions: &[Action]) -> Etir {
+        for a in actions {
+            if e.can_apply(a) {
+                e = e.apply(a);
+            }
+        }
+        e
+    }
+
+    #[test]
+    fn unscheduled_gemm_matches_reference() {
+        let spec = GpuSpec::rtx4090();
+        let e = Etir::initial(OpSpec::gemm(9, 7, 11), &spec);
+        check_schedule(&e);
+    }
+
+    #[test]
+    fn tiled_gemm_matches_reference() {
+        let spec = GpuSpec::rtx4090();
+        let e = Etir::initial(OpSpec::gemm(32, 16, 24), &spec);
+        let e = apply_seq(
+            e,
+            &[
+                Action::Tile { dim: 0 },
+                Action::Tile { dim: 0 },
+                Action::Tile { dim: 0 }, // smem m = 8
+                Action::Tile { dim: 1 },
+                Action::Tile { dim: 1 }, // smem n = 4
+                Action::TileReduce { dim: 0 },
+                Action::TileReduce { dim: 0 }, // k tile 4
+                Action::Cache,
+                Action::Tile { dim: 0 }, // reg m = 2
+                Action::SetVthread { dim: 0 },
+                Action::SetVthread { dim: 1 },
+            ],
+        );
+        assert_eq!(e.vthreads, vec![2, 2]);
+        check_schedule(&e);
+    }
+
+    #[test]
+    fn ragged_gemm_tiles_are_masked() {
+        // 13x10x9 with 8-wide tiles: every dim is ragged.
+        let spec = GpuSpec::rtx4090();
+        let e = Etir::initial(OpSpec::gemm(13, 10, 9), &spec);
+        let e = apply_seq(
+            e,
+            &[
+                Action::Tile { dim: 0 },
+                Action::Tile { dim: 0 },
+                Action::Tile { dim: 0 },
+                Action::Tile { dim: 1 },
+                Action::Tile { dim: 1 },
+                Action::TileReduce { dim: 0 },
+                Action::TileReduce { dim: 0 },
+                Action::Cache,
+                Action::Tile { dim: 1 },
+            ],
+        );
+        check_schedule(&e);
+    }
+
+    #[test]
+    fn conv_with_padding_and_stride_matches() {
+        let spec = GpuSpec::rtx4090();
+        let op = OpSpec::conv2d(2, 3, 9, 9, 4, 3, 3, 2, 1);
+        let e = Etir::initial(op, &spec);
+        let e = apply_seq(
+            e,
+            &[
+                Action::Tile { dim: 1 },
+                Action::Tile { dim: 1 }, // oc tile 4
+                Action::Tile { dim: 2 },
+                Action::Tile { dim: 3 }, // 2x2 output window
+                Action::TileReduce { dim: 0 },
+                Action::TileReduce { dim: 1 },
+                Action::Cache,
+                Action::Tile { dim: 2 },
+                Action::SetVthread { dim: 1 },
+            ],
+        );
+        check_schedule(&e);
+    }
+
+    #[test]
+    fn pool_matches() {
+        let spec = GpuSpec::rtx4090();
+        let op = OpSpec::avg_pool2d(2, 5, 12, 12, 3, 2);
+        let e = Etir::initial(op, &spec);
+        let e = apply_seq(
+            e,
+            &[
+                Action::Tile { dim: 1 },
+                Action::Tile { dim: 2 },
+                Action::Tile { dim: 2 },
+                Action::Tile { dim: 3 },
+                Action::TileReduce { dim: 0 },
+                Action::Cache,
+                Action::Tile { dim: 2 },
+            ],
+        );
+        check_schedule(&e);
+    }
+
+    #[test]
+    fn gemv_matches() {
+        let spec = GpuSpec::rtx4090();
+        let e = Etir::initial(OpSpec::gemv(33, 17), &spec);
+        let e = apply_seq(
+            e,
+            &[
+                Action::Tile { dim: 0 },
+                Action::Tile { dim: 0 },
+                Action::Tile { dim: 0 }, // m tile 8
+                Action::TileReduce { dim: 0 },
+                Action::TileReduce { dim: 0 },
+                Action::Cache,
+                Action::Tile { dim: 0 },
+                Action::SetVthread { dim: 0 },
+            ],
+        );
+        check_schedule(&e);
+    }
+
+    #[test]
+    fn elementwise_matches() {
+        let spec = GpuSpec::rtx4090();
+        let e = Etir::initial(OpSpec::elementwise(100, 2, 1), &spec);
+        let e = apply_seq(
+            e,
+            &[
+                Action::Tile { dim: 0 },
+                Action::Tile { dim: 0 },
+                Action::Tile { dim: 0 },
+                Action::Tile { dim: 0 }, // tile 16 over 100 → ragged
+                Action::Cache,
+                Action::Tile { dim: 0 },
+            ],
+        );
+        check_schedule(&e);
+    }
+
+    #[test]
+    fn every_walk_prefix_of_a_random_schedule_is_correct() {
+        // Walk a fixed action sequence on a small GEMM, checking semantics
+        // after every transition — the property Gensor's graph traversal
+        // relies on.
+        let spec = GpuSpec::rtx4090();
+        let mut e = Etir::initial(OpSpec::gemm(24, 12, 20), &spec);
+        let seq = [
+            Action::Tile { dim: 0 },
+            Action::TileReduce { dim: 0 },
+            Action::Tile { dim: 1 },
+            Action::Tile { dim: 0 },
+            Action::Unroll,
+            Action::Tile { dim: 1 },
+            Action::InvTile { dim: 1 },
+            Action::Cache,
+            Action::Tile { dim: 0 },
+            Action::SetVthread { dim: 1 },
+            Action::Tile { dim: 1 },
+            Action::Cache,
+        ];
+        check_schedule(&e);
+        for a in seq {
+            if e.can_apply(&a) {
+                e = e.apply(&a);
+                check_schedule(&e);
+            }
+        }
+    }
+}

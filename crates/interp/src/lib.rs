@@ -1,0 +1,57 @@
+//! `interp` — a CPU reference executor for scheduled tensor programs.
+//!
+//! The paper's stack generates CUDA and checks results on the device
+//! ("while ensuring the correctness of calculation", §V-A). This repository
+//! cannot run CUDA, so correctness is established here instead: an
+//! [`etir::Etir`] schedule is lowered to its exact blocked loop structure —
+//! grid blocks, staged reduction steps, virtual-thread groups, physical
+//! threads, register tiles, padding masks — and *executed* on the CPU. The
+//! result is compared against a naive direct evaluation of the operator.
+//!
+//! What this validates is precisely the part a schedule can break: that the
+//! tiled/strip-mined iteration covers every output point exactly once, that
+//! ragged (padded) lanes are masked, that conv/pool halo arithmetic indexes
+//! the right input elements, and that virtual-thread decomposition is a
+//! partition. What it deliberately does not validate is performance — that
+//! is `simgpu`'s job.
+
+pub mod exec;
+pub mod reference;
+pub mod semantics;
+pub mod staged;
+pub mod tensor;
+
+pub use exec::execute_scheduled;
+pub use reference::execute_reference;
+pub use staged::execute_gemm_staged;
+pub use tensor::Tensor;
+
+/// Compare two tensors elementwise with relative tolerance.
+///
+/// Returns the first mismatching flat index, if any.
+pub fn mismatch(a: &Tensor, b: &Tensor, rel_tol: f32) -> Option<usize> {
+    assert_eq!(a.shape, b.shape, "shape mismatch");
+    a.data.iter().zip(&b.data).position(|(&x, &y)| {
+        let scale = x.abs().max(y.abs()).max(1.0);
+        (x - y).abs() > rel_tol * scale
+    })
+}
+
+/// Convenience: run both executors on deterministic data and assert equality.
+///
+/// Panics with a diagnostic on mismatch; used pervasively by tests across
+/// the workspace.
+pub fn check_schedule(e: &etir::Etir) {
+    let inputs = tensor::make_inputs(&e.op, 7);
+    let want = execute_reference(&e.op, &inputs);
+    let got = execute_scheduled(e, &inputs);
+    if let Some(idx) = mismatch(&want, &got, 1e-4) {
+        panic!(
+            "schedule {} computes wrong value for {} at flat index {idx}: want {}, got {}",
+            e.describe(),
+            e.op.label(),
+            want.data[idx],
+            got.data[idx]
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Dynamic-shape workloads (paper Fig. 11): BERT-small across sequence
+//! lengths.
+
+use crate::graph::ModelGraph;
+use crate::pipeline::{compile_model, CompiledModel};
+use crate::zoo::bert_small;
+use hardware::GpuSpec;
+use search::DietCode;
+use simgpu::Tuner;
+
+/// The Fig. 11 sequence-length sweep.
+pub const DYNAMIC_SEQ_LENS: [u64; 5] = [64, 128, 256, 384, 512];
+
+/// Per-shape results of one method on the dynamic BERT workload.
+#[derive(Debug, Clone)]
+pub struct DynamicResult {
+    /// Method name.
+    pub method: String,
+    /// One compiled model per sequence length.
+    pub per_shape: Vec<CompiledModel>,
+    /// Total optimization latency across all shapes, seconds.
+    pub total_tuning_s: f64,
+}
+
+impl DynamicResult {
+    /// Throughput (sequences/s) for each shape.
+    pub fn throughputs(&self) -> Vec<f64> {
+        self.per_shape.iter().map(|m| m.throughput).collect()
+    }
+}
+
+/// Run a per-shape tuner over the dynamic workload: every sequence length
+/// is a fresh compile task (what Gensor/Roller/PyTorch do).
+pub fn run_per_shape(tuner: &dyn Tuner, batch: u64, spec: &GpuSpec) -> DynamicResult {
+    let per_shape: Vec<CompiledModel> = DYNAMIC_SEQ_LENS
+        .iter()
+        .map(|&s| compile_model(tuner, &bert_small(batch, s), spec))
+        .collect();
+    let total_tuning_s = per_shape.iter().map(|m| m.tuning_s).sum();
+    DynamicResult { method: tuner.name().to_string(), per_shape, total_tuning_s }
+}
+
+/// Run DietCode: one joint tuning pass per operator *family* (the same
+/// layer across all sequence lengths shares a micro-kernel).
+pub fn run_dietcode(dc: &DietCode, batch: u64, spec: &GpuSpec) -> DynamicResult {
+    let graphs: Vec<ModelGraph> = DYNAMIC_SEQ_LENS
+        .iter()
+        .map(|&s| bert_small(batch, s))
+        .collect();
+    // Families: i-th fused layer across all graphs (the zoo builds the
+    // same layer list for every seq length).
+    let n_layers = graphs[0].fused_layers().count();
+    let mut per_shape_time = vec![0.0f64; graphs.len()];
+    let mut total_tuning_s = 0.0;
+    let mut per_shape_kernels: Vec<Vec<(String, simgpu::CompiledKernel, u32)>> =
+        vec![Vec::new(); graphs.len()];
+    for li in 0..n_layers {
+        let family: Vec<_> = graphs
+            .iter()
+            .map(|g| g.fused_layers().nth(li).expect("same layer list").clone())
+            .collect();
+        let ops: Vec<_> = family.iter().map(|l| l.op.clone()).collect();
+        let kernels = dc.compile_family(&ops, spec);
+        for (si, k) in kernels.into_iter().enumerate() {
+            total_tuning_s += k.total_tuning_s();
+            per_shape_time[si] += k.report.time_us * family[si].count as f64;
+            per_shape_kernels[si].push((family[si].name.clone(), k, family[si].count));
+        }
+    }
+    let per_shape: Vec<CompiledModel> = graphs
+        .iter()
+        .zip(per_shape_time)
+        .zip(per_shape_kernels)
+        .map(|((g, t), kernels)| CompiledModel {
+            model: g.name.clone(),
+            method: "DietCode".into(),
+            kernels,
+            pass_time_us: t,
+            tuning_s: 0.0, // family cost reported at the result level
+            throughput: g.batch as f64 / (t / 1e6),
+        })
+        .collect();
+    DynamicResult { method: "DietCode".into(), per_shape, total_tuning_s }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gensor::Gensor;
+    use roller::Roller;
+
+    #[test]
+    fn per_shape_sweep_covers_all_lengths() {
+        let spec = GpuSpec::rtx4090();
+        let res = run_per_shape(&Roller::default(), 8, &spec);
+        assert_eq!(res.per_shape.len(), DYNAMIC_SEQ_LENS.len());
+        // Longer sequences take longer.
+        let t: Vec<f64> = res.per_shape.iter().map(|m| m.pass_time_us).collect();
+        assert!(t.windows(2).all(|w| w[1] > w[0]), "{t:?}");
+    }
+
+    #[test]
+    fn gensor_beats_roller_on_dynamic_bert() {
+        // Fig. 11: Gensor ≈ 1.17× Roller on average across shapes.
+        let spec = GpuSpec::rtx4090();
+        let g = run_per_shape(&Gensor::default(), 8, &spec);
+        let r = run_per_shape(&Roller::default(), 8, &spec);
+        let avg: f64 = g
+            .per_shape
+            .iter()
+            .zip(&r.per_shape)
+            .map(|(a, b)| a.speedup_over(b))
+            .sum::<f64>()
+            / g.per_shape.len() as f64;
+        assert!(avg > 1.0, "avg speedup {avg:.3}");
+    }
+
+    #[test]
+    fn dietcode_tunes_cheaper_but_runs_slower_than_gensor() {
+        // Fig. 11's trade-off: DietCode's joint tuning is cheaper than
+        // Gensor's per-shape tuning *per simulated clock*, but its shared
+        // schedules reach only a fraction of Gensor's throughput.
+        let spec = GpuSpec::rtx4090();
+        let dc = run_dietcode(&DietCode { trials: 500, ..DietCode::default() }, 8, &spec);
+        let gen = run_per_shape(&Gensor::default(), 8, &spec);
+        let rel: Vec<f64> = dc
+            .throughputs()
+            .iter()
+            .zip(gen.throughputs())
+            .map(|(d, g)| d / g)
+            .collect();
+        let avg = rel.iter().sum::<f64>() / rel.len() as f64;
+        assert!(
+            (0.5..=1.05).contains(&avg),
+            "DietCode should trail Gensor moderately: {avg:.3} ({rel:?})"
+        );
+    }
+}

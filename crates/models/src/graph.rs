@@ -1,0 +1,112 @@
+//! Operator-graph representation for end-to-end workloads.
+
+use serde::{Deserialize, Serialize};
+use tensor_expr::OpSpec;
+
+/// One layer kind with a repeat count (identical shapes are folded — the
+/// compiler tunes each unique shape once, exactly as a real deployment
+/// caches kernels per shape).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Display name, e.g. `"conv2_x.3x3"`.
+    pub name: String,
+    /// The operator instance.
+    pub op: OpSpec,
+    /// How many times this exact shape executes per forward pass.
+    pub count: u32,
+}
+
+/// A model = a bag of layers plus metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelGraph {
+    /// Model name, e.g. `"ResNet-50"`.
+    pub name: String,
+    /// Batch size the shapes were instantiated with.
+    pub batch: u64,
+    /// Layers in execution order (with repeat counts).
+    pub layers: Vec<Layer>,
+}
+
+impl ModelGraph {
+    /// Construct with folding: layers with identical ops are merged.
+    pub fn new(name: &str, batch: u64, layers: Vec<Layer>) -> ModelGraph {
+        let mut folded: Vec<Layer> = Vec::new();
+        for l in layers {
+            if let Some(existing) = folded.iter_mut().find(|f| f.op == l.op) {
+                existing.count += l.count;
+            } else {
+                folded.push(l);
+            }
+        }
+        ModelGraph { name: name.to_string(), batch, layers: folded }
+    }
+
+    /// Total forward-pass FLOPs.
+    pub fn total_flops(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(|l| l.op.flops() * l.count as f64)
+            .sum()
+    }
+
+    /// Number of unique operator shapes (== compile tasks).
+    pub fn unique_ops(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total kernel launches per forward pass.
+    pub fn total_launches(&self) -> u64 {
+        self.layers.iter().map(|l| l.count as u64).sum()
+    }
+
+    /// Layers excluding standalone elementwise ops (what a fusing compiler
+    /// actually launches).
+    pub fn fused_layers(&self) -> impl Iterator<Item = &Layer> {
+        self.layers
+            .iter()
+            .filter(|l| !matches!(l.op, OpSpec::Elementwise { .. }))
+    }
+}
+
+/// Convenience constructor.
+pub fn layer(name: &str, op: OpSpec, count: u32) -> Layer {
+    Layer { name: name.to_string(), op, count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_shapes_fold() {
+        let op = OpSpec::gemm(64, 64, 64);
+        let g = ModelGraph::new(
+            "toy",
+            1,
+            vec![layer("a", op.clone(), 2), layer("b", op.clone(), 3)],
+        );
+        assert_eq!(g.unique_ops(), 1);
+        assert_eq!(g.layers[0].count, 5);
+        assert_eq!(g.total_launches(), 5);
+    }
+
+    #[test]
+    fn flops_scale_with_count() {
+        let op = OpSpec::gemm(64, 64, 64);
+        let g = ModelGraph::new("toy", 1, vec![layer("a", op.clone(), 4)]);
+        assert_eq!(g.total_flops(), 4.0 * op.flops());
+    }
+
+    #[test]
+    fn fused_layers_skip_elementwise() {
+        let g = ModelGraph::new(
+            "toy",
+            1,
+            vec![
+                layer("gemm", OpSpec::gemm(8, 8, 8), 1),
+                layer("relu", OpSpec::elementwise(64, 1, 1), 1),
+            ],
+        );
+        assert_eq!(g.fused_layers().count(), 1);
+    }
+}

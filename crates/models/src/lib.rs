@@ -1,0 +1,24 @@
+//! `models` — the end-to-end DNN workloads of the paper's §V-C evaluation.
+//!
+//! Provides:
+//! * [`graph`] — a minimal operator-graph representation (layers with
+//!   repeat counts).
+//! * [`zoo`] — the paper's four evaluation models (BERT-small, ResNet-50,
+//!   MobileNetV2, GPT-2) plus ResNet-34 for Fig. 10, with layer shapes
+//!   reconstructed from the public architectures.
+//! * [`pipeline`] — the compile-and-run pipeline: every unique operator is
+//!   compiled with a [`simgpu::Tuner`], end-to-end latency is the sum of
+//!   per-kernel simulated times (compiled stacks fuse standalone
+//!   elementwise ops into their producers; the eager baseline launches and
+//!   pays dispatch for each).
+//! * [`dynamic`] — the dynamic-shape BERT workload of Fig. 11.
+//! * [`timeline`] — the optimize/infer interleaving scenario of Fig. 12.
+
+pub mod dynamic;
+pub mod graph;
+pub mod pipeline;
+pub mod timeline;
+pub mod zoo;
+
+pub use graph::{Layer, ModelGraph};
+pub use pipeline::{compile_model, CompiledModel};

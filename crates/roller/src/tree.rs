@@ -1,0 +1,281 @@
+//! The greedy scale-up tree traversal.
+
+use etir::analytics::{MemCheck, ScheduleStats};
+use etir::{Action, Etir};
+use hardware::GpuSpec;
+use simgpu::{pick_best, CompiledKernel, Tuner};
+use std::time::Instant;
+use tensor_expr::OpSpec;
+
+/// Largest register-tile area per thread Roller plans for; block tiles are
+/// bounded so that a fully register-tiled block still fits the thread
+/// limit (the rTile alignment constraint of the original system).
+const MAX_REG_AREA: u64 = 64;
+
+/// The Roller baseline tuner.
+#[derive(Debug, Clone)]
+pub struct Roller {
+    /// Reduce-axis staging alignment (elements): Roller aligns the rTile's
+    /// reduction extent to the memory transaction granularity instead of
+    /// optimizing it.
+    pub reduce_align: u64,
+    /// Unroll factor applied to finished programs (pipeline alignment).
+    pub unroll: u64,
+}
+
+impl Default for Roller {
+    fn default() -> Self {
+        Roller { reduce_align: 8, unroll: 4 }
+    }
+}
+
+/// Step-by-step record of one construction run (for the compile-time
+/// experiments and for tests).
+#[derive(Debug, Clone)]
+pub struct RollerTrace {
+    /// States visited along the single greedy path.
+    pub path: Vec<Etir>,
+    /// The candidate snapshots handed to the final pick (the rProgs).
+    pub candidates: Vec<Etir>,
+}
+
+impl Roller {
+    /// Run the greedy tree construction, returning the trace.
+    pub fn construct(&self, op: &OpSpec, spec: &GpuSpec) -> RollerTrace {
+        let mut e = Etir::initial(op.clone(), spec);
+        let mut path = vec![e.clone()];
+        let mut candidates = Vec::new();
+
+        // Pre-step: align the reduction staging tile and the innermost
+        // (contiguous) spatial dimension to the transaction granularity
+        // (rTile alignment), capacity permitting.
+        for d in 0..e.reduce_rank() {
+            while e.reduce_tile[d] < self.reduce_align {
+                let a = Action::TileReduce { dim: d };
+                if !e.can_apply(&a) {
+                    break;
+                }
+                let next = e.apply(&a);
+                if !MemCheck::check_capacity(&next, spec).fits() {
+                    break;
+                }
+                e = next;
+            }
+        }
+        let innermost = e.spatial_rank() - 1;
+        while e.smem_tile[innermost] < self.reduce_align {
+            let a = Action::Tile { dim: innermost };
+            if !e.can_apply(&a) {
+                break;
+            }
+            let next = e.apply(&a);
+            if !MemCheck::check_capacity(&next, spec).fits() {
+                break;
+            }
+            e = next;
+        }
+        path.push(e.clone());
+
+        // Block tiles are bounded so a fully register-tiled block can still
+        // launch: the thread count after register tiling must respect both
+        // the block thread limit and the SM register file (a MAX_REG_AREA
+        // accumulator tile costs ≈ area + 2·√area + overhead registers).
+        let regs_for_max_tile = MAX_REG_AREA + 2 * (MAX_REG_AREA as f64).sqrt() as u64 + 16;
+        let max_threads = (spec.max_threads_per_block as u64)
+            .min(spec.regs_per_sm as u64 / regs_for_max_tile);
+        let max_block_area = max_threads * MAX_REG_AREA;
+
+        while !e.is_complete() {
+            // Greedy scale-up at the current level: grow the spatial dim
+            // with the best traffic reduction (the single objective).
+            loop {
+                let cur_q = ScheduleStats::compute(&e).traffic_at_level(e.cur_level);
+                let mut best: Option<(f64, Etir)> = None;
+                for d in 0..e.spatial_rank() {
+                    let a = Action::Tile { dim: d };
+                    if !e.can_apply(&a) {
+                        continue;
+                    }
+                    let next = e.apply(&a);
+                    if !MemCheck::check_capacity(&next, spec).fits() {
+                        continue;
+                    }
+                    if e.cur_level == 0 {
+                        let area: u64 = next.clamped_smem_tile().iter().product();
+                        if area > max_block_area {
+                            continue;
+                        }
+                    }
+                    let q = ScheduleStats::compute(&next).traffic_at_level(e.cur_level);
+                    // Inner-dim epsilon ladder: among equal-reuse growths,
+                    // widen the more-contiguous dimension first (coalescing
+                    // alignment of the rTile).
+                    let tie_break = 1e-7 * (d + 1) as f64;
+                    let reuse_gain = cur_q / q.max(1.0) + tie_break;
+                    let better = match &best {
+                        Some((g, _)) => reuse_gain > *g,
+                        None => true,
+                    };
+                    if better {
+                        best = Some((reuse_gain, next));
+                    }
+                }
+                // rTile alignment beyond strict reuse gains:
+                //  * level 0 — even without a traffic gain (non-overlapping
+                //    pooling windows, 1×1 convs) the rTile is padded until
+                //    the block has enough parallelism to occupy the SM;
+                //  * level 1 — register tiles must grow until the implied
+                //    thread count is launchable (scale-up is how the tree
+                //    trades threads for per-thread work).
+                // Backward steps remain impossible: this is still a tree.
+                let underfilled = e.cur_level == 0
+                    && e.clamped_smem_tile().iter().product::<u64>()
+                        < spec.warp_size as u64 * MAX_REG_AREA;
+                let overthreaded = e.cur_level >= 1
+                    && e.threads_per_block() > spec.max_threads_per_block as u64;
+                match best {
+                    Some((gain, next)) if gain > 1.0 + 1e-9 || underfilled || overthreaded => {
+                        e = next;
+                        path.push(e.clone());
+                        candidates.push(e.clone());
+                    }
+                    _ => break,
+                }
+            }
+            candidates.push(e.clone());
+            e = e.apply(&Action::Cache);
+            path.push(e.clone());
+        }
+
+        // Pipeline-alignment unroll on every rProg so the final pick is
+        // fair across snapshot depths.
+        let unrolled: Vec<Etir> = candidates
+            .iter()
+            .map(|c| {
+                let mut c = c.clone();
+                while c.unroll < self.unroll {
+                    c.unroll *= 2;
+                }
+                c
+            })
+            .collect();
+
+        RollerTrace { path, candidates: unrolled }
+    }
+}
+
+impl Tuner for Roller {
+    fn name(&self) -> &'static str {
+        "Roller"
+    }
+
+    fn compile(&self, op: &OpSpec, spec: &GpuSpec) -> CompiledKernel {
+        let t0 = Instant::now();
+        let trace = self.construct(op, spec);
+        let n = trace.candidates.len() as u64;
+        let (etir, report) = pick_best(&trace.candidates, spec)
+            .or_else(|| pick_best(&[Etir::initial(op.clone(), spec)], spec))
+            .expect("the unscheduled program is always feasible");
+        CompiledKernel {
+            etir,
+            report,
+            wall_time_s: t0.elapsed().as_secs_f64(),
+            simulated_tuning_s: 0.0,
+            candidates_evaluated: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_path_is_monotonic_growth() {
+        let spec = GpuSpec::rtx4090();
+        let trace = Roller::default().construct(&OpSpec::gemm(2048, 2048, 2048), &spec);
+        // Tiles only ever grow along the path (unidirectional tree).
+        for w in trace.path.windows(2) {
+            for d in 0..2 {
+                assert!(w[1].smem_tile[d] >= w[0].smem_tile[d]);
+                assert!(w[1].reg_tile[d] >= w[0].reg_tile[d]);
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_fit_memory_capacity() {
+        let spec = GpuSpec::orin_nano();
+        let trace = Roller::default().construct(&OpSpec::gemm(4096, 1024, 4096), &spec);
+        for c in &trace.candidates {
+            assert!(
+                MemCheck::check_capacity(c, &spec).fits(),
+                "{}",
+                c.describe()
+            );
+        }
+    }
+
+    #[test]
+    fn at_least_one_candidate_is_fully_launchable() {
+        let spec = GpuSpec::rtx4090();
+        for op in [
+            OpSpec::gemm(4096, 1024, 4096),
+            OpSpec::gemv(16384, 8192),
+            OpSpec::conv2d(8, 64, 28, 28, 64, 3, 3, 1, 1),
+            OpSpec::avg_pool2d(16, 48, 48, 48, 2, 2),
+        ] {
+            let trace = Roller::default().construct(&op, &spec);
+            assert!(
+                trace.candidates.iter().any(|c| MemCheck::check(c, &spec).fits()),
+                "{}",
+                op.label()
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_tile_is_aligned_not_tuned() {
+        let spec = GpuSpec::rtx4090();
+        let roller = Roller::default();
+        let trace = roller.construct(&OpSpec::gemm(4096, 4096, 4096), &spec);
+        let last = trace.candidates.last().unwrap();
+        assert_eq!(last.reduce_tile[0], roller.reduce_align);
+    }
+
+    #[test]
+    fn small_reduce_axis_caps_alignment() {
+        // K = 4 < align 8: the pre-step must stop at the extent cap.
+        let spec = GpuSpec::rtx4090();
+        let trace = Roller::default().construct(&OpSpec::gemm(65536, 4, 1024), &spec);
+        let last = trace.candidates.last().unwrap();
+        assert!(last.reduce_tile[0] <= 4);
+    }
+
+    #[test]
+    fn greedy_builds_substantial_block_tiles() {
+        let spec = GpuSpec::rtx4090();
+        let trace = Roller::default().construct(&OpSpec::gemm(8192, 8192, 8192), &spec);
+        let final_l0 = trace
+            .path
+            .iter()
+            .rfind(|e| e.cur_level == 0)
+            .unwrap();
+        let tile_area: u64 = final_l0.smem_tile.iter().product();
+        assert!(tile_area >= 64 * 64, "tile {:?}", final_l0.smem_tile);
+    }
+
+    #[test]
+    fn register_level_restores_launchability() {
+        // After block tiles grow past the thread limit, register tiling
+        // must bring the thread count back under it.
+        let spec = GpuSpec::rtx4090();
+        let trace = Roller::default().construct(&OpSpec::gemm(8192, 8192, 8192), &spec);
+        let done = trace.candidates.last().unwrap();
+        assert!(
+            done.threads_per_block() <= spec.max_threads_per_block as u64,
+            "threads {}",
+            done.threads_per_block()
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! The framework-eager stand-in (PyTorch official implementation).
+//!
+//! Eager execution runs each operator through a *framework-shipped generic
+//! kernel*: structurally one of the library template schedules, but chosen
+//! by a static dispatch heuristic (first template that fits, not
+//! best-for-this-shape), without the expert-level layout swizzling or
+//! shape-specific tuning the vendor's flagship paths get. On top of that
+//! it pays per-launch framework dispatch overhead and cannot fuse
+//! elementwise chains (each ReLU/residual/softmax is its own kernel —
+//! modelled in `models`' pipeline via [`crate::Eager::fuses_elementwise`]).
+
+use etir::Etir;
+use hardware::GpuSpec;
+use simgpu::{simulate, CompiledKernel, Tuner};
+use std::time::Instant;
+use tensor_expr::OpSpec;
+
+/// Per-operator framework dispatch overhead in microseconds (Python glue,
+/// op dispatch, stream bookkeeping in eager mode).
+pub const DISPATCH_OVERHEAD_US: f64 = 22.0;
+
+/// The eager-framework tuner.
+#[derive(Debug, Clone, Default)]
+pub struct Eager;
+
+/// The static dispatch pick: the *first* library template whose
+/// instantiation fits the device — no per-shape ranking.
+fn heuristic_kernel(op: &OpSpec, spec: &GpuSpec) -> Etir {
+    for t in crate::vendor::template_menu(op) {
+        let e = crate::vendor::instantiate_template(op, spec, t);
+        if etir::analytics::MemCheck::check(&e, spec).fits() {
+            return e;
+        }
+    }
+    Etir::initial(op.clone(), spec)
+}
+
+impl Tuner for Eager {
+    fn name(&self) -> &'static str {
+        "PyTorch"
+    }
+
+    fn fuses_elementwise(&self) -> bool {
+        false // eager dispatch launches one kernel per operator
+    }
+
+    fn compile(&self, op: &OpSpec, spec: &GpuSpec) -> CompiledKernel {
+        let t0 = Instant::now();
+        let etir = heuristic_kernel(op, spec);
+        // No swizzle, no expert factor: the generic build of the template.
+        let mut report = simulate(&etir, spec).expect("heuristic kernel is feasible");
+        report.time_us += DISPATCH_OVERHEAD_US;
+        report.gflops = op.flops() / report.time_us / 1000.0;
+        CompiledKernel {
+            etir,
+            report,
+            wall_time_s: t0.elapsed().as_secs_f64(),
+            simulated_tuning_s: 0.0,
+            candidates_evaluated: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eager_is_slower_than_tuned() {
+        let spec = GpuSpec::rtx4090();
+        let op = OpSpec::gemm(2048, 2048, 2048);
+        let eager = Eager.compile(&op, &spec);
+        let tuned = crate::Ansor::with_trials(300).compile(&op, &spec);
+        assert!(
+            tuned.report.gflops > 1.1 * eager.report.gflops,
+            "tuned {} vs eager {}",
+            tuned.report.gflops,
+            eager.report.gflops
+        );
+    }
+
+    #[test]
+    fn eager_pays_dispatch_overhead() {
+        let spec = GpuSpec::rtx4090();
+        let op = OpSpec::elementwise(1024, 1, 1);
+        let ck = Eager.compile(&op, &spec);
+        assert!(ck.report.time_us >= DISPATCH_OVERHEAD_US);
+    }
+
+    #[test]
+    fn eager_is_worse_than_the_vendor_flagship_path() {
+        // Same template family, but no swizzle/expert credit and a static
+        // first-fit pick → strictly slower than VendorLib.
+        let spec = GpuSpec::rtx4090();
+        for op in [
+            OpSpec::gemm(4096, 4096, 4096),
+            OpSpec::conv2d(32, 64, 56, 56, 64, 3, 3, 1, 1),
+        ] {
+            let e = Eager.compile(&op, &spec);
+            let v = crate::VendorLib.compile(&op, &spec);
+            assert!(v.report.time_us < e.report.time_us, "{}", op.label());
+        }
+    }
+
+    #[test]
+    fn eager_works_for_all_classes_and_is_instant() {
+        let spec = GpuSpec::orin_nano();
+        for op in [
+            OpSpec::gemm(512, 512, 512),
+            OpSpec::gemv(4096, 4096),
+            OpSpec::conv2d(8, 32, 28, 28, 64, 3, 3, 1, 1),
+            OpSpec::avg_pool2d(16, 48, 48, 48, 2, 2),
+        ] {
+            let ck = Eager.compile(&op, &spec);
+            assert!(ck.report.time_us > 0.0);
+            assert!(ck.wall_time_s < 0.05);
+            assert_eq!(ck.candidates_evaluated, 1);
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! A small genetic algorithm over tile-exponent genomes, shared by the
+//! Ansor and DietCode stand-ins.
+//!
+//! A genome fixes, per spatial dimension, the shared-memory and register
+//! tile exponents (`tile = 2^gene`), per reduce dimension the staging
+//! exponent, and the unroll exponent — i.e. exactly the power-of-two
+//! "sketch" structure real searchers enumerate. Virtual threads are *not*
+//! in the genome: they are ETIR's extension, which is what lets Gensor
+//! escape this space.
+
+use etir::Etir;
+use hardware::GpuSpec;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tensor_expr::OpSpec;
+
+/// Exponent genome of one candidate schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Genome {
+    /// Per spatial dim: log2 of the shared-memory tile.
+    pub smem_exp: Vec<u8>,
+    /// Per spatial dim: log2 of the register tile (≤ the smem exponent).
+    pub reg_exp: Vec<u8>,
+    /// Per reduce dim: log2 of the staging tile.
+    pub red_exp: Vec<u8>,
+    /// log2 of the unroll factor (0..=3).
+    pub unroll_exp: u8,
+}
+
+/// Per-dimension exponent caps derived from the operator shape.
+#[derive(Debug, Clone)]
+pub struct GenomeBounds {
+    /// Max smem exponent per spatial dim (`log2(next_pow2(extent))`).
+    pub smem_max: Vec<u8>,
+    /// Max register exponent per spatial dim (hardware-practical cap).
+    pub reg_max: Vec<u8>,
+    /// Max reduce exponent per reduce dim.
+    pub red_max: Vec<u8>,
+}
+
+impl GenomeBounds {
+    /// Bounds for `op`.
+    pub fn for_op(op: &OpSpec) -> GenomeBounds {
+        let cap = |e: u64| e.next_power_of_two().trailing_zeros() as u8;
+        let smem_max: Vec<u8> = op.spatial_extents().iter().map(|&e| cap(e)).collect();
+        let reg_max: Vec<u8> = smem_max.iter().map(|&m| m.min(4)).collect();
+        let red_max: Vec<u8> = op.reduce_extents().iter().map(|&e| cap(e).min(7)).collect();
+        GenomeBounds { smem_max, reg_max, red_max }
+    }
+
+    /// Sample a uniformly random valid genome.
+    pub fn random(&self, rng: &mut StdRng) -> Genome {
+        let smem_exp: Vec<u8> = self
+            .smem_max
+            .iter()
+            .map(|&m| rng.gen_range(0..=m))
+            .collect();
+        let reg_exp: Vec<u8> = smem_exp
+            .iter()
+            .zip(&self.reg_max)
+            .map(|(&s, &rm)| rng.gen_range(0..=s.min(rm)))
+            .collect();
+        let red_exp: Vec<u8> = self.red_max.iter().map(|&m| rng.gen_range(0..=m)).collect();
+        Genome { smem_exp, reg_exp, red_exp, unroll_exp: rng.gen_range(0..=3) }
+    }
+
+    /// Mutate one random gene by ±1, staying in bounds.
+    pub fn mutate(&self, g: &Genome, rng: &mut StdRng) -> Genome {
+        let mut out = g.clone();
+        let n_sp = out.smem_exp.len();
+        let n_rd = out.red_exp.len();
+        let which = rng.gen_range(0..(2 * n_sp + n_rd + 1));
+        let bump = |v: u8, max: u8, rng: &mut StdRng| -> u8 {
+            if rng.gen_bool(0.5) {
+                v.saturating_add(1).min(max)
+            } else {
+                v.saturating_sub(1)
+            }
+        };
+        if which < n_sp {
+            out.smem_exp[which] = bump(out.smem_exp[which], self.smem_max[which], rng);
+            out.reg_exp[which] = out.reg_exp[which].min(out.smem_exp[which]);
+        } else if which < 2 * n_sp {
+            let d = which - n_sp;
+            let cap = out.smem_exp[d].min(self.reg_max[d]);
+            out.reg_exp[d] = bump(out.reg_exp[d], cap, rng);
+        } else if which < 2 * n_sp + n_rd {
+            let d = which - 2 * n_sp;
+            out.red_exp[d] = bump(out.red_exp[d], self.red_max[d], rng);
+        } else {
+            out.unroll_exp = bump(out.unroll_exp, 3, rng);
+        }
+        out
+    }
+
+    /// Uniform crossover.
+    pub fn crossover(&self, a: &Genome, b: &Genome, rng: &mut StdRng) -> Genome {
+        let pick = |x: u8, y: u8, rng: &mut StdRng| if rng.gen_bool(0.5) { x } else { y };
+        let smem_exp: Vec<u8> = a
+            .smem_exp
+            .iter()
+            .zip(&b.smem_exp)
+            .map(|(&x, &y)| pick(x, y, rng))
+            .collect();
+        let reg_exp: Vec<u8> = a
+            .reg_exp
+            .iter()
+            .zip(&b.reg_exp)
+            .zip(&smem_exp)
+            .map(|((&x, &y), &s)| pick(x, y, rng).min(s))
+            .collect();
+        let red_exp: Vec<u8> = a
+            .red_exp
+            .iter()
+            .zip(&b.red_exp)
+            .map(|(&x, &y)| pick(x, y, rng))
+            .collect();
+        Genome {
+            smem_exp,
+            reg_exp,
+            red_exp,
+            unroll_exp: pick(a.unroll_exp, b.unroll_exp, rng),
+        }
+    }
+}
+
+/// Decode a genome into a complete (all levels scheduled) ETIR state.
+pub fn decode(op: &OpSpec, spec: &GpuSpec, g: &Genome) -> Etir {
+    let mut e = Etir::initial(op.clone(), spec);
+    e.smem_tile = g.smem_exp.iter().map(|&x| 1u64 << x).collect();
+    e.reg_tile = g.reg_exp.iter().map(|&x| 1u64 << x).collect();
+    e.reduce_tile = g.red_exp.iter().map(|&x| 1u64 << x).collect();
+    e.unroll = 1 << g.unroll_exp.min(3);
+    e.cur_level = e.num_levels; // fully scheduled
+    debug_assert_eq!(e.validate(), Ok(()));
+    e
+}
+
+/// Result of one evolutionary run.
+#[derive(Debug, Clone)]
+pub struct EvolveResult {
+    /// Best genome found (by its noisy measured fitness — the searcher's
+    /// actual selection criterion).
+    pub best: Genome,
+    /// The *measured* (noisy) kernel time of that pick, µs.
+    pub best_time_us: f64,
+    /// Candidate evaluations performed ("measurements").
+    pub evaluations: u64,
+}
+
+/// Run a (μ+λ)-style GA. `fitness` returns the *measured* kernel time in µs
+/// (∞ for unlaunchable candidates); `noise_sigma` is the relative
+/// measurement noise. The incumbent is tracked by its *noisy measured*
+/// score — a real searcher never sees the true time, and its final pick
+/// inherits the measurement variance (this is part of why heuristic
+/// search "produces incorrect solutions in a fixed number of iterations"
+/// on hard spaces, Gensor paper §V-A).
+pub fn evolve(
+    bounds: &GenomeBounds,
+    trials: u64,
+    pop_size: usize,
+    noise_sigma: f64,
+    rng: &mut StdRng,
+    mut fitness: impl FnMut(&Genome) -> f64,
+) -> EvolveResult {
+    let mut evaluations = 0u64;
+    // Incumbent tracked by noisy measured time (see above).
+    let mut best: Option<(Genome, f64)> = None;
+    let mut measure = |g: &Genome, evals: &mut u64, rng: &mut StdRng| -> (f64, f64) {
+        *evals += 1;
+        let t = fitness(g);
+        let noisy = if t.is_finite() {
+            t * (1.0 + noise_sigma * (rng.gen::<f64>() * 2.0 - 1.0))
+        } else {
+            t
+        };
+        (t, noisy)
+    };
+
+    let mut pop: Vec<(Genome, f64)> = Vec::with_capacity(pop_size);
+    while pop.len() < pop_size && evaluations < trials {
+        let g = bounds.random(rng);
+        let (t, noisy) = measure(&g, &mut evaluations, rng);
+        if t.is_finite() && best.as_ref().is_none_or(|(_, bt)| noisy < *bt) {
+            best = Some((g.clone(), noisy));
+        }
+        pop.push((g, noisy));
+    }
+
+    while evaluations < trials {
+        // Tournament parents.
+        let pick = |rng: &mut StdRng, pop: &[(Genome, f64)]| -> Genome {
+            let a = rng.gen_range(0..pop.len());
+            let b = rng.gen_range(0..pop.len());
+            if pop[a].1 <= pop[b].1 { pop[a].0.clone() } else { pop[b].0.clone() }
+        };
+        let p1 = pick(rng, &pop);
+        let p2 = pick(rng, &pop);
+        let mut child = bounds.crossover(&p1, &p2, rng);
+        if rng.gen_bool(0.7) {
+            child = bounds.mutate(&child, rng);
+        }
+        let (t, noisy) = measure(&child, &mut evaluations, rng);
+        if t.is_finite() && best.as_ref().is_none_or(|(_, bt)| noisy < *bt) {
+            best = Some((child.clone(), noisy));
+        }
+        // Replace the worst member if the child is better (steady state).
+        if let Some((worst_idx, _)) = pop
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+        {
+            if noisy < pop[worst_idx].1 {
+                pop[worst_idx] = (child, noisy);
+            }
+        }
+    }
+
+    let (best, best_time_us) = best.expect("at least one feasible candidate");
+    EvolveResult { best, best_time_us, evaluations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn bounds() -> GenomeBounds {
+        GenomeBounds::for_op(&OpSpec::gemm(1024, 512, 2048))
+    }
+
+    #[test]
+    fn bounds_track_shape() {
+        let b = bounds();
+        assert_eq!(b.smem_max, vec![10, 11]);
+        assert_eq!(b.red_max, vec![7]);
+    }
+
+    #[test]
+    fn random_genomes_are_valid_and_decode() {
+        let spec = GpuSpec::rtx4090();
+        let op = OpSpec::gemm(1024, 512, 2048);
+        let b = GenomeBounds::for_op(&op);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let g = b.random(&mut rng);
+            let e = decode(&op, &spec, &g);
+            assert_eq!(e.validate(), Ok(()));
+            assert!(e.is_complete());
+            assert!(e.vthreads.iter().all(|&v| v == 1), "no vthreads in sketch space");
+        }
+    }
+
+    #[test]
+    fn mutation_stays_in_bounds() {
+        let b = bounds();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut g = b.random(&mut rng);
+        for _ in 0..500 {
+            g = b.mutate(&g, &mut rng);
+            for (i, &s) in g.smem_exp.iter().enumerate() {
+                assert!(s <= b.smem_max[i]);
+                assert!(g.reg_exp[i] <= s);
+            }
+            for (j, &r) in g.red_exp.iter().enumerate() {
+                assert!(r <= b.red_max[j]);
+            }
+            assert!(g.unroll_exp <= 3);
+        }
+    }
+
+    #[test]
+    fn crossover_respects_reg_le_smem() {
+        let b = bounds();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let p1 = b.random(&mut rng);
+            let p2 = b.random(&mut rng);
+            let c = b.crossover(&p1, &p2, &mut rng);
+            for (i, &s) in c.smem_exp.iter().enumerate() {
+                assert!(c.reg_exp[i] <= s);
+            }
+        }
+    }
+
+    #[test]
+    fn evolve_optimizes_a_synthetic_objective() {
+        // Fitness: distance of the smem exponents from a known target —
+        // the GA must find it with a modest budget.
+        let b = bounds();
+        let mut rng = StdRng::seed_from_u64(1);
+        let target = [7u8, 7u8];
+        let res = evolve(&b, 2_000, 32, 0.0, &mut rng, |g| {
+            let d: i64 = g
+                .smem_exp
+                .iter()
+                .zip(&target)
+                .map(|(&x, &t)| (x as i64 - t as i64).abs())
+                .sum();
+            1.0 + d as f64
+        });
+        assert_eq!(res.evaluations, 2_000);
+        assert!(res.best_time_us <= 2.0, "GA missed target: {}", res.best_time_us);
+    }
+
+    #[test]
+    fn evolve_counts_every_measurement() {
+        let b = bounds();
+        let mut rng = StdRng::seed_from_u64(2);
+        let res = evolve(&b, 100, 16, 0.05, &mut rng, |_| 1.0);
+        assert_eq!(res.evaluations, 100);
+    }
+}

@@ -1,0 +1,30 @@
+//! `search` — the non-construction baselines of the paper's evaluation.
+//!
+//! * [`Ansor`] — the searching tensor compiler (Zheng et al., OSDI '20),
+//!   modelled as sketch-constrained evolutionary search over the same
+//!   schedule space (minus virtual threads, which are ETIR's extension) with
+//!   a *simulated measurement clock*: every candidate evaluation charges the
+//!   on-device compile+profile latency a real searcher pays, which is where
+//!   the paper's "three to five orders of magnitude" compile-time gap
+//!   comes from.
+//! * [`VendorLib`] — the hand-written library (cuBLAS/cuDNN), modelled as a
+//!   fixed menu of expert template schedules plus an expert-efficiency
+//!   factor for the intra-kernel tricks (swizzling, vectorized ld/st)
+//!   outside our schedule space.
+//! * [`Eager`] — the framework baseline (PyTorch eager), modelled as an
+//!   untuned default schedule plus per-kernel framework dispatch overhead.
+//! * [`DietCode`] — the dynamic-shape auto-scheduler, modelled as one joint
+//!   evolutionary search over a set of shapes that must share a single
+//!   schedule configuration (micro-kernel), amortizing tuning cost at the
+//!   price of per-shape optimality.
+
+pub mod ansor;
+pub mod dietcode;
+pub mod eager;
+pub mod evolve;
+pub mod vendor;
+
+pub use ansor::Ansor;
+pub use dietcode::DietCode;
+pub use eager::Eager;
+pub use vendor::VendorLib;

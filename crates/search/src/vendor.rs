@@ -1,0 +1,224 @@
+//! The vendor-library stand-in (cuBLAS / cuDNN).
+//!
+//! A hand-written library is a finite menu of expert template kernels plus
+//! a dispatch heuristic. We model exactly that: a fixed list of classic
+//! template schedules per operator class, the best *valid* one chosen by
+//! the shared performance oracle, and an expert-efficiency factor for the
+//! intra-kernel craftsmanship (swizzled shared-memory layouts, vectorized
+//! 128-bit loads, software pipelining) that lies outside the tile-level
+//! schedule space every compiler in this repository optimizes over.
+//!
+//! This reproduces both halves of the paper's cuBLAS behaviour: unbeatable
+//! on balanced, template-shaped problems, but beatable on unbalanced shapes
+//! (Table V, the M7 case) where every template mis-fits and the padding
+//! waste eats the expert advantage.
+
+use etir::Etir;
+use hardware::GpuSpec;
+use simgpu::{simulate, simulate_opts, CompiledKernel, SimOptions, Tuner};
+use std::time::Instant;
+use tensor_expr::OpSpec;
+
+/// Speedup factor credited to expert intra-kernel engineering not expressible
+/// in the tile-level schedule space (layout swizzles, vectorized memory ops,
+/// pipelined double buffering).
+const EXPERT_FACTOR: f64 = 1.30;
+
+/// The vendor library tuner.
+#[derive(Debug, Clone, Default)]
+pub struct VendorLib;
+
+/// One template: per-spatial-dim (smem, reg) tiles + reduce staging tiles +
+/// unroll. Entries are clamped to the operator's shape at instantiation.
+pub(crate) struct Template {
+    smem: &'static [u64],
+    reg: &'static [u64],
+    red: &'static [u64],
+    unroll: u64,
+}
+
+/// The classic GEMM tilings every BLAS ships.
+const GEMM_TEMPLATES: &[Template] = &[
+    Template { smem: &[128, 128], reg: &[8, 8], red: &[8], unroll: 8 },
+    Template { smem: &[256, 128], reg: &[8, 8], red: &[8], unroll: 8 },
+    Template { smem: &[128, 64], reg: &[8, 4], red: &[8], unroll: 8 },
+    Template { smem: &[64, 64], reg: &[4, 4], red: &[16], unroll: 4 },
+    Template { smem: &[64, 32], reg: &[4, 2], red: &[32], unroll: 4 },
+    Template { smem: &[32, 32], reg: &[2, 2], red: &[32], unroll: 4 },
+    Template { smem: &[128, 32], reg: &[8, 2], red: &[16], unroll: 8 },
+];
+
+const GEMV_TEMPLATES: &[Template] = &[
+    Template { smem: &[256], reg: &[4], red: &[64], unroll: 8 },
+    Template { smem: &[128], reg: &[2], red: &[128], unroll: 8 },
+    Template { smem: &[512], reg: &[4], red: &[32], unroll: 4 },
+    Template { smem: &[1024], reg: &[8], red: &[16], unroll: 4 },
+    Template { smem: &[64], reg: &[1], red: &[256], unroll: 8 },
+];
+
+/// Implicit-GEMM-flavoured conv tilings: [n, oc, oh, ow].
+const CONV_TEMPLATES: &[Template] = &[
+    Template { smem: &[1, 64, 4, 8], reg: &[1, 8, 1, 2], red: &[8, 3, 3], unroll: 4 },
+    Template { smem: &[1, 32, 8, 8], reg: &[1, 4, 2, 2], red: &[8, 3, 3], unroll: 4 },
+    Template { smem: &[1, 128, 2, 8], reg: &[1, 8, 1, 1], red: &[4, 3, 3], unroll: 4 },
+    Template { smem: &[2, 32, 4, 4], reg: &[1, 4, 1, 1], red: &[16, 1, 1], unroll: 4 },
+    Template { smem: &[1, 16, 8, 16], reg: &[1, 2, 2, 2], red: &[8, 3, 3], unroll: 2 },
+    // Large implicit-GEMM blocks for big-batch server convs.
+    Template { smem: &[2, 64, 8, 8], reg: &[1, 8, 2, 2], red: &[8, 3, 3], unroll: 8 },
+    Template { smem: &[4, 64, 4, 8], reg: &[2, 8, 1, 2], red: &[8, 3, 3], unroll: 8 },
+    Template { smem: &[2, 128, 4, 8], reg: &[1, 8, 2, 2], red: &[8, 3, 3], unroll: 8 },
+    Template { smem: &[8, 64, 4, 4], reg: &[2, 8, 1, 1], red: &[8, 3, 3], unroll: 8 },
+    Template { smem: &[4, 128, 2, 4], reg: &[2, 8, 1, 1], red: &[16, 3, 3], unroll: 8 },
+];
+
+/// Pool tilings: [n, c, oh, ow].
+const POOL_TEMPLATES: &[Template] = &[
+    Template { smem: &[1, 32, 4, 8], reg: &[1, 1, 1, 1], red: &[8, 8], unroll: 4 },
+    Template { smem: &[1, 8, 8, 16], reg: &[1, 1, 1, 2], red: &[8, 8], unroll: 4 },
+    Template { smem: &[4, 64, 2, 2], reg: &[1, 2, 1, 1], red: &[8, 8], unroll: 2 },
+];
+
+const ELEM_TEMPLATES: &[Template] = &[
+    Template { smem: &[1024], reg: &[4], red: &[], unroll: 4 },
+    Template { smem: &[256], reg: &[1], red: &[], unroll: 1 },
+];
+
+/// The template menu for an operator class (shared with the eager
+/// framework stand-in, which dispatches into the same family of kernels).
+pub(crate) fn template_menu(op: &OpSpec) -> &'static [Template] {
+    templates_for(op)
+}
+
+/// Instantiate a template for a shape (shared with the eager stand-in).
+pub(crate) fn instantiate_template(op: &OpSpec, spec: &GpuSpec, t: &Template) -> Etir {
+    instantiate(op, spec, t)
+}
+
+fn templates_for(op: &OpSpec) -> &'static [Template] {
+    match op {
+        OpSpec::Gemm { .. } => GEMM_TEMPLATES,
+        OpSpec::Gemv { .. } => GEMV_TEMPLATES,
+        OpSpec::Conv2d { .. } => CONV_TEMPLATES,
+        OpSpec::AvgPool2d { .. } => POOL_TEMPLATES,
+        OpSpec::Elementwise { .. } => ELEM_TEMPLATES,
+    }
+}
+
+/// Instantiate a template for a concrete shape: tiles are clamped to the
+/// shape's power-of-two envelope while preserving the reg|smem divisibility.
+#[allow(clippy::needless_range_loop)] // index addresses several parallel arrays
+fn instantiate(op: &OpSpec, spec: &GpuSpec, t: &Template) -> Etir {
+    let mut e = Etir::initial(op.clone(), spec);
+    let sp = op.spatial_extents();
+    let rd = op.reduce_extents();
+    for i in 0..sp.len() {
+        let cap = sp[i].next_power_of_two();
+        e.smem_tile[i] = t.smem[i].min(cap);
+        e.reg_tile[i] = t.reg[i].min(e.smem_tile[i]);
+    }
+    for j in 0..rd.len() {
+        let cap = rd[j].next_power_of_two();
+        e.reduce_tile[j] = t.red[j].min(cap);
+    }
+    e.unroll = t.unroll;
+    e.cur_level = e.num_levels;
+    debug_assert_eq!(e.validate(), Ok(()));
+    e
+}
+
+impl Tuner for VendorLib {
+    fn name(&self) -> &'static str {
+        "cuBLAS"
+    }
+
+    fn compile(&self, op: &OpSpec, spec: &GpuSpec) -> CompiledKernel {
+        let t0 = Instant::now();
+        let mut best: Option<(Etir, simgpu::KernelReport)> = None;
+        let menu = templates_for(op);
+        let opts = SimOptions { swizzled_smem: true };
+        for t in menu {
+            let e = instantiate(op, spec, t);
+            if let Ok(mut r) = simulate_opts(&e, spec, opts) {
+                // Expert-efficiency credit.
+                r.time_us /= EXPERT_FACTOR;
+                r.gflops *= EXPERT_FACTOR;
+                let better = best.as_ref().is_none_or(|(_, br)| r.time_us < br.time_us);
+                if better {
+                    best = Some((e, r));
+                }
+            }
+        }
+        let (etir, report) = best.unwrap_or_else(|| {
+            let e = Etir::initial(op.clone(), spec);
+            let r = simulate(&e, spec).expect("initial state feasible");
+            (e, r)
+        });
+        CompiledKernel {
+            etir,
+            report,
+            wall_time_s: t0.elapsed().as_secs_f64(),
+            simulated_tuning_s: 0.0,
+            candidates_evaluated: menu.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vendor_is_excellent_on_balanced_gemm() {
+        let spec = GpuSpec::rtx4090();
+        let ck = VendorLib.compile(&OpSpec::gemm(8192, 8192, 8192), &spec);
+        let frac = ck.report.gflops / spec.peak_fp32_gflops;
+        assert!(frac > 0.4, "cuBLAS-sim should shine on 8k GEMM: {frac:.3}");
+    }
+
+    #[test]
+    fn vendor_dispatch_is_instant() {
+        let spec = GpuSpec::rtx4090();
+        let ck = VendorLib.compile(&OpSpec::gemm(1024, 1024, 1024), &spec);
+        assert!(ck.wall_time_s < 0.05);
+        assert_eq!(ck.simulated_tuning_s, 0.0);
+    }
+
+    #[test]
+    fn templates_clamp_to_small_shapes() {
+        let spec = GpuSpec::rtx4090();
+        // K = 4: the red=8 templates must clamp, not crash.
+        let ck = VendorLib.compile(&OpSpec::gemm(65536, 4, 1024), &spec);
+        assert!(ck.report.gflops > 0.0);
+        assert!(ck.etir.reduce_tile[0] <= 4);
+    }
+
+    #[test]
+    fn vendor_handles_every_class() {
+        let spec = GpuSpec::orin_nano();
+        for op in [
+            OpSpec::gemm(512, 512, 512),
+            OpSpec::gemv(4096, 4096),
+            OpSpec::conv2d(8, 32, 28, 28, 64, 3, 3, 1, 1),
+            OpSpec::avg_pool2d(16, 48, 48, 48, 2, 2),
+            OpSpec::elementwise(1 << 20, 2, 1),
+        ] {
+            let ck = VendorLib.compile(&op, &spec);
+            assert!(ck.report.time_us > 0.0, "{}", op.label());
+        }
+    }
+
+    #[test]
+    fn expert_factor_is_applied() {
+        let spec = GpuSpec::rtx4090();
+        let op = OpSpec::gemm(4096, 4096, 4096);
+        let ck = VendorLib.compile(&op, &spec);
+        // Re-simulating the chosen schedule (with the same swizzled
+        // layout) without the factor must be slower by exactly
+        // EXPERT_FACTOR.
+        let raw = simulate_opts(&ck.etir, &spec, SimOptions { swizzled_smem: true }).unwrap();
+        assert!((raw.time_us / ck.report.time_us - EXPERT_FACTOR).abs() < 1e-9);
+        // And the swizzle itself must not hurt vs the unswizzled oracle.
+        let unswizzled = simulate(&ck.etir, &spec).unwrap();
+        assert!(raw.time_us <= unswizzled.time_us * 1.0001);
+    }
+}

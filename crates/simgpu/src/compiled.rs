@@ -1,0 +1,198 @@
+//! Method-agnostic tuner interface.
+//!
+//! Every tensor-program optimization method in this repository — Gensor,
+//! Roller, the Ansor stand-in, the vendor-library stand-in, the eager
+//! baseline — implements [`Tuner`]: operator in, best-found schedule plus
+//! its simulated performance out. The end-to-end model pipeline and every
+//! experiment harness program against this trait, mirroring how the paper
+//! swaps compilation methods under the same workloads.
+
+use crate::model::simulate;
+use crate::report::KernelReport;
+use etir::Etir;
+use hardware::GpuSpec;
+use tensor_expr::OpSpec;
+
+/// The outcome of compiling one operator with one method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledKernel {
+    /// The chosen schedule.
+    pub etir: Etir,
+    /// Simulated execution profile of that schedule.
+    pub report: KernelReport,
+    /// Honest wall-clock seconds the tuner itself spent (real Rust time).
+    pub wall_time_s: f64,
+    /// Additional *simulated* tuning seconds — the on-device measurement
+    /// time a search method would have burned (0 for construction methods,
+    /// which never measure).
+    pub simulated_tuning_s: f64,
+    /// Number of candidate schedules the method scored.
+    pub candidates_evaluated: u64,
+}
+
+impl CompiledKernel {
+    /// Total optimization latency as the user experiences it: real tuner
+    /// time plus simulated measurement time.
+    pub fn total_tuning_s(&self) -> f64 {
+        self.wall_time_s + self.simulated_tuning_s
+    }
+}
+
+/// A tensor-program optimization method.
+pub trait Tuner: Sync {
+    /// Human-readable method name (`"Gensor"`, `"Roller"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Compile `op` for `spec`, returning the best schedule found.
+    fn compile(&self, op: &OpSpec, spec: &GpuSpec) -> CompiledKernel;
+
+    /// Whether this method's code generator fuses standalone elementwise
+    /// operators into their producers (every compiler stack here does;
+    /// the eager framework baseline launches them as separate kernels).
+    fn fuses_elementwise(&self) -> bool {
+        true
+    }
+}
+
+/// Apply `f` to every item with a bounded worker pool.
+///
+/// Workers are capped at the machine's available parallelism (spawning one
+/// thread per item oversubscribes badly on small hosts — construction
+/// tuning is CPU-bound), and pull work through an atomic index (cheap
+/// dynamic load balancing, since compile tasks have uneven cost). On a
+/// single-core host this degrades to a plain serial loop with zero thread
+/// overhead.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = cores.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let slots: Vec<_> = out.iter_mut().map(parking_slot).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                // SAFETY: each index is claimed by exactly one worker.
+                unsafe { *slots[i].0.get() = Some(r) };
+            });
+        }
+    })
+    .expect("parallel_map worker panicked");
+    out.into_iter().map(|r| r.expect("all items computed")).collect()
+}
+
+/// Shareable cell wrapper for disjoint slot writes.
+struct Slot<'a, R>(&'a std::cell::UnsafeCell<Option<R>>);
+unsafe impl<R: Send> Sync for Slot<'_, R> {}
+
+fn parking_slot<R>(r: &mut Option<R>) -> Slot<'_, R> {
+    // SAFETY: UnsafeCell<Option<R>> has the same layout as Option<R>.
+    Slot(unsafe { &*(r as *mut Option<R> as *const std::cell::UnsafeCell<Option<R>>) })
+}
+
+/// Evaluate a batch of candidate schedules and return the feasible one with
+/// the lowest simulated time, with the count of candidates scored.
+///
+/// This is the shared "pick the winner" tail of every method; candidates
+/// that fail the capacity check are discarded (an unlaunchable kernel can
+/// never win).
+pub fn pick_best(candidates: &[Etir], spec: &GpuSpec) -> Option<(Etir, KernelReport)> {
+    let mut best: Option<(Etir, KernelReport)> = None;
+    for c in candidates {
+        if let Ok(r) = simulate(c, spec) {
+            let better = match &best {
+                Some((_, br)) => r.time_us < br.time_us,
+                None => true,
+            };
+            if better {
+                best = Some((c.clone(), r));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etir::Action;
+
+    #[test]
+    fn pick_best_prefers_faster_feasible() {
+        let spec = GpuSpec::rtx4090();
+        let op = OpSpec::gemm(1024, 1024, 1024);
+        let naive = Etir::initial(op.clone(), &spec);
+        let mut tiled = naive.clone();
+        for _ in 0..5 {
+            tiled = tiled.apply(&Action::Tile { dim: 0 });
+            tiled = tiled.apply(&Action::Tile { dim: 1 });
+        }
+        for _ in 0..3 {
+            tiled = tiled.apply(&Action::TileReduce { dim: 0 });
+        }
+        let (best, _) = pick_best(&[naive.clone(), tiled.clone()], &spec).unwrap();
+        assert_eq!(best, tiled);
+    }
+
+    #[test]
+    fn pick_best_skips_infeasible() {
+        let spec = GpuSpec::rtx4090();
+        let op = OpSpec::gemm(8192, 8192, 8192);
+        let mut huge = Etir::initial(op.clone(), &spec);
+        for _ in 0..12 {
+            huge = huge.apply(&Action::Tile { dim: 0 });
+            huge = huge.apply(&Action::Tile { dim: 1 });
+        }
+        for _ in 0..8 {
+            huge = huge.apply(&Action::TileReduce { dim: 0 });
+        }
+        let ok = Etir::initial(op, &spec);
+        let (best, _) = pick_best(&[huge, ok.clone()], &spec).unwrap();
+        assert_eq!(best, ok);
+    }
+
+    #[test]
+    fn pick_best_none_when_all_infeasible() {
+        let spec = GpuSpec::rtx4090();
+        let op = OpSpec::gemm(8192, 8192, 8192);
+        let mut huge = Etir::initial(op, &spec);
+        for _ in 0..12 {
+            huge = huge.apply(&Action::Tile { dim: 0 });
+            huge = huge.apply(&Action::Tile { dim: 1 });
+        }
+        for _ in 0..8 {
+            huge = huge.apply(&Action::TileReduce { dim: 0 });
+        }
+        assert!(pick_best(&[huge], &spec).is_none());
+    }
+
+    #[test]
+    fn total_tuning_adds_both_clocks() {
+        let spec = GpuSpec::rtx4090();
+        let op = OpSpec::gemm(64, 64, 64);
+        let e = Etir::initial(op, &spec);
+        let r = simulate(&e, &spec).unwrap();
+        let ck = CompiledKernel {
+            etir: e,
+            report: r,
+            wall_time_s: 0.5,
+            simulated_tuning_s: 2.0,
+            candidates_evaluated: 10,
+        };
+        assert!((ck.total_tuning_s() - 2.5).abs() < 1e-12);
+    }
+}

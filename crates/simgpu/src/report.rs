@@ -1,0 +1,104 @@
+//! The kernel performance report.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulated execution profile of one kernel launch.
+///
+/// Field names follow the paper's Tables V and VI: *Compute Throughput*
+/// (fraction of the runtime the FP pipes are the bottleneck), *Mem Busy*
+/// (fraction the memory system is), *L2 Cache Hit Rate*, *SM Occ.*, and
+/// achieved FLOPS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelReport {
+    /// End-to-end kernel time in microseconds (incl. launch overhead).
+    pub time_us: f64,
+    /// Achieved throughput in GFLOPS (useful FLOPs / time).
+    pub gflops: f64,
+    /// Occupancy: resident threads per SM over the device maximum, 0..=1.
+    pub sm_occupancy: f64,
+    /// Fraction of runtime the memory pipeline is busy, 0..=1.
+    pub mem_busy: f64,
+    /// Fraction of runtime the compute pipeline is busy, 0..=1.
+    pub compute_throughput: f64,
+    /// Modelled L2 hit rate, 0..=1.
+    pub l2_hit_rate: f64,
+    /// Shared-memory access serialization degree (1.0 = conflict-free).
+    pub bank_conflict_degree: f64,
+    /// DRAM coalescing efficiency of the staged loads, (0, 1].
+    pub dram_efficiency: f64,
+    /// Thread blocks launched.
+    pub grid_blocks: u64,
+    /// Physical threads per block.
+    pub threads_per_block: u64,
+    /// Registers per thread demanded by the schedule.
+    pub regs_per_thread: u64,
+    /// Shared memory per block in bytes.
+    pub smem_bytes_per_block: u64,
+    /// Number of full device "waves" needed to drain the grid.
+    pub waves: f64,
+    /// Breakdown: compute-pipe time in µs.
+    pub t_compute_us: f64,
+    /// Breakdown: memory-pipeline time in µs (max over levels).
+    pub t_memory_us: f64,
+    /// Breakdown: exposed-latency time in µs.
+    pub t_latency_us: f64,
+}
+
+impl KernelReport {
+    /// Time in milliseconds (the unit of the paper's Table V).
+    pub fn time_ms(&self) -> f64 {
+        self.time_us / 1000.0
+    }
+
+    /// Achieved TFLOPS (the unit of the paper's Table VI).
+    pub fn tflops(&self) -> f64 {
+        self.gflops / 1000.0
+    }
+
+    /// Relative performance vs another report of the same operator
+    /// (`>1` means `self` is faster).
+    pub fn speedup_over(&self, other: &KernelReport) -> f64 {
+        other.time_us / self.time_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(time_us: f64) -> KernelReport {
+        KernelReport {
+            time_us,
+            gflops: 1.0,
+            sm_occupancy: 0.5,
+            mem_busy: 0.5,
+            compute_throughput: 0.5,
+            l2_hit_rate: 0.5,
+            bank_conflict_degree: 1.0,
+            dram_efficiency: 1.0,
+            grid_blocks: 1,
+            threads_per_block: 32,
+            regs_per_thread: 32,
+            smem_bytes_per_block: 0,
+            waves: 1.0,
+            t_compute_us: 1.0,
+            t_memory_us: 1.0,
+            t_latency_us: 1.0,
+        }
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let r = dummy(2500.0);
+        assert!((r.time_ms() - 2.5).abs() < 1e-12);
+        assert!((r.tflops() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_time_ratio() {
+        let fast = dummy(100.0);
+        let slow = dummy(200.0);
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+        assert!((slow.speedup_over(&fast) - 0.5).abs() < 1e-12);
+    }
+}

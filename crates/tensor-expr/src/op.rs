@@ -1,0 +1,619 @@
+//! Operator descriptors and their iteration-space / footprint algebra.
+
+use serde::{Deserialize, Serialize};
+
+/// All tensors in this stack are FP32.
+pub const DTYPE_BYTES: u64 = 4;
+
+/// Coarse operator class, used for reporting and for the vendor-library
+/// template tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    Conv2d,
+    Gemm,
+    Gemv,
+    AvgPool2d,
+    Elementwise,
+}
+
+impl OpClass {
+    /// Short display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Conv2d => "Conv2d",
+            OpClass::Gemm => "GEMM",
+            OpClass::Gemv => "GEMV",
+            OpClass::AvgPool2d => "AvgPooling2d",
+            OpClass::Elementwise => "Elementwise",
+        }
+    }
+}
+
+/// Per-operand element counts touched by one tile of the iteration space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TileFootprint {
+    /// Elements of each *input* operand the tile reads (order matches
+    /// [`OpSpec::input_names`]).
+    pub inputs: Vec<u64>,
+    /// Elements of the output operand the tile writes.
+    pub output: u64,
+}
+
+impl TileFootprint {
+    /// Total elements (inputs + output).
+    pub fn total_elems(&self) -> u64 {
+        self.inputs.iter().sum::<u64>() + self.output
+    }
+
+    /// Total bytes (inputs + output).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_elems() * DTYPE_BYTES
+    }
+
+    /// Bytes of the input operands only (what a reduction step stages).
+    pub fn input_bytes(&self) -> u64 {
+        self.inputs.iter().sum::<u64>() * DTYPE_BYTES
+    }
+}
+
+/// An operator instance: class + concrete shape.
+///
+/// The iteration space is split into *spatial* axes (each output element is
+/// identified by one point of the spatial space) and *reduce* axes (summed
+/// over). Tiles are rectangular sub-boxes of the spatial space, optionally
+/// combined with a tile of the reduce space (the "reduction step" staged
+/// into shared memory).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpSpec {
+    /// `C[M,N] = Σ_k A[M,K]·B[K,N]` — spatial `[M,N]`, reduce `[K]`.
+    Gemm { m: u64, k: u64, n: u64 },
+    /// `y[M] = Σ_n A[M,N]·x[N]` — spatial `[M]`, reduce `[N]`.
+    Gemv { m: u64, n: u64 },
+    /// NCHW convolution, square kernel, padding chosen by the caller.
+    /// Spatial `[N, OC, OH, OW]`, reduce `[IC, KH, KW]`.
+    Conv2d {
+        n: u64,
+        c_in: u64,
+        h: u64,
+        w: u64,
+        c_out: u64,
+        kh: u64,
+        kw: u64,
+        stride: u64,
+        pad: u64,
+    },
+    /// NCHW average pooling, window `f × f`.
+    /// Spatial `[N, C, OH, OW]`, reduce `[F, F]`.
+    AvgPool2d {
+        n: u64,
+        c: u64,
+        h: u64,
+        w: u64,
+        f: u64,
+        stride: u64,
+    },
+    /// Memory-bound pointwise op over `elems` elements with `num_inputs`
+    /// operands and `ops_per_elem` arithmetic ops per element (ReLU = 1
+    /// input / 1 op, residual-add = 2 inputs / 1 op, …).
+    /// Spatial `[elems]`, no reduce axes.
+    Elementwise {
+        elems: u64,
+        num_inputs: u32,
+        ops_per_elem: u32,
+    },
+}
+
+impl OpSpec {
+    /// Convenience constructors ------------------------------------------
+    pub fn gemm(m: u64, k: u64, n: u64) -> Self {
+        assert!(m > 0 && k > 0 && n > 0, "GEMM dims must be positive");
+        OpSpec::Gemm { m, k, n }
+    }
+
+    pub fn gemv(m: u64, n: u64) -> Self {
+        assert!(m > 0 && n > 0, "GEMV dims must be positive");
+        OpSpec::Gemv { m, n }
+    }
+
+    /// `input = [n, c_in, h, w]`, `kernel = [c_out, c_in, kh, kw]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv2d(n: u64, c_in: u64, h: u64, w: u64, c_out: u64, kh: u64, kw: u64, stride: u64, pad: u64) -> Self {
+        assert!(n > 0 && c_in > 0 && h > 0 && w > 0 && c_out > 0, "conv dims must be positive");
+        assert!(kh > 0 && kw > 0 && stride > 0, "kernel/stride must be positive");
+        assert!(h + 2 * pad >= kh && w + 2 * pad >= kw, "kernel larger than padded input");
+        OpSpec::Conv2d { n, c_in, h, w, c_out, kh, kw, stride, pad }
+    }
+
+    pub fn avg_pool2d(n: u64, c: u64, h: u64, w: u64, f: u64, stride: u64) -> Self {
+        assert!(n > 0 && c > 0 && h >= f && w >= f && f > 0 && stride > 0);
+        OpSpec::AvgPool2d { n, c, h, w, f, stride }
+    }
+
+    pub fn elementwise(elems: u64, num_inputs: u32, ops_per_elem: u32) -> Self {
+        assert!(elems > 0 && num_inputs > 0);
+        OpSpec::Elementwise { elems, num_inputs, ops_per_elem }
+    }
+
+    /// Class of this operator.
+    pub fn class(&self) -> OpClass {
+        match self {
+            OpSpec::Gemm { .. } => OpClass::Gemm,
+            OpSpec::Gemv { .. } => OpClass::Gemv,
+            OpSpec::Conv2d { .. } => OpClass::Conv2d,
+            OpSpec::AvgPool2d { .. } => OpClass::AvgPool2d,
+            OpSpec::Elementwise { .. } => OpClass::Elementwise,
+        }
+    }
+
+    /// Output height/width of a conv or pool.
+    fn out_hw(h: u64, w: u64, kh: u64, kw: u64, stride: u64, pad: u64) -> (u64, u64) {
+        (
+            (h + 2 * pad - kh) / stride + 1,
+            (w + 2 * pad - kw) / stride + 1,
+        )
+    }
+
+    /// Extents of the spatial axes (each output element ↔ one point here).
+    pub fn spatial_extents(&self) -> Vec<u64> {
+        match *self {
+            OpSpec::Gemm { m, n, .. } => vec![m, n],
+            OpSpec::Gemv { m, .. } => vec![m],
+            OpSpec::Conv2d { n, h, w, c_out, kh, kw, stride, pad, .. } => {
+                let (oh, ow) = Self::out_hw(h, w, kh, kw, stride, pad);
+                vec![n, c_out, oh, ow]
+            }
+            OpSpec::AvgPool2d { n, c, h, w, f, stride } => {
+                let (oh, ow) = Self::out_hw(h, w, f, f, stride, 0);
+                vec![n, c, oh, ow]
+            }
+            OpSpec::Elementwise { elems, .. } => vec![elems],
+        }
+    }
+
+    /// Extents of the reduce axes (possibly empty).
+    pub fn reduce_extents(&self) -> Vec<u64> {
+        match *self {
+            OpSpec::Gemm { k, .. } => vec![k],
+            OpSpec::Gemv { n, .. } => vec![n],
+            OpSpec::Conv2d { c_in, kh, kw, .. } => vec![c_in, kh, kw],
+            OpSpec::AvgPool2d { f, .. } => vec![f, f],
+            OpSpec::Elementwise { .. } => vec![],
+        }
+    }
+
+    /// Axis names for display / codegen.
+    pub fn spatial_names(&self) -> Vec<&'static str> {
+        match self {
+            OpSpec::Gemm { .. } => vec!["m", "n"],
+            OpSpec::Gemv { .. } => vec!["m"],
+            OpSpec::Conv2d { .. } => vec!["nb", "oc", "oh", "ow"],
+            OpSpec::AvgPool2d { .. } => vec!["nb", "c", "oh", "ow"],
+            OpSpec::Elementwise { .. } => vec!["i"],
+        }
+    }
+
+    /// Reduce-axis names.
+    pub fn reduce_names(&self) -> Vec<&'static str> {
+        match self {
+            OpSpec::Gemm { .. } => vec!["k"],
+            OpSpec::Gemv { .. } => vec!["k"],
+            OpSpec::Conv2d { .. } => vec!["ic", "kh", "kw"],
+            OpSpec::AvgPool2d { .. } => vec!["fh", "fw"],
+            OpSpec::Elementwise { .. } => vec![],
+        }
+    }
+
+    /// Names of the input operands.
+    pub fn input_names(&self) -> Vec<&'static str> {
+        match self {
+            OpSpec::Gemm { .. } => vec!["A", "B"],
+            OpSpec::Gemv { .. } => vec!["A", "x"],
+            OpSpec::Conv2d { .. } => vec!["I", "K"],
+            OpSpec::AvgPool2d { .. } => vec!["I"],
+            OpSpec::Elementwise { .. } => vec!["X"],
+        }
+    }
+
+    /// Total floating-point operations (multiply-add counted as 2).
+    pub fn flops(&self) -> f64 {
+        match *self {
+            OpSpec::Gemm { m, k, n } => 2.0 * m as f64 * k as f64 * n as f64,
+            OpSpec::Gemv { m, n } => 2.0 * m as f64 * n as f64,
+            OpSpec::Conv2d { n, c_in, c_out, kh, kw, .. } => {
+                let sp = self.spatial_extents();
+                let (oh, ow) = (sp[2], sp[3]);
+                2.0 * (n * c_out * oh * ow * c_in * kh * kw) as f64
+            }
+            OpSpec::AvgPool2d { n, c, f, .. } => {
+                let sp = self.spatial_extents();
+                let (oh, ow) = (sp[2], sp[3]);
+                // f*f additions + 1 multiply per output element.
+                (n * c * oh * ow) as f64 * (f * f + 1) as f64
+            }
+            OpSpec::Elementwise { elems, ops_per_elem, .. } => {
+                elems as f64 * ops_per_elem as f64
+            }
+        }
+    }
+
+    /// Elements of the full output tensor.
+    pub fn output_elems(&self) -> u64 {
+        self.spatial_extents().iter().product()
+    }
+
+    /// Total element count of each input operand (whole tensors).
+    pub fn input_elems(&self) -> Vec<u64> {
+        let sp = self.spatial_extents();
+        let rd = self.reduce_extents();
+        // A full-tensor footprint is the footprint of the full-space "tile",
+        // except conv/pool halos, which the footprint fn already handles.
+        self.tile_footprint(&sp, &rd).inputs
+    }
+
+    /// Bytes moved if every tensor (inputs + output) is touched exactly once
+    /// — the compulsory-traffic lower bound used by the L2-hit model.
+    pub fn compulsory_bytes(&self) -> u64 {
+        (self.input_elems().iter().sum::<u64>() + self.output_elems()) * DTYPE_BYTES
+    }
+
+    /// Footprint of one tile.
+    ///
+    /// `sp_tile` has one entry per spatial axis, `rd_tile` one per reduce
+    /// axis; both are clamped to the axis extents. Conv/pool input regions
+    /// include the stride/halo expansion:
+    /// `in_extent = (out_tile − 1)·stride + k_tile`.
+    pub fn tile_footprint(&self, sp_tile: &[u64], rd_tile: &[u64]) -> TileFootprint {
+        let sp_ext = self.spatial_extents();
+        let rd_ext = self.reduce_extents();
+        assert_eq!(sp_tile.len(), sp_ext.len(), "spatial tile rank mismatch");
+        assert_eq!(rd_tile.len(), rd_ext.len(), "reduce tile rank mismatch");
+        let sp: Vec<u64> = sp_tile
+            .iter()
+            .zip(&sp_ext)
+            .map(|(&t, &e)| t.clamp(1, e))
+            .collect();
+        let rd: Vec<u64> = rd_tile
+            .iter()
+            .zip(&rd_ext)
+            .map(|(&t, &e)| t.clamp(1, e))
+            .collect();
+        let output = sp.iter().product();
+        let inputs = match *self {
+            OpSpec::Gemm { .. } => {
+                let (tm, tn, tk) = (sp[0], sp[1], rd[0]);
+                vec![tm * tk, tk * tn]
+            }
+            OpSpec::Gemv { .. } => {
+                let (tm, tk) = (sp[0], rd[0]);
+                vec![tm * tk, tk]
+            }
+            OpSpec::Conv2d { stride, h, w, pad, .. } => {
+                let (tn, toc, toh, tow) = (sp[0], sp[1], sp[2], sp[3]);
+                let (tic, tkh, tkw) = (rd[0], rd[1], rd[2]);
+                let ih = ((toh - 1) * stride + tkh).min(h + 2 * pad);
+                let iw = ((tow - 1) * stride + tkw).min(w + 2 * pad);
+                vec![tn * tic * ih * iw, toc * tic * tkh * tkw]
+            }
+            OpSpec::AvgPool2d { stride, h, w, .. } => {
+                let (tn, tc, toh, tow) = (sp[0], sp[1], sp[2], sp[3]);
+                let (tfh, tfw) = (rd[0], rd[1]);
+                let ih = ((toh - 1) * stride + tfh).min(h);
+                let iw = ((tow - 1) * stride + tfw).min(w);
+                vec![tn * tc * ih * iw]
+            }
+            OpSpec::Elementwise { num_inputs, .. } => {
+                vec![sp[0]; num_inputs as usize]
+            }
+        };
+        TileFootprint { inputs, output }
+    }
+
+    /// Innermost contiguous extent (elements) of each *input* region staged
+    /// by one tile — the run length a cooperative load streams from DRAM.
+    /// Short runs waste memory-transaction bandwidth (see
+    /// `simgpu`'s coalescing model).
+    pub fn tile_row_elems(&self, sp_tile: &[u64], rd_tile: &[u64]) -> Vec<u64> {
+        let sp_ext = self.spatial_extents();
+        let rd_ext = self.reduce_extents();
+        let sp: Vec<u64> = sp_tile
+            .iter()
+            .zip(&sp_ext)
+            .map(|(&t, &e)| t.clamp(1, e))
+            .collect();
+        let rd: Vec<u64> = rd_tile
+            .iter()
+            .zip(&rd_ext)
+            .map(|(&t, &e)| t.clamp(1, e))
+            .collect();
+        match *self {
+            // A is [M,K] row-major → rows of Tk; B is [K,N] → rows of Tn.
+            OpSpec::Gemm { .. } => vec![rd[0], sp[1]],
+            // A rows of Tk; x is a contiguous Tk run.
+            OpSpec::Gemv { .. } => vec![rd[0], rd[0]],
+            OpSpec::Conv2d { stride, w, pad, .. } => {
+                let iw = ((sp[3] - 1) * stride + rd[2]).min(w + 2 * pad);
+                vec![iw, rd[2]]
+            }
+            OpSpec::AvgPool2d { stride, w, .. } => {
+                let iw = ((sp[3] - 1) * stride + rd[1]).min(w);
+                vec![iw]
+            }
+            OpSpec::Elementwise { num_inputs, .. } => vec![sp[0]; num_inputs as usize],
+        }
+    }
+
+    /// Number of tiles covering the spatial space (`Π ceil(extent/tile)`).
+    pub fn num_tiles(&self, sp_tile: &[u64]) -> u64 {
+        self.spatial_extents()
+            .iter()
+            .zip(sp_tile)
+            .map(|(&e, &t)| e.div_ceil(t.max(1)))
+            .product()
+    }
+
+    /// Number of reduction steps (`Π ceil(extent/tile)` over reduce axes);
+    /// 1 when there are no reduce axes.
+    pub fn reduce_steps(&self, rd_tile: &[u64]) -> u64 {
+        self.reduce_extents()
+            .iter()
+            .zip(rd_tile)
+            .map(|(&e, &t)| e.div_ceil(t.max(1)))
+            .product::<u64>()
+            .max(1)
+    }
+
+    /// Fraction of launched work that is useful, < 1 when tiles do not
+    /// divide extents evenly (padding waste).
+    pub fn tile_efficiency(&self, sp_tile: &[u64]) -> f64 {
+        self.spatial_extents()
+            .iter()
+            .zip(sp_tile)
+            .map(|(&e, &t)| {
+                let t = t.max(1).min(e);
+                e as f64 / (e.div_ceil(t) * t) as f64
+            })
+            .product()
+    }
+
+    /// Arithmetic intensity in FLOPs per byte of compulsory traffic.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.flops() / self.compulsory_bytes() as f64
+    }
+
+    /// Compact display string, e.g. `GEMM[8192,8192,8192]`.
+    pub fn label(&self) -> String {
+        match *self {
+            OpSpec::Gemm { m, k, n } => format!("GEMM[{m},{k},{n}]"),
+            OpSpec::Gemv { m, n } => format!("GEMV[{m},{n}]"),
+            OpSpec::Conv2d { n, c_in, h, w, c_out, kh, kw, stride, .. } => {
+                format!("Conv2d[I={n}x{c_in}x{h}x{w},K={c_out}x{c_in}x{kh}x{kw},S={stride}]")
+            }
+            OpSpec::AvgPool2d { n, c, h, w, f, stride } => {
+                format!("AvgPool2d[I={n}x{c}x{h}x{w},F={f},S={stride}]")
+            }
+            OpSpec::Elementwise { elems, .. } => format!("Elementwise[{elems}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_iteration_space() {
+        let op = OpSpec::gemm(128, 64, 256);
+        assert_eq!(op.spatial_extents(), vec![128, 256]);
+        assert_eq!(op.reduce_extents(), vec![64]);
+        assert_eq!(op.flops(), 2.0 * 128.0 * 64.0 * 256.0);
+        assert_eq!(op.output_elems(), 128 * 256);
+    }
+
+    #[test]
+    fn gemm_tile_footprint_matches_hand_count() {
+        let op = OpSpec::gemm(128, 64, 256);
+        let fp = op.tile_footprint(&[32, 16], &[8]);
+        assert_eq!(fp.inputs, vec![32 * 8, 8 * 16]);
+        assert_eq!(fp.output, 32 * 16);
+        assert_eq!(fp.total_elems(), 256 + 128 + 512);
+    }
+
+    #[test]
+    fn conv_output_shape_and_flops() {
+        // Paper's C1: I=[128,256,30,30], K=[256,256,3,3], S=2.
+        // With pad 0: OH = OW = (30-3)/2+1 = 14.
+        let op = OpSpec::conv2d(128, 256, 30, 30, 256, 3, 3, 2, 0);
+        assert_eq!(op.spatial_extents(), vec![128, 256, 14, 14]);
+        assert_eq!(op.reduce_extents(), vec![256, 3, 3]);
+        let expect = 2.0 * (128u64 * 256 * 14 * 14 * 256 * 3 * 3) as f64;
+        assert_eq!(op.flops(), expect);
+    }
+
+    #[test]
+    fn conv_halo_footprint() {
+        let op = OpSpec::conv2d(1, 16, 32, 32, 8, 3, 3, 1, 0);
+        // Output tile 4x4 with full 3x3 kernel tile needs (4-1)*1+3 = 6x6 input.
+        let fp = op.tile_footprint(&[1, 8, 4, 4], &[16, 3, 3]);
+        assert_eq!(fp.inputs[0], 16 * 6 * 6);
+        assert_eq!(fp.inputs[1], 8 * 16 * 3 * 3);
+        assert_eq!(fp.output, 8 * 16);
+    }
+
+    #[test]
+    fn strided_conv_halo() {
+        let op = OpSpec::conv2d(1, 4, 64, 64, 4, 3, 3, 2, 0);
+        // Output tile 8 wide at stride 2: (8-1)*2+3 = 17 input columns.
+        let fp = op.tile_footprint(&[1, 4, 8, 8], &[4, 3, 3]);
+        assert_eq!(fp.inputs[0], 4 * 17 * 17);
+    }
+
+    #[test]
+    fn pool_footprint_has_no_weights() {
+        let op = OpSpec::avg_pool2d(16, 48, 48, 48, 2, 2);
+        assert_eq!(op.input_names().len(), 1);
+        let fp = op.tile_footprint(&[1, 8, 4, 4], &[2, 2]);
+        // (4-1)*2+2 = 8 input rows/cols.
+        assert_eq!(fp.inputs[0], 8 * 8 * 8);
+    }
+
+    #[test]
+    fn gemv_space() {
+        let op = OpSpec::gemv(16384, 8192);
+        assert_eq!(op.spatial_extents(), vec![16384]);
+        assert_eq!(op.reduce_extents(), vec![8192]);
+        assert_eq!(op.flops(), 2.0 * 16384.0 * 8192.0);
+    }
+
+    #[test]
+    fn elementwise_has_no_reduce() {
+        let op = OpSpec::elementwise(1 << 20, 2, 1);
+        assert!(op.reduce_extents().is_empty());
+        assert_eq!(op.reduce_steps(&[]), 1);
+        let fp = op.tile_footprint(&[1024], &[]);
+        assert_eq!(fp.inputs, vec![1024, 1024]);
+    }
+
+    #[test]
+    fn num_tiles_rounds_up() {
+        let op = OpSpec::gemm(100, 10, 60);
+        assert_eq!(op.num_tiles(&[32, 32]), 4 * 2);
+    }
+
+    #[test]
+    fn tile_efficiency_penalises_ragged_tiles() {
+        let op = OpSpec::gemm(100, 10, 64);
+        // M=100 with tile 32 → 4 tiles cover 128 → 100/128 efficiency.
+        let eff = op.tile_efficiency(&[32, 64]);
+        assert!((eff - 100.0 / 128.0).abs() < 1e-12);
+        // Perfect tiling is 1.0.
+        assert_eq!(op.tile_efficiency(&[25, 32]), 1.0);
+    }
+
+    #[test]
+    fn footprint_clamps_oversized_tiles() {
+        let op = OpSpec::gemm(16, 16, 16);
+        let fp = op.tile_footprint(&[1000, 1000], &[1000]);
+        assert_eq!(fp.inputs, vec![16 * 16, 16 * 16]);
+        assert_eq!(fp.output, 16 * 16);
+    }
+
+    #[test]
+    fn compulsory_bytes_counts_each_tensor_once() {
+        let op = OpSpec::gemm(8, 4, 2);
+        // A: 32, B: 8, C: 16 elems → 56 * 4 bytes.
+        assert_eq!(op.compulsory_bytes(), 56 * 4);
+    }
+
+    #[test]
+    fn gemm_intensity_grows_with_size() {
+        let small = OpSpec::gemm(64, 64, 64).arithmetic_intensity();
+        let big = OpSpec::gemm(4096, 4096, 4096).arithmetic_intensity();
+        assert!(big > 10.0 * small);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dim_rejected() {
+        let _ = OpSpec::gemm(0, 4, 4);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(OpSpec::gemm(1, 2, 3).label(), "GEMM[1,2,3]");
+        assert_eq!(OpSpec::gemv(4, 5).label(), "GEMV[4,5]");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_op() -> impl Strategy<Value = OpSpec> {
+        prop_oneof![
+            (1u64..500, 1u64..500, 1u64..500).prop_map(|(m, k, n)| OpSpec::gemm(m, k, n)),
+            (1u64..500, 1u64..500).prop_map(|(m, n)| OpSpec::gemv(m, n)),
+            (1u64..4, 1u64..16, 4u64..40, 4u64..40, 1u64..16, 1u64..4, 1u64..3, 0u64..2)
+                .prop_map(|(n, ci, h, w, co, k, s, p)| {
+                    let k = k.min(h).min(w);
+                    OpSpec::conv2d(n, ci, h, w, co, k, k, s, p)
+                }),
+            (1u64..4, 1u64..16, 4u64..40, 4u64..40, 1u64..4, 1u64..3).prop_map(
+                |(n, c, h, w, f, s)| {
+                    let f = f.min(h).min(w);
+                    OpSpec::avg_pool2d(n, c, h, w, f, s)
+                }
+            ),
+        ]
+    }
+
+    proptest! {
+        /// Footprints are monotone in the tile: growing any tile dimension
+        /// never shrinks any operand's footprint.
+        #[test]
+        fn footprint_monotone_in_tiles(op in arb_op(), grow_dim in any::<u8>()) {
+            let sp: Vec<u64> = op.spatial_extents().iter().map(|_| 2).collect();
+            let rd: Vec<u64> = op.reduce_extents().iter().map(|_| 2).collect();
+            let base = op.tile_footprint(&sp, &rd);
+            let mut sp2 = sp.clone();
+            let d = grow_dim as usize % sp2.len();
+            sp2[d] *= 2;
+            let grown = op.tile_footprint(&sp2, &rd);
+            for (a, b) in base.inputs.iter().zip(&grown.inputs) {
+                prop_assert!(b >= a);
+            }
+            prop_assert!(grown.output >= base.output);
+        }
+
+        /// Full-space tile covers each tensor exactly: the footprint of the
+        /// whole-extent tile equals the tensor sizes used by compulsory
+        /// traffic accounting.
+        #[test]
+        fn full_tile_footprint_is_whole_tensor(op in arb_op()) {
+            let sp = op.spatial_extents();
+            let rd = op.reduce_extents();
+            let fp = op.tile_footprint(&sp, &rd);
+            prop_assert_eq!(fp.output, op.output_elems());
+            prop_assert_eq!(fp.inputs, op.input_elems());
+        }
+
+        /// Tile counts and efficiency: num_tiles × tile volume ≥ the space,
+        /// and efficiency = space / covered.
+        #[test]
+        fn tile_cover_accounting(op in arb_op(), t0 in 1u64..64, t1 in 1u64..64) {
+            let sp_ext = op.spatial_extents();
+            let mut tile: Vec<u64> = sp_ext.iter().map(|_| t0).collect();
+            if tile.len() > 1 { tile[1] = t1; }
+            let clamped: Vec<u64> = tile.iter().zip(&sp_ext).map(|(&t, &e)| t.min(e)).collect();
+            let covered: u64 = sp_ext
+                .iter()
+                .zip(&clamped)
+                .map(|(&e, &t)| e.div_ceil(t) * t)
+                .product();
+            let space: u64 = sp_ext.iter().product();
+            prop_assert!(covered >= space);
+            let eff = op.tile_efficiency(&clamped);
+            prop_assert!((eff - space as f64 / covered as f64).abs() < 1e-9);
+        }
+
+        /// Row lengths never exceed the per-operand footprint.
+        #[test]
+        fn rows_bounded_by_footprint(op in arb_op()) {
+            let sp: Vec<u64> = op.spatial_extents().iter().map(|_| 4).collect();
+            let rd: Vec<u64> = op.reduce_extents().iter().map(|_| 4).collect();
+            let fp = op.tile_footprint(&sp, &rd);
+            let rows = op.tile_row_elems(&sp, &rd);
+            for (r, f) in rows.iter().zip(&fp.inputs) {
+                prop_assert!(r <= f, "row {} > footprint {}", r, f);
+            }
+        }
+
+        /// FLOPs scale linearly in every extent for GEMM.
+        #[test]
+        fn gemm_flops_linear(m in 1u64..200, k in 1u64..200, n in 1u64..200) {
+            let f1 = OpSpec::gemm(m, k, n).flops();
+            let f2 = OpSpec::gemm(2 * m, k, n).flops();
+            prop_assert!((f2 / f1 - 2.0).abs() < 1e-9);
+        }
+    }
+}

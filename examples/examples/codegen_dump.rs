@@ -1,0 +1,20 @@
+//! Dump the generated CUDA and the primitive-level loop-nest pseudo-code
+//! for a scheduled operator — the artifacts the codegen stage produces.
+
+use simgpu::Tuner;
+use tensor_expr::OpSpec;
+
+fn main() {
+    let gpu = hardware::GpuSpec::rtx4090();
+    for op in [
+        OpSpec::gemm(1024, 512, 2048),
+        OpSpec::conv2d(8, 64, 28, 28, 128, 3, 3, 1, 1),
+    ] {
+        let ck = gensor::Gensor::default().compile(&op, &gpu);
+        println!("==================================================================");
+        println!("// schedule (pseudo-code via Table I primitives)");
+        println!("{}", codegen::emit_pseudo(&ck.etir));
+        println!("// CUDA");
+        println!("{}", codegen::emit_cuda(&ck.etir));
+    }
+}

@@ -1,0 +1,44 @@
+//! Compare all tensor-compilation methods on one operator: the paper's
+//! core experiment in miniature.
+//!
+//! ```text
+//! cargo run -p gensor-examples --example compare_methods --release -- 8192 8192 8192
+//! ```
+
+use simgpu::Tuner;
+use tensor_expr::OpSpec;
+
+fn main() {
+    let args: Vec<u64> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let (m, k, n) = match args.as_slice() {
+        [m, k, n] => (*m, *k, *n),
+        _ => (8192, 8192, 8192),
+    };
+    let op = OpSpec::gemm(m, k, n);
+    let gpu = hardware::GpuSpec::rtx4090();
+    println!("{} on {}\n", op.label(), gpu.name);
+    println!("{:<10} {:>12} {:>10} {:>14} {:>12}", "method", "GFLOPS", "time(ms)", "tuning(s)", "candidates");
+
+    let methods: Vec<Box<dyn Tuner>> = vec![
+        Box::new(search::Eager),
+        Box::new(search::VendorLib),
+        Box::new(roller::Roller::default()),
+        Box::new(gensor::Gensor::default()),
+        Box::new(search::Ansor::default()),
+    ];
+    for t in methods {
+        let ck = t.compile(&op, &gpu);
+        println!(
+            "{:<10} {:>12.1} {:>10.3} {:>14.3} {:>12}",
+            t.name(),
+            ck.report.gflops,
+            ck.report.time_ms(),
+            ck.total_tuning_s(),
+            ck.candidates_evaluated
+        );
+    }
+    println!("\n(Ansor's tuning column includes its simulated on-device measurement clock.)");
+}

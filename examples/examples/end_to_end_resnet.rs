@@ -1,0 +1,46 @@
+//! End-to-end: compile every layer of ResNet-50 and report the breakdown —
+//! the paper's Fig. 9 workflow for one model.
+
+use models::{compile_model, zoo};
+use simgpu::Tuner;
+
+fn main() {
+    let gpu = hardware::GpuSpec::rtx4090();
+    let graph = zoo::resnet50(128);
+    println!(
+        "{} (batch {}): {} unique kernels, {:.1} GFLOP/pass\n",
+        graph.name,
+        graph.batch,
+        graph.unique_ops(),
+        graph.total_flops() / 1e9
+    );
+    let methods: Vec<Box<dyn Tuner>> = vec![
+        Box::new(search::Eager),
+        Box::new(roller::Roller::default()),
+        Box::new(gensor::Gensor::default()),
+    ];
+    let mut compiled = Vec::new();
+    for t in &methods {
+        let cm = compile_model(t.as_ref(), &graph, &gpu);
+        println!(
+            "{:<9} {:>8.1} fps   pass {:>7.2} ms   tuned in {:>6.2}s",
+            cm.method,
+            cm.throughput,
+            cm.pass_time_us / 1000.0,
+            cm.tuning_s
+        );
+        compiled.push(cm);
+    }
+    // Show where Gensor spends the pass.
+    let gm = compiled.last().unwrap();
+    let mut rows: Vec<_> = gm
+        .kernels
+        .iter()
+        .map(|(n, k, c)| (k.report.time_us * *c as f64, n.clone(), *c))
+        .collect();
+    rows.sort_by(|a, b| b.0.total_cmp(&a.0));
+    println!("\nGensor's top-5 layers by time:");
+    for (t, name, count) in rows.iter().take(5) {
+        println!("  {name:<22} {:>8.1} µs  (×{count})", t);
+    }
+}

@@ -1,0 +1,1 @@
+//! Integration-test host package (tests live in `tests/tests/`).

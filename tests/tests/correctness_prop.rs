@@ -1,0 +1,108 @@
+//! Property-based correctness: *any* schedule the construction graph can
+//! reach must compute the same result as the naive reference — the
+//! foundational invariant behind every performance claim.
+
+use etir::{Action, Etir};
+use hardware::GpuSpec;
+use proptest::prelude::*;
+use tensor_expr::OpSpec;
+
+/// A small operator of arbitrary class (interp-friendly sizes; deliberately
+/// non-power-of-two so ragged tiles and halos are exercised).
+fn arb_op() -> impl Strategy<Value = OpSpec> {
+    prop_oneof![
+        (3u64..40, 2u64..24, 3u64..40).prop_map(|(m, k, n)| OpSpec::gemm(m, k, n)),
+        (3u64..64, 2u64..48).prop_map(|(m, n)| OpSpec::gemv(m, n)),
+        (1u64..3, 1u64..6, 7u64..14, 7u64..14, 1u64..6, 1u64..4, 1u64..3, 0u64..2).prop_map(
+            |(n, ci, h, w, co, k, s, p)| {
+                let k = k.min(h).min(w); // kernel no larger than input
+                OpSpec::conv2d(n, ci, h, w, co, k, k, s, p)
+            }
+        ),
+        (1u64..3, 1u64..6, 6u64..14, 6u64..14, 2u64..4, 1u64..3).prop_map(
+            |(n, c, h, w, f, s)| {
+                let f = f.min(h).min(w);
+                OpSpec::avg_pool2d(n, c, h, w, f, s)
+            }
+        ),
+        (5u64..200, 1u32..4).prop_map(|(e, i)| OpSpec::elementwise(e, i, 1)),
+    ]
+}
+
+/// Apply a pseudo-random action sequence (indices into the applicable-edge
+/// list at each step), mirroring an arbitrary graph walk.
+fn apply_walk(op: &OpSpec, spec: &GpuSpec, choices: &[u8]) -> Etir {
+    let mut e = Etir::initial(op.clone(), spec);
+    for &c in choices {
+        let acts = Action::enumerate(&e);
+        if acts.is_empty() {
+            break;
+        }
+        let a = acts[c as usize % acts.len()];
+        let next = e.apply(&a);
+        // Keep states interp-executable (full-capacity filter).
+        if etir::analytics::MemCheck::check(&next, spec).fits() {
+            e = next;
+        }
+    }
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Any reachable feasible schedule computes the reference result.
+    #[test]
+    fn arbitrary_walks_preserve_semantics(
+        op in arb_op(),
+        choices in proptest::collection::vec(any::<u8>(), 0..30),
+    ) {
+        let spec = GpuSpec::rtx4090();
+        let e = apply_walk(&op, &spec, &choices);
+        interp::check_schedule(&e);
+    }
+
+    /// Action application preserves the ETIR struct invariants and
+    /// inverse edges exactly undo forward edges.
+    #[test]
+    fn walks_preserve_etir_invariants(
+        op in arb_op(),
+        choices in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let spec = GpuSpec::rtx4090();
+        let mut e = Etir::initial(op, &spec);
+        for &c in &choices {
+            let acts = Action::enumerate(&e);
+            if acts.is_empty() { break; }
+            let a = acts[c as usize % acts.len()];
+            let next = e.apply(&a);
+            prop_assert_eq!(next.validate(), Ok(()));
+            if let Some(inv) = a.inverse() {
+                prop_assert!(next.can_apply(&inv));
+                prop_assert_eq!(next.apply(&inv), e.clone());
+            }
+            e = next;
+        }
+    }
+
+    /// The capacity check is monotone under tile growth: if a grown state
+    /// fits, shrinking any tile (where legal) also fits.
+    #[test]
+    fn capacity_check_monotone_under_inverse_tiling(
+        op in arb_op(),
+        choices in proptest::collection::vec(any::<u8>(), 0..25),
+    ) {
+        let spec = GpuSpec::orin_nano();
+        let e = apply_walk(&op, &spec, &choices);
+        prop_assume!(etir::analytics::MemCheck::check_capacity(&e, &spec).fits());
+        for a in Action::enumerate(&e) {
+            if a.is_inverse() {
+                let shrunk = e.apply(&a);
+                prop_assert!(
+                    etir::analytics::MemCheck::check_capacity(&shrunk, &spec).fits(),
+                    "shrinking {:?} broke capacity", a
+                );
+            }
+        }
+    }
+}
