@@ -1,0 +1,73 @@
+//! Criterion bench: schedule-cache hit-path latency and the cold-vs-warm
+//! end-to-end compile gap. Also writes `results/cache_warm_vs_cold.json`
+//! next to the figure data so the speedup is plottable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use models::{compile_model, zoo};
+use schedcache::{CachedTuner, ScheduleCache};
+use serde::Serialize;
+use simgpu::Tuner;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct WarmVsCold {
+    model: String,
+    unique_layers: u64,
+    cold_compile_s: f64,
+    warm_compile_s: f64,
+    speedup: f64,
+    hits: u64,
+    misses: u64,
+}
+
+fn cache_benches(c: &mut Criterion) {
+    let spec = hardware::GpuSpec::rtx4090();
+    let bert = zoo::bert_small(8, 128);
+    let gensor = gensor::Gensor::default();
+
+    // --- hit path: a resident schedule answered from the sharded map ---
+    let cache = Arc::new(ScheduleCache::in_memory());
+    let tuner = CachedTuner::for_gensor(&gensor, cache.clone());
+    let op = tensor_expr::OpSpec::gemm(1024, 512, 1024);
+    tuner.compile(&op, &spec); // populate
+    let mut group = c.benchmark_group("cache");
+    group.bench_function("hit_path/gemm", |b| {
+        b.iter(|| criterion::black_box(tuner.compile(&op, &spec)))
+    });
+
+    // --- cold vs warm whole-model compile (one timed pass each; a cold
+    // Gensor compile of BERT-small is far too slow for criterion's
+    // sampling, so this is measured directly and persisted as JSON) ---
+    let cache = Arc::new(ScheduleCache::in_memory());
+    let tuner = CachedTuner::for_gensor(&gensor, cache.clone());
+    let t0 = Instant::now();
+    compile_model(&tuner, &bert, &spec);
+    let cold_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    compile_model(&tuner, &bert, &spec);
+    let warm_s = t1.elapsed().as_secs_f64();
+    let stats = cache.stats();
+    let row = WarmVsCold {
+        model: bert.name.clone(),
+        unique_layers: bert.fused_layers().count() as u64,
+        cold_compile_s: cold_s,
+        warm_compile_s: warm_s,
+        speedup: cold_s / warm_s.max(1e-12),
+        hits: stats.hits,
+        misses: stats.misses,
+    };
+    println!(
+        "cold {:.4}s vs warm {:.6}s — {:.0}× ({} hits / {} misses)",
+        row.cold_compile_s, row.warm_compile_s, row.speedup, row.hits, row.misses
+    );
+    bench::write_json("cache_warm_vs_cold", &row);
+
+    group.bench_function("warm_compile_model/bert_small", |b| {
+        b.iter(|| criterion::black_box(compile_model(&tuner, &bert, &spec)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, cache_benches);
+criterion_main!(benches);

@@ -10,8 +10,14 @@ fn construction(c: &mut Criterion) {
         ("gemm2048", tensor_expr::OpSpec::gemm(2048, 2048, 2048)),
         ("gemm_unbalanced", tensor_expr::OpSpec::gemm(65536, 4, 1024)),
         ("gemv", tensor_expr::OpSpec::gemv(16384, 8192)),
-        ("conv_c1", tensor_expr::OpSpec::conv2d(128, 256, 30, 30, 256, 3, 3, 2, 0)),
-        ("pool_p1", tensor_expr::OpSpec::avg_pool2d(16, 48, 48, 48, 2, 2)),
+        (
+            "conv_c1",
+            tensor_expr::OpSpec::conv2d(128, 256, 30, 30, 256, 3, 3, 2, 0),
+        ),
+        (
+            "pool_p1",
+            tensor_expr::OpSpec::avg_pool2d(16, 48, 48, 48, 2, 2),
+        ),
     ];
     let mut group = c.benchmark_group("construction");
     group.sample_size(10);

@@ -20,7 +20,10 @@ struct Row {
 
 fn variant(name: &str, policy: Policy) -> (String, Gensor) {
     let cfg = GensorConfig {
-        walk: Walk { policy, ..Walk::default() },
+        walk: Walk {
+            policy,
+            ..Walk::default()
+        },
         ..GensorConfig::default()
     };
     (name.to_string(), Gensor::with_config(cfg))
@@ -36,9 +39,27 @@ fn main() {
 
     let variants = vec![
         variant("full graph", Policy::default()),
-        variant("tree mode (no inverse)", Policy { enable_inverse: false, ..Policy::default() }),
-        variant("no vThread", Policy { enable_vthread: false, ..Policy::default() }),
-        variant("no unroll", Policy { enable_unroll: false, ..Policy::default() }),
+        variant(
+            "tree mode (no inverse)",
+            Policy {
+                enable_inverse: false,
+                ..Policy::default()
+            },
+        ),
+        variant(
+            "no vThread",
+            Policy {
+                enable_vthread: false,
+                ..Policy::default()
+            },
+        ),
+        variant(
+            "no unroll",
+            Policy {
+                enable_unroll: false,
+                ..Policy::default()
+            },
+        ),
     ];
 
     println!("Policy-feature ablation on {} (GFLOPS)\n", spec.name);
@@ -56,7 +77,11 @@ fn main() {
                 full.push(g);
             }
             rels.push(g / full[i]);
-            data.push(Row { variant: name.clone(), op: cfg.label.clone(), gflops: g });
+            data.push(Row {
+                variant: name.clone(),
+                op: cfg.label.clone(),
+                gflops: g,
+            });
         }
         rel.push((name.clone(), rels));
         rows.push(row);

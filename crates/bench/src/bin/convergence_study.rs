@@ -29,13 +29,19 @@ struct Out {
 fn main() {
     let spec = hardware::GpuSpec::rtx4090();
     let op = tensor_expr::OpSpec::gemm(16, 8, 16);
-    println!("§IV-D convergence study on the within-level chain of {}\n", op.label());
+    println!(
+        "§IV-D convergence study on the within-level chain of {}\n",
+        op.label()
+    );
 
     let strict = ChainSpace::enumerate(&op, &spec, 5_000, 0.0);
     let lazy = ChainSpace::enumerate(&op, &spec, 5_000, 0.02);
     println!("states |S|                 : {}", lazy.len());
     println!("irreducible (inv-tiling)   : {}", lazy.is_irreducible());
-    println!("period, no self-loops      : {} (bipartite ±doubling chain!)", strict.period());
+    println!(
+        "period, no self-loops      : {} (bipartite ±doubling chain!)",
+        strict.period()
+    );
     println!("period, 2% self-loops      : {}", lazy.period());
 
     let (pi, iters) = lazy.stationary(1e-12, 100_000);

@@ -71,6 +71,8 @@ fn main() {
         });
     }
     println!("(The paper reports convergence after ~100 iterations; the traces above show");
-    println!(" the per-chain budget of 33 steps/rank achieving their final quality well inside it.)");
+    println!(
+        " the per-chain budget of 33 steps/rank achieving their final quality well inside it.)"
+    );
     write_json("convergence_trace", &out);
 }

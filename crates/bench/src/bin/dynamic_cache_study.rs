@@ -23,8 +23,13 @@ fn main() {
     let spec = hardware::GpuSpec::rtx4090();
     // A stream of dynamically-changing sequence lengths, with repeats
     // (real traffic revisits shapes).
-    let seqs = [128u64, 160, 192, 128, 256, 320, 192, 384, 128, 448, 512, 256];
-    let shapes: Vec<OpSpec> = seqs.iter().map(|&s| OpSpec::gemm(8 * s, 512, 2048)).collect();
+    let seqs = [
+        128u64, 160, 192, 128, 256, 320, 192, 384, 128, 448, 512, 256,
+    ];
+    let shapes: Vec<OpSpec> = seqs
+        .iter()
+        .map(|&s| OpSpec::gemm(8 * s, 512, 2048))
+        .collect();
 
     let opt = DynamicOptimizer::default();
     let cold = Gensor::default();
@@ -63,13 +68,24 @@ fn main() {
         });
     }
     print_table(
-        &["step", "shape", "mode", "wall(ms)", "cands", "GFLOPS", "cold GFLOPS"],
+        &[
+            "step",
+            "shape",
+            "mode",
+            "wall(ms)",
+            "cands",
+            "GFLOPS",
+            "cold GFLOPS",
+        ],
         &rows,
     );
     let s = opt.stats();
     println!(
         "\nCache: {} hits, {} warm starts, {} cold misses over {} requests",
-        s.hits, s.warm_starts, s.cold_misses, shapes.len()
+        s.hits,
+        s.warm_starts,
+        s.cold_misses,
+        shapes.len()
     );
     let warm_quality: Vec<f64> = data
         .iter()
@@ -78,7 +94,10 @@ fn main() {
         .collect();
     if !warm_quality.is_empty() {
         let avg = warm_quality.iter().sum::<f64>() / warm_quality.len() as f64;
-        println!("Warm-start quality vs full cold compile: {:.1}% on average", avg * 100.0);
+        println!(
+            "Warm-start quality vs full cold compile: {:.1}% on average",
+            avg * 100.0
+        );
     }
     write_json("dynamic_cache_study", &data);
 }

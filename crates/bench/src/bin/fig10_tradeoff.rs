@@ -24,7 +24,10 @@ struct Point {
 fn main() {
     let spec = hardware::GpuSpec::rtx4090();
     let graph = zoo::resnet34(128);
-    println!("Fig. 10 — performance vs optimization time ({}, {})\n", graph.name, spec.name);
+    println!(
+        "Fig. 10 — performance vs optimization time ({}, {})\n",
+        graph.name, spec.name
+    );
 
     let mut points: Vec<Point> = Vec::new();
     let mut push = |method: &str, budget: String, tuner: &dyn Tuner| {
@@ -40,11 +43,18 @@ fn main() {
     push("PyTorch", "-".into(), &search::Eager);
     push("Roller", "-".into(), &roller::Roller::default());
     for chains in [2usize, 8, 24] {
-        let g = Gensor::with_config(GensorConfig { chains, ..Default::default() });
+        let g = Gensor::with_config(GensorConfig {
+            chains,
+            ..Default::default()
+        });
         push("Gensor", format!("{chains} chains"), &g);
     }
     for trials in [50u64, 200, 1000] {
-        push("Ansor", format!("{trials} trials"), &search::Ansor::with_trials(trials));
+        push(
+            "Ansor",
+            format!("{trials} trials"),
+            &search::Ansor::with_trials(trials),
+        );
     }
 
     let rows: Vec<Vec<String>> = points

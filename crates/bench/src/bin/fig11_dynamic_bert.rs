@@ -21,7 +21,10 @@ struct Row {
 fn main() {
     let spec = hardware::GpuSpec::rtx4090();
     let batch = 8;
-    println!("Fig. 11 — dynamic-shape BERT-small (batch {batch}) on {}\n", spec.name);
+    println!(
+        "Fig. 11 — dynamic-shape BERT-small (batch {batch}) on {}\n",
+        spec.name
+    );
 
     let roller = run_per_shape(&roller::Roller::default(), batch, &spec);
     let gensor = run_per_shape(&gensor::Gensor::default(), batch, &spec);

@@ -23,7 +23,11 @@ fn render(t: &Timeline) -> String {
     // ASCII bar: each segment scaled to characters.
     let mut s = String::new();
     for seg in &t.segments {
-        let ch = if seg.kind == SegmentKind::Optimize { 'z' } else { '#' };
+        let ch = if seg.kind == SegmentKind::Optimize {
+            'z'
+        } else {
+            '#'
+        };
         let len = ((seg.seconds / 3.0).ceil() as usize).clamp(1, 120);
         s.extend(std::iter::repeat_n(ch, len));
     }
@@ -62,8 +66,12 @@ fn main() {
                 .iter()
                 .map(|s| {
                     (
-                        if s.kind == SegmentKind::Optimize { "optimize" } else { "inference" }
-                            .to_string(),
+                        if s.kind == SegmentKind::Optimize {
+                            "optimize"
+                        } else {
+                            "inference"
+                        }
+                        .to_string(),
                         s.seconds,
                     )
                 })

@@ -29,7 +29,10 @@ fn main() {
         Box::new(gensor::Gensor::default()),
         Box::new(search::Ansor::default()),
     ];
-    println!("Fig. 8 — compilation time for square GEMMs on {}\n", spec.name);
+    println!(
+        "Fig. 8 — compilation time for square GEMMs on {}\n",
+        spec.name
+    );
     let mut data = Vec::new();
     let mut rows = Vec::new();
     for &s in &sizes {
@@ -55,12 +58,23 @@ fn main() {
         }
     }
     print_table(
-        &["GEMM", "method", "wall(s)", "sim(s)", "total(s)", "candidates"],
+        &[
+            "GEMM",
+            "method",
+            "wall(s)",
+            "sim(s)",
+            "total(s)",
+            "candidates",
+        ],
         &rows,
     );
     // Order-of-magnitude summary.
     let avg = |m: &str| {
-        let xs: Vec<f64> = data.iter().filter(|r| r.method == m).map(|r| r.total_s).collect();
+        let xs: Vec<f64> = data
+            .iter()
+            .filter(|r| r.method == m)
+            .map(|r| r.total_s)
+            .collect();
         xs.iter().sum::<f64>() / xs.len() as f64
     };
     let (r, g, a) = (avg("Roller"), avg("Gensor"), avg("Ansor"));

@@ -36,11 +36,18 @@ fn main() {
                 r.shape.clone(),
                 format!("{:.2}", r.gflop),
                 format!("{:.1}", r.intensity),
-                if r.from_paper { "paper".into() } else { "reconstructed".into() },
+                if r.from_paper {
+                    "paper".into()
+                } else {
+                    "reconstructed".into()
+                },
             ]
         })
         .collect();
     println!("Table IV — benchmark suite (32 operator configurations)\n");
-    print_table(&["label", "class", "shape", "GFLOP", "FLOP/B", "source"], &rows);
+    print_table(
+        &["label", "class", "shape", "GFLOP", "FLOP/B", "source"],
+        &rows,
+    );
     write_json("table4_suite", &rows_data);
 }

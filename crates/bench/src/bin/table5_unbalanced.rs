@@ -30,7 +30,10 @@ fn main() {
     let gensor = gensor::Gensor::default();
     let ansor = search::Ansor::default();
 
-    println!("Table V — unbalanced GEMM metric breakdown on {} (Gensor vs Ansor)\n", spec.name);
+    println!(
+        "Table V — unbalanced GEMM metric breakdown on {} (Gensor vs Ansor)\n",
+        spec.name
+    );
     let mut data = Vec::new();
     let mut rows = Vec::new();
     for (m, k, n) in shapes {
@@ -60,14 +63,23 @@ fn main() {
         }
     }
     print_table(
-        &["shape", "method", "Compute", "MemBusy", "L2 Hit", "Time(ms)"],
+        &[
+            "shape", "method", "Compute", "MemBusy", "L2 Hit", "Time(ms)",
+        ],
         &rows,
     );
     // Paper's claim: Gensor's execution time beats Ansor's on each row.
     for pair in data.chunks(2) {
         let (g, a) = (&pair[0], &pair[1]);
-        let verdict = if g.time_ms <= a.time_ms { "Gensor wins" } else { "Ansor wins" };
-        println!("{}: Gensor {:.3} ms vs Ansor {:.3} ms → {}", g.shape, g.time_ms, a.time_ms, verdict);
+        let verdict = if g.time_ms <= a.time_ms {
+            "Gensor wins"
+        } else {
+            "Ansor wins"
+        };
+        println!(
+            "{}: Gensor {:.3} ms vs Ansor {:.3} ms → {}",
+            g.shape, g.time_ms, a.time_ms, verdict
+        );
     }
     write_json("table5_unbalanced", &data);
 }

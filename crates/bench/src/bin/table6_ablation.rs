@@ -36,7 +36,10 @@ fn main() {
         Box::new(gensor::Gensor::default()),
     ];
 
-    println!("Table VI — graph-construction & vThread ablation on {}\n", spec.name);
+    println!(
+        "Table VI — graph-construction & vThread ablation on {}\n",
+        spec.name
+    );
     let mut data: Vec<Cell> = Vec::new();
     let mut rows = Vec::new();
     for (label, op) in &ops {

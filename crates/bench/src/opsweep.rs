@@ -79,7 +79,14 @@ pub fn run_sweep(spec: &GpuSpec, baseline_method: &str, json_name: &str) {
     let gcu: Vec<f64> = g.iter().zip(&cu).map(|(a, b)| a / b).collect();
     let gr_avg = gr.iter().sum::<f64>() / gr.len() as f64;
     let gr_max = gr.iter().cloned().fold(f64::MIN, f64::max);
-    println!("\nGensor vs Roller: avg {:.1}% faster, max {:.1}% faster", (gr_avg - 1.0) * 100.0, (gr_max - 1.0) * 100.0);
-    println!("Gensor vs cuBLAS: {:.1}% of cuBLAS on average (paper: 81.2%)", geomean(&gcu) * 100.0);
+    println!(
+        "\nGensor vs Roller: avg {:.1}% faster, max {:.1}% faster",
+        (gr_avg - 1.0) * 100.0,
+        (gr_max - 1.0) * 100.0
+    );
+    println!(
+        "Gensor vs cuBLAS: {:.1}% of cuBLAS on average (paper: 81.2%)",
+        geomean(&gcu) * 100.0
+    );
     write_json(json_name, &results);
 }

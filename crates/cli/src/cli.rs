@@ -2,8 +2,10 @@
 
 use hardware::GpuSpec;
 use models::compile_model;
+use schedcache::{CachedTuner, ScheduleCache, Store};
 use simgpu::Tuner;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use tensor_expr::OpSpec;
 
 /// CLI failure: bad usage with an explanation.
@@ -19,9 +21,10 @@ pub fn usage() -> String {
 gensor — graph-based construction tensor compiler (Rust reproduction)
 
 USAGE:
-  gensor compile <op> <dims...> [--gpu G] [--method M] [--emit E]
+  gensor compile <op> <dims...> [--gpu G] [--method M] [--emit E] [--cache F]
   gensor compare <op> <dims...> [--gpu G]
-  gensor model <name> [--batch B] [--gpu G] [--method M]
+  gensor model <name> [--batch B] [--gpu G] [--method M] [--cache F]
+  gensor cache stats <file> [--emit E]
   gensor devices
 
 OPS:
@@ -33,6 +36,7 @@ OPTIONS:
   --method  gensor (default) | roller | ansor | cublas | pytorch
   --emit    summary (default) | cuda | pseudo | harness | json
   --batch   model batch size (default 8)
+  --cache   persistent schedule cache file (JSONL); hits skip tuning
 
 MODELS:
   resnet50 | resnet34 | mobilenetv2 | bert | gpt2
@@ -60,8 +64,11 @@ fn parse_method(name: &str) -> Result<Box<dyn Tuner>, CliError> {
     })
 }
 
+/// Positional arguments plus `--key value` option pairs.
+type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
+
 /// Split positional arguments from `--key value` options.
-fn split_args(args: &[String]) -> Result<(Vec<&str>, Vec<(&str, &str)>), CliError> {
+fn split_args(args: &[String]) -> Result<ParsedArgs<'_>, CliError> {
     let mut pos = Vec::new();
     let mut opts = Vec::new();
     let mut i = 0;
@@ -89,9 +96,55 @@ fn opt<'a>(opts: &[(&str, &'a str)], key: &str, default: &'a str) -> &'a str {
         .unwrap_or(default)
 }
 
+/// Open the `--cache` file if the flag is present.
+fn parse_cache(opts: &[(&str, &str)]) -> Result<Option<Arc<ScheduleCache>>, CliError> {
+    match opts.iter().rev().find(|(k, _)| *k == "cache") {
+        None => Ok(None),
+        Some((_, path)) => ScheduleCache::open(path)
+            .map(|c| Some(Arc::new(c)))
+            .map_err(|e| CliError::Usage(format!("cannot open cache '{path}': {e}"))),
+    }
+}
+
+/// Wrap `method` in a caching adapter. Gensor gets the warm-start path
+/// (a quarter-chain construction seeded by cached neighbours); other
+/// methods are cached as-is.
+fn cached_tuner<'a>(
+    method: &'a dyn Tuner,
+    name: &str,
+    cache: Arc<ScheduleCache>,
+) -> CachedTuner<'a> {
+    if name == "gensor" {
+        let cfg = gensor::GensorConfig::default();
+        let warm = gensor::Gensor::with_config(gensor::GensorConfig {
+            chains: (cfg.chains / 4).max(1),
+            ..cfg
+        });
+        CachedTuner::with_warm_tuner(method, warm, cache)
+    } else {
+        CachedTuner::new(method, cache)
+    }
+}
+
+/// One summary line about cache behaviour.
+fn cache_line(cache: &ScheduleCache) -> String {
+    let s = cache.stats();
+    format!(
+        "{} hits / {} misses ({} warm) — saved {:.3} s tuning, {} schedules banked",
+        s.hits,
+        s.misses,
+        s.warm_starts,
+        s.saved_tuning_s,
+        cache.len()
+    )
+}
+
 fn dims(pos: &[&str], n: usize, what: &str) -> Result<Vec<u64>, CliError> {
     if pos.len() != n {
-        return Err(CliError::Usage(format!("{what} expects {n} dims, got {}", pos.len())));
+        return Err(CliError::Usage(format!(
+            "{what} expects {n} dims, got {}",
+            pos.len()
+        )));
     }
     pos.iter()
         .map(|p| {
@@ -141,6 +194,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "compile" => compile(rest, &opts),
         "compare" => compare(rest, &opts),
         "model" => model(rest, &opts),
+        "cache" => cache_cmd(rest, &opts),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     }
@@ -166,9 +220,18 @@ fn devices() -> String {
 fn compile(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     let op = parse_op(pos)?;
     let gpu = parse_gpu(opt(opts, "gpu", "rtx4090"))?;
-    let method = parse_method(opt(opts, "method", "gensor"))?;
+    let method_name = opt(opts, "method", "gensor");
+    let method = parse_method(method_name)?;
+    let cache = parse_cache(opts)?;
+    let cached = cache
+        .as_ref()
+        .map(|c| cached_tuner(method.as_ref(), method_name, c.clone()));
+    let tuner: &dyn Tuner = match &cached {
+        Some(c) => c,
+        None => method.as_ref(),
+    };
     let emit = opt(opts, "emit", "summary");
-    let ck = method.compile(&op, &gpu);
+    let ck = tuner.compile(&op, &gpu);
     Ok(match emit {
         "cuda" => codegen::emit_cuda(&ck.etir),
         "harness" => codegen::emit_host_harness(&ck.etir),
@@ -204,7 +267,15 @@ fn compile(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
                 ck.report.mem_busy * 100.0,
                 ck.report.l2_hit_rate * 100.0
             );
-            let _ = writeln!(out, "tuning   : {:.4} s ({} candidates)", ck.total_tuning_s(), ck.candidates_evaluated);
+            let _ = writeln!(
+                out,
+                "tuning   : {:.4} s ({} candidates)",
+                ck.total_tuning_s(),
+                ck.candidates_evaluated
+            );
+            if let Some(cache) = &cache {
+                let _ = writeln!(out, "cache    : {}", cache_line(cache));
+            }
             out
         }
         other => return Err(CliError::Usage(format!("unknown emit mode '{other}'"))),
@@ -215,7 +286,11 @@ fn compare(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     let op = parse_op(pos)?;
     let gpu = parse_gpu(opt(opts, "gpu", "rtx4090"))?;
     let mut out = format!("{} on {}\n", op.label(), gpu.name);
-    let _ = writeln!(out, "{:<10} {:>12} {:>10} {:>12}", "method", "GFLOPS", "time(ms)", "tuning(s)");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>10} {:>12}",
+        "method", "GFLOPS", "time(ms)", "tuning(s)"
+    );
     for name in ["pytorch", "cublas", "roller", "gensor", "ansor"] {
         let t = parse_method(name)?;
         let ck = t.compile(&op, &gpu);
@@ -239,7 +314,16 @@ fn model(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
         .parse()
         .map_err(|_| CliError::Usage("bad --batch".into()))?;
     let gpu = parse_gpu(opt(opts, "gpu", "rtx4090"))?;
-    let method = parse_method(opt(opts, "method", "gensor"))?;
+    let method_name = opt(opts, "method", "gensor");
+    let method = parse_method(method_name)?;
+    let cache = parse_cache(opts)?;
+    let cached = cache
+        .as_ref()
+        .map(|c| cached_tuner(method.as_ref(), method_name, c.clone()));
+    let tuner: &dyn Tuner = match &cached {
+        Some(c) => c,
+        None => method.as_ref(),
+    };
     let graph = match *name {
         "resnet50" => models::zoo::resnet50(batch),
         "resnet34" => models::zoo::resnet34(batch),
@@ -248,16 +332,83 @@ fn model(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
         "gpt2" => models::zoo::gpt2(batch, 1024),
         other => return Err(CliError::Usage(format!("unknown model '{other}'"))),
     };
-    let cm = compile_model(method.as_ref(), &graph, &gpu);
+    let cm = compile_model(tuner, &graph, &gpu);
     let mut out = String::new();
     let _ = writeln!(out, "model      : {} (batch {})", graph.name, graph.batch);
     let _ = writeln!(out, "gpu        : {}", gpu.name);
     let _ = writeln!(out, "method     : {}", cm.method);
-    let _ = writeln!(out, "kernels    : {} unique / {} launches", graph.unique_ops(), graph.total_launches());
+    let _ = writeln!(
+        out,
+        "kernels    : {} unique / {} launches",
+        graph.unique_ops(),
+        graph.total_launches()
+    );
     let _ = writeln!(out, "pass time  : {:.3} ms", cm.pass_time_us / 1000.0);
     let _ = writeln!(out, "throughput : {:.1} samples/s", cm.throughput);
     let _ = writeln!(out, "tuning     : {:.3} s", cm.tuning_s);
+    if let Some(cache) = &cache {
+        let _ = writeln!(out, "cache      : {}", cache_line(cache));
+    }
     Ok(out)
+}
+
+/// `gensor cache stats <file>` — inspect a persistent schedule cache.
+fn cache_cmd(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
+    let (sub, rest) = pos
+        .split_first()
+        .ok_or_else(|| CliError::Usage("cache expects a subcommand: stats".into()))?;
+    if *sub != "stats" {
+        return Err(CliError::Usage(format!("unknown cache subcommand '{sub}'")));
+    }
+    let path = rest
+        .first()
+        .ok_or_else(|| CliError::Usage("cache stats expects a file path".into()))?;
+    let store = Store::open(*path);
+    let (records, report) = store
+        .load()
+        .map_err(|e| CliError::Usage(format!("cannot read cache '{path}': {e}")))?;
+    // `fold`, not `sum()`: an empty f64 sum is `-0.0`, which would print
+    // as "-0.000 s" for a fresh cache file.
+    let banked: f64 = records.iter().fold(0.0, |a, r| a + r.tuning_s);
+    match opt(opts, "emit", "summary") {
+        "json" => {
+            let v = serde_json::json!({
+                "file": *path,
+                "records": report.loaded as u64,
+                "corrupt_lines": report.corrupt as u64,
+                "version_skipped": report.version_skipped as u64,
+                "tuning_banked_s": banked,
+            });
+            Ok(serde_json::to_string_pretty(&v).expect("serialize") + "\n")
+        }
+        "summary" => {
+            let mut out = String::new();
+            let _ = writeln!(out, "cache file : {path}");
+            let _ = writeln!(
+                out,
+                "records    : {} loaded, {} corrupt, {} foreign-version (skipped)",
+                report.loaded, report.corrupt, report.version_skipped
+            );
+            let _ = writeln!(out, "banked     : {banked:.3} s of tuning work");
+            if !records.is_empty() {
+                let _ = writeln!(out);
+                let _ = writeln!(
+                    out,
+                    "{:<22} {:<10} {:>10} {:>10}",
+                    "op", "method", "time(µs)", "tuning(s)"
+                );
+                for r in &records {
+                    let _ = writeln!(
+                        out,
+                        "{:<22} {:<10} {:>10.2} {:>10.4}",
+                        r.op_label, r.method, r.report.time_us, r.tuning_s
+                    );
+                }
+            }
+            Ok(out)
+        }
+        other => Err(CliError::Usage(format!("unknown emit mode '{other}'"))),
+    }
 }
 
 #[cfg(test)]
@@ -331,14 +482,73 @@ mod tests {
     fn usage_errors_are_informative() {
         assert!(matches!(call("compile gemm 1 2"), Err(CliError::Usage(_))));
         assert!(matches!(call("compile frob 1"), Err(CliError::Usage(_))));
-        assert!(matches!(call("compile gemm 1 2 3 --gpu h100"), Err(CliError::Usage(_))));
+        assert!(matches!(
+            call("compile gemm 1 2 3 --gpu h100"),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(call(""), Err(CliError::Usage(_))));
-        assert!(matches!(call("compile gemm 1 2 3 --emit asm"), Err(CliError::Usage(_))));
+        assert!(matches!(
+            call("compile gemm 1 2 3 --emit asm"),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
     fn last_option_wins() {
         let out = call("compile gemm 256 256 256 --method roller --method cublas").unwrap();
         assert!(out.contains("cuBLAS"));
+    }
+
+    fn tmp_cache(tag: &str) -> String {
+        let dir = std::env::temp_dir().join("gensor-cli-cache-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{tag}-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn compile_with_cache_hits_on_second_run() {
+        let path = tmp_cache("compile");
+        let cmd = format!("compile gemm 512 256 512 --method roller --cache {path}");
+        let first = call(&cmd).unwrap();
+        assert!(first.contains("0 hits / 1 misses"), "{first}");
+        let second = call(&cmd).unwrap();
+        assert!(second.contains("1 hits / 0 misses"), "{second}");
+        assert!(second.contains("tuning   : 0.0000 s"), "{second}");
+    }
+
+    #[test]
+    fn model_with_cache_reports_cache_line() {
+        let path = tmp_cache("model");
+        let cmd = format!("model bert --batch 2 --method roller --cache {path}");
+        let first = call(&cmd).unwrap();
+        assert!(first.contains("cache      : 0 hits"), "{first}");
+        let second = call(&cmd).unwrap();
+        assert!(second.contains("0 misses"), "{second}");
+        assert!(second.contains("tuning     : 0.000 s"), "{second}");
+    }
+
+    #[test]
+    fn cache_stats_lists_banked_schedules() {
+        let path = tmp_cache("stats");
+        call(&format!(
+            "compile gemm 512 256 512 --method roller --cache {path}"
+        ))
+        .unwrap();
+        let out = call(&format!("cache stats {path}")).unwrap();
+        assert!(out.contains("records    : 1 loaded, 0 corrupt"), "{out}");
+        assert!(out.contains("GEMM[512,256,512]"), "{out}");
+        let json = call(&format!("cache stats {path} --emit json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["records"].as_u64(), Some(1));
+        assert_eq!(v["corrupt_lines"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn cache_usage_errors() {
+        assert!(matches!(call("cache"), Err(CliError::Usage(_))));
+        assert!(matches!(call("cache frob x"), Err(CliError::Usage(_))));
+        assert!(matches!(call("cache stats"), Err(CliError::Usage(_))));
     }
 }

@@ -43,8 +43,15 @@ impl LaunchConfig {
     pub fn render(&self, kernel: &str, args: &str) -> String {
         format!(
             "dim3 grid({}, {}, {});\ndim3 block({}, {}, {});\n{}<<<grid, block, {}>>>({});",
-            self.grid.0, self.grid.1, self.grid.2, self.block.0, self.block.1, self.block.2,
-            kernel, self.smem_bytes, args
+            self.grid.0,
+            self.grid.1,
+            self.grid.2,
+            self.block.0,
+            self.block.1,
+            self.block.2,
+            kernel,
+            self.smem_bytes,
+            args
         )
     }
 }
@@ -117,7 +124,11 @@ mod tests {
 
     #[test]
     fn render_contains_geometry() {
-        let lc = LaunchConfig { grid: (4, 2, 1), block: (32, 8, 1), smem_bytes: 2048 };
+        let lc = LaunchConfig {
+            grid: (4, 2, 1),
+            block: (32, 8, 1),
+            smem_bytes: 2048,
+        };
         let s = lc.render("gemm_kernel", "A, B, C");
         assert!(s.contains("dim3 grid(4, 2, 1);"));
         assert!(s.contains("gemm_kernel<<<grid, block, 2048>>>(A, B, C);"));

@@ -61,7 +61,10 @@ pub fn caching_benefit_stats(state: &Etir, stats: &ScheduleStats, spec: &GpuSpec
     let s_data = stats.footprint_at_level(state.cur_level.min(1));
     let (low, high) = match state.cur_level {
         0 => (spec.level(LevelKind::L2), spec.level(LevelKind::Shared)),
-        _ => (spec.level(LevelKind::Shared), spec.level(LevelKind::Register)),
+        _ => (
+            spec.level(LevelKind::Shared),
+            spec.level(LevelKind::Register),
+        ),
     };
     low.transfer_time_us(s_data) / high.transfer_time_us(s_data).max(1e-12)
 }
@@ -244,7 +247,10 @@ mod tests {
         let spec = GpuSpec::rtx4090();
         let e = gemm(&spec);
         // No vthreads at level 0.
-        assert_eq!(action_benefit(&e, &Action::SetVthread { dim: 0 }, &spec), 0.0);
+        assert_eq!(
+            action_benefit(&e, &Action::SetVthread { dim: 0 }, &spec),
+            0.0
+        );
         assert_eq!(action_benefit(&e, &Action::InvTile { dim: 0 }, &spec), 0.0);
     }
 

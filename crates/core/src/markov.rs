@@ -56,12 +56,7 @@ impl ChainSpace {
     /// qualitatively.
     ///
     /// Panics if the space exceeds `max_states` — pick a small operator.
-    pub fn enumerate(
-        op: &OpSpec,
-        spec: &GpuSpec,
-        max_states: usize,
-        laziness: f64,
-    ) -> ChainSpace {
+    pub fn enumerate(op: &OpSpec, spec: &GpuSpec, max_states: usize, laziness: f64) -> ChainSpace {
         assert!((0.0..1.0).contains(&laziness));
         let policy = Policy {
             enable_vthread: false,
@@ -237,9 +232,7 @@ impl ChainSpace {
                 break;
             }
         }
-        let argmax = (0..v.len())
-            .max_by(|&a, &b| v[a].total_cmp(&v[b]))
-            .unwrap();
+        let argmax = (0..v.len()).max_by(|&a, &b| v[a].total_cmp(&v[b])).unwrap();
         (v, argmax, sweeps)
     }
 }
@@ -282,7 +275,11 @@ mod tests {
     fn enumeration_is_finite_and_rooted() {
         let s = small_space();
         assert!(!s.is_empty());
-        assert!(s.len() > 20, "space too small to be interesting: {}", s.len());
+        assert!(
+            s.len() > 20,
+            "space too small to be interesting: {}",
+            s.len()
+        );
         assert!(s.len() < 2_000);
         // Row-stochastic.
         for row in &s.probs {

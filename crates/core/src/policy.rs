@@ -41,7 +41,11 @@ pub struct Policy {
 
 impl Default for Policy {
     fn default() -> Self {
-        Policy { enable_vthread: true, enable_inverse: true, enable_unroll: true }
+        Policy {
+            enable_vthread: true,
+            enable_inverse: true,
+            enable_unroll: true,
+        }
     }
 }
 
@@ -75,7 +79,10 @@ impl Policy {
         let mut rows: Vec<ActionProb> = Vec::new();
         for action in Action::all(state.spatial_rank(), state.reduce_rank()) {
             if !self.enable_vthread
-                && matches!(action, Action::SetVthread { .. } | Action::InvVthread { .. })
+                && matches!(
+                    action,
+                    Action::SetVthread { .. } | Action::InvVthread { .. }
+                )
             {
                 continue;
             }
@@ -92,7 +99,11 @@ impl Policy {
             if action == Action::Cache {
                 benefit = CACHE_SCALE * benefit.powf(0.25) * Self::cache_boost(t);
             }
-            rows.push(ActionProb { action, benefit, prob: 0.0 });
+            rows.push(ActionProb {
+                action,
+                benefit,
+                prob: 0.0,
+            });
         }
         let total: f64 = rows.iter().map(|r| r.benefit).sum();
         if total <= 0.0 {
@@ -185,17 +196,27 @@ mod tests {
         }
         e = e.apply(&Action::Cache);
         let full = Policy::default().transition_probs(&e, &spec, 5);
-        assert!(full.iter().any(|r| matches!(r.action, Action::SetVthread { .. })));
-        let ablated = Policy { enable_vthread: false, ..Policy::default() };
+        assert!(full
+            .iter()
+            .any(|r| matches!(r.action, Action::SetVthread { .. })));
+        let ablated = Policy {
+            enable_vthread: false,
+            ..Policy::default()
+        };
         let rows = ablated.transition_probs(&e, &spec, 5);
-        assert!(rows.iter().all(|r| !matches!(r.action, Action::SetVthread { .. })));
+        assert!(rows
+            .iter()
+            .all(|r| !matches!(r.action, Action::SetVthread { .. })));
     }
 
     #[test]
     fn tree_mode_removes_inverse_edges() {
         let spec = GpuSpec::rtx4090();
         let e = state(&spec).apply(&Action::Tile { dim: 0 });
-        let tree = Policy { enable_inverse: false, ..Policy::default() };
+        let tree = Policy {
+            enable_inverse: false,
+            ..Policy::default()
+        };
         let rows = tree.transition_probs(&e, &spec, 0);
         assert!(rows.iter().all(|r| !r.action.is_inverse()));
         let graph = Policy::default().transition_probs(&e, &spec, 0);

@@ -29,7 +29,11 @@ pub struct GensorConfig {
 
 impl Default for GensorConfig {
     fn default() -> Self {
-        GensorConfig { chains: 16, seed: 0xC0FFEE, walk: Walk::default() }
+        GensorConfig {
+            chains: 16,
+            seed: 0xC0FFEE,
+            walk: Walk::default(),
+        }
     }
 }
 
@@ -56,7 +60,13 @@ impl Gensor {
 
     /// Degenerate single-chain variant for experiments that study one walk.
     pub fn single_chain(seed: u64) -> Self {
-        Gensor { cfg: GensorConfig { chains: 1, seed, ..GensorConfig::default() } }
+        Gensor {
+            cfg: GensorConfig {
+                chains: 1,
+                seed,
+                ..GensorConfig::default()
+            },
+        }
     }
 
     /// Chains actually launched for `op`: the configured count scaled by
@@ -211,10 +221,16 @@ mod tests {
     fn more_chains_never_hurt() {
         let spec = GpuSpec::rtx4090();
         let op = OpSpec::gemm(2048, 1024, 2048);
-        let one = Gensor::with_config(GensorConfig { chains: 1, ..Default::default() })
-            .compile(&op, &spec);
-        let eight = Gensor::with_config(GensorConfig { chains: 8, ..Default::default() })
-            .compile(&op, &spec);
+        let one = Gensor::with_config(GensorConfig {
+            chains: 1,
+            ..Default::default()
+        })
+        .compile(&op, &spec);
+        let eight = Gensor::with_config(GensorConfig {
+            chains: 8,
+            ..Default::default()
+        })
+        .compile(&op, &spec);
         // Chain 0 of the 8-chain run is the same walk as the 1-chain run,
         // so the 8-chain result can only be equal or better.
         assert!(eight.report.time_us <= one.report.time_us * 1.0001);
@@ -223,7 +239,10 @@ mod tests {
     #[test]
     fn compiles_every_operator_class() {
         let spec = GpuSpec::orin_nano();
-        let gensor = Gensor::with_config(GensorConfig { chains: 4, ..Default::default() });
+        let gensor = Gensor::with_config(GensorConfig {
+            chains: 4,
+            ..Default::default()
+        });
         for op in [
             OpSpec::gemm(1024, 256, 512),
             OpSpec::gemv(8192, 1024),

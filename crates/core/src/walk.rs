@@ -147,7 +147,13 @@ impl Walk {
         }
         // The terminal state is always a candidate.
         top.push(e.clone());
-        WalkRecord { top_results: top, steps: step, terminal: e, best_seen, best_time_trace }
+        WalkRecord {
+            top_results: top,
+            steps: step,
+            terminal: e,
+            best_seen,
+            best_time_trace,
+        }
     }
 }
 
@@ -168,7 +174,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let rec = w.run(&gemm(), &spec, &mut rng);
         assert!(rec.steps <= w.max_steps());
-        assert!(rec.steps > 5, "walk should do real work: {} steps", rec.steps);
+        assert!(
+            rec.steps > 5,
+            "walk should do real work: {} steps",
+            rec.steps
+        );
     }
 
     #[test]
@@ -238,7 +248,10 @@ mod tests {
         let mut b = StdRng::seed_from_u64(2);
         let ra = w.run(&gemm(), &spec, &mut a);
         let rb = w.run(&gemm(), &spec, &mut b);
-        assert_ne!(ra.terminal, rb.terminal, "distinct seeds should explore differently");
+        assert_ne!(
+            ra.terminal, rb.terminal,
+            "distinct seeds should explore differently"
+        );
     }
 
     #[test]

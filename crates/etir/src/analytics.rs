@@ -60,8 +60,7 @@ impl ScheduleStats {
         // slice + overhead.
         let unit_rd = vec![1u64; e.reduce_rank()];
         let reg_fp = op.tile_footprint(&e.reg_tile, &unit_rd);
-        let regs_per_thread =
-            reg_fp.output + reg_fp.inputs.iter().sum::<u64>() + REG_OVERHEAD;
+        let regs_per_thread = reg_fp.output + reg_fp.inputs.iter().sum::<u64>() + REG_OVERHEAD;
 
         // --- DRAM traffic: per block, the staged input tiles are loaded
         // once per reduction step; the output tile is written once.
@@ -259,13 +258,13 @@ pub fn l2_hit_rate(e: &Etir, spec: &GpuSpec) -> f64 {
     // Capacity damping: the reuse window is one "wave" of concurrent blocks.
     let l2_cap = spec.level(LevelKind::L2).capacity_bytes as f64;
     let concurrent_blocks = (spec.num_sms as f64).min(stats.grid_blocks as f64).max(1.0);
-    let live_set = concurrent_blocks * stats.smem_bytes_per_block.max(1) as f64
+    let live_set = concurrent_blocks
+        * stats.smem_bytes_per_block.max(1) as f64
         * stats.reduce_steps.max(1) as f64;
     let fit = (l2_cap / live_set).min(1.0);
     // Even a fully-captured window can't convert *all* redundancy (cold
     // misses at wave boundaries); 0.95 ceiling keeps it physical.
-    (redundant * fit * 0.95 + (1.0 - redundant) * 0.0).clamp(0.0, 0.99)
-        + small_baseline(redundant)
+    (redundant * fit * 0.95 + (1.0 - redundant) * 0.0).clamp(0.0, 0.99) + small_baseline(redundant)
 }
 
 /// Streaming accesses still enjoy some L2 hits from prefetch-like line

@@ -61,7 +61,11 @@ pub struct Nest {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LoopError {
     NoSuchLoop(String),
-    NotDivisible { name: String, extent: u64, factor: u64 },
+    NotDivisible {
+        name: String,
+        extent: u64,
+        factor: u64,
+    },
     NotAdjacent(String, String),
     BadFactor(u64),
 }
@@ -70,7 +74,11 @@ impl std::fmt::Display for LoopError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LoopError::NoSuchLoop(n) => write!(f, "no loop named {n}"),
-            LoopError::NotDivisible { name, extent, factor } => {
+            LoopError::NotDivisible {
+                name,
+                extent,
+                factor,
+            } => {
                 write!(f, "loop {name} extent {extent} not divisible by {factor}")
             }
             LoopError::NotAdjacent(a, b) => write!(f, "loops {a},{b} not adjacent"),
@@ -88,7 +96,11 @@ impl Nest {
         let mut items: Vec<Item> = axes
             .iter()
             .map(|(n, e)| {
-                Item::Loop(Loop { name: (*n).to_string(), extent: *e, binding: Binding::Serial })
+                Item::Loop(Loop {
+                    name: (*n).to_string(),
+                    extent: *e,
+                    binding: Binding::Serial,
+                })
             })
             .collect();
         items.push(Item::Compute);
@@ -131,7 +143,11 @@ impl Nest {
             _ => unreachable!(),
         };
         if extent % factor != 0 {
-            return Err(LoopError::NotDivisible { name: name.to_string(), extent, factor });
+            return Err(LoopError::NotDivisible {
+                name: name.to_string(),
+                extent,
+                factor,
+            });
         }
         let outer = Loop {
             name: format!("{name}.outer"),
@@ -143,7 +159,8 @@ impl Nest {
             extent: factor,
             binding,
         };
-        self.items.splice(pos..=pos, [Item::Loop(outer), Item::Loop(inner)]);
+        self.items
+            .splice(pos..=pos, [Item::Loop(outer), Item::Loop(inner)]);
         Ok(())
     }
 
@@ -163,7 +180,11 @@ impl Nest {
             Item::Loop(l) => l.extent,
             _ => unreachable!(),
         };
-        let fused = Loop { name: fused_name.to_string(), extent: ea * eb, binding: bind };
+        let fused = Loop {
+            name: fused_name.to_string(),
+            extent: ea * eb,
+            binding: bind,
+        };
         self.items.splice(pa..=pb, [Item::Loop(fused)]);
         Ok(())
     }
@@ -225,7 +246,10 @@ impl Nest {
         let pos = self.loop_pos(after)?;
         self.items.insert(
             pos + 1,
-            Item::CacheRead { operand: operand.to_string(), level: level.to_string() },
+            Item::CacheRead {
+                operand: operand.to_string(),
+                level: level.to_string(),
+            },
         );
         Ok(())
     }
@@ -240,7 +264,10 @@ impl Nest {
             .expect("nest must contain Compute");
         self.items.insert(
             pos + 1,
-            Item::CacheWrite { operand: operand.to_string(), level: level.to_string() },
+            Item::CacheWrite {
+                operand: operand.to_string(),
+                level: level.to_string(),
+            },
         );
         Ok(())
     }
@@ -269,10 +296,20 @@ impl Nest {
                     depth += 1;
                 }
                 Item::CacheRead { operand, level } => {
-                    out.push_str(&format!("{}stage {} -> {}\n", "  ".repeat(depth), operand, level));
+                    out.push_str(&format!(
+                        "{}stage {} -> {}\n",
+                        "  ".repeat(depth),
+                        operand,
+                        level
+                    ));
                 }
                 Item::CacheWrite { operand, level } => {
-                    out.push_str(&format!("{}write {} <- {}\n", "  ".repeat(depth), operand, level));
+                    out.push_str(&format!(
+                        "{}write {} <- {}\n",
+                        "  ".repeat(depth),
+                        operand,
+                        level
+                    ));
                 }
                 Item::Compute => {
                     out.push_str(&format!("{}compute\n", "  ".repeat(depth)));
@@ -310,7 +347,11 @@ mod tests {
         let mut n = Nest::naive(&[("m", 10)]);
         assert_eq!(
             n.split("m", 3),
-            Err(LoopError::NotDivisible { name: "m".into(), extent: 10, factor: 3 })
+            Err(LoopError::NotDivisible {
+                name: "m".into(),
+                extent: 10,
+                factor: 3
+            })
         );
     }
 
@@ -325,7 +366,10 @@ mod tests {
     #[test]
     fn fuse_requires_adjacency() {
         let mut n = Nest::naive(&[("a", 2), ("b", 3), ("c", 4)]);
-        assert!(matches!(n.fuse("a", "c", "ac"), Err(LoopError::NotAdjacent(..))));
+        assert!(matches!(
+            n.fuse("a", "c", "ac"),
+            Err(LoopError::NotAdjacent(..))
+        ));
     }
 
     #[test]
@@ -352,7 +396,8 @@ mod tests {
         let mut n = Nest::naive(&[("m", 64), ("n", 64)]);
         n.split("m", 8).unwrap();
         n.split("n", 8).unwrap();
-        n.reorder(&["m.outer", "n.outer", "m.inner", "n.inner"]).unwrap();
+        n.reorder(&["m.outer", "n.outer", "m.inner", "n.inner"])
+            .unwrap();
         let names: Vec<_> = n.loops().iter().map(|l| l.name.clone()).collect();
         assert_eq!(names, vec!["m.outer", "n.outer", "m.inner", "n.inner"]);
         assert_eq!(n.volume(), 64 * 64);
@@ -381,7 +426,11 @@ mod tests {
     fn cache_write_lands_after_compute() {
         let mut n = Nest::naive(&[("m", 4)]);
         n.cache_write("C", "GLOBAL").unwrap();
-        let pos_c = n.items.iter().position(|i| matches!(i, Item::Compute)).unwrap();
+        let pos_c = n
+            .items
+            .iter()
+            .position(|i| matches!(i, Item::Compute))
+            .unwrap();
         assert!(matches!(n.items[pos_c + 1], Item::CacheWrite { .. }));
     }
 }

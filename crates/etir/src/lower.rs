@@ -112,8 +112,10 @@ impl LoopNest {
             let inner2 = format!("{n}.inner.inner");
             nest.split(&inner2, self.reg_tile[i]).expect("thread split");
             nest.bind(&format!("{n}.outer"), Binding::Grid).unwrap();
-            nest.bind(&format!("{n}.inner.outer"), Binding::VThread).unwrap();
-            nest.bind(&format!("{n}.inner.inner.outer"), Binding::Thread).unwrap();
+            nest.bind(&format!("{n}.inner.outer"), Binding::VThread)
+                .unwrap();
+            nest.bind(&format!("{n}.inner.inner.outer"), Binding::Thread)
+                .unwrap();
         }
         // Split every reduce axis into outer step / inner element.
         for (j, n) in rd_names.iter().enumerate() {
@@ -294,7 +296,10 @@ mod tests {
         let ln = LoopNest::from_etir(&e);
         let nest = ln.to_nest();
         assert!(nest.volume() >= 1 << 12);
-        assert!(nest.items.iter().any(|i| matches!(i, Item::CacheRead { .. })));
+        assert!(nest
+            .items
+            .iter()
+            .any(|i| matches!(i, Item::CacheRead { .. })));
     }
 
     #[test]

@@ -223,7 +223,11 @@ impl Etir {
     pub fn describe(&self) -> String {
         format!(
             "smem{:?} reg{:?} vt{:?} red{:?} u{} @lvl{}",
-            self.smem_tile, self.reg_tile, self.vthreads, self.reduce_tile, self.unroll,
+            self.smem_tile,
+            self.reg_tile,
+            self.vthreads,
+            self.reduce_tile,
+            self.unroll,
             self.cur_level
         )
     }
@@ -309,8 +313,8 @@ mod tests {
         }
         e = e.apply(&Action::Cache);
         e = e.apply(&Action::Tile { dim: 0 }); // reg 2
-        // cur_level is 1 so InvTile now shrinks reg, not smem; force a
-        // hypothetical smem shrink check via a level-0 clone.
+                                               // cur_level is 1 so InvTile now shrinks reg, not smem; force a
+                                               // hypothetical smem shrink check via a level-0 clone.
         let mut lvl0 = e.clone();
         lvl0.cur_level = 0;
         // smem 4 / 2 = 2, reg*vt = 2 → divisible → allowed.

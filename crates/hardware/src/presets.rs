@@ -238,8 +238,7 @@ mod tests {
         // large tiles before they become compute-bound — the regime where
         // scheduling quality matters.
         let s = GpuSpec::rtx4090();
-        let ridge =
-            s.peak_fp32_gflops / (s.level(LevelKind::Dram).bandwidth_bytes_per_us / 1000.0);
+        let ridge = s.peak_fp32_gflops / (s.level(LevelKind::Dram).bandwidth_bytes_per_us / 1000.0);
         assert!(ridge > 50.0 && ridge < 120.0, "ridge = {ridge}");
     }
 }

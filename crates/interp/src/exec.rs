@@ -41,8 +41,16 @@ pub fn execute_scheduled(e: &Etir, inputs: &[Tensor]) -> Tensor {
 
     // Reduce-space iteration bounds; degenerate to a single step when the
     // operator has no reduce axes.
-    let rd_steps: Vec<u64> = if rd_ext.is_empty() { vec![1] } else { nest.reduce_steps.clone() };
-    let rd_tile: Vec<u64> = if rd_ext.is_empty() { vec![1] } else { nest.reduce_tile.clone() };
+    let rd_steps: Vec<u64> = if rd_ext.is_empty() {
+        vec![1]
+    } else {
+        nest.reduce_steps.clone()
+    };
+    let rd_tile: Vec<u64> = if rd_ext.is_empty() {
+        vec![1]
+    } else {
+        nest.reduce_tile.clone()
+    };
 
     let mut vals = vec![0.0f32; inputs.len()];
     let mut global_sp = vec![0u64; rank];
@@ -63,8 +71,8 @@ pub fn execute_scheduled(e: &Etir, inputs: &[Tensor]) -> Tensor {
                         let mut local_flat = 0u64;
                         let mut in_range = true;
                         for i in 0..rank {
-                            let local = (vt[i] * nest.thread_dims[i] + th[i]) * nest.reg_tile[i]
-                                + rg[i];
+                            let local =
+                                (vt[i] * nest.thread_dims[i] + th[i]) * nest.reg_tile[i] + rg[i];
                             debug_assert!(local < nest.smem_tile[i]);
                             local_flat = local_flat * nest.smem_tile[i] + local;
                             let g = block[i] * nest.smem_tile[i] + local;

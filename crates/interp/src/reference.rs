@@ -77,8 +77,14 @@ mod tests {
     #[test]
     fn gemm_2x2_hand_check() {
         let op = OpSpec::gemm(2, 2, 2);
-        let a = Tensor { shape: vec![2, 2], data: vec![1.0, 2.0, 3.0, 4.0] };
-        let b = Tensor { shape: vec![2, 2], data: vec![5.0, 6.0, 7.0, 8.0] };
+        let a = Tensor {
+            shape: vec![2, 2],
+            data: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        let b = Tensor {
+            shape: vec![2, 2],
+            data: vec![5.0, 6.0, 7.0, 8.0],
+        };
         let c = execute_reference(&op, &[a, b]);
         assert_eq!(c.data, vec![19.0, 22.0, 43.0, 50.0]);
     }
@@ -86,8 +92,14 @@ mod tests {
     #[test]
     fn gemv_hand_check() {
         let op = OpSpec::gemv(2, 3);
-        let a = Tensor { shape: vec![2, 3], data: vec![1.0, 0.0, -1.0, 2.0, 2.0, 2.0] };
-        let x = Tensor { shape: vec![3], data: vec![3.0, 4.0, 5.0] };
+        let a = Tensor {
+            shape: vec![2, 3],
+            data: vec![1.0, 0.0, -1.0, 2.0, 2.0, 2.0],
+        };
+        let x = Tensor {
+            shape: vec![3],
+            data: vec![3.0, 4.0, 5.0],
+        };
         let y = execute_reference(&op, &[a, x]);
         assert_eq!(y.data, vec![3.0 - 5.0, 6.0 + 8.0 + 10.0]);
     }
@@ -108,8 +120,14 @@ mod tests {
         // All-ones 3x3 kernel, pad 1, all-ones 3x3 input: center output = 9,
         // corner output = 4 (only 4 taps in range).
         let op = OpSpec::conv2d(1, 1, 3, 3, 1, 3, 3, 1, 1);
-        let i = Tensor { shape: vec![1, 1, 3, 3], data: vec![1.0; 9] };
-        let k = Tensor { shape: vec![1, 1, 3, 3], data: vec![1.0; 9] };
+        let i = Tensor {
+            shape: vec![1, 1, 3, 3],
+            data: vec![1.0; 9],
+        };
+        let k = Tensor {
+            shape: vec![1, 1, 3, 3],
+            data: vec![1.0; 9],
+        };
         let out = execute_reference(&op, &[i, k]);
         assert_eq!(out.shape, vec![1, 1, 3, 3]);
         assert_eq!(out.get(&[0, 0, 1, 1]), 9.0);
@@ -121,7 +139,10 @@ mod tests {
     fn avg_pool_averages_windows() {
         let op = OpSpec::avg_pool2d(1, 1, 4, 4, 2, 2);
         let data: Vec<f32> = (0..16).map(|x| x as f32).collect();
-        let i = Tensor { shape: vec![1, 1, 4, 4], data };
+        let i = Tensor {
+            shape: vec![1, 1, 4, 4],
+            data,
+        };
         let out = execute_reference(&op, &[i]);
         // Window (0,0): mean(0,1,4,5) = 2.5.
         assert_eq!(out.get(&[0, 0, 0, 0]), 2.5);
@@ -131,8 +152,14 @@ mod tests {
     #[test]
     fn elementwise_adds_operands() {
         let op = OpSpec::elementwise(4, 2, 1);
-        let a = Tensor { shape: vec![4], data: vec![1.0, 2.0, 3.0, 4.0] };
-        let b = Tensor { shape: vec![4], data: vec![10.0, 20.0, 30.0, 40.0] };
+        let a = Tensor {
+            shape: vec![4],
+            data: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        let b = Tensor {
+            shape: vec![4],
+            data: vec![10.0, 20.0, 30.0, 40.0],
+        };
         let out = execute_reference(&op, &[a, b]);
         assert_eq!(out.data, vec![11.0, 22.0, 33.0, 44.0]);
     }

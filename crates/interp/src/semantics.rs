@@ -9,12 +9,7 @@ use tensor_expr::OpSpec;
 
 /// Input coordinates for one iteration point, or `None` when the access
 /// falls into the (implicit zero) padding region.
-pub fn input_coords(
-    op: &OpSpec,
-    input_idx: usize,
-    sp: &[u64],
-    rd: &[u64],
-) -> Option<Vec<u64>> {
+pub fn input_coords(op: &OpSpec, input_idx: usize, sp: &[u64], rd: &[u64]) -> Option<Vec<u64>> {
     match *op {
         OpSpec::Gemm { .. } => match input_idx {
             0 => Some(vec![sp[0], rd[0]]),
@@ -26,7 +21,9 @@ pub fn input_coords(
             1 => Some(vec![rd[0]]),
             _ => unreachable!("GEMV has 2 inputs"),
         },
-        OpSpec::Conv2d { h, w, stride, pad, .. } => {
+        OpSpec::Conv2d {
+            h, w, stride, pad, ..
+        } => {
             let (nb, oc, oh, ow) = (sp[0], sp[1], sp[2], sp[3]);
             let (ic, kh, kw) = (rd[0], rd[1], rd[2]);
             match input_idx {

@@ -56,14 +56,22 @@ pub fn execute_gemm_staged(e: &Etir, inputs: &[Tensor]) -> Tensor {
                     let ik = base % tk;
                     let gm = bm * tm + im;
                     let gk = ks * tk + ik;
-                    smem_a[ik * tm + im] = if gm < m && gk < k { a[gm * k + gk] } else { 0.0 };
+                    smem_a[ik * tm + im] = if gm < m && gk < k {
+                        a[gm * k + gk]
+                    } else {
+                        0.0
+                    };
                 }
                 for base in 0..(tk * tn) {
                     let ik = base / tn;
                     let in_ = base % tn;
                     let gk = ks * tk + ik;
                     let gn = bn * tn + in_;
-                    smem_b[ik * tn + in_] = if gk < k && gn < n { b[gk * n + gn] } else { 0.0 };
+                    smem_b[ik * tn + in_] = if gk < k && gn < n {
+                        b[gk * n + gn]
+                    } else {
+                        0.0
+                    };
                 }
                 // --- Compute from the staged buffers only.
                 for tmi in 0..tdm {
@@ -76,8 +84,7 @@ pub fn execute_gemm_staged(e: &Etir, inputs: &[Tensor]) -> Tensor {
                                         for r_n in 0..rn {
                                             let lm = (v_m * tdm + tmi) * rm + r_m;
                                             let ln = (v_n * tdn + tni) * rn + r_n;
-                                            let acc_idx = ((tid * vm + v_m) * rm + r_m)
-                                                * (vn * rn)
+                                            let acc_idx = ((tid * vm + v_m) * rm + r_m) * (vn * rn)
                                                 + v_n * rn
                                                 + r_n;
                                             acc[acc_idx] +=

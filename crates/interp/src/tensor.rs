@@ -15,7 +15,10 @@ impl Tensor {
     /// All-zeros tensor.
     pub fn zeros(shape: Vec<usize>) -> Tensor {
         let len = shape.iter().product();
-        Tensor { shape, data: vec![0.0; len] }
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
     }
 
     /// Deterministic pseudo-random small-integer data (exact in FP32 sums),
@@ -66,16 +69,29 @@ fn splitmix(mut x: u64) -> u64 {
 /// Shapes of the input operands of `op`.
 pub fn input_shapes(op: &OpSpec) -> Vec<Vec<usize>> {
     match *op {
-        OpSpec::Gemm { m, k, n } => vec![vec![m as usize, k as usize], vec![k as usize, n as usize]],
+        OpSpec::Gemm { m, k, n } => {
+            vec![vec![m as usize, k as usize], vec![k as usize, n as usize]]
+        }
         OpSpec::Gemv { m, n } => vec![vec![m as usize, n as usize], vec![n as usize]],
-        OpSpec::Conv2d { n, c_in, h, w, c_out, kh, kw, .. } => vec![
+        OpSpec::Conv2d {
+            n,
+            c_in,
+            h,
+            w,
+            c_out,
+            kh,
+            kw,
+            ..
+        } => vec![
             vec![n as usize, c_in as usize, h as usize, w as usize],
             vec![c_out as usize, c_in as usize, kh as usize, kw as usize],
         ],
         OpSpec::AvgPool2d { n, c, h, w, .. } => {
             vec![vec![n as usize, c as usize, h as usize, w as usize]]
         }
-        OpSpec::Elementwise { elems, num_inputs, .. } => {
+        OpSpec::Elementwise {
+            elems, num_inputs, ..
+        } => {
             vec![vec![elems as usize]; num_inputs as usize]
         }
     }
@@ -115,7 +131,10 @@ mod tests {
         let c = Tensor::random_small_ints(vec![100], 43);
         assert_eq!(a, b);
         assert_ne!(a, c);
-        assert!(a.data.iter().all(|&v| (-2.0..=2.0).contains(&v) && v.fract() == 0.0));
+        assert!(a
+            .data
+            .iter()
+            .all(|&v| (-2.0..=2.0).contains(&v) && v.fract() == 0.0));
     }
 
     #[test]

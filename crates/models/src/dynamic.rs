@@ -37,7 +37,11 @@ pub fn run_per_shape(tuner: &dyn Tuner, batch: u64, spec: &GpuSpec) -> DynamicRe
         .map(|&s| compile_model(tuner, &bert_small(batch, s), spec))
         .collect();
     let total_tuning_s = per_shape.iter().map(|m| m.tuning_s).sum();
-    DynamicResult { method: tuner.name().to_string(), per_shape, total_tuning_s }
+    DynamicResult {
+        method: tuner.name().to_string(),
+        per_shape,
+        total_tuning_s,
+    }
 }
 
 /// Run DietCode: one joint tuning pass per operator *family* (the same
@@ -80,7 +84,11 @@ pub fn run_dietcode(dc: &DietCode, batch: u64, spec: &GpuSpec) -> DynamicResult 
             throughput: g.batch as f64 / (t / 1e6),
         })
         .collect();
-    DynamicResult { method: "DietCode".into(), per_shape, total_tuning_s }
+    DynamicResult {
+        method: "DietCode".into(),
+        per_shape,
+        total_tuning_s,
+    }
 }
 
 #[cfg(test)]
@@ -121,7 +129,14 @@ mod tests {
         // Gensor's per-shape tuning *per simulated clock*, but its shared
         // schedules reach only a fraction of Gensor's throughput.
         let spec = GpuSpec::rtx4090();
-        let dc = run_dietcode(&DietCode { trials: 500, ..DietCode::default() }, 8, &spec);
+        let dc = run_dietcode(
+            &DietCode {
+                trials: 500,
+                ..DietCode::default()
+            },
+            8,
+            &spec,
+        );
         let gen = run_per_shape(&Gensor::default(), 8, &spec);
         let rel: Vec<f64> = dc
             .throughputs()

@@ -38,7 +38,11 @@ impl ModelGraph {
                 folded.push(l);
             }
         }
-        ModelGraph { name: name.to_string(), batch, layers: folded }
+        ModelGraph {
+            name: name.to_string(),
+            batch,
+            layers: folded,
+        }
     }
 
     /// Total forward-pass FLOPs.
@@ -70,7 +74,11 @@ impl ModelGraph {
 
 /// Convenience constructor.
 pub fn layer(name: &str, op: OpSpec, count: u32) -> Layer {
-    Layer { name: name.to_string(), op, count }
+    Layer {
+        name: name.to_string(),
+        op,
+        count,
+    }
 }
 
 #[cfg(test)]

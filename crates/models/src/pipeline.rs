@@ -125,6 +125,11 @@ mod tests {
         let cm = compile_model(&search::Ansor::with_trials(50), &g, &spec);
         // 50 simulated seconds per unique (non-elementwise) layer.
         let expect = 50.0 * g.fused_layers().count() as f64;
-        assert!(cm.tuning_s >= expect * 0.99, "{} vs {}", cm.tuning_s, expect);
+        assert!(
+            cm.tuning_s >= expect * 0.99,
+            "{} vs {}",
+            cm.tuning_s,
+            expect
+        );
     }
 }

@@ -69,7 +69,10 @@ pub fn run_scenario(
         // Sub-millisecond "tuning" is harness noise (library dispatch),
         // not an optimization phase.
         if cm.tuning_s > 1e-3 {
-            segments.push(Segment { kind: SegmentKind::Optimize, seconds: cm.tuning_s });
+            segments.push(Segment {
+                kind: SegmentKind::Optimize,
+                seconds: cm.tuning_s,
+            });
         }
         let batches = frames.div_ceil(batch);
         segments.push(Segment {
@@ -77,7 +80,10 @@ pub fn run_scenario(
             seconds: batches as f64 * cm.pass_time_us / 1e6,
         });
     }
-    Timeline { method: tuner.name().to_string(), segments }
+    Timeline {
+        method: tuner.name().to_string(),
+        segments,
+    }
 }
 
 /// The paper's widths: the base network plus three channel adjustments.

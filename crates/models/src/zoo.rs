@@ -19,7 +19,11 @@ use tensor_expr::OpSpec;
 pub fn resnet50(batch: u64) -> ModelGraph {
     let n = batch;
     let mut layers = vec![
-        layer("conv1.7x7", OpSpec::conv2d(n, 3, 224, 224, 64, 7, 7, 2, 3), 1),
+        layer(
+            "conv1.7x7",
+            OpSpec::conv2d(n, 3, 224, 224, 64, 7, 7, 2, 3),
+            1,
+        ),
         layer("maxpool", OpSpec::avg_pool2d(n, 64, 112, 112, 3, 2), 1),
     ];
     // Bottleneck stages: (spatial, width, out_ch, blocks, first_stride).
@@ -90,11 +94,19 @@ pub fn resnet50(batch: u64) -> ModelGraph {
 pub fn resnet34(batch: u64) -> ModelGraph {
     let n = batch;
     let mut layers = vec![
-        layer("conv1.7x7", OpSpec::conv2d(n, 3, 224, 224, 64, 7, 7, 2, 3), 1),
+        layer(
+            "conv1.7x7",
+            OpSpec::conv2d(n, 3, 224, 224, 64, 7, 7, 2, 3),
+            1,
+        ),
         layer("maxpool", OpSpec::avg_pool2d(n, 64, 112, 112, 3, 2), 1),
     ];
-    let stages: [(u64, u64, u32, u64); 4] =
-        [(56, 64, 3, 1), (56, 128, 4, 2), (28, 256, 6, 2), (14, 512, 3, 2)];
+    let stages: [(u64, u64, u32, u64); 4] = [
+        (56, 64, 3, 1),
+        (56, 128, 4, 2),
+        (28, 256, 6, 2),
+        (14, 512, 3, 2),
+    ];
     let mut in_ch = 64;
     for (si, &(hw_in, w, blocks, stride)) in stages.iter().enumerate() {
         let hw = if stride == 2 { hw_in / 2 } else { hw_in };
@@ -190,7 +202,11 @@ pub fn mobilenet_v2_width(batch: u64, base: u64) -> ModelGraph {
         OpSpec::conv2d(n, in_ch, 7, 7, scale(1280), 1, 1, 1, 0),
         1,
     ));
-    layers.push(layer("avgpool", OpSpec::avg_pool2d(n, scale(1280), 7, 7, 7, 1), 1));
+    layers.push(layer(
+        "avgpool",
+        OpSpec::avg_pool2d(n, scale(1280), 7, 7, 7, 1),
+        1,
+    ));
     layers.push(layer("fc", OpSpec::gemm(n, scale(1280), 1000), 1));
     ModelGraph::new("MobileNetV2", batch, layers)
 }
@@ -234,7 +250,11 @@ fn transformer(
             OpSpec::elementwise(n * heads * seq * seq, 1, 5),
             layers_n,
         ),
-        layer("layernorm", OpSpec::elementwise(tok * hidden, 1, 8), 2 * layers_n),
+        layer(
+            "layernorm",
+            OpSpec::elementwise(tok * hidden, 1, 8),
+            2 * layers_n,
+        ),
         layer("gelu", OpSpec::elementwise(tok * ff, 1, 8), layers_n),
     ];
     if let Some(vocab) = vocab_head {

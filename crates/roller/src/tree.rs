@@ -25,7 +25,10 @@ pub struct Roller {
 
 impl Default for Roller {
     fn default() -> Self {
-        Roller { reduce_align: 8, unroll: 4 }
+        Roller {
+            reduce_align: 8,
+            unroll: 4,
+        }
     }
 }
 
@@ -81,8 +84,8 @@ impl Roller {
         // the block thread limit and the SM register file (a MAX_REG_AREA
         // accumulator tile costs ≈ area + 2·√area + overhead registers).
         let regs_for_max_tile = MAX_REG_AREA + 2 * (MAX_REG_AREA as f64).sqrt() as u64 + 16;
-        let max_threads = (spec.max_threads_per_block as u64)
-            .min(spec.regs_per_sm as u64 / regs_for_max_tile);
+        let max_threads =
+            (spec.max_threads_per_block as u64).min(spec.regs_per_sm as u64 / regs_for_max_tile);
         let max_block_area = max_threads * MAX_REG_AREA;
 
         while !e.is_complete() {
@@ -131,8 +134,8 @@ impl Roller {
                 let underfilled = e.cur_level == 0
                     && e.clamped_smem_tile().iter().product::<u64>()
                         < spec.warp_size as u64 * MAX_REG_AREA;
-                let overthreaded = e.cur_level >= 1
-                    && e.threads_per_block() > spec.max_threads_per_block as u64;
+                let overthreaded =
+                    e.cur_level >= 1 && e.threads_per_block() > spec.max_threads_per_block as u64;
                 match best {
                     Some((gain, next)) if gain > 1.0 + 1e-9 || underfilled || overthreaded => {
                         e = next;
@@ -160,7 +163,10 @@ impl Roller {
             })
             .collect();
 
-        RollerTrace { path, candidates: unrolled }
+        RollerTrace {
+            path,
+            candidates: unrolled,
+        }
     }
 }
 
@@ -227,7 +233,10 @@ mod tests {
         ] {
             let trace = Roller::default().construct(&op, &spec);
             assert!(
-                trace.candidates.iter().any(|c| MemCheck::check(c, &spec).fits()),
+                trace
+                    .candidates
+                    .iter()
+                    .any(|c| MemCheck::check(c, &spec).fits()),
                 "{}",
                 op.label()
             );
@@ -256,11 +265,7 @@ mod tests {
     fn greedy_builds_substantial_block_tiles() {
         let spec = GpuSpec::rtx4090();
         let trace = Roller::default().construct(&OpSpec::gemm(8192, 8192, 8192), &spec);
-        let final_l0 = trace
-            .path
-            .iter()
-            .rfind(|e| e.cur_level == 0)
-            .unwrap();
+        let final_l0 = trace.path.iter().rfind(|e| e.cur_level == 0).unwrap();
         let tile_area: u64 = final_l0.smem_tile.iter().product();
         assert!(tile_area >= 64 * 64, "tile {:?}", final_l0.smem_tile);
     }

@@ -1,0 +1,295 @@
+//! The cache façade: memory tier + optional persistent tier + neighbour
+//! index + statistics, behind one `get_or_compile` call.
+
+use crate::key::CacheKey;
+use crate::map::{Outcome, ShardedMap};
+use crate::stats::{Stats, StatsSnapshot};
+use crate::store::{self, Store};
+use etir::Etir;
+use hardware::GpuSpec;
+use simgpu::CompiledKernel;
+use std::path::Path;
+use std::sync::Arc;
+use tensor_expr::OpSpec;
+
+/// A persistent, concurrent schedule cache.
+///
+/// * misses run the supplied construction (single-flight: concurrent
+///   requests for the same key collapse onto one build);
+/// * every winner is appended to the JSONL store (when one is attached)
+///   and indexed for neighbour lookup;
+/// * [`ScheduleCache::neighbours`] offers cached schedules of the same
+///   operator class, nearest first by log-shape distance, as warm-start
+///   seeds for new shapes.
+pub struct ScheduleCache {
+    map: ShardedMap,
+    store: Option<Store>,
+    stats: Stats,
+    /// Every resident schedule, for nearest-neighbour warm starts. The
+    /// `OpSpec` lives inside each `Etir`.
+    index: parking_lot::RwLock<Vec<(CacheKey, Etir)>>,
+}
+
+impl ScheduleCache {
+    /// A cache with no persistent tier.
+    pub fn in_memory() -> Self {
+        ScheduleCache {
+            map: ShardedMap::default(),
+            store: None,
+            stats: Stats::default(),
+            index: parking_lot::RwLock::new(Vec::new()),
+        }
+    }
+
+    /// A cache backed by the JSONL file at `path`, pre-seeded with every
+    /// valid record already there. Corrupt or foreign-version lines are
+    /// skipped and counted (see [`StatsSnapshot`]).
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let store = Store::open(path.as_ref());
+        let (records, report) = store.load()?;
+        let cache = ScheduleCache {
+            map: ShardedMap::default(),
+            store: Some(store),
+            stats: Stats::default(),
+            index: parking_lot::RwLock::new(Vec::new()),
+        };
+        cache.stats.record_load(&report);
+        let mut index = cache.index.write();
+        for rec in records {
+            let kernel = CompiledKernel {
+                etir: rec.etir.clone(),
+                report: rec.report,
+                // Carry the original tuning cost so hits can account the
+                // seconds they save.
+                wall_time_s: rec.tuning_s,
+                simulated_tuning_s: 0.0,
+                candidates_evaluated: rec.candidates_evaluated,
+            };
+            cache.map.insert(rec.key, Arc::new(kernel));
+            index.push((rec.key, rec.etir));
+        }
+        drop(index);
+        Ok(cache)
+    }
+
+    /// The backing file, if this cache persists.
+    pub fn store_path(&self) -> Option<&Path> {
+        self.store.as_ref().map(|s| s.path())
+    }
+
+    /// Schedules resident in memory.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Cached schedules compatible with `op` (same class, same spatial and
+    /// reduce rank), nearest first by log-shape distance, excluding exact
+    /// shape matches (those are hits, not warm starts). At most `k`.
+    pub fn neighbours(&self, op: &OpSpec, k: usize) -> Vec<Etir> {
+        let index = self.index.read();
+        let mut scored: Vec<(f64, &Etir)> = index
+            .iter()
+            .map(|(_, e)| e)
+            .filter(|e| e.op.class() == op.class() && e.op != *op)
+            .filter(|e| {
+                e.op.spatial_extents().len() == op.spatial_extents().len()
+                    && e.op.reduce_extents().len() == op.reduce_extents().len()
+            })
+            .map(|e| (shape_distance(&e.op, op), e))
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+        scored.into_iter().take(k).map(|(_, e)| e.clone()).collect()
+    }
+
+    /// Fetch the kernel for (`op`, `spec`, `method`), running `build` on a
+    /// miss. `build` receives the warm-start seeds ([`neighbours`]) so it
+    /// can race transplanted candidates against fresh construction;
+    /// concurrent identical requests run `build` exactly once.
+    ///
+    /// [`neighbours`]: ScheduleCache::neighbours
+    pub fn get_or_compile<F>(
+        &self,
+        op: &OpSpec,
+        spec: &GpuSpec,
+        method: &str,
+        build: F,
+    ) -> (Arc<CompiledKernel>, Outcome)
+    where
+        F: FnOnce(&[Etir]) -> CompiledKernel,
+    {
+        let key = CacheKey::new(op, spec, method);
+        let mut used_seeds = false;
+        let (kernel, outcome) = self.map.get_or_build(key, || {
+            let seeds = self.neighbours(op, 3);
+            used_seeds = !seeds.is_empty();
+            build(&seeds)
+        });
+        match outcome {
+            Outcome::Hit => self.stats.record_hit(kernel.total_tuning_s()),
+            Outcome::Coalesced => self.stats.record_coalesced(),
+            Outcome::Built => {
+                self.stats.record_miss(kernel.wall_time_s, used_seeds);
+                self.index.write().push((key, kernel.etir.clone()));
+                if let Some(store) = &self.store {
+                    let rec = store::record(key, op.label(), method, &kernel);
+                    if let Err(e) = store.append(&rec) {
+                        eprintln!(
+                            "schedcache: could not persist {} to {}: {e}",
+                            op.label(),
+                            store.path().display()
+                        );
+                    }
+                }
+            }
+        }
+        (kernel, outcome)
+    }
+}
+
+/// Σ |log2 extent ratios| over spatial + reduce axes — the same metric the
+/// dynamic optimizer uses, local so the cache does not reach into `gensor`
+/// internals.
+fn shape_distance(a: &OpSpec, b: &OpSpec) -> f64 {
+    let dist = |x: &[u64], y: &[u64]| -> f64 {
+        x.iter()
+            .zip(y)
+            .map(|(&p, &q)| ((p as f64).log2() - (q as f64).log2()).abs())
+            .sum()
+    };
+    dist(&a.spatial_extents(), &b.spatial_extents())
+        + dist(&a.reduce_extents(), &b.reduce_extents())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmpfile(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("schedcache-cache-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}-{}.jsonl", std::process::id()))
+    }
+
+    fn build(op: &OpSpec, spec: &GpuSpec) -> CompiledKernel {
+        let e = Etir::initial(op.clone(), spec);
+        let r = simgpu::simulate(&e, spec).unwrap();
+        CompiledKernel {
+            etir: e,
+            report: r,
+            wall_time_s: 0.05,
+            simulated_tuning_s: 0.0,
+            candidates_evaluated: 1,
+        }
+    }
+
+    #[test]
+    fn hit_after_miss_and_counters_follow() {
+        let spec = GpuSpec::rtx4090();
+        let cache = ScheduleCache::in_memory();
+        let op = OpSpec::gemm(512, 512, 512);
+        let builds = AtomicU64::new(0);
+        for _ in 0..3 {
+            cache.get_or_compile(&op, &spec, "Gensor", |_| {
+                builds.fetch_add(1, Ordering::SeqCst);
+                build(&op, &spec)
+            });
+        }
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+        let s = cache.stats();
+        assert_eq!((s.misses, s.hits), (1, 2));
+        assert!(s.saved_tuning_s > 0.0);
+    }
+
+    #[test]
+    fn neighbours_are_same_class_nearest_first() {
+        let spec = GpuSpec::rtx4090();
+        let cache = ScheduleCache::in_memory();
+        for m in [256u64, 1024, 4096] {
+            let op = OpSpec::gemm(m, 512, 512);
+            cache.get_or_compile(&op, &spec, "Gensor", |_| build(&op, &spec));
+        }
+        let gemv = OpSpec::gemv(4096, 512);
+        cache.get_or_compile(&gemv, &spec, "Gensor", |_| build(&gemv, &spec));
+
+        let n = cache.neighbours(&OpSpec::gemm(1500, 512, 512), 2);
+        assert_eq!(n.len(), 2);
+        assert_eq!(n[0].op, OpSpec::gemm(1024, 512, 512), "nearest first");
+        assert!(n
+            .iter()
+            .all(|e| e.op.class() == OpSpec::gemm(1, 1, 1).class()));
+        // The exact shape never returns itself as a neighbour.
+        assert!(cache
+            .neighbours(&OpSpec::gemm(1024, 512, 512), 5)
+            .iter()
+            .all(|e| e.op != OpSpec::gemm(1024, 512, 512)));
+    }
+
+    #[test]
+    fn misses_with_seeds_count_as_warm_starts() {
+        let spec = GpuSpec::rtx4090();
+        let cache = ScheduleCache::in_memory();
+        let a = OpSpec::gemm(512, 512, 512);
+        let b = OpSpec::gemm(1024, 512, 512);
+        cache.get_or_compile(&a, &spec, "Gensor", |seeds| {
+            assert!(seeds.is_empty(), "first compile is cold");
+            build(&a, &spec)
+        });
+        cache.get_or_compile(&b, &spec, "Gensor", |seeds| {
+            assert_eq!(seeds.len(), 1, "second compile sees the first");
+            build(&b, &spec)
+        });
+        let s = cache.stats();
+        assert_eq!(s.warm_starts, 1);
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let path = tmpfile("reopen");
+        let _ = std::fs::remove_file(&path);
+        let spec = GpuSpec::rtx4090();
+        let op = OpSpec::gemm(768, 256, 256);
+        let first = {
+            let cache = ScheduleCache::open(&path).unwrap();
+            let (k, o) = cache.get_or_compile(&op, &spec, "Gensor", |_| build(&op, &spec));
+            assert_eq!(o, Outcome::Built);
+            k.etir.clone()
+        };
+        let cache = ScheduleCache::open(&path).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().loaded_from_disk, 1);
+        let (k, o) = cache.get_or_compile(&op, &spec, "Gensor", |_| {
+            panic!("must not rebuild a persisted schedule")
+        });
+        assert_eq!(o, Outcome::Hit);
+        assert_eq!(k.etir, first);
+    }
+
+    #[test]
+    fn methods_do_not_share_entries() {
+        let spec = GpuSpec::rtx4090();
+        let cache = ScheduleCache::in_memory();
+        let op = OpSpec::gemm(512, 512, 512);
+        let builds = AtomicU64::new(0);
+        for method in ["Gensor", "Roller"] {
+            cache.get_or_compile(&op, &spec, method, |_| {
+                builds.fetch_add(1, Ordering::SeqCst);
+                build(&op, &spec)
+            });
+        }
+        assert_eq!(builds.load(Ordering::SeqCst), 2);
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Canonical cache keys.
+//!
+//! A cached schedule is only valid for the exact (operator, device, policy)
+//! triple it was constructed for, so the key is a product of three
+//! fingerprints:
+//!
+//! * **operator** — FNV-1a over the canonical JSON of the full [`OpSpec`]
+//!   (class *and* shape; GEMM\[1024,512,512\] and GEMM\[1024,512,513\] are
+//!   different keys);
+//! * **device** — FNV-1a over the canonical JSON of the full [`GpuSpec`]
+//!   (two devices that differ in any modelled quantity — an SM count, a
+//!   cache size, a latency — must never share schedules);
+//! * **policy** — FNV-1a over the tuner's name and [`POLICY_EPOCH`]. The
+//!   epoch is bumped whenever a change to the construction policy or the
+//!   performance model makes previously cached winners stale; old entries
+//!   then simply stop matching and are recompiled.
+
+use hardware::GpuSpec;
+use serde::{Deserialize, Serialize};
+use tensor_expr::OpSpec;
+
+/// On-disk format version. Records written with a different version are
+/// skipped (and counted) at load time.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Construction-policy epoch. Part of every policy fingerprint: bumping it
+/// invalidates all cached schedules without touching the files.
+pub const POLICY_EPOCH: u32 = 1;
+
+/// FNV-1a, 64-bit.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fingerprint_of(value: &impl Serialize) -> u64 {
+    let json = serde_json::to_string(value).expect("fingerprint serialization");
+    fnv1a64(json.as_bytes())
+}
+
+/// Fingerprint of an operator (class + full shape).
+pub fn op_fingerprint(op: &OpSpec) -> u64 {
+    fingerprint_of(op)
+}
+
+/// Fingerprint of a device model.
+pub fn gpu_fingerprint(spec: &GpuSpec) -> u64 {
+    fingerprint_of(spec)
+}
+
+/// Fingerprint of a tuning policy: the method's name tied to the current
+/// [`POLICY_EPOCH`].
+pub fn policy_fingerprint(method: &str) -> u64 {
+    fnv1a64(format!("{method}#epoch{POLICY_EPOCH}").as_bytes())
+}
+
+/// The canonical cache key: operator × device × policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheKey {
+    /// [`op_fingerprint`] of the operator.
+    pub op_fp: u64,
+    /// [`gpu_fingerprint`] of the device.
+    pub gpu_fp: u64,
+    /// [`policy_fingerprint`] of the method.
+    pub policy_fp: u64,
+}
+
+impl CacheKey {
+    /// Key for compiling `op` on `spec` with the named method.
+    pub fn new(op: &OpSpec, spec: &GpuSpec, method: &str) -> Self {
+        CacheKey {
+            op_fp: op_fingerprint(op),
+            gpu_fp: gpu_fingerprint(spec),
+            policy_fp: policy_fingerprint(method),
+        }
+    }
+
+    /// Shard index for an `n`-way sharded map (mixes all three parts).
+    pub fn shard(&self, n: usize) -> usize {
+        let mixed = self
+            .op_fp
+            .rotate_left(17)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ self.gpu_fp.rotate_left(31)
+            ^ self.policy_fp;
+        (mixed % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_shapes_get_distinct_keys() {
+        let spec = GpuSpec::rtx4090();
+        let a = CacheKey::new(&OpSpec::gemm(1024, 512, 512), &spec, "Gensor");
+        let b = CacheKey::new(&OpSpec::gemm(1024, 512, 513), &spec, "Gensor");
+        assert_ne!(a, b);
+        assert_eq!(a.gpu_fp, b.gpu_fp);
+        assert_eq!(a.policy_fp, b.policy_fp);
+    }
+
+    #[test]
+    fn device_and_method_separate_keys() {
+        let op = OpSpec::gemm(256, 256, 256);
+        let k4090 = CacheKey::new(&op, &GpuSpec::rtx4090(), "Gensor");
+        let korin = CacheKey::new(&op, &GpuSpec::orin_nano(), "Gensor");
+        assert_ne!(k4090, korin);
+        let kroller = CacheKey::new(&op, &GpuSpec::rtx4090(), "Roller");
+        assert_ne!(k4090, kroller);
+    }
+
+    #[test]
+    fn keys_are_stable_across_calls() {
+        let op = OpSpec::conv2d(8, 32, 28, 28, 64, 3, 3, 1, 1);
+        let spec = GpuSpec::a100();
+        assert_eq!(
+            CacheKey::new(&op, &spec, "Gensor"),
+            CacheKey::new(&op, &spec, "Gensor")
+        );
+    }
+
+    #[test]
+    fn shard_is_in_range() {
+        let spec = GpuSpec::rtx4090();
+        for m in 1..64u64 {
+            let k = CacheKey::new(&OpSpec::gemm(m, 64, 64), &spec, "Gensor");
+            assert!(k.shard(16) < 16);
+        }
+    }
+}

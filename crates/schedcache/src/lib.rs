@@ -1,0 +1,41 @@
+//! `schedcache` — persistent schedule cache + concurrent compilation
+//! service.
+//!
+//! Construction-based compilation (the paper's contribution) already cuts
+//! tuning from hours to seconds; this crate removes the *re*-tuning cost
+//! entirely for shapes a deployment has seen before:
+//!
+//! * [`key`] — canonical cache keys: operator fingerprint × device
+//!   fingerprint × policy fingerprint, with explicit format/policy
+//!   versioning for invalidation.
+//! * [`store`] — a corruption-tolerant JSONL persistent tier: winners are
+//!   appended atomically the moment they are found; damaged or
+//!   foreign-version lines are skipped and counted at load, never fatal.
+//! * [`map`] — the in-memory tier: a sharded concurrent map with
+//!   single-flight deduplication (N concurrent requests for one key run
+//!   exactly one construction).
+//! * [`cache`] — the [`ScheduleCache`] façade tying the tiers together,
+//!   plus nearest-neighbour warm-start seeds for unseen shapes.
+//! * [`tuner`] — [`CachedTuner`], a drop-in [`simgpu::Tuner`] adapter so
+//!   every existing pipeline (`compile_model`, dynamic shapes, timelines)
+//!   gains caching without signature changes.
+//! * [`service`] — [`CompileService`], a worker pool that precompiles
+//!   whole model graphs through the cache.
+//! * [`stats`] — hit/miss/dedup/warm-start counters and compile-latency
+//!   percentiles for the `gensor cache` CLI.
+
+pub mod cache;
+pub mod key;
+pub mod map;
+pub mod service;
+pub mod stats;
+pub mod store;
+pub mod tuner;
+
+pub use cache::ScheduleCache;
+pub use key::{CacheKey, FORMAT_VERSION, POLICY_EPOCH};
+pub use map::Outcome;
+pub use service::{CompileService, ServiceReport};
+pub use stats::StatsSnapshot;
+pub use store::{CacheRecord, LoadReport, Store};
+pub use tuner::CachedTuner;

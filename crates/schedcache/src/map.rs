@@ -1,0 +1,294 @@
+//! The in-memory tier: a sharded concurrent map with single-flight
+//! deduplication.
+//!
+//! * **Sharding** — keys are spread over [`SHARD_COUNT`] independent
+//!   `RwLock<HashMap>` shards, so a hit on one operator never contends
+//!   with a hit on another (the hit path takes one shard read lock).
+//! * **Single-flight** — when N threads miss the same key concurrently,
+//!   exactly one runs the (expensive, seconds-long) construction; the
+//!   others block on the in-flight [`Flight`] and receive the same
+//!   `Arc`'d result. If the builder panics, waiters are woken and one of
+//!   them claims the build instead, so a crash never wedges a key.
+
+use crate::key::CacheKey;
+use parking_lot::RwLock;
+use simgpu::CompiledKernel;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Number of shards (power of two; tuned for tens of threads).
+pub const SHARD_COUNT: usize = 16;
+
+/// How a `get_or_build` call was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The key was already resident.
+    Hit,
+    /// This call ran the construction.
+    Built,
+    /// Another in-flight call ran it; this call waited and shared the
+    /// result (a dedup-collapsed request).
+    Coalesced,
+}
+
+/// An in-flight construction other threads can wait on.
+struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+enum FlightState {
+    Pending,
+    Done(Arc<CompiledKernel>),
+    Aborted,
+}
+
+impl Flight {
+    fn new() -> Arc<Self> {
+        Arc::new(Flight {
+            state: Mutex::new(FlightState::Pending),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Block until the owner finishes; `None` means the owner aborted
+    /// (panicked) and the caller should retry the claim.
+    fn wait(&self) -> Option<Arc<CompiledKernel>> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            match &*state {
+                FlightState::Pending => {
+                    state = self.done.wait(state).unwrap_or_else(|p| p.into_inner());
+                }
+                FlightState::Done(k) => return Some(k.clone()),
+                FlightState::Aborted => return None,
+            }
+        }
+    }
+
+    fn finish(&self, state: FlightState) {
+        *self.state.lock().unwrap_or_else(|p| p.into_inner()) = state;
+        self.done.notify_all();
+    }
+}
+
+enum Slot {
+    Ready(Arc<CompiledKernel>),
+    Building(Arc<Flight>),
+}
+
+/// The sharded concurrent map.
+pub struct ShardedMap {
+    shards: Vec<RwLock<HashMap<CacheKey, Slot>>>,
+}
+
+impl Default for ShardedMap {
+    fn default() -> Self {
+        ShardedMap {
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+}
+
+impl ShardedMap {
+    fn shard(&self, key: &CacheKey) -> &RwLock<HashMap<CacheKey, Slot>> {
+        &self.shards[key.shard(SHARD_COUNT)]
+    }
+
+    /// Resident entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .values()
+                    .filter(|v| matches!(v, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Whether no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup without building.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CompiledKernel>> {
+        match self.shard(key).read().get(key) {
+            Some(Slot::Ready(k)) => Some(k.clone()),
+            _ => None,
+        }
+    }
+
+    /// Insert a pre-built kernel (used when seeding from disk).
+    pub fn insert(&self, key: CacheKey, kernel: Arc<CompiledKernel>) {
+        self.shard(&key).write().insert(key, Slot::Ready(kernel));
+    }
+
+    /// Fetch `key`, running `build` (at most once across all concurrent
+    /// callers) on a miss.
+    pub fn get_or_build<F>(&self, key: CacheKey, build: F) -> (Arc<CompiledKernel>, Outcome)
+    where
+        F: FnOnce() -> CompiledKernel,
+    {
+        let mut build = Some(build);
+        loop {
+            // Fast path: shared read lock only.
+            let waiting: Option<Arc<Flight>> = match self.shard(&key).read().get(&key) {
+                Some(Slot::Ready(k)) => return (k.clone(), Outcome::Hit),
+                Some(Slot::Building(f)) => Some(f.clone()),
+                None => None,
+            };
+            if let Some(flight) = waiting {
+                match flight.wait() {
+                    Some(k) => return (k, Outcome::Coalesced),
+                    None => continue, // owner aborted; retry the claim
+                }
+            }
+            // Claim the build under the write lock.
+            let flight = {
+                let mut shard = self.shard(&key).write();
+                match shard.get(&key) {
+                    Some(Slot::Ready(k)) => return (k.clone(), Outcome::Hit),
+                    Some(Slot::Building(f)) => {
+                        let f = f.clone();
+                        drop(shard);
+                        match f.wait() {
+                            Some(k) => return (k, Outcome::Coalesced),
+                            None => continue,
+                        }
+                    }
+                    None => {
+                        let f = Flight::new();
+                        shard.insert(key, Slot::Building(f.clone()));
+                        f
+                    }
+                }
+            };
+            // We own the flight. Guard so a panicking builder wakes the
+            // waiters (marking Aborted and vacating the slot) instead of
+            // leaving them blocked forever.
+            let guard = AbortGuard {
+                map: self,
+                key,
+                flight: &flight,
+                armed: true,
+            };
+            let kernel = Arc::new(build.take().expect("claimed at most once")());
+            let mut guard = guard;
+            guard.armed = false;
+            self.shard(&key)
+                .write()
+                .insert(key, Slot::Ready(kernel.clone()));
+            flight.finish(FlightState::Done(kernel.clone()));
+            return (kernel, Outcome::Built);
+        }
+    }
+}
+
+struct AbortGuard<'a> {
+    map: &'a ShardedMap,
+    key: CacheKey,
+    flight: &'a Arc<Flight>,
+    armed: bool,
+}
+
+impl Drop for AbortGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.map.shard(&self.key).write().remove(&self.key);
+            self.flight.finish(FlightState::Aborted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hardware::GpuSpec;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use tensor_expr::OpSpec;
+
+    fn kernel() -> CompiledKernel {
+        let spec = GpuSpec::rtx4090();
+        let e = etir::Etir::initial(OpSpec::gemm(64, 64, 64), &spec);
+        let r = simgpu::simulate(&e, &spec).unwrap();
+        CompiledKernel {
+            etir: e,
+            report: r,
+            wall_time_s: 0.01,
+            simulated_tuning_s: 0.0,
+            candidates_evaluated: 1,
+        }
+    }
+
+    fn key(m: u64) -> CacheKey {
+        CacheKey::new(&OpSpec::gemm(m, 64, 64), &GpuSpec::rtx4090(), "Gensor")
+    }
+
+    #[test]
+    fn build_once_then_hit() {
+        let map = ShardedMap::default();
+        let builds = AtomicU64::new(0);
+        let (_, o1) = map.get_or_build(key(128), || {
+            builds.fetch_add(1, Ordering::SeqCst);
+            kernel()
+        });
+        let (_, o2) = map.get_or_build(key(128), || {
+            builds.fetch_add(1, Ordering::SeqCst);
+            kernel()
+        });
+        assert_eq!(o1, Outcome::Built);
+        assert_eq!(o2, Outcome::Hit);
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_same_key_builds_exactly_once() {
+        let map = ShardedMap::default();
+        let builds = AtomicU64::new(0);
+        let outcomes = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let map = &map;
+                    let builds = &builds;
+                    s.spawn(move |_| {
+                        map.get_or_build(key(256), || {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window so waiters really wait.
+                            std::thread::sleep(std::time::Duration::from_millis(30));
+                            kernel()
+                        })
+                        .1
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        })
+        .unwrap();
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "single-flight violated");
+        assert_eq!(outcomes.iter().filter(|o| **o == Outcome::Built).count(), 1);
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, Outcome::Built | Outcome::Coalesced | Outcome::Hit)));
+    }
+
+    #[test]
+    fn aborted_build_recovers() {
+        let map = ShardedMap::default();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            map.get_or_build(key(512), || panic!("builder died"));
+        }));
+        assert!(r.is_err());
+        // The key is not wedged: the next caller builds it.
+        let (_, o) = map.get_or_build(key(512), kernel);
+        assert_eq!(o, Outcome::Built);
+    }
+}

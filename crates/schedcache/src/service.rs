@@ -1,0 +1,171 @@
+//! The concurrent compilation service: a worker pool that drives a
+//! model's unique operators through the cache in parallel.
+//!
+//! `compile_model` already parallelises one model's layers; the service is
+//! for the *deployment* shape of the problem — many models, arriving
+//! concurrently, sharing one cache. Workers pull operators off an MPMC
+//! channel, so duplicate operators across models collapse to one
+//! construction (single-flight) and everything else saturates the pool.
+
+use crate::map::Outcome;
+use crate::tuner::CachedTuner;
+use hardware::GpuSpec;
+use models::graph::ModelGraph;
+use simgpu::Tuner;
+use std::time::Instant;
+use tensor_expr::OpSpec;
+
+/// What one `precompile` run did.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServiceReport {
+    /// Operators requested (after fusion filtering, with duplicates).
+    pub requested: usize,
+    /// Constructions actually run.
+    pub built: usize,
+    /// Requests answered from memory.
+    pub hits: usize,
+    /// Requests collapsed onto another worker's in-flight build.
+    pub coalesced: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// End-to-end wall time, seconds.
+    pub wall_s: f64,
+}
+
+/// Worker-pool front end over a [`CachedTuner`].
+pub struct CompileService {
+    workers: usize,
+}
+
+impl Default for CompileService {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        CompileService { workers: cores }
+    }
+}
+
+impl CompileService {
+    /// A service with an explicit pool size (clamped to ≥ 1).
+    pub fn with_workers(workers: usize) -> Self {
+        CompileService {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Compile every unique operator of `graphs` through `tuner`'s cache,
+    /// filling it so subsequent `compile_model` calls are pure hits.
+    pub fn precompile(
+        &self,
+        tuner: &CachedTuner,
+        graphs: &[&ModelGraph],
+        spec: &GpuSpec,
+    ) -> ServiceReport {
+        let t0 = Instant::now();
+        let ops: Vec<OpSpec> = graphs
+            .iter()
+            .flat_map(|g| -> Vec<OpSpec> {
+                if tuner.fuses_elementwise() {
+                    g.fused_layers().map(|l| l.op.clone()).collect()
+                } else {
+                    g.layers.iter().map(|l| l.op.clone()).collect()
+                }
+            })
+            .collect();
+        let workers = self.workers.min(ops.len()).max(1);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        for op in &ops {
+            tx.send(op.clone()).expect("receiver is alive");
+        }
+        drop(tx);
+        let counts = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move |_| {
+                        let mut n = [0usize; 3]; // built, hit, coalesced
+                        while let Ok(op) = rx.recv() {
+                            match tuner.compile_with_outcome(&op, spec).1 {
+                                Outcome::Built => n[0] += 1,
+                                Outcome::Hit => n[1] += 1,
+                                Outcome::Coalesced => n[2] += 1,
+                            }
+                        }
+                        n
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .fold([0usize; 3], |acc, n| {
+                    [acc[0] + n[0], acc[1] + n[1], acc[2] + n[2]]
+                })
+        })
+        .expect("scope panicked");
+        ServiceReport {
+            requested: ops.len(),
+            built: counts[0],
+            hits: counts[1],
+            coalesced: counts[2],
+            workers,
+            wall_s: t0.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ScheduleCache;
+    use gensor::{Gensor, GensorConfig};
+    use std::sync::Arc;
+
+    fn small_gensor() -> Gensor {
+        Gensor::with_config(GensorConfig {
+            chains: 1,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn precompile_fills_the_cache_for_compile_model() {
+        let spec = GpuSpec::rtx4090();
+        let graph = models::zoo::bert_small(1, 64);
+        let gensor = small_gensor();
+        let cache = Arc::new(ScheduleCache::in_memory());
+        let tuner = CachedTuner::for_gensor(&gensor, cache.clone());
+
+        let report = CompileService::with_workers(4).precompile(&tuner, &[&graph], &spec);
+        let unique = graph.fused_layers().count();
+        assert_eq!(report.requested, unique, "zoo graphs fold duplicates");
+        assert_eq!(report.built + report.hits + report.coalesced, unique);
+        assert!(report.built >= 1);
+        assert_eq!(cache.len(), report.built);
+
+        // A subsequent end-to-end compile is answered entirely from cache.
+        let before = cache.stats();
+        let cm = models::pipeline::compile_model(&tuner, &graph, &spec);
+        let after = cache.stats();
+        assert_eq!(after.misses, before.misses, "no new constructions");
+        assert_eq!(after.hits - before.hits, unique as u64);
+        assert_eq!(cm.tuning_s, 0.0, "hits carry zero tuning cost");
+    }
+
+    #[test]
+    fn duplicate_graphs_collapse_to_one_construction_each() {
+        let spec = GpuSpec::rtx4090();
+        let graph = models::zoo::bert_small(1, 64);
+        let gensor = small_gensor();
+        let cache = Arc::new(ScheduleCache::in_memory());
+        let tuner = CachedTuner::for_gensor(&gensor, cache.clone());
+
+        let report =
+            CompileService::with_workers(8).precompile(&tuner, &[&graph, &graph, &graph], &spec);
+        let unique = graph.fused_layers().count();
+        assert_eq!(report.requested, 3 * unique);
+        assert_eq!(report.built, unique, "each op constructed exactly once");
+        assert_eq!(report.hits + report.coalesced, 2 * unique);
+    }
+}

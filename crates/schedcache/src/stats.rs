@@ -1,0 +1,173 @@
+//! Cache observability: counters and compile-latency percentiles.
+//!
+//! Every interesting event — hit, miss, dedup-collapse, warm start, disk
+//! load, corrupt line — is counted, and every *actual* construction's wall
+//! time is recorded so `snapshot()` can report p50/p90/p99 compile latency
+//! alongside the tuning seconds that hits avoided.
+
+use crate::store::LoadReport;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+#[derive(Default)]
+struct Inner {
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    warm_starts: u64,
+    loaded_from_disk: u64,
+    corrupt_lines: u64,
+    version_skipped: u64,
+    saved_tuning_s: f64,
+    compile_latencies_s: Vec<f64>,
+}
+
+/// Thread-safe event counters for one cache.
+#[derive(Default)]
+pub struct Stats {
+    inner: Mutex<Inner>,
+}
+
+/// Point-in-time view of the counters, serializable for `gensor cache`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Requests answered from memory.
+    pub hits: u64,
+    /// Requests that ran a construction.
+    pub misses: u64,
+    /// Requests that waited on another thread's in-flight construction
+    /// (dedup-collapsed).
+    pub coalesced: u64,
+    /// Misses that were seeded from cached neighbour schedules.
+    pub warm_starts: u64,
+    /// Records seeded from the persistent store at open time.
+    pub loaded_from_disk: u64,
+    /// Store lines skipped as corrupt at open time.
+    pub corrupt_lines: u64,
+    /// Store lines skipped as written by another format version.
+    pub version_skipped: u64,
+    /// Tuning seconds that hits avoided re-spending.
+    pub saved_tuning_s: f64,
+    /// Constructions actually run (length of the latency sample).
+    pub compiles: u64,
+    /// Median construction wall time, seconds.
+    pub compile_p50_s: f64,
+    /// 90th-percentile construction wall time, seconds.
+    pub compile_p90_s: f64,
+    /// 99th-percentile construction wall time, seconds.
+    pub compile_p99_s: f64,
+}
+
+impl Stats {
+    /// Count a memory hit that avoided `saved_s` seconds of tuning.
+    pub fn record_hit(&self, saved_s: f64) {
+        let mut g = self.inner.lock();
+        g.hits += 1;
+        g.saved_tuning_s += saved_s;
+    }
+
+    /// Count a construction (a miss); `warm` if neighbour seeds were used.
+    pub fn record_miss(&self, latency_s: f64, warm: bool) {
+        let mut g = self.inner.lock();
+        g.misses += 1;
+        if warm {
+            g.warm_starts += 1;
+        }
+        g.compile_latencies_s.push(latency_s);
+    }
+
+    /// Count a request collapsed onto another thread's in-flight build.
+    pub fn record_coalesced(&self) {
+        self.inner.lock().coalesced += 1;
+    }
+
+    /// Absorb a [`LoadReport`] from opening the persistent store.
+    pub fn record_load(&self, report: &LoadReport) {
+        let mut g = self.inner.lock();
+        g.loaded_from_disk += report.loaded as u64;
+        g.corrupt_lines += report.corrupt as u64;
+        g.version_skipped += report.version_skipped as u64;
+    }
+
+    /// Current counters and latency percentiles.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let g = self.inner.lock();
+        let mut lat = g.compile_latencies_s.clone();
+        lat.sort_by(|a, b| a.total_cmp(b));
+        let pct = |p: f64| -> f64 {
+            if lat.is_empty() {
+                return 0.0;
+            }
+            let idx = (p * (lat.len() - 1) as f64).round() as usize;
+            lat[idx.min(lat.len() - 1)]
+        };
+        StatsSnapshot {
+            hits: g.hits,
+            misses: g.misses,
+            coalesced: g.coalesced,
+            warm_starts: g.warm_starts,
+            loaded_from_disk: g.loaded_from_disk,
+            corrupt_lines: g.corrupt_lines,
+            version_skipped: g.version_skipped,
+            saved_tuning_s: g.saved_tuning_s,
+            compiles: lat.len() as u64,
+            compile_p50_s: pct(0.50),
+            compile_p90_s: pct(0.90),
+            compile_p99_s: pct(0.99),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Hit fraction over answered requests (hits + coalesced + misses).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.coalesced + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = Stats::default();
+        s.record_miss(0.4, false);
+        s.record_miss(0.2, true);
+        s.record_hit(0.6);
+        s.record_hit(0.6);
+        s.record_coalesced();
+        let snap = s.snapshot();
+        assert_eq!(snap.misses, 2);
+        assert_eq!(snap.warm_starts, 1);
+        assert_eq!(snap.hits, 2);
+        assert_eq!(snap.coalesced, 1);
+        assert_eq!(snap.compiles, 2);
+        assert!((snap.saved_tuning_s - 1.2).abs() < 1e-12);
+        assert_eq!(snap.hit_rate(), 0.4);
+    }
+
+    #[test]
+    fn percentiles_come_from_the_sorted_sample() {
+        let s = Stats::default();
+        for latency in [0.5, 0.1, 0.3, 0.2, 0.4] {
+            s.record_miss(latency, false);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.compile_p50_s, 0.3);
+        assert_eq!(snap.compile_p99_s, 0.5);
+    }
+
+    #[test]
+    fn empty_stats_snapshot_is_all_zero() {
+        let snap = Stats::default().snapshot();
+        assert_eq!(snap.hits + snap.misses + snap.compiles, 0);
+        assert_eq!(snap.compile_p50_s, 0.0);
+        assert_eq!(snap.hit_rate(), 0.0);
+    }
+}

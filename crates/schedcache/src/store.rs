@@ -1,0 +1,235 @@
+//! The persistent store: one JSONL file, one record per line.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Append is cheap and atomic.** A winning schedule is persisted the
+//!    moment it is found — one `O_APPEND` write of one complete line. A
+//!    crash can truncate only the final line, never corrupt earlier ones.
+//! 2. **Corruption is tolerated, not fatal.** Loading skips lines that
+//!    fail to parse (truncated tail, editor accidents, version drift) and
+//!    *counts* them in the [`LoadReport`] so callers can surface a warning
+//!    instead of refusing to start.
+//! 3. **Versioned.** Every line carries the writer's [`FORMAT_VERSION`];
+//!    records from other versions are skipped and counted separately from
+//!    corruption.
+
+use crate::key::{CacheKey, FORMAT_VERSION};
+use etir::Etir;
+use serde::{Deserialize, Serialize};
+use simgpu::KernelReport;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One persisted compilation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheRecord {
+    /// Writer's on-disk format version.
+    pub v: u32,
+    /// The (op, gpu, policy) key this schedule is valid for.
+    pub key: CacheKey,
+    /// Human-readable operator label (diagnostics only; the key is
+    /// authoritative).
+    pub op_label: String,
+    /// Method that produced the schedule.
+    pub method: String,
+    /// The winning schedule.
+    pub etir: Etir,
+    /// Its simulated execution profile.
+    pub report: KernelReport,
+    /// Candidates the original compile scored.
+    pub candidates_evaluated: u64,
+    /// Seconds the original compile cost (wall + simulated measurement) —
+    /// what a cache hit saves.
+    pub tuning_s: f64,
+}
+
+/// What `Store::load` found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Records loaded successfully.
+    pub loaded: usize,
+    /// Lines that failed to parse (truncated/corrupt) and were skipped.
+    pub corrupt: usize,
+    /// Well-formed records written by a different format version.
+    pub version_skipped: usize,
+}
+
+/// Handle to one JSONL cache file.
+#[derive(Debug, Clone)]
+pub struct Store {
+    path: PathBuf,
+}
+
+impl Store {
+    /// Handle for `path` (the file need not exist yet).
+    pub fn open(path: impl Into<PathBuf>) -> Self {
+        Store { path: path.into() }
+    }
+
+    /// The file this store reads and appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Read every valid current-version record. A missing file is an empty
+    /// store, not an error.
+    pub fn load(&self) -> std::io::Result<(Vec<CacheRecord>, LoadReport)> {
+        let text = match std::fs::read_to_string(&self.path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok((Vec::new(), LoadReport::default()))
+            }
+            Err(e) => return Err(e),
+        };
+        let mut records = Vec::new();
+        let mut report = LoadReport::default();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            // Check the version tag before insisting the full record
+            // parses: future versions may have different fields.
+            match serde_json::from_str::<serde_json::Value>(line) {
+                Err(_) => report.corrupt += 1,
+                Ok(v) => match v["v"].as_u64() {
+                    Some(ver) if ver == FORMAT_VERSION as u64 => {
+                        match serde_json::from_str::<CacheRecord>(line) {
+                            Ok(rec) => {
+                                records.push(rec);
+                                report.loaded += 1;
+                            }
+                            Err(_) => report.corrupt += 1,
+                        }
+                    }
+                    Some(_) => report.version_skipped += 1,
+                    None => report.corrupt += 1,
+                },
+            }
+        }
+        Ok((records, report))
+    }
+
+    /// Append one record: a single `O_APPEND` write of one complete line
+    /// (creates the file and parent directories on first use).
+    pub fn append(&self, record: &CacheRecord) -> std::io::Result<()> {
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut line =
+            serde_json::to_string(record).map_err(|e| std::io::Error::other(e.to_string()))?;
+        line.push('\n');
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        f.write_all(line.as_bytes())
+    }
+}
+
+/// Build a record from a compile result.
+pub fn record(
+    key: CacheKey,
+    op_label: String,
+    method: &str,
+    kernel: &simgpu::CompiledKernel,
+) -> CacheRecord {
+    CacheRecord {
+        v: FORMAT_VERSION,
+        key,
+        op_label,
+        method: method.to_string(),
+        etir: kernel.etir.clone(),
+        report: kernel.report.clone(),
+        candidates_evaluated: kernel.candidates_evaluated,
+        tuning_s: kernel.total_tuning_s(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hardware::GpuSpec;
+    use tensor_expr::OpSpec;
+
+    fn tmpfile(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("schedcache-store-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}-{}.jsonl", std::process::id()))
+    }
+
+    fn sample(m: u64) -> CacheRecord {
+        let spec = GpuSpec::rtx4090();
+        let op = OpSpec::gemm(m, 64, 64);
+        let e = Etir::initial(op.clone(), &spec);
+        let r = simgpu::simulate(&e, &spec).unwrap();
+        CacheRecord {
+            v: FORMAT_VERSION,
+            key: CacheKey::new(&op, &spec, "Gensor"),
+            op_label: op.label(),
+            method: "Gensor".into(),
+            etir: e,
+            report: r,
+            candidates_evaluated: 17,
+            tuning_s: 0.25,
+        }
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let store = Store::open(tmpfile("missing"));
+        let _ = std::fs::remove_file(store.path());
+        let (recs, rep) = store.load().unwrap();
+        assert!(recs.is_empty());
+        assert_eq!(rep, LoadReport::default());
+    }
+
+    #[test]
+    fn append_then_load_round_trips() {
+        let store = Store::open(tmpfile("roundtrip"));
+        let _ = std::fs::remove_file(store.path());
+        let a = sample(128);
+        let b = sample(256);
+        store.append(&a).unwrap();
+        store.append(&b).unwrap();
+        let (recs, rep) = store.load().unwrap();
+        assert_eq!(rep.loaded, 2);
+        assert_eq!(rep.corrupt, 0);
+        assert_eq!(recs, vec![a, b]);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_lines_are_skipped_and_counted() {
+        let store = Store::open(tmpfile("corrupt"));
+        let _ = std::fs::remove_file(store.path());
+        store.append(&sample(128)).unwrap();
+        // Simulate a crash mid-append plus editor damage.
+        let mut text = std::fs::read_to_string(store.path()).unwrap();
+        text.push_str("{\"v\":1,\"key\":{\"op_fp\":12,\"gpu\n");
+        text.push_str("not json at all\n");
+        text.push_str("{\"v\":1}\n"); // parses as Value, missing fields
+        std::fs::write(store.path(), &text).unwrap();
+        store.append(&sample(256)).unwrap();
+        let (recs, rep) = store.load().unwrap();
+        assert_eq!(rep.loaded, 2, "both good records survive");
+        assert_eq!(rep.corrupt, 3, "all three damaged lines counted");
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn foreign_versions_are_counted_separately() {
+        let store = Store::open(tmpfile("versions"));
+        let _ = std::fs::remove_file(store.path());
+        store.append(&sample(128)).unwrap();
+        let mut text = std::fs::read_to_string(store.path()).unwrap();
+        text.push_str(&text.clone().replace("\"v\":1", "\"v\":999"));
+        std::fs::write(store.path(), &text).unwrap();
+        let (recs, rep) = store.load().unwrap();
+        assert_eq!(rep.loaded, 1);
+        assert_eq!(rep.version_skipped, 1);
+        assert_eq!(rep.corrupt, 0);
+        assert_eq!(recs.len(), 1);
+    }
+}

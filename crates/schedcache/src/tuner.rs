@@ -1,0 +1,198 @@
+//! [`CachedTuner`] — drop-in [`Tuner`] adapter that routes any method's
+//! compiles through a [`ScheduleCache`].
+//!
+//! Because `models::pipeline`, `models::dynamic` and `models::timeline`
+//! all take `&dyn Tuner`, wrapping a method in `CachedTuner` is the whole
+//! integration: hits return instantly (zero tuning cost), misses run the
+//! wrapped method once (deduplicated across threads), and — when a warm
+//! tuner is attached — new shapes race schedules transplanted from cached
+//! neighbours against a reduced-budget construction.
+
+use crate::cache::ScheduleCache;
+use crate::map::Outcome;
+use etir::Etir;
+use gensor::{transplant, Gensor, GensorConfig};
+use hardware::GpuSpec;
+use simgpu::{pick_best, CompiledKernel, Tuner};
+use std::sync::Arc;
+use std::time::Instant;
+use tensor_expr::OpSpec;
+
+/// A caching wrapper around any tuner.
+pub struct CachedTuner<'a> {
+    inner: &'a dyn Tuner,
+    /// Reduced-budget constructor used when neighbour seeds exist; `None`
+    /// disables warm starts (misses always run `inner` as-is).
+    warm: Option<Gensor>,
+    cache: Arc<ScheduleCache>,
+}
+
+impl<'a> CachedTuner<'a> {
+    /// Cache `inner` with no warm-start path.
+    pub fn new(inner: &'a dyn Tuner, cache: Arc<ScheduleCache>) -> Self {
+        CachedTuner {
+            inner,
+            warm: None,
+            cache,
+        }
+    }
+
+    /// Cache a Gensor instance, warm-starting new shapes with a
+    /// quarter-chain construction seeded by cached neighbours (the
+    /// `DynamicOptimizer` recipe, now backed by the shared cache).
+    pub fn for_gensor(inner: &'a Gensor, cache: Arc<ScheduleCache>) -> Self {
+        let warm_cfg = GensorConfig {
+            chains: (inner.cfg.chains / 4).max(1),
+            ..inner.cfg.clone()
+        };
+        CachedTuner {
+            inner,
+            warm: Some(Gensor::with_config(warm_cfg)),
+            cache,
+        }
+    }
+
+    /// Cache `inner` with an explicit warm-path tuner.
+    pub fn with_warm_tuner(inner: &'a dyn Tuner, warm: Gensor, cache: Arc<ScheduleCache>) -> Self {
+        CachedTuner {
+            inner,
+            warm: Some(warm),
+            cache,
+        }
+    }
+
+    /// The cache this adapter feeds.
+    pub fn cache(&self) -> &Arc<ScheduleCache> {
+        &self.cache
+    }
+
+    /// Compile and also report how the cache answered.
+    pub fn compile_with_outcome(&self, op: &OpSpec, spec: &GpuSpec) -> (CompiledKernel, Outcome) {
+        let (kernel, outcome) = self
+            .cache
+            .get_or_compile(op, spec, self.inner.name(), |seeds| {
+                construct(self.inner, self.warm.as_ref(), seeds, op, spec)
+            });
+        let mut k = (*kernel).clone();
+        if outcome != Outcome::Built {
+            // A cached answer costs nothing: no wall time, no simulated
+            // measurement clock.
+            k.wall_time_s = 0.0;
+            k.simulated_tuning_s = 0.0;
+        }
+        (k, outcome)
+    }
+}
+
+/// One construction: the wrapped method, or — given seeds and a warm
+/// tuner — transplanted neighbour schedules raced against a reduced-budget
+/// run (shared by [`CachedTuner`] and the precompile service).
+pub(crate) fn construct(
+    inner: &dyn Tuner,
+    warm: Option<&Gensor>,
+    seeds: &[Etir],
+    op: &OpSpec,
+    spec: &GpuSpec,
+) -> CompiledKernel {
+    let (Some(warm), false) = (warm, seeds.is_empty()) else {
+        return inner.compile(op, spec);
+    };
+    let t0 = Instant::now();
+    let transplanted: Vec<Etir> = seeds
+        .iter()
+        .filter_map(|n| transplant(n, op, spec))
+        .collect();
+    let best_seed = pick_best(&transplanted, spec);
+    let mut fresh = warm.compile(op, spec);
+    if let Some((e, r)) = best_seed {
+        if r.time_us < fresh.report.time_us {
+            fresh.etir = e;
+            fresh.report = r;
+        }
+    }
+    fresh.wall_time_s = t0.elapsed().as_secs_f64();
+    fresh
+}
+
+impl Tuner for CachedTuner<'_> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn compile(&self, op: &OpSpec, spec: &GpuSpec) -> CompiledKernel {
+        self.compile_with_outcome(op, spec).0
+    }
+
+    fn fuses_elementwise(&self) -> bool {
+        self.inner.fuses_elementwise()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_compile_is_a_free_hit() {
+        let spec = GpuSpec::rtx4090();
+        let gensor = Gensor::single_chain(7);
+        let cache = Arc::new(ScheduleCache::in_memory());
+        let tuner = CachedTuner::for_gensor(&gensor, cache.clone());
+        let op = OpSpec::gemm(1024, 512, 512);
+        let (a, oa) = tuner.compile_with_outcome(&op, &spec);
+        let (b, ob) = tuner.compile_with_outcome(&op, &spec);
+        assert_eq!(oa, Outcome::Built);
+        assert_eq!(ob, Outcome::Hit);
+        assert_eq!(a.etir, b.etir);
+        assert_eq!(b.total_tuning_s(), 0.0);
+        assert!(a.total_tuning_s() > 0.0);
+    }
+
+    #[test]
+    fn name_and_fusion_delegate_to_the_wrapped_method() {
+        let gensor = Gensor::default();
+        let cache = Arc::new(ScheduleCache::in_memory());
+        let tuner = CachedTuner::for_gensor(&gensor, cache);
+        assert_eq!(tuner.name(), "Gensor");
+        assert!(tuner.fuses_elementwise());
+    }
+
+    #[test]
+    fn warm_start_engages_for_neighbouring_shapes() {
+        let spec = GpuSpec::rtx4090();
+        let gensor = Gensor::default();
+        let cache = Arc::new(ScheduleCache::in_memory());
+        let tuner = CachedTuner::for_gensor(&gensor, cache.clone());
+        let cold = tuner.compile(&OpSpec::gemm(1024, 512, 512), &spec);
+        let warm = tuner.compile(&OpSpec::gemm(1536, 512, 512), &spec);
+        let s = cache.stats();
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.warm_starts, 1);
+        assert!(
+            warm.candidates_evaluated < cold.candidates_evaluated,
+            "warm path must run a reduced-budget construction: {} !< {}",
+            warm.candidates_evaluated,
+            cold.candidates_evaluated
+        );
+    }
+
+    #[test]
+    fn warm_quality_stays_close_to_cold() {
+        let spec = GpuSpec::rtx4090();
+        let gensor = Gensor::default();
+        let cache = Arc::new(ScheduleCache::in_memory());
+        let tuner = CachedTuner::for_gensor(&gensor, cache);
+        for m in [64u64, 96, 128, 192, 256] {
+            let op = OpSpec::gemm(8 * m, 512, 512);
+            let warm = tuner.compile(&op, &spec);
+            let cold = gensor.compile(&op, &spec);
+            assert!(
+                warm.report.time_us <= cold.report.time_us * 1.08,
+                "{}: warm {} vs cold {}",
+                op.label(),
+                warm.report.time_us,
+                cold.report.time_us
+            );
+        }
+    }
+}

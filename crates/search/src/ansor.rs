@@ -43,7 +43,10 @@ impl Ansor {
     /// A smaller-budget variant (used by Fig. 10's time/performance
     /// trade-off sweep).
     pub fn with_trials(trials: u64) -> Self {
-        Ansor { trials, ..Ansor::default() }
+        Ansor {
+            trials,
+            ..Ansor::default()
+        }
     }
 }
 

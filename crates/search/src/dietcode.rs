@@ -13,9 +13,9 @@ use crate::evolve::{decode, evolve, GenomeBounds};
 use hardware::GpuSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use simgpu::{simulate, CompiledKernel};
 #[cfg(test)]
 use simgpu::Tuner;
+use simgpu::{simulate, CompiledKernel};
 use std::time::Instant;
 use tensor_expr::OpSpec;
 
@@ -42,7 +42,12 @@ pub struct DietCode {
 
 impl Default for DietCode {
     fn default() -> Self {
-        DietCode { trials: 2000, pop_size: 64, measure_cost_s: 1.0, seed: 0xD1E7 }
+        DietCode {
+            trials: 2000,
+            pop_size: 64,
+            measure_cost_s: 1.0,
+            seed: 0xD1E7,
+        }
     }
 }
 
@@ -176,7 +181,10 @@ mod tests {
     #[test]
     fn tuning_cost_is_paid_once() {
         let spec = GpuSpec::rtx4090();
-        let dc = DietCode { trials: 500, ..DietCode::default() };
+        let dc = DietCode {
+            trials: 500,
+            ..DietCode::default()
+        };
         let kernels = dc.compile_family(&bert_like_family(), &spec);
         let total: f64 = kernels.iter().map(|k| k.simulated_tuning_s).sum();
         assert!((total - 500.0).abs() < 1e-9);
@@ -189,8 +197,11 @@ mod tests {
         // shapes — the compromise DietCode accepts.
         let spec = GpuSpec::rtx4090();
         let family = bert_like_family();
-        let joint = DietCode { trials: 1000, ..DietCode::default() }
-            .compile_family(&family, &spec);
+        let joint = DietCode {
+            trials: 1000,
+            ..DietCode::default()
+        }
+        .compile_family(&family, &spec);
         let mut any_worse = false;
         let mut total_ratio = 0.0;
         for (op, jk) in family.iter().zip(&joint) {
@@ -203,7 +214,10 @@ mod tests {
         }
         let avg = total_ratio / family.len() as f64;
         assert!(any_worse, "shared schedule should lose somewhere");
-        assert!(avg > 0.5, "joint schedule should still be respectable: {avg}");
+        assert!(
+            avg > 0.5,
+            "joint schedule should still be respectable: {avg}"
+        );
     }
 
     #[test]

@@ -45,7 +45,11 @@ impl GenomeBounds {
         let smem_max: Vec<u8> = op.spatial_extents().iter().map(|&e| cap(e)).collect();
         let reg_max: Vec<u8> = smem_max.iter().map(|&m| m.min(4)).collect();
         let red_max: Vec<u8> = op.reduce_extents().iter().map(|&e| cap(e).min(7)).collect();
-        GenomeBounds { smem_max, reg_max, red_max }
+        GenomeBounds {
+            smem_max,
+            reg_max,
+            red_max,
+        }
     }
 
     /// Sample a uniformly random valid genome.
@@ -61,7 +65,12 @@ impl GenomeBounds {
             .map(|(&s, &rm)| rng.gen_range(0..=s.min(rm)))
             .collect();
         let red_exp: Vec<u8> = self.red_max.iter().map(|&m| rng.gen_range(0..=m)).collect();
-        Genome { smem_exp, reg_exp, red_exp, unroll_exp: rng.gen_range(0..=3) }
+        Genome {
+            smem_exp,
+            reg_exp,
+            red_exp,
+            unroll_exp: rng.gen_range(0..=3),
+        }
     }
 
     /// Mutate one random gene by ±1, staying in bounds.
@@ -192,7 +201,11 @@ pub fn evolve(
         let pick = |rng: &mut StdRng, pop: &[(Genome, f64)]| -> Genome {
             let a = rng.gen_range(0..pop.len());
             let b = rng.gen_range(0..pop.len());
-            if pop[a].1 <= pop[b].1 { pop[a].0.clone() } else { pop[b].0.clone() }
+            if pop[a].1 <= pop[b].1 {
+                pop[a].0.clone()
+            } else {
+                pop[b].0.clone()
+            }
         };
         let p1 = pick(rng, &pop);
         let p2 = pick(rng, &pop);
@@ -217,7 +230,11 @@ pub fn evolve(
     }
 
     let (best, best_time_us) = best.expect("at least one feasible candidate");
-    EvolveResult { best, best_time_us, evaluations }
+    EvolveResult {
+        best,
+        best_time_us,
+        evaluations,
+    }
 }
 
 #[cfg(test)]
@@ -247,7 +264,10 @@ mod tests {
             let e = decode(&op, &spec, &g);
             assert_eq!(e.validate(), Ok(()));
             assert!(e.is_complete());
-            assert!(e.vthreads.iter().all(|&v| v == 1), "no vthreads in sketch space");
+            assert!(
+                e.vthreads.iter().all(|&v| v == 1),
+                "no vthreads in sketch space"
+            );
         }
     }
 
@@ -300,7 +320,11 @@ mod tests {
             1.0 + d as f64
         });
         assert_eq!(res.evaluations, 2_000);
-        assert!(res.best_time_us <= 2.0, "GA missed target: {}", res.best_time_us);
+        assert!(
+            res.best_time_us <= 2.0,
+            "GA missed target: {}",
+            res.best_time_us
+        );
     }
 
     #[test]

@@ -39,48 +39,183 @@ pub(crate) struct Template {
 
 /// The classic GEMM tilings every BLAS ships.
 const GEMM_TEMPLATES: &[Template] = &[
-    Template { smem: &[128, 128], reg: &[8, 8], red: &[8], unroll: 8 },
-    Template { smem: &[256, 128], reg: &[8, 8], red: &[8], unroll: 8 },
-    Template { smem: &[128, 64], reg: &[8, 4], red: &[8], unroll: 8 },
-    Template { smem: &[64, 64], reg: &[4, 4], red: &[16], unroll: 4 },
-    Template { smem: &[64, 32], reg: &[4, 2], red: &[32], unroll: 4 },
-    Template { smem: &[32, 32], reg: &[2, 2], red: &[32], unroll: 4 },
-    Template { smem: &[128, 32], reg: &[8, 2], red: &[16], unroll: 8 },
+    Template {
+        smem: &[128, 128],
+        reg: &[8, 8],
+        red: &[8],
+        unroll: 8,
+    },
+    Template {
+        smem: &[256, 128],
+        reg: &[8, 8],
+        red: &[8],
+        unroll: 8,
+    },
+    Template {
+        smem: &[128, 64],
+        reg: &[8, 4],
+        red: &[8],
+        unroll: 8,
+    },
+    Template {
+        smem: &[64, 64],
+        reg: &[4, 4],
+        red: &[16],
+        unroll: 4,
+    },
+    Template {
+        smem: &[64, 32],
+        reg: &[4, 2],
+        red: &[32],
+        unroll: 4,
+    },
+    Template {
+        smem: &[32, 32],
+        reg: &[2, 2],
+        red: &[32],
+        unroll: 4,
+    },
+    Template {
+        smem: &[128, 32],
+        reg: &[8, 2],
+        red: &[16],
+        unroll: 8,
+    },
 ];
 
 const GEMV_TEMPLATES: &[Template] = &[
-    Template { smem: &[256], reg: &[4], red: &[64], unroll: 8 },
-    Template { smem: &[128], reg: &[2], red: &[128], unroll: 8 },
-    Template { smem: &[512], reg: &[4], red: &[32], unroll: 4 },
-    Template { smem: &[1024], reg: &[8], red: &[16], unroll: 4 },
-    Template { smem: &[64], reg: &[1], red: &[256], unroll: 8 },
+    Template {
+        smem: &[256],
+        reg: &[4],
+        red: &[64],
+        unroll: 8,
+    },
+    Template {
+        smem: &[128],
+        reg: &[2],
+        red: &[128],
+        unroll: 8,
+    },
+    Template {
+        smem: &[512],
+        reg: &[4],
+        red: &[32],
+        unroll: 4,
+    },
+    Template {
+        smem: &[1024],
+        reg: &[8],
+        red: &[16],
+        unroll: 4,
+    },
+    Template {
+        smem: &[64],
+        reg: &[1],
+        red: &[256],
+        unroll: 8,
+    },
 ];
 
 /// Implicit-GEMM-flavoured conv tilings: [n, oc, oh, ow].
 const CONV_TEMPLATES: &[Template] = &[
-    Template { smem: &[1, 64, 4, 8], reg: &[1, 8, 1, 2], red: &[8, 3, 3], unroll: 4 },
-    Template { smem: &[1, 32, 8, 8], reg: &[1, 4, 2, 2], red: &[8, 3, 3], unroll: 4 },
-    Template { smem: &[1, 128, 2, 8], reg: &[1, 8, 1, 1], red: &[4, 3, 3], unroll: 4 },
-    Template { smem: &[2, 32, 4, 4], reg: &[1, 4, 1, 1], red: &[16, 1, 1], unroll: 4 },
-    Template { smem: &[1, 16, 8, 16], reg: &[1, 2, 2, 2], red: &[8, 3, 3], unroll: 2 },
+    Template {
+        smem: &[1, 64, 4, 8],
+        reg: &[1, 8, 1, 2],
+        red: &[8, 3, 3],
+        unroll: 4,
+    },
+    Template {
+        smem: &[1, 32, 8, 8],
+        reg: &[1, 4, 2, 2],
+        red: &[8, 3, 3],
+        unroll: 4,
+    },
+    Template {
+        smem: &[1, 128, 2, 8],
+        reg: &[1, 8, 1, 1],
+        red: &[4, 3, 3],
+        unroll: 4,
+    },
+    Template {
+        smem: &[2, 32, 4, 4],
+        reg: &[1, 4, 1, 1],
+        red: &[16, 1, 1],
+        unroll: 4,
+    },
+    Template {
+        smem: &[1, 16, 8, 16],
+        reg: &[1, 2, 2, 2],
+        red: &[8, 3, 3],
+        unroll: 2,
+    },
     // Large implicit-GEMM blocks for big-batch server convs.
-    Template { smem: &[2, 64, 8, 8], reg: &[1, 8, 2, 2], red: &[8, 3, 3], unroll: 8 },
-    Template { smem: &[4, 64, 4, 8], reg: &[2, 8, 1, 2], red: &[8, 3, 3], unroll: 8 },
-    Template { smem: &[2, 128, 4, 8], reg: &[1, 8, 2, 2], red: &[8, 3, 3], unroll: 8 },
-    Template { smem: &[8, 64, 4, 4], reg: &[2, 8, 1, 1], red: &[8, 3, 3], unroll: 8 },
-    Template { smem: &[4, 128, 2, 4], reg: &[2, 8, 1, 1], red: &[16, 3, 3], unroll: 8 },
+    Template {
+        smem: &[2, 64, 8, 8],
+        reg: &[1, 8, 2, 2],
+        red: &[8, 3, 3],
+        unroll: 8,
+    },
+    Template {
+        smem: &[4, 64, 4, 8],
+        reg: &[2, 8, 1, 2],
+        red: &[8, 3, 3],
+        unroll: 8,
+    },
+    Template {
+        smem: &[2, 128, 4, 8],
+        reg: &[1, 8, 2, 2],
+        red: &[8, 3, 3],
+        unroll: 8,
+    },
+    Template {
+        smem: &[8, 64, 4, 4],
+        reg: &[2, 8, 1, 1],
+        red: &[8, 3, 3],
+        unroll: 8,
+    },
+    Template {
+        smem: &[4, 128, 2, 4],
+        reg: &[2, 8, 1, 1],
+        red: &[16, 3, 3],
+        unroll: 8,
+    },
 ];
 
 /// Pool tilings: [n, c, oh, ow].
 const POOL_TEMPLATES: &[Template] = &[
-    Template { smem: &[1, 32, 4, 8], reg: &[1, 1, 1, 1], red: &[8, 8], unroll: 4 },
-    Template { smem: &[1, 8, 8, 16], reg: &[1, 1, 1, 2], red: &[8, 8], unroll: 4 },
-    Template { smem: &[4, 64, 2, 2], reg: &[1, 2, 1, 1], red: &[8, 8], unroll: 2 },
+    Template {
+        smem: &[1, 32, 4, 8],
+        reg: &[1, 1, 1, 1],
+        red: &[8, 8],
+        unroll: 4,
+    },
+    Template {
+        smem: &[1, 8, 8, 16],
+        reg: &[1, 1, 1, 2],
+        red: &[8, 8],
+        unroll: 4,
+    },
+    Template {
+        smem: &[4, 64, 2, 2],
+        reg: &[1, 2, 1, 1],
+        red: &[8, 8],
+        unroll: 2,
+    },
 ];
 
 const ELEM_TEMPLATES: &[Template] = &[
-    Template { smem: &[1024], reg: &[4], red: &[], unroll: 4 },
-    Template { smem: &[256], reg: &[1], red: &[], unroll: 1 },
+    Template {
+        smem: &[1024],
+        reg: &[4],
+        red: &[],
+        unroll: 4,
+    },
+    Template {
+        smem: &[256],
+        reg: &[1],
+        red: &[],
+        unroll: 1,
+    },
 ];
 
 /// The template menu for an operator class (shared with the eager
@@ -135,7 +270,9 @@ impl Tuner for VendorLib {
         let t0 = Instant::now();
         let mut best: Option<(Etir, simgpu::KernelReport)> = None;
         let menu = templates_for(op);
-        let opts = SimOptions { swizzled_smem: true };
+        let opts = SimOptions {
+            swizzled_smem: true,
+        };
         for t in menu {
             let e = instantiate(op, spec, t);
             if let Ok(mut r) = simulate_opts(&e, spec, opts) {
@@ -215,7 +352,14 @@ mod tests {
         // Re-simulating the chosen schedule (with the same swizzled
         // layout) without the factor must be slower by exactly
         // EXPERT_FACTOR.
-        let raw = simulate_opts(&ck.etir, &spec, SimOptions { swizzled_smem: true }).unwrap();
+        let raw = simulate_opts(
+            &ck.etir,
+            &spec,
+            SimOptions {
+                swizzled_smem: true,
+            },
+        )
+        .unwrap();
         assert!((raw.time_us / ck.report.time_us - EXPERT_FACTOR).abs() < 1e-9);
         // And the swizzle itself must not hurt vs the unswizzled oracle.
         let unswizzled = simulate(&ck.etir, &spec).unwrap();

@@ -92,7 +92,9 @@ where
         }
     })
     .expect("parallel_map worker panicked");
-    out.into_iter().map(|r| r.expect("all items computed")).collect()
+    out.into_iter()
+        .map(|r| r.expect("all items computed"))
+        .collect()
 }
 
 /// Shareable cell wrapper for disjoint slot writes.

@@ -58,11 +58,7 @@ pub fn simulate(e: &Etir, spec: &GpuSpec) -> Result<KernelReport, SimError> {
 }
 
 /// [`simulate`] with explicit [`SimOptions`].
-pub fn simulate_opts(
-    e: &Etir,
-    spec: &GpuSpec,
-    opts: SimOptions,
-) -> Result<KernelReport, SimError> {
+pub fn simulate_opts(e: &Etir, spec: &GpuSpec, opts: SimOptions) -> Result<KernelReport, SimError> {
     let stats = ScheduleStats::compute(e);
     let check = MemCheck::check_stats(&stats, spec);
     if !check.fits() {
@@ -107,8 +103,7 @@ pub fn simulate_opts(
     // Issue-width cap: ILP can hide latency but cannot conjure lanes — an
     // SM needs at least as many resident threads as FP32 cores to saturate
     // its pipes (one FMA per core per cycle).
-    let cores_per_sm =
-        spec.peak_fp32_gflops / (2.0 * spec.clock_ghz * spec.num_sms as f64);
+    let cores_per_sm = spec.peak_fp32_gflops / (2.0 * spec.clock_ghz * spec.num_sms as f64);
     let lane_fill = (resident_threads as f64 * grid_fill / cores_per_sm).min(1.0);
     let compute_eff = (hiding * lane_fill).clamp(0.02, 0.98);
     // GFLOPS → FLOP/µs is ×1000.
@@ -143,8 +138,7 @@ pub fn simulate_opts(
     // round-trip latency is hidden by the other resident warps.
     let lat_us = dram.latency_ns / 1000.0;
     let resident_warps = (blocks_per_sm * warps_per_block) as f64;
-    let t_latency =
-        waves.ceil() * stats.reduce_steps as f64 * lat_us / resident_warps.max(1.0);
+    let t_latency = waves.ceil() * stats.reduce_steps as f64 * lat_us / resident_warps.max(1.0);
 
     // ---------------- Combine ----------------
     let bottleneck = t_compute.max(t_memory).max(t_latency);

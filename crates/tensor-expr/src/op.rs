@@ -117,21 +117,61 @@ impl OpSpec {
 
     /// `input = [n, c_in, h, w]`, `kernel = [c_out, c_in, kh, kw]`.
     #[allow(clippy::too_many_arguments)]
-    pub fn conv2d(n: u64, c_in: u64, h: u64, w: u64, c_out: u64, kh: u64, kw: u64, stride: u64, pad: u64) -> Self {
-        assert!(n > 0 && c_in > 0 && h > 0 && w > 0 && c_out > 0, "conv dims must be positive");
-        assert!(kh > 0 && kw > 0 && stride > 0, "kernel/stride must be positive");
-        assert!(h + 2 * pad >= kh && w + 2 * pad >= kw, "kernel larger than padded input");
-        OpSpec::Conv2d { n, c_in, h, w, c_out, kh, kw, stride, pad }
+    pub fn conv2d(
+        n: u64,
+        c_in: u64,
+        h: u64,
+        w: u64,
+        c_out: u64,
+        kh: u64,
+        kw: u64,
+        stride: u64,
+        pad: u64,
+    ) -> Self {
+        assert!(
+            n > 0 && c_in > 0 && h > 0 && w > 0 && c_out > 0,
+            "conv dims must be positive"
+        );
+        assert!(
+            kh > 0 && kw > 0 && stride > 0,
+            "kernel/stride must be positive"
+        );
+        assert!(
+            h + 2 * pad >= kh && w + 2 * pad >= kw,
+            "kernel larger than padded input"
+        );
+        OpSpec::Conv2d {
+            n,
+            c_in,
+            h,
+            w,
+            c_out,
+            kh,
+            kw,
+            stride,
+            pad,
+        }
     }
 
     pub fn avg_pool2d(n: u64, c: u64, h: u64, w: u64, f: u64, stride: u64) -> Self {
         assert!(n > 0 && c > 0 && h >= f && w >= f && f > 0 && stride > 0);
-        OpSpec::AvgPool2d { n, c, h, w, f, stride }
+        OpSpec::AvgPool2d {
+            n,
+            c,
+            h,
+            w,
+            f,
+            stride,
+        }
     }
 
     pub fn elementwise(elems: u64, num_inputs: u32, ops_per_elem: u32) -> Self {
         assert!(elems > 0 && num_inputs > 0);
-        OpSpec::Elementwise { elems, num_inputs, ops_per_elem }
+        OpSpec::Elementwise {
+            elems,
+            num_inputs,
+            ops_per_elem,
+        }
     }
 
     /// Class of this operator.
@@ -158,11 +198,28 @@ impl OpSpec {
         match *self {
             OpSpec::Gemm { m, n, .. } => vec![m, n],
             OpSpec::Gemv { m, .. } => vec![m],
-            OpSpec::Conv2d { n, h, w, c_out, kh, kw, stride, pad, .. } => {
+            OpSpec::Conv2d {
+                n,
+                h,
+                w,
+                c_out,
+                kh,
+                kw,
+                stride,
+                pad,
+                ..
+            } => {
                 let (oh, ow) = Self::out_hw(h, w, kh, kw, stride, pad);
                 vec![n, c_out, oh, ow]
             }
-            OpSpec::AvgPool2d { n, c, h, w, f, stride } => {
+            OpSpec::AvgPool2d {
+                n,
+                c,
+                h,
+                w,
+                f,
+                stride,
+            } => {
                 let (oh, ow) = Self::out_hw(h, w, f, f, stride, 0);
                 vec![n, c, oh, ow]
             }
@@ -219,7 +276,14 @@ impl OpSpec {
         match *self {
             OpSpec::Gemm { m, k, n } => 2.0 * m as f64 * k as f64 * n as f64,
             OpSpec::Gemv { m, n } => 2.0 * m as f64 * n as f64,
-            OpSpec::Conv2d { n, c_in, c_out, kh, kw, .. } => {
+            OpSpec::Conv2d {
+                n,
+                c_in,
+                c_out,
+                kh,
+                kw,
+                ..
+            } => {
                 let sp = self.spatial_extents();
                 let (oh, ow) = (sp[2], sp[3]);
                 2.0 * (n * c_out * oh * ow * c_in * kh * kw) as f64
@@ -230,9 +294,11 @@ impl OpSpec {
                 // f*f additions + 1 multiply per output element.
                 (n * c * oh * ow) as f64 * (f * f + 1) as f64
             }
-            OpSpec::Elementwise { elems, ops_per_elem, .. } => {
-                elems as f64 * ops_per_elem as f64
-            }
+            OpSpec::Elementwise {
+                elems,
+                ops_per_elem,
+                ..
+            } => elems as f64 * ops_per_elem as f64,
         }
     }
 
@@ -287,7 +353,9 @@ impl OpSpec {
                 let (tm, tk) = (sp[0], rd[0]);
                 vec![tm * tk, tk]
             }
-            OpSpec::Conv2d { stride, h, w, pad, .. } => {
+            OpSpec::Conv2d {
+                stride, h, w, pad, ..
+            } => {
                 let (tn, toc, toh, tow) = (sp[0], sp[1], sp[2], sp[3]);
                 let (tic, tkh, tkw) = (rd[0], rd[1], rd[2]);
                 let ih = ((toh - 1) * stride + tkh).min(h + 2 * pad);
@@ -385,10 +453,27 @@ impl OpSpec {
         match *self {
             OpSpec::Gemm { m, k, n } => format!("GEMM[{m},{k},{n}]"),
             OpSpec::Gemv { m, n } => format!("GEMV[{m},{n}]"),
-            OpSpec::Conv2d { n, c_in, h, w, c_out, kh, kw, stride, .. } => {
+            OpSpec::Conv2d {
+                n,
+                c_in,
+                h,
+                w,
+                c_out,
+                kh,
+                kw,
+                stride,
+                ..
+            } => {
                 format!("Conv2d[I={n}x{c_in}x{h}x{w},K={c_out}x{c_in}x{kh}x{kw},S={stride}]")
             }
-            OpSpec::AvgPool2d { n, c, h, w, f, stride } => {
+            OpSpec::AvgPool2d {
+                n,
+                c,
+                h,
+                w,
+                f,
+                stride,
+            } => {
                 format!("AvgPool2d[I={n}x{c}x{h}x{w},F={f},S={stride}]")
             }
             OpSpec::Elementwise { elems, .. } => format!("Elementwise[{elems}]"),
@@ -533,7 +618,16 @@ mod prop_tests {
         prop_oneof![
             (1u64..500, 1u64..500, 1u64..500).prop_map(|(m, k, n)| OpSpec::gemm(m, k, n)),
             (1u64..500, 1u64..500).prop_map(|(m, n)| OpSpec::gemv(m, n)),
-            (1u64..4, 1u64..16, 4u64..40, 4u64..40, 1u64..16, 1u64..4, 1u64..3, 0u64..2)
+            (
+                1u64..4,
+                1u64..16,
+                4u64..40,
+                4u64..40,
+                1u64..16,
+                1u64..4,
+                1u64..3,
+                0u64..2
+            )
                 .prop_map(|(n, ci, h, w, co, k, s, p)| {
                     let k = k.min(h).min(w);
                     OpSpec::conv2d(n, ci, h, w, co, k, k, s, p)

@@ -29,7 +29,11 @@ pub struct OpConfig {
 
 impl OpConfig {
     fn new(label: &str, op: OpSpec, from_paper: bool) -> Self {
-        OpConfig { label: label.to_string(), op, from_paper }
+        OpConfig {
+            label: label.to_string(),
+            op,
+            from_paper,
+        }
     }
 }
 
@@ -40,19 +44,51 @@ pub fn benchmark_suite() -> Vec<OpConfig> {
     let mut v = Vec::with_capacity(32);
     // ---- Conv2d (pad 0 for the paper rows: their output sizes follow from
     // unpadded windows; pad 1 for the ResNet-style 3x3 rows). ----
-    v.push(OpConfig::new("C1", OpSpec::conv2d(128, 256, 30, 30, 256, 3, 3, 2, 0), true));
-    v.push(OpConfig::new("C2", OpSpec::conv2d(128, 128, 28, 28, 128, 3, 3, 1, 0), true));
-    v.push(OpConfig::new("C3", OpSpec::conv2d(128, 128, 58, 58, 128, 3, 3, 2, 0), true));
+    v.push(OpConfig::new(
+        "C1",
+        OpSpec::conv2d(128, 256, 30, 30, 256, 3, 3, 2, 0),
+        true,
+    ));
+    v.push(OpConfig::new(
+        "C2",
+        OpSpec::conv2d(128, 128, 28, 28, 128, 3, 3, 1, 0),
+        true,
+    ));
+    v.push(OpConfig::new(
+        "C3",
+        OpSpec::conv2d(128, 128, 58, 58, 128, 3, 3, 2, 0),
+        true,
+    ));
     // ResNet-50 conv2_x 3x3 (pad 1).
-    v.push(OpConfig::new("C4", OpSpec::conv2d(128, 64, 56, 56, 64, 3, 3, 1, 1), false));
+    v.push(OpConfig::new(
+        "C4",
+        OpSpec::conv2d(128, 64, 56, 56, 64, 3, 3, 1, 1),
+        false,
+    ));
     // ResNet-50 conv4_x 3x3.
-    v.push(OpConfig::new("C5", OpSpec::conv2d(128, 256, 14, 14, 256, 3, 3, 1, 1), false));
+    v.push(OpConfig::new(
+        "C5",
+        OpSpec::conv2d(128, 256, 14, 14, 256, 3, 3, 1, 1),
+        false,
+    ));
     // ResNet-50 1x1 expansion (pointwise, GEMM-like conv).
-    v.push(OpConfig::new("C6", OpSpec::conv2d(128, 256, 14, 14, 1024, 1, 1, 1, 0), false));
+    v.push(OpConfig::new(
+        "C6",
+        OpSpec::conv2d(128, 256, 14, 14, 1024, 1, 1, 1, 0),
+        false,
+    ));
     // Stem-like 7x7 stride-2.
-    v.push(OpConfig::new("C7", OpSpec::conv2d(32, 3, 224, 224, 64, 7, 7, 2, 3), false));
+    v.push(OpConfig::new(
+        "C7",
+        OpSpec::conv2d(32, 3, 224, 224, 64, 7, 7, 2, 3),
+        false,
+    ));
     // Small-batch edge shape.
-    v.push(OpConfig::new("C8", OpSpec::conv2d(1, 512, 14, 14, 512, 3, 3, 1, 1), false));
+    v.push(OpConfig::new(
+        "C8",
+        OpSpec::conv2d(1, 512, 14, 14, 512, 3, 3, 1, 1),
+        false,
+    ));
     // ---- GEMM ----
     v.push(OpConfig::new("M1", OpSpec::gemm(8192, 8192, 8192), true));
     v.push(OpConfig::new("M2", OpSpec::gemm(65536, 4, 1024), true));
@@ -77,14 +113,46 @@ pub fn benchmark_suite() -> Vec<OpConfig> {
     v.push(OpConfig::new("V7", OpSpec::gemv(4096, 4096), false));
     v.push(OpConfig::new("V8", OpSpec::gemv(1000, 2048), false));
     // ---- AvgPool2d ----
-    v.push(OpConfig::new("P1", OpSpec::avg_pool2d(16, 48, 48, 48, 2, 2), true));
-    v.push(OpConfig::new("P2", OpSpec::avg_pool2d(128, 168, 83, 83, 2, 2), true));
-    v.push(OpConfig::new("P3", OpSpec::avg_pool2d(128, 617, 21, 21, 3, 2), true));
-    v.push(OpConfig::new("P4", OpSpec::avg_pool2d(128, 64, 112, 112, 3, 2), false));
-    v.push(OpConfig::new("P5", OpSpec::avg_pool2d(128, 2048, 7, 7, 7, 1), false));
-    v.push(OpConfig::new("P6", OpSpec::avg_pool2d(1, 1280, 7, 7, 7, 1), false));
-    v.push(OpConfig::new("P7", OpSpec::avg_pool2d(64, 512, 28, 28, 2, 2), false));
-    v.push(OpConfig::new("P8", OpSpec::avg_pool2d(32, 96, 56, 56, 3, 2), false));
+    v.push(OpConfig::new(
+        "P1",
+        OpSpec::avg_pool2d(16, 48, 48, 48, 2, 2),
+        true,
+    ));
+    v.push(OpConfig::new(
+        "P2",
+        OpSpec::avg_pool2d(128, 168, 83, 83, 2, 2),
+        true,
+    ));
+    v.push(OpConfig::new(
+        "P3",
+        OpSpec::avg_pool2d(128, 617, 21, 21, 3, 2),
+        true,
+    ));
+    v.push(OpConfig::new(
+        "P4",
+        OpSpec::avg_pool2d(128, 64, 112, 112, 3, 2),
+        false,
+    ));
+    v.push(OpConfig::new(
+        "P5",
+        OpSpec::avg_pool2d(128, 2048, 7, 7, 7, 1),
+        false,
+    ));
+    v.push(OpConfig::new(
+        "P6",
+        OpSpec::avg_pool2d(1, 1280, 7, 7, 7, 1),
+        false,
+    ));
+    v.push(OpConfig::new(
+        "P7",
+        OpSpec::avg_pool2d(64, 512, 28, 28, 2, 2),
+        false,
+    ));
+    v.push(OpConfig::new(
+        "P8",
+        OpSpec::avg_pool2d(32, 96, 56, 56, 3, 2),
+        false,
+    ));
     v
 }
 
@@ -97,7 +165,12 @@ mod tests {
     fn suite_has_32_ops_eight_per_class() {
         let suite = benchmark_suite();
         assert_eq!(suite.len(), 32);
-        for class in [OpClass::Conv2d, OpClass::Gemm, OpClass::Gemv, OpClass::AvgPool2d] {
+        for class in [
+            OpClass::Conv2d,
+            OpClass::Gemm,
+            OpClass::Gemv,
+            OpClass::AvgPool2d,
+        ] {
             let n = suite.iter().filter(|c| c.op.class() == class).count();
             assert_eq!(n, 8, "{class:?}");
         }

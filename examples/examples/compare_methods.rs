@@ -20,7 +20,10 @@ fn main() {
     let op = OpSpec::gemm(m, k, n);
     let gpu = hardware::GpuSpec::rtx4090();
     println!("{} on {}\n", op.label(), gpu.name);
-    println!("{:<10} {:>12} {:>10} {:>14} {:>12}", "method", "GFLOPS", "time(ms)", "tuning(s)", "candidates");
+    println!(
+        "{:<10} {:>12} {:>10} {:>14} {:>12}",
+        "method", "GFLOPS", "time(ms)", "tuning(s)", "candidates"
+    );
 
     let methods: Vec<Box<dyn Tuner>> = vec![
         Box::new(search::Eager),

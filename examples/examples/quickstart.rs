@@ -20,13 +20,21 @@ fn main() {
 
     // 3. Inspect what came back.
     println!("\nChosen schedule : {}", kernel.etir.describe());
-    println!("Simulated perf  : {:.1} GFLOPS ({:.1}% of peak)",
+    println!(
+        "Simulated perf  : {:.1} GFLOPS ({:.1}% of peak)",
         kernel.report.gflops,
-        100.0 * kernel.report.gflops / gpu.peak_fp32_gflops);
+        100.0 * kernel.report.gflops / gpu.peak_fp32_gflops
+    );
     println!("Kernel time     : {:.3} ms", kernel.report.time_ms());
-    println!("SM occupancy    : {:.0}%", kernel.report.sm_occupancy * 100.0);
-    println!("Construction    : {:.1} ms wall, {} states scored",
-        kernel.wall_time_s * 1e3, kernel.candidates_evaluated);
+    println!(
+        "SM occupancy    : {:.0}%",
+        kernel.report.sm_occupancy * 100.0
+    );
+    println!(
+        "Construction    : {:.1} ms wall, {} states scored",
+        kernel.wall_time_s * 1e3,
+        kernel.candidates_evaluated
+    );
 
     // 4. Prove the schedule computes the right thing (CPU executor vs
     //    naive reference on a shrunken instance of the same class).

@@ -1,0 +1,139 @@
+//! The self-describing data model shared by the `serde` and `serde_json`
+//! shims — structurally the JSON object model, with integers kept exact.
+
+/// A JSON-model value.
+///
+/// Numbers keep their source flavour (`U64`/`I64`/`F64`) so integer fields
+/// round-trip exactly and floats round-trip bit-identically (the printer
+/// uses Rust's shortest-round-trip float formatting).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative (or explicitly signed) integer.
+    I64(i64),
+    /// Finite floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` on anything else or missing key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view as `f64` (any number flavour).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            Value::F64(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer view.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) => u64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// Signed-integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::U64(n) => i64::try_from(n).ok(),
+            Value::I64(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object view (insertion-ordered key/value pairs).
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}

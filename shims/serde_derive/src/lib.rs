@@ -1,0 +1,413 @@
+//! Derive macros for the vendored `serde` substitute.
+//!
+//! Without `syn`/`quote` (offline build), the item is parsed directly from
+//! the `proc_macro` token stream. Supported shapes — exactly what this
+//! workspace derives on:
+//!
+//! * structs with named fields (no generics, no `#[serde(...)]` attrs)
+//! * enums whose variants are unit, named-field, or tuple
+//!
+//! The generated layout matches real serde's external tagging: unit
+//! variants serialize as strings, newtype variants as `{"Variant": inner}`,
+//! tuple variants as `{"Variant": [..]}`, struct variants as
+//! `{"Variant": {..}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Struct(Vec<String>),
+    Tuple(usize),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect::<String>();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{body}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| serialize_variant_arm(name, v))
+                .collect::<String>();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\
+                         ::serde::field(__obj, \"{f}\")?)?,"
+                    )
+                })
+                .collect::<String>();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let __obj = __v.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(\"{name}: expected object\"))?;\n\
+                         ::std::result::Result::Ok({name} {{ {body} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect::<String>();
+            let data_arms = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .map(|v| deserialize_variant_arm(name, v))
+                .collect::<String>();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                     format!(\"{name}: unknown unit variant `{{__other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                                 let (__tag, __body) = &__pairs[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {data_arms}\n\
+                                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                         format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 format!(\"{name}: expected enum encoding, got {{__other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+fn serialize_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "{name}::{vname} => ::serde::Value::Str(\
+             ::std::string::String::from(\"{vname}\")),"
+        ),
+        VariantKind::Struct(fields) => {
+            let binds = fields.join(", ");
+            let body = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f})),"
+                    )
+                })
+                .collect::<String>();
+            format!(
+                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                 ::std::string::String::from(\"{vname}\"), \
+                 ::serde::Value::Object(::std::vec![{body}]))]),"
+            )
+        }
+        VariantKind::Tuple(1) => format!(
+            "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![(\
+             ::std::string::String::from(\"{vname}\"), \
+             ::serde::Serialize::to_value(__f0))]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds = (0..*n)
+                .map(|i| format!("__f{i}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let body = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(__f{i}),"))
+                .collect::<String>();
+            format!(
+                "{name}::{vname}({binds}) => ::serde::Value::Object(::std::vec![(\
+                 ::std::string::String::from(\"{vname}\"), \
+                 ::serde::Value::Array(::std::vec![{body}]))]),"
+            )
+        }
+    }
+}
+
+fn deserialize_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => unreachable!("unit variants handled in the string arm"),
+        VariantKind::Struct(fields) => {
+            let body = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\
+                         ::serde::field(__obj, \"{f}\")?)?,"
+                    )
+                })
+                .collect::<String>();
+            format!(
+                "\"{vname}\" => {{\n\
+                     let __obj = __body.as_object().ok_or_else(|| \
+                         ::serde::DeError::custom(\"{name}::{vname}: expected object body\"))?;\n\
+                     ::std::result::Result::Ok({name}::{vname} {{ {body} }})\n\
+                 }}"
+            )
+        }
+        VariantKind::Tuple(1) => format!(
+            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+             ::serde::Deserialize::deserialize(__body)?)),"
+        ),
+        VariantKind::Tuple(n) => {
+            let body = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__arr[{i}])?,"))
+                .collect::<String>();
+            format!(
+                "\"{vname}\" => {{\n\
+                     let __arr = __body.as_array().ok_or_else(|| \
+                         ::serde::DeError::custom(\"{name}::{vname}: expected array body\"))?;\n\
+                     if __arr.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError::custom(\
+                             \"{name}::{vname}: wrong tuple arity\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}::{vname}({body}))\n\
+                 }}"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute (incl. doc comments): skip the bracket group.
+                toks.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Skip optional `pub(...)` restriction.
+                if matches!(toks.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    toks.next();
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut toks, "struct name");
+                let body = expect_brace(&mut toks, &name);
+                return Item::Struct {
+                    name,
+                    fields: parse_named_fields(body),
+                };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut toks, "enum name");
+                let body = expect_brace(&mut toks, &name);
+                return Item::Enum {
+                    name,
+                    variants: parse_variants(body),
+                };
+            }
+            other => panic!("serde_derive: unsupported item shape near {other:?}"),
+        }
+    }
+}
+
+fn expect_ident(
+    toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    what: &str,
+) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected {what}, found {other:?}"),
+    }
+}
+
+fn expect_brace(
+    toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    name: &str,
+) -> TokenStream {
+    match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive: generic type `{name}` is not supported by the shim")
+        }
+        other => panic!(
+            "serde_derive: `{name}` must have named fields / braced variants, found {other:?}"
+        ),
+    }
+}
+
+/// Parse `name: Type, ...` field lists, returning the field names.
+/// Types are skipped wholesale (commas inside generic angle brackets and
+/// nested groups are not separators), since the generated code never needs
+/// to spell a type out.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if matches!(toks.peek(),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        toks.next();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = toks.next() else { break };
+        let TokenTree::Ident(field) = tt else {
+            panic!("serde_derive: expected field name, found {tt:?}");
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field, found {other:?}"),
+        }
+        fields.push(field.to_string());
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle: i64 = 0;
+        for tt in toks.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            toks.next();
+            toks.next();
+        }
+        let Some(tt) = toks.next() else { break };
+        let TokenTree::Ident(vname) = tt else {
+            panic!("serde_derive: expected variant name, found {tt:?}");
+        };
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                toks.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant {
+            name: vname.to_string(),
+            kind,
+        });
+        // Consume the trailing comma, if any.
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+    }
+    variants
+}
+
+/// Count tuple-variant elements: top-level commas (outside `<...>`) + 1,
+/// ignoring a trailing comma; 0 for an empty body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut angle: i64 = 0;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for tt in body {
+        any = true;
+        trailing_comma = false;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !any {
+        0
+    } else {
+        commas + 1 - usize::from(trailing_comma)
+    }
+}

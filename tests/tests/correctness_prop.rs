@@ -13,18 +13,24 @@ fn arb_op() -> impl Strategy<Value = OpSpec> {
     prop_oneof![
         (3u64..40, 2u64..24, 3u64..40).prop_map(|(m, k, n)| OpSpec::gemm(m, k, n)),
         (3u64..64, 2u64..48).prop_map(|(m, n)| OpSpec::gemv(m, n)),
-        (1u64..3, 1u64..6, 7u64..14, 7u64..14, 1u64..6, 1u64..4, 1u64..3, 0u64..2).prop_map(
-            |(n, ci, h, w, co, k, s, p)| {
+        (
+            1u64..3,
+            1u64..6,
+            7u64..14,
+            7u64..14,
+            1u64..6,
+            1u64..4,
+            1u64..3,
+            0u64..2
+        )
+            .prop_map(|(n, ci, h, w, co, k, s, p)| {
                 let k = k.min(h).min(w); // kernel no larger than input
                 OpSpec::conv2d(n, ci, h, w, co, k, k, s, p)
-            }
-        ),
-        (1u64..3, 1u64..6, 6u64..14, 6u64..14, 2u64..4, 1u64..3).prop_map(
-            |(n, c, h, w, f, s)| {
-                let f = f.min(h).min(w);
-                OpSpec::avg_pool2d(n, c, h, w, f, s)
-            }
-        ),
+            }),
+        (1u64..3, 1u64..6, 6u64..14, 6u64..14, 2u64..4, 1u64..3).prop_map(|(n, c, h, w, f, s)| {
+            let f = f.min(h).min(w);
+            OpSpec::avg_pool2d(n, c, h, w, f, s)
+        }),
         (5u64..200, 1u32..4).prop_map(|(e, i)| OpSpec::elementwise(e, i, 1)),
     ]
 }

@@ -148,6 +148,10 @@ fn stack_generalizes_to_a100() {
     let op = tensor_expr::OpSpec::gemm(8192, 8192, 8192);
     let g = gensor::Gensor::default().compile(&op, &spec);
     let r = roller::Roller::default().compile(&op, &spec);
-    assert!(g.report.gflops > 0.15 * spec.peak_fp32_gflops, "{}", g.report.gflops);
+    assert!(
+        g.report.gflops > 0.15 * spec.peak_fp32_gflops,
+        "{}",
+        g.report.gflops
+    );
     assert!(g.report.gflops >= 0.8 * r.report.gflops);
 }

@@ -8,7 +8,11 @@ use simgpu::Tuner;
 fn fig9_ordering_holds_on_the_server() {
     // Gensor > Roller > PyTorch in throughput for every §V-C model.
     let spec = hardware::GpuSpec::rtx4090();
-    for graph in [zoo::bert_small(8, 128), zoo::resnet50(32), zoo::mobilenet_v2(32)] {
+    for graph in [
+        zoo::bert_small(8, 128),
+        zoo::resnet50(32),
+        zoo::mobilenet_v2(32),
+    ] {
         let g = compile_model(&gensor::Gensor::default(), &graph, &spec);
         let r = compile_model(&roller::Roller::default(), &graph, &spec);
         let p = compile_model(&search::Eager, &graph, &spec);
@@ -62,7 +66,10 @@ fn dynamic_shapes_favor_construction() {
     let avg = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
     let g = avg(&gensor.throughputs());
     assert!(g > avg(&roller.throughputs()), "Gensor must beat Roller");
-    assert!(g > avg(&eager.throughputs()) * 1.5, "Gensor must beat PyTorch clearly");
+    assert!(
+        g > avg(&eager.throughputs()) * 1.5,
+        "Gensor must beat PyTorch clearly"
+    );
     let dc_frac = avg(&dc.throughputs()) / g;
     assert!(
         (0.6..1.0).contains(&dc_frac),
@@ -122,10 +129,20 @@ fn ablation_table6_shape_holds() {
     for op in &ops {
         let norm = op.flops(); // normalize classes before averaging
         roller_sum += roller::Roller::default().compile(op, &spec).report.gflops / norm;
-        ablated_sum += gensor::Gensor::without_vthread().compile(op, &spec).report.gflops / norm;
+        ablated_sum += gensor::Gensor::without_vthread()
+            .compile(op, &spec)
+            .report
+            .gflops
+            / norm;
         full_sum += gensor::Gensor::default().compile(op, &spec).report.gflops / norm;
     }
-    assert!(ablated_sum > roller_sum * 0.95, "graph construction must carry its weight");
+    assert!(
+        ablated_sum > roller_sum * 0.95,
+        "graph construction must carry its weight"
+    );
     assert!(full_sum >= ablated_sum * 0.98, "vThread must not hurt");
-    assert!(full_sum > roller_sum, "full Gensor must beat Roller overall");
+    assert!(
+        full_sum > roller_sum,
+        "full Gensor must beat Roller overall"
+    );
 }
