@@ -1,0 +1,91 @@
+//! Criterion bench: the serve daemon's wire overhead. Measures the ping
+//! round-trip and the remote cache-hit path (client → socket → shared
+//! cache → reply) against the in-process hit path it wraps, and persists
+//! the comparison to `results/served_hit_path.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use schedcache::{CachedTuner, ScheduleCache};
+use serde::Serialize;
+use served::{Client, MethodRegistry, Server, ServerConfig};
+use simgpu::Tuner;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct HitPath {
+    ping_us: f64,
+    remote_hit_us: f64,
+    local_hit_us: f64,
+    wire_overhead_us: f64,
+}
+
+fn served_benches(c: &mut Criterion) {
+    let spec = hardware::GpuSpec::rtx4090();
+    let op = tensor_expr::OpSpec::gemm(1024, 512, 1024);
+    let gensor = gensor::Gensor::default();
+
+    // In-process baseline: a resident hit from the sharded map.
+    let cache = Arc::new(ScheduleCache::in_memory());
+    let local = CachedTuner::for_gensor(&gensor, cache.clone());
+    local.compile(&op, &spec); // populate
+
+    // The daemon, on its own thread, with its own cache (populated by the
+    // first remote compile below).
+    let socket = std::env::temp_dir().join(format!("served-bench-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let server = Server::bind(
+        ServerConfig::new(&socket),
+        Arc::new(ScheduleCache::in_memory()),
+        MethodRegistry::standard(),
+    )
+    .unwrap();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    let mut client = Client::connect(&socket).unwrap();
+    client.compile(&op, &spec, "gensor", None).unwrap(); // populate
+
+    let mut group = c.benchmark_group("served");
+    group.bench_function("ping_rtt", |b| b.iter(|| client.ping().unwrap()));
+    group.bench_function("remote_hit/gemm", |b| {
+        b.iter(|| criterion::black_box(client.compile(&op, &spec, "gensor", None).unwrap()))
+    });
+    group.bench_function("local_hit/gemm", |b| {
+        b.iter(|| criterion::black_box(local.compile(&op, &spec)))
+    });
+    group.finish();
+
+    // One direct measurement for the persisted comparison row.
+    let time_us = |mut f: Box<dyn FnMut() + '_>| {
+        const N: u32 = 200;
+        let t0 = Instant::now();
+        for _ in 0..N {
+            f();
+        }
+        t0.elapsed().as_secs_f64() * 1e6 / N as f64
+    };
+    let ping_us = time_us(Box::new(|| client.ping().unwrap()));
+    let remote_hit_us = time_us(Box::new(|| {
+        client.compile(&op, &spec, "gensor", None).unwrap();
+    }));
+    let local_hit_us = time_us(Box::new(|| {
+        local.compile(&op, &spec);
+    }));
+    let row = HitPath {
+        ping_us,
+        remote_hit_us,
+        local_hit_us,
+        wire_overhead_us: remote_hit_us - local_hit_us,
+    };
+    println!(
+        "ping {ping_us:.1} µs, remote hit {remote_hit_us:.1} µs, local hit {local_hit_us:.1} µs \
+         (wire overhead {:.1} µs)",
+        row.wire_overhead_us
+    );
+    bench::write_json("served_hit_path", &row);
+
+    client.shutdown().unwrap();
+    join.join().unwrap();
+    let _ = std::fs::remove_file(&socket);
+}
+
+criterion_group!(benches, served_benches);
+criterion_main!(benches);

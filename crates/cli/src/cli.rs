@@ -22,9 +22,15 @@ gensor — graph-based construction tensor compiler (Rust reproduction)
 
 USAGE:
   gensor compile <op> <dims...> [--gpu G] [--method M] [--emit E] [--cache F]
+                                [--remote S]
   gensor compare <op> <dims...> [--gpu G]
   gensor model <name> [--batch B] [--gpu G] [--method M] [--cache F]
+                      [--remote S]
+  gensor serve --socket S [--cache F] [--cache-cap N] [--workers N]
+               [--max-inflight N] [--deadline SECS]
+  gensor serve-stats --socket S [--emit E]
   gensor cache stats <file> [--emit E]
+  gensor cache compact <file>
   gensor devices
 
 OPS:
@@ -32,11 +38,18 @@ OPS:
   elementwise ELEMS INPUTS
 
 OPTIONS:
-  --gpu     rtx4090 (default) | orin | a100
-  --method  gensor (default) | roller | ansor | cublas | pytorch
-  --emit    summary (default) | cuda | pseudo | harness | json
-  --batch   model batch size (default 8)
-  --cache   persistent schedule cache file (JSONL); hits skip tuning
+  --gpu           rtx4090 (default) | orin | a100
+  --method        gensor (default) | roller | ansor | cublas | pytorch
+  --emit          summary (default) | cuda | pseudo | harness | json
+  --batch         model batch size (default 8)
+  --cache         persistent schedule cache file (JSONL); hits skip tuning
+  --remote        compile through a `gensor serve` daemon at socket S;
+                  falls back to in-process compilation if unreachable
+  --socket        Unix-domain socket path for serve / serve-stats
+  --cache-cap     bound the daemon's resident cache to N schedules (LRU)
+  --workers       daemon compile threads (default: cores)
+  --max-inflight  admission cap before the daemon sheds with Busy
+  --deadline      per-request compile deadline, seconds (default 120)
 
 MODELS:
   resnet50 | resnet34 | mobilenetv2 | bert | gpt2
@@ -195,6 +208,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "compare" => compare(rest, &opts),
         "model" => model(rest, &opts),
         "cache" => cache_cmd(rest, &opts),
+        "serve" => serve(rest, &opts),
+        "serve-stats" => serve_stats(rest, &opts),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     }
@@ -217,6 +232,29 @@ fn devices() -> String {
     out
 }
 
+/// The `--remote <socket>` option, if present.
+fn parse_remote<'a>(opts: &[(&str, &'a str)]) -> Option<&'a str> {
+    opts.iter()
+        .rev()
+        .find(|(k, _)| *k == "remote")
+        .map(|(_, v)| *v)
+}
+
+/// One summary line about where a [`served::RemoteTuner`]'s compiles ran.
+fn remote_line(socket: &str, r: served::RemoteReport) -> String {
+    if r.remote > 0 {
+        format!(
+            "{} via daemon at {socket}, {} local fallback",
+            r.remote, r.local
+        )
+    } else {
+        format!(
+            "daemon at {socket} unreachable — compiled {} in-process",
+            r.local
+        )
+    }
+}
+
 fn compile(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     let op = parse_op(pos)?;
     let gpu = parse_gpu(opt(opts, "gpu", "rtx4090"))?;
@@ -226,9 +264,15 @@ fn compile(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     let cached = cache
         .as_ref()
         .map(|c| cached_tuner(method.as_ref(), method_name, c.clone()));
-    let tuner: &dyn Tuner = match &cached {
+    let local: &dyn Tuner = match &cached {
         Some(c) => c,
         None => method.as_ref(),
+    };
+    let remote =
+        parse_remote(opts).map(|socket| served::RemoteTuner::new(socket, method_name, None, local));
+    let tuner: &dyn Tuner = match &remote {
+        Some(r) => r,
+        None => local,
     };
     let emit = opt(opts, "emit", "summary");
     let ck = tuner.compile(&op, &gpu);
@@ -276,6 +320,9 @@ fn compile(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
             if let Some(cache) = &cache {
                 let _ = writeln!(out, "cache    : {}", cache_line(cache));
             }
+            if let (Some(r), Some(socket)) = (&remote, parse_remote(opts)) {
+                let _ = writeln!(out, "remote   : {}", remote_line(socket, r.report()));
+            }
             out
         }
         other => return Err(CliError::Usage(format!("unknown emit mode '{other}'"))),
@@ -320,9 +367,15 @@ fn model(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     let cached = cache
         .as_ref()
         .map(|c| cached_tuner(method.as_ref(), method_name, c.clone()));
-    let tuner: &dyn Tuner = match &cached {
+    let local: &dyn Tuner = match &cached {
         Some(c) => c,
         None => method.as_ref(),
+    };
+    let remote =
+        parse_remote(opts).map(|socket| served::RemoteTuner::new(socket, method_name, None, local));
+    let tuner: &dyn Tuner = match &remote {
+        Some(r) => r,
+        None => local,
     };
     let graph = match *name {
         "resnet50" => models::zoo::resnet50(batch),
@@ -349,14 +402,162 @@ fn model(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     if let Some(cache) = &cache {
         let _ = writeln!(out, "cache      : {}", cache_line(cache));
     }
+    if let (Some(r), Some(socket)) = (&remote, parse_remote(opts)) {
+        let _ = writeln!(out, "remote     : {}", remote_line(socket, r.report()));
+    }
     Ok(out)
+}
+
+/// `gensor serve --socket <path>` — run the compilation daemon until a
+/// `Shutdown` frame or SIGTERM/SIGINT drains it.
+fn serve(_pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
+    let socket = opt(opts, "socket", "");
+    if socket.is_empty() {
+        return Err(CliError::Usage("serve needs --socket <path>".into()));
+    }
+    let cache = match parse_cache_bounded(opts)? {
+        Some(c) => c,
+        None => match parse_cap(opts)? {
+            Some(cap) => Arc::new(ScheduleCache::in_memory_bounded(cap)),
+            None => Arc::new(ScheduleCache::in_memory()),
+        },
+    };
+    let mut cfg = served::ServerConfig::new(socket);
+    cfg.handle_signals = true;
+    if let Some(w) = parse_num(opts, "workers")? {
+        cfg.workers = (w as usize).max(1);
+    }
+    if let Some(m) = parse_num(opts, "max-inflight")? {
+        cfg.max_inflight = (m as usize).max(1);
+    }
+    if let Some(d) = parse_num(opts, "deadline")? {
+        cfg.deadline = std::time::Duration::from_secs(d);
+    }
+    let (workers, max_inflight) = (cfg.workers, cfg.max_inflight);
+    let server = served::Server::bind(cfg, cache, served::MethodRegistry::standard())
+        .map_err(|e| CliError::Usage(format!("cannot bind '{socket}': {e}")))?;
+    // Announce on stderr before blocking; the summary goes to stdout at
+    // drain time.
+    eprintln!(
+        "gensor serve: listening on {socket} ({workers} workers, max {max_inflight} in flight)"
+    );
+    let report = server
+        .run()
+        .map_err(|e| CliError::Usage(format!("serve failed: {e}")))?;
+    let s = report.stats;
+    Ok(format!(
+        "drained ({}) after {:.1} s: {} requests, {} compiles ({} built / {} hits / {} coalesced), {} shed\n",
+        report.reason, s.uptime_s, s.requests, s.compiles, s.misses, s.hits, s.coalesced, s.shed
+    ))
+}
+
+/// `gensor serve-stats --socket <path>` — query a running daemon.
+fn serve_stats(_pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
+    let socket = opt(opts, "socket", "");
+    if socket.is_empty() {
+        return Err(CliError::Usage("serve-stats needs --socket <path>".into()));
+    }
+    let mut client = served::Client::connect(socket)
+        .map_err(|e| CliError::Usage(format!("cannot reach daemon at '{socket}': {e}")))?;
+    let s = client
+        .stats()
+        .map_err(|e| CliError::Usage(format!("stats request failed: {e}")))?;
+    match opt(opts, "emit", "summary") {
+        "json" => Ok(serde_json::to_string_pretty(&s).expect("serialize") + "\n"),
+        "summary" => {
+            let mut out = String::new();
+            let _ = writeln!(out, "daemon      : {socket} (up {:.1} s)", s.uptime_s);
+            let _ = writeln!(
+                out,
+                "requests    : {} over {} connections ({} proto errors)",
+                s.requests, s.connections, s.proto_errors
+            );
+            let _ = writeln!(
+                out,
+                "compiles    : {} ({} built / {} hits / {} coalesced), {} batches",
+                s.compiles, s.misses, s.hits, s.coalesced, s.batches
+            );
+            let _ = writeln!(
+                out,
+                "admission   : {} shed, {} deadline-expired",
+                s.shed, s.deadline_expired
+            );
+            let _ = writeln!(
+                out,
+                "latency     : p50 {} µs, p99 {} µs",
+                s.latency_p50_us, s.latency_p99_us
+            );
+            let _ = writeln!(
+                out,
+                "cache       : {} hits / {} misses ({} warm), {} evicted, saved {:.3} s",
+                s.cache.hits,
+                s.cache.misses,
+                s.cache.warm_starts,
+                s.cache.evictions,
+                s.cache.saved_tuning_s
+            );
+            Ok(out)
+        }
+        other => Err(CliError::Usage(format!("unknown emit mode '{other}'"))),
+    }
+}
+
+/// Parse an optional numeric `--key`.
+fn parse_num(opts: &[(&str, &str)], key: &str) -> Result<Option<u64>, CliError> {
+    match opts.iter().rev().find(|(k, _)| *k == key) {
+        None => Ok(None),
+        Some((_, v)) => v
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| CliError::Usage(format!("bad --{key} '{v}'"))),
+    }
+}
+
+/// The `--cache-cap` option, if present (0 is rejected).
+fn parse_cap(opts: &[(&str, &str)]) -> Result<Option<usize>, CliError> {
+    match parse_num(opts, "cache-cap")? {
+        None => Ok(None),
+        Some(0) => Err(CliError::Usage("--cache-cap must be ≥ 1".into())),
+        Some(n) => Ok(Some(n as usize)),
+    }
+}
+
+/// Open the `--cache` file honouring `--cache-cap`, if the flag is
+/// present.
+fn parse_cache_bounded(opts: &[(&str, &str)]) -> Result<Option<Arc<ScheduleCache>>, CliError> {
+    let Some((_, path)) = opts.iter().rev().find(|(k, _)| *k == "cache") else {
+        return Ok(None);
+    };
+    let opened = match parse_cap(opts)? {
+        Some(cap) => ScheduleCache::open_bounded(path, cap),
+        None => ScheduleCache::open(path),
+    };
+    opened
+        .map(|c| Some(Arc::new(c)))
+        .map_err(|e| CliError::Usage(format!("cannot open cache '{path}': {e}")))
 }
 
 /// `gensor cache stats <file>` — inspect a persistent schedule cache.
 fn cache_cmd(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     let (sub, rest) = pos
         .split_first()
-        .ok_or_else(|| CliError::Usage("cache expects a subcommand: stats".into()))?;
+        .ok_or_else(|| CliError::Usage("cache expects a subcommand: stats | compact".into()))?;
+    if *sub == "compact" {
+        let path = rest
+            .first()
+            .ok_or_else(|| CliError::Usage("cache compact expects a file path".into()))?;
+        let report = Store::open(*path)
+            .compact()
+            .map_err(|e| CliError::Usage(format!("cannot compact '{path}': {e}")))?;
+        return Ok(format!(
+            "compacted {path}: kept {} records, dropped {} ({} superseded, {} foreign-version, {} corrupt)\n",
+            report.kept,
+            report.dropped(),
+            report.superseded,
+            report.foreign_version,
+            report.corrupt
+        ));
+    }
     if *sub != "stats" {
         return Err(CliError::Usage(format!("unknown cache subcommand '{sub}'")));
     }
@@ -550,5 +751,59 @@ mod tests {
         assert!(matches!(call("cache"), Err(CliError::Usage(_))));
         assert!(matches!(call("cache frob x"), Err(CliError::Usage(_))));
         assert!(matches!(call("cache stats"), Err(CliError::Usage(_))));
+        assert!(matches!(call("cache compact"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn cache_compact_drops_superseded_lines() {
+        let path = tmp_cache("compact");
+        call(&format!(
+            "compile gemm 512 256 512 --method roller --cache {path}"
+        ))
+        .unwrap();
+        // Duplicate every line (as two racing processes would), then
+        // compact back down to one record per key.
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, format!("{body}{body}")).unwrap();
+        let out = call(&format!("cache compact {path}")).unwrap();
+        assert!(out.contains("kept 1 records"), "{out}");
+        assert!(out.contains("1 superseded"), "{out}");
+        let again = call(&format!("cache compact {path}")).unwrap();
+        assert!(again.contains("dropped 0"), "{again}");
+        // The compacted file still hits.
+        let hit = call(&format!(
+            "compile gemm 512 256 512 --method roller --cache {path}"
+        ))
+        .unwrap();
+        assert!(hit.contains("1 hits / 0 misses"), "{hit}");
+    }
+
+    #[test]
+    fn serve_usage_errors() {
+        assert!(matches!(call("serve"), Err(CliError::Usage(_))));
+        assert!(matches!(call("serve-stats"), Err(CliError::Usage(_))));
+        assert!(matches!(
+            call("serve --socket /tmp/x.sock --cache-cap 0"),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            call("serve --socket /tmp/x.sock --workers frob"),
+            Err(CliError::Usage(_))
+        ));
+        // serve-stats against a dead socket reports unreachable, not a
+        // hang.
+        let err = call("serve-stats --socket /tmp/gensor-cli-test-dead.sock").unwrap_err();
+        let CliError::Usage(msg) = err;
+        assert!(msg.contains("cannot reach daemon"), "{msg}");
+    }
+
+    #[test]
+    fn compile_remote_falls_back_without_a_daemon() {
+        let out = call(
+            "compile gemm 256 128 256 --method roller --remote /tmp/gensor-cli-test-dead2.sock",
+        )
+        .unwrap();
+        assert!(out.contains("unreachable — compiled 1 in-process"), "{out}");
+        assert!(out.contains("GFLOPS"), "{out}");
     }
 }

@@ -12,6 +12,12 @@ use std::path::Path;
 use std::sync::Arc;
 use tensor_expr::OpSpec;
 
+/// Extra shape-distance charged to a neighbour cached for a *different*
+/// device fingerprint (one octave of extent ratio): cross-device
+/// transplants are still offered as warm-start seeds, but a same-device
+/// neighbour at equal shape distance always ranks first.
+pub const CROSS_DEVICE_PENALTY: f64 = 1.0;
+
 /// A persistent, concurrent schedule cache.
 ///
 /// * misses run the supplied construction (single-flight: concurrent
@@ -19,56 +25,75 @@ use tensor_expr::OpSpec;
 /// * every winner is appended to the JSONL store (when one is attached)
 ///   and indexed for neighbour lookup;
 /// * [`ScheduleCache::neighbours`] offers cached schedules of the same
-///   operator class, nearest first by log-shape distance, as warm-start
-///   seeds for new shapes.
+///   operator class, nearest first by log-shape distance (plus
+///   [`CROSS_DEVICE_PENALTY`] for entries cached for another device), as
+///   warm-start seeds for new shapes — and, on a first sighting of a new
+///   `GpuSpec`, for known shapes transplanted across devices;
+/// * an optional entry cap bounds the memory tier (LRU eviction), so a
+///   long-lived daemon serving unbounded shape churn stays bounded.
 pub struct ScheduleCache {
     map: ShardedMap,
     store: Option<Store>,
     stats: Stats,
     /// Every resident schedule, for nearest-neighbour warm starts. The
-    /// `OpSpec` lives inside each `Etir`.
+    /// `OpSpec` lives inside each `Etir`; the key's `gpu_fp` drives the
+    /// cross-device penalty. Pruned when the map evicts.
     index: parking_lot::RwLock<Vec<(CacheKey, Etir)>>,
 }
 
 impl ScheduleCache {
     /// A cache with no persistent tier.
     pub fn in_memory() -> Self {
-        ScheduleCache {
-            map: ShardedMap::default(),
-            store: None,
-            stats: Stats::default(),
-            index: parking_lot::RwLock::new(Vec::new()),
-        }
+        Self::with_store(None, None).expect("in-memory cache cannot fail")
+    }
+
+    /// An in-memory cache bounded to roughly `cap` resident schedules
+    /// (LRU eviction; the bound is per-shard, see `map`).
+    pub fn in_memory_bounded(cap: usize) -> Self {
+        Self::with_store(None, Some(cap)).expect("in-memory cache cannot fail")
     }
 
     /// A cache backed by the JSONL file at `path`, pre-seeded with every
     /// valid record already there. Corrupt or foreign-version lines are
     /// skipped and counted (see [`StatsSnapshot`]).
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
-        let store = Store::open(path.as_ref());
-        let (records, report) = store.load()?;
+        Self::with_store(Some(Store::open(path.as_ref())), None)
+    }
+
+    /// [`ScheduleCache::open`] with an in-memory LRU entry cap. The cap
+    /// bounds resident schedules only — the JSONL file still holds every
+    /// winner ever found (use `Store::compact` to shrink it).
+    pub fn open_bounded(path: impl AsRef<Path>, cap: usize) -> std::io::Result<Self> {
+        Self::with_store(Some(Store::open(path.as_ref())), Some(cap))
+    }
+
+    fn with_store(store: Option<Store>, cap: Option<usize>) -> std::io::Result<Self> {
         let cache = ScheduleCache {
-            map: ShardedMap::default(),
-            store: Some(store),
+            map: ShardedMap::with_entry_cap(cap),
+            store,
             stats: Stats::default(),
             index: parking_lot::RwLock::new(Vec::new()),
         };
-        cache.stats.record_load(&report);
-        let mut index = cache.index.write();
-        for rec in records {
-            let kernel = CompiledKernel {
-                etir: rec.etir.clone(),
-                report: rec.report,
-                // Carry the original tuning cost so hits can account the
-                // seconds they save.
-                wall_time_s: rec.tuning_s,
-                simulated_tuning_s: 0.0,
-                candidates_evaluated: rec.candidates_evaluated,
-            };
-            cache.map.insert(rec.key, Arc::new(kernel));
-            index.push((rec.key, rec.etir));
+        if let Some(store) = &cache.store {
+            let (records, report) = store.load()?;
+            cache.stats.record_load(&report);
+            let mut index = cache.index.write();
+            for rec in records {
+                let kernel = CompiledKernel {
+                    etir: rec.etir.clone(),
+                    report: rec.report,
+                    // Carry the original tuning cost so hits can account
+                    // the seconds they save.
+                    wall_time_s: rec.tuning_s,
+                    simulated_tuning_s: 0.0,
+                    candidates_evaluated: rec.candidates_evaluated,
+                };
+                cache.map.insert(rec.key, Arc::new(kernel));
+                index.push((rec.key, rec.etir));
+            }
+            drop(index);
+            cache.prune_index();
         }
-        drop(index);
         Ok(cache)
     }
 
@@ -89,23 +114,57 @@ impl ScheduleCache {
 
     /// Counters so far.
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let mut s = self.stats.snapshot();
+        s.evictions = self.map.evictions();
+        s
     }
 
-    /// Cached schedules compatible with `op` (same class, same spatial and
-    /// reduce rank), nearest first by log-shape distance, excluding exact
-    /// shape matches (those are hits, not warm starts). At most `k`.
-    pub fn neighbours(&self, op: &OpSpec, k: usize) -> Vec<Etir> {
+    /// Flush the persistent tier to stable storage (`fsync`). A no-op for
+    /// in-memory caches; the serve daemon calls this on graceful drain.
+    pub fn flush(&self) -> std::io::Result<()> {
+        match &self.store {
+            Some(store) => store.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Drop neighbour-index entries whose key the map has evicted.
+    fn prune_index(&self) {
+        let evicted = self.map.drain_evicted();
+        if evicted.is_empty() {
+            return;
+        }
+        let gone: std::collections::HashSet<CacheKey> = evicted.into_iter().collect();
+        self.index.write().retain(|(k, _)| !gone.contains(k));
+    }
+
+    /// Cached schedules usable as warm-start seeds when compiling `op` on
+    /// `spec` (same operator class, same spatial and reduce rank), nearest
+    /// first by log-shape distance. Exact (shape, device) matches are
+    /// excluded — those are hits, not warm starts — but the *same* shape
+    /// cached for a **different** device fingerprint is offered (ranked
+    /// with [`CROSS_DEVICE_PENALTY`]), so the first sighting of a new GPU
+    /// races schedules transplanted from devices that already know the
+    /// operator. At most `k`.
+    pub fn neighbours(&self, op: &OpSpec, spec: &GpuSpec, k: usize) -> Vec<Etir> {
+        let my_gpu = crate::key::gpu_fingerprint(spec);
         let index = self.index.read();
         let mut scored: Vec<(f64, &Etir)> = index
             .iter()
-            .map(|(_, e)| e)
-            .filter(|e| e.op.class() == op.class() && e.op != *op)
-            .filter(|e| {
-                e.op.spatial_extents().len() == op.spatial_extents().len()
+            .filter(|(key, e)| !(e.op == *op && key.gpu_fp == my_gpu))
+            .filter(|(_, e)| {
+                e.op.class() == op.class()
+                    && e.op.spatial_extents().len() == op.spatial_extents().len()
                     && e.op.reduce_extents().len() == op.reduce_extents().len()
             })
-            .map(|e| (shape_distance(&e.op, op), e))
+            .map(|(key, e)| {
+                let penalty = if key.gpu_fp == my_gpu {
+                    0.0
+                } else {
+                    CROSS_DEVICE_PENALTY
+                };
+                (shape_distance(&e.op, op) + penalty, e)
+            })
             .collect();
         scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         scored.into_iter().take(k).map(|(_, e)| e.clone()).collect()
@@ -130,7 +189,7 @@ impl ScheduleCache {
         let key = CacheKey::new(op, spec, method);
         let mut used_seeds = false;
         let (kernel, outcome) = self.map.get_or_build(key, || {
-            let seeds = self.neighbours(op, 3);
+            let seeds = self.neighbours(op, spec, 3);
             used_seeds = !seeds.is_empty();
             build(&seeds)
         });
@@ -140,6 +199,7 @@ impl ScheduleCache {
             Outcome::Built => {
                 self.stats.record_miss(kernel.wall_time_s, used_seeds);
                 self.index.write().push((key, kernel.etir.clone()));
+                self.prune_index();
                 if let Some(store) = &self.store {
                     let rec = store::record(key, op.label(), method, &kernel);
                     if let Err(e) = store.append(&rec) {
@@ -223,17 +283,83 @@ mod tests {
         let gemv = OpSpec::gemv(4096, 512);
         cache.get_or_compile(&gemv, &spec, "Gensor", |_| build(&gemv, &spec));
 
-        let n = cache.neighbours(&OpSpec::gemm(1500, 512, 512), 2);
+        let n = cache.neighbours(&OpSpec::gemm(1500, 512, 512), &spec, 2);
         assert_eq!(n.len(), 2);
         assert_eq!(n[0].op, OpSpec::gemm(1024, 512, 512), "nearest first");
         assert!(n
             .iter()
             .all(|e| e.op.class() == OpSpec::gemm(1, 1, 1).class()));
-        // The exact shape never returns itself as a neighbour.
+        // The exact (shape, device) pair never returns itself.
         assert!(cache
-            .neighbours(&OpSpec::gemm(1024, 512, 512), 5)
+            .neighbours(&OpSpec::gemm(1024, 512, 512), &spec, 5)
             .iter()
             .all(|e| e.op != OpSpec::gemm(1024, 512, 512)));
+    }
+
+    #[test]
+    fn new_device_sees_same_op_entries_from_other_devices() {
+        let rtx = GpuSpec::rtx4090();
+        let a100 = GpuSpec::a100();
+        let cache = ScheduleCache::in_memory();
+        let op = OpSpec::gemm(1024, 512, 512);
+        cache.get_or_compile(&op, &rtx, "Gensor", |_| build(&op, &rtx));
+
+        // Same shape, new device: the RTX schedule is offered as a seed.
+        let seeds = cache.neighbours(&op, &a100, 3);
+        assert_eq!(seeds.len(), 1);
+        assert_eq!(seeds[0].op, op);
+        // …but the RTX device itself still never sees its own exact entry.
+        assert!(cache.neighbours(&op, &rtx, 3).is_empty());
+
+        // A nearby same-device neighbour outranks the cross-device
+        // transplant, which carries the one-octave penalty.
+        let near = OpSpec::gemm(1536, 512, 512);
+        cache.get_or_compile(&near, &a100, "Gensor", |_| build(&near, &a100));
+        let seeds = cache.neighbours(&op, &a100, 2);
+        assert_eq!(seeds[0].op, near, "local neighbour (d≈0.58) first");
+        assert_eq!(seeds[1].op, op, "cross-device exact shape (d=0+1.0) next");
+    }
+
+    #[test]
+    fn cross_device_miss_counts_as_warm_start() {
+        let rtx = GpuSpec::rtx4090();
+        let a100 = GpuSpec::a100();
+        let cache = ScheduleCache::in_memory();
+        let op = OpSpec::gemm(512, 512, 512);
+        cache.get_or_compile(&op, &rtx, "Gensor", |seeds| {
+            assert!(seeds.is_empty(), "first device is cold");
+            build(&op, &rtx)
+        });
+        let (_, o) = cache.get_or_compile(&op, &a100, "Gensor", |seeds| {
+            assert_eq!(seeds.len(), 1, "new device is seeded across the fp");
+            build(&op, &a100)
+        });
+        assert_eq!(o, Outcome::Built);
+        assert_eq!(cache.stats().warm_starts, 1);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_prunes_the_neighbour_index() {
+        let spec = GpuSpec::rtx4090();
+        // Cap 16 over 16 shards → at most one resident entry per shard.
+        let cache = ScheduleCache::in_memory_bounded(16);
+        let mut ops = Vec::new();
+        for m in 1..=40u64 {
+            let op = OpSpec::gemm(8 * m, 64, 64);
+            cache.get_or_compile(&op, &spec, "Gensor", |_| build(&op, &spec));
+            ops.push(op);
+        }
+        assert!(
+            cache.len() <= 16,
+            "resident entries bounded: {}",
+            cache.len()
+        );
+        let s = cache.stats();
+        assert_eq!(s.misses, 40);
+        assert!(s.evictions >= 24, "evictions counted: {}", s.evictions);
+        // The neighbour index shrank in step with the map.
+        let survivors = cache.neighbours(&OpSpec::gemm(96, 64, 64), &spec, usize::MAX);
+        assert!(survivors.len() <= 16, "index pruned: {}", survivors.len());
     }
 
     #[test]

@@ -32,10 +32,10 @@ pub mod stats;
 pub mod store;
 pub mod tuner;
 
-pub use cache::ScheduleCache;
+pub use cache::{ScheduleCache, CROSS_DEVICE_PENALTY};
 pub use key::{CacheKey, FORMAT_VERSION, POLICY_EPOCH};
 pub use map::Outcome;
 pub use service::{CompileService, ServiceReport};
 pub use stats::StatsSnapshot;
-pub use store::{CacheRecord, LoadReport, Store};
+pub use store::{CacheRecord, CompactReport, LoadReport, Store};
 pub use tuner::CachedTuner;

@@ -1,5 +1,5 @@
 //! The in-memory tier: a sharded concurrent map with single-flight
-//! deduplication.
+//! deduplication and an optional LRU entry bound.
 //!
 //! * **Sharding** — keys are spread over [`SHARD_COUNT`] independent
 //!   `RwLock<HashMap>` shards, so a hit on one operator never contends
@@ -9,11 +9,18 @@
 //!   others block on the in-flight [`Flight`] and receive the same
 //!   `Arc`'d result. If the builder panics, waiters are woken and one of
 //!   them claims the build instead, so a crash never wedges a key.
+//! * **LRU bound** — an optional entry cap (default: unbounded) keeps a
+//!   daemon serving unbounded shape churn from growing without limit. The
+//!   cap is enforced per shard (⌈cap / [`SHARD_COUNT`]⌉ entries each), so
+//!   the bound is approximate under skewed key distributions; evicted keys
+//!   are queued for the owner to reconcile its own indexes
+//!   ([`ShardedMap::drain_evicted`]).
 
 use crate::key::CacheKey;
 use parking_lot::RwLock;
 use simgpu::CompiledKernel;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Number of shards (power of two; tuned for tens of threads).
@@ -72,29 +79,60 @@ impl Flight {
     }
 }
 
+/// A resident schedule plus its recency stamp (for LRU eviction).
+struct Ready {
+    kernel: Arc<CompiledKernel>,
+    last_used: AtomicU64,
+}
+
 enum Slot {
-    Ready(Arc<CompiledKernel>),
+    Ready(Ready),
     Building(Arc<Flight>),
 }
 
 /// The sharded concurrent map.
 pub struct ShardedMap {
     shards: Vec<RwLock<HashMap<CacheKey, Slot>>>,
+    /// Per-shard entry cap; `None` means unbounded.
+    cap_per_shard: Option<usize>,
+    /// Global recency clock (monotone; one tick per touch).
+    tick: AtomicU64,
+    evictions: AtomicU64,
+    /// Keys evicted since the last [`drain_evicted`] call, so the owning
+    /// cache can prune its neighbour index.
+    ///
+    /// [`drain_evicted`]: ShardedMap::drain_evicted
+    evicted: parking_lot::Mutex<Vec<CacheKey>>,
 }
 
 impl Default for ShardedMap {
     fn default() -> Self {
-        ShardedMap {
-            shards: (0..SHARD_COUNT)
-                .map(|_| RwLock::new(HashMap::new()))
-                .collect(),
-        }
+        Self::with_entry_cap(None)
     }
 }
 
 impl ShardedMap {
+    /// A map bounded to roughly `cap` resident entries (`None`:
+    /// unbounded). The bound is enforced per shard, so the worst-case
+    /// resident count is `⌈cap / SHARD_COUNT⌉ · SHARD_COUNT`.
+    pub fn with_entry_cap(cap: Option<usize>) -> Self {
+        ShardedMap {
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            cap_per_shard: cap.map(|c| c.div_ceil(SHARD_COUNT).max(1)),
+            tick: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            evicted: parking_lot::Mutex::new(Vec::new()),
+        }
+    }
+
     fn shard(&self, key: &CacheKey) -> &RwLock<HashMap<CacheKey, Slot>> {
         &self.shards[key.shard(SHARD_COUNT)]
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Resident entries across all shards.
@@ -115,17 +153,68 @@ impl ShardedMap {
         self.len() == 0
     }
 
+    /// Entries evicted by the LRU bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Take the keys evicted since the last call (so the owner can prune
+    /// derived indexes).
+    pub fn drain_evicted(&self) -> Vec<CacheKey> {
+        std::mem::take(&mut *self.evicted.lock())
+    }
+
     /// Lookup without building.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<CompiledKernel>> {
         match self.shard(key).read().get(key) {
-            Some(Slot::Ready(k)) => Some(k.clone()),
+            Some(Slot::Ready(r)) => {
+                r.last_used.store(self.next_tick(), Ordering::Relaxed);
+                Some(r.kernel.clone())
+            }
             _ => None,
         }
     }
 
     /// Insert a pre-built kernel (used when seeding from disk).
     pub fn insert(&self, key: CacheKey, kernel: Arc<CompiledKernel>) {
-        self.shard(&key).write().insert(key, Slot::Ready(kernel));
+        let ready = Ready {
+            kernel,
+            last_used: AtomicU64::new(self.next_tick()),
+        };
+        let mut shard = self.shard(&key).write();
+        shard.insert(key, Slot::Ready(ready));
+        self.enforce_cap(&mut shard, &key);
+    }
+
+    /// Evict least-recently-used `Ready` entries (never the just-touched
+    /// `protect` key, never an in-flight build) until the shard is within
+    /// its cap. Caller holds the shard's write lock.
+    fn enforce_cap(&self, shard: &mut HashMap<CacheKey, Slot>, protect: &CacheKey) {
+        let Some(cap) = self.cap_per_shard else {
+            return;
+        };
+        loop {
+            let resident = shard
+                .iter()
+                .filter(|(_, v)| matches!(v, Slot::Ready(_)))
+                .count();
+            if resident <= cap {
+                return;
+            }
+            let victim = shard
+                .iter()
+                .filter_map(|(k, v)| match v {
+                    Slot::Ready(r) if k != protect => {
+                        Some((r.last_used.load(Ordering::Relaxed), *k))
+                    }
+                    _ => None,
+                })
+                .min_by_key(|(tick, _)| *tick);
+            let Some((_, key)) = victim else { return };
+            shard.remove(&key);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evicted.lock().push(key);
+        }
     }
 
     /// Fetch `key`, running `build` (at most once across all concurrent
@@ -138,7 +227,10 @@ impl ShardedMap {
         loop {
             // Fast path: shared read lock only.
             let waiting: Option<Arc<Flight>> = match self.shard(&key).read().get(&key) {
-                Some(Slot::Ready(k)) => return (k.clone(), Outcome::Hit),
+                Some(Slot::Ready(r)) => {
+                    r.last_used.store(self.next_tick(), Ordering::Relaxed);
+                    return (r.kernel.clone(), Outcome::Hit);
+                }
                 Some(Slot::Building(f)) => Some(f.clone()),
                 None => None,
             };
@@ -152,7 +244,10 @@ impl ShardedMap {
             let flight = {
                 let mut shard = self.shard(&key).write();
                 match shard.get(&key) {
-                    Some(Slot::Ready(k)) => return (k.clone(), Outcome::Hit),
+                    Some(Slot::Ready(r)) => {
+                        r.last_used.store(self.next_tick(), Ordering::Relaxed);
+                        return (r.kernel.clone(), Outcome::Hit);
+                    }
                     Some(Slot::Building(f)) => {
                         let f = f.clone();
                         drop(shard);
@@ -180,9 +275,17 @@ impl ShardedMap {
             let kernel = Arc::new(build.take().expect("claimed at most once")());
             let mut guard = guard;
             guard.armed = false;
-            self.shard(&key)
-                .write()
-                .insert(key, Slot::Ready(kernel.clone()));
+            {
+                let mut shard = self.shard(&key).write();
+                shard.insert(
+                    key,
+                    Slot::Ready(Ready {
+                        kernel: kernel.clone(),
+                        last_used: AtomicU64::new(self.next_tick()),
+                    }),
+                );
+                self.enforce_cap(&mut shard, &key);
+            }
             flight.finish(FlightState::Done(kernel.clone()));
             return (kernel, Outcome::Built);
         }
@@ -290,5 +393,60 @@ mod tests {
         // The key is not wedged: the next caller builds it.
         let (_, o) = map.get_or_build(key(512), kernel);
         assert_eq!(o, Outcome::Built);
+    }
+
+    /// Keys that all land in one shard, so the per-shard cap is exact.
+    fn same_shard_keys(n: usize) -> Vec<CacheKey> {
+        let target = key(1).shard(SHARD_COUNT);
+        (1u64..)
+            .map(key)
+            .filter(|k| k.shard(SHARD_COUNT) == target)
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn lru_cap_evicts_the_least_recently_used() {
+        // cap 16 over 16 shards → 1 entry per shard.
+        let map = ShardedMap::with_entry_cap(Some(SHARD_COUNT));
+        let keys = same_shard_keys(3);
+        map.insert(keys[0], Arc::new(kernel()));
+        map.insert(keys[1], Arc::new(kernel()));
+        assert_eq!(map.evictions(), 1);
+        assert!(map.get(&keys[0]).is_none(), "older entry was evicted");
+        assert!(map.get(&keys[1]).is_some());
+        assert_eq!(map.drain_evicted(), vec![keys[0]]);
+        assert!(map.drain_evicted().is_empty(), "drain empties the queue");
+
+        // With one slot per shard, the next insert displaces the survivor.
+        map.insert(keys[2], Arc::new(kernel()));
+        assert!(map.get(&keys[1]).is_none());
+        assert!(map.get(&keys[2]).is_some());
+        assert_eq!(map.evictions(), 2);
+    }
+
+    #[test]
+    fn lru_recency_is_respected_within_a_shard() {
+        // cap 32 over 16 shards → 2 entries per shard.
+        let map = ShardedMap::with_entry_cap(Some(2 * SHARD_COUNT));
+        let keys = same_shard_keys(3);
+        map.insert(keys[0], Arc::new(kernel()));
+        map.insert(keys[1], Arc::new(kernel()));
+        // Touch the older entry so the *other* one becomes LRU.
+        assert!(map.get(&keys[0]).is_some());
+        map.insert(keys[2], Arc::new(kernel()));
+        assert!(map.get(&keys[0]).is_some(), "recently touched survives");
+        assert!(map.get(&keys[1]).is_none(), "LRU entry evicted");
+        assert_eq!(map.drain_evicted(), vec![keys[1]]);
+    }
+
+    #[test]
+    fn unbounded_map_never_evicts() {
+        let map = ShardedMap::default();
+        for k in same_shard_keys(24) {
+            map.insert(k, Arc::new(kernel()));
+        }
+        assert_eq!(map.len(), 24);
+        assert_eq!(map.evictions(), 0);
     }
 }

@@ -46,6 +46,9 @@ pub struct StatsSnapshot {
     pub corrupt_lines: u64,
     /// Store lines skipped as written by another format version.
     pub version_skipped: u64,
+    /// Resident schedules evicted by the in-memory LRU bound (0 when the
+    /// cache is unbounded; filled in by `ScheduleCache::stats`).
+    pub evictions: u64,
     /// Tuning seconds that hits avoided re-spending.
     pub saved_tuning_s: f64,
     /// Constructions actually run (length of the latency sample).
@@ -109,6 +112,7 @@ impl Stats {
             loaded_from_disk: g.loaded_from_disk,
             corrupt_lines: g.corrupt_lines,
             version_skipped: g.version_skipped,
+            evictions: 0,
             saved_tuning_s: g.saved_tuning_s,
             compiles: lat.len() as u64,
             compile_p50_s: pct(0.50),

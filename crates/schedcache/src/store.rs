@@ -55,6 +55,26 @@ pub struct LoadReport {
     pub version_skipped: usize,
 }
 
+/// What one [`Store::compact`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Lines kept (the newest record per key).
+    pub kept: usize,
+    /// Older duplicates of a key, superseded by a later line.
+    pub superseded: usize,
+    /// Well-formed lines written by another [`FORMAT_VERSION`], dropped.
+    pub foreign_version: usize,
+    /// Unparsable lines, dropped.
+    pub corrupt: usize,
+}
+
+impl CompactReport {
+    /// Total lines removed by the pass.
+    pub fn dropped(&self) -> usize {
+        self.superseded + self.foreign_version + self.corrupt
+    }
+}
+
 /// Handle to one JSONL cache file.
 #[derive(Debug, Clone)]
 pub struct Store {
@@ -126,6 +146,79 @@ impl Store {
             .append(true)
             .open(&self.path)?;
         f.write_all(line.as_bytes())
+    }
+
+    /// Force the file's contents to stable storage (`fsync`). Used by the
+    /// serve daemon's graceful drain; a missing file is a no-op.
+    pub fn sync(&self) -> std::io::Result<()> {
+        match std::fs::File::open(&self.path) {
+            Ok(f) => f.sync_all(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Rewrite the append-only file keeping only the newest line per key:
+    /// older duplicates (superseded winners), foreign-[`FORMAT_VERSION`]
+    /// lines and corrupt lines are dropped. The rewrite is atomic — a tmp
+    /// file in the same directory is written, fsynced, then renamed over
+    /// the original — so a crash mid-compaction leaves the old file intact.
+    /// Surviving lines keep their original bytes (no re-serialization, so
+    /// floats cannot drift) and their relative order.
+    pub fn compact(&self) -> std::io::Result<CompactReport> {
+        let text = match std::fs::read_to_string(&self.path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(CompactReport::default())
+            }
+            Err(e) => return Err(e),
+        };
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        let mut report = CompactReport::default();
+        // Index of the newest line per key; earlier occurrences are
+        // superseded. Non-current-version and unparsable lines never enter.
+        let mut newest: std::collections::HashMap<CacheKey, usize> =
+            std::collections::HashMap::new();
+        for (i, line) in lines.iter().enumerate() {
+            match serde_json::from_str::<serde_json::Value>(line) {
+                Err(_) => report.corrupt += 1,
+                Ok(v) => match v["v"].as_u64() {
+                    Some(ver) if ver == FORMAT_VERSION as u64 => {
+                        match serde_json::from_str::<CacheRecord>(line) {
+                            Ok(rec) => {
+                                if let Some(prev) = newest.insert(rec.key, i) {
+                                    debug_assert!(prev < i);
+                                    report.superseded += 1;
+                                }
+                            }
+                            Err(_) => report.corrupt += 1,
+                        }
+                    }
+                    Some(_) => report.foreign_version += 1,
+                    None => report.corrupt += 1,
+                },
+            }
+        }
+        let mut keep: Vec<usize> = newest.into_values().collect();
+        keep.sort_unstable();
+        report.kept = keep.len();
+
+        let tmp = self
+            .path
+            .with_extension(format!("compact-tmp.{}", std::process::id()));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            for i in &keep {
+                f.write_all(lines[*i].as_bytes())?;
+                f.write_all(b"\n")?;
+            }
+            f.sync_all()?;
+        }
+        if let Err(e) = std::fs::rename(&tmp, &self.path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        Ok(report)
     }
 }
 
@@ -216,6 +309,78 @@ mod tests {
         assert_eq!(rep.loaded, 2, "both good records survive");
         assert_eq!(rep.corrupt, 3, "all three damaged lines counted");
         assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn compact_keeps_only_the_newest_line_per_key() {
+        let store = Store::open(tmpfile("compact"));
+        let _ = std::fs::remove_file(store.path());
+        let mut newer = sample(128);
+        newer.tuning_s = 9.0; // distinguishable from the first write
+        store.append(&sample(128)).unwrap();
+        store.append(&sample(256)).unwrap();
+        store.append(&newer).unwrap();
+        // Damage + a foreign version in the middle.
+        let mut text = std::fs::read_to_string(store.path()).unwrap();
+        text.push_str("garbage line\n");
+        text.push_str(&text.lines().next().unwrap().replace("\"v\":1", "\"v\":7"));
+        text.push('\n');
+        std::fs::write(store.path(), &text).unwrap();
+
+        let rep = store.compact().unwrap();
+        assert_eq!(rep.kept, 2);
+        assert_eq!(rep.superseded, 1, "older duplicate of key 128 dropped");
+        assert_eq!(rep.foreign_version, 1);
+        assert_eq!(rep.corrupt, 1);
+        assert_eq!(rep.dropped(), 3);
+
+        let (recs, load) = store.load().unwrap();
+        assert_eq!(load.loaded, 2);
+        assert_eq!((load.corrupt, load.version_skipped), (0, 0));
+        let survivor = recs.iter().find(|r| r.key == newer.key).unwrap();
+        assert_eq!(survivor.tuning_s, 9.0, "the *newest* duplicate survives");
+    }
+
+    #[test]
+    fn compact_is_idempotent_and_atomic_leftovers_are_absent() {
+        let store = Store::open(tmpfile("compact-idem"));
+        let _ = std::fs::remove_file(store.path());
+        for m in [128u64, 256, 128, 512, 256] {
+            store.append(&sample(m)).unwrap();
+        }
+        let first = store.compact().unwrap();
+        assert_eq!(first.kept, 3);
+        assert_eq!(first.superseded, 2);
+        let bytes = std::fs::read(store.path()).unwrap();
+        let second = store.compact().unwrap();
+        assert_eq!(
+            second,
+            CompactReport {
+                kept: 3,
+                ..Default::default()
+            }
+        );
+        assert_eq!(
+            std::fs::read(store.path()).unwrap(),
+            bytes,
+            "a second pass must not change a single byte"
+        );
+        // No tmp file left behind.
+        let dir = store.path().parent().unwrap();
+        assert!(std::fs::read_dir(dir).unwrap().all(|e| {
+            !e.unwrap()
+                .file_name()
+                .to_string_lossy()
+                .contains("compact-tmp")
+        }));
+    }
+
+    #[test]
+    fn compact_of_a_missing_file_is_empty() {
+        let store = Store::open(tmpfile("compact-missing"));
+        let _ = std::fs::remove_file(store.path());
+        assert_eq!(store.compact().unwrap(), CompactReport::default());
+        store.sync().unwrap();
     }
 
     #[test]

@@ -1,0 +1,439 @@
+//! Blocking client for the `gensor serve` daemon, plus [`RemoteTuner`] —
+//! a [`Tuner`] that compiles through the daemon and silently falls back
+//! to in-process compilation when no daemon answers.
+
+use crate::proto::{
+    read_frame, write_frame, ErrKind, FrameError, Request, Response, WireOutcome, PROTO_VERSION,
+};
+use hardware::GpuSpec;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use simgpu::{CompiledKernel, Tuner};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{Duration, SystemTime};
+use tensor_expr::OpSpec;
+
+/// Connection and retry policy.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Budget for one connect attempt (socket connect + handshake reads).
+    pub connect_timeout: Duration,
+    /// Budget for one request/response exchange.
+    pub request_timeout: Duration,
+    /// Connect attempts before giving up (≥ 1).
+    pub retries: u32,
+    /// Base of the exponential backoff between connect attempts; attempt
+    /// `n` sleeps `base × 2ⁿ`, jittered ±50 % so a fleet of clients whose
+    /// daemon restarts does not reconnect in lockstep.
+    pub backoff_base: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            request_timeout: Duration::from_secs(150),
+            retries: 3,
+            backoff_base: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Everything that can go wrong talking to the daemon.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect (after all retries).
+    Unreachable(std::io::Error),
+    /// The wire broke mid-exchange.
+    Frame(FrameError),
+    /// The server answered, but not what the protocol promises here.
+    Protocol(String),
+    /// The admission gate shed this request.
+    Busy { inflight: u64, max_inflight: u64 },
+    /// The server answered with a typed error.
+    Remote { kind: ErrKind, message: String },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Unreachable(e) => write!(f, "daemon unreachable: {e}"),
+            ClientError::Frame(e) => write!(f, "wire error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ClientError::Busy {
+                inflight,
+                max_inflight,
+            } => write!(f, "server busy ({inflight}/{max_inflight} in flight)"),
+            ClientError::Remote { kind, message } => {
+                write!(f, "server error ({kind:?}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// A handshaken connection to the daemon. One request in flight at a
+/// time (the protocol is strictly request/response per connection).
+#[derive(Debug)]
+pub struct Client {
+    stream: UnixStream,
+    cfg: ClientConfig,
+}
+
+/// A seed that differs across processes and calls without consulting a
+/// global RNG: wall-clock nanos xor'd with the pid.
+fn jitter_seed() -> u64 {
+    let nanos = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0x5eed);
+    nanos ^ (std::process::id() as u64) << 32
+}
+
+impl Client {
+    /// Connect with the default policy.
+    pub fn connect(socket: impl AsRef<Path>) -> Result<Client, ClientError> {
+        Client::connect_with(socket, ClientConfig::default())
+    }
+
+    /// Connect, retrying with jittered exponential backoff, then perform
+    /// the `Hello` version handshake.
+    pub fn connect_with(
+        socket: impl AsRef<Path>,
+        cfg: ClientConfig,
+    ) -> Result<Client, ClientError> {
+        let socket = socket.as_ref();
+        let mut rng = StdRng::seed_from_u64(jitter_seed());
+        let mut last_err: Option<std::io::Error> = None;
+        for attempt in 0..cfg.retries.max(1) {
+            if attempt > 0 {
+                let base = cfg.backoff_base.as_secs_f64() * f64::powi(2.0, attempt as i32 - 1);
+                let jittered = base * rng.gen_range(0.5..1.5);
+                std::thread::sleep(Duration::from_secs_f64(jittered));
+            }
+            match UnixStream::connect(socket) {
+                Ok(stream) => {
+                    let mut client = Client {
+                        stream,
+                        cfg: cfg.clone(),
+                    };
+                    client.set_deadline(client.cfg.connect_timeout)?;
+                    match client.exchange(&Request::Hello {
+                        proto: PROTO_VERSION,
+                    }) {
+                        Ok(Response::Hello { proto }) if proto == PROTO_VERSION => {
+                            return Ok(client)
+                        }
+                        Ok(Response::Hello { proto }) => {
+                            return Err(ClientError::Protocol(format!(
+                                "server answered proto {proto}, wanted {PROTO_VERSION}"
+                            )))
+                        }
+                        Ok(Response::Error { kind, message }) => {
+                            return Err(ClientError::Remote { kind, message })
+                        }
+                        Ok(other) => {
+                            return Err(ClientError::Protocol(format!(
+                                "handshake answered with {other:?}"
+                            )))
+                        }
+                        // A connect that raced the daemon's drain can die
+                        // mid-handshake; that is retryable.
+                        Err(ClientError::Frame(e)) => {
+                            last_err = Some(std::io::Error::other(e.to_string()));
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(ClientError::Unreachable(last_err.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotFound, "no connect attempt ran")
+        })))
+    }
+
+    fn set_deadline(&self, d: Duration) -> Result<(), ClientError> {
+        self.stream
+            .set_read_timeout(Some(d))
+            .and_then(|_| self.stream.set_write_timeout(Some(d)))
+            .map_err(|e| ClientError::Frame(FrameError::Io(e)))
+    }
+
+    fn exchange(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, req)?;
+        Ok(read_frame(&mut self.stream)?)
+    }
+
+    /// One request/response exchange under the request timeout, with
+    /// `Busy` and `Error` replies mapped to typed errors.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.set_deadline(self.cfg.request_timeout)?;
+        match self.exchange(req)? {
+            Response::Busy {
+                inflight,
+                max_inflight,
+            } => Err(ClientError::Busy {
+                inflight,
+                max_inflight,
+            }),
+            Response::Error { kind, message } => Err(ClientError::Remote { kind, message }),
+            other => Ok(other),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Protocol(format!("ping answered {other:?}"))),
+        }
+    }
+
+    /// Compile one operator on the daemon.
+    pub fn compile(
+        &mut self,
+        op: &OpSpec,
+        gpu: &GpuSpec,
+        method: &str,
+        budget: Option<u32>,
+    ) -> Result<(CompiledKernel, WireOutcome), ClientError> {
+        let req = Request::Compile {
+            op: op.clone(),
+            gpu: gpu.clone(),
+            method: method.to_string(),
+            budget,
+        };
+        match self.request(&req)? {
+            Response::Compiled { outcome, kernel } => Ok((kernel.into(), outcome)),
+            Response::ShuttingDown => Err(ClientError::Remote {
+                kind: ErrKind::Internal,
+                message: "server is draining".into(),
+            }),
+            other => Err(ClientError::Protocol(format!("compile answered {other:?}"))),
+        }
+    }
+
+    /// Precompile a zoo model on the daemon; returns the raw reply
+    /// (`BatchDone` on success).
+    pub fn batch(
+        &mut self,
+        model: &str,
+        batch: u64,
+        gpu: &GpuSpec,
+        method: &str,
+    ) -> Result<Response, ClientError> {
+        self.request(&Request::Batch {
+            model: model.to_string(),
+            batch,
+            gpu: gpu.clone(),
+            method: method.to_string(),
+        })
+    }
+
+    /// Fetch the server's counters.
+    pub fn stats(&mut self) -> Result<crate::metrics::ServeStats, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats { server } => Ok(server),
+            other => Err(ClientError::Protocol(format!("stats answered {other:?}"))),
+        }
+    }
+
+    /// Ask the daemon to drain and exit. The connection is closed by the
+    /// server after it acknowledges.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "shutdown answered {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Where a [`RemoteTuner`] answered each compile from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemoteReport {
+    /// Compiles answered by the daemon.
+    pub remote: u64,
+    /// Compiles that fell back to the in-process tuner.
+    pub local: u64,
+}
+
+/// A [`Tuner`] that sends compiles to a `gensor serve` daemon and falls
+/// back to a local tuner when the daemon is unreachable, busy past the
+/// retry budget, or mid-drain.
+///
+/// Connections are pooled so `compile_model`'s parallel layer compiles
+/// each get their own socket instead of serialising on one.
+pub struct RemoteTuner<'a> {
+    socket: PathBuf,
+    cfg: ClientConfig,
+    method: String,
+    budget: Option<u32>,
+    fallback: &'a dyn Tuner,
+    pool: Mutex<Vec<Client>>,
+    report: Mutex<RemoteReport>,
+    /// Set after a connect fails all its retries: later compiles go
+    /// straight to the fallback instead of re-paying the retry budget
+    /// per layer of a model.
+    offline: std::sync::atomic::AtomicBool,
+}
+
+impl<'a> RemoteTuner<'a> {
+    /// A remote tuner for `method`, falling back to `fallback` (which
+    /// also names this tuner — the daemon runs the same method).
+    pub fn new(
+        socket: impl Into<PathBuf>,
+        method: &str,
+        budget: Option<u32>,
+        fallback: &'a dyn Tuner,
+    ) -> Self {
+        RemoteTuner {
+            socket: socket.into(),
+            cfg: ClientConfig::default(),
+            method: method.to_string(),
+            budget,
+            fallback,
+            pool: Mutex::new(Vec::new()),
+            report: Mutex::new(RemoteReport::default()),
+            offline: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Override the connection policy.
+    pub fn with_config(mut self, cfg: ClientConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// How many compiles went remote vs fell back local so far.
+    pub fn report(&self) -> RemoteReport {
+        *self.report.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn checkout(&self) -> Result<Client, ClientError> {
+        if let Some(c) = self.pool.lock().unwrap_or_else(|p| p.into_inner()).pop() {
+            return Ok(c);
+        }
+        Client::connect_with(&self.socket, self.cfg.clone())
+    }
+
+    fn checkin(&self, client: Client) {
+        self.pool
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(client);
+    }
+
+    fn try_remote(&self, op: &OpSpec, spec: &GpuSpec) -> Result<CompiledKernel, ClientError> {
+        use std::sync::atomic::Ordering;
+        if self.offline.load(Ordering::Relaxed) {
+            return Err(ClientError::Unreachable(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "daemon marked offline after earlier connect failures",
+            )));
+        }
+        let mut client = match self.checkout() {
+            Ok(c) => c,
+            Err(e) => {
+                if matches!(e, ClientError::Unreachable(_)) {
+                    self.offline.store(true, Ordering::Relaxed);
+                }
+                return Err(e);
+            }
+        };
+        match client.compile(op, spec, &self.method, self.budget) {
+            Ok((kernel, _outcome)) => {
+                self.checkin(client);
+                Ok(kernel)
+            }
+            // The connection may be poisoned (half-read frame, drain);
+            // drop it rather than returning it to the pool.
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Tuner for RemoteTuner<'_> {
+    fn name(&self) -> &'static str {
+        self.fallback.name()
+    }
+
+    fn compile(&self, op: &OpSpec, spec: &GpuSpec) -> CompiledKernel {
+        match self.try_remote(op, spec) {
+            Ok(kernel) => {
+                let mut r = self.report.lock().unwrap_or_else(|p| p.into_inner());
+                r.remote += 1;
+                kernel
+            }
+            Err(_) => {
+                let mut r = self.report.lock().unwrap_or_else(|p| p.into_inner());
+                r.local += 1;
+                drop(r);
+                self.fallback.compile(op, spec)
+            }
+        }
+    }
+
+    fn fuses_elementwise(&self) -> bool {
+        self.fallback.fuses_elementwise()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hardware::GpuSpec;
+
+    #[test]
+    fn unreachable_socket_fails_fast_with_unreachable() {
+        let err = Client::connect_with(
+            "/tmp/served-test-no-such-daemon.sock",
+            ClientConfig {
+                retries: 2,
+                backoff_base: Duration::from_millis(1),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClientError::Unreachable(_)), "{err}");
+    }
+
+    #[test]
+    fn remote_tuner_falls_back_to_local_when_no_daemon_listens() {
+        let gensor = gensor::Gensor::single_chain(5);
+        let tuner = RemoteTuner::new(
+            "/tmp/served-test-no-such-daemon-2.sock",
+            "gensor",
+            None,
+            &gensor,
+        )
+        .with_config(ClientConfig {
+            retries: 1,
+            backoff_base: Duration::from_millis(1),
+            ..Default::default()
+        });
+        let spec = GpuSpec::rtx4090();
+        let op = tensor_expr::OpSpec::gemm(512, 512, 512);
+        let remote = tuner.compile(&op, &spec);
+        let local = gensor.compile(&op, &spec);
+        assert_eq!(remote.etir, local.etir, "fallback must match local output");
+        assert_eq!(
+            tuner.report(),
+            RemoteReport {
+                remote: 0,
+                local: 1
+            }
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! `served` — the `gensor serve` daemon and its client.
+//!
+//! A long-running compilation service in front of the shared
+//! [`schedcache::ScheduleCache`]: clients send operators over a
+//! Unix-domain socket and get compiled kernels back, so every process on
+//! a machine shares one cache, one single-flight domain, and one
+//! persistent store. See DESIGN.md §8 for the wire protocol, admission
+//! control, and drain semantics.
+//!
+//! Layers:
+//! * [`proto`] — versioned, length-prefixed JSON frames.
+//! * [`server`] — accept loop, bounded worker pool, admission gate,
+//!   graceful drain.
+//! * [`client`] — blocking client with retries, plus [`RemoteTuner`]
+//!   (remote-first [`simgpu::Tuner`] with in-process fallback).
+//! * [`metrics`] — server counters and latency percentiles.
+
+pub mod client;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientConfig, ClientError, RemoteReport, RemoteTuner};
+pub use metrics::ServeStats;
+pub use proto::{ErrKind, FrameError, Request, Response, WireKernel, WireOutcome, PROTO_VERSION};
+pub use server::{DrainReport, MethodRegistry, Server, ServerConfig, ServerHandle};

@@ -1,0 +1,211 @@
+//! Server-side observability: request counters and a fixed-bucket
+//! request-latency histogram.
+//!
+//! The histogram trades exactness for a wait-free hot path: recording a
+//! latency is one atomic increment into a log-spaced bucket, and
+//! percentiles are answered from the bucket counts (reported as the upper
+//! bound of the bucket containing the quantile — an over-estimate by at
+//! most one bucket width, which is what you want from an SLO number).
+
+use crate::proto::WireOutcome;
+use schedcache::StatsSnapshot;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Bucket upper bounds, microseconds (log-spaced ~2.5×); an implicit
+/// overflow bucket catches everything slower than 10 s.
+const BUCKET_BOUNDS_US: [u64; 17] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000, 10_000_000,
+];
+
+/// Wait-free fixed-bucket latency histogram.
+pub struct Histogram {
+    counts: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    total: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record_us(&self, us: u64) {
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Upper bound (µs) of the bucket containing quantile `q` ∈ [0, 1];
+    /// 0 when nothing was recorded. The overflow bucket reports 2× the
+    /// last bound.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.total.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return BUCKET_BOUNDS_US
+                    .get(i)
+                    .copied()
+                    .unwrap_or(2 * BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1]);
+            }
+        }
+        2 * BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1]
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+}
+
+/// Live counters for one server instance.
+#[derive(Default)]
+pub struct Metrics {
+    pub connections: AtomicU64,
+    pub requests: AtomicU64,
+    pub compiles: AtomicU64,
+    pub batches: AtomicU64,
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub coalesced: AtomicU64,
+    pub shed: AtomicU64,
+    pub deadline_expired: AtomicU64,
+    pub proto_errors: AtomicU64,
+    pub latency: Histogram,
+}
+
+impl Metrics {
+    /// Count a compile answered with `outcome`, observed at `us`
+    /// microseconds of request latency.
+    pub fn record_compile(&self, outcome: WireOutcome, us: u64) {
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        match outcome {
+            WireOutcome::Built => &self.misses,
+            WireOutcome::Hit => &self.hits,
+            WireOutcome::Coalesced => &self.coalesced,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.latency.record_us(us);
+    }
+
+    /// Point-in-time wire-format snapshot, merged with the shared cache's
+    /// own counters.
+    pub fn snapshot(&self, started: Instant, cache: StatsSnapshot) -> ServeStats {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ServeStats {
+            uptime_s: started.elapsed().as_secs_f64(),
+            connections: load(&self.connections),
+            requests: load(&self.requests),
+            compiles: load(&self.compiles),
+            batches: load(&self.batches),
+            hits: load(&self.hits),
+            misses: load(&self.misses),
+            coalesced: load(&self.coalesced),
+            shed: load(&self.shed),
+            deadline_expired: load(&self.deadline_expired),
+            proto_errors: load(&self.proto_errors),
+            latency_p50_us: self.latency.quantile_us(0.50),
+            latency_p99_us: self.latency.quantile_us(0.99),
+            cache,
+        }
+    }
+}
+
+/// Serializable server statistics (the `Stats` frame's payload).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Seconds since the server started.
+    pub uptime_s: f64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Frames dispatched (any kind).
+    pub requests: u64,
+    /// Compile requests answered (admitted, not shed).
+    pub compiles: u64,
+    /// Batch precompile requests answered.
+    pub batches: u64,
+    /// Compiles answered from the resident cache.
+    pub hits: u64,
+    /// Compiles that ran a construction.
+    pub misses: u64,
+    /// Compiles collapsed onto another client's in-flight construction.
+    pub coalesced: u64,
+    /// Requests refused with `Busy` by the admission gate.
+    pub shed: u64,
+    /// Admitted requests that missed their deadline.
+    pub deadline_expired: u64,
+    /// Malformed/oversize/truncated frames seen.
+    pub proto_errors: u64,
+    /// Median request latency, microseconds (bucket upper bound).
+    pub latency_p50_us: u64,
+    /// 99th-percentile request latency, microseconds (bucket upper bound).
+    pub latency_p99_us: u64,
+    /// The shared schedule cache's own counters.
+    pub cache: StatsSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_land_in_the_right_bucket() {
+        let h = Histogram::default();
+        for _ in 0..98 {
+            h.record_us(80); // ≤ 100 bucket
+        }
+        h.record_us(40_000); // ≤ 50 ms bucket
+        h.record_us(20_000_000); // overflow
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.50), 100);
+        assert_eq!(h.quantile_us(0.98), 100);
+        assert_eq!(h.quantile_us(0.99), 50_000);
+        assert_eq!(
+            h.quantile_us(1.0),
+            20_000_000,
+            "overflow reports 2× last bound"
+        );
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn compile_outcomes_split_into_the_right_counters() {
+        let m = Metrics::default();
+        m.record_compile(WireOutcome::Built, 900);
+        m.record_compile(WireOutcome::Hit, 30);
+        m.record_compile(WireOutcome::Hit, 40);
+        m.record_compile(WireOutcome::Coalesced, 700);
+        let s = m.snapshot(
+            Instant::now(),
+            schedcache::ScheduleCache::in_memory().stats(),
+        );
+        assert_eq!((s.compiles, s.misses, s.hits, s.coalesced), (4, 1, 2, 1));
+        assert_eq!(
+            s.latency_p50_us, 50,
+            "two 30–40 µs hits pull the median down"
+        );
+        assert!(s.latency_p99_us >= 500);
+    }
+}

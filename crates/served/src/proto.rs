@@ -1,0 +1,407 @@
+//! The wire protocol: versioned, length-prefixed JSON frames.
+//!
+//! Every frame is a 4-byte big-endian payload length followed by exactly
+//! that many bytes of JSON (one `Request` or `Response`). The format is
+//! deliberately boring:
+//!
+//! * **Self-delimiting** — the length prefix makes framing independent of
+//!   payload content, so a reader never scans for delimiters inside JSON.
+//! * **Bounded** — a header announcing more than [`MAX_FRAME_BYTES`] is
+//!   rejected *before* any allocation, so a garbage header cannot make the
+//!   daemon allocate gigabytes.
+//! * **Versioned** — a connection opens with `Hello { proto }`; the server
+//!   refuses mismatched [`PROTO_VERSION`]s with a typed error instead of
+//!   mis-parsing newer frames.
+//! * **Failure-typed** — decode problems are classified
+//!   ([`FrameError::Closed`] / [`Truncated`] / [`TooLarge`] /
+//!   [`Malformed`]) so the server can tell a clean disconnect from a
+//!   protocol violation and count them separately.
+//!
+//! [`Truncated`]: FrameError::Truncated
+//! [`TooLarge`]: FrameError::TooLarge
+//! [`Malformed`]: FrameError::Malformed
+
+use crate::metrics::ServeStats;
+use etir::Etir;
+use hardware::GpuSpec;
+use serde::{Deserialize, Serialize};
+use simgpu::{CompiledKernel, KernelReport};
+use std::io::{Read, Write};
+use tensor_expr::OpSpec;
+
+/// Protocol version; bumped on any incompatible frame change. The
+/// handshake refuses other versions.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Upper bound on one frame's JSON payload (32 MiB — far above any real
+/// schedule, far below an allocation-of-death).
+pub const MAX_FRAME_BYTES: usize = 32 << 20;
+
+/// Client → server frames.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Opens every connection: the client's protocol version.
+    Hello { proto: u32 },
+    /// Liveness probe.
+    Ping,
+    /// Compile one operator for one device with the named method.
+    /// `budget` optionally caps the construction's chain count (Gensor
+    /// only; ignored by other methods and by cache hits, which return the
+    /// banked schedule regardless of budget).
+    Compile {
+        op: OpSpec,
+        gpu: GpuSpec,
+        method: String,
+        budget: Option<u32>,
+    },
+    /// Precompile every unique operator of a model-zoo graph.
+    Batch {
+        model: String,
+        batch: u64,
+        gpu: GpuSpec,
+        method: String,
+    },
+    /// Server counters + latency percentiles + cache statistics.
+    Stats,
+    /// Graceful drain: finish in-flight work, flush the store, exit.
+    Shutdown,
+}
+
+/// Server → client frames.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Handshake accepted; the server's protocol version.
+    Hello { proto: u32 },
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// A compiled schedule and how the shared cache answered.
+    Compiled {
+        outcome: WireOutcome,
+        kernel: WireKernel,
+    },
+    /// Reply to [`Request::Batch`].
+    BatchDone {
+        requested: u64,
+        built: u64,
+        hits: u64,
+        coalesced: u64,
+        wall_s: f64,
+    },
+    /// Reply to [`Request::Stats`].
+    Stats { server: ServeStats },
+    /// Load shed: the admission gate is full. Back off and retry (or
+    /// compile locally); nothing was queued.
+    Busy { inflight: u64, max_inflight: u64 },
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+    /// A typed failure; the connection stays usable unless the transport
+    /// itself broke.
+    Error { kind: ErrKind, message: String },
+}
+
+/// How the shared cache satisfied a [`Request::Compile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireOutcome {
+    /// This request ran the construction.
+    Built,
+    /// Answered from the resident cache.
+    Hit,
+    /// Collapsed onto another client's in-flight construction.
+    Coalesced,
+}
+
+impl From<schedcache::Outcome> for WireOutcome {
+    fn from(o: schedcache::Outcome) -> Self {
+        match o {
+            schedcache::Outcome::Built => WireOutcome::Built,
+            schedcache::Outcome::Hit => WireOutcome::Hit,
+            schedcache::Outcome::Coalesced => WireOutcome::Coalesced,
+        }
+    }
+}
+
+/// Classified server-side failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrKind {
+    /// Client and server [`PROTO_VERSION`]s differ.
+    UnsupportedProto,
+    /// Frame decoded but violated the protocol (bad first frame, garbage
+    /// payload, oversize header).
+    Malformed,
+    /// No such tuning method registered.
+    UnknownMethod,
+    /// No such model in the zoo.
+    UnknownModel,
+    /// The request was admitted but missed its deadline.
+    DeadlineExceeded,
+    /// Anything else (worker died, channel closed, …).
+    Internal,
+}
+
+/// A [`CompiledKernel`] in wire form (field-for-field mirror; kept as a
+/// distinct type so the wire format is explicit, not whatever the
+/// simulator struct happens to be).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireKernel {
+    pub etir: Etir,
+    pub report: KernelReport,
+    pub wall_time_s: f64,
+    pub simulated_tuning_s: f64,
+    pub candidates_evaluated: u64,
+}
+
+impl From<&CompiledKernel> for WireKernel {
+    fn from(k: &CompiledKernel) -> Self {
+        WireKernel {
+            etir: k.etir.clone(),
+            report: k.report.clone(),
+            wall_time_s: k.wall_time_s,
+            simulated_tuning_s: k.simulated_tuning_s,
+            candidates_evaluated: k.candidates_evaluated,
+        }
+    }
+}
+
+impl From<WireKernel> for CompiledKernel {
+    fn from(k: WireKernel) -> Self {
+        CompiledKernel {
+            etir: k.etir,
+            report: k.report,
+            wall_time_s: k.wall_time_s,
+            simulated_tuning_s: k.simulated_tuning_s,
+            candidates_evaluated: k.candidates_evaluated,
+        }
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Peer closed cleanly between frames (EOF at a frame boundary).
+    Closed,
+    /// The read timed out while *idle* (no header byte consumed). The
+    /// server uses this to poll its shutdown flag between frames.
+    IdleTimeout,
+    /// The connection died (or timed out) mid-frame.
+    Truncated,
+    /// The header announced more than [`MAX_FRAME_BYTES`].
+    TooLarge(usize),
+    /// The payload was not valid JSON for the expected frame type.
+    Malformed(String),
+    /// Any other transport error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "peer closed the connection"),
+            FrameError::IdleTimeout => write!(f, "idle read timeout"),
+            FrameError::Truncated => write!(f, "connection died mid-frame"),
+            FrameError::TooLarge(n) => {
+                write!(
+                    f,
+                    "frame of {n} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+                )
+            }
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Write one frame: length prefix + JSON payload, flushed.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> Result<(), FrameError> {
+    let json = serde_json::to_string(msg).map_err(|e| FrameError::Malformed(e.to_string()))?;
+    let bytes = json.as_bytes();
+    if bytes.len() > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge(bytes.len()));
+    }
+    let header = (bytes.len() as u32).to_be_bytes();
+    w.write_all(&header).map_err(FrameError::Io)?;
+    w.write_all(bytes).map_err(FrameError::Io)?;
+    w.flush().map_err(FrameError::Io)
+}
+
+/// Read one frame of type `T`. Distinguishes a clean close (EOF at a
+/// frame boundary) from truncation mid-frame, and an idle read timeout
+/// from one that strands a partial frame.
+pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> Result<T, FrameError> {
+    let mut header = [0u8; 4];
+    read_fully(r, &mut header, true)?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    read_fully(r, &mut payload, false)?;
+    let text = std::str::from_utf8(&payload).map_err(|e| FrameError::Malformed(e.to_string()))?;
+    serde_json::from_str(text).map_err(|e| FrameError::Malformed(e.to_string()))
+}
+
+/// Fill `buf` completely. `at_boundary` selects the failure flavour for a
+/// zero-byte first read (clean close vs truncation) and for a timeout
+/// before any byte arrived (idle vs mid-frame).
+fn read_fully<R: Read>(r: &mut R, buf: &mut [u8], at_boundary: bool) -> Result<(), FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(if at_boundary && got == 0 {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                return Err(if at_boundary && got == 0 {
+                    FrameError::IdleTimeout
+                } else {
+                    FrameError::Truncated
+                })
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemm_compile() -> Request {
+        Request::Compile {
+            op: OpSpec::gemm(1024, 512, 512),
+            gpu: GpuSpec::rtx4090(),
+            method: "gensor".into(),
+            budget: Some(4),
+        }
+    }
+
+    #[test]
+    fn request_round_trips_through_a_frame() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &gemm_compile()).unwrap();
+        let back: Request = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, gemm_compile());
+    }
+
+    #[test]
+    fn several_frames_stream_back_to_back() {
+        let frames = vec![
+            Request::Hello {
+                proto: PROTO_VERSION,
+            },
+            Request::Ping,
+            Request::Stats,
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut r = buf.as_slice();
+        for f in &frames {
+            let back: Request = read_frame(&mut r).unwrap();
+            assert_eq!(&back, f);
+        }
+        assert!(matches!(
+            read_frame::<_, Request>(&mut r),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversize_header_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        buf.extend_from_slice(b"whatever");
+        match read_frame::<_, Request>(&mut buf.as_slice()) {
+            Err(FrameError::TooLarge(n)) => assert_eq!(n, u32::MAX as usize),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_payload_is_malformed_not_fatal() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&7u32.to_be_bytes());
+        buf.extend_from_slice(b"not{json");
+        assert!(matches!(
+            read_frame::<_, Request>(&mut buf.as_slice()),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_mid_frame_is_distinguished_from_clean_close() {
+        let mut full = Vec::new();
+        write_frame(&mut full, &gemm_compile()).unwrap();
+        // Cut inside the payload.
+        let cut = &full[..full.len() - 3];
+        assert!(matches!(
+            read_frame::<_, Request>(&mut &cut[..]),
+            Err(FrameError::Truncated)
+        ));
+        // Cut inside the header.
+        assert!(matches!(
+            read_frame::<_, Request>(&mut &full[..2]),
+            Err(FrameError::Truncated)
+        ));
+        // Empty input is a clean close.
+        assert!(matches!(
+            read_frame::<_, Request>(&mut &full[..0]),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn responses_round_trip_including_errors() {
+        let k = {
+            let spec = GpuSpec::rtx4090();
+            let e = Etir::initial(OpSpec::gemm(64, 64, 64), &spec);
+            let report = simgpu::simulate(&e, &spec).unwrap();
+            WireKernel {
+                etir: e,
+                report,
+                wall_time_s: 0.25,
+                simulated_tuning_s: 0.0,
+                candidates_evaluated: 42,
+            }
+        };
+        let frames = vec![
+            Response::Hello {
+                proto: PROTO_VERSION,
+            },
+            Response::Pong,
+            Response::Compiled {
+                outcome: WireOutcome::Coalesced,
+                kernel: k,
+            },
+            Response::Busy {
+                inflight: 8,
+                max_inflight: 8,
+            },
+            Response::ShuttingDown,
+            Response::Error {
+                kind: ErrKind::UnknownMethod,
+                message: "no method 'frobnicate'".into(),
+            },
+        ];
+        for f in frames {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &f).unwrap();
+            let back: Response = read_frame(&mut buf.as_slice()).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+}

@@ -1,0 +1,686 @@
+//! The daemon: a Unix-socket front end over the shared schedule cache.
+//!
+//! Architecture (all std threads, no async runtime):
+//!
+//! ```text
+//!            accept loop (non-blocking, polls the shutdown flag)
+//!                │ one handler thread per connection
+//!                ▼
+//!   handler: handshake → frame loop ── admission gate ──▶ job queue
+//!                                        │ full → Busy              │
+//!                                        ▼                          ▼
+//!                                   (shed, no queueing)      bounded worker
+//!                                                            pool → shared
+//!                                                            ScheduleCache
+//! ```
+//!
+//! * **Backpressure** is load-shedding, not queueing: the admission gate
+//!   caps *outstanding* compile jobs (queued + running); beyond the cap a
+//!   request is answered `Busy` immediately, so a slow construction can
+//!   never grow an unbounded queue in the daemon.
+//! * **Deadlines** are enforced at the two points the server controls: a
+//!   job that expires while queued is never started, and a handler stops
+//!   waiting (answers `DeadlineExceeded`) when the deadline passes. A
+//!   construction already running is not interrupted — its result still
+//!   lands in the shared cache, so the work is banked, not wasted.
+//! * **Drain**: on a `Shutdown` frame or SIGTERM/SIGINT the accept loop
+//!   closes, handlers finish their current request, workers run the
+//!   remaining admitted jobs, the store is fsynced, and the socket file is
+//!   removed. New work during drain is refused with `ShuttingDown`.
+
+use crate::metrics::{Metrics, ServeStats};
+use crate::proto::{
+    read_frame, write_frame, ErrKind, FrameError, Request, Response, WireOutcome, PROTO_VERSION,
+};
+use gensor::{Gensor, GensorConfig};
+use hardware::GpuSpec;
+use schedcache::{CachedTuner, CompileService, ScheduleCache};
+use simgpu::Tuner;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+use tensor_expr::OpSpec;
+
+/// How the daemon is wired; see the module docs for the moving parts.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Unix-domain socket path (a stale file is replaced at bind).
+    pub socket: PathBuf,
+    /// Compile worker threads.
+    pub workers: usize,
+    /// Max outstanding (queued + running) compile/batch jobs; beyond this
+    /// the server sheds with `Busy`.
+    pub max_inflight: usize,
+    /// Per-request compile deadline.
+    pub deadline: Duration,
+    /// Whether `run` installs SIGTERM/SIGINT handlers that trigger a
+    /// graceful drain (the CLI wants this; embedded tests do not).
+    pub handle_signals: bool,
+}
+
+impl ServerConfig {
+    /// Defaults: one worker per core, `2 × workers` in-flight, 120 s
+    /// deadline, no signal handling.
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ServerConfig {
+            socket: socket.into(),
+            workers: cores,
+            max_inflight: 2 * cores,
+            deadline: Duration::from_secs(120),
+            handle_signals: false,
+        }
+    }
+}
+
+/// A tuning method the daemon can serve. Gensor is kept as a config (so
+/// per-request `budget` can re-instance it with fewer chains and the warm
+/// path can quarter it); everything else is an opaque tuner.
+enum Method {
+    Gensor(GensorConfig),
+    Other(Box<dyn Tuner + Send + Sync>),
+}
+
+/// Named methods the daemon serves; `standard()` mirrors the CLI's
+/// `--method` choices.
+pub struct MethodRegistry {
+    entries: Vec<(String, Method)>,
+}
+
+impl MethodRegistry {
+    /// An empty registry (for tests that register their own tuners).
+    pub fn empty() -> Self {
+        MethodRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The CLI's method set: gensor, roller, ansor, cublas, pytorch.
+    pub fn standard() -> Self {
+        let mut r = Self::empty();
+        r.entries
+            .push(("gensor".into(), Method::Gensor(GensorConfig::default())));
+        r.register("roller", Box::new(roller::Roller::default()));
+        r.register("ansor", Box::new(search::Ansor::default()));
+        r.register("cublas", Box::new(search::VendorLib));
+        r.register("pytorch", Box::new(search::Eager));
+        r
+    }
+
+    /// Add (or replace) a method under `name` (matched case-insensitively,
+    /// with the CLI's aliases).
+    pub fn register(&mut self, name: &str, tuner: Box<dyn Tuner + Send + Sync>) {
+        let name = name.to_ascii_lowercase();
+        self.entries.retain(|(n, _)| *n != name);
+        self.entries.push((name, Method::Other(tuner)));
+    }
+
+    fn get(&self, name: &str) -> Option<&Method> {
+        let canonical = match name.to_ascii_lowercase().as_str() {
+            "vendor" => "cublas".to_string(),
+            "eager" => "pytorch".to_string(),
+            other => other.to_string(),
+        };
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == canonical)
+            .map(|(_, m)| m)
+    }
+}
+
+/// Why `run` returned, plus the final counters.
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// `"shutdown-frame"` or `"signal"`.
+    pub reason: &'static str,
+    /// Final statistics at drain time.
+    pub stats: ServeStats,
+}
+
+/// Admission gate: a permit counter, not a queue. `try_acquire` never
+/// blocks — over the cap the caller sheds with `Busy`.
+struct Gate {
+    inflight: AtomicU64,
+    cap: u64,
+}
+
+impl Gate {
+    fn try_acquire(self: &Arc<Self>) -> Option<Permit> {
+        let mut cur = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.cap {
+                return None;
+            }
+            match self.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(Permit(self.clone())),
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// RAII permit: releases its gate slot when the job finishes (or is
+/// dropped un-run at drain).
+struct Permit(Arc<Gate>);
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// One admitted unit of work.
+struct Job {
+    request: Request,
+    accepted: Instant,
+    deadline: Duration,
+    reply: mpsc::Sender<Response>,
+    /// Held until the worker finishes the job.
+    _permit: Permit,
+}
+
+/// SIGTERM/SIGINT flag (set from the signal handler; an atomic store is
+/// async-signal-safe).
+static TERMINATED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_terminate(_sig: i32) {
+    TERMINATED.store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    // Direct libc `signal(2)` binding: the workspace builds offline with
+    // no libc crate, and an atomic flag is all the handler needs.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_terminate);
+        signal(SIGINT, on_terminate);
+    }
+}
+
+/// The daemon. `bind` + `run`; `handle()` for programmatic shutdown.
+pub struct Server {
+    cfg: ServerConfig,
+    listener: UnixListener,
+    shared: Arc<Shared>,
+}
+
+/// State every handler and worker shares.
+struct Shared {
+    cache: Arc<ScheduleCache>,
+    registry: MethodRegistry,
+    metrics: Metrics,
+    gate: Arc<Gate>,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+impl Shared {
+    fn draining(&self, handle_signals: bool) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+            || (handle_signals && TERMINATED.load(Ordering::SeqCst))
+    }
+
+    fn stats(&self) -> ServeStats {
+        self.metrics.snapshot(self.started, self.cache.stats())
+    }
+
+    /// Run one compile through the shared cache. This is where every
+    /// client process's requests meet one single-flight domain.
+    fn compile(
+        &self,
+        op: &OpSpec,
+        gpu: &GpuSpec,
+        method: &str,
+        budget: Option<u32>,
+    ) -> Result<(simgpu::CompiledKernel, WireOutcome), (ErrKind, String)> {
+        match self.registry.get(method) {
+            None => Err((
+                ErrKind::UnknownMethod,
+                format!("no method '{method}' registered"),
+            )),
+            Some(Method::Gensor(cfg)) => {
+                let mut cfg = cfg.clone();
+                if let Some(b) = budget {
+                    cfg.chains = (b as usize).max(1);
+                }
+                let primary = Gensor::with_config(cfg);
+                let tuner = CachedTuner::for_gensor(&primary, self.cache.clone());
+                let (k, o) = tuner.compile_with_outcome(op, gpu);
+                Ok((k, o.into()))
+            }
+            Some(Method::Other(t)) => {
+                let tuner = CachedTuner::new(t.as_ref(), self.cache.clone());
+                let (k, o) = tuner.compile_with_outcome(op, gpu);
+                Ok((k, o.into()))
+            }
+        }
+    }
+
+    /// Precompile a zoo model's unique operators through the shared cache.
+    fn batch(&self, model: &str, batch: u64, gpu: &GpuSpec, method: &str) -> Response {
+        let graph = match model.to_ascii_lowercase().as_str() {
+            "resnet50" => models::zoo::resnet50(batch),
+            "resnet34" => models::zoo::resnet34(batch),
+            "mobilenetv2" | "mobilenet" => models::zoo::mobilenet_v2(batch),
+            "bert" | "bert-small" => models::zoo::bert_small(batch, 128),
+            "gpt2" => models::zoo::gpt2(batch, 1024),
+            other => {
+                return Response::Error {
+                    kind: ErrKind::UnknownModel,
+                    message: format!("no model '{other}' in the zoo"),
+                }
+            }
+        };
+        // `precompile` fans out internally; half the pool keeps two
+        // concurrent batches from oversubscribing the host.
+        let fanout = (std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            / 2)
+        .max(1);
+        let report = match self.registry.get(method) {
+            None => {
+                return Response::Error {
+                    kind: ErrKind::UnknownMethod,
+                    message: format!("no method '{method}' registered"),
+                }
+            }
+            Some(Method::Gensor(cfg)) => {
+                let primary = Gensor::with_config(cfg.clone());
+                let tuner = CachedTuner::for_gensor(&primary, self.cache.clone());
+                CompileService::with_workers(fanout).precompile(&tuner, &[&graph], gpu)
+            }
+            Some(Method::Other(t)) => {
+                let tuner = CachedTuner::new(t.as_ref(), self.cache.clone());
+                CompileService::with_workers(fanout).precompile(&tuner, &[&graph], gpu)
+            }
+        };
+        Response::BatchDone {
+            requested: report.requested as u64,
+            built: report.built as u64,
+            hits: report.hits as u64,
+            coalesced: report.coalesced as u64,
+            wall_s: report.wall_s,
+        }
+    }
+}
+
+/// Cloneable handle for programmatic shutdown (tests, embedding).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Trigger the same graceful drain a `Shutdown` frame does.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+}
+
+impl Server {
+    /// Bind the socket (replacing a stale file) and assemble the daemon.
+    pub fn bind(
+        cfg: ServerConfig,
+        cache: Arc<ScheduleCache>,
+        registry: MethodRegistry,
+    ) -> std::io::Result<Server> {
+        if let Some(parent) = cfg.socket.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        // A leftover socket file from a dead daemon would make bind fail
+        // with AddrInUse; a *live* daemon also holds the path, so only
+        // remove it if nothing answers.
+        if cfg.socket.exists() && UnixStream::connect(&cfg.socket).is_err() {
+            let _ = std::fs::remove_file(&cfg.socket);
+        }
+        let listener = UnixListener::bind(&cfg.socket)?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            cache,
+            registry,
+            metrics: Metrics::default(),
+            gate: Arc::new(Gate {
+                inflight: AtomicU64::new(0),
+                cap: cfg.max_inflight.max(1) as u64,
+            }),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+        Ok(Server {
+            cfg,
+            listener,
+            shared,
+        })
+    }
+
+    /// A handle usable from other threads while `run` blocks.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Serve until drained (`Shutdown` frame, `ServerHandle::shutdown`, or
+    /// SIGTERM/SIGINT when configured). Returns the final counters.
+    pub fn run(self) -> std::io::Result<DrainReport> {
+        if self.cfg.handle_signals {
+            TERMINATED.store(false, Ordering::SeqCst);
+            install_signal_handlers();
+        }
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<_> = (0..self.cfg.workers.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let shared = self.shared.clone();
+                std::thread::spawn(move || worker_loop(&shared, &rx))
+            })
+            .collect();
+
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if self.shared.draining(self.cfg.handle_signals) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.shared
+                        .metrics
+                        .connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    let shared = self.shared.clone();
+                    let tx = tx.clone();
+                    let cfg = self.cfg.clone();
+                    handlers.push(std::thread::spawn(move || {
+                        handle_connection(stream, &shared, &tx, &cfg)
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            handlers.retain(|h| !h.is_finished());
+        }
+
+        // Drain: handlers observe the flag (their reads time out every
+        // 100 ms) and exit after their current request; workers run the
+        // already-admitted queue dry once the last sender drops.
+        let reason = if self.shared.shutdown.load(Ordering::SeqCst) {
+            "shutdown-frame"
+        } else {
+            "signal"
+        };
+        for h in handlers {
+            let _ = h.join();
+        }
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        self.shared.cache.flush()?;
+        let _ = std::fs::remove_file(&self.cfg.socket);
+        Ok(DrainReport {
+            reason,
+            stats: self.shared.stats(),
+        })
+    }
+}
+
+/// Worker: pull admitted jobs, skip the ones whose deadline already
+/// passed, compile the rest against the shared cache.
+fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<Job>>) {
+    loop {
+        let job = match rx.lock().unwrap_or_else(|p| p.into_inner()).recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders gone: drained
+        };
+        let waited = job.accepted.elapsed();
+        if waited >= job.deadline {
+            shared
+                .metrics
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Response::Error {
+                kind: ErrKind::DeadlineExceeded,
+                message: format!("expired after {:.1} s in queue", waited.as_secs_f64()),
+            });
+            continue;
+        }
+        let response = match &job.request {
+            Request::Compile {
+                op,
+                gpu,
+                method,
+                budget,
+            } => match shared.compile(op, gpu, method, *budget) {
+                Ok((kernel, outcome)) => {
+                    shared
+                        .metrics
+                        .record_compile(outcome, job.accepted.elapsed().as_micros() as u64);
+                    Response::Compiled {
+                        outcome,
+                        kernel: (&kernel).into(),
+                    }
+                }
+                Err((kind, message)) => Response::Error { kind, message },
+            },
+            Request::Batch {
+                model,
+                batch,
+                gpu,
+                method,
+            } => {
+                let r = shared.batch(model, *batch, gpu, method);
+                if matches!(r, Response::BatchDone { .. }) {
+                    shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .metrics
+                        .latency
+                        .record_us(job.accepted.elapsed().as_micros() as u64);
+                }
+                r
+            }
+            other => Response::Error {
+                kind: ErrKind::Internal,
+                message: format!("non-work frame reached the pool: {other:?}"),
+            },
+        };
+        // The handler may have stopped waiting (deadline); the work is
+        // still banked in the cache, only the reply is dropped.
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Per-connection frame loop.
+fn handle_connection(
+    stream: UnixStream,
+    shared: &Shared,
+    tx: &mpsc::Sender<Job>,
+    cfg: &ServerConfig,
+) {
+    let mut stream = stream;
+    // Short read timeout so idle handlers poll the drain flag; writes get
+    // a generous bound so a wedged client cannot pin a handler forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+
+    // Handshake: the first frame must be a version match.
+    let hello = loop {
+        match read_frame::<_, Request>(&mut stream) {
+            Ok(req) => break req,
+            Err(FrameError::IdleTimeout) => {
+                if shared.draining(cfg.handle_signals) {
+                    return;
+                }
+            }
+            Err(_) => {
+                shared.metrics.proto_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    };
+    match hello {
+        Request::Hello { proto } if proto == PROTO_VERSION => {
+            if write_frame(
+                &mut stream,
+                &Response::Hello {
+                    proto: PROTO_VERSION,
+                },
+            )
+            .is_err()
+            {
+                return;
+            }
+        }
+        Request::Hello { proto } => {
+            shared.metrics.proto_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = write_frame(
+                &mut stream,
+                &Response::Error {
+                    kind: ErrKind::UnsupportedProto,
+                    message: format!("server speaks proto {PROTO_VERSION}, client sent {proto}"),
+                },
+            );
+            return;
+        }
+        other => {
+            shared.metrics.proto_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = write_frame(
+                &mut stream,
+                &Response::Error {
+                    kind: ErrKind::Malformed,
+                    message: format!("connection must open with Hello, got {other:?}"),
+                },
+            );
+            return;
+        }
+    }
+
+    loop {
+        let request = match read_frame::<_, Request>(&mut stream) {
+            Ok(req) => req,
+            Err(FrameError::IdleTimeout) => {
+                if shared.draining(cfg.handle_signals) {
+                    return;
+                }
+                continue;
+            }
+            Err(FrameError::Closed) => return,
+            Err(
+                e @ (FrameError::TooLarge(_) | FrameError::Malformed(_) | FrameError::Truncated),
+            ) => {
+                shared.metrics.proto_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(
+                    &mut stream,
+                    &Response::Error {
+                        kind: ErrKind::Malformed,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+        shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let reply = match request {
+            Request::Hello { .. } => Response::Hello {
+                proto: PROTO_VERSION,
+            },
+            Request::Ping => Response::Pong,
+            Request::Stats => Response::Stats {
+                server: shared.stats(),
+            },
+            Request::Shutdown => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                let _ = write_frame(&mut stream, &Response::ShuttingDown);
+                return;
+            }
+            work @ (Request::Compile { .. } | Request::Batch { .. }) => {
+                if shared.draining(cfg.handle_signals) {
+                    Response::ShuttingDown
+                } else {
+                    match shared.gate.try_acquire() {
+                        None => {
+                            shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                            Response::Busy {
+                                inflight: shared.gate.inflight.load(Ordering::Relaxed),
+                                max_inflight: shared.gate.cap,
+                            }
+                        }
+                        Some(permit) => dispatch_work(work, shared, tx, cfg.deadline, permit),
+                    }
+                }
+            }
+        };
+        if write_frame(&mut stream, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// Enqueue one admitted job and wait (bounded by the deadline) for the
+/// pool's answer.
+fn dispatch_work(
+    work: Request,
+    shared: &Shared,
+    tx: &mpsc::Sender<Job>,
+    deadline: Duration,
+    permit: Permit,
+) -> Response {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let accepted = Instant::now();
+    let job = Job {
+        request: work,
+        accepted,
+        deadline,
+        reply: reply_tx,
+        _permit: permit,
+    };
+    if tx.send(job).is_err() {
+        return Response::Error {
+            kind: ErrKind::Internal,
+            message: "worker pool is gone".into(),
+        };
+    }
+    // Small grace past the deadline so a worker's own deadline verdict
+    // (sent just under the wire) wins over ours.
+    match reply_rx.recv_timeout(deadline + Duration::from_millis(250)) {
+        Ok(r) => r,
+        Err(_) => {
+            shared
+                .metrics
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            Response::Error {
+                kind: ErrKind::DeadlineExceeded,
+                message: format!(
+                    "no result within {:.1} s; the construction keeps running and will be cached",
+                    deadline.as_secs_f64()
+                ),
+            }
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! End-to-end tests for the `gensor serve` daemon: real Unix sockets,
+//! real threads, one shared single-flight cache behind them all.
+
+use etir::Etir;
+use hardware::GpuSpec;
+use served::{
+    Client, ClientError, ErrKind, MethodRegistry, Request, Response, Server, ServerConfig,
+    ServerHandle, WireOutcome, PROTO_VERSION,
+};
+use simgpu::{CompiledKernel, Tuner};
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tensor_expr::OpSpec;
+
+fn sock(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("served-integration-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// A tuner that counts constructions and sleeps long enough that
+/// concurrent requests genuinely overlap.
+struct SleepTuner {
+    builds: Arc<AtomicU64>,
+    sleep: Duration,
+}
+
+impl Tuner for SleepTuner {
+    fn name(&self) -> &'static str {
+        "Sleep"
+    }
+
+    fn compile(&self, op: &OpSpec, spec: &GpuSpec) -> CompiledKernel {
+        self.builds.fetch_add(1, Ordering::SeqCst);
+        std::thread::sleep(self.sleep);
+        let e = Etir::initial(op.clone(), spec);
+        let report = simgpu::simulate(&e, spec).unwrap();
+        CompiledKernel {
+            etir: e,
+            report,
+            wall_time_s: self.sleep.as_secs_f64(),
+            simulated_tuning_s: 0.0,
+            candidates_evaluated: 1,
+        }
+    }
+}
+
+/// Spin up a daemon on its own thread; returns the socket path, a
+/// shutdown handle, and the join handle for the drain report.
+fn start(
+    tag: &str,
+    registry: MethodRegistry,
+    tweak: impl FnOnce(&mut ServerConfig),
+) -> (
+    PathBuf,
+    ServerHandle,
+    std::thread::JoinHandle<served::DrainReport>,
+) {
+    let path = sock(tag);
+    let mut cfg = ServerConfig::new(&path);
+    cfg.workers = 8;
+    cfg.max_inflight = 16;
+    tweak(&mut cfg);
+    let cache = Arc::new(schedcache::ScheduleCache::in_memory());
+    let server = Server::bind(cfg, cache, registry).unwrap();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    // The listener exists as soon as `bind` returns, so clients can
+    // connect immediately — no readiness dance needed.
+    (path, handle, join)
+}
+
+fn sleepy_registry(builds: &Arc<AtomicU64>, sleep: Duration) -> MethodRegistry {
+    let mut r = MethodRegistry::empty();
+    r.register(
+        "sleep",
+        Box::new(SleepTuner {
+            builds: builds.clone(),
+            sleep,
+        }),
+    );
+    r
+}
+
+#[test]
+fn eight_concurrent_clients_share_one_construction() {
+    let builds = Arc::new(AtomicU64::new(0));
+    let (path, _handle, join) = start(
+        "single-flight",
+        sleepy_registry(&builds, Duration::from_millis(60)),
+        |_| {},
+    );
+    let spec = GpuSpec::rtx4090();
+    let op = OpSpec::gemm(1024, 512, 512);
+
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let path = path.clone();
+            let op = op.clone();
+            let spec = spec.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&path).unwrap();
+                c.compile(&op, &spec, "sleep", None).unwrap()
+            })
+        })
+        .collect();
+    let results: Vec<_> = clients.into_iter().map(|h| h.join().unwrap()).collect();
+
+    assert_eq!(
+        builds.load(Ordering::SeqCst),
+        1,
+        "eight clients, one construction"
+    );
+    let built = results
+        .iter()
+        .filter(|(_, o)| *o == WireOutcome::Built)
+        .count();
+    assert_eq!(built, 1);
+    let first = &results[0].0;
+    for (k, _) in &results {
+        assert_eq!(k.etir, first.etir, "every client got the same schedule");
+    }
+
+    // The server's own counters agree.
+    let mut c = Client::connect(&path).unwrap();
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.misses, 1, "{stats:?}");
+    assert_eq!(stats.hits + stats.coalesced, 7);
+    assert_eq!(stats.compiles, 8);
+    assert!(stats.latency_p50_us > 0);
+
+    c.shutdown().unwrap();
+    join.join().unwrap();
+    assert!(!path.exists(), "drain removes the socket file");
+}
+
+#[test]
+fn admission_gate_sheds_with_busy_when_full() {
+    let builds = Arc::new(AtomicU64::new(0));
+    let (path, _handle, join) = start(
+        "busy",
+        sleepy_registry(&builds, Duration::from_millis(400)),
+        |cfg| {
+            cfg.workers = 1;
+            cfg.max_inflight = 1;
+        },
+    );
+    let spec = GpuSpec::rtx4090();
+
+    // Occupy the only slot with a slow build…
+    let p2 = path.clone();
+    let s2 = spec.clone();
+    let slow = std::thread::spawn(move || {
+        let mut c = Client::connect(&p2).unwrap();
+        c.compile(&OpSpec::gemm(512, 256, 512), &s2, "sleep", None)
+            .unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(120));
+
+    // …then a second, different op must be shed, not queued.
+    let mut c = Client::connect(&path).unwrap();
+    let err = c
+        .compile(&OpSpec::gemm(2048, 256, 512), &spec, "sleep", None)
+        .unwrap_err();
+    match err {
+        ClientError::Busy {
+            inflight,
+            max_inflight,
+        } => {
+            assert_eq!((inflight, max_inflight), (1, 1));
+        }
+        other => panic!("expected Busy, got {other}"),
+    }
+
+    let (_, outcome) = slow.join().unwrap();
+    assert_eq!(outcome, WireOutcome::Built, "admitted request completed");
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.shed, 1);
+    assert_eq!(builds.load(Ordering::SeqCst), 1, "shed request never ran");
+
+    c.shutdown().unwrap();
+    join.join().unwrap();
+}
+
+#[test]
+fn shutdown_drains_in_flight_work_and_flushes_the_store() {
+    let dir = std::env::temp_dir().join("served-integration-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store_path = dir.join(format!("drain-store-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&store_path);
+
+    let builds = Arc::new(AtomicU64::new(0));
+    let path = sock("drain");
+    let mut cfg = ServerConfig::new(&path);
+    cfg.workers = 2;
+    cfg.max_inflight = 4;
+    let cache = Arc::new(schedcache::ScheduleCache::open(&store_path).unwrap());
+    let server = Server::bind(
+        cfg,
+        cache,
+        sleepy_registry(&builds, Duration::from_millis(300)),
+    )
+    .unwrap();
+    let join = std::thread::spawn(move || server.run().unwrap());
+
+    // A slow compile is mid-construction when the shutdown lands.
+    let p2 = path.clone();
+    let inflight = std::thread::spawn(move || {
+        let mut c = Client::connect(&p2).unwrap();
+        c.compile(
+            &OpSpec::gemm(768, 384, 768),
+            &GpuSpec::rtx4090(),
+            "sleep",
+            None,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    let mut c = Client::connect(&path).unwrap();
+    c.shutdown().unwrap();
+
+    let report = join.join().unwrap();
+    assert_eq!(report.reason, "shutdown-frame");
+
+    // The in-flight construction completed and its answer reached the
+    // client — drain waits, it does not abort.
+    let (kernel, outcome) = inflight
+        .join()
+        .unwrap()
+        .expect("in-flight request answered");
+    assert_eq!(outcome, WireOutcome::Built);
+    assert!(kernel.report.gflops > 0.0);
+    assert_eq!(builds.load(Ordering::SeqCst), 1);
+
+    // The store was flushed on the way out: a fresh cache reloads the
+    // schedule built during drain.
+    let reopened = schedcache::ScheduleCache::open(&store_path).unwrap();
+    assert_eq!(reopened.stats().loaded_from_disk, 1);
+    assert!(!path.exists(), "socket file removed");
+    let _ = std::fs::remove_file(&store_path);
+}
+
+#[test]
+fn version_mismatch_and_garbage_frames_are_rejected() {
+    let builds = Arc::new(AtomicU64::new(0));
+    let (path, _handle, join) = start("garbage", sleepy_registry(&builds, Duration::ZERO), |_| {});
+
+    // Wrong protocol version → typed error.
+    {
+        let mut s = UnixStream::connect(&path).unwrap();
+        served::proto::write_frame(&mut s, &Request::Hello { proto: 999 }).unwrap();
+        let reply: Response = served::proto::read_frame(&mut s).unwrap();
+        match reply {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrKind::UnsupportedProto),
+            other => panic!("expected UnsupportedProto, got {other:?}"),
+        }
+    }
+
+    // An oversize length prefix → connection dropped without a crash.
+    {
+        let mut s = UnixStream::connect(&path).unwrap();
+        s.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        s.flush().unwrap();
+        let mut buf = [0u8; 16];
+        let n = s.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "server closes on an oversize header");
+    }
+
+    // Garbage after a valid handshake → Malformed error frame.
+    {
+        let mut s = UnixStream::connect(&path).unwrap();
+        served::proto::write_frame(
+            &mut s,
+            &Request::Hello {
+                proto: PROTO_VERSION,
+            },
+        )
+        .unwrap();
+        let _: Response = served::proto::read_frame(&mut s).unwrap();
+        let garbage = b"not json at all";
+        s.write_all(&(garbage.len() as u32).to_be_bytes()).unwrap();
+        s.write_all(garbage).unwrap();
+        s.flush().unwrap();
+        let reply: Response = served::proto::read_frame(&mut s).unwrap();
+        match reply {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrKind::Malformed),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    // A truncated frame (header promises more than arrives) is counted,
+    // not fatal.
+    {
+        let mut s = UnixStream::connect(&path).unwrap();
+        served::proto::write_frame(
+            &mut s,
+            &Request::Hello {
+                proto: PROTO_VERSION,
+            },
+        )
+        .unwrap();
+        let _: Response = served::proto::read_frame(&mut s).unwrap();
+        s.write_all(&100u32.to_be_bytes()).unwrap();
+        s.write_all(b"short").unwrap();
+        drop(s); // close mid-frame
+    }
+    std::thread::sleep(Duration::from_millis(250));
+
+    // The daemon is still healthy and counted every abuse.
+    let mut c = Client::connect(&path).unwrap();
+    c.ping().unwrap();
+    let stats = c.stats().unwrap();
+    assert!(stats.proto_errors >= 4, "{stats:?}");
+    c.shutdown().unwrap();
+    join.join().unwrap();
+}
+
+#[test]
+fn unknown_method_and_model_answer_typed_errors() {
+    let builds = Arc::new(AtomicU64::new(0));
+    let (path, _handle, join) = start(
+        "typed-errors",
+        sleepy_registry(&builds, Duration::ZERO),
+        |_| {},
+    );
+    let spec = GpuSpec::rtx4090();
+    let mut c = Client::connect(&path).unwrap();
+
+    let err = c
+        .compile(&OpSpec::gemm(64, 64, 64), &spec, "frobnicate", None)
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ClientError::Remote {
+                kind: ErrKind::UnknownMethod,
+                ..
+            }
+        ),
+        "{err}"
+    );
+
+    let reply = c.batch("not-a-model", 1, &spec, "sleep").unwrap_err();
+    assert!(
+        matches!(
+            reply,
+            ClientError::Remote {
+                kind: ErrKind::UnknownModel,
+                ..
+            }
+        ),
+        "{reply}"
+    );
+
+    // The connection survives typed errors.
+    c.ping().unwrap();
+    c.shutdown().unwrap();
+    join.join().unwrap();
+}
+
+#[test]
+fn batch_precompiles_a_model_through_the_shared_cache() {
+    let builds = Arc::new(AtomicU64::new(0));
+    let (path, _handle, join) = start("batch", sleepy_registry(&builds, Duration::ZERO), |_| {});
+    let spec = GpuSpec::rtx4090();
+    let graph = models::zoo::bert_small(1, 128);
+    let unique = graph.fused_layers().count() as u64;
+
+    let mut c = Client::connect(&path).unwrap();
+    match c.batch("bert", 1, &spec, "sleep").unwrap() {
+        Response::BatchDone {
+            requested,
+            built,
+            hits,
+            coalesced,
+            wall_s,
+        } => {
+            assert_eq!(requested, unique);
+            assert_eq!(built + hits + coalesced, unique);
+            assert_eq!(built, builds.load(Ordering::SeqCst));
+            assert!(wall_s >= 0.0);
+        }
+        other => panic!("expected BatchDone, got {other:?}"),
+    }
+
+    // Compiling one of the model's ops afterwards is a pure hit.
+    let op = graph.fused_layers().next().unwrap().op.clone();
+    let (_, outcome) = c.compile(&op, &spec, "sleep", None).unwrap();
+    assert_eq!(outcome, WireOutcome::Hit);
+
+    c.shutdown().unwrap();
+    join.join().unwrap();
+}
+
+#[test]
+fn expired_requests_answer_deadline_exceeded_but_still_bank_the_kernel() {
+    let builds = Arc::new(AtomicU64::new(0));
+    let (path, _handle, join) = start(
+        "deadline",
+        sleepy_registry(&builds, Duration::from_millis(600)),
+        |cfg| {
+            cfg.deadline = Duration::from_millis(100);
+        },
+    );
+    let spec = GpuSpec::rtx4090();
+    let op = OpSpec::gemm(320, 320, 320);
+    let mut c = Client::connect(&path).unwrap();
+
+    let err = c.compile(&op, &spec, "sleep", None).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ClientError::Remote {
+                kind: ErrKind::DeadlineExceeded,
+                ..
+            }
+        ),
+        "{err}"
+    );
+
+    // The construction was not cancelled: once it lands, a retry is an
+    // instant hit.
+    std::thread::sleep(Duration::from_millis(700));
+    let (_, outcome) = c.compile(&op, &spec, "sleep", None).unwrap();
+    assert_eq!(outcome, WireOutcome::Hit, "abandoned work is banked");
+    assert_eq!(builds.load(Ordering::SeqCst), 1);
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.deadline_expired, 1);
+
+    c.shutdown().unwrap();
+    join.join().unwrap();
+}
+
+#[test]
+fn programmatic_handle_drains_without_a_client() {
+    let builds = Arc::new(AtomicU64::new(0));
+    let (path, handle, join) = start(
+        "handle-drain",
+        sleepy_registry(&builds, Duration::ZERO),
+        |_| {},
+    );
+    let mut c = Client::connect(&path).unwrap();
+    c.ping().unwrap();
+    drop(c);
+    handle.shutdown();
+    let report = join.join().unwrap();
+    assert_eq!(report.reason, "shutdown-frame");
+    assert_eq!(report.stats.connections, 1);
+    assert!(!path.exists());
+}
