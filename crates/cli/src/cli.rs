@@ -13,6 +13,10 @@ use tensor_expr::OpSpec;
 pub enum CliError {
     /// Malformed command line.
     Usage(String),
+    /// A check command (`gensor lint`) ran to completion and found
+    /// problems: the payload is the full report, printed verbatim before
+    /// exiting nonzero (no usage screen).
+    Check(String),
 }
 
 /// Top-level usage text.
@@ -31,6 +35,8 @@ USAGE:
   gensor serve-stats --socket S [--emit E]
   gensor cache stats <file> [--emit E]
   gensor cache compact <file>
+  gensor lint [<op> <dims...> | <model> | zoo] [--gpu G] [--method M]
+              [--batch B] [--budget N] [--json] [--deny-warnings]
   gensor devices
 
 OPS:
@@ -50,9 +56,12 @@ OPTIONS:
   --workers       daemon compile threads (default: cores)
   --max-inflight  admission cap before the daemon sheds with Busy
   --deadline      per-request compile deadline, seconds (default 120)
+  --budget        lint: cap Gensor construction at N chains (faster sweeps)
+  --json          lint: machine-readable report
+  --deny-warnings lint: treat GS02x warnings as failures
 
 MODELS:
-  resnet50 | resnet34 | mobilenetv2 | bert | gpt2
+  resnet50 | resnet34 | mobilenetv2 | bert | gpt2   (lint also takes `zoo`)
 "
     .to_string()
 }
@@ -80,6 +89,9 @@ fn parse_method(name: &str) -> Result<Box<dyn Tuner>, CliError> {
 /// Positional arguments plus `--key value` option pairs.
 type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
 
+/// Options that are bare flags (no value token follows them).
+const BOOL_FLAGS: &[&str] = &["json", "deny-warnings"];
+
 /// Split positional arguments from `--key value` options.
 fn split_args(args: &[String]) -> Result<ParsedArgs<'_>, CliError> {
     let mut pos = Vec::new();
@@ -88,6 +100,11 @@ fn split_args(args: &[String]) -> Result<ParsedArgs<'_>, CliError> {
     while i < args.len() {
         let a = args[i].as_str();
         if let Some(key) = a.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&key) {
+                opts.push((key, ""));
+                i += 1;
+                continue;
+            }
             let val = args
                 .get(i + 1)
                 .ok_or_else(|| CliError::Usage(format!("--{key} needs a value")))?;
@@ -99,6 +116,11 @@ fn split_args(args: &[String]) -> Result<ParsedArgs<'_>, CliError> {
         }
     }
     Ok((pos, opts))
+}
+
+/// Whether a bare `--key` flag is present.
+fn has_flag(opts: &[(&str, &str)], key: &str) -> bool {
+    opts.iter().any(|(k, _)| *k == key)
 }
 
 fn opt<'a>(opts: &[(&str, &'a str)], key: &str, default: &'a str) -> &'a str {
@@ -210,6 +232,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "cache" => cache_cmd(rest, &opts),
         "serve" => serve(rest, &opts),
         "serve-stats" => serve_stats(rest, &opts),
+        "lint" => lint(rest, &opts),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     }
@@ -377,14 +400,7 @@ fn model(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
         Some(r) => r,
         None => local,
     };
-    let graph = match *name {
-        "resnet50" => models::zoo::resnet50(batch),
-        "resnet34" => models::zoo::resnet34(batch),
-        "mobilenetv2" | "mobilenet" => models::zoo::mobilenet_v2(batch),
-        "bert" | "bert-small" => models::zoo::bert_small(batch, 128),
-        "gpt2" => models::zoo::gpt2(batch, 1024),
-        other => return Err(CliError::Usage(format!("unknown model '{other}'"))),
-    };
+    let graph = model_graph(name, batch)?;
     let cm = compile_model(tuner, &graph, &gpu);
     let mut out = String::new();
     let _ = writeln!(out, "model      : {} (batch {})", graph.name, graph.batch);
@@ -406,6 +422,112 @@ fn model(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
         let _ = writeln!(out, "remote     : {}", remote_line(socket, r.report()));
     }
     Ok(out)
+}
+
+/// Model-zoo names `gensor model` and `gensor lint` accept.
+const ZOO_MODELS: &[&str] = &["resnet50", "resnet34", "mobilenetv2", "bert", "gpt2"];
+
+/// Build a zoo graph by CLI name.
+fn model_graph(name: &str, batch: u64) -> Result<models::ModelGraph, CliError> {
+    Ok(match name {
+        "resnet50" => models::zoo::resnet50(batch),
+        "resnet34" => models::zoo::resnet34(batch),
+        "mobilenetv2" | "mobilenet" => models::zoo::mobilenet_v2(batch),
+        "bert" | "bert-small" => models::zoo::bert_small(batch, 128),
+        "gpt2" => models::zoo::gpt2(batch, 1024),
+        other => return Err(CliError::Usage(format!("unknown model '{other}'"))),
+    })
+}
+
+/// Unique operators of one zoo model, in first-appearance order.
+fn unique_ops_of(name: &str, batch: u64, into: &mut Vec<OpSpec>) -> Result<(), CliError> {
+    for l in model_graph(name, batch)?.layers {
+        if !into.contains(&l.op) {
+            into.push(l.op);
+        }
+    }
+    Ok(())
+}
+
+/// `gensor lint` — compile each target operator, run the static schedule
+/// verifier over the winner, and report typed `GS0xx` diagnostics. Any
+/// error — or, under `--deny-warnings`, any warning — makes the command
+/// exit nonzero (via [`CliError::Check`]) with the full report printed.
+fn lint(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
+    let gpu = parse_gpu(opt(opts, "gpu", "rtx4090"))?;
+    let deny = has_flag(opts, "deny-warnings");
+    let as_json = has_flag(opts, "json");
+    let batch: u64 = opt(opts, "batch", "1")
+        .parse()
+        .map_err(|_| CliError::Usage("bad --batch".into()))?;
+    let method_name = opt(opts, "method", "gensor");
+    // `--budget` trades construction coverage for sweep speed (the
+    // verifier's verdict applies to whatever the walk produced).
+    let method: Box<dyn Tuner> = match (method_name, parse_num(opts, "budget")?) {
+        ("gensor", Some(b)) => Box::new(gensor::Gensor::with_config(gensor::GensorConfig {
+            chains: (b as usize).max(1),
+            ..Default::default()
+        })),
+        _ => parse_method(method_name)?,
+    };
+    let target = pos.first().copied().unwrap_or("zoo");
+    let mut ops: Vec<OpSpec> = Vec::new();
+    match target {
+        "gemm" | "gemv" | "conv" | "pool" | "elementwise" => ops.push(parse_op(pos)?),
+        "zoo" => {
+            for name in ZOO_MODELS {
+                unique_ops_of(name, batch, &mut ops)?;
+            }
+        }
+        name => unique_ops_of(name, batch, &mut ops)?,
+    }
+    let reports: Vec<verify::Report> = ops
+        .iter()
+        .map(|op| {
+            let ck = method.compile(op, &gpu);
+            verify::verify_schedule(&ck.etir, Some(&gpu))
+        })
+        .collect();
+    let errors: usize = reports.iter().map(|r| r.error_count()).sum();
+    let warnings: usize = reports.iter().map(|r| r.warning_count()).sum();
+    let failed = errors > 0 || (deny && warnings > 0);
+    let out = if as_json {
+        let arr: Vec<serde_json::Value> = reports.iter().map(|r| r.to_json()).collect();
+        let v = serde_json::json!({
+            "gpu": gpu.name,
+            "method": method.name(),
+            "checked": reports.len() as u64,
+            "errors": errors as u64,
+            "warnings": warnings as u64,
+            "ok": !failed,
+            "reports": serde_json::Value::Array(arr),
+        });
+        serde_json::to_string_pretty(&v).expect("serialize") + "\n"
+    } else {
+        let mut out = String::new();
+        for r in &reports {
+            if r.diagnostics.is_empty() {
+                let _ = writeln!(out, "ok    {}", r.op_label);
+            } else {
+                out.push_str(&r.render());
+            }
+        }
+        let _ = writeln!(
+            out,
+            "lint: {} schedule(s) checked on {} — {} error(s), {} warning(s){}",
+            reports.len(),
+            gpu.name,
+            errors,
+            warnings,
+            if deny { " (deny-warnings)" } else { "" }
+        );
+        out
+    };
+    if failed {
+        Err(CliError::Check(out))
+    } else {
+        Ok(out)
+    }
 }
 
 /// `gensor serve --socket <path>` — run the compilation daemon until a
@@ -571,6 +693,12 @@ fn cache_cmd(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     // `fold`, not `sum()`: an empty f64 sum is `-0.0`, which would print
     // as "-0.000 s" for a fresh cache file.
     let banked: f64 = records.iter().fold(0.0, |a, r| a + r.tuning_s);
+    // Raw inspection sees every parseable record; flag the ones the cache
+    // verifier will refuse to load so a damaged file is visible here too.
+    let illegal = records
+        .iter()
+        .filter(|r| !verify::verify_schedule(&r.etir, None).is_legal())
+        .count();
     match opt(opts, "emit", "summary") {
         "json" => {
             let v = serde_json::json!({
@@ -578,6 +706,7 @@ fn cache_cmd(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
                 "records": report.loaded as u64,
                 "corrupt_lines": report.corrupt as u64,
                 "version_skipped": report.version_skipped as u64,
+                "illegal_records": illegal as u64,
                 "tuning_banked_s": banked,
             });
             Ok(serde_json::to_string_pretty(&v).expect("serialize") + "\n")
@@ -590,6 +719,13 @@ fn cache_cmd(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
                 "records    : {} loaded, {} corrupt, {} foreign-version (skipped)",
                 report.loaded, report.corrupt, report.version_skipped
             );
+            if illegal > 0 {
+                let _ = writeln!(
+                    out,
+                    "verify     : {illegal} record(s) fail static verification \
+                     (rejected at cache load, never served)"
+                );
+            }
             let _ = writeln!(out, "banked     : {banked:.3} s of tuning work");
             if !records.is_empty() {
                 let _ = writeln!(out);
@@ -793,8 +929,39 @@ mod tests {
         // serve-stats against a dead socket reports unreachable, not a
         // hang.
         let err = call("serve-stats --socket /tmp/gensor-cli-test-dead.sock").unwrap_err();
-        let CliError::Usage(msg) = err;
+        let CliError::Usage(msg) = err else {
+            panic!("expected a usage error, got {err:?}");
+        };
         assert!(msg.contains("cannot reach daemon"), "{msg}");
+    }
+
+    #[test]
+    fn lint_single_op_is_clean() {
+        let out = call("lint gemm 512 256 512 --budget 2").unwrap();
+        assert!(out.contains("GEMM[512,256,512]"), "{out}");
+        assert!(out.contains("0 error(s), 0 warning(s)"), "{out}");
+    }
+
+    #[test]
+    fn lint_json_is_machine_readable() {
+        let out = call("lint gemv 1024 512 --budget 2 --json").unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(true));
+        assert_eq!(v["errors"].as_u64(), Some(0));
+        assert_eq!(v["checked"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn lint_model_sweeps_unique_ops() {
+        let out = call("lint bert --budget 1 --deny-warnings").unwrap();
+        assert!(out.contains("0 error(s)"), "{out}");
+        assert!(out.contains("(deny-warnings)"), "{out}");
+    }
+
+    #[test]
+    fn lint_usage_errors() {
+        assert!(matches!(call("lint frobnicate"), Err(CliError::Usage(_))));
+        assert!(matches!(call("lint gemm 1 2"), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -18,6 +18,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(output) => print!("{output}"),
+        Err(CliError::Check(output)) => {
+            print!("{output}");
+            std::process::exit(1);
+        }
         Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}\n");
             eprint!("{}", cli::usage());

@@ -9,6 +9,17 @@ use etir::{Etir, LoopNest};
 
 /// Render the scheduled loop structure as indented pseudo-code.
 pub fn emit_pseudo(e: &Etir) -> String {
+    // Same contract as `emit_cuda`: an illegal schedule must fail loudly
+    // here, not lower into a nonsense nest.
+    #[cfg(debug_assertions)]
+    {
+        let vr = verify::verify_schedule(e, None);
+        assert!(
+            vr.is_legal(),
+            "refusing to lower illegal schedule:\n{}",
+            vr.render()
+        );
+    }
     let nest = LoopNest::from_etir(e);
     format!(
         "// {} — {}\n{}",

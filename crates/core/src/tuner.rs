@@ -133,6 +133,17 @@ impl Tuner for Gensor {
                 (e, r)
             }
         };
+        // Construction-by-analysis must never emit an illegal schedule;
+        // prove it in debug builds before anyone lowers or caches this.
+        #[cfg(debug_assertions)]
+        {
+            let vr = verify::verify_schedule(&etir, Some(spec));
+            assert!(
+                vr.is_legal(),
+                "tuner produced illegal schedule:\n{}",
+                vr.render()
+            );
+        }
         CompiledKernel {
             etir,
             report,

@@ -16,4 +16,4 @@
 pub mod presets;
 pub mod spec;
 
-pub use spec::{GpuSpec, LevelKind, MemLevel};
+pub use spec::{GpuSpec, LevelKind, MemLevel, SpecError};

@@ -198,10 +198,15 @@ mod tests {
 
     #[test]
     fn all_presets_validate() {
-        for spec in GpuSpec::all_presets() {
-            spec.validate()
-                .unwrap_or_else(|e| panic!("{} invalid: {e}", spec.name));
-        }
+        let failures: Vec<String> = GpuSpec::all_presets()
+            .iter()
+            .filter_map(|spec| {
+                spec.validate()
+                    .err()
+                    .map(|e| format!("{} invalid: {e}", spec.name))
+            })
+            .collect();
+        assert!(failures.is_empty(), "{failures:?}");
     }
 
     #[test]

@@ -103,19 +103,82 @@ pub struct GpuSpec {
     pub levels: Vec<MemLevel>,
 }
 
+/// Why a [`GpuSpec`] is not internally consistent. Surfaced as a typed
+/// value so spec problems become diagnostics, not crashes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The hierarchy defines no memory levels at all.
+    NoLevels { spec: String },
+    /// A required level kind is absent from the hierarchy.
+    MissingLevel { spec: String, kind: LevelKind },
+    /// Bandwidth decreases moving toward compute.
+    InvertedBandwidth { outer: String, inner: String },
+    /// Latency increases moving toward compute.
+    InvertedLatency { outer: String, inner: String },
+    /// A single block may allocate more shared memory than one SM has.
+    SmemBlockExceedsSm { block: u64, sm: u64 },
+    /// A single block may hold more threads than one SM hosts.
+    ThreadsBlockExceedsSm { block: u32, sm: u32 },
+    /// Zero SMs or non-positive peak throughput.
+    NonPositiveCompute { spec: String },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::NoLevels { spec } => write!(f, "GpuSpec {spec} has no memory levels"),
+            SpecError::MissingLevel { spec, kind } => {
+                write!(f, "GpuSpec {spec} lacks level {kind:?}")
+            }
+            SpecError::InvertedBandwidth { outer, inner } => {
+                write!(
+                    f,
+                    "bandwidth must increase toward compute: {inner} < {outer}"
+                )
+            }
+            SpecError::InvertedLatency { outer, inner } => {
+                write!(f, "latency must decrease toward compute: {inner} > {outer}")
+            }
+            SpecError::SmemBlockExceedsSm { block, sm } => write!(
+                f,
+                "max_smem_per_block ({block} B) exceeds per-SM capacity ({sm} B)"
+            ),
+            SpecError::ThreadsBlockExceedsSm { block, sm } => write!(
+                f,
+                "max_threads_per_block ({block}) exceeds per-SM thread limit ({sm})"
+            ),
+            SpecError::NonPositiveCompute { spec } => {
+                write!(f, "GpuSpec {spec} has non-positive compute capability")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 impl GpuSpec {
     /// Index of the first level with the given kind, if present.
     pub fn level_index(&self, kind: LevelKind) -> Option<usize> {
         self.levels.iter().position(|l| l.kind == kind)
     }
 
-    /// The level with the given kind. Panics if the spec lacks it; every
-    /// preset defines all four kinds.
-    pub fn level(&self, kind: LevelKind) -> &MemLevel {
+    /// The level with the given kind, or a typed error when the spec
+    /// lacks it (every preset defines all four kinds).
+    pub fn try_level(&self, kind: LevelKind) -> Result<&MemLevel, SpecError> {
         self.levels
             .iter()
             .find(|l| l.kind == kind)
-            .unwrap_or_else(|| panic!("GpuSpec {} lacks level {kind:?}", self.name))
+            .ok_or_else(|| SpecError::MissingLevel {
+                spec: self.name.clone(),
+                kind,
+            })
+    }
+
+    /// The level with the given kind. Panics if the spec lacks it; use
+    /// [`GpuSpec::try_level`] where a missing level should be a
+    /// diagnostic rather than a crash.
+    pub fn level(&self, kind: LevelKind) -> &MemLevel {
+        self.try_level(kind).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Indices of the schedulable levels, ordered far → near
@@ -147,9 +210,11 @@ impl GpuSpec {
     }
 
     /// Basic internal-consistency checks; every preset must pass.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), SpecError> {
         if self.levels.is_empty() {
-            return Err("no memory levels".into());
+            return Err(SpecError::NoLevels {
+                spec: self.name.clone(),
+            });
         }
         for kind in [
             LevelKind::Dram,
@@ -157,33 +222,39 @@ impl GpuSpec {
             LevelKind::Shared,
             LevelKind::Register,
         ] {
-            if self.level_index(kind).is_none() {
-                return Err(format!("missing level {kind:?}"));
-            }
+            self.try_level(kind)?;
         }
         // Levels must be ordered far → near: bandwidth must not decrease.
         for w in self.levels.windows(2) {
             if w[1].bandwidth_bytes_per_us < w[0].bandwidth_bytes_per_us {
-                return Err(format!(
-                    "bandwidth must increase toward compute: {} < {}",
-                    w[1].name, w[0].name
-                ));
+                return Err(SpecError::InvertedBandwidth {
+                    outer: w[0].name.clone(),
+                    inner: w[1].name.clone(),
+                });
             }
             if w[1].latency_ns > w[0].latency_ns {
-                return Err(format!(
-                    "latency must decrease toward compute: {} > {}",
-                    w[1].name, w[0].name
-                ));
+                return Err(SpecError::InvertedLatency {
+                    outer: w[0].name.clone(),
+                    inner: w[1].name.clone(),
+                });
             }
         }
         if self.max_smem_per_block > self.smem_per_sm() {
-            return Err("max_smem_per_block exceeds per-SM capacity".into());
+            return Err(SpecError::SmemBlockExceedsSm {
+                block: self.max_smem_per_block,
+                sm: self.smem_per_sm(),
+            });
         }
         if self.max_threads_per_block > self.max_threads_per_sm {
-            return Err("max_threads_per_block exceeds per-SM thread limit".into());
+            return Err(SpecError::ThreadsBlockExceedsSm {
+                block: self.max_threads_per_block,
+                sm: self.max_threads_per_sm,
+            });
         }
         if self.peak_fp32_gflops <= 0.0 || self.num_sms == 0 {
-            return Err("non-positive compute capability".into());
+            return Err(SpecError::NonPositiveCompute {
+                spec: self.name.clone(),
+            });
         }
         Ok(())
     }
@@ -255,21 +326,47 @@ mod tests {
     fn validate_rejects_inverted_bandwidth() {
         let mut s = toy_spec();
         s.levels[2].bandwidth_bytes_per_us = 10.0; // SMEM slower than L2
-        assert!(s.validate().is_err());
+        assert!(matches!(
+            s.validate(),
+            Err(SpecError::InvertedBandwidth { .. })
+        ));
     }
 
     #[test]
     fn validate_rejects_missing_level() {
         let mut s = toy_spec();
         s.levels.remove(1);
-        assert!(s.validate().is_err());
+        assert_eq!(
+            s.validate(),
+            Err(SpecError::MissingLevel {
+                spec: "toy".into(),
+                kind: LevelKind::L2
+            })
+        );
     }
 
     #[test]
     fn validate_rejects_oversized_block_smem() {
         let mut s = toy_spec();
         s.max_smem_per_block = s.smem_per_sm() + 1;
-        assert!(s.validate().is_err());
+        assert!(matches!(
+            s.validate(),
+            Err(SpecError::SmemBlockExceedsSm { .. })
+        ));
+    }
+
+    #[test]
+    fn try_level_reports_missing_kind_as_typed_error() {
+        let mut s = toy_spec();
+        s.levels.remove(1);
+        assert!(s.try_level(LevelKind::Shared).is_ok());
+        assert_eq!(
+            s.try_level(LevelKind::L2),
+            Err(SpecError::MissingLevel {
+                spec: "toy".into(),
+                kind: LevelKind::L2
+            })
+        );
     }
 
     #[test]

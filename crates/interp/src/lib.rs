@@ -23,8 +23,58 @@ pub mod tensor;
 
 pub use exec::execute_scheduled;
 pub use reference::execute_reference;
-pub use staged::execute_gemm_staged;
+pub use staged::{execute_gemm_staged, try_execute_gemm_staged};
 pub use tensor::Tensor;
+
+/// Typed failure from the reference executors, so sweeps (`gensor lint`,
+/// data-driven tests) can record a finding and keep going instead of
+/// aborting the whole run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The executor does not implement this operator class.
+    UnsupportedOp {
+        /// Which executor declined.
+        executor: &'static str,
+        /// `OpSpec::label()` of the operator.
+        op: String,
+    },
+    /// The scheduled execution disagrees with the direct reference.
+    Mismatch {
+        /// `OpSpec::label()` of the operator.
+        op: String,
+        /// `Etir::describe()` of the offending schedule.
+        schedule: String,
+        /// First disagreeing flat output index.
+        index: usize,
+        /// Reference value at that index.
+        want: f32,
+        /// Scheduled-execution value at that index.
+        got: f32,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnsupportedOp { executor, op } => {
+                write!(f, "{executor} does not support {op}")
+            }
+            ExecError::Mismatch {
+                op,
+                schedule,
+                index,
+                want,
+                got,
+            } => write!(
+                f,
+                "schedule {schedule} computes wrong value for {op} at flat index {index}: \
+                 want {want}, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
 
 /// Compare two tensors elementwise with relative tolerance.
 ///
@@ -37,21 +87,26 @@ pub fn mismatch(a: &Tensor, b: &Tensor, rel_tol: f32) -> Option<usize> {
     })
 }
 
-/// Convenience: run both executors on deterministic data and assert equality.
-///
-/// Panics with a diagnostic on mismatch; used pervasively by tests across
-/// the workspace.
-pub fn check_schedule(e: &etir::Etir) {
+/// Run both executors on deterministic data and compare, returning the
+/// first disagreement as a typed error.
+pub fn try_check_schedule(e: &etir::Etir) -> Result<(), ExecError> {
     let inputs = tensor::make_inputs(&e.op, 7);
     let want = execute_reference(&e.op, &inputs);
     let got = execute_scheduled(e, &inputs);
-    if let Some(idx) = mismatch(&want, &got, 1e-4) {
-        panic!(
-            "schedule {} computes wrong value for {} at flat index {idx}: want {}, got {}",
-            e.describe(),
-            e.op.label(),
-            want.data[idx],
-            got.data[idx]
-        );
+    match mismatch(&want, &got, 1e-4) {
+        None => Ok(()),
+        Some(index) => Err(ExecError::Mismatch {
+            op: e.op.label(),
+            schedule: e.describe(),
+            index,
+            want: want.data[index],
+            got: got.data[index],
+        }),
     }
+}
+
+/// Convenience: [`try_check_schedule`] that panics with the diagnostic;
+/// used pervasively by tests across the workspace.
+pub fn check_schedule(e: &etir::Etir) {
+    try_check_schedule(e).unwrap_or_else(|err| panic!("{err}"));
 }

@@ -19,11 +19,23 @@ use tensor_expr::OpSpec;
 /// Execute a scheduled GEMM through emulated shared-memory staging.
 ///
 /// Panics if `e.op` is not a GEMM — the staging layout (`As[TK][TM]`,
-/// `Bs[TK][TN]`) is the GEMM kernel's.
+/// `Bs[TK][TN]`) is the GEMM kernel's. Use [`try_execute_gemm_staged`]
+/// where an unsupported operator should be a value, not an abort.
 pub fn execute_gemm_staged(e: &Etir, inputs: &[Tensor]) -> Tensor {
+    try_execute_gemm_staged(e, inputs).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// [`execute_gemm_staged`] returning a typed error on non-GEMM operators,
+/// so op-suite sweeps can skip rather than abort.
+pub fn try_execute_gemm_staged(e: &Etir, inputs: &[Tensor]) -> Result<Tensor, crate::ExecError> {
     let (m, k, n) = match e.op {
         OpSpec::Gemm { m, k, n } => (m as usize, k as usize, n as usize),
-        _ => panic!("execute_gemm_staged expects a GEMM, got {}", e.op.label()),
+        _ => {
+            return Err(crate::ExecError::UnsupportedOp {
+                executor: "execute_gemm_staged",
+                op: e.op.label(),
+            })
+        }
     };
     let nest = LoopNest::from_etir(e);
     let (tm, tn) = (nest.smem_tile[0] as usize, nest.smem_tile[1] as usize);
@@ -122,7 +134,7 @@ pub fn execute_gemm_staged(e: &Etir, inputs: &[Tensor]) -> Tensor {
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -233,5 +245,26 @@ mod tests {
         let op = tensor_expr::OpSpec::gemm(48, 24, 40);
         let ck = simgpu::Tuner::compile(&gensor::Gensor::default(), &op, &spec);
         check_staged(&ck.etir);
+    }
+}
+
+#[cfg(test)]
+mod typed_error_tests {
+    use super::*;
+    use crate::tensor::make_inputs;
+    use hardware::GpuSpec;
+
+    #[test]
+    fn non_gemm_is_a_typed_unsupported_op() {
+        let spec = GpuSpec::rtx4090();
+        let e = Etir::initial(tensor_expr::OpSpec::gemv(64, 32), &spec);
+        let inputs = make_inputs(&e.op, 3);
+        match try_execute_gemm_staged(&e, &inputs) {
+            Err(crate::ExecError::UnsupportedOp { executor, op }) => {
+                assert_eq!(executor, "execute_gemm_staged");
+                assert!(op.to_lowercase().contains("gemv"), "{op}");
+            }
+            other => panic!("expected UnsupportedOp, got {other:?}"),
+        }
     }
 }

@@ -55,7 +55,8 @@ impl ScheduleCache {
 
     /// A cache backed by the JSONL file at `path`, pre-seeded with every
     /// valid record already there. Corrupt or foreign-version lines are
-    /// skipped and counted (see [`StatsSnapshot`]).
+    /// skipped and counted, and records that parse but fail static
+    /// verification are rejected and counted (see [`StatsSnapshot`]).
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
         Self::with_store(Some(Store::open(path.as_ref())), None)
     }
@@ -79,6 +80,15 @@ impl ScheduleCache {
             cache.stats.record_load(&report);
             let mut index = cache.index.write();
             for rec in records {
+                // A store record is untrusted input: bit rot or a foreign
+                // writer can yield a line that parses but encodes an
+                // illegal schedule. Structural verification (no device
+                // spec is available at load time) gates admission; a
+                // reject is counted and never becomes a servable entry.
+                if !verify::verify_schedule(&rec.etir, None).is_legal() {
+                    cache.stats.record_rejected();
+                    continue;
+                }
                 let kernel = CompiledKernel {
                     etir: rec.etir.clone(),
                     report: rec.report,
@@ -198,21 +208,60 @@ impl ScheduleCache {
             Outcome::Coalesced => self.stats.record_coalesced(),
             Outcome::Built => {
                 self.stats.record_miss(kernel.wall_time_s, used_seeds);
-                self.index.write().push((key, kernel.etir.clone()));
-                self.prune_index();
-                if let Some(store) = &self.store {
-                    let rec = store::record(key, op.label(), method, &kernel);
-                    if let Err(e) = store.append(&rec) {
-                        eprintln!(
-                            "schedcache: could not persist {} to {}: {e}",
-                            op.label(),
-                            store.path().display()
-                        );
+                if verify::verify_schedule(&kernel.etir, Some(spec)).is_legal() {
+                    self.index.write().push((key, kernel.etir.clone()));
+                    self.prune_index();
+                    if let Some(store) = &self.store {
+                        let rec = store::record(key, op.label(), method, &kernel);
+                        if let Err(e) = store.append(&rec) {
+                            eprintln!(
+                                "schedcache: could not persist {} to {}: {e}",
+                                op.label(),
+                                store.path().display()
+                            );
+                        }
                     }
+                } else {
+                    // A builder that produced an illegal schedule still
+                    // gets its answer back (callers that must never see it
+                    // use `get_or_compile_verified`), but the result is
+                    // not banked: never persisted, never offered as a
+                    // warm-start seed.
+                    self.stats.record_rejected();
                 }
             }
         }
         (kernel, outcome)
+    }
+
+    /// [`get_or_compile`] with the answer statically verified against
+    /// `spec` before it is handed out. An illegal schedule — a corrupted
+    /// persistent record that survived parsing, or a builder bug — is
+    /// counted ([`StatsSnapshot::verifier_rejected`]) and returned as the
+    /// typed [`verify::Rejected`] report instead of being served.
+    ///
+    /// [`get_or_compile`]: ScheduleCache::get_or_compile
+    pub fn get_or_compile_verified<F>(
+        &self,
+        op: &OpSpec,
+        spec: &GpuSpec,
+        method: &str,
+        build: F,
+    ) -> Result<(Arc<CompiledKernel>, Outcome), verify::Rejected>
+    where
+        F: FnOnce(&[Etir]) -> CompiledKernel,
+    {
+        let (kernel, outcome) = self.get_or_compile(op, spec, method, build);
+        let report = verify::verify_schedule(&kernel.etir, Some(spec));
+        if report.is_legal() {
+            Ok((kernel, outcome))
+        } else {
+            if outcome != Outcome::Built {
+                // Built rejects were already counted at banking time.
+                self.stats.record_rejected();
+            }
+            Err(verify::Rejected(report))
+        }
     }
 }
 
@@ -401,6 +450,57 @@ mod tests {
         });
         assert_eq!(o, Outcome::Hit);
         assert_eq!(k.etir, first);
+    }
+
+    #[test]
+    fn corrupted_store_record_is_rejected_not_served() {
+        let path = tmpfile("verify-reject");
+        let _ = std::fs::remove_file(&path);
+        let spec = GpuSpec::rtx4090();
+        let op = OpSpec::gemm(512, 512, 512);
+        // Hand-craft a record that parses fine but encodes an illegal
+        // schedule (zero vthreads), as bit rot or a foreign writer could.
+        {
+            let store = Store::open(&path);
+            let mut kernel = build(&op, &spec);
+            kernel.etir.vthreads[0] = 0;
+            let key = CacheKey::new(&op, &spec, "Gensor");
+            let rec = store::record(key, op.label(), "Gensor", &kernel);
+            store.append(&rec).unwrap();
+        }
+        let cache = ScheduleCache::open(&path).unwrap();
+        assert_eq!(cache.len(), 0, "illegal record must not become resident");
+        let s = cache.stats();
+        assert_eq!(s.verifier_rejected, 1);
+        assert_eq!(s.corrupt_lines, 0, "the line itself parsed fine");
+        // The poisoned entry is never served: the request reruns the
+        // construction and the verified path hands back a legal kernel.
+        let (k, o) = cache
+            .get_or_compile_verified(&op, &spec, "Gensor", |_| build(&op, &spec))
+            .expect("fresh build is legal");
+        assert_eq!(o, Outcome::Built);
+        assert!(k.etir.vthreads.iter().all(|&v| v > 0));
+    }
+
+    #[test]
+    fn verified_path_rejects_an_illegal_build_with_a_typed_report() {
+        let spec = GpuSpec::rtx4090();
+        let cache = ScheduleCache::in_memory();
+        let op = OpSpec::gemm(256, 256, 256);
+        let err = cache
+            .get_or_compile_verified(&op, &spec, "Gensor", |_| {
+                let mut k = build(&op, &spec);
+                k.etir.reg_tile[0] = 3; // breaks tile divisibility
+                k
+            })
+            .expect_err("illegal build must be rejected");
+        assert!(err.0.error_count() > 0);
+        assert!(err.to_string().contains("rejected"));
+        assert_eq!(cache.stats().verifier_rejected, 1);
+        // The reject was never banked as a warm-start seed.
+        assert!(cache
+            .neighbours(&OpSpec::gemm(320, 256, 256), &spec, 4)
+            .is_empty());
     }
 
     #[test]

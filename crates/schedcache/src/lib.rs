@@ -23,6 +23,12 @@
 //!   whole model graphs through the cache.
 //! * [`stats`] — hit/miss/dedup/warm-start counters and compile-latency
 //!   percentiles for the `gensor cache` CLI.
+//!
+//! Every schedule that crosses a trust boundary is statically verified
+//! (`verify` crate): persistent records are checked at load, construction
+//! winners are re-proved before they are banked or offered as warm-start
+//! seeds, and the `*_verified` entry points return the typed [`Rejected`]
+//! report instead of ever serving an illegal schedule.
 
 pub mod cache;
 pub mod key;
@@ -39,3 +45,4 @@ pub use service::{CompileService, ServiceReport};
 pub use stats::StatsSnapshot;
 pub use store::{CacheRecord, CompactReport, LoadReport, Store};
 pub use tuner::CachedTuner;
+pub use verify::Rejected;

@@ -18,6 +18,7 @@ struct Inner {
     loaded_from_disk: u64,
     corrupt_lines: u64,
     version_skipped: u64,
+    verifier_rejected: u64,
     saved_tuning_s: f64,
     compile_latencies_s: Vec<f64>,
 }
@@ -46,6 +47,10 @@ pub struct StatsSnapshot {
     pub corrupt_lines: u64,
     /// Store lines skipped as written by another format version.
     pub version_skipped: u64,
+    /// Schedules the static verifier refused — a parseable store record
+    /// whose schedule is illegal, or a builder result that failed
+    /// re-verification. Counted, never loaded, banked, or served.
+    pub verifier_rejected: u64,
     /// Resident schedules evicted by the in-memory LRU bound (0 when the
     /// cache is unbounded; filled in by `ScheduleCache::stats`).
     pub evictions: u64,
@@ -84,6 +89,12 @@ impl Stats {
         self.inner.lock().coalesced += 1;
     }
 
+    /// Count a schedule the static verifier refused to load, bank, or
+    /// serve.
+    pub fn record_rejected(&self) {
+        self.inner.lock().verifier_rejected += 1;
+    }
+
     /// Absorb a [`LoadReport`] from opening the persistent store.
     pub fn record_load(&self, report: &LoadReport) {
         let mut g = self.inner.lock();
@@ -112,6 +123,7 @@ impl Stats {
             loaded_from_disk: g.loaded_from_disk,
             corrupt_lines: g.corrupt_lines,
             version_skipped: g.version_skipped,
+            verifier_rejected: g.verifier_rejected,
             evictions: 0,
             saved_tuning_s: g.saved_tuning_s,
             compiles: lat.len() as u64,
@@ -146,7 +158,9 @@ mod tests {
         s.record_hit(0.6);
         s.record_hit(0.6);
         s.record_coalesced();
+        s.record_rejected();
         let snap = s.snapshot();
+        assert_eq!(snap.verifier_rejected, 1);
         assert_eq!(snap.misses, 2);
         assert_eq!(snap.warm_starts, 1);
         assert_eq!(snap.hits, 2);

@@ -82,6 +82,30 @@ impl<'a> CachedTuner<'a> {
         }
         (k, outcome)
     }
+
+    /// [`compile_with_outcome`] through the cache's verified path: the
+    /// answer is statically proved legal for `spec` before it is returned,
+    /// and an illegal schedule comes back as the typed
+    /// [`verify::Rejected`] report instead of a kernel.
+    ///
+    /// [`compile_with_outcome`]: CachedTuner::compile_with_outcome
+    pub fn compile_verified(
+        &self,
+        op: &OpSpec,
+        spec: &GpuSpec,
+    ) -> Result<(CompiledKernel, Outcome), verify::Rejected> {
+        let (kernel, outcome) =
+            self.cache
+                .get_or_compile_verified(op, spec, self.inner.name(), |seeds| {
+                    construct(self.inner, self.warm.as_ref(), seeds, op, spec)
+                })?;
+        let mut k = (*kernel).clone();
+        if outcome != Outcome::Built {
+            k.wall_time_s = 0.0;
+            k.simulated_tuning_s = 0.0;
+        }
+        Ok((k, outcome))
+    }
 }
 
 /// One construction: the wrapped method, or — given seeds and a warm
@@ -101,6 +125,9 @@ pub(crate) fn construct(
     let transplanted: Vec<Etir> = seeds
         .iter()
         .filter_map(|n| transplant(n, op, spec))
+        // A cross-device transplant is a guess; prove each one legal on
+        // the *target* device before racing it against construction.
+        .filter(|e| verify::verify_schedule(e, Some(spec)).is_legal())
         .collect();
     let best_seed = pick_best(&transplanted, spec);
     let mut fresh = warm.compile(op, spec);

@@ -134,6 +134,9 @@ pub enum ErrKind {
     UnknownModel,
     /// The request was admitted but missed its deadline.
     DeadlineExceeded,
+    /// The compiled schedule failed static verification and was refused —
+    /// never served from the cache, never banked.
+    Rejected,
     /// Anything else (worker died, channel closed, …).
     Internal,
 }

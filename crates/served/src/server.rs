@@ -258,13 +258,20 @@ impl Shared {
                 }
                 let primary = Gensor::with_config(cfg);
                 let tuner = CachedTuner::for_gensor(&primary, self.cache.clone());
-                let (k, o) = tuner.compile_with_outcome(op, gpu);
-                Ok((k, o.into()))
+                // The verified path: a schedule that fails static
+                // analysis (corrupted store record, builder bug) is a
+                // typed error on the wire, never a served kernel.
+                match tuner.compile_verified(op, gpu) {
+                    Ok((k, o)) => Ok((k, o.into())),
+                    Err(rej) => Err((ErrKind::Rejected, rej.to_string())),
+                }
             }
             Some(Method::Other(t)) => {
                 let tuner = CachedTuner::new(t.as_ref(), self.cache.clone());
-                let (k, o) = tuner.compile_with_outcome(op, gpu);
-                Ok((k, o.into()))
+                match tuner.compile_verified(op, gpu) {
+                    Ok((k, o)) => Ok((k, o.into())),
+                    Err(rej) => Err((ErrKind::Rejected, rej.to_string())),
+                }
             }
         }
     }

@@ -1,0 +1,217 @@
+//! Bounds analysis: interval reasoning over the lowered loop structure.
+//!
+//! For every spatial dimension the lowered kernel computes a global index
+//!
+//! ```text
+//! g = block·T + ((v·td + t)·r + rr)        T = extent-clamped smem tile
+//!     block ∈ [0, grid)   v ∈ [0, vthreads)   t ∈ [0, td)   rr ∈ [0, r)
+//! ```
+//!
+//! The pass evaluates the exact maximum of that expression and proves
+//! `max(g) < padded_extent` (GS011) and `padded_extent ≥ true extent`
+//! (GS010). It then derives the explicit [`etir::loops::Nest`] and checks
+//! that its volume equals the padded iteration space and that the loops
+//! bound to grid/vthread/thread multiply out to the schedule's own counts
+//! (GS012) — a disagreement means lowering and analysis have diverged and
+//! nothing downstream can be trusted.
+
+use crate::diag::{Code, Diagnostic};
+use crate::pass::{Ctx, Pass};
+use etir::loops::Binding;
+
+/// The interval + nest-volume analysis.
+pub struct BoundsPass;
+
+impl BoundsPass {
+    /// Per-dim maximum global index reachable by the decomposition.
+    fn max_index(nest: &etir::LoopNest, i: usize) -> u64 {
+        let t = nest.smem_tile[i];
+        let (g, v, td, r) = (
+            nest.grid[i],
+            nest.vthreads[i],
+            nest.thread_dims[i],
+            nest.reg_tile[i],
+        );
+        // Each factor takes its maximum; all factors are ≥ 1 post-gate.
+        (g - 1) * t + ((v - 1) * td + (td - 1)) * r + (r - 1)
+    }
+}
+
+impl Pass for BoundsPass {
+    fn name(&self) -> &'static str {
+        "bounds"
+    }
+
+    fn run(&self, ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+        let nest = ctx.nest;
+        let sp_ext = nest.op.spatial_extents();
+        let mut lower_ok = true;
+
+        for (i, &ext) in sp_ext.iter().enumerate() {
+            if nest.padded_extents[i] < ext {
+                lower_ok = false;
+                out.push(Diagnostic::new(
+                    Code::CoverageGap,
+                    self.name(),
+                    format!(
+                        "dim {i}: padded extent {} < operator extent {ext}",
+                        nest.padded_extents[i]
+                    ),
+                ));
+            }
+            let max = Self::max_index(nest, i);
+            if max >= nest.padded_extents[i] {
+                lower_ok = false;
+                out.push(Diagnostic::new(
+                    Code::OutOfBounds,
+                    self.name(),
+                    format!(
+                        "dim {i}: max index {} reaches past padded extent {} \
+                         (grid {} · tile {}, vt {}, threads {}, reg {})",
+                        max,
+                        nest.padded_extents[i],
+                        nest.grid[i],
+                        nest.smem_tile[i],
+                        nest.vthreads[i],
+                        nest.thread_dims[i],
+                        nest.reg_tile[i]
+                    ),
+                ));
+            }
+        }
+
+        // Reduce axes: the staged loop runs steps·tile iterations with a
+        // zero-fill mask past the true extent; prove the steps bookkeeping
+        // covers the extent without a fully-masked trailing step.
+        let rd_ext = nest.op.reduce_extents();
+        for (j, &ext) in rd_ext.iter().enumerate() {
+            let tile = nest.reduce_tile[j].min(ext.next_power_of_two()).max(1);
+            let steps = nest.reduce_steps[j];
+            if steps * tile < ext {
+                lower_ok = false;
+                out.push(Diagnostic::new(
+                    Code::ReduceTile,
+                    self.name(),
+                    format!(
+                        "reduce dim {j}: {steps} steps of tile {tile} cover only {} of extent {ext}",
+                        steps * tile
+                    ),
+                ));
+            } else if steps > 1 && (steps - 1) * tile >= ext {
+                out.push(Diagnostic::new(
+                    Code::ReduceTile,
+                    self.name(),
+                    format!(
+                        "reduce dim {j}: final step of {steps}·{tile} is entirely masked \
+                         (extent {ext})",
+                    ),
+                ));
+            }
+        }
+
+        // Deriving the explicit nest needs the split factors to divide; an
+        // OOB/coverage error above already implies they may not, so only
+        // derive when the interval phase was clean.
+        if !lower_ok {
+            return;
+        }
+        let explicit = nest.to_nest();
+        let spatial_padded: u128 = nest.padded_extents.iter().map(|&x| x as u128).product();
+        let reduce_padded: u128 = nest
+            .reduce_steps
+            .iter()
+            .zip(&nest.reduce_tile)
+            .map(|(&s, &t)| (s * t) as u128)
+            .product();
+        let want = spatial_padded * reduce_padded;
+        if explicit.volume() != want {
+            out.push(Diagnostic::new(
+                Code::VolumeMismatch,
+                self.name(),
+                format!(
+                    "derived nest volume {} ≠ padded iteration space {want}",
+                    explicit.volume()
+                ),
+            ));
+        }
+        for (binding, want, what) in [
+            (Binding::Grid, nest.total_blocks(), "grid loops"),
+            (
+                Binding::VThread,
+                nest.vthreads.iter().product::<u64>(),
+                "vthread loops",
+            ),
+            (Binding::Thread, nest.threads_per_block(), "thread loops"),
+        ] {
+            let got: u64 = explicit
+                .loops()
+                .iter()
+                .filter(|l| l.binding == binding)
+                .map(|l| l.extent)
+                .product();
+            if got != want {
+                out.push(Diagnostic::new(
+                    Code::VolumeMismatch,
+                    self.name(),
+                    format!("{what} multiply to {got}, schedule says {want}"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etir::{Etir, LoopNest};
+    use hardware::GpuSpec;
+    use tensor_expr::OpSpec;
+
+    fn ctx_run(e: &Etir) -> Vec<Diagnostic> {
+        let nest = LoopNest::from_etir(e);
+        let mut out = Vec::new();
+        BoundsPass.run(
+            &Ctx {
+                etir: e,
+                nest: &nest,
+                spec: None,
+            },
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn initial_state_is_in_bounds() {
+        let e = Etir::initial(OpSpec::gemm(100, 60, 16), &GpuSpec::rtx4090());
+        assert!(ctx_run(&e).is_empty());
+    }
+
+    #[test]
+    fn tiled_ragged_gemm_is_in_bounds() {
+        let spec = GpuSpec::rtx4090();
+        let mut e = Etir::initial(OpSpec::gemm(100, 60, 24), &spec);
+        for _ in 0..5 {
+            e = e.apply(&etir::Action::Tile { dim: 0 });
+        }
+        assert!(ctx_run(&e).is_empty());
+    }
+
+    #[test]
+    fn tile_past_the_extent_clamp_is_out_of_bounds() {
+        // Extent 8 clamps the block tile to 8, but the raw tile says 32:
+        // thread_dims is derived from the raw tile, so vt·td·r = 32 lanes
+        // index into an 8-wide padded dim.
+        let spec = GpuSpec::rtx4090();
+        let mut e = Etir::initial(OpSpec::gemm(8, 64, 8), &spec);
+        e.smem_tile[0] = 32;
+        e.reg_tile[0] = 2;
+        e.vthreads[0] = 2;
+        assert!(e.validate().is_ok(), "gate must pass for bounds to run");
+        let diags = ctx_run(&e);
+        assert!(
+            diags.iter().any(|d| d.code == Code::OutOfBounds),
+            "{diags:?}"
+        );
+    }
+}

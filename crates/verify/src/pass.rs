@@ -1,0 +1,27 @@
+//! The pass abstraction: every analysis is a [`Pass`] over a shared
+//! [`Ctx`], emitting [`Diagnostic`]s into a common sink.
+
+use crate::diag::Diagnostic;
+use etir::{Etir, LoopNest};
+use hardware::GpuSpec;
+
+/// Everything a pass may look at. Built once per verification run, after
+/// the structural gate has proven the state is safe to lower.
+pub struct Ctx<'a> {
+    /// The compact schedule state.
+    pub etir: &'a Etir,
+    /// Its resolved loop extents (extent-clamped tiles, grid, threads).
+    pub nest: &'a LoopNest,
+    /// Target device, when known. Hardware-dependent checks (capacity,
+    /// bank conflicts, occupancy) are skipped when `None` — codegen, for
+    /// example, verifies nests without a device in hand.
+    pub spec: Option<&'a GpuSpec>,
+}
+
+/// One static analysis over a schedule.
+pub trait Pass {
+    /// Stable name used in diagnostics and `--json` output.
+    fn name(&self) -> &'static str;
+    /// Run the analysis, appending findings to `out`.
+    fn run(&self, ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>);
+}

@@ -1,0 +1,142 @@
+//! Race / aliasing analysis: distinct threads must own disjoint
+//! register-tile footprints of the shared-memory tile they cooperate on.
+//!
+//! The staged kernels decompose each block-tile coordinate as
+//!
+//! ```text
+//! lm = (v·td + t)·r + rr      v: virtual thread, t: physical thread,
+//!                             rr: register-tile offset
+//! ```
+//!
+//! and every (virtual, physical) thread accumulates into — then writes
+//! back — the `lm` positions it claims. The schedule is race-free iff this
+//! map is a **bijection** onto `[0, T)` per dimension: an overlap means
+//! two threads write the same output element (lost update, GS013); a gap
+//! means an element nobody owns (garbage output, GS014). The pass proves
+//! it by exhaustive enumeration of the claim map — tiles are at most a few
+//! thousand elements, so the proof is exact, not sampled.
+
+use crate::diag::{Code, Diagnostic};
+use crate::pass::{Ctx, Pass};
+
+/// Enumeration cutoff: above this tile width the pass falls back to the
+/// algebraic criterion (`r·v·td == T`, which for the canonical mixed-radix
+/// decomposition is equivalent to bijectivity).
+const ENUM_LIMIT: u64 = 1 << 16;
+
+/// The write-set disjointness analysis.
+pub struct RacePass;
+
+impl Pass for RacePass {
+    fn name(&self) -> &'static str {
+        "race"
+    }
+
+    fn run(&self, ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+        let nest = ctx.nest;
+        for i in 0..nest.smem_tile.len() {
+            let t_ext = nest.smem_tile[i];
+            let (v, td, r) = (nest.vthreads[i], nest.thread_dims[i], nest.reg_tile[i]);
+            let lanes = v * td * r;
+            if lanes != t_ext {
+                out.push(Diagnostic::new(
+                    if lanes > t_ext {
+                        Code::WriteOverlap
+                    } else {
+                        Code::WriteGap
+                    },
+                    self.name(),
+                    format!(
+                        "dim {i}: {v} vthreads × {td} threads × reg {r} claim {lanes} \
+                         lanes of a {t_ext}-wide tile",
+                    ),
+                ));
+                continue;
+            }
+            if t_ext > ENUM_LIMIT {
+                continue; // algebraic criterion above already held
+            }
+            // Exhaustive proof: count how many (v, t, rr) triples claim
+            // each tile position.
+            let mut claims = vec![0u32; t_ext as usize];
+            for vi in 0..v {
+                for ti in 0..td {
+                    for rr in 0..r {
+                        let lm = ((vi * td + ti) * r + rr) as usize;
+                        claims[lm] += 1;
+                    }
+                }
+            }
+            if let Some(lm) = claims.iter().position(|&c| c > 1) {
+                out.push(Diagnostic::new(
+                    Code::WriteOverlap,
+                    self.name(),
+                    format!(
+                        "dim {i}: tile position {lm} written by {} threads",
+                        claims[lm]
+                    ),
+                ));
+            }
+            if let Some(lm) = claims.iter().position(|&c| c == 0) {
+                out.push(Diagnostic::new(
+                    Code::WriteGap,
+                    self.name(),
+                    format!("dim {i}: tile position {lm} owned by no thread"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etir::{Action, Etir, LoopNest};
+    use hardware::GpuSpec;
+    use tensor_expr::OpSpec;
+
+    fn run_on(e: &Etir) -> Vec<Diagnostic> {
+        let nest = LoopNest::from_etir(e);
+        let mut out = Vec::new();
+        RacePass.run(
+            &Ctx {
+                etir: e,
+                nest: &nest,
+                spec: None,
+            },
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn legal_vthreaded_schedule_partitions_cleanly() {
+        let spec = GpuSpec::rtx4090();
+        let mut e = Etir::initial(OpSpec::gemm(512, 512, 512), &spec);
+        for _ in 0..6 {
+            e = e.apply(&Action::Tile { dim: 0 });
+            e = e.apply(&Action::Tile { dim: 1 });
+        }
+        e = e.apply(&Action::Cache);
+        for _ in 0..2 {
+            e = e.apply(&Action::Tile { dim: 0 });
+            e = e.apply(&Action::Tile { dim: 1 });
+        }
+        e = e.apply(&Action::SetVthread { dim: 0 });
+        assert!(run_on(&e).is_empty());
+    }
+
+    #[test]
+    fn overclaimed_tile_is_a_write_overlap() {
+        let spec = GpuSpec::rtx4090();
+        let mut e = Etir::initial(OpSpec::gemm(8, 64, 8), &spec);
+        // Raw tile 32 over an 8-wide extent: 32 claimed lanes, 8-wide tile.
+        e.smem_tile[0] = 32;
+        e.reg_tile[0] = 4;
+        let diags = run_on(&e);
+        assert!(
+            diags.iter().any(|d| d.code == Code::WriteOverlap),
+            "{diags:?}"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! The driver: structural gate, lowering, then the pass pipeline.
+
+use crate::bounds::BoundsPass;
+use crate::diag::Report;
+use crate::invariants::{structural, CapacityPass};
+use crate::lints::LintPass;
+use crate::pass::{Ctx, Pass};
+use crate::race::RacePass;
+use etir::{Etir, LoopNest};
+use hardware::GpuSpec;
+
+/// A configured pipeline of analyses.
+///
+/// Verification never panics, whatever garbage the schedule contains: the
+/// structural gate (GS001–GS006) runs on the raw state first, and only
+/// when it finds no error is the state lowered and handed to the
+/// remaining passes — lowering divides by tile products the gate proves
+/// non-zero.
+pub struct Verifier {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl Verifier {
+    /// The standard pipeline: capacity fit, bounds analysis, race check,
+    /// performance lints.
+    pub fn standard() -> Verifier {
+        Verifier {
+            passes: vec![
+                Box::new(CapacityPass),
+                Box::new(BoundsPass),
+                Box::new(RacePass),
+                Box::new(LintPass),
+            ],
+        }
+    }
+
+    /// A pipeline with exactly the given passes (the structural gate
+    /// always runs first regardless).
+    pub fn with_passes(passes: Vec<Box<dyn Pass>>) -> Verifier {
+        Verifier { passes }
+    }
+
+    /// Verify `e`, optionally against a concrete device. With `spec =
+    /// None` the hardware-dependent checks (capacity, bank conflicts,
+    /// occupancy) are skipped; everything structural still runs.
+    pub fn verify(&self, e: &Etir, spec: Option<&GpuSpec>) -> Report {
+        let mut report = Report {
+            op_label: e.op.label(),
+            schedule: e.describe(),
+            gpu: spec.map(|s| s.name.clone()),
+            diagnostics: Vec::new(),
+        };
+        structural(e, &mut report.diagnostics);
+        if report.error_count() > 0 {
+            return report; // unsafe to lower
+        }
+        let nest = LoopNest::from_etir(e);
+        let ctx = Ctx {
+            etir: e,
+            nest: &nest,
+            spec,
+        };
+        for pass in &self.passes {
+            pass.run(&ctx, &mut report.diagnostics);
+        }
+        report
+    }
+}
+
+impl Default for Verifier {
+    fn default() -> Self {
+        Verifier::standard()
+    }
+}
+
+/// One-shot verification with the standard pipeline.
+pub fn verify_schedule(e: &Etir, spec: Option<&GpuSpec>) -> Report {
+    Verifier::standard().verify(e, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Code;
+    use tensor_expr::OpSpec;
+
+    #[test]
+    fn garbage_state_is_rejected_without_panicking() {
+        let spec = GpuSpec::rtx4090();
+        let mut e = Etir::initial(OpSpec::gemm(512, 512, 512), &spec);
+        e.smem_tile = vec![0, 7];
+        e.reg_tile = vec![3, 0];
+        e.vthreads = vec![0, 0];
+        e.reduce_tile = vec![u64::MAX];
+        e.unroll = 0;
+        e.cur_level = 99;
+        let report = verify_schedule(&e, Some(&spec));
+        assert!(!report.is_legal());
+        assert!(report.diagnostics.iter().any(|d| d.code == Code::ZeroTile));
+    }
+
+    #[test]
+    fn clean_initial_state_verifies_with_only_infos() {
+        let spec = GpuSpec::rtx4090();
+        let e = Etir::initial(OpSpec::gemm(512, 512, 512), &spec);
+        let report = verify_schedule(&e, Some(&spec));
+        assert!(report.is_legal(), "{}", report.render());
+        assert_eq!(report.warning_count(), 0, "{}", report.render());
+    }
+
+    #[test]
+    fn specless_verification_skips_hardware_checks() {
+        let spec = GpuSpec::orin_nano();
+        let mut e = Etir::initial(OpSpec::gemm(4096, 4096, 4096), &spec);
+        // A tile far beyond Orin's shared memory: illegal with the spec,
+        // structurally fine without it.
+        e.smem_tile = vec![512, 512];
+        e.reduce_tile = vec![64];
+        let with_spec = verify_schedule(&e, Some(&spec));
+        let without = verify_schedule(&e, None);
+        assert!(!with_spec.is_legal());
+        assert!(without.is_legal(), "{}", without.render());
+    }
+}

@@ -284,3 +284,50 @@ fn cache_persists_schedules_across_reopen() {
     assert_eq!(inner.builds.load(Ordering::SeqCst), 0);
     let _ = std::fs::remove_file(&path);
 }
+
+#[test]
+fn bit_flipped_record_is_rejected_at_load_and_never_served() {
+    let path = tmpfile("verify-reject");
+    let spec = GpuSpec::rtx4090();
+    let op = OpSpec::gemm(768, 384, 768);
+    {
+        let inner = CountingTuner {
+            builds: AtomicU64::new(0),
+        };
+        let cache = Arc::new(ScheduleCache::open(&path).unwrap());
+        let tuner = CachedTuner::new(&inner, cache);
+        let (_, o) = tuner.compile_with_outcome(&op, &spec);
+        assert_eq!(o, Outcome::Built);
+    }
+    // Damage the banked record's *payload* in place: the line still parses
+    // as a CacheRecord, but the schedule inside is illegal (an unroll
+    // factor that is not a power of two).
+    let line = std::fs::read_to_string(&path).unwrap();
+    let mut rec: schedcache::CacheRecord = serde_json::from_str(line.trim()).unwrap();
+    rec.etir.unroll = 3;
+    std::fs::write(&path, serde_json::to_string(&rec).unwrap() + "\n").unwrap();
+
+    // "New process": the verifier refuses the record at load — counted,
+    // not resident — and the request reruns the construction instead of
+    // serving the damaged schedule.
+    let inner = CountingTuner {
+        builds: AtomicU64::new(0),
+    };
+    let cache = Arc::new(ScheduleCache::open(&path).unwrap());
+    let stats = cache.stats();
+    assert_eq!(stats.verifier_rejected, 1, "reject must be counted");
+    assert_eq!(stats.corrupt_lines, 0, "the line itself parsed fine");
+    assert_eq!(cache.len(), 0, "damaged record must not become resident");
+    let tuner = CachedTuner::new(&inner, cache.clone());
+    let (k, o) = tuner
+        .compile_verified(&op, &spec)
+        .expect("rebuilt schedule is legal");
+    assert_eq!(o, Outcome::Built);
+    assert_ne!(k.etir.unroll, 3);
+    assert_eq!(
+        inner.builds.load(Ordering::SeqCst),
+        1,
+        "rebuilt, not served"
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,136 @@
+//! Static-verification properties: every schedule the tuner constructs is
+//! provably legal on its target device, every state reachable through the
+//! construction primitives verifies clean, and damaged schedules never
+//! slip past the verifier.
+
+use etir::{Action, Etir};
+use gensor::{Gensor, GensorConfig};
+use hardware::GpuSpec;
+use proptest::prelude::*;
+use simgpu::Tuner;
+use tensor_expr::{benchmark_suite, OpSpec};
+use verify::verify_schedule;
+
+/// Tuner winners across the paper's 32-operator suite × the GPU presets
+/// verify with zero `GS0xx` errors (warnings allowed — `gensor lint
+/// --deny-warnings` in CI owns the stricter policy).
+#[test]
+fn tuner_output_verifies_clean_across_suite_and_presets() {
+    let presets = GpuSpec::all_presets();
+    let tuner = Gensor::with_config(GensorConfig {
+        chains: 2,
+        ..Default::default()
+    });
+    for (i, cfg) in benchmark_suite().into_iter().enumerate() {
+        // Round-robin the presets: every (operator, device) class pairing
+        // is covered without compiling 32 × presets schedules.
+        let spec = &presets[i % presets.len()];
+        let ck = tuner.compile(&cfg.op, spec);
+        let report = verify_schedule(&ck.etir, Some(spec));
+        assert!(
+            report.is_legal(),
+            "{} on {} failed verification:\n{}",
+            cfg.label,
+            spec.name,
+            report.render()
+        );
+    }
+}
+
+/// Targeted corruption of a legal schedule is always caught — the
+/// verifier is the backstop between a damaged cache record and a launched
+/// kernel.
+#[test]
+fn corrupted_schedules_are_rejected() {
+    let spec = GpuSpec::rtx4090();
+    let ck = Gensor::single_chain(11).compile(&OpSpec::gemm(1024, 512, 512), &spec);
+    let base = ck.etir;
+    assert!(verify_schedule(&base, Some(&spec)).is_legal());
+    type Mutation = (&'static str, Box<dyn Fn(&mut Etir)>);
+    let mutations: Vec<Mutation> = vec![
+        ("zero vthread", Box::new(|e: &mut Etir| e.vthreads[0] = 0)),
+        ("zero reg tile", Box::new(|e: &mut Etir| e.reg_tile[0] = 0)),
+        (
+            "truncated tile vector",
+            Box::new(|e: &mut Etir| {
+                e.smem_tile.pop();
+            }),
+        ),
+        (
+            "non-power-of-two unroll",
+            Box::new(|e: &mut Etir| e.unroll = 3),
+        ),
+        ("level overrun", Box::new(|e: &mut Etir| e.cur_level = 99)),
+        (
+            "absurd reduce tile",
+            Box::new(|e: &mut Etir| e.reduce_tile[0] = 1 << 40),
+        ),
+        (
+            "register blowup",
+            Box::new(|e: &mut Etir| e.reg_tile[0] = 255),
+        ),
+    ];
+    for (what, mutate) in mutations {
+        let mut m = base.clone();
+        mutate(&mut m);
+        let report = verify_schedule(&m, Some(&spec));
+        assert!(!report.is_legal(), "{what} escaped: {}", report.summary());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Any capacity-feasible state reachable through the construction
+    /// primitives verifies with zero errors: the walk cannot step into an
+    /// illegal region, so a verification failure always means corruption,
+    /// never construction.
+    #[test]
+    fn reachable_states_verify_clean(
+        (m, k, n) in (16u64..2048, 4u64..512, 16u64..2048),
+        choices in proptest::collection::vec(any::<u8>(), 0..30),
+    ) {
+        let spec = GpuSpec::rtx4090();
+        let op = OpSpec::gemm(m, k, n);
+        let mut e = Etir::initial(op, &spec);
+        for &c in &choices {
+            let acts = Action::enumerate(&e);
+            if acts.is_empty() {
+                break;
+            }
+            let next = e.apply(&acts[c as usize % acts.len()]);
+            if etir::analytics::MemCheck::check_capacity(&next, &spec).fits() {
+                e = next;
+            }
+        }
+        let report = verify_schedule(&e, Some(&spec));
+        prop_assert!(
+            report.is_legal(),
+            "reachable state failed:\n{}",
+            report.render()
+        );
+    }
+
+    /// The verifier is a total function: arbitrary garbage states produce
+    /// a report (possibly full of errors), never a panic.
+    #[test]
+    fn verifier_never_panics_on_garbage(
+        smem in proptest::collection::vec(0u64..100_000, 0..5),
+        reg in proptest::collection::vec(0u64..300, 0..5),
+        vt in proptest::collection::vec(0u64..64, 0..5),
+        red in proptest::collection::vec(0u64..1 << 20, 0..3),
+        unroll in 0u64..70,
+        level in 0usize..12,
+    ) {
+        let spec = GpuSpec::rtx4090();
+        let mut e = Etir::initial(OpSpec::gemm(512, 256, 512), &spec);
+        e.smem_tile = smem;
+        e.reg_tile = reg;
+        e.vthreads = vt;
+        e.reduce_tile = red;
+        e.unroll = unroll;
+        e.cur_level = level;
+        let _ = verify_schedule(&e, Some(&spec));
+        let _ = verify_schedule(&e, None);
+    }
+}
