@@ -1,0 +1,41 @@
+//! Criterion bench: tracing overhead on the tuner hot path.
+//!
+//! The ISSUE-level budget is < 2 % tuner throughput regression with no
+//! collector installed (the default); `tuning_traced` shows the real cost
+//! of recording every walk step into the ring buffer, for comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simgpu::Tuner;
+use std::sync::Arc;
+
+fn obs_overhead(c: &mut Criterion) {
+    let spec = hardware::GpuSpec::rtx4090();
+    let op = tensor_expr::OpSpec::gemm(1024, 512, 1024);
+    let tuner = gensor::Gensor::single_chain(7);
+
+    let mut group = c.benchmark_group("obs");
+    group.sample_size(20);
+
+    obs::uninstall();
+    group.bench_function("tuning_untraced", |b| b.iter(|| tuner.compile(&op, &spec)));
+
+    let ring = Arc::new(obs::RingCollector::new(1 << 18));
+    obs::install(ring.clone());
+    group.bench_function("tuning_traced", |b| b.iter(|| tuner.compile(&op, &spec)));
+    obs::uninstall();
+
+    // The primitive itself, off and on, for per-event numbers.
+    group.bench_function("event_disabled", |b| {
+        b.iter(|| obs::event!("bench.point", v = 1u64))
+    });
+    obs::install(ring);
+    group.bench_function("event_enabled", |b| {
+        b.iter(|| obs::event!("bench.point", v = 1u64))
+    });
+    obs::uninstall();
+
+    group.finish();
+}
+
+criterion_group!(benches, obs_overhead);
+criterion_main!(benches);

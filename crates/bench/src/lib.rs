@@ -33,7 +33,7 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let path = results_dir().join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value).expect("serialize");
     std::fs::write(&path, json).expect("write json");
-    eprintln!("[saved] {}", path.display());
+    obs::log!(Info, "[saved] {}", path.display());
 }
 
 /// Render an aligned text table.

@@ -31,12 +31,16 @@ USAGE:
   gensor model <name> [--batch B] [--gpu G] [--method M] [--cache F]
                       [--remote S]
   gensor serve --socket S [--cache F] [--cache-cap N] [--workers N]
-               [--max-inflight N] [--deadline SECS]
+               [--max-inflight N] [--deadline SECS] [--compact-bytes N]
   gensor serve-stats --socket S [--emit E]
   gensor cache stats <file> [--emit E]
   gensor cache compact <file>
   gensor lint [<op> <dims...> | <model> | zoo] [--gpu G] [--method M]
               [--batch B] [--budget N] [--json] [--deny-warnings]
+  gensor trace [<op> <dims...> | <model> | matmul] --out FILE [--csv FILE]
+               [--gpu G] [--method M] [--batch B] [--budget N]
+  gensor metrics [<op> <dims...> | <model>] [--socket S] [--gpu G]
+                 [--method M] [--batch B] [--budget N]
   gensor devices
 
 OPS:
@@ -56,9 +60,12 @@ OPTIONS:
   --workers       daemon compile threads (default: cores)
   --max-inflight  admission cap before the daemon sheds with Busy
   --deadline      per-request compile deadline, seconds (default 120)
-  --budget        lint: cap Gensor construction at N chains (faster sweeps)
+  --budget        lint/trace/metrics: cap Gensor construction at N chains
   --json          lint: machine-readable report
   --deny-warnings lint: treat GS02x warnings as failures
+  --compact-bytes serve: compact the store when its file exceeds N bytes
+  --out           trace: Chrome trace_event JSON output (open in Perfetto)
+  --csv           trace: also write the per-walk convergence CSV here
 
 MODELS:
   resnet50 | resnet34 | mobilenetv2 | bert | gpt2   (lint also takes `zoo`)
@@ -233,6 +240,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "serve" => serve(rest, &opts),
         "serve-stats" => serve_stats(rest, &opts),
         "lint" => lint(rest, &opts),
+        "trace" => trace(rest, &opts),
+        "metrics" => metrics_cmd(rest, &opts),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     }
@@ -449,6 +458,45 @@ fn unique_ops_of(name: &str, batch: u64, into: &mut Vec<OpSpec>) -> Result<(), C
     Ok(())
 }
 
+/// Resolve a lint/trace/metrics target — one operator, one zoo model,
+/// `matmul` (a default GEMM), or `zoo` — into the operators to compile.
+fn target_ops(pos: &[&str], batch: u64) -> Result<Vec<OpSpec>, CliError> {
+    let target = pos.first().copied().unwrap_or("zoo");
+    let mut ops: Vec<OpSpec> = Vec::new();
+    match target {
+        "gemm" | "gemv" | "conv" | "pool" | "elementwise" => ops.push(parse_op(pos)?),
+        // Convenience alias: `matmul` with no dims is a default GEMM.
+        "matmul" if pos.len() == 1 => ops.push(OpSpec::gemm(512, 256, 512)),
+        "matmul" => {
+            let mut as_gemm = pos.to_vec();
+            as_gemm[0] = "gemm";
+            ops.push(parse_op(&as_gemm)?);
+        }
+        "zoo" => {
+            for name in ZOO_MODELS {
+                unique_ops_of(name, batch, &mut ops)?;
+            }
+        }
+        name => unique_ops_of(name, batch, &mut ops)?,
+    }
+    Ok(ops)
+}
+
+/// The `--method` tuner, with `--budget` capping Gensor's chain count
+/// (trades construction coverage for sweep speed).
+fn budgeted_method(opts: &[(&str, &str)]) -> Result<Box<dyn Tuner>, CliError> {
+    let method_name = opt(opts, "method", "gensor");
+    match (method_name, parse_num(opts, "budget")?) {
+        ("gensor", Some(b)) => Ok(Box::new(gensor::Gensor::with_config(
+            gensor::GensorConfig {
+                chains: (b as usize).max(1),
+                ..Default::default()
+            },
+        ))),
+        _ => parse_method(method_name),
+    }
+}
+
 /// `gensor lint` — compile each target operator, run the static schedule
 /// verifier over the winner, and report typed `GS0xx` diagnostics. Any
 /// error — or, under `--deny-warnings`, any warning — makes the command
@@ -460,27 +508,8 @@ fn lint(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     let batch: u64 = opt(opts, "batch", "1")
         .parse()
         .map_err(|_| CliError::Usage("bad --batch".into()))?;
-    let method_name = opt(opts, "method", "gensor");
-    // `--budget` trades construction coverage for sweep speed (the
-    // verifier's verdict applies to whatever the walk produced).
-    let method: Box<dyn Tuner> = match (method_name, parse_num(opts, "budget")?) {
-        ("gensor", Some(b)) => Box::new(gensor::Gensor::with_config(gensor::GensorConfig {
-            chains: (b as usize).max(1),
-            ..Default::default()
-        })),
-        _ => parse_method(method_name)?,
-    };
-    let target = pos.first().copied().unwrap_or("zoo");
-    let mut ops: Vec<OpSpec> = Vec::new();
-    match target {
-        "gemm" | "gemv" | "conv" | "pool" | "elementwise" => ops.push(parse_op(pos)?),
-        "zoo" => {
-            for name in ZOO_MODELS {
-                unique_ops_of(name, batch, &mut ops)?;
-            }
-        }
-        name => unique_ops_of(name, batch, &mut ops)?,
-    }
+    let method = budgeted_method(opts)?;
+    let ops = target_ops(pos, batch)?;
     let reports: Vec<verify::Report> = ops
         .iter()
         .map(|op| {
@@ -530,6 +559,88 @@ fn lint(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     }
 }
 
+/// `gensor trace` — compile the target with the tracing collector
+/// installed and write the span stream as Chrome `trace_event` JSON
+/// (loadable at ui.perfetto.dev), optionally with the per-walk
+/// convergence CSV (paper Fig. 8).
+fn trace(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
+    let out_path = opt(opts, "out", "");
+    if out_path.is_empty() {
+        return Err(CliError::Usage("trace needs --out <file>".into()));
+    }
+    let gpu = parse_gpu(opt(opts, "gpu", "rtx4090"))?;
+    let batch: u64 = opt(opts, "batch", "1")
+        .parse()
+        .map_err(|_| CliError::Usage("bad --batch".into()))?;
+    let method = budgeted_method(opts)?;
+    let ops = target_ops(pos, batch)?;
+    let ring = Arc::new(obs::RingCollector::new(1 << 20));
+    obs::install(ring.clone());
+    for op in &ops {
+        let ck = method.compile(op, &gpu);
+        // Verify + emit on this thread so the trace shows the full
+        // pipeline nested under one timeline: tune → verify → codegen.
+        let _ = verify::verify_schedule(&ck.etir, Some(&gpu));
+        let _ = codegen::emit_cuda(&ck.etir);
+    }
+    obs::uninstall();
+    let events = ring.take();
+    std::fs::write(out_path, obs::chrome::trace_json(&events))
+        .map_err(|e| CliError::Usage(format!("cannot write '{out_path}': {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace : {out_path} ({} events from {} op(s) — open at ui.perfetto.dev)",
+        events.len(),
+        ops.len()
+    );
+    let csv_path = opt(opts, "csv", "");
+    if !csv_path.is_empty() {
+        let csv = obs::convergence::walk_csv(&events);
+        let steps = csv.lines().count().saturating_sub(1);
+        std::fs::write(csv_path, csv)
+            .map_err(|e| CliError::Usage(format!("cannot write '{csv_path}': {e}")))?;
+        let _ = writeln!(out, "csv   : {csv_path} ({steps} walk steps)");
+    }
+    Ok(out)
+}
+
+/// `gensor metrics` — Prometheus text exposition. With `--socket`, fetch
+/// a running daemon's registry; otherwise compile the target locally
+/// (twice, so cache hit/miss counters are exercised) and render this
+/// process's registry.
+fn metrics_cmd(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
+    let socket = opt(opts, "socket", "");
+    if !socket.is_empty() {
+        let mut client = served::Client::connect(socket)
+            .map_err(|e| CliError::Usage(format!("cannot reach daemon at '{socket}': {e}")))?;
+        return client
+            .metrics()
+            .map_err(|e| CliError::Usage(format!("metrics request failed: {e}")));
+    }
+    let gpu = parse_gpu(opt(opts, "gpu", "rtx4090"))?;
+    let batch: u64 = opt(opts, "batch", "1")
+        .parse()
+        .map_err(|_| CliError::Usage("bad --batch".into()))?;
+    let method = budgeted_method(opts)?;
+    let ops = if pos.is_empty() {
+        vec![OpSpec::gemm(256, 128, 256)]
+    } else {
+        target_ops(pos, batch)?
+    };
+    let cache = Arc::new(ScheduleCache::in_memory());
+    let tuner = CachedTuner::new(method.as_ref(), cache);
+    for op in &ops {
+        // Two passes per operator: the first misses (tuner + verifier +
+        // cache-miss counters), the second hits.
+        for _ in 0..2 {
+            let (ck, _outcome) = tuner.compile_with_outcome(op, &gpu);
+            let _ = verify::verify_schedule(&ck.etir, Some(&gpu));
+        }
+    }
+    Ok(obs::prometheus::render())
+}
+
 /// `gensor serve --socket <path>` — run the compilation daemon until a
 /// `Shutdown` frame or SIGTERM/SIGINT drains it.
 fn serve(_pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
@@ -554,6 +665,9 @@ fn serve(_pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     }
     if let Some(d) = parse_num(opts, "deadline")? {
         cfg.deadline = std::time::Duration::from_secs(d);
+    }
+    if let Some(b) = parse_num(opts, "compact-bytes")? {
+        cfg.compact_bytes = Some(b);
     }
     let (workers, max_inflight) = (cfg.workers, cfg.max_inflight);
     let server = served::Server::bind(cfg, cache, served::MethodRegistry::standard())
@@ -608,6 +722,16 @@ fn serve_stats(_pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError>
                 out,
                 "latency     : p50 {} µs, p99 {} µs",
                 s.latency_p50_us, s.latency_p99_us
+            );
+            let _ = writeln!(
+                out,
+                "queue       : p50 {} µs, p99 {} µs",
+                s.queue_p50_us, s.queue_p99_us
+            );
+            let _ = writeln!(
+                out,
+                "service     : p50 {} µs, p99 {} µs",
+                s.service_p50_us, s.service_p99_us
             );
             let _ = writeln!(
                 out,
@@ -962,6 +1086,75 @@ mod tests {
     fn lint_usage_errors() {
         assert!(matches!(call("lint frobnicate"), Err(CliError::Usage(_))));
         assert!(matches!(call("lint gemm 1 2"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn trace_writes_perfetto_trace_and_convergence_csv() {
+        let dir = std::env::temp_dir().join("gensor-cli-trace-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join(format!("trace-{}.json", std::process::id()));
+        let csv = dir.join(format!("walks-{}.csv", std::process::id()));
+        let cmd = format!(
+            "trace gemm 256 128 256 --budget 2 --out {} --csv {}",
+            out.display(),
+            csv.display()
+        );
+        let msg = call(&cmd).unwrap();
+        assert!(msg.contains("perfetto"), "{msg}");
+        let trace = std::fs::read_to_string(&out).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&trace).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        let named = |n: &str| {
+            events
+                .iter()
+                .any(|e| e["name"].as_str() == Some(n) && e["ph"].as_str() == Some("X"))
+        };
+        assert!(named("tune"), "no tune span in {trace}");
+        assert!(named("walk"), "no walk span in {trace}");
+        assert!(named("verify"), "no verify span in {trace}");
+        assert!(named("codegen.emit"), "no codegen span in {trace}");
+        let csv_body = std::fs::read_to_string(&csv).unwrap();
+        assert!(
+            csv_body.starts_with(obs::convergence::CSV_HEADER),
+            "{csv_body}"
+        );
+        assert!(csv_body.lines().count() > 1, "no walk steps in {csv_body}");
+    }
+
+    #[test]
+    fn trace_needs_an_output_path() {
+        assert!(matches!(
+            call("trace gemm 64 32 64"),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn metrics_emits_prometheus_text() {
+        let out = call("metrics gemm 128 64 128 --budget 1").unwrap();
+        for name in [
+            "gensor_core_compiles_total",
+            "gensor_core_walk_steps_total",
+            "gensor_cache_hits_total",
+            "gensor_cache_misses_total",
+            "gensor_verify_runs_total",
+        ] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+        assert!(
+            out.contains("# TYPE gensor_core_compiles_total counter"),
+            "{out}"
+        );
+        let samples = obs::prometheus::parse_samples(&out);
+        assert!(!samples.is_empty());
+    }
+
+    #[test]
+    fn serve_rejects_bad_compact_bytes() {
+        assert!(matches!(
+            call("serve --socket /tmp/x.sock --compact-bytes frob"),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -19,6 +19,8 @@ use tensor_expr::OpSpec;
 /// reference loop is small enough to inline in the harness); other classes
 /// get the kernel plus a launch stub.
 pub fn emit_host_harness(e: &Etir) -> String {
+    let _sp = obs::span!("codegen.emit", kind = "harness", op = e.op.label());
+    obs::counter_inc!("gensor_codegen_emits_total", "Code-generation emissions");
     let kernel = emit_cuda(e);
     let nest = LoopNest::from_etir(e);
     let stats = ScheduleStats::compute(e);

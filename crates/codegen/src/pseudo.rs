@@ -9,6 +9,8 @@ use etir::{Etir, LoopNest};
 
 /// Render the scheduled loop structure as indented pseudo-code.
 pub fn emit_pseudo(e: &Etir) -> String {
+    let _sp = obs::span!("codegen.emit", kind = "pseudo", op = e.op.label());
+    obs::counter_inc!("gensor_codegen_emits_total", "Code-generation emissions");
     // Same contract as `emit_cuda`: an illegal schedule must fail loudly
     // here, not lower into a nonsense nest.
     #[cfg(debug_assertions)]

@@ -57,6 +57,7 @@ impl ChainSpace {
     ///
     /// Panics if the space exceeds `max_states` — pick a small operator.
     pub fn enumerate(op: &OpSpec, spec: &GpuSpec, max_states: usize, laziness: f64) -> ChainSpace {
+        let _sp = obs::span!("markov.enumerate", op = op.label(), max_states = max_states);
         assert!((0.0..1.0).contains(&laziness));
         let policy = Policy {
             enable_vthread: false,

@@ -77,6 +77,7 @@ impl Policy {
     pub fn transition_probs(&self, state: &Etir, spec: &GpuSpec, t: u32) -> Vec<ActionProb> {
         let before = ScheduleStats::compute(state);
         let mut rows: Vec<ActionProb> = Vec::new();
+        let mut evals: u64 = 0;
         for action in Action::all(state.spatial_rank(), state.reduce_rank()) {
             if !self.enable_vthread
                 && matches!(
@@ -93,6 +94,7 @@ impl Policy {
                 continue;
             }
             let mut benefit = action_benefit_stats(state, &before, &action, spec);
+            evals += 1;
             if benefit <= 0.0 {
                 continue;
             }
@@ -105,6 +107,12 @@ impl Policy {
                 prob: 0.0,
             });
         }
+        obs::counter_add!(
+            "gensor_core_benefit_evals_total",
+            "Benefit-formula evaluations (Eqs. 1-3) across all transition scorings",
+            evals
+        );
+        obs::event!("benefit.eval", scored = evals, feasible = rows.len(), t = t);
         let total: f64 = rows.iter().map(|r| r.benefit).sum();
         if total <= 0.0 {
             return Vec::new();
@@ -113,6 +121,27 @@ impl Policy {
             r.prob = r.benefit / total;
         }
         rows
+    }
+
+    /// Roulette-wheel draw over an already-scored distribution, returning
+    /// the index of the chosen row (`None` for an empty distribution).
+    /// Consumes exactly one `rng.gen()` when `rows` is non-empty — callers
+    /// that need the chosen row's benefit/probability (the walk's
+    /// convergence telemetry) use this and index, with the same RNG
+    /// sequence as [`Policy::select`].
+    pub fn choose<R: Rng + ?Sized>(&self, rows: &[ActionProb], rng: &mut R) -> Option<usize> {
+        if rows.is_empty() {
+            return None;
+        }
+        let mut ball: f64 = rng.gen();
+        for (i, r) in rows.iter().enumerate() {
+            if ball < r.prob {
+                return Some(i);
+            }
+            ball -= r.prob;
+        }
+        // Floating-point slack: fall back to the last row.
+        Some(rows.len() - 1)
     }
 
     /// Roulette-wheel selection over the transition distribution
@@ -126,18 +155,7 @@ impl Policy {
         rng: &mut R,
     ) -> Option<Action> {
         let rows = self.transition_probs(state, spec, t);
-        if rows.is_empty() {
-            return None;
-        }
-        let mut ball: f64 = rng.gen();
-        for r in &rows {
-            if ball < r.prob {
-                return Some(r.action);
-            }
-            ball -= r.prob;
-        }
-        // Floating-point slack: fall back to the last row.
-        rows.last().map(|r| r.action)
+        self.choose(&rows, rng).map(|i| rows[i].action)
     }
 }
 

@@ -87,6 +87,7 @@ impl Gensor {
             .collect();
         let walk = &self.cfg.walk;
         let results = simgpu::parallel_map(&seeds, |&seed| {
+            let _sp = obs::span!("chain", seed = seed, op = op.label());
             let mut rng = StdRng::seed_from_u64(seed);
             let rec = walk.run(op, spec, &mut rng);
             // Every visited state was scored online; the harvested
@@ -117,6 +118,13 @@ impl Tuner for Gensor {
     }
 
     fn compile(&self, op: &OpSpec, spec: &GpuSpec) -> CompiledKernel {
+        let _sp = obs::span!(
+            "tune",
+            tuner = self.name(),
+            op = op.label(),
+            chains = self.chains_for(op)
+        );
+        obs::counter_inc!("gensor_core_compiles_total", "Gensor tuner compiles run");
         let t0 = Instant::now();
         let per_chain = self.run_chains(op, spec);
         let candidates_evaluated: u64 = per_chain.iter().map(|(_, _, n)| n).sum();

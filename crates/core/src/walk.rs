@@ -96,6 +96,7 @@ impl Walk {
 
     /// Run one walk (Alg. 1).
     pub fn run<R: Rng + ?Sized>(&self, op: &OpSpec, spec: &GpuSpec, rng: &mut R) -> WalkRecord {
+        let sp = obs::span!("walk", op = op.label(), t0 = self.t0);
         let mut e = Etir::initial(op.clone(), spec);
         let rank = op.spatial_extents().len() + op.reduce_extents().len();
         let threshold = self.threshold_for_rank(rank);
@@ -123,30 +124,67 @@ impl Walk {
             // Annealing progress restarts with each construction pass so
             // every pass sees the full low→high cache-probability ramp.
             let t_norm = ((step - pass_start) as u64 * 100 / budget as u64) as u32;
-            let Some(action) = self.policy.select(&e, spec, t_norm, rng) else {
+            // `transition_probs` + `choose` is exactly `Policy::select`
+            // split open (same RNG draw sequence), so the chosen row's
+            // benefit and probability are available to the telemetry below
+            // without perturbing the walk.
+            let rows = self.policy.transition_probs(&e, spec, t_norm);
+            let Some(pick) = self.policy.choose(&rows, rng) else {
                 // Construction complete (or fully blocked) with temperature
                 // budget left: Alg. 1's loop runs until T < threshold, so
                 // re-initialize and spend the remainder on a fresh pass.
                 top.push(e.clone());
                 e = Etir::initial(op.clone(), spec);
                 pass_start = step;
+                let best_now = best_seen.as_ref().map_or(f64::INFINITY, |(_, t)| *t);
+                obs::event!(
+                    "walk.step",
+                    walk = sp.id(),
+                    step = step,
+                    action = "restart",
+                    benefit = 0.0,
+                    probability = 0.0,
+                    temperature = t,
+                    accepted = false,
+                    best_time_us = best_now
+                );
                 t /= 2.0;
                 step += 1;
-                best_time_trace.push(best_seen.as_ref().map_or(f64::INFINITY, |(_, t)| *t));
+                best_time_trace.push(best_now);
                 continue;
             };
-            let next = e.apply(&action);
-            if rng.gen::<f64>() < Self::accept_prob(t) {
+            let row = &rows[pick];
+            let next = e.apply(&row.action);
+            let accepted = rng.gen::<f64>() < Self::accept_prob(t);
+            if accepted {
                 top.push(next.clone());
             }
             consider(&next, &mut best_seen);
-            best_time_trace.push(best_seen.as_ref().map_or(f64::INFINITY, |(_, t)| *t));
+            let best_now = best_seen.as_ref().map_or(f64::INFINITY, |(_, t)| *t);
+            best_time_trace.push(best_now);
+            obs::event!(
+                "walk.step",
+                walk = sp.id(),
+                step = step,
+                action = format!("{:?}", row.action),
+                benefit = row.benefit,
+                probability = row.prob,
+                temperature = t,
+                accepted = accepted,
+                best_time_us = best_now
+            );
             e = next;
             t /= 2.0;
             step += 1;
         }
         // The terminal state is always a candidate.
         top.push(e.clone());
+        obs::counter_add!(
+            "gensor_core_walk_steps_total",
+            "Markov-walk transitions taken (including restarts)",
+            step as u64
+        );
+        obs::counter_inc!("gensor_core_walks_total", "Construction walks run");
         WalkRecord {
             top_results: top,
             steps: step,

@@ -1,0 +1,191 @@
+//! Chrome `trace_event` exporter: renders a recorded event stream as a
+//! JSON object loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! Span Begin/End pairs become complete (`"ph":"X"`) events with explicit
+//! durations — more robust in viewers than raw B/E pairs — reconstructed
+//! with one stack per thread. Point markers and log lines become instant
+//! (`"ph":"i"`) events. The exporter is total: unmatched Begins (a walk
+//! still running when the ring was snapshotted) are closed at the last
+//! observed timestamp rather than dropped.
+
+use crate::event::{Event, EventKind, Value};
+use crate::json;
+
+struct Open<'a> {
+    name: &'static str,
+    ts_us: u64,
+    fields: &'a [(&'static str, Value)],
+}
+
+fn args_json(fields: &[(&'static str, Value)]) -> String {
+    let mut s = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&json::string(k));
+        s.push(':');
+        s.push_str(&json::value(v));
+    }
+    s.push('}');
+    s
+}
+
+fn complete_event(tid: u64, name: &str, ts_us: u64, dur_us: u64, args: &str) -> String {
+    format!(
+        "{{\"name\":{},\"cat\":\"gensor\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us},\"dur\":{dur_us},\"args\":{args}}}",
+        json::string(name)
+    )
+}
+
+fn instant_event(tid: u64, name: &str, ts_us: u64, args: &str) -> String {
+    format!(
+        "{{\"name\":{},\"cat\":\"gensor\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us},\"args\":{args}}}",
+        json::string(name)
+    )
+}
+
+/// Render `events` (in record order) as a Chrome trace JSON document.
+pub fn trace_json(events: &[Event]) -> String {
+    let last_ts = events.iter().map(|e| e.ts_us).max().unwrap_or(0);
+    // One open-span stack per thread; spans never migrate threads.
+    let mut stacks: std::collections::BTreeMap<u64, Vec<Open>> = std::collections::BTreeMap::new();
+    let mut out: Vec<String> = Vec::with_capacity(events.len());
+    for ev in events {
+        match &ev.kind {
+            EventKind::Begin { name } => {
+                stacks.entry(ev.tid).or_default().push(Open {
+                    name,
+                    ts_us: ev.ts_us,
+                    fields: &ev.fields,
+                });
+            }
+            EventKind::End { name } => {
+                let stack = stacks.entry(ev.tid).or_default();
+                // Well-nested in practice; if the ring dropped the matching
+                // Begin, ignore the orphan End rather than mispairing.
+                if let Some(pos) = stack.iter().rposition(|o| o.name == *name) {
+                    let open = stack.remove(pos);
+                    out.push(complete_event(
+                        ev.tid,
+                        open.name,
+                        open.ts_us,
+                        ev.ts_us.saturating_sub(open.ts_us),
+                        &args_json(open.fields),
+                    ));
+                }
+            }
+            EventKind::Point { name } => {
+                out.push(instant_event(
+                    ev.tid,
+                    name,
+                    ev.ts_us,
+                    &args_json(&ev.fields),
+                ));
+            }
+            EventKind::Log { level, message } => {
+                let fields = vec![
+                    ("level", Value::Str(level.as_str().to_string())),
+                    ("message", Value::Str(message.clone())),
+                ];
+                out.push(instant_event(ev.tid, "log", ev.ts_us, &args_json(&fields)));
+            }
+        }
+    }
+    // Close spans still open at snapshot time at the last timestamp.
+    for (tid, stack) in stacks {
+        for open in stack {
+            out.push(complete_event(
+                tid,
+                open.name,
+                open.ts_us,
+                last_ts.saturating_sub(open.ts_us),
+                &args_json(open.fields),
+            ));
+        }
+    }
+    let mut doc = String::from("{\"traceEvents\":[\n");
+    doc.push_str(&out.join(",\n"));
+    doc.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind, Value};
+
+    fn ev(ts_us: u64, tid: u64, kind: EventKind) -> Event {
+        Event {
+            ts_us,
+            tid,
+            kind,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn begin_end_pairs_become_complete_events() {
+        let events = vec![
+            Event {
+                ts_us: 10,
+                tid: 1,
+                kind: EventKind::Begin { name: "tune" },
+                fields: vec![("op", Value::Str("gemm".into())), ("span", Value::U64(1))],
+            },
+            ev(20, 1, EventKind::Begin { name: "verify" }),
+            ev(30, 1, EventKind::End { name: "verify" }),
+            ev(50, 1, EventKind::End { name: "tune" }),
+        ];
+        let doc = trace_json(&events);
+        assert!(doc.contains("\"name\":\"verify\",\"cat\":\"gensor\",\"ph\":\"X\""));
+        assert!(doc.contains("\"ts\":20,\"dur\":10"));
+        assert!(doc.contains("\"ts\":10,\"dur\":40"));
+        assert!(doc.contains("\"op\":\"gemm\""));
+        assert!(doc.starts_with("{\"traceEvents\":["));
+    }
+
+    #[test]
+    fn unmatched_begin_is_closed_at_last_timestamp() {
+        let events = vec![
+            ev(5, 2, EventKind::Begin { name: "walk" }),
+            ev(95, 2, EventKind::Point { name: "walk.step" }),
+        ];
+        let doc = trace_json(&events);
+        assert!(doc.contains("\"ph\":\"i\""));
+        assert!(doc.contains("\"ts\":5,\"dur\":90"));
+    }
+
+    #[test]
+    fn orphan_end_is_dropped_not_mispaired() {
+        let events = vec![
+            ev(5, 1, EventKind::End { name: "ghost" }),
+            ev(6, 1, EventKind::Begin { name: "real" }),
+            ev(9, 1, EventKind::End { name: "real" }),
+        ];
+        let doc = trace_json(&events);
+        assert!(!doc.contains("ghost"));
+        assert!(doc.contains("\"name\":\"real\""));
+    }
+
+    #[test]
+    fn logs_become_instants_with_message_args() {
+        let events = vec![ev(
+            1,
+            1,
+            EventKind::Log {
+                level: crate::Level::Warn,
+                message: "uh oh".into(),
+            },
+        )];
+        let doc = trace_json(&events);
+        assert!(doc.contains("\"level\":\"warn\""));
+        assert!(doc.contains("\"message\":\"uh oh\""));
+    }
+
+    #[test]
+    fn empty_stream_is_still_a_valid_document() {
+        let doc = trace_json(&[]);
+        assert!(doc.contains("\"traceEvents\""));
+    }
+}

@@ -1,0 +1,231 @@
+//! The event model: timestamps, thread ids, levels, structured values.
+//!
+//! Every observation is one [`Event`]: a microsecond timestamp relative to
+//! the process-wide epoch, a small dense thread id, an [`EventKind`], and a
+//! list of structured key/value fields. Events are deliberately flat — the
+//! span hierarchy is reconstructed by exporters from Begin/End pairs and
+//! the `span` field, never stored as a tree at record time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Log severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Chatty diagnostics; only recorded when a collector is installed.
+    Debug,
+    /// Notable but routine events; only recorded when a collector is
+    /// installed.
+    Info,
+    /// Something unexpected that the code recovered from. Falls back to
+    /// stderr when no collector is installed.
+    Warn,
+    /// A failure the caller will observe. Falls back to stderr when no
+    /// collector is installed.
+    Error,
+}
+
+impl Level {
+    /// Lower-case name, as rendered in logs and exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// A structured field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I64(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::Str(v.clone())
+    }
+}
+
+/// What an [`Event`] marks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A span opened. Paired with an [`EventKind::End`] carrying the same
+    /// `span` field.
+    Begin {
+        /// Span name from the static taxonomy (DESIGN §10).
+        name: &'static str,
+    },
+    /// A span closed.
+    End {
+        /// Span name, mirroring the Begin.
+        name: &'static str,
+    },
+    /// An instantaneous marker (e.g. one `walk.step`).
+    Point {
+        /// Marker name.
+        name: &'static str,
+    },
+    /// A leveled log line routed through the collector.
+    Log {
+        /// Severity.
+        level: Level,
+        /// Formatted message.
+        message: String,
+    },
+}
+
+impl EventKind {
+    /// The event's name (`"log"` for log lines).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Begin { name } | EventKind::End { name } | EventKind::Point { name } => name,
+            EventKind::Log { .. } => "log",
+        }
+    }
+}
+
+/// One recorded observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Microseconds since the process-wide trace epoch.
+    pub ts_us: u64,
+    /// Dense per-process thread id (1, 2, …) — *not* the OS tid.
+    pub tid: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Structured key/value fields. Span Begin/End events carry a `span`
+    /// field with the span's process-unique id.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// The value of field `key`, if present.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the trace epoch (first observability call in the
+/// process).
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// Dense thread id: 1 for the first thread that records, 2 for the next…
+/// Stable for the thread's lifetime, compact enough for trace viewers.
+pub fn current_tid() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_by_severity() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+        assert_eq!(Level::Warn.as_str(), "warn");
+    }
+
+    #[test]
+    fn values_convert_from_primitives() {
+        assert_eq!(Value::from(3u64), Value::U64(3));
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(-3i32), Value::I64(-3));
+        assert_eq!(Value::from(0.5), Value::F64(0.5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn time_is_monotone_and_tid_is_stable() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+        assert_eq!(current_tid(), current_tid());
+        let other = std::thread::spawn(current_tid).join().unwrap();
+        assert_ne!(current_tid(), other);
+    }
+
+    #[test]
+    fn field_lookup_finds_values() {
+        let ev = Event {
+            ts_us: 0,
+            tid: 1,
+            kind: EventKind::Point { name: "p" },
+            fields: vec![("a", Value::U64(1)), ("b", Value::Bool(false))],
+        };
+        assert_eq!(ev.field("b"), Some(&Value::Bool(false)));
+        assert_eq!(ev.field("c"), None);
+        assert_eq!(ev.kind.name(), "p");
+    }
+}

@@ -1,0 +1,66 @@
+//! Minimal JSON writing helpers shared by the JSONL collector and the
+//! Chrome-trace exporter. Writing only — the crate never parses JSON.
+
+use crate::event::Value;
+
+/// `s` as a JSON string literal (quoted, escaped).
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A [`Value`] as a JSON value. Non-finite floats become strings (JSON has
+/// no Infinity/NaN literal).
+pub fn value(v: &Value) -> String {
+    match v {
+        Value::U64(n) => n.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::F64(x) if x.is_finite() => {
+            // `{}` on an integral f64 prints without a dot; keep a dot so
+            // typed readers see a float.
+            if x.fract() == 0.0 && x.abs() < 1e15 {
+                format!("{x:.1}")
+            } else {
+                format!("{x}")
+            }
+        }
+        Value::F64(x) => string(&x.to_string()),
+        Value::Bool(b) => b.to_string(),
+        Value::Str(s) => string(s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape_quotes_and_control_chars() {
+        assert_eq!(string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn values_render_as_json() {
+        assert_eq!(value(&Value::U64(3)), "3");
+        assert_eq!(value(&Value::I64(-3)), "-3");
+        assert_eq!(value(&Value::F64(2.5)), "2.5");
+        assert_eq!(value(&Value::F64(2.0)), "2.0");
+        assert_eq!(value(&Value::F64(f64::INFINITY)), "\"inf\"");
+        assert_eq!(value(&Value::Bool(true)), "true");
+        assert_eq!(value(&Value::Str("x".into())), "\"x\"");
+    }
+}

@@ -4,7 +4,7 @@
 use crate::key::CacheKey;
 use crate::map::{Outcome, ShardedMap};
 use crate::stats::{Stats, StatsSnapshot};
-use crate::store::{self, Store};
+use crate::store::{self, CompactReport, Store};
 use etir::Etir;
 use hardware::GpuSpec;
 use simgpu::CompiledKernel;
@@ -138,6 +138,39 @@ impl ScheduleCache {
         }
     }
 
+    /// Compact the persistent store if its file has grown past `max_bytes`.
+    ///
+    /// Returns `Ok(None)` when this cache has no store or the file is still
+    /// under the threshold; `Ok(Some(report))` after a compaction ran. The
+    /// serve daemon calls this periodically so a hot store (many superseded
+    /// rewrites of the same keys) does not grow without bound.
+    pub fn compact_if_larger_than(&self, max_bytes: u64) -> std::io::Result<Option<CompactReport>> {
+        let Some(store) = &self.store else {
+            return Ok(None);
+        };
+        let size = match std::fs::metadata(store.path()) {
+            Ok(meta) => meta.len(),
+            // A store that has never been written has no file yet.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        if size <= max_bytes {
+            return Ok(None);
+        }
+        let _sp = obs::span!("cache.compact", bytes = size);
+        let report = store.compact()?;
+        self.stats.record_compaction();
+        obs::log!(
+            Info,
+            "schedcache: compacted {} ({} bytes): kept {}, dropped {} superseded",
+            store.path().display(),
+            size,
+            report.kept,
+            report.superseded
+        );
+        Ok(Some(report))
+    }
+
     /// Drop neighbour-index entries whose key the map has evicted.
     fn prune_index(&self) {
         let evicted = self.map.drain_evicted();
@@ -214,7 +247,8 @@ impl ScheduleCache {
                     if let Some(store) = &self.store {
                         let rec = store::record(key, op.label(), method, &kernel);
                         if let Err(e) = store.append(&rec) {
-                            eprintln!(
+                            obs::log!(
+                                Warn,
                                 "schedcache: could not persist {} to {}: {e}",
                                 op.label(),
                                 store.path().display()
@@ -319,6 +353,41 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.misses, s.hits), (1, 2));
         assert!(s.saved_tuning_s > 0.0);
+    }
+
+    #[test]
+    fn compact_if_larger_than_respects_the_threshold() {
+        let spec = GpuSpec::rtx4090();
+        let path = tmpfile("compact-threshold");
+        let _ = std::fs::remove_file(&path);
+        {
+            let cache = ScheduleCache::open(&path).unwrap();
+            let op = OpSpec::gemm(512, 256, 512);
+            cache.get_or_compile(&op, &spec, "Gensor", |_| build(&op, &spec));
+            // Under an enormous threshold: nothing to do.
+            assert!(cache.compact_if_larger_than(u64::MAX).unwrap().is_none());
+            assert_eq!(cache.stats().compactions, 0);
+        }
+        // Duplicate every line (as two racing processes would); reopening
+        // and compacting past a 1-byte threshold rewrites the file down to
+        // the live record set.
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, format!("{body}{body}")).unwrap();
+        let cache = ScheduleCache::open(&path).unwrap();
+        let report = cache
+            .compact_if_larger_than(1)
+            .unwrap()
+            .expect("over-threshold store must compact");
+        assert_eq!((report.kept, report.superseded), (1, 1));
+        assert_eq!(cache.stats().compactions, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn in_memory_cache_never_compacts() {
+        let cache = ScheduleCache::in_memory();
+        assert!(cache.compact_if_larger_than(0).unwrap().is_none());
+        assert_eq!(cache.stats().compactions, 0);
     }
 
     #[test]

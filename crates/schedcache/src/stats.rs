@@ -19,6 +19,7 @@ struct Inner {
     corrupt_lines: u64,
     version_skipped: u64,
     verifier_rejected: u64,
+    compactions: u64,
     saved_tuning_s: f64,
     compile_latencies_s: Vec<f64>,
 }
@@ -54,6 +55,9 @@ pub struct StatsSnapshot {
     /// Resident schedules evicted by the in-memory LRU bound (0 when the
     /// cache is unbounded; filled in by `ScheduleCache::stats`).
     pub evictions: u64,
+    /// Store compactions run (CLI `cache compact` or the daemon's
+    /// size-threshold trigger).
+    pub compactions: u64,
     /// Tuning seconds that hits avoided re-spending.
     pub saved_tuning_s: f64,
     /// Constructions actually run (length of the latency sample).
@@ -69,6 +73,7 @@ pub struct StatsSnapshot {
 impl Stats {
     /// Count a memory hit that avoided `saved_s` seconds of tuning.
     pub fn record_hit(&self, saved_s: f64) {
+        obs::counter_inc!("gensor_cache_hits_total", "Requests answered from memory");
         let mut g = self.inner.lock();
         g.hits += 1;
         g.saved_tuning_s += saved_s;
@@ -76,6 +81,21 @@ impl Stats {
 
     /// Count a construction (a miss); `warm` if neighbour seeds were used.
     pub fn record_miss(&self, latency_s: f64, warm: bool) {
+        obs::counter_inc!(
+            "gensor_cache_misses_total",
+            "Requests that ran a construction"
+        );
+        if warm {
+            obs::counter_inc!(
+                "gensor_cache_warm_starts_total",
+                "Misses seeded from cached neighbour schedules"
+            );
+        }
+        obs::histogram_record_us!(
+            "gensor_cache_compile_us",
+            "Construction wall time on cache misses",
+            (latency_s * 1e6) as u64
+        );
         let mut g = self.inner.lock();
         g.misses += 1;
         if warm {
@@ -86,13 +106,30 @@ impl Stats {
 
     /// Count a request collapsed onto another thread's in-flight build.
     pub fn record_coalesced(&self) {
+        obs::counter_inc!(
+            "gensor_cache_coalesced_total",
+            "Requests collapsed onto an in-flight construction"
+        );
         self.inner.lock().coalesced += 1;
     }
 
     /// Count a schedule the static verifier refused to load, bank, or
     /// serve.
     pub fn record_rejected(&self) {
+        obs::counter_inc!(
+            "gensor_cache_verifier_rejected_total",
+            "Schedules the static verifier refused to load, bank, or serve"
+        );
         self.inner.lock().verifier_rejected += 1;
+    }
+
+    /// Count one store compaction.
+    pub fn record_compaction(&self) {
+        obs::counter_inc!(
+            "gensor_cache_compactions_total",
+            "JSONL store compactions run"
+        );
+        self.inner.lock().compactions += 1;
     }
 
     /// Absorb a [`LoadReport`] from opening the persistent store.
@@ -125,6 +162,7 @@ impl Stats {
             version_skipped: g.version_skipped,
             verifier_rejected: g.verifier_rejected,
             evictions: 0,
+            compactions: g.compactions,
             saved_tuning_s: g.saved_tuning_s,
             compiles: lat.len() as u64,
             compile_p50_s: pct(0.50),

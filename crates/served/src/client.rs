@@ -248,6 +248,15 @@ impl Client {
         }
     }
 
+    /// Fetch the server's metric registry in Prometheus text exposition
+    /// format.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(ClientError::Protocol(format!("metrics answered {other:?}"))),
+        }
+    }
+
     /// Ask the daemon to drain and exit. The connection is closed by the
     /// server after it acknowledges.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {

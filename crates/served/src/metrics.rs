@@ -88,12 +88,18 @@ pub struct Metrics {
     pub deadline_expired: AtomicU64,
     pub proto_errors: AtomicU64,
     pub latency: Histogram,
+    pub queue: Histogram,
+    pub service: Histogram,
 }
 
 impl Metrics {
-    /// Count a compile answered with `outcome`, observed at `us`
-    /// microseconds of request latency.
-    pub fn record_compile(&self, outcome: WireOutcome, us: u64) {
+    /// Count a compile answered with `outcome` after waiting `queue_us`
+    /// microseconds in the admission queue and spending `service_us`
+    /// microseconds compiling. Total request latency is the sum; the two
+    /// components get their own histograms so `serve-stats` can tell an
+    /// overloaded daemon (queue grows) from a slow construction (service
+    /// grows).
+    pub fn record_compile(&self, outcome: WireOutcome, queue_us: u64, service_us: u64) {
         self.compiles.fetch_add(1, Ordering::Relaxed);
         match outcome {
             WireOutcome::Built => &self.misses,
@@ -101,7 +107,19 @@ impl Metrics {
             WireOutcome::Coalesced => &self.coalesced,
         }
         .fetch_add(1, Ordering::Relaxed);
-        self.latency.record_us(us);
+        self.latency.record_us(queue_us + service_us);
+        self.queue.record_us(queue_us);
+        self.service.record_us(service_us);
+        obs::histogram_record_us!(
+            "gensor_serve_queue_us",
+            "Time compile requests waited for a worker",
+            queue_us
+        );
+        obs::histogram_record_us!(
+            "gensor_serve_service_us",
+            "Time workers spent answering compile requests",
+            service_us
+        );
     }
 
     /// Point-in-time wire-format snapshot, merged with the shared cache's
@@ -122,6 +140,10 @@ impl Metrics {
             proto_errors: load(&self.proto_errors),
             latency_p50_us: self.latency.quantile_us(0.50),
             latency_p99_us: self.latency.quantile_us(0.99),
+            queue_p50_us: self.queue.quantile_us(0.50),
+            queue_p99_us: self.queue.quantile_us(0.99),
+            service_p50_us: self.service.quantile_us(0.50),
+            service_p99_us: self.service.quantile_us(0.99),
             cache,
         }
     }
@@ -156,6 +178,14 @@ pub struct ServeStats {
     pub latency_p50_us: u64,
     /// 99th-percentile request latency, microseconds (bucket upper bound).
     pub latency_p99_us: u64,
+    /// Median time a compile waited for a worker, microseconds.
+    pub queue_p50_us: u64,
+    /// 99th-percentile queue wait, microseconds.
+    pub queue_p99_us: u64,
+    /// Median time a worker spent answering a compile, microseconds.
+    pub service_p50_us: u64,
+    /// 99th-percentile service time, microseconds.
+    pub service_p99_us: u64,
     /// The shared schedule cache's own counters.
     pub cache: StatsSnapshot,
 }
@@ -193,10 +223,10 @@ mod tests {
     #[test]
     fn compile_outcomes_split_into_the_right_counters() {
         let m = Metrics::default();
-        m.record_compile(WireOutcome::Built, 900);
-        m.record_compile(WireOutcome::Hit, 30);
-        m.record_compile(WireOutcome::Hit, 40);
-        m.record_compile(WireOutcome::Coalesced, 700);
+        m.record_compile(WireOutcome::Built, 100, 800);
+        m.record_compile(WireOutcome::Hit, 10, 20);
+        m.record_compile(WireOutcome::Hit, 10, 30);
+        m.record_compile(WireOutcome::Coalesced, 100, 600);
         let s = m.snapshot(
             Instant::now(),
             schedcache::ScheduleCache::in_memory().stats(),
@@ -207,5 +237,22 @@ mod tests {
             "two 30–40 µs hits pull the median down"
         );
         assert!(s.latency_p99_us >= 500);
+    }
+
+    #[test]
+    fn queue_and_service_time_are_tracked_separately() {
+        let m = Metrics::default();
+        // A daemon whose queue is the bottleneck: long waits, fast service.
+        m.record_compile(WireOutcome::Hit, 40_000, 60);
+        m.record_compile(WireOutcome::Hit, 45_000, 70);
+        m.record_compile(WireOutcome::Hit, 48_000, 90);
+        let s = m.snapshot(
+            Instant::now(),
+            schedcache::ScheduleCache::in_memory().stats(),
+        );
+        assert_eq!(s.queue_p50_us, 50_000, "waits land in the ≤50 ms bucket");
+        assert_eq!(s.service_p50_us, 100, "service lands in the ≤100 µs bucket");
+        // Total latency reflects the sum, not either component alone.
+        assert!(s.latency_p50_us >= s.service_p50_us);
     }
 }

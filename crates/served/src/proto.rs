@@ -30,8 +30,10 @@ use std::io::{Read, Write};
 use tensor_expr::OpSpec;
 
 /// Protocol version; bumped on any incompatible frame change. The
-/// handshake refuses other versions.
-pub const PROTO_VERSION: u32 = 1;
+/// handshake refuses other versions. v2 added the `Metrics` frame pair
+/// (Prometheus text exposition) and the queue/service latency split in
+/// [`ServeStats`].
+pub const PROTO_VERSION: u32 = 2;
 
 /// Upper bound on one frame's JSON payload (32 MiB — far above any real
 /// schedule, far below an allocation-of-death).
@@ -63,6 +65,8 @@ pub enum Request {
     },
     /// Server counters + latency percentiles + cache statistics.
     Stats,
+    /// The server's metric registry in Prometheus text exposition format.
+    Metrics,
     /// Graceful drain: finish in-flight work, flush the store, exit.
     Shutdown,
 }
@@ -89,6 +93,9 @@ pub enum Response {
     },
     /// Reply to [`Request::Stats`].
     Stats { server: ServeStats },
+    /// Reply to [`Request::Metrics`]: Prometheus text exposition, ready
+    /// for a scrape endpoint or `gensor metrics --socket`.
+    Metrics { text: String },
     /// Load shed: the admission gate is full. Back off and retry (or
     /// compile locally); nothing was queued.
     Busy { inflight: u64, max_inflight: u64 },

@@ -58,6 +58,10 @@ pub struct ServerConfig {
     /// Whether `run` installs SIGTERM/SIGINT handlers that trigger a
     /// graceful drain (the CLI wants this; embedded tests do not).
     pub handle_signals: bool,
+    /// Compact the persistent store when its file grows past this many
+    /// bytes (checked periodically by the accept loop). `None` disables
+    /// the daemon-side trigger; `gensor cache compact` still works.
+    pub compact_bytes: Option<u64>,
 }
 
 impl ServerConfig {
@@ -73,6 +77,7 @@ impl ServerConfig {
             max_inflight: 2 * cores,
             deadline: Duration::from_secs(120),
             handle_signals: false,
+            compact_bytes: None,
         }
     }
 }
@@ -406,12 +411,26 @@ impl Server {
             .collect();
 
         let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut last_compact_check = Instant::now();
         loop {
             if self.shared.draining(self.cfg.handle_signals) {
                 break;
             }
+            // Hot-store compaction: a long-lived daemon rewriting the same
+            // keys grows its JSONL store with superseded lines; past the
+            // configured size, rewrite it down to the live set. Checked at
+            // a coarse interval so the accept loop stays cheap.
+            if let Some(max) = self.cfg.compact_bytes {
+                if last_compact_check.elapsed() >= Duration::from_secs(10) {
+                    last_compact_check = Instant::now();
+                    if let Err(e) = self.shared.cache.compact_if_larger_than(max) {
+                        obs::log!(Warn, "serve: store compaction failed: {e}");
+                    }
+                }
+            }
             match self.listener.accept() {
                 Ok((stream, _)) => {
+                    obs::counter_inc!("gensor_serve_connections_total", "Connections accepted");
                     self.shared
                         .metrics
                         .connections
@@ -482,24 +501,42 @@ fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<Job>>) {
                 gpu,
                 method,
                 budget,
-            } => match shared.compile(op, gpu, method, *budget) {
-                Ok((kernel, outcome)) => {
-                    shared
-                        .metrics
-                        .record_compile(outcome, job.accepted.elapsed().as_micros() as u64);
-                    Response::Compiled {
-                        outcome,
-                        kernel: (&kernel).into(),
+            } => {
+                let _sp = obs::span!(
+                    "serve.request",
+                    kind = "compile",
+                    method = method.as_str(),
+                    op = op.label(),
+                    queued_us = waited.as_micros() as u64
+                );
+                let t_service = Instant::now();
+                match shared.compile(op, gpu, method, *budget) {
+                    Ok((kernel, outcome)) => {
+                        shared.metrics.record_compile(
+                            outcome,
+                            waited.as_micros() as u64,
+                            t_service.elapsed().as_micros() as u64,
+                        );
+                        Response::Compiled {
+                            outcome,
+                            kernel: (&kernel).into(),
+                        }
                     }
+                    Err((kind, message)) => Response::Error { kind, message },
                 }
-                Err((kind, message)) => Response::Error { kind, message },
-            },
+            }
             Request::Batch {
                 model,
                 batch,
                 gpu,
                 method,
             } => {
+                let _sp = obs::span!(
+                    "serve.request",
+                    kind = "batch",
+                    method = method.as_str(),
+                    model = model.as_str()
+                );
                 let r = shared.batch(model, *batch, gpu, method);
                 if matches!(r, Response::BatchDone { .. }) {
                     shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
@@ -611,6 +648,10 @@ fn handle_connection(
             }
             Err(FrameError::Io(_)) => return,
         };
+        obs::counter_inc!(
+            "gensor_serve_requests_total",
+            "Frames dispatched (any kind)"
+        );
         shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
         let reply = match request {
             Request::Hello { .. } => Response::Hello {
@@ -619,6 +660,9 @@ fn handle_connection(
             Request::Ping => Response::Pong,
             Request::Stats => Response::Stats {
                 server: shared.stats(),
+            },
+            Request::Metrics => Response::Metrics {
+                text: obs::prometheus::render(),
             },
             Request::Shutdown => {
                 shared.shutdown.store(true, Ordering::SeqCst);
@@ -631,6 +675,10 @@ fn handle_connection(
                 } else {
                     match shared.gate.try_acquire() {
                         None => {
+                            obs::counter_inc!(
+                                "gensor_serve_shed_total",
+                                "Requests refused with Busy by the admission gate"
+                            );
                             shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
                             Response::Busy {
                                 inflight: shared.gate.inflight.load(Ordering::Relaxed),

@@ -59,9 +59,17 @@ pub fn simulate(e: &Etir, spec: &GpuSpec) -> Result<KernelReport, SimError> {
 
 /// [`simulate`] with explicit [`SimOptions`].
 pub fn simulate_opts(e: &Etir, spec: &GpuSpec, opts: SimOptions) -> Result<KernelReport, SimError> {
+    obs::counter_inc!(
+        "gensor_simgpu_simulations_total",
+        "Analytical kernel-launch simulations run"
+    );
     let stats = ScheduleStats::compute(e);
     let check = MemCheck::check_stats(&stats, spec);
     if !check.fits() {
+        obs::counter_inc!(
+            "gensor_simgpu_infeasible_total",
+            "Simulations refused: schedule violates a hardware capacity limit"
+        );
         return Err(SimError::Infeasible(check));
     }
 

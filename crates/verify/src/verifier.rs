@@ -44,14 +44,20 @@ impl Verifier {
     /// None` the hardware-dependent checks (capacity, bank conflicts,
     /// occupancy) are skipped; everything structural still runs.
     pub fn verify(&self, e: &Etir, spec: Option<&GpuSpec>) -> Report {
+        let _sp = obs::span!("verify", op = e.op.label(), with_spec = spec.is_some());
+        obs::counter_inc!("gensor_verify_runs_total", "Schedule verifications run");
         let mut report = Report {
             op_label: e.op.label(),
             schedule: e.describe(),
             gpu: spec.map(|s| s.name.clone()),
             diagnostics: Vec::new(),
         };
-        structural(e, &mut report.diagnostics);
+        {
+            let _gate = obs::span!("verify.pass", pass = "structural");
+            structural(e, &mut report.diagnostics);
+        }
         if report.error_count() > 0 {
+            Self::count_rejected();
             return report; // unsafe to lower
         }
         let nest = LoopNest::from_etir(e);
@@ -61,9 +67,20 @@ impl Verifier {
             spec,
         };
         for pass in &self.passes {
+            let _pp = obs::span!("verify.pass", pass = pass.name());
             pass.run(&ctx, &mut report.diagnostics);
         }
+        if report.error_count() > 0 {
+            Self::count_rejected();
+        }
         report
+    }
+
+    fn count_rejected() {
+        obs::counter_inc!(
+            "gensor_verify_rejected_total",
+            "Verifications that found at least one error"
+        );
     }
 }
 

@@ -453,3 +453,44 @@ fn programmatic_handle_drains_without_a_client() {
     assert_eq!(report.stats.connections, 1);
     assert!(!path.exists());
 }
+
+#[test]
+fn metrics_frame_answers_prometheus_text_and_stats_split_latency() {
+    let builds = Arc::new(AtomicU64::new(0));
+    let (path, _handle, join) = start(
+        "metrics",
+        sleepy_registry(&builds, Duration::from_millis(30)),
+        |_| {},
+    );
+    let spec = GpuSpec::rtx4090();
+    let mut c = Client::connect(&path).unwrap();
+    c.compile(&OpSpec::gemm(512, 256, 512), &spec, "sleep", None)
+        .unwrap();
+
+    // The Metrics frame answers a parseable Prometheus document carrying
+    // the daemon's queue/service histograms.
+    let text = c.metrics().unwrap();
+    let samples = obs::prometheus::parse_samples(&text);
+    assert!(!samples.is_empty(), "{text}");
+    for name in [
+        "gensor_serve_queue_us_count",
+        "gensor_serve_service_us_count",
+    ] {
+        assert!(
+            samples.iter().any(|s| s.name == name && s.value >= 1.0),
+            "missing {name} in:\n{text}"
+        );
+    }
+
+    // Stats now splits request latency into queue wait and service time;
+    // a 30 ms sleepy build must dominate the service side.
+    let stats = c.stats().unwrap();
+    assert!(stats.service_p50_us >= 25_000, "{stats:?}");
+    assert!(
+        stats.queue_p50_us + stats.service_p50_us >= stats.latency_p50_us,
+        "{stats:?}"
+    );
+
+    c.shutdown().unwrap();
+    join.join().unwrap();
+}
