@@ -32,6 +32,7 @@ USAGE:
                       [--remote S]
   gensor serve --socket S [--cache F] [--cache-cap N] [--workers N]
                [--max-inflight N] [--deadline SECS] [--compact-bytes N]
+               [--failpoints SPEC]
   gensor serve-stats --socket S [--emit E]
   gensor cache stats <file> [--emit E]
   gensor cache compact <file>
@@ -64,6 +65,9 @@ OPTIONS:
   --json          lint: machine-readable report
   --deny-warnings lint: treat GS02x warnings as failures
   --compact-bytes serve: compact the store when its file exceeds N bytes
+  --failpoints    serve: arm deterministic fault injection, e.g.
+                  'store.append=err(1);simgpu.eval=prob(0.05,42)'
+                  (every command also honours GENSOR_FAILPOINTS)
   --out           trace: Chrome trace_event JSON output (open in Perfetto)
   --csv           trace: also write the per-walk convergence CSV here
 
@@ -669,6 +673,12 @@ fn serve(_pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     if let Some(b) = parse_num(opts, "compact-bytes")? {
         cfg.compact_bytes = Some(b);
     }
+    let failpoints = opt(opts, "failpoints", "");
+    if !failpoints.is_empty() {
+        let n = faults::configure(failpoints)
+            .map_err(|e| CliError::Usage(format!("bad --failpoints: {e}")))?;
+        eprintln!("gensor serve: {n} failpoint(s) armed");
+    }
     let (workers, max_inflight) = (cfg.workers, cfg.max_inflight);
     let server = served::Server::bind(cfg, cache, served::MethodRegistry::standard())
         .map_err(|e| CliError::Usage(format!("cannot bind '{socket}': {e}")))?;
@@ -693,13 +703,38 @@ fn serve_stats(_pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError>
     if socket.is_empty() {
         return Err(CliError::Usage("serve-stats needs --socket <path>".into()));
     }
-    let mut client = served::Client::connect(socket)
-        .map_err(|e| CliError::Usage(format!("cannot reach daemon at '{socket}': {e}")))?;
-    let s = client
-        .stats()
-        .map_err(|e| CliError::Usage(format!("stats request failed: {e}")))?;
+    // The exchange runs through a client-side breaker so the report can
+    // show the transport circuit alongside the server's own counters.
+    let breaker = served::Breaker::new(served::BreakerConfig::default());
+    let s = {
+        if !breaker.allow() {
+            unreachable!("a fresh breaker is closed");
+        }
+        let fetched = served::Client::connect(socket).and_then(|mut c| c.stats());
+        match &fetched {
+            Ok(_) => breaker.on_success(),
+            Err(served::ClientError::Unreachable(_) | served::ClientError::Frame(_)) => {
+                breaker.on_failure()
+            }
+            // Busy/Remote/Protocol replies prove the daemon is alive.
+            Err(_) => breaker.on_success(),
+        }
+        fetched.map_err(|e| CliError::Usage(format!("cannot reach daemon at '{socket}': {e}")))?
+    };
     match opt(opts, "emit", "summary") {
-        "json" => Ok(serde_json::to_string_pretty(&s).expect("serialize") + "\n"),
+        "json" => {
+            let mut v = serde_json::to_value(&s).expect("serialize");
+            if let serde_json::Value::Object(fields) = &mut v {
+                fields.push((
+                    "client_breaker".to_string(),
+                    serde_json::json!({
+                        "state": breaker.state().as_str(),
+                        "trips": breaker.trips(),
+                    }),
+                ));
+            }
+            Ok(serde_json::to_string_pretty(&v).expect("serialize") + "\n")
+        }
         "summary" => {
             let mut out = String::new();
             let _ = writeln!(out, "daemon      : {socket} (up {:.1} s)", s.uptime_s);
@@ -741,6 +776,15 @@ fn serve_stats(_pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError>
                 s.cache.warm_starts,
                 s.cache.evictions,
                 s.cache.saved_tuning_s
+            );
+            let _ = writeln!(
+                out,
+                "robustness  : {} worker panics, {} cancelled, {} torn records recovered; client breaker {} ({} trips)",
+                s.worker_panics,
+                s.cancelled,
+                s.cache.recovered_truncated,
+                breaker.state().as_str(),
+                breaker.trips()
             );
             Ok(out)
         }

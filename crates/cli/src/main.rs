@@ -15,6 +15,12 @@ use cli::{run, CliError};
 mod cli;
 
 fn main() {
+    // Chaos testing: GENSOR_FAILPOINTS arms deterministic fault injection
+    // anywhere in the stack (`gensor serve --failpoints` adds more). A bad
+    // spec is a warning, never a startup failure.
+    if let Err(e) = faults::init_from_env() {
+        eprintln!("warning: ignoring bad {}: {e}", faults::ENV_VAR);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(output) => print!("{output}"),

@@ -1,0 +1,484 @@
+//! Deterministic failpoint framework for chaos testing.
+//!
+//! Production code marks its trust boundaries with named *sites*:
+//!
+//! ```ignore
+//! faults::failpoint!("store.append")?;   // I/O path: may return an injected error
+//! ```
+//!
+//! and tests (or an operator, via `GENSOR_FAILPOINTS` /
+//! `gensor serve --failpoints`) arm per-site *policies* that decide what
+//! each call does: fail the nth call, fail with a seeded probability,
+//! short-write, sleep, or panic. Nothing is armed by default, and the
+//! disabled path is a single relaxed atomic load — the same discipline as
+//! the obs collector, so leaving sites compiled into release binaries is
+//! free.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Deterministic.** `err(n)` fires on exactly the nth call of the
+//!    site; `prob(p,seed)` hashes (seed, call index) so a failing run
+//!    replays identically. No global RNG, no wall clock.
+//! 2. **Free when disabled.** `failpoint!` is one `Relaxed` load when no
+//!    site is armed; registry lookups happen only after that gate.
+//! 3. **Observable.** Every injection counts into the site's hit counter
+//!    and the obs metric registry (`gensor_faults_injected_total` plus a
+//!    per-site counter), so a chaos run's report shows what actually
+//!    fired.
+//!
+//! State is process-global (that is the point: the site is inside library
+//! code, the policy comes from the outside), so tests that arm policies
+//! must serialize on a lock and `disarm_all` when done.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
+
+/// Environment variable read by [`init_from_env`]; same `site=policy;…`
+/// grammar as [`configure`].
+pub const ENV_VAR: &str = "GENSOR_FAILPOINTS";
+
+/// What an armed site does when its trigger condition holds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// `err(n)`: fail exactly the nth call of this site (1-based), once.
+    ErrNth(u64),
+    /// `prob(p)` / `prob(p,seed)`: each call fails with probability `p`,
+    /// decided by a deterministic hash of `(seed, call index)`.
+    Prob(f64, u64),
+    /// `partial`: every call is a short write — sites that support it
+    /// write a prefix of their payload before erroring, simulating a
+    /// crash mid-write; sites that don't treat it as a plain error.
+    Partial,
+    /// `delay(ms)`: every call sleeps, then proceeds normally.
+    Delay(u64),
+    /// `panic`: every call panics (exercises `catch_unwind` isolation).
+    Panic,
+}
+
+/// What a fired failpoint asks the call site to do. `Panic` and `Delay`
+/// never reach the caller: the panic unwinds from inside [`check`] and a
+/// delay returns `None` after sleeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Return an injected error.
+    Err,
+    /// Write a prefix of the payload, then return an injected error.
+    Partial,
+}
+
+struct Site {
+    policy: Policy,
+    calls: AtomicU64,
+    hits: AtomicU64,
+}
+
+/// One relaxed load gates every `failpoint!`; flipped only by
+/// [`arm`] / [`disarm`] / [`disarm_all`].
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static RwLock<HashMap<String, Arc<Site>>> {
+    static REGISTRY: OnceLock<RwLock<HashMap<String, Arc<Site>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Whether any site is armed. Inlined into the disabled fast path.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Arm `site` with `policy` (replacing any previous policy and resetting
+/// its call/hit counters).
+pub fn arm(site: &str, policy: Policy) {
+    let mut reg = registry().write().unwrap_or_else(|p| p.into_inner());
+    reg.insert(
+        site.to_string(),
+        Arc::new(Site {
+            policy,
+            calls: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }),
+    );
+    drop(reg);
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Disarm one site; the fast-path gate closes when the last site goes.
+pub fn disarm(site: &str) {
+    let mut reg = registry().write().unwrap_or_else(|p| p.into_inner());
+    reg.remove(site);
+    let empty = reg.is_empty();
+    drop(reg);
+    if empty {
+        ARMED.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Disarm every site (tests call this on the way out).
+pub fn disarm_all() {
+    registry()
+        .write()
+        .unwrap_or_else(|p| p.into_inner())
+        .clear();
+    ARMED.store(false, Ordering::SeqCst);
+}
+
+/// Times `site` actually injected a fault so far (0 for unknown sites).
+pub fn hits(site: &str) -> u64 {
+    registry()
+        .read()
+        .unwrap_or_else(|p| p.into_inner())
+        .get(site)
+        .map(|s| s.hits.load(Ordering::SeqCst))
+        .unwrap_or(0)
+}
+
+/// Every armed site with its hit count, sorted by name.
+pub fn snapshot() -> Vec<(String, u64)> {
+    let reg = registry().read().unwrap_or_else(|p| p.into_inner());
+    let mut v: Vec<(String, u64)> = reg
+        .iter()
+        .map(|(name, s)| (name.clone(), s.hits.load(Ordering::SeqCst)))
+        .collect();
+    drop(reg);
+    v.sort();
+    v
+}
+
+/// Deterministic uniform sample in [0, 1): FNV-1a over (seed, call index).
+fn det_unit(seed: u64, call: u64) -> f64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in seed.to_le_bytes().into_iter().chain(call.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    // Top 53 bits → an exactly representable f64 in [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Evaluate `site` against its armed policy. `None` means proceed
+/// normally (also the answer for every unarmed site). A `panic` policy
+/// unwinds from here; a `delay` sleeps here and then proceeds.
+pub fn check(site: &str) -> Option<Action> {
+    if !armed() {
+        return None;
+    }
+    fire(site)
+}
+
+#[cold]
+fn fire(site: &str) -> Option<Action> {
+    let s = registry()
+        .read()
+        .unwrap_or_else(|p| p.into_inner())
+        .get(site)?
+        .clone();
+    let call = s.calls.fetch_add(1, Ordering::SeqCst) + 1;
+    let action = match s.policy {
+        Policy::ErrNth(n) if call == n => Some(Action::Err),
+        Policy::ErrNth(_) => None,
+        Policy::Prob(p, seed) if det_unit(seed, call) < p => Some(Action::Err),
+        Policy::Prob(..) => None,
+        Policy::Partial => Some(Action::Partial),
+        Policy::Delay(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            s.hits.fetch_add(1, Ordering::SeqCst);
+            count_injection(site);
+            return None;
+        }
+        Policy::Panic => {
+            s.hits.fetch_add(1, Ordering::SeqCst);
+            count_injection(site);
+            panic!("failpoint '{site}': injected panic");
+        }
+    };
+    if action.is_some() {
+        s.hits.fetch_add(1, Ordering::SeqCst);
+        count_injection(site);
+    }
+    action
+}
+
+fn count_injection(site: &str) {
+    obs::counter(
+        "gensor_faults_injected_total",
+        "Failpoint injections fired (all sites)",
+    )
+    .inc();
+    let metric = format!("gensor_faults_{}_total", site.replace(['.', '-'], "_"));
+    obs::counter(&metric, "Failpoint injections fired at one site").inc();
+}
+
+/// The error every fired I/O site returns.
+pub fn injected_err(site: &str) -> std::io::Error {
+    std::io::Error::other(format!("failpoint '{site}': injected fault"))
+}
+
+/// [`check`] flattened for `?` in I/O functions: any fired action (short
+/// writes included — plain I/O sites have no payload to cut) becomes an
+/// injected [`std::io::Error`].
+pub fn fail_io(site: &str) -> std::io::Result<()> {
+    match check(site) {
+        None => Ok(()),
+        Some(_) => Err(injected_err(site)),
+    }
+}
+
+/// Mark an I/O trust boundary: `faults::failpoint!("store.append")?;`.
+/// One relaxed atomic load when nothing is armed.
+#[macro_export]
+macro_rules! failpoint {
+    ($site:expr) => {
+        if $crate::armed() {
+            $crate::fail_io($site)
+        } else {
+            ::std::io::Result::Ok(())
+        }
+    };
+}
+
+/// Human-readable text of a `catch_unwind` payload (panics carry `&str`
+/// or `String` in practice). Shared by every panic-isolation layer so
+/// typed `Internal` errors quote the original panic.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with a non-string payload".to_string()
+    }
+}
+
+/// Parse a `site=policy;site=policy` spec without arming anything.
+/// Policies: `err(n)`, `prob(p)`, `prob(p,seed)`, `partial`,
+/// `delay(ms)`, `panic`. Whitespace around tokens is ignored; empty
+/// clauses (trailing `;`) are allowed.
+pub fn parse_spec(spec: &str) -> Result<Vec<(String, Policy)>, String> {
+    let mut out = Vec::new();
+    for clause in spec.split(';') {
+        let clause = clause.trim();
+        if clause.is_empty() {
+            continue;
+        }
+        let (site, policy) = clause
+            .split_once('=')
+            .ok_or_else(|| format!("failpoint clause '{clause}' is missing '='"))?;
+        let site = site.trim();
+        if site.is_empty() {
+            return Err(format!("failpoint clause '{clause}' has an empty site"));
+        }
+        out.push((site.to_string(), parse_policy(policy.trim())?));
+    }
+    Ok(out)
+}
+
+fn parse_policy(text: &str) -> Result<Policy, String> {
+    let (name, args) = match text.split_once('(') {
+        None => (text, Vec::new()),
+        Some((name, rest)) => {
+            let inner = rest
+                .strip_suffix(')')
+                .ok_or_else(|| format!("policy '{text}' is missing ')'"))?;
+            (
+                name.trim(),
+                inner.split(',').map(|a| a.trim().to_string()).collect(),
+            )
+        }
+    };
+    let uint = |s: &str| -> Result<u64, String> {
+        s.parse::<u64>()
+            .map_err(|_| format!("'{s}' is not a non-negative integer"))
+    };
+    match (name, args.len()) {
+        ("err", 1) => {
+            let n = uint(&args[0])?;
+            if n == 0 {
+                return Err("err(n): calls are 1-based, n must be ≥ 1".into());
+            }
+            Ok(Policy::ErrNth(n))
+        }
+        ("prob", 1 | 2) => {
+            let p: f64 = args[0]
+                .parse()
+                .map_err(|_| format!("'{}' is not a probability", args[0]))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("prob({p}): probability must be in [0, 1]"));
+            }
+            let seed = if args.len() == 2 { uint(&args[1])? } else { 0 };
+            Ok(Policy::Prob(p, seed))
+        }
+        ("delay", 1) => Ok(Policy::Delay(uint(&args[0])?)),
+        ("partial", 0) => Ok(Policy::Partial),
+        ("panic", 0) => Ok(Policy::Panic),
+        _ => Err(format!(
+            "unknown policy '{text}' (want err(n), prob(p[,seed]), partial, delay(ms), panic)"
+        )),
+    }
+}
+
+/// Parse `spec` and arm every site in it; returns how many were armed.
+pub fn configure(spec: &str) -> Result<usize, String> {
+    let sites = parse_spec(spec)?;
+    let n = sites.len();
+    for (site, policy) in sites {
+        arm(&site, policy);
+    }
+    Ok(n)
+}
+
+/// Arm sites from [`ENV_VAR`] if it is set; `Ok(0)` when unset. Binaries
+/// call this once at startup so chaos runs work on any entry point.
+pub fn init_from_env() -> Result<usize, String> {
+    match std::env::var(ENV_VAR) {
+        Ok(spec) => configure(&spec).map_err(|e| format!("{ENV_VAR}: {e}")),
+        Err(_) => Ok(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Failpoint state is process-global; tests that arm serialize here.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        let g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        disarm_all();
+        g
+    }
+
+    #[test]
+    fn disabled_sites_are_free_and_fire_nothing() {
+        let _g = lock();
+        assert!(!armed());
+        assert!(check("store.append").is_none());
+        assert!(failpoint!("store.append").is_ok());
+        assert_eq!(hits("store.append"), 0);
+    }
+
+    #[test]
+    fn err_nth_fires_exactly_the_nth_call() {
+        let _g = lock();
+        arm("t.err", Policy::ErrNth(3));
+        assert!(failpoint!("t.err").is_ok());
+        assert!(failpoint!("t.err").is_ok());
+        let err = failpoint!("t.err").unwrap_err();
+        assert!(err.to_string().contains("t.err"), "{err}");
+        assert!(failpoint!("t.err").is_ok(), "fires once, not from n on");
+        assert_eq!(hits("t.err"), 1);
+        disarm_all();
+    }
+
+    #[test]
+    fn prob_is_deterministic_for_a_seed_and_respects_the_rate() {
+        let _g = lock();
+        let run = |seed: u64| -> Vec<bool> {
+            arm("t.prob", Policy::Prob(0.3, seed));
+            let fired: Vec<bool> = (0..200).map(|_| check("t.prob").is_some()).collect();
+            disarm_all();
+            fired
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed must replay identically");
+        let rate = a.iter().filter(|f| **f).count() as f64 / a.len() as f64;
+        assert!((0.15..=0.45).contains(&rate), "rate {rate} far from 0.3");
+        assert_ne!(a, run(7), "different seeds give different schedules");
+    }
+
+    #[test]
+    fn partial_returns_the_partial_action_and_io_sites_map_it_to_err() {
+        let _g = lock();
+        arm("t.partial", Policy::Partial);
+        assert_eq!(check("t.partial"), Some(Action::Partial));
+        assert!(failpoint!("t.partial").is_err());
+        disarm_all();
+    }
+
+    #[test]
+    fn panic_policy_unwinds_from_check() {
+        let _g = lock();
+        arm("t.panic", Policy::Panic);
+        let r = std::panic::catch_unwind(|| check("t.panic"));
+        assert!(r.is_err());
+        assert_eq!(hits("t.panic"), 1);
+        disarm_all();
+    }
+
+    #[test]
+    fn delay_counts_a_hit_but_proceeds() {
+        let _g = lock();
+        arm("t.delay", Policy::Delay(1));
+        let t0 = std::time::Instant::now();
+        assert!(check("t.delay").is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(1));
+        assert_eq!(hits("t.delay"), 1);
+        disarm_all();
+    }
+
+    #[test]
+    fn disarm_reopens_the_fast_path_only_when_the_registry_empties() {
+        let _g = lock();
+        arm("t.a", Policy::Panic);
+        arm("t.b", Policy::Panic);
+        disarm("t.a");
+        assert!(armed(), "one site still armed");
+        disarm("t.b");
+        assert!(!armed());
+    }
+
+    #[test]
+    fn spec_round_trips_every_policy_form() {
+        let parsed = parse_spec(
+            "store.append = err(2); sock.read=prob(0.5, 9); a=partial; b=delay(15); c=panic;",
+        )
+        .unwrap();
+        assert_eq!(
+            parsed,
+            vec![
+                ("store.append".into(), Policy::ErrNth(2)),
+                ("sock.read".into(), Policy::Prob(0.5, 9)),
+                ("a".into(), Policy::Partial),
+                ("b".into(), Policy::Delay(15)),
+                ("c".into(), Policy::Panic),
+            ]
+        );
+        assert_eq!(parse_spec("").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_reasons() {
+        for bad in [
+            "noequals",
+            "=err(1)",
+            "s=err(0)",
+            "s=err(x)",
+            "s=prob(1.5)",
+            "s=prob(0.1,0.2)",
+            "s=delay",
+            "s=frobnicate",
+            "s=err(1",
+        ] {
+            assert!(parse_spec(bad).is_err(), "'{bad}' must not parse");
+        }
+    }
+
+    #[test]
+    fn configure_arms_and_snapshot_reports() {
+        let _g = lock();
+        assert_eq!(configure("t.x=err(1); t.y=partial").unwrap(), 2);
+        assert!(failpoint!("t.x").is_err());
+        let snap = snapshot();
+        assert_eq!(
+            snap,
+            vec![("t.x".to_string(), 1), ("t.y".to_string(), 0)],
+            "sorted by site, hit counts live"
+        );
+        disarm_all();
+    }
+}

@@ -272,6 +272,12 @@ impl ShardedMap {
                 flight: &flight,
                 armed: true,
             };
+            // Chaos site for the single-flight owner: a builder cannot
+            // return an error, so a fired policy panics here and must be
+            // absorbed by the AbortGuard below (waiters wake and retry).
+            if faults::check("map.build").is_some() {
+                panic!("failpoint 'map.build': injected builder failure");
+            }
             let kernel = Arc::new(build.take().expect("claimed at most once")());
             let mut guard = guard;
             guard.armed = false;

@@ -12,11 +12,28 @@ use crate::tuner::CachedTuner;
 use hardware::GpuSpec;
 use models::graph::ModelGraph;
 use simgpu::Tuner;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 use tensor_expr::OpSpec;
 
+/// One operator whose compile panicked instead of completing — the typed
+/// error for that job; every other job in the batch still finishes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileFailure {
+    /// The operator that was being compiled.
+    pub op_label: String,
+    /// The panic message (or a placeholder for non-string payloads).
+    pub reason: String,
+}
+
+impl std::fmt::Display for CompileFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "compile of {} panicked: {}", self.op_label, self.reason)
+    }
+}
+
 /// What one `precompile` run did.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServiceReport {
     /// Operators requested (after fusion filtering, with duplicates).
     pub requested: usize,
@@ -26,6 +43,11 @@ pub struct ServiceReport {
     pub hits: usize,
     /// Requests collapsed onto another worker's in-flight build.
     pub coalesced: usize,
+    /// Jobs that panicked (see [`ServiceReport::failures`]); the rest of
+    /// the batch is unaffected.
+    pub failed: usize,
+    /// The typed error for each failed job.
+    pub failures: Vec<CompileFailure>,
     /// Worker threads used.
     pub workers: usize,
     /// End-to-end wall time, seconds.
@@ -79,36 +101,72 @@ impl CompileService {
             tx.send(op.clone()).expect("receiver is alive");
         }
         drop(tx);
-        let counts = crossbeam::thread::scope(|s| {
+        let (counts, failures) = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let rx = rx.clone();
                     s.spawn(move |_| {
                         let mut n = [0usize; 3]; // built, hit, coalesced
+                        let mut failures: Vec<CompileFailure> = Vec::new();
                         while let Ok(op) = rx.recv() {
-                            match tuner.compile_with_outcome(&op, spec).1 {
-                                Outcome::Built => n[0] += 1,
-                                Outcome::Hit => n[1] += 1,
-                                Outcome::Coalesced => n[2] += 1,
+                            // Panic isolation: a tuner that panics fails
+                            // *its* job with a typed error; the worker
+                            // keeps draining the queue. (A panic inside
+                            // the single-flight map already wakes waiters
+                            // via the AbortGuard, so nothing is wedged.)
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                tuner.compile_with_outcome(&op, spec).1
+                            }));
+                            match outcome {
+                                Ok(Outcome::Built) => n[0] += 1,
+                                Ok(Outcome::Hit) => n[1] += 1,
+                                Ok(Outcome::Coalesced) => n[2] += 1,
+                                Err(payload) => failures.push(CompileFailure {
+                                    op_label: op.label(),
+                                    reason: faults::panic_message(payload.as_ref()),
+                                }),
                             }
                         }
-                        n
+                        (n, failures)
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .fold([0usize; 3], |acc, n| {
-                    [acc[0] + n[0], acc[1] + n[1], acc[2] + n[2]]
-                })
+            let mut counts = [0usize; 3];
+            let mut failures: Vec<CompileFailure> = Vec::new();
+            for h in handles {
+                match h.join() {
+                    Ok((n, f)) => {
+                        counts = [counts[0] + n[0], counts[1] + n[1], counts[2] + n[2]];
+                        failures.extend(f);
+                    }
+                    // Only reachable if a worker dies outside its per-job
+                    // guard; surface it as a failure, not a process abort.
+                    Err(payload) => failures.push(CompileFailure {
+                        op_label: "<worker>".into(),
+                        reason: faults::panic_message(payload.as_ref()),
+                    }),
+                }
+            }
+            (counts, failures)
         })
         .expect("scope panicked");
+        if !failures.is_empty() {
+            obs::counter(
+                "gensor_service_compile_panics_total",
+                "Precompile jobs that panicked and were failed individually",
+            )
+            .add(failures.len() as u64);
+            for f in &failures {
+                obs::log!(Warn, "precompile: {f}");
+            }
+        }
         ServiceReport {
             requested: ops.len(),
             built: counts[0],
             hits: counts[1],
             coalesced: counts[2],
+            failed: failures.len(),
+            failures,
             workers,
             wall_s: t0.elapsed().as_secs_f64(),
         }

@@ -18,6 +18,7 @@ struct Inner {
     loaded_from_disk: u64,
     corrupt_lines: u64,
     version_skipped: u64,
+    recovered_truncated: u64,
     verifier_rejected: u64,
     compactions: u64,
     saved_tuning_s: f64,
@@ -48,6 +49,9 @@ pub struct StatsSnapshot {
     pub corrupt_lines: u64,
     /// Store lines skipped as written by another format version.
     pub version_skipped: u64,
+    /// Torn-tail lines dropped at open time by truncating the store back
+    /// to its last valid record (crash-mid-append recovery).
+    pub recovered_truncated: u64,
     /// Schedules the static verifier refused — a parseable store record
     /// whose schedule is illegal, or a builder result that failed
     /// re-verification. Counted, never loaded, banked, or served.
@@ -134,10 +138,18 @@ impl Stats {
 
     /// Absorb a [`LoadReport`] from opening the persistent store.
     pub fn record_load(&self, report: &LoadReport) {
+        if report.recovered_truncated > 0 {
+            obs::counter(
+                "gensor_cache_recovered_truncated_total",
+                "Torn-tail store lines dropped by crash recovery at load",
+            )
+            .add(report.recovered_truncated as u64);
+        }
         let mut g = self.inner.lock();
         g.loaded_from_disk += report.loaded as u64;
         g.corrupt_lines += report.corrupt as u64;
         g.version_skipped += report.version_skipped as u64;
+        g.recovered_truncated += report.recovered_truncated as u64;
     }
 
     /// Current counters and latency percentiles.
@@ -160,6 +172,7 @@ impl Stats {
             loaded_from_disk: g.loaded_from_disk,
             corrupt_lines: g.corrupt_lines,
             version_skipped: g.version_skipped,
+            recovered_truncated: g.recovered_truncated,
             verifier_rejected: g.verifier_rejected,
             evictions: 0,
             compactions: g.compactions,

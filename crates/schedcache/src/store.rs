@@ -1,17 +1,28 @@
-//! The persistent store: one JSONL file, one record per line.
+//! The persistent store: one JSONL file, one framed record per line.
 //!
 //! Design constraints, in order:
 //!
 //! 1. **Append is cheap and atomic.** A winning schedule is persisted the
 //!    moment it is found — one `O_APPEND` write of one complete line. A
 //!    crash can truncate only the final line, never corrupt earlier ones.
-//! 2. **Corruption is tolerated, not fatal.** Loading skips lines that
-//!    fail to parse (truncated tail, editor accidents, version drift) and
-//!    *counts* them in the [`LoadReport`] so callers can surface a warning
-//!    instead of refusing to start.
-//! 3. **Versioned.** Every line carries the writer's [`FORMAT_VERSION`];
-//!    records from other versions are skipped and counted separately from
-//!    corruption.
+//! 2. **Crash-safe framing.** Every line written carries a `F1 <len>
+//!    <crc32> <json>` frame, so a torn write (SIGKILL mid-append, full
+//!    disk) is *detected*, not mis-parsed: loading truncates the file back
+//!    to the last valid record and counts the repair
+//!    ([`LoadReport::recovered_truncated`]), so the next append starts on
+//!    a clean line boundary. Unframed plain-JSON lines (written before
+//!    framing existed) still load.
+//! 3. **Corruption is tolerated, not fatal.** Mid-file damage (editor
+//!    accidents, bit rot) is skipped and *counted* in the [`LoadReport`]
+//!    so callers can surface a warning instead of refusing to start.
+//! 4. **Versioned.** Every record carries the writer's
+//!    [`FORMAT_VERSION`]; records from other versions are skipped and
+//!    counted separately from corruption.
+//!
+//! Failpoint sites (`store.append`, `store.load`, `store.fsync`,
+//! `store.compact`, `store.rename`) mark every I/O trust boundary; the
+//! `partial` policy on `store.append` produces a *real* torn tail — the
+//! same bytes a crash mid-write leaves behind.
 
 use crate::key::{CacheKey, FORMAT_VERSION};
 use etir::Etir;
@@ -49,10 +60,15 @@ pub struct CacheRecord {
 pub struct LoadReport {
     /// Records loaded successfully.
     pub loaded: usize,
-    /// Lines that failed to parse (truncated/corrupt) and were skipped.
+    /// Mid-file lines that failed to parse (frame or JSON damage) and
+    /// were skipped.
     pub corrupt: usize,
     /// Well-formed records written by a different format version.
     pub version_skipped: usize,
+    /// Invalid lines at the *tail* of the file — a torn write from a
+    /// crash mid-append — dropped by truncating the file back to the last
+    /// valid record.
+    pub recovered_truncated: usize,
 }
 
 /// What one [`Store::compact`] pass did.
@@ -75,6 +91,102 @@ impl CompactReport {
     }
 }
 
+/// Line-frame marker; bumped if the frame layout itself ever changes.
+const FRAME_TAG: &str = "F1";
+
+static CRC_TABLE: [u32; 256] = make_crc_table();
+
+const fn make_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3), the checksum inside each line frame.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Wrap one JSON payload in the `F1 <len> <crc32:08x> <payload>\n` line
+/// frame [`Store::load`] validates. Public so tests can craft foreign or
+/// damaged lines byte-for-byte.
+pub fn frame_line(payload: &str) -> String {
+    format!(
+        "{FRAME_TAG} {} {:08x} {payload}\n",
+        payload.len(),
+        crc32(payload.as_bytes())
+    )
+}
+
+/// `Ok(Some(json))`: valid frame. `Ok(None)`: legacy unframed line.
+/// `Err(())`: a frame that announces itself but fails validation
+/// (truncated, bit-flipped, wrong length).
+fn unframe(line: &str) -> Result<Option<&str>, ()> {
+    let Some(rest) = line.strip_prefix(const_format_prefix()) else {
+        return Ok(None);
+    };
+    let (len_s, rest) = rest.split_once(' ').ok_or(())?;
+    let (crc_s, payload) = rest.split_once(' ').ok_or(())?;
+    let len: usize = len_s.parse().map_err(|_| ())?;
+    let crc = u32::from_str_radix(crc_s, 16).map_err(|_| ())?;
+    if payload.len() != len || crc32(payload.as_bytes()) != crc {
+        return Err(());
+    }
+    Ok(Some(payload))
+}
+
+const fn const_format_prefix() -> &'static str {
+    "F1 "
+}
+
+/// How one complete line classifies against the current format.
+enum LineClass {
+    Record(Box<CacheRecord>),
+    Foreign,
+    Corrupt,
+}
+
+fn classify(line: &str) -> LineClass {
+    let payload = match unframe(line) {
+        Ok(Some(p)) => p,
+        Ok(None) => line, // legacy pre-framing plain JSON
+        Err(()) => return LineClass::Corrupt,
+    };
+    // Check the version tag before insisting the full record parses:
+    // future versions may have different fields.
+    match serde_json::from_str::<serde_json::Value>(payload) {
+        Err(_) => LineClass::Corrupt,
+        Ok(v) => match v["v"].as_u64() {
+            Some(ver) if ver == FORMAT_VERSION as u64 => {
+                match serde_json::from_str::<CacheRecord>(payload) {
+                    Ok(rec) => LineClass::Record(Box::new(rec)),
+                    Err(_) => LineClass::Corrupt,
+                }
+            }
+            Some(_) => LineClass::Foreign,
+            None => LineClass::Corrupt,
+        },
+    }
+}
+
 /// Handle to one JSONL cache file.
 #[derive(Debug, Clone)]
 pub struct Store {
@@ -92,11 +204,23 @@ impl Store {
         &self.path
     }
 
-    /// Read every valid current-version record. A missing file is an empty
-    /// store, not an error.
+    /// Read every valid current-version record. A missing file is an
+    /// empty store, not an error.
+    ///
+    /// A contiguous run of invalid lines at the tail — what a crash
+    /// mid-append leaves — is treated as a torn write: the file is
+    /// truncated back to the last valid record (so the next `O_APPEND`
+    /// write starts on a clean boundary) and the dropped lines are
+    /// counted in [`LoadReport::recovered_truncated`]. Invalid lines
+    /// *followed by* valid ones are mid-file damage: skipped and counted
+    /// as [`LoadReport::corrupt`], never truncated.
     pub fn load(&self) -> std::io::Result<(Vec<CacheRecord>, LoadReport)> {
-        let text = match std::fs::read_to_string(&self.path) {
-            Ok(t) => t,
+        faults::failpoint!("store.load")?;
+        // Raw bytes, split on b'\n', validated as UTF-8 *per line*: one
+        // flipped byte of binary garbage must damage one line, never make
+        // the whole load fail the way `read_to_string` would.
+        let bytes = match std::fs::read(&self.path) {
+            Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 return Ok((Vec::new(), LoadReport::default()))
             }
@@ -104,53 +228,95 @@ impl Store {
         };
         let mut records = Vec::new();
         let mut report = LoadReport::default();
-        for line in text.lines() {
+        // Byte offset just past the last line that validated; everything
+        // after it at EOF is the torn tail.
+        let mut valid_end = 0usize;
+        let mut pending_bad = 0usize;
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let rest = &bytes[pos..];
+            let (raw, next, terminated) = match rest.iter().position(|&b| b == b'\n') {
+                Some(i) => (&rest[..i], pos + i + 1, true),
+                None => (rest, bytes.len(), false),
+            };
+            // Non-UTF-8 damage is just an unparsable line.
+            let line = std::str::from_utf8(raw).unwrap_or("\u{fffd}");
             if line.trim().is_empty() {
-                continue;
-            }
-            // Check the version tag before insisting the full record
-            // parses: future versions may have different fields.
-            match serde_json::from_str::<serde_json::Value>(line) {
-                Err(_) => report.corrupt += 1,
-                Ok(v) => match v["v"].as_u64() {
-                    Some(ver) if ver == FORMAT_VERSION as u64 => {
-                        match serde_json::from_str::<CacheRecord>(line) {
-                            Ok(rec) => {
-                                records.push(rec);
-                                report.loaded += 1;
-                            }
-                            Err(_) => report.corrupt += 1,
-                        }
+                // Blank filler is harmless; it does not break the valid
+                // prefix.
+                report.corrupt += std::mem::take(&mut pending_bad);
+                valid_end = next;
+            } else if !terminated {
+                // A line without its newline is incomplete by definition
+                // (the writer emits line + '\n' in one write), even if the
+                // bytes so far happen to validate.
+                pending_bad += 1;
+            } else {
+                match classify(line) {
+                    LineClass::Record(rec) => {
+                        report.corrupt += std::mem::take(&mut pending_bad);
+                        records.push(*rec);
+                        report.loaded += 1;
+                        valid_end = next;
                     }
-                    Some(_) => report.version_skipped += 1,
-                    None => report.corrupt += 1,
-                },
+                    LineClass::Foreign => {
+                        report.corrupt += std::mem::take(&mut pending_bad);
+                        report.version_skipped += 1;
+                        valid_end = next;
+                    }
+                    LineClass::Corrupt => pending_bad += 1,
+                }
+            }
+            pos = next;
+        }
+        if pending_bad > 0 {
+            report.recovered_truncated = pending_bad;
+            // Best-effort repair: a read-only file still loads, it just
+            // stays torn until someone can write.
+            if let Ok(f) = OpenOptions::new().write(true).open(&self.path) {
+                let _ = f.set_len(valid_end as u64);
+                let _ = f.sync_all();
             }
         }
         Ok((records, report))
     }
 
-    /// Append one record: a single `O_APPEND` write of one complete line
-    /// (creates the file and parent directories on first use).
+    /// Append one record: a single `O_APPEND` write of one complete
+    /// framed line (creates the file and parent directories on first
+    /// use). Durability is batched — callers group appends and fsync via
+    /// [`Store::sync`].
     pub fn append(&self, record: &CacheRecord) -> std::io::Result<()> {
         if let Some(parent) = self.path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        let mut line =
+        let json =
             serde_json::to_string(record).map_err(|e| std::io::Error::other(e.to_string()))?;
-        line.push('\n');
+        let line = frame_line(&json);
         let mut f = OpenOptions::new()
             .create(true)
             .append(true)
             .open(&self.path)?;
+        match faults::check("store.append") {
+            Some(faults::Action::Partial) => {
+                // A genuine torn write: half the framed line, no newline —
+                // exactly what a crash mid-`write_all` leaves behind.
+                let _ = f.write_all(&line.as_bytes()[..line.len() / 2]);
+                return Err(faults::injected_err("store.append"));
+            }
+            Some(_) => return Err(faults::injected_err("store.append")),
+            None => {}
+        }
         f.write_all(line.as_bytes())
     }
 
-    /// Force the file's contents to stable storage (`fsync`). Used by the
-    /// serve daemon's graceful drain; a missing file is a no-op.
+    /// Force the file's contents to stable storage (`fsync`) — the
+    /// durability point for a batch of appends. The serve daemon calls
+    /// this periodically and on graceful drain; a missing file is a
+    /// no-op.
     pub fn sync(&self) -> std::io::Result<()> {
+        faults::failpoint!("store.fsync")?;
         match std::fs::File::open(&self.path) {
             Ok(f) => f.sync_all(),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
@@ -160,12 +326,15 @@ impl Store {
 
     /// Rewrite the append-only file keeping only the newest line per key:
     /// older duplicates (superseded winners), foreign-[`FORMAT_VERSION`]
-    /// lines and corrupt lines are dropped. The rewrite is atomic — a tmp
-    /// file in the same directory is written, fsynced, then renamed over
-    /// the original — so a crash mid-compaction leaves the old file intact.
-    /// Surviving lines keep their original bytes (no re-serialization, so
-    /// floats cannot drift) and their relative order.
+    /// lines and corrupt lines are dropped. The rewrite is atomic *and
+    /// durable* — a tmp file in the same directory is written and
+    /// fsynced, renamed over the original, and the parent directory is
+    /// fsynced so the rename itself survives a crash. A crash
+    /// mid-compaction leaves the old file intact. Surviving lines keep
+    /// their original bytes (no re-serialization, so floats cannot drift)
+    /// and their relative order.
     pub fn compact(&self) -> std::io::Result<CompactReport> {
+        faults::failpoint!("store.compact")?;
         let text = match std::fs::read_to_string(&self.path) {
             Ok(t) => t,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -180,23 +349,15 @@ impl Store {
         let mut newest: std::collections::HashMap<CacheKey, usize> =
             std::collections::HashMap::new();
         for (i, line) in lines.iter().enumerate() {
-            match serde_json::from_str::<serde_json::Value>(line) {
-                Err(_) => report.corrupt += 1,
-                Ok(v) => match v["v"].as_u64() {
-                    Some(ver) if ver == FORMAT_VERSION as u64 => {
-                        match serde_json::from_str::<CacheRecord>(line) {
-                            Ok(rec) => {
-                                if let Some(prev) = newest.insert(rec.key, i) {
-                                    debug_assert!(prev < i);
-                                    report.superseded += 1;
-                                }
-                            }
-                            Err(_) => report.corrupt += 1,
-                        }
+            match classify(line) {
+                LineClass::Record(rec) => {
+                    if let Some(prev) = newest.insert(rec.key, i) {
+                        debug_assert!(prev < i);
+                        report.superseded += 1;
                     }
-                    Some(_) => report.foreign_version += 1,
-                    None => report.corrupt += 1,
-                },
+                }
+                LineClass::Foreign => report.foreign_version += 1,
+                LineClass::Corrupt => report.corrupt += 1,
             }
         }
         let mut keep: Vec<usize> = newest.into_values().collect();
@@ -214,9 +375,21 @@ impl Store {
             }
             f.sync_all()?;
         }
+        if let Err(e) = faults::failpoint!("store.rename") {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
         if let Err(e) = std::fs::rename(&tmp, &self.path) {
             let _ = std::fs::remove_file(&tmp);
             return Err(e);
+        }
+        // fsync the directory so the rename is on stable storage too.
+        let dir = match self.path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
         }
         Ok(report)
     }
@@ -270,6 +443,10 @@ mod tests {
         }
     }
 
+    fn json_of(rec: &CacheRecord) -> String {
+        serde_json::to_string(rec).unwrap()
+    }
+
     #[test]
     fn missing_file_is_empty() {
         let store = Store::open(tmpfile("missing"));
@@ -294,6 +471,29 @@ mod tests {
     }
 
     #[test]
+    fn lines_are_framed_with_length_and_crc() {
+        let store = Store::open(tmpfile("framed"));
+        let _ = std::fs::remove_file(store.path());
+        let a = sample(128);
+        store.append(&a).unwrap();
+        let text = std::fs::read_to_string(store.path()).unwrap();
+        assert_eq!(text, frame_line(&json_of(&a)));
+        assert!(text.starts_with("F1 "));
+    }
+
+    #[test]
+    fn legacy_unframed_lines_still_load() {
+        let store = Store::open(tmpfile("legacy"));
+        let _ = std::fs::remove_file(store.path());
+        std::fs::write(store.path(), format!("{}\n", json_of(&sample(128)))).unwrap();
+        store.append(&sample(256)).unwrap();
+        let (recs, rep) = store.load().unwrap();
+        assert_eq!(rep.loaded, 2, "plain pre-framing line + framed line");
+        assert_eq!(rep.corrupt, 0);
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
     fn corrupt_and_truncated_lines_are_skipped_and_counted() {
         let store = Store::open(tmpfile("corrupt"));
         let _ = std::fs::remove_file(store.path());
@@ -308,8 +508,61 @@ mod tests {
         let (recs, rep) = store.load().unwrap();
         assert_eq!(rep.loaded, 2, "both good records survive");
         assert_eq!(rep.corrupt, 3, "all three damaged lines counted");
+        assert_eq!(rep.recovered_truncated, 0, "damage is mid-file, not torn");
         assert_eq!(recs.len(), 2);
     }
+
+    #[test]
+    fn torn_tail_is_truncated_back_to_the_last_valid_record() {
+        let store = Store::open(tmpfile("torn"));
+        let _ = std::fs::remove_file(store.path());
+        let a = sample(128);
+        store.append(&a).unwrap();
+        let clean = std::fs::read(store.path()).unwrap();
+        // A crash mid-append: a prefix of a framed line, no newline.
+        let torn = frame_line(&json_of(&sample(256)));
+        let mut damaged = clean.clone();
+        damaged.extend_from_slice(&torn.as_bytes()[..torn.len() / 2]);
+        std::fs::write(store.path(), &damaged).unwrap();
+
+        let (recs, rep) = store.load().unwrap();
+        assert_eq!(rep.loaded, 1);
+        assert_eq!(rep.recovered_truncated, 1, "torn tail detected");
+        assert_eq!(rep.corrupt, 0);
+        assert_eq!(recs, vec![a.clone()]);
+        assert_eq!(
+            std::fs::read(store.path()).unwrap(),
+            clean,
+            "file physically truncated to the last valid record"
+        );
+        // The repaired file appends on a clean boundary.
+        let b = sample(512);
+        store.append(&b).unwrap();
+        let (recs, rep) = store.load().unwrap();
+        assert_eq!((rep.loaded, rep.recovered_truncated), (2, 0));
+        assert_eq!(recs, vec![a, b]);
+    }
+
+    #[test]
+    fn a_valid_looking_tail_without_newline_is_still_torn() {
+        let store = Store::open(tmpfile("torn-newline"));
+        let _ = std::fs::remove_file(store.path());
+        store.append(&sample(128)).unwrap();
+        let clean = std::fs::read(store.path()).unwrap();
+        // The write died exactly before the trailing '\n'.
+        let line = frame_line(&json_of(&sample(256)));
+        let mut damaged = clean.clone();
+        damaged.extend_from_slice(&line.as_bytes()[..line.len() - 1]);
+        std::fs::write(store.path(), &damaged).unwrap();
+        let (recs, rep) = store.load().unwrap();
+        assert_eq!(rep.loaded, 1, "an unterminated record never landed");
+        assert_eq!(rep.recovered_truncated, 1);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(std::fs::read(store.path()).unwrap(), clean);
+    }
+
+    // Tests that *arm* failpoints live in tests/tests/chaos.rs: failpoint
+    // state is process-global, and this binary's tests run concurrently.
 
     #[test]
     fn compact_keeps_only_the_newest_line_per_key() {
@@ -323,8 +576,9 @@ mod tests {
         // Damage + a foreign version in the middle.
         let mut text = std::fs::read_to_string(store.path()).unwrap();
         text.push_str("garbage line\n");
-        text.push_str(&text.lines().next().unwrap().replace("\"v\":1", "\"v\":7"));
-        text.push('\n');
+        text.push_str(&frame_line(
+            &json_of(&sample(128)).replace("\"v\":1", "\"v\":7"),
+        ));
         std::fs::write(store.path(), &text).unwrap();
 
         let rep = store.compact().unwrap();
@@ -389,12 +643,21 @@ mod tests {
         let _ = std::fs::remove_file(store.path());
         store.append(&sample(128)).unwrap();
         let mut text = std::fs::read_to_string(store.path()).unwrap();
-        text.push_str(&text.clone().replace("\"v\":1", "\"v\":999"));
+        text.push_str(&frame_line(
+            &json_of(&sample(128)).replace("\"v\":1", "\"v\":999"),
+        ));
         std::fs::write(store.path(), &text).unwrap();
         let (recs, rep) = store.load().unwrap();
         assert_eq!(rep.loaded, 1);
         assert_eq!(rep.version_skipped, 1);
         assert_eq!(rep.corrupt, 0);
         assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE 802.3 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 }

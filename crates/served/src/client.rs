@@ -1,6 +1,11 @@
 //! Blocking client for the `gensor serve` daemon, plus [`RemoteTuner`] —
 //! a [`Tuner`] that compiles through the daemon and silently falls back
-//! to in-process compilation when no daemon answers.
+//! to in-process compilation when no daemon answers — behind a
+//! [`Breaker`]: after a few consecutive transport failures the circuit
+//! opens and later compiles skip the connect/retry budget entirely,
+//! re-probing the daemon with a single half-open request once a jittered
+//! cooldown elapses. A daemon restart therefore costs a fleet of clients
+//! one probe each, not a thundering reconnect herd.
 
 use crate::proto::{
     read_frame, write_frame, ErrKind, FrameError, Request, Response, WireOutcome, PROTO_VERSION,
@@ -11,7 +16,7 @@ use simgpu::{CompiledKernel, Tuner};
 use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
-use std::time::{Duration, SystemTime};
+use std::time::{Duration, Instant, SystemTime};
 use tensor_expr::OpSpec;
 
 /// Connection and retry policy.
@@ -27,6 +32,11 @@ pub struct ClientConfig {
     /// `n` sleeps `base × 2ⁿ`, jittered ±50 % so a fleet of clients whose
     /// daemon restarts does not reconnect in lockstep.
     pub backoff_base: Duration,
+    /// Total wall-clock budget for one `connect_with` call, retries and
+    /// backoff sleeps included. The retry loop stops early rather than
+    /// start a sleep or an attempt that would overrun it, so a caller
+    /// with a deadline can bound its worst case.
+    pub connect_budget: Duration,
 }
 
 impl Default for ClientConfig {
@@ -36,6 +46,7 @@ impl Default for ClientConfig {
             request_timeout: Duration::from_secs(150),
             retries: 3,
             backoff_base: Duration::from_millis(25),
+            connect_budget: Duration::from_secs(3),
         }
     }
 }
@@ -45,6 +56,9 @@ impl Default for ClientConfig {
 pub enum ClientError {
     /// Could not connect (after all retries).
     Unreachable(std::io::Error),
+    /// The circuit breaker is open: recent transport failures, cooldown
+    /// not yet elapsed. Nothing touched the socket.
+    CircuitOpen,
     /// The wire broke mid-exchange.
     Frame(FrameError),
     /// The server answered, but not what the protocol promises here.
@@ -59,6 +73,9 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Unreachable(e) => write!(f, "daemon unreachable: {e}"),
+            ClientError::CircuitOpen => {
+                write!(f, "circuit breaker open after repeated transport failures")
+            }
             ClientError::Frame(e) => write!(f, "wire error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
             ClientError::Busy {
@@ -111,13 +128,19 @@ impl Client {
         cfg: ClientConfig,
     ) -> Result<Client, ClientError> {
         let socket = socket.as_ref();
+        let started = Instant::now();
         let mut rng = StdRng::seed_from_u64(jitter_seed());
         let mut last_err: Option<std::io::Error> = None;
         for attempt in 0..cfg.retries.max(1) {
             if attempt > 0 {
                 let base = cfg.backoff_base.as_secs_f64() * f64::powi(2.0, attempt as i32 - 1);
-                let jittered = base * rng.gen_range(0.5..1.5);
-                std::thread::sleep(Duration::from_secs_f64(jittered));
+                let sleep = Duration::from_secs_f64(base * rng.gen_range(0.5..1.5));
+                // Deadline-aware: never start a sleep (plus the attempt
+                // it buys) that would overrun the connect budget.
+                if started.elapsed() + sleep + cfg.connect_timeout > cfg.connect_budget {
+                    break;
+                }
+                std::thread::sleep(sleep);
             }
             match UnixStream::connect(socket) {
                 Ok(stream) => {
@@ -269,6 +292,164 @@ impl Client {
     }
 }
 
+/// Circuit breaker thresholds; defaults suit a local Unix socket.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive transport failures that open the circuit.
+    pub failure_threshold: u32,
+    /// First open period; a failed half-open probe doubles it (jittered
+    /// ±50 %) up to `max_cooldown`, a success resets it.
+    pub cooldown: Duration,
+    /// Upper bound on the doubling cooldown.
+    pub max_cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(250),
+            max_cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The breaker's externally visible state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: calls flow.
+    Closed,
+    /// Tripped: calls are refused until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe call is let through.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Lower-case name, for human and JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+struct BreakerInner {
+    consecutive: u32,
+    /// `Some` once tripped: refuse until this instant, then half-open.
+    open_until: Option<Instant>,
+    /// The *next* open period (doubles on repeated trips).
+    cooldown: Duration,
+    /// A half-open probe is in flight; concurrent calls stay refused.
+    probing: bool,
+    trips: u64,
+    rng: StdRng,
+}
+
+/// A consecutive-failure circuit breaker for daemon transport errors.
+///
+/// Closed → (N consecutive failures) → Open → (jittered cooldown) →
+/// HalfOpen, where one probe call decides: success closes the circuit,
+/// failure re-opens it with a doubled (capped) cooldown. Only *transport*
+/// failures count — a `Busy` or typed server error proves the daemon is
+/// alive and resets the streak.
+pub struct Breaker {
+    cfg: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+impl Breaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        let cooldown = cfg.cooldown;
+        Breaker {
+            cfg,
+            inner: Mutex::new(BreakerInner {
+                consecutive: 0,
+                open_until: None,
+                cooldown,
+                probing: false,
+                trips: 0,
+                rng: StdRng::seed_from_u64(jitter_seed()),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// May a call proceed? `false` short-circuits without touching the
+    /// socket. In half-open state exactly one caller gets `true` (the
+    /// probe) until `on_success`/`on_failure` settles it.
+    pub fn allow(&self) -> bool {
+        let mut g = self.lock();
+        match g.open_until {
+            None => true,
+            Some(until) => {
+                if Instant::now() < until || g.probing {
+                    false
+                } else {
+                    g.probing = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// The daemon answered (even with a typed error): close the circuit.
+    pub fn on_success(&self) {
+        let mut g = self.lock();
+        g.consecutive = 0;
+        g.open_until = None;
+        g.probing = false;
+        g.cooldown = self.cfg.cooldown;
+    }
+
+    /// A transport failure (unreachable, broken wire).
+    pub fn on_failure(&self) {
+        let mut g = self.lock();
+        if g.probing {
+            // Failed half-open probe: re-open with a doubled cooldown.
+            g.probing = false;
+            g.cooldown = (g.cooldown * 2).min(self.cfg.max_cooldown);
+            Self::trip(&mut g);
+            return;
+        }
+        g.consecutive += 1;
+        if g.open_until.is_none() && g.consecutive >= self.cfg.failure_threshold {
+            Self::trip(&mut g);
+        }
+    }
+
+    fn trip(g: &mut BreakerInner) {
+        let jittered = g.cooldown.as_secs_f64() * g.rng.gen_range(0.5..1.5);
+        g.open_until = Some(Instant::now() + Duration::from_secs_f64(jittered));
+        g.trips += 1;
+        obs::counter_inc!(
+            "gensor_client_breaker_trips_total",
+            "Times the client circuit breaker opened"
+        );
+    }
+
+    /// Current state (for reporting; racy by nature).
+    pub fn state(&self) -> BreakerState {
+        let g = self.lock();
+        match g.open_until {
+            None => BreakerState::Closed,
+            Some(until) if Instant::now() < until => BreakerState::Open,
+            Some(_) => BreakerState::HalfOpen,
+        }
+    }
+
+    /// How many times the circuit has opened.
+    pub fn trips(&self) -> u64 {
+        self.lock().trips
+    }
+}
+
 /// Where a [`RemoteTuner`] answered each compile from.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RemoteReport {
@@ -292,10 +473,11 @@ pub struct RemoteTuner<'a> {
     fallback: &'a dyn Tuner,
     pool: Mutex<Vec<Client>>,
     report: Mutex<RemoteReport>,
-    /// Set after a connect fails all its retries: later compiles go
-    /// straight to the fallback instead of re-paying the retry budget
-    /// per layer of a model.
-    offline: std::sync::atomic::AtomicBool,
+    /// Opens after consecutive transport failures: later compiles go
+    /// straight to the fallback instead of re-paying the connect budget
+    /// per layer of a model — and unlike a one-way "offline" latch, a
+    /// half-open probe finds a restarted daemon again.
+    breaker: Breaker,
 }
 
 impl<'a> RemoteTuner<'a> {
@@ -315,7 +497,7 @@ impl<'a> RemoteTuner<'a> {
             fallback,
             pool: Mutex::new(Vec::new()),
             report: Mutex::new(RemoteReport::default()),
-            offline: std::sync::atomic::AtomicBool::new(false),
+            breaker: Breaker::new(BreakerConfig::default()),
         }
     }
 
@@ -323,6 +505,18 @@ impl<'a> RemoteTuner<'a> {
     pub fn with_config(mut self, cfg: ClientConfig) -> Self {
         self.cfg = cfg;
         self
+    }
+
+    /// Override the circuit-breaker thresholds.
+    pub fn with_breaker(mut self, cfg: BreakerConfig) -> Self {
+        self.breaker = Breaker::new(cfg);
+        self
+    }
+
+    /// The transport circuit breaker (state and trip count, for
+    /// reporting).
+    pub fn breaker(&self) -> &Breaker {
+        &self.breaker
     }
 
     /// How many compiles went remote vs fell back local so far.
@@ -344,23 +538,28 @@ impl<'a> RemoteTuner<'a> {
             .push(client);
     }
 
+    /// Is this a *transport* failure (daemon gone / wire broken)? Typed
+    /// server errors and `Busy` prove the daemon is alive and must not
+    /// trip the breaker.
+    fn is_transport_failure(e: &ClientError) -> bool {
+        matches!(e, ClientError::Unreachable(_) | ClientError::Frame(_))
+    }
+
     fn try_remote(&self, op: &OpSpec, spec: &GpuSpec) -> Result<CompiledKernel, ClientError> {
-        use std::sync::atomic::Ordering;
-        if self.offline.load(Ordering::Relaxed) {
-            return Err(ClientError::Unreachable(std::io::Error::new(
-                std::io::ErrorKind::NotConnected,
-                "daemon marked offline after earlier connect failures",
-            )));
+        if !self.breaker.allow() {
+            return Err(ClientError::CircuitOpen);
         }
-        let mut client = match self.checkout() {
-            Ok(c) => c,
-            Err(e) => {
-                if matches!(e, ClientError::Unreachable(_)) {
-                    self.offline.store(true, Ordering::Relaxed);
-                }
-                return Err(e);
-            }
-        };
+        let outcome = self.try_remote_inner(op, spec);
+        match &outcome {
+            Ok(_) => self.breaker.on_success(),
+            Err(e) if Self::is_transport_failure(e) => self.breaker.on_failure(),
+            Err(_) => self.breaker.on_success(),
+        }
+        outcome
+    }
+
+    fn try_remote_inner(&self, op: &OpSpec, spec: &GpuSpec) -> Result<CompiledKernel, ClientError> {
+        let mut client = self.checkout()?;
         match client.compile(op, spec, &self.method, self.budget) {
             Ok((kernel, _outcome)) => {
                 self.checkin(client);
@@ -443,6 +642,80 @@ mod tests {
                 remote: 0,
                 local: 1
             }
+        );
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_and_recovers_via_probe() {
+        let b = Breaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(10),
+            max_cooldown: Duration::from_millis(40),
+        });
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+        b.on_failure();
+        assert!(b.allow(), "one failure below the threshold stays closed");
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(), "open circuit refuses calls");
+        assert_eq!(b.trips(), 1);
+        // Jitter caps the open period at 1.5 × 10 ms.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow(), "half-open lets one probe through");
+        assert!(!b.allow(), "…but only one");
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_a_longer_cooldown() {
+        let b = Breaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(5),
+            max_cooldown: Duration::from_millis(40),
+        });
+        b.on_failure();
+        assert_eq!(b.trips(), 1);
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(b.allow(), "cooldown elapsed: probe admitted");
+        b.on_failure();
+        assert_eq!(b.trips(), 2, "failed probe re-opens");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+    }
+
+    #[test]
+    fn breaker_short_circuits_fallback_after_repeated_connect_failures() {
+        let gensor = gensor::Gensor::single_chain(5);
+        let tuner = RemoteTuner::new(
+            "/tmp/served-test-no-such-daemon-3.sock",
+            "gensor",
+            None,
+            &gensor,
+        )
+        .with_config(ClientConfig {
+            retries: 1,
+            backoff_base: Duration::from_millis(1),
+            ..Default::default()
+        })
+        .with_breaker(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_secs(30),
+            max_cooldown: Duration::from_secs(30),
+        });
+        let spec = GpuSpec::rtx4090();
+        let op = tensor_expr::OpSpec::gemm(128, 128, 128);
+        let _ = tuner.compile(&op, &spec); // trips the breaker
+        assert_eq!(tuner.breaker().state(), BreakerState::Open);
+        let _ = tuner.compile(&op, &spec); // open: straight to fallback
+        assert_eq!(tuner.report().local, 2, "both compiles fell back");
+        assert_eq!(
+            tuner.breaker().trips(),
+            1,
+            "no connect attempt ran while open"
         );
     }
 }

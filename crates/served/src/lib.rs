@@ -20,7 +20,10 @@ pub mod metrics;
 pub mod proto;
 pub mod server;
 
-pub use client::{Client, ClientConfig, ClientError, RemoteReport, RemoteTuner};
+pub use client::{
+    Breaker, BreakerConfig, BreakerState, Client, ClientConfig, ClientError, RemoteReport,
+    RemoteTuner,
+};
 pub use metrics::ServeStats;
 pub use proto::{ErrKind, FrameError, Request, Response, WireKernel, WireOutcome, PROTO_VERSION};
 pub use server::{DrainReport, MethodRegistry, Server, ServerConfig, ServerHandle};

@@ -87,6 +87,8 @@ pub struct Metrics {
     pub shed: AtomicU64,
     pub deadline_expired: AtomicU64,
     pub proto_errors: AtomicU64,
+    pub worker_panics: AtomicU64,
+    pub cancelled: AtomicU64,
     pub latency: Histogram,
     pub queue: Histogram,
     pub service: Histogram,
@@ -138,6 +140,8 @@ impl Metrics {
             shed: load(&self.shed),
             deadline_expired: load(&self.deadline_expired),
             proto_errors: load(&self.proto_errors),
+            worker_panics: load(&self.worker_panics),
+            cancelled: load(&self.cancelled),
             latency_p50_us: self.latency.quantile_us(0.50),
             latency_p99_us: self.latency.quantile_us(0.99),
             queue_p50_us: self.queue.quantile_us(0.50),
@@ -174,6 +178,11 @@ pub struct ServeStats {
     pub deadline_expired: u64,
     /// Malformed/oversize/truncated frames seen.
     pub proto_errors: u64,
+    /// Worker panics caught and answered as typed `Internal` errors
+    /// (the worker itself survives).
+    pub worker_panics: u64,
+    /// Queued jobs dropped un-run because their client disconnected.
+    pub cancelled: u64,
     /// Median request latency, microseconds (bucket upper bound).
     pub latency_p50_us: u64,
     /// 99th-percentile request latency, microseconds (bucket upper bound).

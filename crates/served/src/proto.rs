@@ -32,8 +32,10 @@ use tensor_expr::OpSpec;
 /// Protocol version; bumped on any incompatible frame change. The
 /// handshake refuses other versions. v2 added the `Metrics` frame pair
 /// (Prometheus text exposition) and the queue/service latency split in
-/// [`ServeStats`].
-pub const PROTO_VERSION: u32 = 2;
+/// [`ServeStats`]. v3 added the robustness counters (`worker_panics`,
+/// `cancelled` in [`ServeStats`], `recovered_truncated` in the cache
+/// snapshot) and the `failed` count in [`Response::BatchDone`].
+pub const PROTO_VERSION: u32 = 3;
 
 /// Upper bound on one frame's JSON payload (32 MiB — far above any real
 /// schedule, far below an allocation-of-death).
@@ -83,12 +85,15 @@ pub enum Response {
         outcome: WireOutcome,
         kernel: WireKernel,
     },
-    /// Reply to [`Request::Batch`].
+    /// Reply to [`Request::Batch`]. `failed` counts jobs whose compile
+    /// panicked and was failed individually; the rest of the batch is
+    /// unaffected.
     BatchDone {
         requested: u64,
         built: u64,
         hits: u64,
         coalesced: u64,
+        failed: u64,
         wall_s: f64,
     },
     /// Reply to [`Request::Stats`].

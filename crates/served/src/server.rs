@@ -27,6 +27,13 @@
 //!   closes, handlers finish their current request, workers run the
 //!   remaining admitted jobs, the store is fsynced, and the socket file is
 //!   removed. New work during drain is refused with `ShuttingDown`.
+//! * **Panic isolation**: a compile that panics fails *its* request with
+//!   a typed `Internal` error; the worker survives (and is respawned if a
+//!   panic ever escapes the per-job guard), so one poisoned operator can
+//!   never kill the daemon.
+//! * **Cancellation**: a client that disconnects while its job is still
+//!   queued releases the job's admission permit immediately; the worker
+//!   skips the orphaned job instead of compiling for nobody.
 
 use crate::metrics::{Metrics, ServeStats};
 use crate::proto::{
@@ -37,6 +44,7 @@ use hardware::GpuSpec;
 use schedcache::{CachedTuner, CompileService, ScheduleCache};
 use simgpu::Tuner;
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -189,8 +197,16 @@ struct Job {
     accepted: Instant,
     deadline: Duration,
     reply: mpsc::Sender<Response>,
-    /// Held until the worker finishes the job.
-    _permit: Permit,
+    /// The admission permit, shared with the dispatching handler so a
+    /// cancelled job's slot can be released while the job still sits in
+    /// the queue. A worker *takes* the permit when it starts the job
+    /// (`Mutex::take` is exclusive, so handler and worker cannot both
+    /// release it); it is dropped — releasing the slot — when the job
+    /// finishes or is skipped.
+    permit: Arc<Mutex<Option<Permit>>>,
+    /// Set by the handler when the client disconnected before the job
+    /// started; the worker skips it instead of compiling for nobody.
+    cancelled: Arc<AtomicBool>,
 }
 
 /// SIGTERM/SIGINT flag (set from the signal handler; an atomic store is
@@ -325,6 +341,7 @@ impl Shared {
             built: report.built as u64,
             hits: report.hits as u64,
             coalesced: report.coalesced as u64,
+            failed: report.failed as u64,
             wall_s: report.wall_s,
         }
     }
@@ -355,6 +372,12 @@ impl Server {
         cache: Arc<ScheduleCache>,
         registry: MethodRegistry,
     ) -> std::io::Result<Server> {
+        // Chaos runs configure failpoints through the environment; a
+        // daemon embedded in tests (no CLI in front) must honour them
+        // too. A bad spec is logged, never fatal.
+        if let Err(e) = faults::init_from_env() {
+            obs::log!(Warn, "serve: ignoring bad {}: {e}", faults::ENV_VAR);
+        }
         if let Some(parent) = cfg.socket.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
@@ -406,7 +429,28 @@ impl Server {
             .map(|_| {
                 let rx = rx.clone();
                 let shared = self.shared.clone();
-                std::thread::spawn(move || worker_loop(&shared, &rx))
+                // Self-healing: `worker_loop` already isolates per-job
+                // panics, so this outer guard only trips if a panic
+                // escapes the job guard (a bug in the loop itself). Even
+                // then the pool heals: the loop is restarted in place
+                // rather than silently shrinking the pool.
+                std::thread::spawn(move || loop {
+                    match catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, &rx))) {
+                        Ok(()) => return,
+                        Err(payload) => {
+                            shared.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                            obs::counter_inc!(
+                                "gensor_served_worker_panics",
+                                "Worker panics caught (per-job or loop-level); the pool self-heals"
+                            );
+                            obs::log!(
+                                Warn,
+                                "serve: worker loop panicked, respawning: {}",
+                                faults::panic_message(payload.as_ref())
+                            );
+                        }
+                    }
+                })
             })
             .collect();
 
@@ -416,13 +460,19 @@ impl Server {
             if self.shared.draining(self.cfg.handle_signals) {
                 break;
             }
-            // Hot-store compaction: a long-lived daemon rewriting the same
-            // keys grows its JSONL store with superseded lines; past the
-            // configured size, rewrite it down to the live set. Checked at
-            // a coarse interval so the accept loop stays cheap.
-            if let Some(max) = self.cfg.compact_bytes {
-                if last_compact_check.elapsed() >= Duration::from_secs(10) {
-                    last_compact_check = Instant::now();
+            // Periodic store maintenance, checked at a coarse interval so
+            // the accept loop stays cheap:
+            //  * fsync the append batch, bounding how much banked work a
+            //    crash between syncs can lose;
+            //  * compaction: a long-lived daemon rewriting the same keys
+            //    grows its JSONL store with superseded lines; past the
+            //    configured size, rewrite it down to the live set.
+            if last_compact_check.elapsed() >= Duration::from_secs(10) {
+                last_compact_check = Instant::now();
+                if let Err(e) = self.shared.cache.flush() {
+                    obs::log!(Warn, "serve: store fsync failed: {e}");
+                }
+                if let Some(max) = self.cfg.compact_bytes {
                     if let Err(e) = self.shared.cache.compact_if_larger_than(max) {
                         obs::log!(Warn, "serve: store compaction failed: {e}");
                     }
@@ -475,14 +525,27 @@ impl Server {
     }
 }
 
-/// Worker: pull admitted jobs, skip the ones whose deadline already
-/// passed, compile the rest against the shared cache.
+/// Worker: pull admitted jobs, skip the cancelled and the already-expired,
+/// compile the rest against the shared cache — each job inside its own
+/// panic guard, so a poisoned operator fails one request, not the pool.
 fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<Job>>) {
     loop {
         let job = match rx.lock().unwrap_or_else(|p| p.into_inner()).recv() {
             Ok(job) => job,
             Err(_) => return, // all senders gone: drained
         };
+        // Take the permit before the cancellation check: from here on the
+        // handler's cancel path finds it already gone and cannot release
+        // a slot the worker is using.
+        let permit = job.permit.lock().unwrap_or_else(|p| p.into_inner()).take();
+        if job.cancelled.load(Ordering::SeqCst) {
+            shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+            obs::counter_inc!(
+                "gensor_serve_cancelled_total",
+                "Queued jobs dropped un-run because their client disconnected"
+            );
+            continue; // `permit` (if any) drops here, freeing the slot
+        }
         let waited = job.accepted.elapsed();
         if waited >= job.deadline {
             shared
@@ -495,66 +558,93 @@ fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<Job>>) {
             });
             continue;
         }
-        let response = match &job.request {
-            Request::Compile {
-                op,
-                gpu,
-                method,
-                budget,
-            } => {
-                let _sp = obs::span!(
-                    "serve.request",
-                    kind = "compile",
-                    method = method.as_str(),
-                    op = op.label(),
-                    queued_us = waited.as_micros() as u64
+        let response = match catch_unwind(AssertUnwindSafe(|| process_job(shared, &job, waited))) {
+            Ok(r) => r,
+            Err(payload) => {
+                shared.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                obs::counter_inc!(
+                    "gensor_served_worker_panics",
+                    "Worker panics caught (per-job or loop-level); the pool self-heals"
                 );
-                let t_service = Instant::now();
-                match shared.compile(op, gpu, method, *budget) {
-                    Ok((kernel, outcome)) => {
-                        shared.metrics.record_compile(
-                            outcome,
-                            waited.as_micros() as u64,
-                            t_service.elapsed().as_micros() as u64,
-                        );
-                        Response::Compiled {
-                            outcome,
-                            kernel: (&kernel).into(),
-                        }
-                    }
-                    Err((kind, message)) => Response::Error { kind, message },
+                let reason = faults::panic_message(payload.as_ref());
+                obs::log!(Warn, "serve: compile job panicked: {reason}");
+                Response::Error {
+                    kind: ErrKind::Internal,
+                    message: format!("compile job panicked: {reason}"),
                 }
             }
-            Request::Batch {
-                model,
-                batch,
-                gpu,
-                method,
-            } => {
-                let _sp = obs::span!(
-                    "serve.request",
-                    kind = "batch",
-                    method = method.as_str(),
-                    model = model.as_str()
-                );
-                let r = shared.batch(model, *batch, gpu, method);
-                if matches!(r, Response::BatchDone { .. }) {
-                    shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
-                    shared
-                        .metrics
-                        .latency
-                        .record_us(job.accepted.elapsed().as_micros() as u64);
-                }
-                r
-            }
-            other => Response::Error {
-                kind: ErrKind::Internal,
-                message: format!("non-work frame reached the pool: {other:?}"),
-            },
         };
-        // The handler may have stopped waiting (deadline); the work is
-        // still banked in the cache, only the reply is dropped.
+        // The handler may have stopped waiting (deadline, disconnect);
+        // the work is still banked in the cache, only the reply is
+        // dropped.
         let _ = job.reply.send(response);
+        drop(permit);
+    }
+}
+
+/// Answer one admitted job. Runs inside the worker's per-job panic guard.
+fn process_job(shared: &Shared, job: &Job, waited: Duration) -> Response {
+    // The chaos harness's stand-in for "the tuner has a bug": any policy
+    // on this site panics here, inside the guard.
+    if let Some(_action) = faults::check("served.worker") {
+        panic!("failpoint 'served.worker': injected worker failure");
+    }
+    match &job.request {
+        Request::Compile {
+            op,
+            gpu,
+            method,
+            budget,
+        } => {
+            let _sp = obs::span!(
+                "serve.request",
+                kind = "compile",
+                method = method.as_str(),
+                op = op.label(),
+                queued_us = waited.as_micros() as u64
+            );
+            let t_service = Instant::now();
+            match shared.compile(op, gpu, method, *budget) {
+                Ok((kernel, outcome)) => {
+                    shared.metrics.record_compile(
+                        outcome,
+                        waited.as_micros() as u64,
+                        t_service.elapsed().as_micros() as u64,
+                    );
+                    Response::Compiled {
+                        outcome,
+                        kernel: (&kernel).into(),
+                    }
+                }
+                Err((kind, message)) => Response::Error { kind, message },
+            }
+        }
+        Request::Batch {
+            model,
+            batch,
+            gpu,
+            method,
+        } => {
+            let _sp = obs::span!(
+                "serve.request",
+                kind = "batch",
+                method = method.as_str(),
+                model = model.as_str()
+            );
+            let r = shared.batch(model, *batch, gpu, method);
+            if matches!(r, Response::BatchDone { .. }) {
+                shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .latency
+                    .record_us(job.accepted.elapsed().as_micros() as u64);
+            }
+            r
+        }
+        other => Response::Error {
+            kind: ErrKind::Internal,
+            message: format!("non-work frame reached the pool: {other:?}"),
+        },
     }
 }
 
@@ -573,7 +663,7 @@ fn handle_connection(
 
     // Handshake: the first frame must be a version match.
     let hello = loop {
-        match read_frame::<_, Request>(&mut stream) {
+        match server_read(&mut stream) {
             Ok(req) => break req,
             Err(FrameError::IdleTimeout) => {
                 if shared.draining(cfg.handle_signals) {
@@ -588,7 +678,7 @@ fn handle_connection(
     };
     match hello {
         Request::Hello { proto } if proto == PROTO_VERSION => {
-            if write_frame(
+            if server_write(
                 &mut stream,
                 &Response::Hello {
                     proto: PROTO_VERSION,
@@ -601,7 +691,7 @@ fn handle_connection(
         }
         Request::Hello { proto } => {
             shared.metrics.proto_errors.fetch_add(1, Ordering::Relaxed);
-            let _ = write_frame(
+            let _ = server_write(
                 &mut stream,
                 &Response::Error {
                     kind: ErrKind::UnsupportedProto,
@@ -612,7 +702,7 @@ fn handle_connection(
         }
         other => {
             shared.metrics.proto_errors.fetch_add(1, Ordering::Relaxed);
-            let _ = write_frame(
+            let _ = server_write(
                 &mut stream,
                 &Response::Error {
                     kind: ErrKind::Malformed,
@@ -624,7 +714,7 @@ fn handle_connection(
     }
 
     loop {
-        let request = match read_frame::<_, Request>(&mut stream) {
+        let request = match server_read(&mut stream) {
             Ok(req) => req,
             Err(FrameError::IdleTimeout) => {
                 if shared.draining(cfg.handle_signals) {
@@ -637,7 +727,7 @@ fn handle_connection(
                 e @ (FrameError::TooLarge(_) | FrameError::Malformed(_) | FrameError::Truncated),
             ) => {
                 shared.metrics.proto_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = write_frame(
+                let _ = server_write(
                     &mut stream,
                     &Response::Error {
                         kind: ErrKind::Malformed,
@@ -666,7 +756,7 @@ fn handle_connection(
             },
             Request::Shutdown => {
                 shared.shutdown.store(true, Ordering::SeqCst);
-                let _ = write_frame(&mut stream, &Response::ShuttingDown);
+                let _ = server_write(&mut stream, &Response::ShuttingDown);
                 return;
             }
             work @ (Request::Compile { .. } | Request::Batch { .. }) => {
@@ -685,34 +775,95 @@ fn handle_connection(
                                 max_inflight: shared.gate.cap,
                             }
                         }
-                        Some(permit) => dispatch_work(work, shared, tx, cfg.deadline, permit),
+                        Some(permit) => {
+                            dispatch_work(work, shared, tx, cfg.deadline, permit, &stream)
+                        }
                     }
                 }
             }
         };
-        if write_frame(&mut stream, &reply).is_err() {
+        if server_write(&mut stream, &reply).is_err() {
             return;
         }
     }
 }
 
+/// [`read_frame`] behind the `served.socket.read` failpoint, so the chaos
+/// suite can break the transport without a misbehaving client.
+fn server_read(stream: &mut UnixStream) -> Result<Request, FrameError> {
+    if faults::armed() && faults::check("served.socket.read").is_some() {
+        return Err(FrameError::Io(faults::injected_err("served.socket.read")));
+    }
+    read_frame::<_, Request>(stream)
+}
+
+/// [`write_frame`] behind the `served.socket.write` failpoint.
+fn server_write(stream: &mut UnixStream, resp: &Response) -> Result<(), FrameError> {
+    if faults::armed() && faults::check("served.socket.write").is_some() {
+        return Err(FrameError::Io(faults::injected_err("served.socket.write")));
+    }
+    write_frame(stream, resp)
+}
+
+/// Has the peer hung up? A zero-byte non-blocking `MSG_PEEK` is EOF;
+/// pending bytes or `EWOULDBLOCK` mean the client is still there. Direct
+/// `recv(2)` binding in the same spirit as `install_signal_handlers`:
+/// the workspace builds offline with no libc crate, and
+/// `UnixStream::peek` is not yet stable.
+fn client_gone(stream: &UnixStream) -> bool {
+    use std::os::fd::AsRawFd;
+    extern "C" {
+        fn recv(fd: i32, buf: *mut u8, len: usize, flags: i32) -> isize;
+    }
+    const MSG_PEEK: i32 = 0x02;
+    const MSG_DONTWAIT: i32 = 0x40;
+    let mut probe = [0u8; 1];
+    let n = unsafe {
+        recv(
+            stream.as_raw_fd(),
+            probe.as_mut_ptr(),
+            probe.len(),
+            MSG_PEEK | MSG_DONTWAIT,
+        )
+    };
+    match n {
+        0 => true,           // EOF: peer closed
+        n if n > 0 => false, // pipelined bytes: alive
+        _ => !matches!(
+            std::io::Error::last_os_error().kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::Interrupted
+        ),
+    }
+}
+
 /// Enqueue one admitted job and wait (bounded by the deadline) for the
-/// pool's answer.
+/// pool's answer, watching the client socket so a disconnect cancels a
+/// job that has not started yet.
 fn dispatch_work(
     work: Request,
     shared: &Shared,
     tx: &mpsc::Sender<Job>,
     deadline: Duration,
     permit: Permit,
+    stream: &UnixStream,
 ) -> Response {
+    if faults::armed() && faults::check("served.dispatch").is_some() {
+        return Response::Error {
+            kind: ErrKind::Internal,
+            message: "failpoint 'served.dispatch': injected dispatch failure".into(),
+        };
+    }
     let (reply_tx, reply_rx) = mpsc::channel();
     let accepted = Instant::now();
+    let permit = Arc::new(Mutex::new(Some(permit)));
+    let cancelled = Arc::new(AtomicBool::new(false));
     let job = Job {
         request: work,
         accepted,
         deadline,
         reply: reply_tx,
-        _permit: permit,
+        permit: permit.clone(),
+        cancelled: cancelled.clone(),
     };
     if tx.send(job).is_err() {
         return Response::Error {
@@ -721,20 +872,47 @@ fn dispatch_work(
         };
     }
     // Small grace past the deadline so a worker's own deadline verdict
-    // (sent just under the wire) wins over ours.
-    match reply_rx.recv_timeout(deadline + Duration::from_millis(250)) {
-        Ok(r) => r,
-        Err(_) => {
+    // (sent just under the wire) wins over ours. The wait is sliced so we
+    // can notice a client hang-up and cancel a still-queued job instead of
+    // compiling for nobody.
+    let hard_deadline = accepted + deadline + Duration::from_millis(250);
+    loop {
+        let now = Instant::now();
+        if now >= hard_deadline {
             shared
                 .metrics
                 .deadline_expired
                 .fetch_add(1, Ordering::Relaxed);
-            Response::Error {
+            return Response::Error {
                 kind: ErrKind::DeadlineExceeded,
                 message: format!(
                     "no result within {:.1} s; the construction keeps running and will be cached",
                     deadline.as_secs_f64()
                 ),
+            };
+        }
+        let slice = (hard_deadline - now).min(Duration::from_millis(50));
+        match reply_rx.recv_timeout(slice) {
+            Ok(r) => return r,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Response::Error {
+                    kind: ErrKind::Internal,
+                    message: "worker dropped the job".into(),
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if client_gone(stream) {
+                    // Cancel-before-release: a worker that already took
+                    // the permit owns the slot (the job started and will
+                    // be banked); otherwise the slot frees right now, not
+                    // when the dead job finally reaches the front.
+                    cancelled.store(true, Ordering::SeqCst);
+                    drop(permit.lock().unwrap_or_else(|p| p.into_inner()).take());
+                    return Response::Error {
+                        kind: ErrKind::Internal,
+                        message: "client disconnected before the job started; cancelled".into(),
+                    };
+                }
             }
         }
     }

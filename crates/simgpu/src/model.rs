@@ -10,12 +10,16 @@ use hardware::{GpuSpec, LevelKind};
 pub enum SimError {
     /// Capacity violation, with the failed check.
     Infeasible(MemCheck),
+    /// A fault injected at the `simgpu.eval` failpoint (chaos testing
+    /// only; never produced in normal operation).
+    Injected(String),
 }
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::Infeasible(c) => write!(f, "schedule infeasible: {c:?}"),
+            SimError::Injected(m) => write!(f, "injected fault: {m}"),
         }
     }
 }
@@ -59,6 +63,12 @@ pub fn simulate(e: &Etir, spec: &GpuSpec) -> Result<KernelReport, SimError> {
 
 /// [`simulate`] with explicit [`SimOptions`].
 pub fn simulate_opts(e: &Etir, spec: &GpuSpec, opts: SimOptions) -> Result<KernelReport, SimError> {
+    // Chaos site: evaluation is the innermost step every tuner leans on,
+    // so injecting here exercises the whole stack's error paths (a
+    // `panic` policy unwinds from inside `check`).
+    if faults::check("simgpu.eval").is_some() {
+        return Err(SimError::Injected("failpoint 'simgpu.eval'".into()));
+    }
     obs::counter_inc!(
         "gensor_simgpu_simulations_total",
         "Analytical kernel-launch simulations run"

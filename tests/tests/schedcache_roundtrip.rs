@@ -151,7 +151,11 @@ fn corrupt_lines_survive_and_are_counted() {
     let (loaded, rep) = store.load().unwrap();
     assert_eq!(loaded.len(), 1);
     assert_eq!(rep.loaded, 1);
-    assert_eq!(rep.corrupt, 1, "truncated tail counted, not fatal");
+    assert_eq!(rep.corrupt, 0, "a torn tail is recovery, not corruption");
+    assert_eq!(
+        rep.recovered_truncated, 1,
+        "truncated tail counted, not fatal"
+    );
 }
 
 /// A tuner that counts constructions and is slow enough that concurrent
@@ -303,9 +307,15 @@ fn bit_flipped_record_is_rejected_at_load_and_never_served() {
     // as a CacheRecord, but the schedule inside is illegal (an unroll
     // factor that is not a power of two).
     let line = std::fs::read_to_string(&path).unwrap();
-    let mut rec: schedcache::CacheRecord = serde_json::from_str(line.trim()).unwrap();
+    // Strip the `F1 <len> <crc>` frame to reach the JSON payload.
+    let payload = line.trim().splitn(4, ' ').nth(3).unwrap();
+    let mut rec: schedcache::CacheRecord = serde_json::from_str(payload).unwrap();
     rec.etir.unroll = 3;
-    std::fs::write(&path, serde_json::to_string(&rec).unwrap() + "\n").unwrap();
+    std::fs::write(
+        &path,
+        schedcache::store::frame_line(&serde_json::to_string(&rec).unwrap()),
+    )
+    .unwrap();
 
     // "New process": the verifier refuses the record at load — counted,
     // not resident — and the request reruns the construction instead of

@@ -378,11 +378,13 @@ fn batch_precompiles_a_model_through_the_shared_cache() {
             built,
             hits,
             coalesced,
+            failed,
             wall_s,
         } => {
             assert_eq!(requested, unique);
             assert_eq!(built + hits + coalesced, unique);
             assert_eq!(built, builds.load(Ordering::SeqCst));
+            assert_eq!(failed, 0);
             assert!(wall_s >= 0.0);
         }
         other => panic!("expected BatchDone, got {other:?}"),
