@@ -1,0 +1,120 @@
+//! Criterion bench: pruned vs exact walk time (DESIGN §12).
+//!
+//! Beyond the printed criterion numbers, the measured comparison is
+//! recorded to `BENCH_learned.json` at the workspace root so CI keeps a
+//! perf trajectory for the learned-pruning fast path: per operator, the
+//! mean walk wall time and exact-benefit evaluation count for the exact
+//! and the pruned walk, plus the derived speedup/eval-reduction ratios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gensor::{Gensor, GensorConfig, Walk};
+use hardware::GpuSpec;
+use learned::{BenefitModel, Pruner, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simgpu::Tuner;
+use std::sync::Arc;
+use std::time::Instant;
+use tensor_expr::OpSpec;
+
+fn bench_ops() -> Vec<(&'static str, OpSpec)> {
+    vec![
+        ("gemm1024", OpSpec::gemm(1024, 512, 2048)),
+        ("conv_28", OpSpec::conv2d(8, 32, 28, 28, 64, 3, 3, 1, 1)),
+    ]
+}
+
+/// Collect a dataset from unpruned tuning of the bench ops and train the
+/// default model — the same lifecycle `gensor learn collect|train` runs.
+fn trained_pruner(spec: &GpuSpec) -> Arc<Pruner> {
+    learned::dataset::install_memory();
+    let tuner = Gensor::with_config(GensorConfig {
+        chains: 2,
+        ..Default::default()
+    });
+    for (_, op) in bench_ops() {
+        let _ = tuner.compile(&op, spec);
+    }
+    let report = learned::dataset::uninstall();
+    let xs: Vec<Vec<f64>> = report.samples.iter().map(|s| s.features.clone()).collect();
+    let ys: Vec<f64> = report.samples.iter().map(|s| s.benefit).collect();
+    let model = BenefitModel::train(&xs, &ys, &TrainConfig::default()).expect("enough samples");
+    Arc::new(Pruner::new(model))
+}
+
+fn pruned_walk(pruner: &Arc<Pruner>) -> Walk {
+    let mut walk = Walk::default();
+    walk.policy.pruner = Some(pruner.clone());
+    walk
+}
+
+/// Mean wall time (ns) and exact-eval count of `walk` on `op`.
+fn measure(walk: &Walk, op: &OpSpec, spec: &GpuSpec, runs: u32) -> (f64, u64) {
+    let mut evals = 0;
+    let start = Instant::now();
+    for seed in 0..runs {
+        let rec = walk.run(op, spec, &mut StdRng::seed_from_u64(seed as u64));
+        evals = rec.exact_benefit_evals;
+    }
+    (start.elapsed().as_nanos() as f64 / runs as f64, evals)
+}
+
+fn learned_walks(c: &mut Criterion) {
+    let spec = GpuSpec::rtx4090();
+    let pruner = trained_pruner(&spec);
+
+    let mut group = c.benchmark_group("learned_walk");
+    group.sample_size(10);
+    for (name, op) in &bench_ops() {
+        let exact = Walk::default();
+        group.bench_with_input(BenchmarkId::new("exact", name), op, |b, op| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                exact.run(op, &spec, &mut StdRng::seed_from_u64(seed))
+            })
+        });
+        let pruned = pruned_walk(&pruner);
+        group.bench_with_input(BenchmarkId::new("pruned", name), op, |b, op| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                pruned.run(op, &spec, &mut StdRng::seed_from_u64(seed))
+            })
+        });
+    }
+    group.finish();
+
+    // The recorded trajectory: same comparison, explicit timing, one JSON
+    // file the perf dashboard can diff across commits.
+    let mut rows = Vec::new();
+    for (name, op) in &bench_ops() {
+        let (exact_ns, exact_evals) = measure(&Walk::default(), op, &spec, 5);
+        let (pruned_ns, pruned_evals) = measure(&pruned_walk(&pruner), op, &spec, 5);
+        rows.push(format!(
+            concat!(
+                "{{\"op\": \"{}\", \"exact_walk_ns\": {:.0}, \"pruned_walk_ns\": {:.0}, ",
+                "\"walk_speedup\": {:.3}, \"exact_evals\": {}, \"pruned_evals\": {}, ",
+                "\"eval_reduction\": {:.3}}}"
+            ),
+            name,
+            exact_ns,
+            pruned_ns,
+            exact_ns / pruned_ns.max(1.0),
+            exact_evals,
+            pruned_evals,
+            exact_evals as f64 / pruned_evals.max(1) as f64,
+        ));
+    }
+    let json = format!(
+        "{{\"bench\": \"learned\", \"unit\": \"ns\", \"ops\": [{}]}}\n",
+        rows.join(", ")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_learned.json");
+    std::fs::write(out, &json).expect("write BENCH_learned.json");
+    println!("\nrecorded {out}");
+    print!("{json}");
+}
+
+criterion_group!(benches, learned_walks);
+criterion_main!(benches);

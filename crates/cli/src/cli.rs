@@ -26,13 +26,20 @@ gensor — graph-based construction tensor compiler (Rust reproduction)
 
 USAGE:
   gensor compile <op> <dims...> [--gpu G] [--method M] [--emit E] [--cache F]
-                                [--remote S]
+                                [--remote S] [--learned M.json] [--topk K]
+                                [--seed N] [--collect]
   gensor compare <op> <dims...> [--gpu G]
   gensor model <name> [--batch B] [--gpu G] [--method M] [--cache F]
-                      [--remote S]
+                      [--remote S] [--learned M.json] [--topk K] [--seed N]
+                      [--collect]
   gensor serve --socket S [--cache F] [--cache-cap N] [--workers N]
                [--max-inflight N] [--deadline SECS] [--compact-bytes N]
-               [--failpoints SPEC]
+               [--failpoints SPEC] [--learned M.json] [--topk K] [--seed N]
+  gensor learn collect [<op> <dims...> | <model> | zoo] (--out D | --cache F)
+                       [--gpu G] [--batch B] [--budget N] [--seed N]
+  gensor learn train --data D --out M.json [--kind ridge|stumps] [--rounds N]
+  gensor learn eval --data D --model M.json [--emit E]
+  gensor learn fetch --socket S --out M.json
   gensor serve-stats --socket S [--emit E]
   gensor cache stats <file> [--emit E]
   gensor cache compact <file>
@@ -69,7 +76,20 @@ OPTIONS:
                   'store.append=err(1);simgpu.eval=prob(0.05,42)'
                   (every command also honours GENSOR_FAILPOINTS)
   --out           trace: Chrome trace_event JSON output (open in Perfetto)
+                  learn collect/train/fetch: output file
   --csv           trace: also write the per-walk convergence CSV here
+  --learned       prune construction walks with a trained benefit model
+                  (JSON file); serve also auto-loads the cache's
+                  .model.json sidecar when this flag is absent
+  --topk          learned shortlist size per walk step (default 3)
+  --seed          deterministic base RNG seed for the construction walks
+  --collect       compile/model: log (state, action) -> benefit training
+                  samples into the cache's .learn.jsonl sidecar
+                  (requires --cache)
+  --data          learn train/eval: training dataset (JSONL)
+  --model         learn eval: trained model to evaluate
+  --kind          learn train: regressor family (default stumps)
+  --rounds        learn train: boosting rounds (default 60)
 
 MODELS:
   resnet50 | resnet34 | mobilenetv2 | bert | gpt2   (lint also takes `zoo`)
@@ -101,7 +121,7 @@ fn parse_method(name: &str) -> Result<Box<dyn Tuner>, CliError> {
 type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
 
 /// Options that are bare flags (no value token follows them).
-const BOOL_FLAGS: &[&str] = &["json", "deny-warnings"];
+const BOOL_FLAGS: &[&str] = &["json", "deny-warnings", "collect"];
 
 /// Split positional arguments from `--key value` options.
 fn split_args(args: &[String]) -> Result<ParsedArgs<'_>, CliError> {
@@ -152,24 +172,84 @@ fn parse_cache(opts: &[(&str, &str)]) -> Result<Option<Arc<ScheduleCache>>, CliE
     }
 }
 
+/// The `--learned <model.json>` pruner (honouring `--topk`), if present.
+fn parse_learned(opts: &[(&str, &str)]) -> Result<Option<Arc<learned::Pruner>>, CliError> {
+    let Some((_, path)) = opts.iter().rev().find(|(k, _)| *k == "learned") else {
+        return Ok(None);
+    };
+    let model = learned::BenefitModel::load(std::path::Path::new(path))
+        .map_err(|e| CliError::Usage(format!("cannot load learned model '{path}': {e}")))?;
+    let mut pruner = learned::Pruner::new(model);
+    if let Some(k) = parse_num(opts, "topk")? {
+        pruner = pruner.with_top_k((k as usize).max(1));
+    }
+    Ok(Some(Arc::new(pruner)))
+}
+
+/// Gensor construction config from the shared options: `--seed` reseeds
+/// every stochastic walk, `--learned`/`--topk` install the pruned-walk
+/// shortlist, `--budget` caps the chain count.
+fn gensor_config(opts: &[(&str, &str)]) -> Result<gensor::GensorConfig, CliError> {
+    let mut cfg = gensor::GensorConfig::default();
+    if let Some(b) = parse_num(opts, "budget")? {
+        cfg.chains = (b as usize).max(1);
+    }
+    if let Some(seed) = parse_num(opts, "seed")? {
+        cfg = cfg.with_seed(seed);
+    }
+    if let Some(pruner) = parse_learned(opts)? {
+        cfg = cfg.with_pruner(pruner);
+    }
+    Ok(cfg)
+}
+
+/// The `--method` tuner, with gensor built from [`gensor_config`] so
+/// `--seed`/`--learned` apply to it.
+fn configured_method(opts: &[(&str, &str)]) -> Result<Box<dyn Tuner>, CliError> {
+    let method_name = opt(opts, "method", "gensor");
+    if method_name == "gensor" {
+        Ok(Box::new(gensor::Gensor::with_config(gensor_config(opts)?)))
+    } else {
+        parse_method(method_name)
+    }
+}
+
 /// Wrap `method` in a caching adapter. Gensor gets the warm-start path
-/// (a quarter-chain construction seeded by cached neighbours); other
-/// methods are cached as-is.
+/// (a quarter-chain construction seeded by cached neighbours, inheriting
+/// `cfg`'s seed and pruner); other methods are cached as-is.
 fn cached_tuner<'a>(
     method: &'a dyn Tuner,
     name: &str,
     cache: Arc<ScheduleCache>,
+    cfg: &gensor::GensorConfig,
 ) -> CachedTuner<'a> {
     if name == "gensor" {
-        let cfg = gensor::GensorConfig::default();
         let warm = gensor::Gensor::with_config(gensor::GensorConfig {
             chains: (cfg.chains / 4).max(1),
-            ..cfg
+            ..cfg.clone()
         });
         CachedTuner::with_warm_tuner(method, warm, cache)
     } else {
         CachedTuner::new(method, cache)
     }
+}
+
+/// Arm the `--collect` training-sample recorder: the dataset lands in the
+/// cache's `.learn.jsonl` sidecar (append mode, so repeated runs grow
+/// one dataset). Returns the sidecar path when armed.
+fn arm_collect(opts: &[(&str, &str)]) -> Result<Option<std::path::PathBuf>, CliError> {
+    if !has_flag(opts, "collect") {
+        return Ok(None);
+    }
+    let Some((_, cache)) = opts.iter().rev().find(|(k, _)| *k == "cache") else {
+        return Err(CliError::Usage(
+            "--collect needs --cache <file> (samples land in its .learn.jsonl sidecar)".into(),
+        ));
+    };
+    let path = schedcache::learned_dataset_sidecar(std::path::Path::new(cache));
+    learned::dataset::install_file(&path, true)
+        .map_err(|e| CliError::Usage(format!("cannot open dataset '{}': {e}", path.display())))?;
+    Ok(Some(path))
 }
 
 /// One summary line about cache behaviour.
@@ -241,6 +321,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "compare" => compare(rest, &opts),
         "model" => model(rest, &opts),
         "cache" => cache_cmd(rest, &opts),
+        "learn" => learn(rest, &opts),
         "serve" => serve(rest, &opts),
         "serve-stats" => serve_stats(rest, &opts),
         "lint" => lint(rest, &opts),
@@ -295,11 +376,12 @@ fn compile(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     let op = parse_op(pos)?;
     let gpu = parse_gpu(opt(opts, "gpu", "rtx4090"))?;
     let method_name = opt(opts, "method", "gensor");
-    let method = parse_method(method_name)?;
+    let gcfg = gensor_config(opts)?;
+    let method = configured_method(opts)?;
     let cache = parse_cache(opts)?;
     let cached = cache
         .as_ref()
-        .map(|c| cached_tuner(method.as_ref(), method_name, c.clone()));
+        .map(|c| cached_tuner(method.as_ref(), method_name, c.clone(), &gcfg));
     let local: &dyn Tuner = match &cached {
         Some(c) => c,
         None => method.as_ref(),
@@ -311,7 +393,9 @@ fn compile(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
         None => local,
     };
     let emit = opt(opts, "emit", "summary");
+    let collecting = arm_collect(opts)?;
     let ck = tuner.compile(&op, &gpu);
+    let collected = collecting.map(|path| (learned::dataset::uninstall().recorded, path));
     Ok(match emit {
         "cuda" => codegen::emit_cuda(&ck.etir),
         "harness" => codegen::emit_host_harness(&ck.etir),
@@ -359,6 +443,9 @@ fn compile(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
             if let (Some(r), Some(socket)) = (&remote, parse_remote(opts)) {
                 let _ = writeln!(out, "remote   : {}", remote_line(socket, r.report()));
             }
+            if let Some((n, path)) = &collected {
+                let _ = writeln!(out, "learn    : collected {n} samples → {}", path.display());
+            }
             out
         }
         other => return Err(CliError::Usage(format!("unknown emit mode '{other}'"))),
@@ -398,11 +485,12 @@ fn model(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
         .map_err(|_| CliError::Usage("bad --batch".into()))?;
     let gpu = parse_gpu(opt(opts, "gpu", "rtx4090"))?;
     let method_name = opt(opts, "method", "gensor");
-    let method = parse_method(method_name)?;
+    let gcfg = gensor_config(opts)?;
+    let method = configured_method(opts)?;
     let cache = parse_cache(opts)?;
     let cached = cache
         .as_ref()
-        .map(|c| cached_tuner(method.as_ref(), method_name, c.clone()));
+        .map(|c| cached_tuner(method.as_ref(), method_name, c.clone(), &gcfg));
     let local: &dyn Tuner = match &cached {
         Some(c) => c,
         None => method.as_ref(),
@@ -414,7 +502,9 @@ fn model(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
         None => local,
     };
     let graph = model_graph(name, batch)?;
+    let collecting = arm_collect(opts)?;
     let cm = compile_model(tuner, &graph, &gpu);
+    let collected = collecting.map(|path| (learned::dataset::uninstall().recorded, path));
     let mut out = String::new();
     let _ = writeln!(out, "model      : {} (batch {})", graph.name, graph.batch);
     let _ = writeln!(out, "gpu        : {}", gpu.name);
@@ -433,6 +523,13 @@ fn model(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     }
     if let (Some(r), Some(socket)) = (&remote, parse_remote(opts)) {
         let _ = writeln!(out, "remote     : {}", remote_line(socket, r.report()));
+    }
+    if let Some((n, path)) = &collected {
+        let _ = writeln!(
+            out,
+            "learn      : collected {n} samples → {}",
+            path.display()
+        );
     }
     Ok(out)
 }
@@ -486,21 +583,6 @@ fn target_ops(pos: &[&str], batch: u64) -> Result<Vec<OpSpec>, CliError> {
     Ok(ops)
 }
 
-/// The `--method` tuner, with `--budget` capping Gensor's chain count
-/// (trades construction coverage for sweep speed).
-fn budgeted_method(opts: &[(&str, &str)]) -> Result<Box<dyn Tuner>, CliError> {
-    let method_name = opt(opts, "method", "gensor");
-    match (method_name, parse_num(opts, "budget")?) {
-        ("gensor", Some(b)) => Ok(Box::new(gensor::Gensor::with_config(
-            gensor::GensorConfig {
-                chains: (b as usize).max(1),
-                ..Default::default()
-            },
-        ))),
-        _ => parse_method(method_name),
-    }
-}
-
 /// `gensor lint` — compile each target operator, run the static schedule
 /// verifier over the winner, and report typed `GS0xx` diagnostics. Any
 /// error — or, under `--deny-warnings`, any warning — makes the command
@@ -512,7 +594,7 @@ fn lint(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     let batch: u64 = opt(opts, "batch", "1")
         .parse()
         .map_err(|_| CliError::Usage("bad --batch".into()))?;
-    let method = budgeted_method(opts)?;
+    let method = configured_method(opts)?;
     let ops = target_ops(pos, batch)?;
     let reports: Vec<verify::Report> = ops
         .iter()
@@ -576,7 +658,7 @@ fn trace(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     let batch: u64 = opt(opts, "batch", "1")
         .parse()
         .map_err(|_| CliError::Usage("bad --batch".into()))?;
-    let method = budgeted_method(opts)?;
+    let method = configured_method(opts)?;
     let ops = target_ops(pos, batch)?;
     let ring = Arc::new(obs::RingCollector::new(1 << 20));
     obs::install(ring.clone());
@@ -626,7 +708,7 @@ fn metrics_cmd(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> 
     let batch: u64 = opt(opts, "batch", "1")
         .parse()
         .map_err(|_| CliError::Usage("bad --batch".into()))?;
-    let method = budgeted_method(opts)?;
+    let method = configured_method(opts)?;
     let ops = if pos.is_empty() {
         vec![OpSpec::gemm(256, 128, 256)]
     } else {
@@ -679,8 +761,46 @@ fn serve(_pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
             .map_err(|e| CliError::Usage(format!("bad --failpoints: {e}")))?;
         eprintln!("gensor serve: {n} failpoint(s) armed");
     }
+    // Learned benefit model: `--learned` wins; otherwise the cache's
+    // `.model.json` sidecar is picked up when present, so a deployment
+    // that ships cache + sidecar gets pruned walks with no extra flags.
+    let model_path = {
+        let explicit = opt(opts, "learned", "");
+        if !explicit.is_empty() {
+            Some(std::path::PathBuf::from(explicit))
+        } else {
+            opts.iter()
+                .rev()
+                .find(|(k, _)| *k == "cache")
+                .map(|(_, p)| schedcache::learned_model_sidecar(std::path::Path::new(p)))
+                .filter(|p| p.exists())
+        }
+    };
+    let mut gcfg = gensor::GensorConfig::default();
+    if let Some(seed) = parse_num(opts, "seed")? {
+        gcfg = gcfg.with_seed(seed);
+    }
+    if let Some(path) = &model_path {
+        let model = learned::BenefitModel::load(path).map_err(|e| {
+            CliError::Usage(format!(
+                "cannot load learned model '{}': {e}",
+                path.display()
+            ))
+        })?;
+        cfg.learned_model_json = Some(model.to_json());
+        let mut pruner = learned::Pruner::new(model);
+        if let Some(k) = parse_num(opts, "topk")? {
+            pruner = pruner.with_top_k((k as usize).max(1));
+        }
+        gcfg = gcfg.with_pruner(Arc::new(pruner));
+        eprintln!(
+            "gensor serve: learned benefit model loaded from {}",
+            path.display()
+        );
+    }
     let (workers, max_inflight) = (cfg.workers, cfg.max_inflight);
-    let server = served::Server::bind(cfg, cache, served::MethodRegistry::standard())
+    let registry = served::MethodRegistry::standard_with_gensor(gcfg);
+    let server = served::Server::bind(cfg, cache, registry)
         .map_err(|e| CliError::Usage(format!("cannot bind '{socket}': {e}")))?;
     // Announce on stderr before blocking; the summary goes to stdout at
     // drain time.
@@ -914,6 +1034,188 @@ fn cache_cmd(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
         }
         other => Err(CliError::Usage(format!("unknown emit mode '{other}'"))),
     }
+}
+
+/// `gensor learn` — the learned-benefit lifecycle: collect a training
+/// dataset while tuning, train/evaluate a benefit model, or fetch the
+/// model a daemon distributes with its schedule cache.
+fn learn(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
+    let (sub, rest) = pos.split_first().ok_or_else(|| {
+        CliError::Usage("learn expects a subcommand: collect | train | eval | fetch".into())
+    })?;
+    match *sub {
+        "collect" => learn_collect(rest, opts),
+        "train" => learn_train(opts),
+        "eval" => learn_eval(opts),
+        "fetch" => learn_fetch(opts),
+        other => Err(CliError::Usage(format!(
+            "unknown learn subcommand '{other}'"
+        ))),
+    }
+}
+
+/// `gensor learn collect` — tune the target operators with Gensor while
+/// the dataset recorder logs every exact benefit evaluation as a
+/// training sample. Always runs *unpruned* (a `--learned` flag is
+/// ignored here): collecting through a pruner would bias the dataset
+/// toward the actions the old model already favours.
+fn learn_collect(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
+    let gpu = parse_gpu(opt(opts, "gpu", "rtx4090"))?;
+    let batch: u64 = opt(opts, "batch", "1")
+        .parse()
+        .map_err(|_| CliError::Usage("bad --batch".into()))?;
+    let ops = target_ops(pos, batch)?;
+    let out_path = {
+        let out = opt(opts, "out", "");
+        if !out.is_empty() {
+            std::path::PathBuf::from(out)
+        } else if let Some((_, c)) = opts.iter().rev().find(|(k, _)| *k == "cache") {
+            schedcache::learned_dataset_sidecar(std::path::Path::new(c))
+        } else {
+            return Err(CliError::Usage(
+                "learn collect needs --out <dataset.jsonl> or --cache <file>".into(),
+            ));
+        }
+    };
+    let mut cfg = gensor::GensorConfig::default();
+    if let Some(b) = parse_num(opts, "budget")? {
+        cfg.chains = (b as usize).max(1);
+    }
+    if let Some(seed) = parse_num(opts, "seed")? {
+        cfg = cfg.with_seed(seed);
+    }
+    learned::dataset::install_file(&out_path, true).map_err(|e| {
+        CliError::Usage(format!("cannot open dataset '{}': {e}", out_path.display()))
+    })?;
+    let tuner = gensor::Gensor::with_config(cfg);
+    for op in &ops {
+        let _ = tuner.compile(op, &gpu);
+    }
+    let report = learned::dataset::uninstall();
+    Ok(format!(
+        "collected {} samples from {} op(s) → {}\n",
+        report.recorded,
+        ops.len(),
+        out_path.display()
+    ))
+}
+
+/// `gensor learn train` — fit a benefit model on a collected dataset and
+/// save it (conventionally to the cache's `.model.json` sidecar, where
+/// `gensor serve` auto-loads it).
+fn learn_train(opts: &[(&str, &str)]) -> Result<String, CliError> {
+    let data = opt(opts, "data", "");
+    let out = opt(opts, "out", "");
+    if data.is_empty() || out.is_empty() {
+        return Err(CliError::Usage(
+            "learn train needs --data <dataset.jsonl> and --out <model.json>".into(),
+        ));
+    }
+    let (samples, load) = learned::dataset::load(std::path::Path::new(data))
+        .map_err(|e| CliError::Usage(format!("cannot read dataset '{data}': {e}")))?;
+    let kind_name = opt(opts, "kind", "stumps");
+    let kind = learned::ModelKind::parse(kind_name)
+        .ok_or_else(|| CliError::Usage(format!("unknown model kind '{kind_name}'")))?;
+    let mut cfg = learned::TrainConfig {
+        kind,
+        ..Default::default()
+    };
+    if let Some(r) = parse_num(opts, "rounds")? {
+        cfg.rounds = (r as usize).max(1);
+    }
+    let features: Vec<Vec<f64>> = samples.iter().map(|s| s.features.clone()).collect();
+    let benefits: Vec<f64> = samples.iter().map(|s| s.benefit).collect();
+    let model = learned::BenefitModel::train(&features, &benefits, &cfg)
+        .map_err(|e| CliError::Usage(format!("training failed: {e}")))?;
+    model
+        .save(std::path::Path::new(out))
+        .map_err(|e| CliError::Usage(format!("cannot write model '{out}': {e}")))?;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "dataset   : {} samples ({} corrupt, {} foreign-version skipped)",
+        load.loaded, load.corrupt, load.version_skipped
+    );
+    let _ = writeln!(
+        s,
+        "kind      : {kind_name} ({} train / {} holdout)",
+        model.train_samples,
+        load.loaded - model.train_samples
+    );
+    let _ = writeln!(
+        s,
+        "holdout ρ : {:.3} (Spearman rank correlation)",
+        model.holdout_spearman
+    );
+    let _ = writeln!(s, "model     : {out}");
+    Ok(s)
+}
+
+/// `gensor learn eval` — rank-correlation of a trained model against a
+/// dataset (use a dataset the model was *not* trained on for an honest
+/// number; the training summary already reports the holdout split).
+fn learn_eval(opts: &[(&str, &str)]) -> Result<String, CliError> {
+    let data = opt(opts, "data", "");
+    let model_path = opt(opts, "model", "");
+    if data.is_empty() || model_path.is_empty() {
+        return Err(CliError::Usage(
+            "learn eval needs --data <dataset.jsonl> and --model <model.json>".into(),
+        ));
+    }
+    let model = learned::BenefitModel::load(std::path::Path::new(model_path))
+        .map_err(|e| CliError::Usage(format!("cannot load model '{model_path}': {e}")))?;
+    let (samples, _) = learned::dataset::load(std::path::Path::new(data))
+        .map_err(|e| CliError::Usage(format!("cannot read dataset '{data}': {e}")))?;
+    if samples.is_empty() {
+        return Err(CliError::Usage(format!("dataset '{data}' has no samples")));
+    }
+    let features: Vec<Vec<f64>> = samples.iter().map(|s| s.features.clone()).collect();
+    let benefits: Vec<f64> = samples.iter().map(|s| s.benefit).collect();
+    let rho = model.eval_spearman(&features, &benefits);
+    match opt(opts, "emit", "summary") {
+        "json" => {
+            let v = serde_json::json!({
+                "samples": samples.len() as u64,
+                "spearman": rho,
+            });
+            Ok(serde_json::to_string_pretty(&v).expect("serialize") + "\n")
+        }
+        "summary" => Ok(format!(
+            "samples  : {}\nspearman : {rho:.3}\n",
+            samples.len()
+        )),
+        other => Err(CliError::Usage(format!("unknown emit mode '{other}'"))),
+    }
+}
+
+/// `gensor learn fetch` — pull the learned model a daemon distributes
+/// with its schedule cache and save it locally.
+fn learn_fetch(opts: &[(&str, &str)]) -> Result<String, CliError> {
+    let socket = opt(opts, "socket", "");
+    let out = opt(opts, "out", "");
+    if socket.is_empty() || out.is_empty() {
+        return Err(CliError::Usage(
+            "learn fetch needs --socket <path> and --out <model.json>".into(),
+        ));
+    }
+    let mut client = served::Client::connect(socket)
+        .map_err(|e| CliError::Usage(format!("cannot reach daemon at '{socket}': {e}")))?;
+    let json = client
+        .fetch_model()
+        .map_err(|e| CliError::Usage(format!("fetch-model failed: {e}")))?
+        .ok_or_else(|| {
+            CliError::Usage(format!("daemon at '{socket}' has no learned model loaded"))
+        })?;
+    // Validate before writing: a daemon from a different build may serve
+    // a model version this binary cannot use.
+    let model = learned::BenefitModel::from_json(&json)
+        .map_err(|e| CliError::Usage(format!("daemon served an unusable model: {e}")))?;
+    std::fs::write(out, &json)
+        .map_err(|e| CliError::Usage(format!("cannot write '{out}': {e}")))?;
+    Ok(format!(
+        "fetched model ({} train samples, holdout ρ {:.3}) → {out}\n",
+        model.train_samples, model.holdout_spearman
+    ))
 }
 
 #[cfg(test)]
@@ -1197,6 +1499,86 @@ mod tests {
     fn serve_rejects_bad_compact_bytes() {
         assert!(matches!(
             call("serve --socket /tmp/x.sock --compact-bytes frob"),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn learn_collect_train_eval_then_pruned_compile() {
+        let dir = std::env::temp_dir().join("gensor-cli-learn-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join(format!("data-{}.jsonl", std::process::id()));
+        let model = dir.join(format!("model-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&data);
+        let collected = call(&format!(
+            "learn collect gemm 256 128 256 --budget 2 --seed 7 --out {}",
+            data.display()
+        ))
+        .unwrap();
+        assert!(collected.contains("collected"), "{collected}");
+        let trained = call(&format!(
+            "learn train --data {} --out {}",
+            data.display(),
+            model.display()
+        ))
+        .unwrap();
+        assert!(trained.contains("holdout ρ"), "{trained}");
+        let eval = call(&format!(
+            "learn eval --data {} --model {} --emit json",
+            data.display(),
+            model.display()
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&eval).unwrap();
+        assert!(v["samples"].as_u64().unwrap() >= 20, "{eval}");
+        assert!(v["spearman"].as_f64().unwrap().is_finite(), "{eval}");
+        // A pruned compile through the trained model still answers.
+        let out = call(&format!(
+            "compile gemm 256 128 256 --learned {} --seed 7",
+            model.display()
+        ))
+        .unwrap();
+        assert!(out.contains("GFLOPS"), "{out}");
+    }
+
+    #[test]
+    fn seeded_compiles_are_reproducible() {
+        let a = call("compile gemm 512 256 512 --seed 42 --emit json").unwrap();
+        let b = call("compile gemm 512 256 512 --seed 42 --emit json").unwrap();
+        let va: serde_json::Value = serde_json::from_str(&a).unwrap();
+        let vb: serde_json::Value = serde_json::from_str(&b).unwrap();
+        assert_eq!(va["schedule"], vb["schedule"]);
+        assert_eq!(va["report"], vb["report"]);
+    }
+
+    #[test]
+    fn learn_usage_errors() {
+        assert!(matches!(call("learn"), Err(CliError::Usage(_))));
+        assert!(matches!(call("learn frob"), Err(CliError::Usage(_))));
+        assert!(matches!(
+            call("learn collect gemm 1 2 3"),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            call("learn train --data x.jsonl"),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            call("learn eval --data x.jsonl"),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            call("learn fetch --socket /tmp/x.sock"),
+            Err(CliError::Usage(_))
+        ));
+        // --collect without a cache has nowhere to put the sidecar.
+        assert!(matches!(
+            call("compile gemm 64 32 64 --collect"),
+            Err(CliError::Usage(_))
+        ));
+        // A missing model file is a usage error, not a panic.
+        assert!(matches!(
+            call("compile gemm 64 32 64 --learned /tmp/gensor-no-such-model.json"),
             Err(CliError::Usage(_))
         ));
     }

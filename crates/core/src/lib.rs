@@ -34,6 +34,6 @@ pub mod tuner;
 pub mod walk;
 
 pub use dynamic::{transplant, CacheStats, DynamicOptimizer};
-pub use policy::{ActionProb, Policy};
+pub use policy::{ActionProb, Policy, StepScoring};
 pub use tuner::{Gensor, GensorConfig};
 pub use walk::{Walk, WalkRecord};

@@ -12,7 +12,9 @@ use crate::benefit::action_benefit_stats;
 use etir::analytics::ScheduleStats;
 use etir::{Action, Etir};
 use hardware::GpuSpec;
+use learned::{Pruner, Shortlist};
 use rand::Rng;
+use std::sync::Arc;
 
 /// One scored outgoing edge.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +25,25 @@ pub struct ActionProb {
     pub benefit: f64,
     /// Normalized selection probability.
     pub prob: f64,
+}
+
+/// One step's scored distribution plus evaluation accounting — how much
+/// exact benefit work the step cost and whether the learned model pruned
+/// it. The walk aggregates these into [`crate::walk::WalkRecord`]; the
+/// `--learned` acceptance criterion (≥5× fewer exact evaluations) is
+/// measured from them.
+#[derive(Debug, Clone)]
+pub struct StepScoring {
+    /// The normalized transition distribution (empty if nothing feasible).
+    pub rows: Vec<ActionProb>,
+    /// Exact benefit-formula evaluations this step performed.
+    pub exact_evals: u64,
+    /// Learned-model predictions this step performed.
+    pub model_predictions: u64,
+    /// Whether the model's shortlist replaced full exact scoring.
+    pub pruned: bool,
+    /// Whether a pruner was present but fell back to exact scoring.
+    pub fallback: bool,
 }
 
 /// The Markov transition policy.
@@ -37,6 +58,11 @@ pub struct Policy {
     /// Whether unroll edges exist (disabled by the explicit-chain analysis
     /// in [`crate::markov`] to keep enumerated state spaces small).
     pub enable_unroll: bool,
+    /// Learned-model pruner: when set, each step ranks the applicable
+    /// actions with the trained benefit model and exact-scores only the
+    /// top-k shortlist, falling back to full scoring on low confidence
+    /// (DESIGN §12). `None` = the exact walk, unchanged.
+    pub pruner: Option<Arc<Pruner>>,
 }
 
 impl Default for Policy {
@@ -45,6 +71,7 @@ impl Default for Policy {
             enable_vthread: true,
             enable_inverse: true,
             enable_unroll: true,
+            pruner: None,
         }
     }
 }
@@ -71,36 +98,102 @@ impl Policy {
         3.0 / (1.0 + (-(5.0f64.ln() / 10.0) * (t as f64 - 10.0)).exp())
     }
 
+    /// Whether `action` survives the ablation switches.
+    fn enabled(&self, action: &Action) -> bool {
+        if !self.enable_vthread
+            && matches!(
+                action,
+                Action::SetVthread { .. } | Action::InvVthread { .. }
+            )
+        {
+            return false;
+        }
+        if !self.enable_inverse && action.is_inverse() {
+            return false;
+        }
+        if !self.enable_unroll && matches!(action, Action::Unroll | Action::InvUnroll) {
+            return false;
+        }
+        true
+    }
+
     /// Score all actions of `state` at annealing step `t`, returning the
     /// normalized transition distribution (probabilities sum to 1 unless no
     /// action is feasible, in which case the list is empty).
+    ///
+    /// Thin wrapper over [`Policy::score_step`] for callers that don't
+    /// need the evaluation accounting (the explicit-chain analysis, tests).
     pub fn transition_probs(&self, state: &Etir, spec: &GpuSpec, t: u32) -> Vec<ActionProb> {
+        self.score_step(state, spec, t).rows
+    }
+
+    /// Score one walk step, with evaluation accounting.
+    ///
+    /// With no pruner this is the exact Alg. 2 scoring: every enabled
+    /// action is run through the benefit formulas. With a pruner, the
+    /// applicable actions are ranked by the learned model first and only
+    /// the top-k shortlist (plus `Cache`) is exact-scored; a low-confidence
+    /// shortlist falls back to the exact path.
+    pub fn score_step(&self, state: &Etir, spec: &GpuSpec, t: u32) -> StepScoring {
         let before = ScheduleStats::compute(state);
+        let candidates: Vec<Action> = Action::all(state.spatial_rank(), state.reduce_rank())
+            .into_iter()
+            .filter(|a| self.enabled(a))
+            .collect();
+
+        // Learned pruning: rank applicable actions with the model; keep
+        // the shortlist only when the model is confident.
+        let mut model_predictions: u64 = 0;
+        let mut pruned = false;
+        let mut fallback = false;
+        let to_score: Vec<Action> = match &self.pruner {
+            Some(pruner) => {
+                let applicable: Vec<Action> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|a| state.can_apply(a))
+                    .collect();
+                match pruner.shortlist(state, &before, &applicable, spec, t as u64) {
+                    Shortlist::Keep(keep) => {
+                        model_predictions = applicable.len() as u64;
+                        pruned = true;
+                        keep
+                    }
+                    Shortlist::Fallback(reason) => {
+                        // OOD detection may have predicted a prefix of the
+                        // candidates before bailing; count what it used.
+                        model_predictions = match reason {
+                            learned::FallbackReason::LowSpread => applicable.len() as u64,
+                            _ => 0,
+                        };
+                        fallback = true;
+                        candidates
+                    }
+                }
+            }
+            None => candidates,
+        };
+
+        let record = learned::dataset::recording();
         let mut rows: Vec<ActionProb> = Vec::new();
         let mut evals: u64 = 0;
-        for action in Action::all(state.spatial_rank(), state.reduce_rank()) {
-            if !self.enable_vthread
-                && matches!(
-                    action,
-                    Action::SetVthread { .. } | Action::InvVthread { .. }
-                )
-            {
-                continue;
-            }
-            if !self.enable_inverse && action.is_inverse() {
-                continue;
-            }
-            if !self.enable_unroll && matches!(action, Action::Unroll | Action::InvUnroll) {
-                continue;
-            }
-            let mut benefit = action_benefit_stats(state, &before, &action, spec);
+        for action in to_score {
+            let raw = action_benefit_stats(state, &before, &action, spec);
             evals += 1;
-            if benefit <= 0.0 {
+            if record && state.can_apply(&action) {
+                // Harvest a training pair from the exact evaluation the
+                // walk is doing anyway (raw benefit, pre cache-boost).
+                let f = learned::featurize(state, &before, &action, spec);
+                learned::dataset::record(&state.op.label(), &spec.name, f, raw);
+            }
+            if raw <= 0.0 {
                 continue;
             }
-            if action == Action::Cache {
-                benefit = CACHE_SCALE * benefit.powf(0.25) * Self::cache_boost(t);
-            }
+            let benefit = if action == Action::Cache {
+                CACHE_SCALE * raw.powf(0.25) * Self::cache_boost(t)
+            } else {
+                raw
+            };
             rows.push(ActionProb {
                 action,
                 benefit,
@@ -115,12 +208,19 @@ impl Policy {
         obs::event!("benefit.eval", scored = evals, feasible = rows.len(), t = t);
         let total: f64 = rows.iter().map(|r| r.benefit).sum();
         if total <= 0.0 {
-            return Vec::new();
+            rows.clear();
+        } else {
+            for r in &mut rows {
+                r.prob = r.benefit / total;
+            }
         }
-        for r in &mut rows {
-            r.prob = r.benefit / total;
+        StepScoring {
+            rows,
+            exact_evals: evals,
+            model_predictions,
+            pruned,
+            fallback,
         }
-        rows
     }
 
     /// Roulette-wheel draw over an already-scored distribution, returning

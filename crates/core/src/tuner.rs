@@ -37,6 +37,21 @@ impl Default for GensorConfig {
     }
 }
 
+impl GensorConfig {
+    /// Attach a learned-model pruner: every chain's walk steps will
+    /// exact-score only the model's top-k shortlist (DESIGN §12).
+    pub fn with_pruner(mut self, pruner: std::sync::Arc<learned::Pruner>) -> Self {
+        self.walk.policy.pruner = Some(pruner);
+        self
+    }
+
+    /// Override the base RNG seed (chain `i` walks with `seed + i`).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
 /// The Gensor tuner.
 #[derive(Debug, Clone, Default)]
 pub struct Gensor {

@@ -63,6 +63,17 @@ pub struct WalkRecord {
     /// convergence trace (∞ until the first launchable state). Supports the
     /// paper's "convergence after about 100 iterations" quantitatively.
     pub best_time_trace: Vec<f64>,
+    /// Exact benefit-formula evaluations across all steps. Deterministic
+    /// per walk (global obs counters aggregate across racing chains and
+    /// tests — these per-walk figures are what the ≥5× pruning criterion
+    /// is asserted on).
+    pub exact_benefit_evals: u64,
+    /// Learned-model predictions across all steps (0 without a pruner).
+    pub model_predictions: u64,
+    /// Steps where the model shortlist replaced full exact scoring.
+    pub pruned_steps: u32,
+    /// Steps where a present pruner fell back to exact scoring.
+    pub fallback_steps: u32,
 }
 
 impl Walk {
@@ -120,20 +131,30 @@ impl Walk {
         // its ~100-iteration GEMM walks.
         let budget = self.max_steps_for_rank(rank).max(1);
         let mut pass_start: u32 = 0;
+        let mut exact_benefit_evals: u64 = 0;
+        let mut model_predictions: u64 = 0;
+        let mut pruned_steps: u32 = 0;
+        let mut fallback_steps: u32 = 0;
         while t > threshold {
             // Annealing progress restarts with each construction pass so
             // every pass sees the full low→high cache-probability ramp.
             let t_norm = ((step - pass_start) as u64 * 100 / budget as u64) as u32;
-            // `transition_probs` + `choose` is exactly `Policy::select`
-            // split open (same RNG draw sequence), so the chosen row's
-            // benefit and probability are available to the telemetry below
-            // without perturbing the walk.
-            let rows = self.policy.transition_probs(&e, spec, t_norm);
+            // `score_step` + `choose` is exactly `Policy::select` split
+            // open (same RNG draw sequence), so the chosen row's benefit
+            // and probability are available to the telemetry below without
+            // perturbing the walk.
+            let scoring = self.policy.score_step(&e, spec, t_norm);
+            exact_benefit_evals += scoring.exact_evals;
+            model_predictions += scoring.model_predictions;
+            pruned_steps += scoring.pruned as u32;
+            fallback_steps += scoring.fallback as u32;
+            let rows = scoring.rows;
             let Some(pick) = self.policy.choose(&rows, rng) else {
                 // Construction complete (or fully blocked) with temperature
                 // budget left: Alg. 1's loop runs until T < threshold, so
                 // re-initialize and spend the remainder on a fresh pass.
                 top.push(e.clone());
+                let from = e;
                 e = Etir::initial(op.clone(), spec);
                 pass_start = step;
                 let best_now = best_seen.as_ref().map_or(f64::INFINITY, |(_, t)| *t);
@@ -146,7 +167,10 @@ impl Walk {
                     probability = 0.0,
                     temperature = t,
                     accepted = false,
-                    best_time_us = best_now
+                    best_time_us = best_now,
+                    state = from.describe(),
+                    exact_evals = scoring.exact_evals,
+                    pruned = scoring.pruned
                 );
                 t /= 2.0;
                 step += 1;
@@ -171,7 +195,10 @@ impl Walk {
                 probability = row.prob,
                 temperature = t,
                 accepted = accepted,
-                best_time_us = best_now
+                best_time_us = best_now,
+                state = e.describe(),
+                exact_evals = scoring.exact_evals,
+                pruned = scoring.pruned
             );
             e = next;
             t /= 2.0;
@@ -191,6 +218,10 @@ impl Walk {
             terminal: e,
             best_seen,
             best_time_trace,
+            exact_benefit_evals,
+            model_predictions,
+            pruned_steps,
+            fallback_steps,
         }
     }
 }

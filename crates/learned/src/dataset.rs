@@ -1,0 +1,368 @@
+//! The dataset layer: (features → exact benefit) pairs harvested during
+//! normal tuning.
+//!
+//! The walk already exact-scores every applicable action at every step;
+//! the recorder piggybacks on those calls (the hook lives in
+//! `core::policy`), so collecting training data costs one `featurize` and
+//! one appended line per scored action — no extra benefit evaluations.
+//!
+//! Persistence is versioned JSONL in the schedule-cache style: one record
+//! per line, corrupt lines skipped and counted, records from foreign
+//! [`DATASET_VERSION`]s or foreign [`FEATURE_VERSION`]s skipped and
+//! counted. Unlike the schedule cache there is no CRC framing — a torn
+//! tail loses at most one training sample, which the loader tolerates
+//! anyway.
+//!
+//! The recorder is process-global (like the obs collector) because the
+//! benefit evaluations happen deep inside parallel walk chains; a
+//! disabled recorder costs one relaxed atomic load per call.
+
+use crate::features::FEATURE_VERSION;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// On-disk record layout version. Bumped on incompatible change.
+pub const DATASET_VERSION: u32 = 1;
+
+/// One training pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Writer's [`DATASET_VERSION`].
+    pub v: u32,
+    /// Writer's [`FEATURE_VERSION`] — the layout of `features`.
+    pub fv: u32,
+    /// Operator label (diagnostics / stratified eval; not a model input).
+    pub op: String,
+    /// GPU preset name the benefit was computed against.
+    pub gpu: String,
+    /// The feature vector ([`crate::features::featurize`]).
+    pub features: Vec<f64>,
+    /// Exact analytical benefit of the transition (pre cache-boost /
+    /// pre-normalisation — the raw quantity the model learns to rank).
+    pub benefit: f64,
+}
+
+/// What [`load`] found in a dataset file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Samples loaded.
+    pub loaded: usize,
+    /// Unparsable lines skipped.
+    pub corrupt: usize,
+    /// Well-formed records from a foreign dataset or feature version.
+    pub version_skipped: usize,
+}
+
+/// Load every compatible sample from a JSONL dataset file.
+pub fn load(path: &Path) -> std::io::Result<(Vec<Sample>, LoadReport)> {
+    let mut samples = Vec::new();
+    let mut report = LoadReport::default();
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((samples, report)),
+        Err(e) => return Err(e),
+    };
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<Sample>(&line) {
+            Ok(s) if s.v == DATASET_VERSION && s.fv == FEATURE_VERSION => {
+                report.loaded += 1;
+                samples.push(s);
+            }
+            Ok(_) => report.version_skipped += 1,
+            Err(_) => report.corrupt += 1,
+        }
+    }
+    Ok((samples, report))
+}
+
+/// Buffered JSONL appender for [`Sample`]s.
+pub struct DatasetWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+    written: usize,
+}
+
+impl DatasetWriter {
+    /// Open `path` for appending (`append = true`) or truncating.
+    pub fn open(path: &Path, append: bool) -> std::io::Result<DatasetWriter> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(append)
+            .write(true)
+            .truncate(!append)
+            .open(path)?;
+        Ok(DatasetWriter {
+            out: BufWriter::new(file),
+            path: path.to_path_buf(),
+            written: 0,
+        })
+    }
+
+    /// Append one sample as one line.
+    pub fn append(&mut self, s: &Sample) -> std::io::Result<()> {
+        let json = serde_json::to_string(s)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        self.out.write_all(json.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Samples appended through this writer.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// The file being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flush buffered lines to the OS.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+impl Drop for DatasetWriter {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-global recorder
+// ---------------------------------------------------------------------------
+
+enum SinkImpl {
+    File(DatasetWriter),
+    Memory(Vec<Sample>),
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<SinkImpl>> = Mutex::new(None);
+
+fn sink_lock() -> std::sync::MutexGuard<'static, Option<SinkImpl>> {
+    SINK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Whether a recorder is installed. One relaxed load — the scoring hot
+/// path checks this before building any feature vector.
+#[inline]
+pub fn recording() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Install a file-backed recorder. Replaces (and flushes) any previous
+/// sink.
+pub fn install_file(path: &Path, append: bool) -> std::io::Result<()> {
+    let w = DatasetWriter::open(path, append)?;
+    *sink_lock() = Some(SinkImpl::File(w));
+    ENABLED.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Install an in-memory recorder (tests, `learn eval` round trips).
+pub fn install_memory() {
+    *sink_lock() = Some(SinkImpl::Memory(Vec::new()));
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// What an uninstalled recorder had accumulated.
+#[derive(Debug, Default)]
+pub struct RecorderReport {
+    /// Samples recorded since install.
+    pub recorded: usize,
+    /// In-memory samples (empty for the file sink — they are on disk).
+    pub samples: Vec<Sample>,
+}
+
+/// Remove the recorder, flushing file sinks, returning what it gathered.
+pub fn uninstall() -> RecorderReport {
+    ENABLED.store(false, Ordering::Relaxed);
+    match sink_lock().take() {
+        Some(SinkImpl::File(mut w)) => {
+            let _ = w.flush();
+            RecorderReport {
+                recorded: w.written(),
+                samples: Vec::new(),
+            }
+        }
+        Some(SinkImpl::Memory(samples)) => RecorderReport {
+            recorded: samples.len(),
+            samples,
+        },
+        None => RecorderReport::default(),
+    }
+}
+
+/// Record one sample if a recorder is installed. Callers should gate on
+/// [`recording`] *before* computing `features` — this re-checks only to
+/// stay correct under racing uninstall.
+pub fn record(op: &str, gpu: &str, features: Vec<f64>, benefit: f64) {
+    if !recording() {
+        return;
+    }
+    let sample = Sample {
+        v: DATASET_VERSION,
+        fv: FEATURE_VERSION,
+        op: op.to_string(),
+        gpu: gpu.to_string(),
+        features,
+        benefit,
+    };
+    let mut guard = sink_lock();
+    match guard.as_mut() {
+        Some(SinkImpl::File(w)) => {
+            if w.append(&sample).is_err() {
+                obs::log!(Warn, "learned dataset append failed; recorder disabled");
+                drop(guard);
+                uninstall();
+                return;
+            }
+        }
+        Some(SinkImpl::Memory(v)) => v.push(sample),
+        None => return,
+    }
+    drop(guard);
+    obs::counter_inc!(
+        "gensor_learned_samples_total",
+        "training samples recorded by the learned-benefit dataset layer"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The recorder is process-global; serialize tests that touch it.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static L: Mutex<()> = Mutex::new(());
+        L.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn sample(benefit: f64) -> Sample {
+        Sample {
+            v: DATASET_VERSION,
+            fv: FEATURE_VERSION,
+            op: "gemm(64,64,64)".into(),
+            gpu: "rtx4090".into(),
+            features: vec![1.0, 2.5, -0.5],
+            benefit,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("learned-ds-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&d);
+        d
+    }
+
+    #[test]
+    fn round_trips_samples_through_jsonl() {
+        let path = tmp("roundtrip.jsonl");
+        {
+            let mut w = DatasetWriter::open(&path, false).unwrap();
+            for i in 0..5 {
+                w.append(&sample(i as f64)).unwrap();
+            }
+            assert_eq!(w.written(), 5);
+        }
+        let (samples, report) = load(&path).unwrap();
+        assert_eq!(report.loaded, 5);
+        assert_eq!(report.corrupt, 0);
+        assert_eq!(samples[3], sample(3.0));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn loader_skips_corrupt_and_foreign_version_lines() {
+        let path = tmp("tolerant.jsonl");
+        {
+            let mut w = DatasetWriter::open(&path, false).unwrap();
+            w.append(&sample(1.0)).unwrap();
+            let mut foreign = sample(2.0);
+            foreign.v = DATASET_VERSION + 9;
+            w.append(&foreign).unwrap();
+        }
+        // Simulate mid-file damage + a torn tail.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{not json\n");
+        text.push_str("{\"v\":1,\"truncat");
+        std::fs::write(&path, text).unwrap();
+        let (samples, report) = load(&path).unwrap();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(report.loaded, 1);
+        assert_eq!(report.version_skipped, 1);
+        assert_eq!(report.corrupt, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let (samples, report) = load(Path::new("/nonexistent/learned.jsonl")).unwrap();
+        assert!(samples.is_empty());
+        assert_eq!(report, LoadReport::default());
+    }
+
+    #[test]
+    fn append_mode_accumulates_across_writers() {
+        let path = tmp("append.jsonl");
+        for _ in 0..2 {
+            let mut w = DatasetWriter::open(&path, true).unwrap();
+            w.append(&sample(1.0)).unwrap();
+        }
+        let (samples, _) = load(&path).unwrap();
+        assert_eq!(samples.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn memory_recorder_captures_and_uninstalls() {
+        let _g = lock();
+        assert!(!recording());
+        install_memory();
+        assert!(recording());
+        record("gemm", "rtx4090", vec![1.0], 2.0);
+        record("gemm", "rtx4090", vec![3.0], 4.0);
+        let report = uninstall();
+        assert!(!recording());
+        assert_eq!(report.recorded, 2);
+        assert_eq!(report.samples.len(), 2);
+        assert_eq!(report.samples[1].benefit, 4.0);
+    }
+
+    #[test]
+    fn file_recorder_writes_through_global_hook() {
+        let _g = lock();
+        let path = tmp("global.jsonl");
+        install_file(&path, false).unwrap();
+        record("conv", "a100", vec![0.5, 0.25], 1.5);
+        let report = uninstall();
+        assert_eq!(report.recorded, 1);
+        let (samples, _) = load(&path).unwrap();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].op, "conv");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn record_without_recorder_is_a_noop() {
+        let _g = lock();
+        record("gemm", "rtx4090", vec![1.0], 1.0);
+        assert_eq!(uninstall().recorded, 0);
+    }
+}

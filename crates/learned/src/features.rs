@@ -1,0 +1,237 @@
+//! Hand-engineered ETIR features for the learned benefit model.
+//!
+//! One `(state, action)` pair becomes a fixed-length vector regardless of
+//! operator rank: per-dimension quantities are either aggregated (log-sums
+//! over tile vectors) or selected through the action's own dimension (the
+//! extent/tile/headroom of the axis the action touches). Everything is a
+//! pure function of the state's precomputed [`ScheduleStats`] plus O(rank)
+//! arithmetic — featurizing all candidate actions of a step is orders of
+//! magnitude cheaper than exact-scoring them, which is the whole point of
+//! pruning.
+//!
+//! The vector layout is versioned by [`FEATURE_VERSION`]; a model trained
+//! on one layout refuses to load against another.
+
+use etir::analytics::ScheduleStats;
+use etir::{Action, Etir};
+use hardware::GpuSpec;
+
+/// Bumped whenever the feature layout below changes incompatibly.
+pub const FEATURE_VERSION: u32 = 1;
+
+/// Names of the feature slots, in vector order. `FEATURE_DIM` is derived
+/// from this list so the two can never drift apart.
+pub const FEATURE_NAMES: &[&str] = &[
+    // --- state ---
+    "cur_level",
+    "spatial_rank",
+    "reduce_rank",
+    "ln_spatial_extent",
+    "ln_reduce_extent",
+    "ln_grid_blocks",
+    "ln_threads_per_block",
+    "ln_vthreads",
+    "smem_cap_ratio",
+    "reg_cap_ratio",
+    "thread_cap_ratio",
+    "ln_reduce_steps",
+    "ln_dram_traffic",
+    "ln_smem_traffic",
+    "ln_traffic_ratio",
+    "tile_efficiency",
+    "ln_unroll",
+    "grid_per_sm",
+    "ln_smem_tile_volume",
+    "ln_reg_tile_volume",
+    // --- action kind (one-hot) ---
+    "is_tile",
+    "is_inv_tile",
+    "is_tile_reduce",
+    "is_inv_tile_reduce",
+    "is_cache",
+    "is_set_vthread",
+    "is_inv_vthread",
+    "is_unroll",
+    "is_inv_unroll",
+    // --- the axis the action touches ---
+    "ln_dim_extent",
+    "ln_dim_tile",
+    "ln_dim_headroom",
+    "action_is_inverse",
+];
+
+/// Length of one feature vector.
+pub const FEATURE_DIM: usize = FEATURE_NAMES.len();
+
+/// `ln(max(x, 1))` — the workhorse compressor for counts and byte totals.
+#[inline]
+fn lnp(x: f64) -> f64 {
+    x.max(1.0).ln()
+}
+
+#[inline]
+fn lnu(x: u64) -> f64 {
+    lnp(x as f64)
+}
+
+/// One-hot slot of the action kind, in [`FEATURE_NAMES`] order.
+fn kind_index(action: &Action) -> usize {
+    match action {
+        Action::Tile { .. } => 0,
+        Action::InvTile { .. } => 1,
+        Action::TileReduce { .. } => 2,
+        Action::InvTileReduce { .. } => 3,
+        Action::Cache => 4,
+        Action::SetVthread { .. } => 5,
+        Action::InvVthread { .. } => 6,
+        Action::Unroll => 7,
+        Action::InvUnroll => 8,
+    }
+}
+
+/// Featurize one candidate transition. `before` must be
+/// `ScheduleStats::compute(state)` — callers score many actions per step
+/// and already have it.
+pub fn featurize(
+    state: &Etir,
+    before: &ScheduleStats,
+    action: &Action,
+    spec: &GpuSpec,
+) -> Vec<f64> {
+    let mut f = vec![0.0; FEATURE_DIM];
+    let sp = state.op.spatial_extents();
+    let rd = state.op.reduce_extents();
+    let spatial_extent: u64 = sp.iter().product::<u64>().max(1);
+    let reduce_extent: u64 = rd.iter().product::<u64>().max(1);
+
+    // The walk transiently explores grossly over-subscribed states (tile
+    // doublings compound, so a runaway trajectory can exceed the thread
+    // cap by orders of magnitude before exact scoring steers it back).
+    // Beyond a few × over a hardware cap the benefit landscape is
+    // uniformly terrible and the model needs no resolution, so the
+    // cap-relative features are winsorized at `OVERSUB_CAP`; otherwise
+    // every runaway state lands outside any finite training box and
+    // trips the pruner's OOD fallback for no good reason.
+    const OVERSUB_CAP: f64 = 4.0;
+    f[0] = state.cur_level as f64;
+    f[1] = state.spatial_rank() as f64;
+    f[2] = state.reduce_rank() as f64;
+    f[3] = lnu(spatial_extent);
+    f[4] = lnu(reduce_extent);
+    f[5] = lnu(before.grid_blocks);
+    f[6] = lnu(before.threads_per_block).min(lnp(OVERSUB_CAP * spec.max_threads_per_block as f64));
+    f[7] = lnu(before.vthreads_per_block);
+    f[8] = (before.smem_bytes_per_block as f64 / spec.max_smem_per_block.max(1) as f64)
+        .min(OVERSUB_CAP);
+    f[9] = (before.regs_per_thread as f64 / (spec.max_regs_per_thread as f64).max(1.0))
+        .min(OVERSUB_CAP);
+    f[10] = (before.threads_per_block as f64 / (spec.max_threads_per_block as f64).max(1.0))
+        .min(OVERSUB_CAP);
+    f[11] = lnu(before.reduce_steps);
+    f[12] = lnp(before.dram_traffic_bytes);
+    f[13] = lnp(before.smem_traffic_bytes);
+    f[14] = lnp(before.dram_traffic_bytes) - lnp(before.smem_traffic_bytes);
+    f[15] = before.tile_efficiency;
+    f[16] = lnu(state.unroll);
+    f[17] = before.grid_blocks as f64 / (spec.num_sms as f64).max(1.0);
+    f[18] = lnu(state.smem_tile.iter().product::<u64>().max(1));
+    f[19] = lnu(state.reg_tile.iter().product::<u64>().max(1));
+
+    f[20 + kind_index(action)] = 1.0;
+
+    // The axis the action touches: its extent, the tile the action would
+    // grow/shrink, and the remaining doubling headroom.
+    let (extent, tile) = match *action {
+        Action::Tile { dim } | Action::InvTile { dim } => {
+            let t = match state.cur_level {
+                0 => state.smem_tile[dim],
+                _ => state.reg_tile[dim],
+            };
+            (sp[dim], t)
+        }
+        Action::TileReduce { dim } | Action::InvTileReduce { dim } => {
+            (rd[dim], state.reduce_tile[dim])
+        }
+        Action::SetVthread { dim } | Action::InvVthread { dim } => (sp[dim], state.vthreads[dim]),
+        Action::Unroll | Action::InvUnroll => (8, state.unroll),
+        Action::Cache => (state.num_levels as u64, state.cur_level as u64 + 1),
+    };
+    f[29] = lnu(extent);
+    f[30] = lnu(tile);
+    f[31] = lnu(extent.next_power_of_two() / tile.max(1));
+    f[32] = if action.is_inverse() { 1.0 } else { 0.0 };
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etir::analytics::ScheduleStats;
+    use tensor_expr::OpSpec;
+
+    fn gemm_state(spec: &GpuSpec) -> Etir {
+        Etir::initial(OpSpec::gemm(1024, 512, 2048), spec)
+    }
+
+    #[test]
+    fn dimension_matches_names() {
+        assert_eq!(FEATURE_DIM, FEATURE_NAMES.len());
+        const { assert!(FEATURE_DIM >= 30) }
+    }
+
+    #[test]
+    fn features_are_finite_for_every_action_and_op() {
+        let spec = GpuSpec::rtx4090();
+        for op in [
+            OpSpec::gemm(1024, 512, 2048),
+            OpSpec::gemv(8192, 1024),
+            OpSpec::conv2d(8, 32, 28, 28, 64, 3, 3, 1, 1),
+            OpSpec::elementwise(1 << 18, 2, 1),
+        ] {
+            let e = Etir::initial(op, &spec);
+            let stats = ScheduleStats::compute(&e);
+            for a in Action::all(e.spatial_rank(), e.reduce_rank()) {
+                let f = featurize(&e, &stats, &a, &spec);
+                assert_eq!(f.len(), FEATURE_DIM);
+                assert!(f.iter().all(|x| x.is_finite()), "{a:?}: {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_hot_is_exclusive() {
+        let spec = GpuSpec::rtx4090();
+        let e = gemm_state(&spec);
+        let stats = ScheduleStats::compute(&e);
+        for a in Action::all(2, 1) {
+            let f = featurize(&e, &stats, &a, &spec);
+            let hot: f64 = f[20..29].iter().sum();
+            assert_eq!(hot, 1.0, "{a:?}");
+        }
+    }
+
+    #[test]
+    fn rank_features_separate_op_classes() {
+        // The OOD fallback relies on conv states looking different from
+        // GEMM states; rank features guarantee it structurally.
+        let spec = GpuSpec::rtx4090();
+        let g = gemm_state(&spec);
+        let c = Etir::initial(OpSpec::conv2d(8, 32, 28, 28, 64, 3, 3, 1, 1), &spec);
+        let fg = featurize(&g, &ScheduleStats::compute(&g), &Action::Cache, &spec);
+        let fc = featurize(&c, &ScheduleStats::compute(&c), &Action::Cache, &spec);
+        assert_ne!(fg[1], fc[1]);
+        assert_ne!(fg[2], fc[2]);
+    }
+
+    #[test]
+    fn growing_a_tile_changes_its_dim_features() {
+        let spec = GpuSpec::rtx4090();
+        let e = gemm_state(&spec);
+        let e2 = e.apply(&Action::Tile { dim: 0 });
+        let a = Action::Tile { dim: 0 };
+        let f1 = featurize(&e, &ScheduleStats::compute(&e), &a, &spec);
+        let f2 = featurize(&e2, &ScheduleStats::compute(&e2), &a, &spec);
+        assert!(f2[30] > f1[30], "tile grew");
+        assert!(f2[31] < f1[31], "headroom shrank");
+    }
+}

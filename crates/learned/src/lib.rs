@@ -1,0 +1,32 @@
+//! `learned` — the learned benefit model subsystem (DESIGN §12).
+//!
+//! The construction walk's dominant cost is exact benefit evaluation:
+//! every step scores every applicable action with the analytical model
+//! (successor [`etir::analytics::ScheduleStats`] + capacity check). This
+//! crate replaces most of that work with a trained regressor:
+//!
+//! 1. [`dataset`] — log `(featurized state+action) → exact benefit` pairs
+//!    during normal tuning, persisted as versioned JSONL next to the
+//!    schedule cache.
+//! 2. [`model`] — pure-Rust ridge / gradient-boosted-stump regressors
+//!    with deterministic training, JSON serialization, and built-in
+//!    out-of-distribution detection. No third-party numerics.
+//! 3. [`pruner`] — rank a step's actions with the model, keep only the
+//!    top-k (plus `Cache`) for exact scoring, and fall back to the full
+//!    exact walk whenever confidence is low.
+//!
+//! `core` consumes the [`Pruner`] through `Policy`; the CLI exposes
+//! `gensor learn collect|train|eval` and `--learned <model.json>`; the
+//! serve daemon distributes models alongside the schedule cache.
+
+pub mod dataset;
+pub mod features;
+pub mod model;
+pub mod pruner;
+
+pub use dataset::{DatasetWriter, LoadReport, Sample, DATASET_VERSION};
+pub use features::{featurize, FEATURE_DIM, FEATURE_NAMES, FEATURE_VERSION};
+pub use model::{
+    spearman, BenefitModel, ModelKind, TrainConfig, TrainError, Weights, MODEL_FORMAT_VERSION,
+};
+pub use pruner::{FallbackReason, Pruner, Shortlist, DEFAULT_TOP_K};

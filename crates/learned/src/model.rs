@@ -1,0 +1,737 @@
+//! Pure-Rust benefit regressors: ridge regression and gradient-boosted
+//! decision stumps over the hand-engineered features of
+//! [`crate::features`].
+//!
+//! Both learn the target `y = ln(1 + benefit)` — benefits span orders of
+//! magnitude (traffic ratios) and only their *ranking* matters to the
+//! pruner, so the log compresses the dynamic range without disturbing
+//! order. Training is exact and deterministic: ridge solves the normal
+//! equations by Gaussian elimination; boosting greedily fits stumps with
+//! a per-feature sorted prefix-sum split search. No randomness, no
+//! third-party numerics.
+//!
+//! A trained model carries everything needed to detect when it should
+//! *not* be trusted: the per-feature training range (out-of-distribution
+//! inputs fall outside it) and the holdout residual spread. The pruner
+//! turns those into the fallback rule of DESIGN §12.
+
+use crate::features::{FEATURE_DIM, FEATURE_VERSION};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// On-disk model layout version.
+pub const MODEL_FORMAT_VERSION: u32 = 1;
+
+/// Ridge regularisation strength (features are standardized first, so one
+/// default fits all).
+pub const DEFAULT_LAMBDA: f64 = 1e-3;
+
+/// Default boosting rounds / shrinkage for the stumps variant.
+pub const DEFAULT_ROUNDS: usize = 60;
+pub const DEFAULT_SHRINKAGE: f64 = 0.3;
+
+/// Fraction of the training range added as margin before a feature counts
+/// as out-of-distribution. Generous on purpose: features with a wide
+/// training span (log-scale counts, traffic) may legitimately drift a
+/// little past the observed extremes on trajectories the training walks
+/// never took, while the features that separate op classes (the ranks)
+/// are *constant* within a class — their span collapses to ~0, so a
+/// foreign op class trips the check at any margin.
+pub const OOD_MARGIN: f64 = 0.25;
+
+/// One axis-aligned decision stump: `value = if x[feature] <= threshold
+/// { left } else { right }`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stump {
+    /// Feature index the stump splits on.
+    pub feature: usize,
+    /// Split threshold.
+    pub threshold: f64,
+    /// Contribution when the feature is `<= threshold`.
+    pub left: f64,
+    /// Contribution when the feature is `> threshold`.
+    pub right: f64,
+}
+
+/// The learned weights — which regressor family the model is.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Weights {
+    /// Linear model on standardized features; `w[FEATURE_DIM]` is the bias.
+    Ridge { w: Vec<f64> },
+    /// Constant base prediction plus shrunk stump contributions.
+    Stumps { base: f64, stumps: Vec<Stump> },
+}
+
+/// A trained, serializable benefit regressor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenefitModel {
+    /// [`MODEL_FORMAT_VERSION`] of the writer.
+    pub format_version: u32,
+    /// [`FEATURE_VERSION`] the model was trained against.
+    pub feature_version: u32,
+    /// The regressor.
+    pub weights: Weights,
+    /// Per-feature training mean (standardization).
+    pub mean: Vec<f64>,
+    /// Per-feature training standard deviation (0 → constant feature).
+    pub std: Vec<f64>,
+    /// Per-feature training minimum (OOD detection).
+    pub min: Vec<f64>,
+    /// Per-feature training maximum.
+    pub max: Vec<f64>,
+    /// Holdout residual standard deviation in target (log) space.
+    pub residual_std: f64,
+    /// Holdout Spearman rank correlation (the quantity `learn eval`
+    /// gates on).
+    pub holdout_spearman: f64,
+    /// Samples the model was trained on.
+    pub train_samples: usize,
+}
+
+/// Which regressor family to train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Linear ridge regression.
+    Ridge,
+    /// Gradient-boosted stumps.
+    Stumps,
+}
+
+impl ModelKind {
+    /// Parse a CLI string.
+    pub fn parse(s: &str) -> Option<ModelKind> {
+        match s {
+            "ridge" | "linear" => Some(ModelKind::Ridge),
+            "stumps" | "gbdt" | "boosted" => Some(ModelKind::Stumps),
+            _ => None,
+        }
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Regressor family.
+    pub kind: ModelKind,
+    /// Ridge regularisation strength.
+    pub lambda: f64,
+    /// Boosting rounds (stumps only).
+    pub rounds: usize,
+    /// Boosting shrinkage (stumps only).
+    pub shrinkage: f64,
+    /// Every `holdout_stride`-th sample is held out for eval (deterministic
+    /// split — no RNG, so train runs are reproducible byte-for-byte).
+    pub holdout_stride: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            kind: ModelKind::Stumps,
+            lambda: DEFAULT_LAMBDA,
+            rounds: DEFAULT_ROUNDS,
+            shrinkage: DEFAULT_SHRINKAGE,
+            holdout_stride: 5,
+        }
+    }
+}
+
+/// Training failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// Fewer samples than the minimum needed for a meaningful fit.
+    TooFewSamples { got: usize, need: usize },
+    /// A sample's feature vector has the wrong length.
+    DimensionMismatch { got: usize, expected: usize },
+    /// Non-finite feature or target encountered.
+    NonFinite,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::TooFewSamples { got, need } => {
+                write!(f, "too few samples: {got} < {need}")
+            }
+            TrainError::DimensionMismatch { got, expected } => {
+                write!(f, "feature dim {got}, expected {expected}")
+            }
+            TrainError::NonFinite => write!(f, "non-finite feature or benefit in dataset"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Target transform: benefits span orders of magnitude; rank is what
+/// matters.
+#[inline]
+pub fn target(benefit: f64) -> f64 {
+    (1.0 + benefit.max(0.0)).ln()
+}
+
+impl BenefitModel {
+    /// Train a model on `(features, benefit)` pairs.
+    pub fn train(
+        features: &[Vec<f64>],
+        benefits: &[f64],
+        cfg: &TrainConfig,
+    ) -> Result<BenefitModel, TrainError> {
+        let _sp = obs::span!(
+            "learned.train",
+            samples = features.len() as u64,
+            kind = match cfg.kind {
+                ModelKind::Ridge => "ridge",
+                ModelKind::Stumps => "stumps",
+            }
+        );
+        let n = features.len();
+        const MIN_SAMPLES: usize = 20;
+        if n < MIN_SAMPLES || n != benefits.len() {
+            return Err(TrainError::TooFewSamples {
+                got: n.min(benefits.len()),
+                need: MIN_SAMPLES,
+            });
+        }
+        for f in features {
+            if f.len() != FEATURE_DIM {
+                return Err(TrainError::DimensionMismatch {
+                    got: f.len(),
+                    expected: FEATURE_DIM,
+                });
+            }
+            if f.iter().any(|x| !x.is_finite()) {
+                return Err(TrainError::NonFinite);
+            }
+        }
+        if benefits.iter().any(|b| !b.is_finite()) {
+            return Err(TrainError::NonFinite);
+        }
+
+        // Deterministic holdout: every stride-th sample.
+        let stride = cfg.holdout_stride.max(2);
+        let mut train_idx = Vec::new();
+        let mut hold_idx = Vec::new();
+        for i in 0..n {
+            if i % stride == stride - 1 {
+                hold_idx.push(i);
+            } else {
+                train_idx.push(i);
+            }
+        }
+        if hold_idx.is_empty() {
+            hold_idx.push(n - 1);
+        }
+
+        let y: Vec<f64> = benefits.iter().map(|&b| target(b)).collect();
+
+        // Feature statistics over the training split.
+        let mut mean = vec![0.0; FEATURE_DIM];
+        let mut min = vec![f64::INFINITY; FEATURE_DIM];
+        let mut max = vec![f64::NEG_INFINITY; FEATURE_DIM];
+        for &i in &train_idx {
+            for (d, &x) in features[i].iter().enumerate() {
+                mean[d] += x;
+                min[d] = min[d].min(x);
+                max[d] = max[d].max(x);
+            }
+        }
+        let nt = train_idx.len() as f64;
+        for m in mean.iter_mut() {
+            *m /= nt;
+        }
+        let mut std = vec![0.0; FEATURE_DIM];
+        for &i in &train_idx {
+            for (d, &x) in features[i].iter().enumerate() {
+                std[d] += (x - mean[d]).powi(2);
+            }
+        }
+        for s in std.iter_mut() {
+            *s = (*s / nt).sqrt();
+        }
+
+        let weights = match cfg.kind {
+            ModelKind::Ridge => {
+                let w = fit_ridge(features, &y, &train_idx, &mean, &std, cfg.lambda);
+                Weights::Ridge { w }
+            }
+            ModelKind::Stumps => {
+                let (base, stumps) =
+                    fit_stumps(features, &y, &train_idx, cfg.rounds, cfg.shrinkage);
+                Weights::Stumps { base, stumps }
+            }
+        };
+
+        let mut model = BenefitModel {
+            format_version: MODEL_FORMAT_VERSION,
+            feature_version: FEATURE_VERSION,
+            weights,
+            mean,
+            std,
+            min,
+            max,
+            residual_std: 0.0,
+            holdout_spearman: 0.0,
+            train_samples: train_idx.len(),
+        };
+
+        // Holdout diagnostics.
+        let preds: Vec<f64> = hold_idx
+            .iter()
+            .map(|&i| model.predict(&features[i]))
+            .collect();
+        let truth: Vec<f64> = hold_idx.iter().map(|&i| y[i]).collect();
+        let m = preds.len() as f64;
+        let mse: f64 = preds
+            .iter()
+            .zip(&truth)
+            .map(|(p, t)| (p - t).powi(2))
+            .sum::<f64>()
+            / m;
+        model.residual_std = mse.sqrt();
+        model.holdout_spearman = spearman(&preds, &truth);
+        obs::metrics::gauge(
+            "gensor_learned_rank_corr_milli",
+            "holdout Spearman rank correlation of the last trained model, in 1/1000",
+        )
+        .set((model.holdout_spearman * 1000.0) as i64);
+        Ok(model)
+    }
+
+    /// Predict the (log-space) benefit of one feature vector.
+    pub fn predict(&self, f: &[f64]) -> f64 {
+        match &self.weights {
+            Weights::Ridge { w } => {
+                let mut acc = w[FEATURE_DIM]; // bias
+                for d in 0..FEATURE_DIM {
+                    let s = if self.std[d] > 1e-12 {
+                        self.std[d]
+                    } else {
+                        1.0
+                    };
+                    acc += w[d] * (f[d] - self.mean[d]) / s;
+                }
+                acc
+            }
+            Weights::Stumps { base, stumps } => {
+                let mut acc = *base;
+                for s in stumps {
+                    acc += if f[s.feature] <= s.threshold {
+                        s.left
+                    } else {
+                        s.right
+                    };
+                }
+                acc
+            }
+        }
+    }
+
+    /// Indices of features outside the training range (plus
+    /// [`OOD_MARGIN`]) — the confidence signal behind the pruner's
+    /// fallback rule.
+    pub fn ood_features(&self, f: &[f64]) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (d, &x) in f.iter().take(FEATURE_DIM).enumerate() {
+            let span = (self.max[d] - self.min[d]).max(1e-9);
+            let lo = self.min[d] - OOD_MARGIN * span;
+            let hi = self.max[d] + OOD_MARGIN * span;
+            if x < lo || x > hi {
+                out.push(d);
+            }
+        }
+        out
+    }
+
+    /// Whether any feature is out-of-distribution.
+    pub fn is_ood(&self, f: &[f64]) -> bool {
+        !self.ood_features(f).is_empty()
+    }
+
+    /// Serialize to a JSON string (the wire/disk format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serialization cannot fail")
+    }
+
+    /// Deserialize, rejecting foreign format or feature versions.
+    pub fn from_json(json: &str) -> Result<BenefitModel, String> {
+        let m: BenefitModel =
+            serde_json::from_str(json).map_err(|e| format!("model parse error: {e}"))?;
+        if m.format_version != MODEL_FORMAT_VERSION {
+            return Err(format!(
+                "model format v{} incompatible with v{MODEL_FORMAT_VERSION}",
+                m.format_version
+            ));
+        }
+        if m.feature_version != FEATURE_VERSION {
+            return Err(format!(
+                "model trained on feature layout v{}, this build speaks v{FEATURE_VERSION}",
+                m.feature_version
+            ));
+        }
+        let dims_ok = m.mean.len() == FEATURE_DIM
+            && m.std.len() == FEATURE_DIM
+            && m.min.len() == FEATURE_DIM
+            && m.max.len() == FEATURE_DIM
+            && match &m.weights {
+                Weights::Ridge { w } => w.len() == FEATURE_DIM + 1,
+                Weights::Stumps { stumps, .. } => stumps.iter().all(|s| s.feature < FEATURE_DIM),
+            };
+        if !dims_ok {
+            return Err("model dimension mismatch".into());
+        }
+        Ok(m)
+    }
+
+    /// Write to `path` as JSON.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Load and validate from `path`.
+    pub fn load(path: &Path) -> std::io::Result<BenefitModel> {
+        let text = std::fs::read_to_string(path)?;
+        BenefitModel::from_json(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Evaluate rank correlation of this model on an external dataset
+    /// (e.g. `learn eval` on a fresh collection).
+    pub fn eval_spearman(&self, features: &[Vec<f64>], benefits: &[f64]) -> f64 {
+        let preds: Vec<f64> = features.iter().map(|f| self.predict(f)).collect();
+        let truth: Vec<f64> = benefits.iter().map(|&b| target(b)).collect();
+        spearman(&preds, &truth)
+    }
+}
+
+/// Solve standardized ridge regression via normal equations + Gaussian
+/// elimination. Returns `FEATURE_DIM + 1` weights (last = bias).
+#[allow(clippy::needless_range_loop)] // dense matrix index math
+fn fit_ridge(
+    features: &[Vec<f64>],
+    y: &[f64],
+    idx: &[usize],
+    mean: &[f64],
+    std: &[f64],
+    lambda: f64,
+) -> Vec<f64> {
+    let d = FEATURE_DIM + 1;
+    let z = |i: usize, k: usize| -> f64 {
+        if k == FEATURE_DIM {
+            1.0
+        } else {
+            let s = if std[k] > 1e-12 { std[k] } else { 1.0 };
+            (features[i][k] - mean[k]) / s
+        }
+    };
+    // A = Z'Z + λI, b = Z'y.
+    let mut a = vec![vec![0.0; d]; d];
+    let mut b = vec![0.0; d];
+    for &i in idx {
+        for r in 0..d {
+            let zr = z(i, r);
+            b[r] += zr * y[i];
+            for c in r..d {
+                a[r][c] += zr * z(i, c);
+            }
+        }
+    }
+    for r in 0..d {
+        for c in 0..r {
+            a[r][c] = a[c][r];
+        }
+        a[r][r] += lambda;
+    }
+    gaussian_solve(&mut a, &mut b)
+}
+
+/// In-place Gaussian elimination with partial pivoting.
+#[allow(clippy::needless_range_loop)] // dense matrix index math
+fn gaussian_solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        let piv = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .unwrap();
+        a.swap(col, piv);
+        b.swap(col, piv);
+        let p = a[col][col];
+        if p.abs() < 1e-12 {
+            continue; // singular direction; λI makes this unreachable in practice
+        }
+        for row in col + 1..n {
+            let factor = a[row][col] / p;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                a[row][c] -= factor * a[col][c];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for c in row + 1..n {
+            acc -= a[row][c] * x[c];
+        }
+        x[row] = if a[row][row].abs() < 1e-12 {
+            0.0
+        } else {
+            acc / a[row][row]
+        };
+    }
+    x
+}
+
+/// Gradient boosting with least-squares stumps: each round fits the best
+/// single split to the current residuals using a per-feature sorted
+/// prefix-sum search (O(dim · n) per round after an O(dim · n log n)
+/// one-time sort).
+#[allow(clippy::needless_range_loop)] // feature index addresses parallel arrays
+fn fit_stumps(
+    features: &[Vec<f64>],
+    y: &[f64],
+    idx: &[usize],
+    rounds: usize,
+    shrinkage: f64,
+) -> (f64, Vec<Stump>) {
+    let n = idx.len();
+    let base = idx.iter().map(|&i| y[i]).sum::<f64>() / n as f64;
+    let mut resid: Vec<f64> = idx.iter().map(|&i| y[i] - base).collect();
+
+    // Sort sample positions once per feature.
+    let mut order: Vec<Vec<usize>> = Vec::with_capacity(FEATURE_DIM);
+    for d in 0..FEATURE_DIM {
+        let mut o: Vec<usize> = (0..n).collect();
+        o.sort_by(|&a, &b| features[idx[a]][d].total_cmp(&features[idx[b]][d]));
+        order.push(o);
+    }
+
+    let mut stumps = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let total: f64 = resid.iter().sum();
+        let mut best: Option<(f64, Stump)> = None; // (score gain, stump)
+        for d in 0..FEATURE_DIM {
+            let o = &order[d];
+            let mut left_sum = 0.0;
+            for (rank, &p) in o.iter().enumerate() {
+                left_sum += resid[p];
+                let nl = rank + 1;
+                if nl == n {
+                    break;
+                }
+                let xv = features[idx[p]][d];
+                let xn = features[idx[o[rank + 1]]][d];
+                if xn <= xv {
+                    continue; // ties — can't split here
+                }
+                let nr = n - nl;
+                let right_sum = total - left_sum;
+                // Variance-reduction score: sum of (group sum)²/count.
+                let gain = left_sum * left_sum / nl as f64 + right_sum * right_sum / nr as f64;
+                if best.as_ref().is_none_or(|(g, _)| gain > *g) {
+                    best = Some((
+                        gain,
+                        Stump {
+                            feature: d,
+                            threshold: 0.5 * (xv + xn),
+                            left: left_sum / nl as f64,
+                            right: right_sum / nr as f64,
+                        },
+                    ));
+                }
+            }
+        }
+        let Some((_, mut stump)) = best else {
+            break; // all features constant — nothing to split
+        };
+        stump.left *= shrinkage;
+        stump.right *= shrinkage;
+        for (r, &i) in resid.iter_mut().zip(idx) {
+            *r -= if features[i][stump.feature] <= stump.threshold {
+                stump.left
+            } else {
+                stump.right
+            };
+        }
+        stumps.push(stump);
+    }
+    (base, stumps)
+}
+
+/// Spearman rank correlation of two equal-length slices. Ties get their
+/// average rank; degenerate inputs (constant vector, n < 2) return 0.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() != b.len() || a.len() < 2 {
+        return 0.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let n = v.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| v[i].total_cmp(&v[j]));
+    let mut r = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && v[order[j + 1]] == v[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &o in &order[i..=j] {
+            r[o] = avg;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va < 1e-18 || vb < 1e-18 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic synthetic dataset: benefit is a noisy-free monotone
+    /// function of a couple of features, everything else is structured
+    /// filler.
+    fn synth(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut f = vec![0.0; FEATURE_DIM];
+            for (d, x) in f.iter_mut().enumerate() {
+                // Deterministic pseudo-variation, no RNG needed.
+                *x = ((i * 31 + d * 17) % 97) as f64 / 97.0;
+            }
+            let y = 3.0 * f[0] + 1.5 * f[5] * f[5] - f[12];
+            xs.push(f);
+            ys.push(y.exp() - 1.0); // invert target() so target(y)=linear-ish
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn ridge_learns_a_linearish_signal() {
+        let (xs, ys) = synth(300);
+        let cfg = TrainConfig {
+            kind: ModelKind::Ridge,
+            ..TrainConfig::default()
+        };
+        let m = BenefitModel::train(&xs, &ys, &cfg).unwrap();
+        assert!(m.holdout_spearman > 0.8, "spearman {}", m.holdout_spearman);
+    }
+
+    #[test]
+    fn stumps_learn_at_least_as_well_as_ridge_on_nonlinear_signal() {
+        let (xs, ys) = synth(300);
+        let m = BenefitModel::train(&xs, &ys, &TrainConfig::default()).unwrap();
+        assert!(m.holdout_spearman > 0.8, "spearman {}", m.holdout_spearman);
+        assert!(matches!(&m.weights, Weights::Stumps { stumps, .. } if !stumps.is_empty()));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (xs, ys) = synth(120);
+        let a = BenefitModel::train(&xs, &ys, &TrainConfig::default()).unwrap();
+        let b = BenefitModel::train(&xs, &ys, &TrainConfig::default()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_predictions() {
+        let (xs, ys) = synth(150);
+        for kind in [ModelKind::Ridge, ModelKind::Stumps] {
+            let cfg = TrainConfig {
+                kind,
+                ..TrainConfig::default()
+            };
+            let m = BenefitModel::train(&xs, &ys, &cfg).unwrap();
+            let m2 = BenefitModel::from_json(&m.to_json()).unwrap();
+            for f in xs.iter().take(10) {
+                assert!((m.predict(f) - m2.predict(f)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_versions_are_rejected() {
+        let (xs, ys) = synth(60);
+        let mut m = BenefitModel::train(&xs, &ys, &TrainConfig::default()).unwrap();
+        m.format_version += 1;
+        assert!(BenefitModel::from_json(&m.to_json()).is_err());
+        m.format_version -= 1;
+        m.feature_version += 1;
+        assert!(BenefitModel::from_json(&m.to_json()).is_err());
+    }
+
+    #[test]
+    fn ood_detection_flags_out_of_range_features() {
+        let (xs, ys) = synth(100);
+        let m = BenefitModel::train(&xs, &ys, &TrainConfig::default()).unwrap();
+        assert!(!m.is_ood(&xs[0]));
+        let mut far = xs[0].clone();
+        far[3] = 1e6;
+        let flagged = m.ood_features(&far);
+        assert_eq!(flagged, vec![3]);
+    }
+
+    #[test]
+    fn too_few_samples_is_an_error() {
+        let (xs, ys) = synth(5);
+        assert!(matches!(
+            BenefitModel::train(&xs, &ys, &TrainConfig::default()),
+            Err(TrainError::TooFewSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let (xs, ys) = synth(80);
+        let m = BenefitModel::train(&xs, &ys, &TrainConfig::default()).unwrap();
+        let path = std::env::temp_dir().join(format!("learned-model-{}.json", std::process::id()));
+        m.save(&path).unwrap();
+        let m2 = BenefitModel::load(&path).unwrap();
+        assert_eq!(m, m2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn spearman_basics() {
+        assert!((spearman(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]) - 1.0).abs() < 1e-12);
+        assert!((spearman(&[1.0, 2.0, 3.0], &[30.0, 20.0, 10.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        // Rank-only: a monotone nonlinear warp changes nothing.
+        let a = [0.1f64, 0.5, 0.9, 2.0, 5.0];
+        let b: Vec<f64> = a.iter().map(|x| x.powi(3)).collect();
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,293 @@
+//! Top-k action pruning for the construction walk.
+//!
+//! Given a state and its applicable actions, the pruner ranks the actions
+//! with the learned model and keeps only the `top_k` best (plus `Cache`,
+//! always — pruning the level-advance edge would strand the walk inside
+//! one memory level and break the annealed convergence of Alg. 1). The
+//! walk then exact-scores only the shortlist.
+//!
+//! **Fallback rule** (DESIGN §12): the shortlist is only trusted when
+//! every candidate's feature vector lies inside the model's training
+//! range (per-feature min/max + margin) *and* the predictions actually
+//! discriminate (spread above noise). Otherwise the step falls back to
+//! full exact scoring — out-of-distribution operators degrade to the
+//! unpruned walk, never to a silently wrong shortlist.
+
+use crate::features::featurize;
+use crate::model::BenefitModel;
+use etir::analytics::ScheduleStats;
+use etir::{Action, Etir};
+use hardware::GpuSpec;
+
+/// Default shortlist size. With `Cache` force-included the walk
+/// exact-scores ≤ 4 actions per step against 13 (GEMM) or 25 (conv2d).
+pub const DEFAULT_TOP_K: usize = 3;
+
+/// Minimum prediction spread (max − min, log space) below which the model
+/// is considered undecided and the step falls back.
+const MIN_SPREAD: f64 = 1e-9;
+
+/// Outcome of one shortlist attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Shortlist {
+    /// Trust the model: exact-score only these actions.
+    Keep(Vec<Action>),
+    /// Low confidence — exact-score everything.
+    Fallback(FallbackReason),
+}
+
+/// Why a step fell back to exact scoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// A candidate's feature vector left the training distribution.
+    OutOfDistribution,
+    /// Predictions were too close to rank anything.
+    LowSpread,
+    /// Fewer applicable actions than the shortlist — pruning buys nothing.
+    TooFewActions,
+}
+
+/// A trained model plus pruning policy.
+#[derive(Debug, Clone)]
+pub struct Pruner {
+    /// The trained regressor.
+    pub model: BenefitModel,
+    /// Shortlist size (exact evaluations per pruned step, excluding the
+    /// forced `Cache`).
+    pub top_k: usize,
+}
+
+impl Pruner {
+    /// Wrap a trained model with the default shortlist size.
+    pub fn new(model: BenefitModel) -> Pruner {
+        Pruner {
+            model,
+            top_k: DEFAULT_TOP_K,
+        }
+    }
+
+    /// Override the shortlist size (clamped to ≥ 1).
+    pub fn with_top_k(mut self, top_k: usize) -> Pruner {
+        self.top_k = top_k.max(1);
+        self
+    }
+
+    /// Rank `applicable` and return the shortlist, or a fallback verdict.
+    ///
+    /// `salt` must vary per step (the walk passes its step counter): it
+    /// seeds a deterministic tie-break jitter so near-tied predictions —
+    /// Eq. 1's benefit is symmetric in the GEMM tile dims, so `Tile{0}`
+    /// and `Tile{1}` genuinely tie — don't collapse every shortlist onto
+    /// the same argsort order and starve dimensions of exploration.
+    pub fn shortlist(
+        &self,
+        state: &Etir,
+        before: &ScheduleStats,
+        applicable: &[Action],
+        spec: &GpuSpec,
+        salt: u64,
+    ) -> Shortlist {
+        // Keeping top_k + forced Cache: with ≤ top_k + 1 candidates the
+        // "shortlist" would be the full set.
+        if applicable.len() <= self.top_k + 1 {
+            return Shortlist::Fallback(FallbackReason::TooFewActions);
+        }
+
+        let mut preds = Vec::with_capacity(applicable.len());
+        for (i, a) in applicable.iter().enumerate() {
+            let f = featurize(state, before, a, spec);
+            let ood = self.model.ood_features(&f);
+            if let Some(&dim) = ood.first() {
+                obs::counter_inc!(
+                    "gensor_learned_fallback_steps_total",
+                    "walk steps that fell back to exact scoring (low model confidence)"
+                );
+                obs::event!(
+                    "learned.predict",
+                    outcome = "fallback_ood",
+                    feature = crate::features::FEATURE_NAMES[dim],
+                    action = format!("{a:?}"),
+                    candidates = applicable.len() as u64
+                );
+                return Shortlist::Fallback(FallbackReason::OutOfDistribution);
+            }
+            let mut p = self.model.predict(&f);
+            p += 0.01 * hash01(salt, i as u64); // deterministic tie-break
+            preds.push(p);
+        }
+        obs::counter_add!(
+            "gensor_learned_predictions_total",
+            "model benefit predictions made while pruning",
+            preds.len() as u64
+        );
+
+        let lo = preds.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = preds.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if !(hi - lo).is_finite() || hi - lo < MIN_SPREAD {
+            obs::counter_inc!(
+                "gensor_learned_fallback_steps_total",
+                "walk steps that fell back to exact scoring (low model confidence)"
+            );
+            obs::event!(
+                "learned.predict",
+                outcome = "fallback_spread",
+                candidates = applicable.len() as u64
+            );
+            return Shortlist::Fallback(FallbackReason::LowSpread);
+        }
+
+        let mut order: Vec<usize> = (0..applicable.len()).collect();
+        order.sort_by(|&a, &b| preds[b].total_cmp(&preds[a]));
+        let mut keep: Vec<Action> = order
+            .into_iter()
+            .take(self.top_k)
+            .map(|i| applicable[i])
+            .collect();
+        if applicable.contains(&Action::Cache) && !keep.contains(&Action::Cache) {
+            keep.push(Action::Cache);
+        }
+        obs::counter_inc!(
+            "gensor_learned_pruned_steps_total",
+            "walk steps where the model shortlist replaced full exact scoring"
+        );
+        obs::event!(
+            "learned.predict",
+            outcome = "pruned",
+            candidates = applicable.len() as u64,
+            kept = keep.len() as u64
+        );
+        Shortlist::Keep(keep)
+    }
+}
+
+/// Deterministic hash → [0, 1). SplitMix64 finalizer over (salt, i).
+fn hash01(salt: u64, i: u64) -> f64 {
+    let mut z = salt
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(i.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BenefitModel, TrainConfig};
+    use tensor_expr::OpSpec;
+
+    /// Train a model on real GEMM featurizations so in-distribution tests
+    /// use honest feature ranges.
+    fn gemm_model() -> (BenefitModel, Etir, GpuSpec) {
+        model_for(OpSpec::gemm(1024, 512, 2048))
+    }
+
+    fn model_for(op: OpSpec) -> (BenefitModel, Etir, GpuSpec) {
+        let spec = GpuSpec::rtx4090();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut states = vec![Etir::initial(op, &spec)];
+        // Breadth-ish sweep of early construction states.
+        for _ in 0..4 {
+            let mut next = Vec::new();
+            for e in &states {
+                for a in Action::enumerate(e) {
+                    let stats = ScheduleStats::compute(e);
+                    let f = featurize(e, &stats, &a, &spec);
+                    // Synthetic target correlated with traffic features.
+                    ys.push((f[14].abs() + 0.1 * f[30]).exp() - 1.0);
+                    xs.push(f);
+                    if next.len() < 8
+                        && a == (Action::Tile {
+                            dim: next.len() % 2,
+                        })
+                    {
+                        next.push(e.apply(&a));
+                    }
+                }
+            }
+            states.extend(next);
+        }
+        let m = BenefitModel::train(&xs, &ys, &TrainConfig::default()).unwrap();
+        (m, states[0].clone(), spec)
+    }
+
+    #[test]
+    fn shortlist_keeps_topk_plus_cache() {
+        let (m, e, spec) = gemm_model();
+        let pruner = Pruner::new(m);
+        let stats = ScheduleStats::compute(&e);
+        let apply = Action::enumerate(&e);
+        assert!(apply.len() > pruner.top_k + 1);
+        match pruner.shortlist(&e, &stats, &apply, &spec, 7) {
+            Shortlist::Keep(keep) => {
+                assert!(keep.len() <= pruner.top_k + 1);
+                assert!(keep.contains(&Action::Cache), "{keep:?}");
+                for a in &keep {
+                    assert!(apply.contains(a));
+                }
+            }
+            other => panic!("expected Keep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ood_state_falls_back() {
+        let (m, _, spec) = gemm_model();
+        let pruner = Pruner::new(m);
+        // Conv2d features (rank 4/3) are far outside the GEMM training box.
+        let e = Etir::initial(OpSpec::conv2d(8, 32, 28, 28, 64, 3, 3, 1, 1), &spec);
+        let stats = ScheduleStats::compute(&e);
+        let apply = Action::enumerate(&e);
+        assert_eq!(
+            pruner.shortlist(&e, &stats, &apply, &spec, 0),
+            Shortlist::Fallback(FallbackReason::OutOfDistribution)
+        );
+    }
+
+    #[test]
+    fn tiny_action_sets_skip_pruning() {
+        let (m, e, spec) = gemm_model();
+        let pruner = Pruner::new(m).with_top_k(3);
+        let stats = ScheduleStats::compute(&e);
+        let apply = vec![Action::Cache, Action::Unroll];
+        assert_eq!(
+            pruner.shortlist(&e, &stats, &apply, &spec, 0),
+            Shortlist::Fallback(FallbackReason::TooFewActions)
+        );
+    }
+
+    #[test]
+    fn jitter_varies_shortlists_across_steps() {
+        // Square GEMM: Tile{0} and Tile{1} featurize identically, so their
+        // predictions tie exactly and only the jitter orders them.
+        let (m, e, spec) = model_for(OpSpec::gemm(1024, 1024, 1024));
+        let pruner = Pruner::new(m).with_top_k(2);
+        let stats = ScheduleStats::compute(&e);
+        let apply = Action::enumerate(&e);
+        let lists: Vec<_> = (0..32)
+            .map(|salt| pruner.shortlist(&e, &stats, &apply, &spec, salt))
+            .collect();
+        // Deterministic per salt...
+        assert_eq!(lists[3], pruner.shortlist(&e, &stats, &apply, &spec, 3));
+        // ...but not identical across all salts (ties get broken both ways).
+        let first = &lists[0];
+        assert!(
+            lists.iter().any(|l| l != first),
+            "jitter should vary near-tied shortlists"
+        );
+    }
+
+    #[test]
+    fn hash01_is_deterministic_and_bounded() {
+        for salt in 0..50u64 {
+            for i in 0..10u64 {
+                let h = hash01(salt, i);
+                assert!((0.0..1.0).contains(&h));
+                assert_eq!(h, hash01(salt, i));
+            }
+        }
+    }
+}

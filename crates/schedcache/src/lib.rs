@@ -34,6 +34,7 @@ pub mod cache;
 pub mod key;
 pub mod map;
 pub mod service;
+pub mod sidecar;
 pub mod stats;
 pub mod store;
 pub mod tuner;
@@ -42,6 +43,7 @@ pub use cache::{ScheduleCache, CROSS_DEVICE_PENALTY};
 pub use key::{CacheKey, FORMAT_VERSION, POLICY_EPOCH};
 pub use map::Outcome;
 pub use service::{CompileService, ServiceReport};
+pub use sidecar::{learned_dataset_sidecar, learned_model_sidecar};
 pub use stats::StatsSnapshot;
 pub use store::{CacheRecord, CompactReport, LoadReport, Store};
 pub use tuner::CachedTuner;

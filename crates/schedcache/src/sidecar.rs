@@ -1,0 +1,62 @@
+//! Sidecar-file convention: learned-benefit artifacts live *next to* the
+//! schedule cache they were harvested from.
+//!
+//! A deployment that ships its cache file around (or serves it through
+//! the daemon) gets the trained model and its training data along for
+//! free — one directory, one convention, no extra configuration:
+//!
+//! * `<cache>.model.json` — the trained [`learned`] benefit model
+//!   (crate `learned`'s `BenefitModel` JSON format).
+//! * `<cache>.learn.jsonl` — the versioned training dataset collected
+//!   while tuning into this cache (`gensor compile --cache C --collect`).
+//!
+//! The helpers are pure path derivations; existence checks belong to the
+//! caller (the CLI auto-loads the model sidecar only when present).
+
+use std::path::{Path, PathBuf};
+
+/// Path of the trained-model sidecar for a cache file.
+pub fn learned_model_sidecar(cache: &Path) -> PathBuf {
+    sidecar(cache, "model.json")
+}
+
+/// Path of the training-dataset sidecar for a cache file.
+pub fn learned_dataset_sidecar(cache: &Path) -> PathBuf {
+    sidecar(cache, "learn.jsonl")
+}
+
+fn sidecar(cache: &Path, suffix: &str) -> PathBuf {
+    let mut name = cache
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    name.push('.');
+    name.push_str(suffix);
+    cache.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sidecars_derive_from_the_cache_path() {
+        let cache = Path::new("/var/lib/gensor/sched.jsonl");
+        assert_eq!(
+            learned_model_sidecar(cache),
+            Path::new("/var/lib/gensor/sched.jsonl.model.json")
+        );
+        assert_eq!(
+            learned_dataset_sidecar(cache),
+            Path::new("/var/lib/gensor/sched.jsonl.learn.jsonl")
+        );
+    }
+
+    #[test]
+    fn relative_paths_stay_relative() {
+        assert_eq!(
+            learned_model_sidecar(Path::new("cache.jsonl")),
+            Path::new("cache.jsonl.model.json")
+        );
+    }
+}

@@ -271,6 +271,20 @@ impl Client {
         }
     }
 
+    /// Fetch the learned benefit model distributed with the server's
+    /// schedule cache (`None` when the server has none loaded). The JSON
+    /// is returned verbatim; deserializing — and validating the model's
+    /// format/feature versions — is the caller's job, so this crate
+    /// stays free of a `learned` dependency.
+    pub fn fetch_model(&mut self) -> Result<Option<String>, ClientError> {
+        match self.request(&Request::FetchModel)? {
+            Response::Model { json } => Ok(json),
+            other => Err(ClientError::Protocol(format!(
+                "fetch-model answered {other:?}"
+            ))),
+        }
+    }
+
     /// Fetch the server's metric registry in Prometheus text exposition
     /// format.
     pub fn metrics(&mut self) -> Result<String, ClientError> {

@@ -34,8 +34,11 @@ use tensor_expr::OpSpec;
 /// (Prometheus text exposition) and the queue/service latency split in
 /// [`ServeStats`]. v3 added the robustness counters (`worker_panics`,
 /// `cancelled` in [`ServeStats`], `recovered_truncated` in the cache
-/// snapshot) and the `failed` count in [`Response::BatchDone`].
-pub const PROTO_VERSION: u32 = 3;
+/// snapshot) and the `failed` count in [`Response::BatchDone`]. v4 added
+/// the learned-model distribution pair ([`Request::FetchModel`] /
+/// [`Response::Model`]) so clients can pull the benefit model that was
+/// trained against the server's schedule cache.
+pub const PROTO_VERSION: u32 = 4;
 
 /// Upper bound on one frame's JSON payload (32 MiB — far above any real
 /// schedule, far below an allocation-of-death).
@@ -69,6 +72,9 @@ pub enum Request {
     Stats,
     /// The server's metric registry in Prometheus text exposition format.
     Metrics,
+    /// The learned benefit model distributed with the server's schedule
+    /// cache (the `<cache>.model.json` sidecar), if one is loaded.
+    FetchModel,
     /// Graceful drain: finish in-flight work, flush the store, exit.
     Shutdown,
 }
@@ -101,6 +107,11 @@ pub enum Response {
     /// Reply to [`Request::Metrics`]: Prometheus text exposition, ready
     /// for a scrape endpoint or `gensor metrics --socket`.
     Metrics { text: String },
+    /// Reply to [`Request::FetchModel`]: the learned benefit model as its
+    /// JSON wire form, or `None` when the server has none loaded. The
+    /// server treats the JSON as opaque — the client validates versions
+    /// when it deserializes.
+    Model { json: Option<String> },
     /// Load shed: the admission gate is full. Back off and retry (or
     /// compile locally); nothing was queued.
     Busy { inflight: u64, max_inflight: u64 },

@@ -70,6 +70,12 @@ pub struct ServerConfig {
     /// bytes (checked periodically by the accept loop). `None` disables
     /// the daemon-side trigger; `gensor cache compact` still works.
     pub compact_bytes: Option<u64>,
+    /// Learned benefit model distributed alongside the schedule cache
+    /// (the `<cache>.model.json` sidecar), served verbatim to clients
+    /// that ask with [`Request::FetchModel`]. The daemon treats the JSON
+    /// as opaque — the *client* validates format/feature versions when
+    /// it deserializes, so the served crate needs no `learned` dep.
+    pub learned_model_json: Option<String>,
 }
 
 impl ServerConfig {
@@ -86,6 +92,7 @@ impl ServerConfig {
             deadline: Duration::from_secs(120),
             handle_signals: false,
             compact_bytes: None,
+            learned_model_json: None,
         }
     }
 }
@@ -114,9 +121,16 @@ impl MethodRegistry {
 
     /// The CLI's method set: gensor, roller, ansor, cublas, pytorch.
     pub fn standard() -> Self {
+        Self::standard_with_gensor(GensorConfig::default())
+    }
+
+    /// [`standard()`](Self::standard), but with a caller-supplied gensor
+    /// config — the serve CLI uses this to hand the daemon a
+    /// pruner-carrying (`--learned`) or reseeded config that every
+    /// gensor compile then inherits.
+    pub fn standard_with_gensor(cfg: GensorConfig) -> Self {
         let mut r = Self::empty();
-        r.entries
-            .push(("gensor".into(), Method::Gensor(GensorConfig::default())));
+        r.entries.push(("gensor".into(), Method::Gensor(cfg)));
         r.register("roller", Box::new(roller::Roller::default()));
         r.register("ansor", Box::new(search::Ansor::default()));
         r.register("cublas", Box::new(search::VendorLib));
@@ -753,6 +767,9 @@ fn handle_connection(
             },
             Request::Metrics => Response::Metrics {
                 text: obs::prometheus::render(),
+            },
+            Request::FetchModel => Response::Model {
+                json: cfg.learned_model_json.clone(),
             },
             Request::Shutdown => {
                 shared.shutdown.store(true, Ordering::SeqCst);

@@ -1,0 +1,224 @@
+//! Property tests for the learned-benefit pruned walk (DESIGN §12):
+//! a model trained on real construction data keeps walk quality within
+//! ε of exact scoring while evaluating several times fewer exact
+//! benefit formulas, and out-of-distribution operators always fall
+//! back to the exact path — byte-identically to having no pruner.
+
+use gensor::{Gensor, GensorConfig, Walk};
+use hardware::GpuSpec;
+use learned::{BenefitModel, Pruner, TrainConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simgpu::Tuner;
+use std::sync::{Arc, Mutex, OnceLock};
+use tensor_expr::OpSpec;
+
+/// Quality contract for pruned construction (DESIGN §12): across a
+/// preset's zoo sweep the *geomean* simulated time may trail the exact
+/// walk's by at most `EPSILON`, and no single operator may lose more
+/// than `WORST_CASE`. Pruning is Monte-Carlo — individual ops can win
+/// or lose a little — but it must never change the aggregate story.
+const EPSILON: f64 = 0.15;
+const WORST_CASE: f64 = 0.5;
+
+/// The dataset recorder is process-global; collections must not
+/// interleave or a GEMM-only model would see conv samples.
+fn recorder_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Tune `ops` unpruned with the in-memory recorder installed and fit
+/// the default stumps model on the harvested (features → exact benefit)
+/// pairs.
+fn train_on(ops: &[OpSpec], spec: &GpuSpec) -> BenefitModel {
+    let _g = recorder_lock().lock().unwrap_or_else(|p| p.into_inner());
+    learned::dataset::install_memory();
+    let tuner = Gensor::with_config(GensorConfig {
+        chains: 2,
+        ..Default::default()
+    });
+    for op in ops {
+        let _ = tuner.compile(op, spec);
+    }
+    let report = learned::dataset::uninstall();
+    let features: Vec<Vec<f64>> = report.samples.iter().map(|s| s.features.clone()).collect();
+    let benefits: Vec<f64> = report.samples.iter().map(|s| s.benefit).collect();
+    BenefitModel::train(&features, &benefits, &TrainConfig::default()).expect("enough samples")
+}
+
+/// A small conv-dominated zoo, mirroring the real model zoo's operator
+/// mix (ResNet/MobileNet are mostly convolutions).
+fn zoo() -> Vec<OpSpec> {
+    vec![
+        OpSpec::gemm(1024, 512, 2048),
+        OpSpec::gemv(8192, 1024),
+        OpSpec::conv2d(8, 32, 28, 28, 64, 3, 3, 1, 1),
+        OpSpec::conv2d(4, 64, 14, 14, 128, 3, 3, 1, 1),
+        OpSpec::avg_pool2d(16, 48, 48, 48, 2, 2),
+    ]
+}
+
+/// One pruner per preset, trained once on the zoo and shared by every
+/// test in this binary (training tunes every zoo op).
+fn zoo_pruner(spec: &GpuSpec) -> Arc<Pruner> {
+    static RTX: OnceLock<Arc<Pruner>> = OnceLock::new();
+    static ORIN: OnceLock<Arc<Pruner>> = OnceLock::new();
+    let cell = if spec.name.contains("Orin") {
+        &ORIN
+    } else {
+        &RTX
+    };
+    cell.get_or_init(|| Arc::new(Pruner::new(train_on(&zoo(), spec))))
+        .clone()
+}
+
+#[test]
+fn pruned_construction_quality_stays_within_epsilon_of_unpruned() {
+    for spec in [GpuSpec::rtx4090(), GpuSpec::orin_nano()] {
+        let pruner = zoo_pruner(&spec);
+        let mut ln_ratio_sum = 0.0;
+        let mut n = 0usize;
+        for op in zoo() {
+            let base = GensorConfig {
+                chains: 4,
+                ..Default::default()
+            };
+            let exact = Gensor::with_config(base.clone()).compile(&op, &spec);
+            let pruned = Gensor::with_config(base.with_pruner(pruner.clone())).compile(&op, &spec);
+            let vr = verify::verify_schedule(&pruned.etir, Some(&spec));
+            assert!(
+                vr.is_legal(),
+                "{} on {}: pruned schedule is illegal:\n{}",
+                op.label(),
+                spec.name,
+                vr.render()
+            );
+            let ratio = pruned.report.time_us / exact.report.time_us;
+            assert!(
+                ratio <= 1.0 + WORST_CASE,
+                "{} on {}: pruned {:.1} µs vs exact {:.1} µs ({ratio:.3}×)",
+                op.label(),
+                spec.name,
+                pruned.report.time_us,
+                exact.report.time_us
+            );
+            ln_ratio_sum += ratio.ln();
+            n += 1;
+        }
+        let geomean = (ln_ratio_sum / n as f64).exp();
+        assert!(
+            geomean <= 1.0 + EPSILON,
+            "{}: pruned zoo geomean {geomean:.3}× exceeds 1+ε",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn out_of_distribution_ops_always_fall_back_to_exact_scoring() {
+    let spec = GpuSpec::rtx4090();
+    // GEMM-only training: conv/pool iteration-space ranks sit outside
+    // every observed feature range, so OOD detection must trip.
+    let model = train_on(
+        &[OpSpec::gemm(1024, 512, 2048), OpSpec::gemm(512, 512, 512)],
+        &spec,
+    );
+    let pruner = Arc::new(Pruner::new(model));
+    for op in [
+        OpSpec::conv2d(8, 32, 28, 28, 64, 3, 3, 1, 1),
+        OpSpec::avg_pool2d(16, 48, 48, 48, 2, 2),
+    ] {
+        let mut walk = Walk::default();
+        walk.policy.pruner = Some(pruner.clone());
+        let rec = walk.run(&op, &spec, &mut StdRng::seed_from_u64(9));
+        assert_eq!(
+            rec.pruned_steps,
+            0,
+            "{}: an OOD op must never be pruned",
+            op.label()
+        );
+        assert!(rec.fallback_steps > 0, "{}", op.label());
+        // The fallback path must be byte-identical to having no pruner:
+        // same RNG draw sequence, same trajectory, same exact-eval count.
+        let plain = Walk::default().run(&op, &spec, &mut StdRng::seed_from_u64(9));
+        assert_eq!(rec.terminal, plain.terminal, "{}", op.label());
+        assert_eq!(rec.top_results, plain.top_results, "{}", op.label());
+        assert_eq!(
+            rec.exact_benefit_evals,
+            plain.exact_benefit_evals,
+            "{}",
+            op.label()
+        );
+    }
+}
+
+#[test]
+fn pruned_walks_evaluate_at_least_5x_fewer_exact_benefits_on_the_zoo() {
+    let spec = GpuSpec::rtx4090();
+    let pruner = zoo_pruner(&spec);
+    // The conv-dominated slice of the zoo, where full exact scoring is
+    // most expensive (25 candidate actions per step vs a GEMM's 13).
+    let ops = [
+        OpSpec::conv2d(8, 32, 28, 28, 64, 3, 3, 1, 1),
+        OpSpec::conv2d(4, 64, 14, 14, 128, 3, 3, 1, 1),
+        OpSpec::conv2d(8, 16, 56, 56, 32, 3, 3, 1, 1),
+        OpSpec::gemm(1024, 512, 2048),
+    ];
+    let mut exact_total = 0u64;
+    let mut pruned_total = 0u64;
+    let mut pruned_steps = 0u32;
+    let mut fallback_steps = 0u32;
+    for (i, op) in ops.iter().enumerate() {
+        let plain = Walk::default().run(op, &spec, &mut StdRng::seed_from_u64(i as u64));
+        let mut walk = Walk::default();
+        walk.policy.pruner = Some(pruner.clone());
+        let rec = walk.run(op, &spec, &mut StdRng::seed_from_u64(i as u64));
+        assert!(rec.model_predictions > 0, "{}", op.label());
+        exact_total += plain.exact_benefit_evals;
+        pruned_total += rec.exact_benefit_evals;
+        pruned_steps += rec.pruned_steps;
+        fallback_steps += rec.fallback_steps;
+    }
+    assert!(
+        pruned_steps > 3 * fallback_steps,
+        "pruning must dominate in-distribution: {pruned_steps} pruned vs {fallback_steps} fallback"
+    );
+    let ratio = exact_total as f64 / pruned_total.max(1) as f64;
+    assert!(ratio >= 5.0, "exact-eval reduction only {ratio:.2}× (< 5×)");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// Whatever the seed and in-distribution operator, a pruned walk
+    /// terminates within the annealing budget, harvests only states
+    /// that fit the memory hierarchy, and never evaluates more exact
+    /// benefits than the unpruned walk.
+    #[test]
+    fn pruned_walks_terminate_legally_and_never_cost_more(
+        seed in 0u64..(1u64 << 32),
+        idx in 0usize..5,
+    ) {
+        let spec = GpuSpec::rtx4090();
+        let op = zoo()[idx].clone();
+        let mut walk = Walk::default();
+        walk.policy.pruner = Some(zoo_pruner(&spec));
+        let rec = walk.run(&op, &spec, &mut StdRng::seed_from_u64(seed));
+        let plain = Walk::default().run(&op, &spec, &mut StdRng::seed_from_u64(seed));
+        let rank = op.spatial_extents().len() + op.reduce_extents().len();
+        prop_assert!(rec.steps <= walk.max_steps_for_rank(rank));
+        prop_assert!(rec.exact_benefit_evals <= plain.exact_benefit_evals,
+            "pruned {} vs plain {}", rec.exact_benefit_evals, plain.exact_benefit_evals);
+        for s in &rec.top_results {
+            prop_assert!(
+                etir::analytics::MemCheck::check_capacity(s, &spec).fits(),
+                "harvested unlaunchable state {}",
+                s.describe()
+            );
+        }
+        let vr = verify::verify_schedule(&rec.terminal, Some(&spec));
+        prop_assert!(vr.is_legal(), "terminal illegal:\n{}", vr.render());
+    }
+}

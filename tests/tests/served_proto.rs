@@ -188,10 +188,10 @@ fn hello_frames_carry_the_version() {
     let req = round_trip_request(&Request::Hello {
         proto: PROTO_VERSION,
     });
-    assert_eq!(req, Request::Hello { proto: 3 });
+    assert_eq!(req, Request::Hello { proto: 4 });
     let resp = round_trip_response(&Response::Error {
         kind: ErrKind::UnsupportedProto,
-        message: "server speaks proto 3".into(),
+        message: "server speaks proto 4".into(),
     });
     assert!(matches!(
         resp,
