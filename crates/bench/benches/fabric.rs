@@ -1,0 +1,174 @@
+//! Criterion bench: the fabric's three hit paths. A key can be answered
+//! by the local in-process cache, by its primary daemon over TCP, or —
+//! when the primary is dead — by a replica after the primary's connect
+//! fails. The three latencies are recorded to `BENCH_fabric.json` at the
+//! workspace root so CI keeps a trend line on failover cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fabric::{ring_key, FabricClient};
+use hardware::GpuSpec;
+use schedcache::{CacheKey, CachedTuner, ScheduleCache};
+use serde::Serialize;
+use served::{BreakerConfig, ClientConfig, MethodRegistry, Server, ServerConfig};
+use simgpu::Tuner;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tensor_expr::OpSpec;
+
+#[derive(Serialize)]
+struct FabricHitPath {
+    bench: &'static str,
+    unit: &'static str,
+    local_hit_us: f64,
+    remote_hit_us: f64,
+    failover_hit_us: f64,
+    wire_overhead_us: f64,
+    failover_penalty_us: f64,
+}
+
+fn start_tcp() -> (
+    String,
+    served::ServerHandle,
+    std::thread::JoinHandle<served::DrainReport>,
+) {
+    let server = Server::bind(
+        ServerConfig::new("tcp://127.0.0.1:0"),
+        Arc::new(ScheduleCache::in_memory()),
+        MethodRegistry::standard(),
+    )
+    .unwrap();
+    let endpoint = server.endpoint().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    (endpoint, handle, join)
+}
+
+fn fast_client() -> ClientConfig {
+    ClientConfig {
+        retries: 1,
+        connect_timeout: Duration::from_millis(300),
+        backoff_base: Duration::from_millis(1),
+        ..Default::default()
+    }
+}
+
+/// Never opens: keeps the dead primary in the ring so every failover
+/// compile pays the full dead-connect-then-replica price.
+fn never_open() -> BreakerConfig {
+    BreakerConfig {
+        failure_threshold: u32::MAX,
+        ..Default::default()
+    }
+}
+
+fn fabric_benches(c: &mut Criterion) {
+    let spec = GpuSpec::rtx4090();
+    let op = OpSpec::gemm(768, 256, 512);
+    let fallback = roller::Roller::default();
+
+    // In-process baseline: a resident hit from the sharded map.
+    let cache = Arc::new(ScheduleCache::in_memory());
+    let local = CachedTuner::new(&fallback, cache.clone());
+    local.compile(&op, &spec); // populate
+
+    // Two daemons; one compile write-throughs the kernel to both, so the
+    // key is a hit on the primary *and* the replica from here on.
+    let (ep_a, handle_a, join_a) = start_tcp();
+    let (ep_b, handle_b, join_b) = start_tcp();
+    let peers = vec![ep_a.clone(), ep_b.clone()];
+    let fabric = FabricClient::new(&peers, "roller", None, &fallback).with_config(fast_client());
+    fabric.compile(&op, &spec); // populate both via write-through
+    assert_eq!(fabric.report().remote, 1);
+
+    let mut group = c.benchmark_group("fabric");
+    group.bench_function("local_hit/gemm", |b| {
+        b.iter(|| criterion::black_box(local.compile(&op, &spec)))
+    });
+    group.bench_function("remote_hit/gemm", |b| {
+        b.iter(|| criterion::black_box(fabric.compile(&op, &spec)))
+    });
+
+    // Direct measurements for the persisted comparison row — the healthy
+    // paths first, while both daemons are still up.
+    let time_us = |mut f: Box<dyn FnMut() + '_>| {
+        const N: u32 = 200;
+        let t0 = Instant::now();
+        for _ in 0..N {
+            f();
+        }
+        t0.elapsed().as_secs_f64() * 1e6 / N as f64
+    };
+    let local_hit_us = time_us(Box::new(|| {
+        local.compile(&op, &spec);
+    }));
+    let remote_hit_us = time_us(Box::new(|| {
+        fabric.compile(&op, &spec);
+    }));
+
+    // Kill the key's primary. A fresh client with a breaker that never
+    // opens keeps the corpse in the ring, so every compile retries the
+    // dead endpoint (fast ECONNREFUSED on loopback) before the replica
+    // answers — the worst-case per-op failover price.
+    let key = ring_key(&CacheKey::new(&op, &spec, "roller"));
+    let primary = fabric
+        .membership()
+        .ring()
+        .primary(key)
+        .expect("two live peers")
+        .to_string();
+    let mut daemons = vec![
+        (ep_a, Some((handle_a, join_a))),
+        (ep_b, Some((handle_b, join_b))),
+    ];
+    for (ep, slot) in &mut daemons {
+        if *ep == primary {
+            let (handle, join) = slot.take().expect("daemon still running");
+            handle.shutdown();
+            join.join().unwrap();
+        }
+    }
+    let failover = FabricClient::new(&peers, "roller", None, &fallback)
+        .with_config(fast_client())
+        .with_breaker(never_open());
+    failover.compile(&op, &spec); // warm the replica connection
+    group.bench_function("failover_hit/gemm", |b| {
+        b.iter(|| criterion::black_box(failover.compile(&op, &spec)))
+    });
+    group.finish();
+
+    let failover_hit_us = time_us(Box::new(|| {
+        failover.compile(&op, &spec);
+    }));
+    let r = failover.report();
+    assert_eq!(r.local, 0, "failover compiles must stay remote: {r:?}");
+
+    let row = FabricHitPath {
+        bench: "fabric",
+        unit: "us",
+        local_hit_us,
+        remote_hit_us,
+        failover_hit_us,
+        wire_overhead_us: remote_hit_us - local_hit_us,
+        failover_penalty_us: failover_hit_us - remote_hit_us,
+    };
+    println!(
+        "local hit {local_hit_us:.1} µs, remote hit {remote_hit_us:.1} µs, failover hit \
+         {failover_hit_us:.1} µs (wire overhead {:.1} µs, failover penalty {:.1} µs)",
+        row.wire_overhead_us, row.failover_penalty_us
+    );
+    let json = serde_json::to_string_pretty(&row).expect("serialize");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fabric.json");
+    std::fs::write(out, &json).expect("write BENCH_fabric.json");
+    bench::write_json("fabric_hit_path", &row);
+
+    // Tear down whichever daemon survived.
+    for (_, slot) in &mut daemons {
+        if let Some((handle, join)) = slot.take() {
+            handle.shutdown();
+            join.join().unwrap();
+        }
+    }
+}
+
+criterion_group!(benches, fabric_benches);
+criterion_main!(benches);

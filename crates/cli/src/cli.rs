@@ -26,15 +26,18 @@ gensor — graph-based construction tensor compiler (Rust reproduction)
 
 USAGE:
   gensor compile <op> <dims...> [--gpu G] [--method M] [--emit E] [--cache F]
-                                [--remote S] [--learned M.json] [--topk K]
-                                [--seed N] [--collect]
+                                [--remote S] [--peers A,B,C] [--token T]
+                                [--learned M.json] [--topk K] [--seed N]
+                                [--collect]
   gensor compare <op> <dims...> [--gpu G]
   gensor model <name> [--batch B] [--gpu G] [--method M] [--cache F]
-                      [--remote S] [--learned M.json] [--topk K] [--seed N]
-                      [--collect]
-  gensor serve --socket S [--cache F] [--cache-cap N] [--workers N]
+                      [--remote S] [--peers A,B,C] [--token T]
+                      [--learned M.json] [--topk K] [--seed N] [--collect]
+  gensor serve (--socket S | --listen E) [--token T] [--peers A,B,C]
+               [--cache F] [--cache-cap N] [--workers N]
                [--max-inflight N] [--deadline SECS] [--compact-bytes N]
                [--failpoints SPEC] [--learned M.json] [--topk K] [--seed N]
+  gensor cluster status --peers A,B,C [--token T] [--emit E]
   gensor learn collect [<op> <dims...> | <model> | zoo] (--out D | --cache F)
                        [--gpu G] [--batch B] [--budget N] [--seed N]
   gensor learn train --data D --out M.json [--kind ridge|stumps] [--rounds N]
@@ -63,7 +66,13 @@ OPTIONS:
   --cache         persistent schedule cache file (JSONL); hits skip tuning
   --remote        compile through a `gensor serve` daemon at socket S;
                   falls back to in-process compilation if unreachable
+  --peers         comma-separated daemon endpoints forming a cache fabric;
+                  compiles route by consistent hash with replica failover
+  --token         shared auth token for token-guarded daemons (serve
+                  requires it from clients; clients send it in Hello)
   --socket        Unix-domain socket path for serve / serve-stats
+  --listen        serve bind endpoint: tcp://host:port or unix://path
+                  (tcp://host:0 picks a free port; supersedes --socket)
   --cache-cap     bound the daemon's resident cache to N schedules (LRU)
   --workers       daemon compile threads (default: cores)
   --max-inflight  admission cap before the daemon sheds with Busy
@@ -324,6 +333,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "learn" => learn(rest, &opts),
         "serve" => serve(rest, &opts),
         "serve-stats" => serve_stats(rest, &opts),
+        "cluster" => cluster(rest, &opts),
         "lint" => lint(rest, &opts),
         "trace" => trace(rest, &opts),
         "metrics" => metrics_cmd(rest, &opts),
@@ -357,6 +367,41 @@ fn parse_remote<'a>(opts: &[(&str, &'a str)]) -> Option<&'a str> {
         .map(|(_, v)| *v)
 }
 
+/// The `--peers a,b,c` list (empty when absent).
+fn parse_peers(opts: &[(&str, &str)]) -> Vec<String> {
+    opt(opts, "peers", "")
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// The default client policy plus the `--token`, for daemon-facing
+/// commands.
+fn client_config(opts: &[(&str, &str)]) -> served::ClientConfig {
+    let token = opt(opts, "token", "");
+    served::ClientConfig {
+        token: (!token.is_empty()).then(|| token.to_string()),
+        ..Default::default()
+    }
+}
+
+/// One summary line about where a [`fabric::FabricClient`]'s compiles
+/// ran.
+fn fabric_line(peers: &[String], r: fabric::FabricReport) -> String {
+    format!(
+        "{} remote over {} peer(s) ({} hits / {} misses, {} failovers, {} repairs), {} local fallback",
+        r.remote,
+        peers.len(),
+        r.hits,
+        r.misses,
+        r.failovers,
+        r.repairs,
+        r.local
+    )
+}
+
 /// One summary line about where a [`served::RemoteTuner`]'s compiles ran.
 fn remote_line(socket: &str, r: served::RemoteReport) -> String {
     if r.remote > 0 {
@@ -386,11 +431,22 @@ fn compile(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
         Some(c) => c,
         None => method.as_ref(),
     };
-    let remote =
-        parse_remote(opts).map(|socket| served::RemoteTuner::new(socket, method_name, None, local));
-    let tuner: &dyn Tuner = match &remote {
-        Some(r) => r,
-        None => local,
+    let peers = parse_peers(opts);
+    let fabric_tuner = (!peers.is_empty()).then(|| {
+        fabric::FabricClient::new(&peers, method_name, None, local).with_config(client_config(opts))
+    });
+    let remote = if fabric_tuner.is_some() {
+        None
+    } else {
+        parse_remote(opts).map(|socket| {
+            served::RemoteTuner::new(socket, method_name, None, local)
+                .with_config(client_config(opts))
+        })
+    };
+    let tuner: &dyn Tuner = match (&fabric_tuner, &remote) {
+        (Some(f), _) => f,
+        (None, Some(r)) => r,
+        (None, None) => local,
     };
     let emit = opt(opts, "emit", "summary");
     let collecting = arm_collect(opts)?;
@@ -442,6 +498,9 @@ fn compile(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
             }
             if let (Some(r), Some(socket)) = (&remote, parse_remote(opts)) {
                 let _ = writeln!(out, "remote   : {}", remote_line(socket, r.report()));
+            }
+            if let Some(f) = &fabric_tuner {
+                let _ = writeln!(out, "fabric   : {}", fabric_line(&peers, f.report()));
             }
             if let Some((n, path)) = &collected {
                 let _ = writeln!(out, "learn    : collected {n} samples → {}", path.display());
@@ -495,11 +554,22 @@ fn model(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
         Some(c) => c,
         None => method.as_ref(),
     };
-    let remote =
-        parse_remote(opts).map(|socket| served::RemoteTuner::new(socket, method_name, None, local));
-    let tuner: &dyn Tuner = match &remote {
-        Some(r) => r,
-        None => local,
+    let peers = parse_peers(opts);
+    let fabric_tuner = (!peers.is_empty()).then(|| {
+        fabric::FabricClient::new(&peers, method_name, None, local).with_config(client_config(opts))
+    });
+    let remote = if fabric_tuner.is_some() {
+        None
+    } else {
+        parse_remote(opts).map(|socket| {
+            served::RemoteTuner::new(socket, method_name, None, local)
+                .with_config(client_config(opts))
+        })
+    };
+    let tuner: &dyn Tuner = match (&fabric_tuner, &remote) {
+        (Some(f), _) => f,
+        (None, Some(r)) => r,
+        (None, None) => local,
     };
     let graph = model_graph(name, batch)?;
     let collecting = arm_collect(opts)?;
@@ -523,6 +593,9 @@ fn model(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     }
     if let (Some(r), Some(socket)) = (&remote, parse_remote(opts)) {
         let _ = writeln!(out, "remote     : {}", remote_line(socket, r.report()));
+    }
+    if let Some(f) = &fabric_tuner {
+        let _ = writeln!(out, "fabric     : {}", fabric_line(&peers, f.report()));
     }
     if let Some((n, path)) = &collected {
         let _ = writeln!(
@@ -730,9 +803,20 @@ fn metrics_cmd(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> 
 /// `gensor serve --socket <path>` — run the compilation daemon until a
 /// `Shutdown` frame or SIGTERM/SIGINT drains it.
 fn serve(_pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
-    let socket = opt(opts, "socket", "");
+    // `--listen tcp://host:port | unix://path` supersedes `--socket`;
+    // either spelling works, so every existing invocation keeps running.
+    let socket = {
+        let listen = opt(opts, "listen", "");
+        if listen.is_empty() {
+            opt(opts, "socket", "")
+        } else {
+            listen
+        }
+    };
     if socket.is_empty() {
-        return Err(CliError::Usage("serve needs --socket <path>".into()));
+        return Err(CliError::Usage(
+            "serve needs --socket <path> or --listen <endpoint>".into(),
+        ));
     }
     let cache = match parse_cache_bounded(opts)? {
         Some(c) => c,
@@ -743,6 +827,11 @@ fn serve(_pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     };
     let mut cfg = served::ServerConfig::new(socket);
     cfg.handle_signals = true;
+    let token = opt(opts, "token", "");
+    if !token.is_empty() {
+        cfg.token = Some(token.to_string());
+    }
+    cfg.peers = parse_peers(opts);
     if let Some(w) = parse_num(opts, "workers")? {
         cfg.workers = (w as usize).max(1);
     }
@@ -803,9 +892,11 @@ fn serve(_pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     let server = served::Server::bind(cfg, cache, registry)
         .map_err(|e| CliError::Usage(format!("cannot bind '{socket}': {e}")))?;
     // Announce on stderr before blocking; the summary goes to stdout at
-    // drain time.
+    // drain time. The *resolved* endpoint is printed — a tcp://host:0
+    // bind announces the kernel-assigned port.
     eprintln!(
-        "gensor serve: listening on {socket} ({workers} workers, max {max_inflight} in flight)"
+        "gensor serve: listening on {} ({workers} workers, max {max_inflight} in flight)",
+        server.endpoint()
     );
     let report = server
         .run()
@@ -815,6 +906,38 @@ fn serve(_pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
         "drained ({}) after {:.1} s: {} requests, {} compiles ({} built / {} hits / {} coalesced), {} shed\n",
         report.reason, s.uptime_s, s.requests, s.compiles, s.misses, s.hits, s.coalesced, s.shed
     ))
+}
+
+/// `gensor cluster status --peers a,b,c` — probe every fabric peer and
+/// report liveness, cache counters, and ring shares.
+fn cluster(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
+    let sub = pos
+        .first()
+        .ok_or_else(|| CliError::Usage("cluster expects a subcommand: status".into()))?;
+    if *sub != "status" {
+        return Err(CliError::Usage(format!(
+            "unknown cluster subcommand '{sub}'"
+        )));
+    }
+    let peers = parse_peers(opts);
+    if peers.is_empty() {
+        return Err(CliError::Usage(
+            "cluster status needs --peers <a,b,c>".into(),
+        ));
+    }
+    // A status probe should answer fast even when peers are down: one
+    // connect attempt each, no retry backoff.
+    let cfg = served::ClientConfig {
+        retries: 1,
+        connect_timeout: std::time::Duration::from_millis(500),
+        ..client_config(opts)
+    };
+    let status = fabric::cluster_status(&peers, &cfg);
+    match opt(opts, "emit", "summary") {
+        "json" => Ok(serde_json::to_string_pretty(&status).expect("serialize") + "\n"),
+        "summary" => Ok(status.render()),
+        other => Err(CliError::Usage(format!("unknown emit mode '{other}'"))),
+    }
 }
 
 /// `gensor serve-stats --socket <path>` — query a running daemon.
@@ -1579,6 +1702,42 @@ mod tests {
         // A missing model file is a usage error, not a panic.
         assert!(matches!(
             call("compile gemm 64 32 64 --learned /tmp/gensor-no-such-model.json"),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn cluster_status_usage_and_dead_peers() {
+        assert!(matches!(call("cluster"), Err(CliError::Usage(_))));
+        assert!(matches!(call("cluster frob"), Err(CliError::Usage(_))));
+        assert!(matches!(call("cluster status"), Err(CliError::Usage(_))));
+        let out = call("cluster status --peers tcp://127.0.0.1:1,tcp://127.0.0.1:2").unwrap();
+        assert!(out.contains("0/2 peers up"), "{out}");
+        assert!(out.contains("DOWN"), "{out}");
+        let json = call("cluster status --peers tcp://127.0.0.1:1 --emit json").unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["up"].as_u64(), Some(0));
+        assert_eq!(v["total"].as_u64(), Some(1));
+        assert_eq!(v["peers"][0]["up"].as_bool(), Some(false));
+    }
+
+    #[test]
+    fn compile_with_peers_falls_back_without_daemons() {
+        let out = call(
+            "compile gemm 256 128 256 --method roller --peers tcp://127.0.0.1:1,tcp://127.0.0.1:2",
+        )
+        .unwrap();
+        assert!(out.contains("fabric   :"), "{out}");
+        assert!(out.contains("1 local fallback"), "{out}");
+        assert!(out.contains("GFLOPS"), "{out}");
+    }
+
+    #[test]
+    fn serve_accepts_listen_or_socket_spelling() {
+        assert!(matches!(call("serve"), Err(CliError::Usage(_))));
+        // A malformed numeric option still fails fast with --listen.
+        assert!(matches!(
+            call("serve --listen tcp://127.0.0.1:0 --workers frob"),
             Err(CliError::Usage(_))
         ));
     }

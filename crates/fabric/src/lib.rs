@@ -1,0 +1,29 @@
+//! `fabric` — the distributed schedule-cache fabric.
+//!
+//! N `gensor serve` daemons become one logical schedule cache: each
+//! cache key is owned by a primary daemon plus R−1 replicas chosen on a
+//! consistent-hash ring over the existing cache-key fingerprints, so
+//! every client in the fleet routes the same operator to the same
+//! daemons and the fleet-wide hit rate approaches a single shared
+//! cache's. See DESIGN.md §13 for the architecture and failure model.
+//!
+//! Layers:
+//! * [`ring`] — ketama-style consistent-hash ring with virtual nodes;
+//!   serializable as a [`RingSpec`], rebuilt deterministically.
+//! * [`membership`] — static peer list + per-endpoint circuit breakers;
+//!   the routing ring is over *live* peers and rebuilds when one dies
+//!   or recovers.
+//! * [`router`] — [`FabricClient`], the [`simgpu::Tuner`]-shaped client:
+//!   primary read, replica failover, write-through replication that
+//!   doubles as read-repair, local fallback when the fabric is gone.
+//! * [`status`] — the `gensor cluster status` probe.
+
+pub mod membership;
+pub mod ring;
+pub mod router;
+pub mod status;
+
+pub use membership::Membership;
+pub use ring::{hash64, ring_key, Ring, RingSpec, DEFAULT_VNODES};
+pub use router::{FabricClient, FabricReport};
+pub use status::{cluster_status, ClusterStatus, PeerStatus};

@@ -1,0 +1,381 @@
+//! The fabric router: one [`Tuner`]-shaped client over N daemons.
+//!
+//! [`FabricClient`] routes each compile by its cache-key fingerprint to
+//! a primary daemon plus replicas on the consistent-hash ring. Reads go
+//! primary-first and fail over along the replica set; a successful
+//! remote compile is written through to the other live replicas
+//! ([`served::Client::put`]), which doubles as read-repair — a replica
+//! that answers "installed" had diverged (missing the key) and is now
+//! converged. Peers that stop answering trip their breaker, fall out of
+//! the ring, and their key range flows to the survivors; if every peer
+//! is down (or refuses our token) the compile falls back to the local
+//! tuner, exactly like the single-daemon [`served::RemoteTuner`].
+
+use crate::membership::Membership;
+use crate::ring::ring_key;
+use hardware::GpuSpec;
+use schedcache::CacheKey;
+use served::{BreakerConfig, Client, ClientConfig, ClientError, ErrKind, WireOutcome};
+use simgpu::{CompiledKernel, Tuner};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use tensor_expr::OpSpec;
+
+/// Where the fabric answered compiles from, and what it did on the way.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricReport {
+    /// Compiles answered by some daemon in the fabric.
+    pub remote: u64,
+    /// Compiles that fell back to the in-process tuner.
+    pub local: u64,
+    /// Remote answers served from a daemon's resident cache.
+    pub hits: u64,
+    /// Remote answers that ran (or coalesced onto) a construction.
+    pub misses: u64,
+    /// Compiles answered by a replica after the primary failed.
+    pub failovers: u64,
+    /// Write-through installs that found a replica missing the key.
+    pub repairs: u64,
+}
+
+#[derive(Default)]
+struct FabricStats {
+    remote: AtomicU64,
+    local: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    failovers: AtomicU64,
+    repairs: AtomicU64,
+}
+
+/// A [`Tuner`] that shards compiles across a cluster of `gensor serve`
+/// daemons. Same surface as [`served::RemoteTuner`]; the difference is
+/// *which* daemon answers, and that answers replicate.
+pub struct FabricClient<'a> {
+    membership: Membership,
+    cfg: ClientConfig,
+    method: String,
+    budget: Option<u32>,
+    /// Total copies per key: the primary plus `replicas - 1` backups.
+    replicas: usize,
+    fallback: &'a dyn Tuner,
+    /// Pooled connections, per endpoint.
+    pools: Mutex<HashMap<String, Vec<Client>>>,
+    stats: FabricStats,
+}
+
+impl<'a> FabricClient<'a> {
+    /// A fabric client over `peers` for `method`, falling back to
+    /// `fallback` when no peer can answer. Default replication factor
+    /// is 2 (primary + 1).
+    pub fn new(
+        peers: &[String],
+        method: &str,
+        budget: Option<u32>,
+        fallback: &'a dyn Tuner,
+    ) -> Self {
+        FabricClient {
+            membership: Membership::new(peers, BreakerConfig::default()),
+            cfg: ClientConfig::default(),
+            method: method.to_string(),
+            budget,
+            replicas: 2,
+            fallback,
+            pools: Mutex::new(HashMap::new()),
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// Override the connection policy (timeouts, retries, token).
+    pub fn with_config(mut self, cfg: ClientConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Override the breaker thresholds (rebuilds the membership, so call
+    /// before the first compile).
+    pub fn with_breaker(mut self, cfg: BreakerConfig) -> Self {
+        let peers = self.membership.peers().to_vec();
+        self.membership = Membership::new(&peers, cfg);
+        self
+    }
+
+    /// Override the replication factor (total copies per key, ≥ 1).
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas.max(1);
+        self
+    }
+
+    /// The membership (peers, breakers, ring) — for status reporting.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Counters so far.
+    pub fn report(&self) -> FabricReport {
+        FabricReport {
+            remote: self.stats.remote.load(Ordering::Relaxed),
+            local: self.stats.local.load(Ordering::Relaxed),
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            failovers: self.stats.failovers.load(Ordering::Relaxed),
+            repairs: self.stats.repairs.load(Ordering::Relaxed),
+        }
+    }
+
+    fn checkout(&self, endpoint: &str) -> Result<Client, ClientError> {
+        if let Some(c) = self
+            .pools
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get_mut(endpoint)
+            .and_then(Vec::pop)
+        {
+            return Ok(c);
+        }
+        Client::connect_with(endpoint, self.cfg.clone())
+    }
+
+    fn checkin(&self, endpoint: &str, client: Client) {
+        self.pools
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .entry(endpoint.to_string())
+            .or_default()
+            .push(client);
+    }
+
+    /// Is this a *transport* failure (peer gone / wire broken)? Only
+    /// these trip breakers — typed errors prove the peer is alive.
+    fn is_transport_failure(e: &ClientError) -> bool {
+        matches!(e, ClientError::Unreachable(_) | ClientError::Frame(_))
+    }
+
+    fn remote_compile(
+        &self,
+        endpoint: &str,
+        op: &OpSpec,
+        spec: &GpuSpec,
+    ) -> Result<(CompiledKernel, WireOutcome), ClientError> {
+        let mut client = self.checkout(endpoint)?;
+        match client.compile(op, spec, &self.method, self.budget) {
+            Ok(ok) => {
+                self.checkin(endpoint, client);
+                Ok(ok)
+            }
+            // The connection may be poisoned (half-read frame, daemon
+            // crash); drop it rather than pooling it.
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Write the winning kernel through to every *other* live replica in
+    /// `targets`. An `installed` answer means that replica was missing
+    /// the key — read-repair in the only freshness model a verify-gated,
+    /// insert-only cache needs (present vs absent).
+    fn write_through(
+        &self,
+        targets: &[&str],
+        winner: &str,
+        op: &OpSpec,
+        spec: &GpuSpec,
+        kernel: &CompiledKernel,
+    ) {
+        for &ep in targets.iter().filter(|&&ep| ep != winner) {
+            let breaker = self.membership.breaker(ep);
+            if !breaker.allow() {
+                continue;
+            }
+            let outcome = self.checkout(ep).and_then(|mut client| {
+                match client.put(op, spec, &self.method, kernel) {
+                    Ok(installed) => {
+                        self.checkin(ep, client);
+                        Ok(installed)
+                    }
+                    Err(e) => Err(e),
+                }
+            });
+            match outcome {
+                Ok(true) => {
+                    breaker.on_success();
+                    self.stats.repairs.fetch_add(1, Ordering::Relaxed);
+                    obs::counter_inc!(
+                        "gensor_fabric_repairs_total",
+                        "Write-through installs that repaired a replica missing the key"
+                    );
+                }
+                Ok(false) => breaker.on_success(),
+                Err(e) if Self::is_transport_failure(&e) => {
+                    breaker.on_failure();
+                    obs::log!(Debug, "fabric: write-through to {ep} failed: {e}");
+                }
+                Err(e) => {
+                    // A typed refusal (e.g. the replica's verifier
+                    // rejected the kernel) is the replica's prerogative;
+                    // the peer is alive.
+                    breaker.on_success();
+                    obs::log!(Warn, "fabric: {ep} refused write-through: {e}");
+                }
+            }
+        }
+    }
+
+    fn try_fabric(&self, op: &OpSpec, spec: &GpuSpec) -> Option<CompiledKernel> {
+        let key = ring_key(&CacheKey::new(op, spec, &self.method));
+        let ring = self.membership.ring();
+        let targets = ring.route(key, self.replicas);
+        let _sp = obs::span!(
+            "fabric.route",
+            op = op.label(),
+            copies = targets.len(),
+            primary = targets.first().copied().unwrap_or("-")
+        );
+        for (rank, &ep) in targets.iter().enumerate() {
+            let breaker = self.membership.breaker(ep);
+            if !breaker.allow() {
+                continue;
+            }
+            match self.remote_compile(ep, op, spec) {
+                Ok((kernel, outcome)) => {
+                    breaker.on_success();
+                    if rank > 0 {
+                        self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                        obs::counter_inc!(
+                            "gensor_fabric_failovers_total",
+                            "Compiles answered by a replica after the primary failed"
+                        );
+                    }
+                    if outcome == WireOutcome::Hit {
+                        self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                        obs::counter_inc!(
+                            "gensor_fabric_hits_total",
+                            "Fabric compiles answered from a daemon's resident cache"
+                        );
+                    } else {
+                        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                        obs::counter_inc!(
+                            "gensor_fabric_misses_total",
+                            "Fabric compiles that ran or coalesced onto a construction"
+                        );
+                    }
+                    // Write-through only when the replica set may be
+                    // stale: a miss means the kernel was just built and
+                    // nobody else has it; a failover means the primary is
+                    // suspect. A plain primary hit proves the key is
+                    // where routing expects it — repeating the put on
+                    // every hit would double the steady-state wire cost.
+                    if outcome != WireOutcome::Hit || rank > 0 {
+                        self.write_through(&targets, ep, op, spec, &kernel);
+                    }
+                    return Some(kernel);
+                }
+                Err(e) if Self::is_transport_failure(&e) => {
+                    breaker.on_failure();
+                    obs::log!(Debug, "fabric: {ep} unreachable, failing over: {e}");
+                }
+                Err(ClientError::Remote {
+                    kind: ErrKind::Unauthorized,
+                    message,
+                }) => {
+                    // A peer that is alive but refuses our token is a
+                    // configuration error; quiet failover would mask it.
+                    breaker.on_success();
+                    obs::counter_inc!(
+                        "gensor_client_auth_failures_total",
+                        "Daemon connections refused for a missing or wrong shared token"
+                    );
+                    obs::log!(Error, "fabric: {ep} refused our token: {message}");
+                }
+                Err(e) => {
+                    breaker.on_success();
+                    obs::log!(Warn, "fabric: {ep} answered with an error: {e}");
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Tuner for FabricClient<'_> {
+    fn name(&self) -> &'static str {
+        self.fallback.name()
+    }
+
+    fn compile(&self, op: &OpSpec, spec: &GpuSpec) -> CompiledKernel {
+        match self.try_fabric(op, spec) {
+            Some(kernel) => {
+                self.stats.remote.fetch_add(1, Ordering::Relaxed);
+                kernel
+            }
+            None => {
+                self.stats.local.fetch_add(1, Ordering::Relaxed);
+                obs::counter_inc!(
+                    "gensor_fabric_local_fallback_total",
+                    "Fabric compiles answered by the local in-process tuner"
+                );
+                self.fallback.compile(op, spec)
+            }
+        }
+    }
+
+    fn fuses_elementwise(&self) -> bool {
+        self.fallback.fuses_elementwise()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn fast() -> ClientConfig {
+        ClientConfig {
+            retries: 1,
+            backoff_base: Duration::from_millis(1),
+            connect_timeout: Duration::from_millis(100),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn no_peers_means_every_compile_falls_back_local() {
+        let gensor = gensor::Gensor::single_chain(5);
+        let fabric = FabricClient::new(&[], "gensor", None, &gensor).with_config(fast());
+        let op = tensor_expr::OpSpec::gemm(128, 128, 128);
+        let spec = GpuSpec::rtx4090();
+        let remote = fabric.compile(&op, &spec);
+        assert_eq!(remote.etir, gensor.compile(&op, &spec).etir);
+        let r = fabric.report();
+        assert_eq!((r.remote, r.local), (0, 1));
+    }
+
+    #[test]
+    fn dead_peers_trip_breakers_and_fall_back() {
+        let gensor = gensor::Gensor::single_chain(5);
+        let peers = vec![
+            "tcp://127.0.0.1:1".to_string(), // reserved port: connect refused
+            "tcp://127.0.0.1:2".to_string(),
+        ];
+        let fabric = FabricClient::new(&peers, "gensor", None, &gensor)
+            .with_config(fast())
+            .with_breaker(BreakerConfig {
+                failure_threshold: 1,
+                cooldown: Duration::from_secs(30),
+                max_cooldown: Duration::from_secs(30),
+            });
+        let op = tensor_expr::OpSpec::gemm(64, 64, 64);
+        let spec = GpuSpec::rtx4090();
+        let _ = fabric.compile(&op, &spec);
+        let r = fabric.report();
+        assert_eq!(r.local, 1, "both peers dead: compile fell back");
+        assert_eq!(
+            fabric.membership().breakers().open_endpoints().len(),
+            2,
+            "both breakers tripped"
+        );
+        // Second compile: breakers open, no connect attempts, still served.
+        let _ = fabric.compile(&op, &spec);
+        assert_eq!(fabric.report().local, 2);
+    }
+}

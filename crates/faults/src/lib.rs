@@ -44,6 +44,11 @@ pub const ENV_VAR: &str = "GENSOR_FAILPOINTS";
 pub enum Policy {
     /// `err(n)`: fail exactly the nth call of this site (1-based), once.
     ErrNth(u64),
+    /// `errfrom(n)`: fail the nth call (1-based) and every call after it.
+    /// The persistent flavour of `err(n)` — a process that "died" stays
+    /// dead, which is what the fabric's crash drills need from a site
+    /// polled in a loop.
+    ErrFrom(u64),
     /// `prob(p)` / `prob(p,seed)`: each call fails with probability `p`,
     /// decided by a deterministic hash of `(seed, call index)`.
     Prob(f64, u64),
@@ -179,6 +184,8 @@ fn fire(site: &str) -> Option<Action> {
     let action = match s.policy {
         Policy::ErrNth(n) if call == n => Some(Action::Err),
         Policy::ErrNth(_) => None,
+        Policy::ErrFrom(n) if call >= n => Some(Action::Err),
+        Policy::ErrFrom(_) => None,
         Policy::Prob(p, seed) if det_unit(seed, call) < p => Some(Action::Err),
         Policy::Prob(..) => None,
         Policy::Partial => Some(Action::Partial),
@@ -300,6 +307,13 @@ fn parse_policy(text: &str) -> Result<Policy, String> {
             }
             Ok(Policy::ErrNth(n))
         }
+        ("errfrom", 1) => {
+            let n = uint(&args[0])?;
+            if n == 0 {
+                return Err("errfrom(n): calls are 1-based, n must be ≥ 1".into());
+            }
+            Ok(Policy::ErrFrom(n))
+        }
         ("prob", 1 | 2) => {
             let p: f64 = args[0]
                 .parse()
@@ -314,7 +328,7 @@ fn parse_policy(text: &str) -> Result<Policy, String> {
         ("partial", 0) => Ok(Policy::Partial),
         ("panic", 0) => Ok(Policy::Panic),
         _ => Err(format!(
-            "unknown policy '{text}' (want err(n), prob(p[,seed]), partial, delay(ms), panic)"
+            "unknown policy '{text}' (want err(n), errfrom(n), prob(p[,seed]), partial, delay(ms), panic)"
         )),
     }
 }
@@ -372,6 +386,29 @@ mod tests {
         assert!(failpoint!("t.err").is_ok(), "fires once, not from n on");
         assert_eq!(hits("t.err"), 1);
         disarm_all();
+    }
+
+    #[test]
+    fn errfrom_fails_persistently_from_the_nth_call() {
+        let _g = lock();
+        arm("t.errfrom", Policy::ErrFrom(3));
+        assert!(failpoint!("t.errfrom").is_ok());
+        assert!(failpoint!("t.errfrom").is_ok());
+        for _ in 0..5 {
+            assert!(failpoint!("t.errfrom").is_err(), "stays dead from n on");
+        }
+        assert_eq!(hits("t.errfrom"), 5);
+        disarm_all();
+    }
+
+    #[test]
+    fn errfrom_parses_and_rejects_zero() {
+        assert_eq!(
+            parse_spec("s=errfrom(2)").unwrap(),
+            vec![("s".into(), Policy::ErrFrom(2))]
+        );
+        assert!(parse_spec("s=errfrom(0)").is_err());
+        assert!(parse_spec("s=errfrom").is_err());
     }
 
     #[test]

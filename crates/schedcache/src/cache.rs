@@ -213,6 +213,55 @@ impl ScheduleCache {
         scored.into_iter().take(k).map(|(_, e)| e.clone()).collect()
     }
 
+    /// Is (`op`, `spec`, `method`) resident right now? Never compiles.
+    /// The fabric's freshness probe: a replica answering `None` here is
+    /// stale for this key and a candidate for read-repair.
+    pub fn peek(&self, op: &OpSpec, spec: &GpuSpec, method: &str) -> Option<Arc<CompiledKernel>> {
+        self.map.get(&CacheKey::new(op, spec, method))
+    }
+
+    /// Install an externally compiled kernel — the fabric's write-through
+    /// and read-repair path, where a kernel built on one daemon is
+    /// replicated into this one. The kernel is statically verified before
+    /// admission (a peer is as untrusted as a disk record); an illegal
+    /// schedule is refused with the typed report and never banked.
+    /// Returns `true` when the kernel was admitted, `false` when the key
+    /// was already resident (the existing entry wins — replicas never
+    /// clobber each other's banked winners).
+    pub fn install(
+        &self,
+        op: &OpSpec,
+        spec: &GpuSpec,
+        method: &str,
+        kernel: CompiledKernel,
+    ) -> Result<bool, verify::Rejected> {
+        let report = verify::verify_schedule(&kernel.etir, Some(spec));
+        if !report.is_legal() {
+            self.stats.record_rejected();
+            return Err(verify::Rejected(report));
+        }
+        let key = CacheKey::new(op, spec, method);
+        if self.map.get(&key).is_some() {
+            return Ok(false);
+        }
+        let kernel = Arc::new(kernel);
+        self.map.insert(key, kernel.clone());
+        self.index.write().push((key, kernel.etir.clone()));
+        self.prune_index();
+        if let Some(store) = &self.store {
+            let rec = store::record(key, op.label(), method, &kernel);
+            if let Err(e) = store.append(&rec) {
+                obs::log!(
+                    Warn,
+                    "schedcache: could not persist replicated {} to {}: {e}",
+                    op.label(),
+                    store.path().display()
+                );
+            }
+        }
+        Ok(true)
+    }
+
     /// Fetch the kernel for (`op`, `spec`, `method`), running `build` on a
     /// miss. `build` receives the warm-start seeds ([`neighbours`]) so it
     /// can race transplanted candidates against fresh construction;
@@ -570,6 +619,45 @@ mod tests {
         assert!(cache
             .neighbours(&OpSpec::gemm(320, 256, 256), &spec, 4)
             .is_empty());
+    }
+
+    #[test]
+    fn install_banks_a_replicated_kernel_and_peek_sees_it() {
+        let spec = GpuSpec::rtx4090();
+        let cache = ScheduleCache::in_memory();
+        let op = OpSpec::gemm(384, 384, 384);
+        assert!(cache.peek(&op, &spec, "Gensor").is_none());
+        let fresh = cache
+            .install(&op, &spec, "Gensor", build(&op, &spec))
+            .unwrap();
+        assert!(fresh, "first install is admitted");
+        assert!(cache.peek(&op, &spec, "Gensor").is_some());
+        // A second install of the same key reports the replica was
+        // already up to date and changes nothing.
+        let again = cache
+            .install(&op, &spec, "Gensor", build(&op, &spec))
+            .unwrap();
+        assert!(!again);
+        // The installed kernel answers as a hit, not a rebuild.
+        let (_, o) = cache.get_or_compile(&op, &spec, "Gensor", |_| {
+            panic!("installed kernel must hit")
+        });
+        assert_eq!(o, Outcome::Hit);
+    }
+
+    #[test]
+    fn install_refuses_an_illegal_kernel() {
+        let spec = GpuSpec::rtx4090();
+        let cache = ScheduleCache::in_memory();
+        let op = OpSpec::gemm(256, 256, 256);
+        let mut bad = build(&op, &spec);
+        bad.etir.vthreads[0] = 0;
+        let err = cache
+            .install(&op, &spec, "Gensor", bad)
+            .expect_err("illegal replica must be refused");
+        assert!(err.0.error_count() > 0);
+        assert!(cache.peek(&op, &spec, "Gensor").is_none());
+        assert_eq!(cache.stats().verifier_rejected, 1);
     }
 
     #[test]

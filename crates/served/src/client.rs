@@ -7,15 +7,16 @@
 //! cooldown elapses. A daemon restart therefore costs a fleet of clients
 //! one probe each, not a thundering reconnect herd.
 
+use crate::endpoint::{Endpoint, Stream};
 use crate::proto::{
-    read_frame, write_frame, ErrKind, FrameError, Request, Response, WireOutcome, PROTO_VERSION,
+    read_frame, write_frame, ErrKind, FrameError, Request, Response, WireKernel, WireOutcome,
+    PROTO_VERSION,
 };
 use hardware::GpuSpec;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use simgpu::{CompiledKernel, Tuner};
-use std::os::unix::net::UnixStream;
-use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime};
 use tensor_expr::OpSpec;
 
@@ -37,6 +38,9 @@ pub struct ClientConfig {
     /// start a sleep or an attempt that would overrun it, so a caller
     /// with a deadline can bound its worst case.
     pub connect_budget: Duration,
+    /// Shared token sent in the `Hello` handshake. Required by daemons
+    /// started with `serve --token`; ignored by the rest.
+    pub token: Option<String>,
 }
 
 impl Default for ClientConfig {
@@ -47,6 +51,7 @@ impl Default for ClientConfig {
             retries: 3,
             backoff_base: Duration::from_millis(25),
             connect_budget: Duration::from_secs(3),
+            token: None,
         }
     }
 }
@@ -101,7 +106,7 @@ impl From<FrameError> for ClientError {
 /// time (the protocol is strictly request/response per connection).
 #[derive(Debug)]
 pub struct Client {
-    stream: UnixStream,
+    stream: Stream,
     cfg: ClientConfig,
 }
 
@@ -116,18 +121,21 @@ fn jitter_seed() -> u64 {
 }
 
 impl Client {
-    /// Connect with the default policy.
-    pub fn connect(socket: impl AsRef<Path>) -> Result<Client, ClientError> {
-        Client::connect_with(socket, ClientConfig::default())
+    /// Connect with the default policy. Accepts a Unix-socket path or a
+    /// `tcp://host:port` address (see [`Endpoint::parse`]).
+    pub fn connect(endpoint: impl Into<Endpoint>) -> Result<Client, ClientError> {
+        Client::connect_with(endpoint, ClientConfig::default())
     }
 
     /// Connect, retrying with jittered exponential backoff, then perform
-    /// the `Hello` version handshake.
+    /// the `Hello` version (and, for token-guarded daemons, auth)
+    /// handshake. An `Unauthorized` refusal is returned typed and is
+    /// never retried — the same credentials cannot start working.
     pub fn connect_with(
-        socket: impl AsRef<Path>,
+        endpoint: impl Into<Endpoint>,
         cfg: ClientConfig,
     ) -> Result<Client, ClientError> {
-        let socket = socket.as_ref();
+        let endpoint = endpoint.into();
         let started = Instant::now();
         let mut rng = StdRng::seed_from_u64(jitter_seed());
         let mut last_err: Option<std::io::Error> = None;
@@ -142,7 +150,7 @@ impl Client {
                 }
                 std::thread::sleep(sleep);
             }
-            match UnixStream::connect(socket) {
+            match endpoint.connect(cfg.connect_timeout) {
                 Ok(stream) => {
                     let mut client = Client {
                         stream,
@@ -151,6 +159,7 @@ impl Client {
                     client.set_deadline(client.cfg.connect_timeout)?;
                     match client.exchange(&Request::Hello {
                         proto: PROTO_VERSION,
+                        token: cfg.token.clone(),
                     }) {
                         Ok(Response::Hello { proto }) if proto == PROTO_VERSION => {
                             return Ok(client)
@@ -261,6 +270,42 @@ impl Client {
             gpu: gpu.clone(),
             method: method.to_string(),
         })
+    }
+
+    /// Install an already-compiled kernel into the daemon's cache — the
+    /// fabric's write-through / read-repair frame. Returns whether the
+    /// daemon admitted it fresh (`false`: the key was already resident).
+    pub fn put(
+        &mut self,
+        op: &OpSpec,
+        gpu: &GpuSpec,
+        method: &str,
+        kernel: &CompiledKernel,
+    ) -> Result<bool, ClientError> {
+        let req = Request::Put {
+            op: op.clone(),
+            gpu: gpu.clone(),
+            method: method.to_string(),
+            kernel: Box::new(WireKernel::from(kernel)),
+        };
+        match self.request(&req)? {
+            Response::PutDone { installed } => Ok(installed),
+            other => Err(ClientError::Protocol(format!("put answered {other:?}"))),
+        }
+    }
+
+    /// Is (`op`, `gpu`, `method`) resident in the daemon's cache right
+    /// now? Never triggers a compile.
+    pub fn probe(&mut self, op: &OpSpec, gpu: &GpuSpec, method: &str) -> Result<bool, ClientError> {
+        let req = Request::Probe {
+            op: op.clone(),
+            gpu: gpu.clone(),
+            method: method.to_string(),
+        };
+        match self.request(&req)? {
+            Response::Probed { cached } => Ok(cached),
+            other => Err(ClientError::Protocol(format!("probe answered {other:?}"))),
+        }
     }
 
     /// Fetch the server's counters.
@@ -464,6 +509,59 @@ impl Breaker {
     }
 }
 
+/// Per-endpoint circuit breakers behind one shared config.
+///
+/// PR 5's breaker was one state for one daemon; a fabric client talks to
+/// N of them, and one dead peer must not open the circuit for the whole
+/// fleet. Every endpoint gets its own [`Breaker`], created closed on
+/// first use, so health is tracked — and trips, cooldowns, and half-open
+/// probes happen — independently per peer.
+pub struct BreakerMap {
+    cfg: BreakerConfig,
+    map: Mutex<HashMap<String, Arc<Breaker>>>,
+}
+
+impl BreakerMap {
+    /// An empty map; breakers are created (closed) on first use.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        BreakerMap {
+            cfg,
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The breaker for `endpoint`, created closed if this is the first
+    /// sighting. The `Arc` is stable for the map's lifetime, so callers
+    /// can hold it across a request without the lock.
+    pub fn breaker(&self, endpoint: &str) -> Arc<Breaker> {
+        let mut map = self.map.lock().unwrap_or_else(|p| p.into_inner());
+        map.entry(endpoint.to_string())
+            .or_insert_with(|| Arc::new(Breaker::new(self.cfg.clone())))
+            .clone()
+    }
+
+    /// Every endpoint whose breaker is currently open (for ring
+    /// rebuilds and status reporting).
+    pub fn open_endpoints(&self) -> Vec<String> {
+        let map = self.map.lock().unwrap_or_else(|p| p.into_inner());
+        map.iter()
+            .filter(|(_, b)| b.state() == BreakerState::Open)
+            .map(|(ep, _)| ep.clone())
+            .collect()
+    }
+
+    /// `(endpoint, state, trips)` for every endpoint seen so far.
+    pub fn states(&self) -> Vec<(String, BreakerState, u64)> {
+        let map = self.map.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out: Vec<_> = map
+            .iter()
+            .map(|(ep, b)| (ep.clone(), b.state(), b.trips()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
 /// Where a [`RemoteTuner`] answered each compile from.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RemoteReport {
@@ -480,38 +578,40 @@ pub struct RemoteReport {
 /// Connections are pooled so `compile_model`'s parallel layer compiles
 /// each get their own socket instead of serialising on one.
 pub struct RemoteTuner<'a> {
-    socket: PathBuf,
+    endpoint: Endpoint,
     cfg: ClientConfig,
     method: String,
     budget: Option<u32>,
     fallback: &'a dyn Tuner,
     pool: Mutex<Vec<Client>>,
     report: Mutex<RemoteReport>,
-    /// Opens after consecutive transport failures: later compiles go
-    /// straight to the fallback instead of re-paying the connect budget
-    /// per layer of a model — and unlike a one-way "offline" latch, a
-    /// half-open probe finds a restarted daemon again.
-    breaker: Breaker,
+    /// Per-endpoint breakers: opens after consecutive transport failures,
+    /// so later compiles go straight to the fallback instead of re-paying
+    /// the connect budget per layer of a model — and unlike a one-way
+    /// "offline" latch, a half-open probe finds a restarted daemon again.
+    /// A single-daemon tuner only ever populates one entry, but the map
+    /// is shared machinery with the fabric's multi-peer router.
+    breakers: BreakerMap,
 }
 
 impl<'a> RemoteTuner<'a> {
     /// A remote tuner for `method`, falling back to `fallback` (which
     /// also names this tuner — the daemon runs the same method).
     pub fn new(
-        socket: impl Into<PathBuf>,
+        endpoint: impl Into<Endpoint>,
         method: &str,
         budget: Option<u32>,
         fallback: &'a dyn Tuner,
     ) -> Self {
         RemoteTuner {
-            socket: socket.into(),
+            endpoint: endpoint.into(),
             cfg: ClientConfig::default(),
             method: method.to_string(),
             budget,
             fallback,
             pool: Mutex::new(Vec::new()),
             report: Mutex::new(RemoteReport::default()),
-            breaker: Breaker::new(BreakerConfig::default()),
+            breakers: BreakerMap::new(BreakerConfig::default()),
         }
     }
 
@@ -523,14 +623,14 @@ impl<'a> RemoteTuner<'a> {
 
     /// Override the circuit-breaker thresholds.
     pub fn with_breaker(mut self, cfg: BreakerConfig) -> Self {
-        self.breaker = Breaker::new(cfg);
+        self.breakers = BreakerMap::new(cfg);
         self
     }
 
-    /// The transport circuit breaker (state and trip count, for
-    /// reporting).
-    pub fn breaker(&self) -> &Breaker {
-        &self.breaker
+    /// This endpoint's transport circuit breaker (state and trip count,
+    /// for reporting).
+    pub fn breaker(&self) -> Arc<Breaker> {
+        self.breakers.breaker(&self.endpoint.to_string())
     }
 
     /// How many compiles went remote vs fell back local so far.
@@ -542,7 +642,7 @@ impl<'a> RemoteTuner<'a> {
         if let Some(c) = self.pool.lock().unwrap_or_else(|p| p.into_inner()).pop() {
             return Ok(c);
         }
-        Client::connect_with(&self.socket, self.cfg.clone())
+        Client::connect_with(self.endpoint.clone(), self.cfg.clone())
     }
 
     fn checkin(&self, client: Client) {
@@ -560,14 +660,15 @@ impl<'a> RemoteTuner<'a> {
     }
 
     fn try_remote(&self, op: &OpSpec, spec: &GpuSpec) -> Result<CompiledKernel, ClientError> {
-        if !self.breaker.allow() {
+        let breaker = self.breaker();
+        if !breaker.allow() {
             return Err(ClientError::CircuitOpen);
         }
         let outcome = self.try_remote_inner(op, spec);
         match &outcome {
-            Ok(_) => self.breaker.on_success(),
-            Err(e) if Self::is_transport_failure(e) => self.breaker.on_failure(),
-            Err(_) => self.breaker.on_success(),
+            Ok(_) => breaker.on_success(),
+            Err(e) if Self::is_transport_failure(e) => breaker.on_failure(),
+            Err(_) => breaker.on_success(),
         }
         outcome
     }
@@ -598,7 +699,24 @@ impl Tuner for RemoteTuner<'_> {
                 r.remote += 1;
                 kernel
             }
-            Err(_) => {
+            Err(e) => {
+                // Transport failures and Busy are the fallback's job to
+                // absorb quietly; an auth refusal is a configuration error
+                // that quiet fallback would mask, so it is surfaced loudly
+                // (typed kind, Error level, its own counter) every time.
+                if matches!(
+                    &e,
+                    ClientError::Remote {
+                        kind: ErrKind::Unauthorized,
+                        ..
+                    }
+                ) {
+                    obs::counter_inc!(
+                        "gensor_client_auth_failures_total",
+                        "Daemon connections refused for a missing or wrong shared token"
+                    );
+                    obs::log!(Error, "serve client: daemon refused our token: {e}");
+                }
                 let mut r = self.report.lock().unwrap_or_else(|p| p.into_inner());
                 r.local += 1;
                 drop(r);
@@ -699,6 +817,32 @@ mod tests {
         assert_eq!(b.trips(), 2, "failed probe re-opens");
         assert_eq!(b.state(), BreakerState::Open);
         assert!(!b.allow());
+    }
+
+    #[test]
+    fn breaker_map_isolates_endpoints() {
+        let map = BreakerMap::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_secs(30),
+            max_cooldown: Duration::from_secs(30),
+        });
+        let dead = map.breaker("tcp://10.0.0.1:7070");
+        let live = map.breaker("tcp://10.0.0.2:7070");
+        dead.on_failure();
+        assert_eq!(dead.state(), BreakerState::Open);
+        assert_eq!(
+            live.state(),
+            BreakerState::Closed,
+            "one dead peer must not open the circuit for the fleet"
+        );
+        assert!(live.allow());
+        assert_eq!(map.open_endpoints(), vec!["tcp://10.0.0.1:7070"]);
+        // The same endpoint resolves to the same breaker, not a fresh one.
+        assert_eq!(map.breaker("tcp://10.0.0.1:7070").trips(), 1);
+        let states = map.states();
+        assert_eq!(states.len(), 2);
+        assert_eq!(states[0].1, BreakerState::Open);
+        assert_eq!(states[1].1, BreakerState::Closed);
     }
 
     #[test]

@@ -1,0 +1,350 @@
+//! Transport abstraction: the daemon and its clients speak the same
+//! length-prefixed frames over either a Unix-domain socket (single
+//! machine, the default) or TCP (the cache fabric's cross-machine
+//! transport). The frame layer is already generic over `Read + Write`;
+//! this module supplies the address type ([`Endpoint`]), the server side
+//! ([`Listener`]) and the connection ([`Stream`]) so everything above it
+//! stays transport-blind.
+//!
+//! Address syntax: `tcp://host:port` selects TCP, `unix://path` or a
+//! plain path selects a Unix socket — so every existing `--socket
+//! /path/to.sock` call site keeps working unchanged.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Where a daemon listens (or a client connects).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// Unix-domain socket at this path.
+    Unix(PathBuf),
+    /// TCP at this `host:port` address.
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parse an endpoint string: `tcp://host:port` → TCP, `unix://path`
+    /// or a bare path → Unix socket.
+    pub fn parse(s: &str) -> Endpoint {
+        if let Some(addr) = s.strip_prefix("tcp://") {
+            Endpoint::Tcp(addr.to_string())
+        } else if let Some(path) = s.strip_prefix("unix://") {
+            Endpoint::Unix(PathBuf::from(path))
+        } else {
+            Endpoint::Unix(PathBuf::from(s))
+        }
+    }
+
+    /// Is this a TCP endpoint?
+    pub fn is_tcp(&self) -> bool {
+        matches!(self, Endpoint::Tcp(_))
+    }
+
+    /// Connect with a per-attempt timeout. For TCP the timeout bounds the
+    /// connect itself; Unix-socket connects are local and effectively
+    /// immediate (refused or accepted by the kernel).
+    pub fn connect(&self, timeout: Duration) -> std::io::Result<Stream> {
+        match self {
+            Endpoint::Unix(path) => Ok(Stream::Unix(UnixStream::connect(path)?)),
+            Endpoint::Tcp(addr) => {
+                let resolved = resolve(addr)?;
+                let stream = TcpStream::connect_timeout(&resolved, timeout)?;
+                // Frames are small request/response pairs; Nagle only adds
+                // latency here.
+                let _ = stream.set_nodelay(true);
+                Ok(Stream::Tcp(stream))
+            }
+        }
+    }
+
+    /// Bind a listener, recovering from the leftovers of a SIGKILL'd
+    /// daemon: a stale Unix socket file (or a TCP port still draining)
+    /// makes bind fail with `AddrInUse` even though nothing is listening.
+    /// When the address is busy but a probe connect finds nobody home,
+    /// the stale bind is removed (Unix) or waited out (TCP) and the bind
+    /// retried; a *live* daemon on the address still fails fast.
+    pub fn bind(&self) -> std::io::Result<Listener> {
+        if let Endpoint::Unix(path) = self {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+        }
+        const ATTEMPTS: u32 = 10;
+        let mut last = None;
+        for attempt in 0..ATTEMPTS {
+            if attempt > 0 {
+                std::thread::sleep(Duration::from_millis(50 * attempt as u64));
+            }
+            match self.try_bind() {
+                Ok(l) => return Ok(l),
+                Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+                    if self.answers() {
+                        // A live daemon holds the address; do not steal it.
+                        return Err(e);
+                    }
+                    if let Endpoint::Unix(path) = self {
+                        let _ = std::fs::remove_file(path);
+                    }
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::AddrInUse, "bind retries exhausted")
+        }))
+    }
+
+    fn try_bind(&self) -> std::io::Result<Listener> {
+        match self {
+            Endpoint::Unix(path) => Ok(Listener::Unix(UnixListener::bind(path)?)),
+            Endpoint::Tcp(addr) => Ok(Listener::Tcp(TcpListener::bind(resolve(addr)?)?)),
+        }
+    }
+
+    /// Does anything accept a connection here right now?
+    fn answers(&self) -> bool {
+        self.connect(Duration::from_millis(200)).is_ok()
+    }
+}
+
+fn resolve(addr: &str) -> std::io::Result<SocketAddr> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::AddrNotAvailable,
+            format!("'{addr}' resolved to no address"),
+        )
+    })
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(path) => write!(f, "{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+        }
+    }
+}
+
+impl From<&str> for Endpoint {
+    fn from(s: &str) -> Self {
+        Endpoint::parse(s)
+    }
+}
+
+impl From<String> for Endpoint {
+    fn from(s: String) -> Self {
+        Endpoint::parse(&s)
+    }
+}
+
+impl From<&String> for Endpoint {
+    fn from(s: &String) -> Self {
+        Endpoint::parse(s)
+    }
+}
+
+impl From<PathBuf> for Endpoint {
+    fn from(p: PathBuf) -> Self {
+        Endpoint::Unix(p)
+    }
+}
+
+impl From<&PathBuf> for Endpoint {
+    fn from(p: &PathBuf) -> Self {
+        Endpoint::Unix(p.clone())
+    }
+}
+
+impl From<&Path> for Endpoint {
+    fn from(p: &Path) -> Self {
+        Endpoint::Unix(p.to_path_buf())
+    }
+}
+
+/// A bound server socket on either transport.
+#[derive(Debug)]
+pub enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    pub fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(nb),
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    /// Accept one connection; the returned [`Stream`] inherits blocking
+    /// mode reset to blocking (per-stream timeouts drive the frame loop).
+    pub fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                Ok(Stream::Unix(s))
+            }
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                let _ = s.set_nodelay(true);
+                Ok(Stream::Tcp(s))
+            }
+        }
+    }
+
+    /// The endpoint actually bound — for TCP this resolves a requested
+    /// port 0 to the kernel-assigned port, which is how tests get
+    /// collision-free cluster addresses.
+    pub fn local_endpoint(&self, requested: &Endpoint) -> Endpoint {
+        match self {
+            Listener::Unix(_) => requested.clone(),
+            Listener::Tcp(l) => match l.local_addr() {
+                Ok(addr) => Endpoint::Tcp(addr.to_string()),
+                Err(_) => requested.clone(),
+            },
+        }
+    }
+}
+
+/// One accepted or dialed connection on either transport.
+#[derive(Debug)]
+pub enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    pub fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(d),
+            Stream::Tcp(s) => s.set_read_timeout(d),
+        }
+    }
+
+    pub fn set_write_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_write_timeout(d),
+            Stream::Tcp(s) => s.set_write_timeout(d),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+impl AsRawFd for Stream {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Stream::Unix(s) => s.as_raw_fd(),
+            Stream::Tcp(s) => s.as_raw_fd(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_selects_the_transport() {
+        assert_eq!(
+            Endpoint::parse("tcp://127.0.0.1:7070"),
+            Endpoint::Tcp("127.0.0.1:7070".into())
+        );
+        assert_eq!(
+            Endpoint::parse("unix:///tmp/g.sock"),
+            Endpoint::Unix(PathBuf::from("/tmp/g.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("/tmp/g.sock"),
+            Endpoint::Unix(PathBuf::from("/tmp/g.sock"))
+        );
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for ep in [
+            Endpoint::Tcp("127.0.0.1:9000".into()),
+            Endpoint::Unix(PathBuf::from("/tmp/x.sock")),
+        ] {
+            assert_eq!(Endpoint::parse(&ep.to_string()), ep);
+        }
+    }
+
+    #[test]
+    fn stale_unix_socket_file_is_recovered_at_bind() {
+        let dir = std::env::temp_dir().join("served-endpoint-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("stale-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // Leave a dead socket file behind, as a SIGKILL'd daemon would.
+        drop(UnixListener::bind(&path).unwrap());
+        assert!(path.exists(), "the kernel does not unlink on close");
+        let ep = Endpoint::Unix(path.clone());
+        let listener = ep.bind().expect("stale file must be detected and replaced");
+        drop(listener);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn live_unix_daemon_is_not_stolen() {
+        let dir = std::env::temp_dir().join("served-endpoint-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("live-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let ep = Endpoint::Unix(path.clone());
+        let _holder = ep.bind().unwrap();
+        let err = ep.bind().expect_err("second bind must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tcp_bind_accept_connect_round_trip() {
+        let ep = Endpoint::parse("tcp://127.0.0.1:0");
+        let listener = ep.bind().unwrap();
+        let bound = listener.local_endpoint(&ep);
+        assert!(bound.is_tcp());
+        assert!(
+            !bound.to_string().ends_with(":0"),
+            "port 0 resolves to a real port: {bound}"
+        );
+        let mut client = bound.connect(Duration::from_millis(500)).unwrap();
+        let mut server = listener.accept().unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+}

@@ -8,22 +8,27 @@
 //! control, and drain semantics.
 //!
 //! Layers:
+//! * [`endpoint`] — the transport layer: Unix-socket or TCP
+//!   (`tcp://host:port`) addresses, listeners, and streams.
 //! * [`proto`] — versioned, length-prefixed JSON frames.
 //! * [`server`] — accept loop, bounded worker pool, admission gate,
 //!   graceful drain.
 //! * [`client`] — blocking client with retries, plus [`RemoteTuner`]
-//!   (remote-first [`simgpu::Tuner`] with in-process fallback).
+//!   (remote-first [`simgpu::Tuner`] with in-process fallback) and the
+//!   per-endpoint [`BreakerMap`] the cache fabric routes around.
 //! * [`metrics`] — server counters and latency percentiles.
 
 pub mod client;
+pub mod endpoint;
 pub mod metrics;
 pub mod proto;
 pub mod server;
 
 pub use client::{
-    Breaker, BreakerConfig, BreakerState, Client, ClientConfig, ClientError, RemoteReport,
-    RemoteTuner,
+    Breaker, BreakerConfig, BreakerMap, BreakerState, Client, ClientConfig, ClientError,
+    RemoteReport, RemoteTuner,
 };
+pub use endpoint::{Endpoint, Listener, Stream};
 pub use metrics::ServeStats;
 pub use proto::{ErrKind, FrameError, Request, Response, WireKernel, WireOutcome, PROTO_VERSION};
 pub use server::{DrainReport, MethodRegistry, Server, ServerConfig, ServerHandle};

@@ -89,6 +89,8 @@ pub struct Metrics {
     pub proto_errors: AtomicU64,
     pub worker_panics: AtomicU64,
     pub cancelled: AtomicU64,
+    pub auth_failures: AtomicU64,
+    pub puts: AtomicU64,
     pub latency: Histogram,
     pub queue: Histogram,
     pub service: Histogram,
@@ -125,8 +127,8 @@ impl Metrics {
     }
 
     /// Point-in-time wire-format snapshot, merged with the shared cache's
-    /// own counters.
-    pub fn snapshot(&self, started: Instant, cache: StatsSnapshot) -> ServeStats {
+    /// own counters and the daemon's configured peer list.
+    pub fn snapshot(&self, started: Instant, cache: StatsSnapshot, peers: &[String]) -> ServeStats {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         ServeStats {
             uptime_s: started.elapsed().as_secs_f64(),
@@ -142,6 +144,9 @@ impl Metrics {
             proto_errors: load(&self.proto_errors),
             worker_panics: load(&self.worker_panics),
             cancelled: load(&self.cancelled),
+            auth_failures: load(&self.auth_failures),
+            puts: load(&self.puts),
+            peers: peers.to_vec(),
             latency_p50_us: self.latency.quantile_us(0.50),
             latency_p99_us: self.latency.quantile_us(0.99),
             queue_p50_us: self.queue.quantile_us(0.50),
@@ -183,6 +188,13 @@ pub struct ServeStats {
     pub worker_panics: u64,
     /// Queued jobs dropped un-run because their client disconnected.
     pub cancelled: u64,
+    /// Connections refused for a missing or wrong shared token.
+    pub auth_failures: u64,
+    /// Fabric `Put` frames answered (write-through / read-repair
+    /// installs, whether admitted fresh or already resident).
+    pub puts: u64,
+    /// The daemon's configured fabric peers (`serve --peers`), verbatim.
+    pub peers: Vec<String>,
     /// Median request latency, microseconds (bucket upper bound).
     pub latency_p50_us: u64,
     /// 99th-percentile request latency, microseconds (bucket upper bound).
@@ -239,6 +251,7 @@ mod tests {
         let s = m.snapshot(
             Instant::now(),
             schedcache::ScheduleCache::in_memory().stats(),
+            &[],
         );
         assert_eq!((s.compiles, s.misses, s.hits, s.coalesced), (4, 1, 2, 1));
         assert_eq!(
@@ -258,6 +271,7 @@ mod tests {
         let s = m.snapshot(
             Instant::now(),
             schedcache::ScheduleCache::in_memory().stats(),
+            &[],
         );
         assert_eq!(s.queue_p50_us, 50_000, "waits land in the ≤50 ms bucket");
         assert_eq!(s.service_p50_us, 100, "service lands in the ≤100 µs bucket");

@@ -37,8 +37,13 @@ use tensor_expr::OpSpec;
 /// snapshot) and the `failed` count in [`Response::BatchDone`]. v4 added
 /// the learned-model distribution pair ([`Request::FetchModel`] /
 /// [`Response::Model`]) so clients can pull the benefit model that was
-/// trained against the server's schedule cache.
-pub const PROTO_VERSION: u32 = 4;
+/// trained against the server's schedule cache. v5 is the fabric
+/// protocol: shared-token auth folded into `Hello` (with the typed
+/// [`ErrKind::Unauthorized`] refusal), the replication pair
+/// ([`Request::Put`] / [`Response::PutDone`]) for write-through and
+/// read-repair, the freshness probe ([`Request::Probe`] /
+/// [`Response::Probed`]), and the daemon's peer list in [`ServeStats`].
+pub const PROTO_VERSION: u32 = 5;
 
 /// Upper bound on one frame's JSON payload (32 MiB — far above any real
 /// schedule, far below an allocation-of-death).
@@ -47,8 +52,12 @@ pub const MAX_FRAME_BYTES: usize = 32 << 20;
 /// Client → server frames.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
-    /// Opens every connection: the client's protocol version.
-    Hello { proto: u32 },
+    /// Opens every connection: the client's protocol version and, when
+    /// the server was started with `--token`, the shared secret. A server
+    /// with a token configured refuses a missing or mismatched token with
+    /// the typed [`ErrKind::Unauthorized`]; a server without one ignores
+    /// the field.
+    Hello { proto: u32, token: Option<String> },
     /// Liveness probe.
     Ping,
     /// Compile one operator for one device with the named method.
@@ -65,6 +74,25 @@ pub enum Request {
     Batch {
         model: String,
         batch: u64,
+        gpu: GpuSpec,
+        method: String,
+    },
+    /// Install an already-compiled kernel into this daemon's cache — the
+    /// fabric's write-through and read-repair path. The kernel is
+    /// verified before admission; an illegal schedule is refused with
+    /// [`ErrKind::Rejected`] and never banked.
+    Put {
+        op: OpSpec,
+        gpu: GpuSpec,
+        method: String,
+        // Boxed: a kernel dwarfs every other request, and `Request` is
+        // passed around by value in the dispatch loop.
+        kernel: Box<WireKernel>,
+    },
+    /// Freshness probe: is (`op`, `gpu`, `method`) resident in this
+    /// daemon's cache? Never compiles; answered inline.
+    Probe {
+        op: OpSpec,
         gpu: GpuSpec,
         method: String,
     },
@@ -102,6 +130,12 @@ pub enum Response {
         failed: u64,
         wall_s: f64,
     },
+    /// Reply to [`Request::Put`]. `installed` is `true` when the kernel
+    /// was admitted fresh, `false` when the key was already resident (the
+    /// replica was up to date; nothing was replaced).
+    PutDone { installed: bool },
+    /// Reply to [`Request::Probe`].
+    Probed { cached: bool },
     /// Reply to [`Request::Stats`].
     Stats { server: ServeStats },
     /// Reply to [`Request::Metrics`]: Prometheus text exposition, ready
@@ -148,6 +182,11 @@ impl From<schedcache::Outcome> for WireOutcome {
 pub enum ErrKind {
     /// Client and server [`PROTO_VERSION`]s differ.
     UnsupportedProto,
+    /// The server requires a shared token and the `Hello` carried a
+    /// missing or wrong one. Terminal for the connection — retrying with
+    /// the same credentials cannot succeed, so clients surface it typed
+    /// instead of falling back silently.
+    Unauthorized,
     /// Frame decoded but violated the protocol (bad first frame, garbage
     /// payload, oversize header).
     Malformed,
@@ -327,6 +366,7 @@ mod tests {
         let frames = vec![
             Request::Hello {
                 proto: PROTO_VERSION,
+                token: Some("fabric-secret".into()),
             },
             Request::Ping,
             Request::Stats,
@@ -422,6 +462,10 @@ mod tests {
                 kind: ErrKind::UnknownMethod,
                 message: "no method 'frobnicate'".into(),
             },
+            Response::Error {
+                kind: ErrKind::Unauthorized,
+                message: "bad token".into(),
+            },
         ];
         for f in frames {
             let mut buf = Vec::new();
@@ -429,5 +473,57 @@ mod tests {
             let back: Response = read_frame(&mut buf.as_slice()).unwrap();
             assert_eq!(back, f);
         }
+    }
+
+    #[test]
+    fn fabric_frames_round_trip() {
+        let spec = GpuSpec::rtx4090();
+        let op = OpSpec::gemm(128, 128, 128);
+        let e = Etir::initial(op.clone(), &spec);
+        let report = simgpu::simulate(&e, &spec).unwrap();
+        let put = Request::Put {
+            op: op.clone(),
+            gpu: spec.clone(),
+            method: "gensor".into(),
+            kernel: Box::new(WireKernel {
+                etir: e,
+                report,
+                wall_time_s: 0.5,
+                simulated_tuning_s: 0.0,
+                candidates_evaluated: 7,
+            }),
+        };
+        let probe = Request::Probe {
+            op,
+            gpu: spec,
+            method: "gensor".into(),
+        };
+        for f in [put, probe] {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &f).unwrap();
+            let back: Request = read_frame(&mut buf.as_slice()).unwrap();
+            assert_eq!(back, f);
+        }
+        for f in [
+            Response::PutDone { installed: true },
+            Response::Probed { cached: false },
+        ] {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &f).unwrap();
+            let back: Response = read_frame(&mut buf.as_slice()).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn hello_without_token_round_trips() {
+        let hello = Request::Hello {
+            proto: PROTO_VERSION,
+            token: None,
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &hello).unwrap();
+        let back: Request = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, hello);
     }
 }

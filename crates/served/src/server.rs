@@ -35,6 +35,7 @@
 //!   queued releases the job's admission permit immediately; the worker
 //!   skips the orphaned job instead of compiling for nobody.
 
+use crate::endpoint::{Endpoint, Listener, Stream};
 use crate::metrics::{Metrics, ServeStats};
 use crate::proto::{
     read_frame, write_frame, ErrKind, FrameError, Request, Response, WireOutcome, PROTO_VERSION,
@@ -43,9 +44,7 @@ use gensor::{Gensor, GensorConfig};
 use hardware::GpuSpec;
 use schedcache::{CachedTuner, CompileService, ScheduleCache};
 use simgpu::Tuner;
-use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -54,8 +53,25 @@ use tensor_expr::OpSpec;
 /// How the daemon is wired; see the module docs for the moving parts.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Unix-domain socket path (a stale file is replaced at bind).
-    pub socket: PathBuf,
+    /// Where to listen: a Unix-socket path (stale files are replaced at
+    /// bind) or `tcp://host:port` (the fabric transport; `:0` asks the
+    /// kernel for a free port, resolvable via [`Server::endpoint`]).
+    pub listen: Endpoint,
+    /// Shared-token auth for the TCP fabric: when set, every connection's
+    /// `Hello` must carry the same token or it is refused with the typed
+    /// `Unauthorized` error. `None` (the default, and the sensible choice
+    /// for a local Unix socket) accepts any `Hello`.
+    pub token: Option<String>,
+    /// The other daemons of this cache fabric (endpoint strings, as given
+    /// to `gensor serve --peers`). The daemon itself only reports these in
+    /// its stats — routing is the *client's* job, so a daemon stays a
+    /// plain single-node cache that any FabricClient can address.
+    pub peers: Vec<String>,
+    /// Chaos-drill hook: when set, the accept loop polls this failpoint
+    /// site and hard-stops the daemon (no drain, no flush, listener
+    /// dropped) when it fires — an in-process stand-in for SIGKILL that
+    /// lets the cluster tests kill exactly one of three embedded daemons.
+    pub crash_site: Option<String>,
     /// Compile worker threads.
     pub workers: usize,
     /// Max outstanding (queued + running) compile/batch jobs; beyond this
@@ -80,13 +96,16 @@ pub struct ServerConfig {
 
 impl ServerConfig {
     /// Defaults: one worker per core, `2 × workers` in-flight, 120 s
-    /// deadline, no signal handling.
-    pub fn new(socket: impl Into<PathBuf>) -> Self {
+    /// deadline, no signal handling, no auth token, no peers.
+    pub fn new(listen: impl Into<Endpoint>) -> Self {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
         ServerConfig {
-            socket: socket.into(),
+            listen: listen.into(),
+            token: None,
+            peers: Vec::new(),
+            crash_site: None,
             workers: cores,
             max_inflight: 2 * cores,
             deadline: Duration::from_secs(120),
@@ -146,6 +165,18 @@ impl MethodRegistry {
         self.entries.push((name, Method::Other(tuner)));
     }
 
+    /// The name the compile path keys cache entries under for a wire
+    /// method: the resolved tuner's *display* name (`"Roller"`, not
+    /// `"roller"`). Fabric `Probe`/`Put` frames must address the same key
+    /// space as `Compile`, or a replicated kernel would be installed
+    /// under a different policy fingerprint than compiles read from.
+    fn cache_method(&self, name: &str) -> Option<String> {
+        Some(match self.get(name)? {
+            Method::Gensor(cfg) => Gensor::with_config(cfg.clone()).name().to_string(),
+            Method::Other(t) => t.name().to_string(),
+        })
+    }
+
     fn get(&self, name: &str) -> Option<&Method> {
         let canonical = match name.to_ascii_lowercase().as_str() {
             "vendor" => "cublas".to_string(),
@@ -162,7 +193,8 @@ impl MethodRegistry {
 /// Why `run` returned, plus the final counters.
 #[derive(Debug, Clone)]
 pub struct DrainReport {
-    /// `"shutdown-frame"` or `"signal"`.
+    /// `"shutdown-frame"`, `"signal"`, or `"crash"` (the chaos drill's
+    /// simulated SIGKILL — no drain ran).
     pub reason: &'static str,
     /// Final statistics at drain time.
     pub stats: ServeStats,
@@ -248,7 +280,9 @@ fn install_signal_handlers() {
 /// The daemon. `bind` + `run`; `handle()` for programmatic shutdown.
 pub struct Server {
     cfg: ServerConfig,
-    listener: UnixListener,
+    listener: Listener,
+    /// The endpoint actually bound (TCP port 0 resolved).
+    bound: Endpoint,
     shared: Arc<Shared>,
 }
 
@@ -260,6 +294,7 @@ struct Shared {
     gate: Arc<Gate>,
     shutdown: AtomicBool,
     started: Instant,
+    peers: Vec<String>,
 }
 
 impl Shared {
@@ -269,7 +304,8 @@ impl Shared {
     }
 
     fn stats(&self) -> ServeStats {
-        self.metrics.snapshot(self.started, self.cache.stats())
+        self.metrics
+            .snapshot(self.started, self.cache.stats(), &self.peers)
     }
 
     /// Run one compile through the shared cache. This is where every
@@ -380,7 +416,8 @@ impl ServerHandle {
 }
 
 impl Server {
-    /// Bind the socket (replacing a stale file) and assemble the daemon.
+    /// Bind the endpoint (recovering a stale Unix socket file or dead TCP
+    /// bind, see [`Endpoint::bind`]) and assemble the daemon.
     pub fn bind(
         cfg: ServerConfig,
         cache: Arc<ScheduleCache>,
@@ -392,19 +429,9 @@ impl Server {
         if let Err(e) = faults::init_from_env() {
             obs::log!(Warn, "serve: ignoring bad {}: {e}", faults::ENV_VAR);
         }
-        if let Some(parent) = cfg.socket.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        // A leftover socket file from a dead daemon would make bind fail
-        // with AddrInUse; a *live* daemon also holds the path, so only
-        // remove it if nothing answers.
-        if cfg.socket.exists() && UnixStream::connect(&cfg.socket).is_err() {
-            let _ = std::fs::remove_file(&cfg.socket);
-        }
-        let listener = UnixListener::bind(&cfg.socket)?;
+        let listener = cfg.listen.bind()?;
         listener.set_nonblocking(true)?;
+        let bound = listener.local_endpoint(&cfg.listen);
         let shared = Arc::new(Shared {
             cache,
             registry,
@@ -415,12 +442,21 @@ impl Server {
             }),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
+            peers: cfg.peers.clone(),
         });
         Ok(Server {
             cfg,
             listener,
+            bound,
             shared,
         })
+    }
+
+    /// The endpoint actually bound — for `tcp://…:0` this carries the
+    /// kernel-assigned port, which is how embedded cluster tests learn
+    /// their collision-free addresses.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.bound
     }
 
     /// A handle usable from other threads while `run` blocks.
@@ -474,6 +510,21 @@ impl Server {
             if self.shared.draining(self.cfg.handle_signals) {
                 break;
             }
+            // The chaos drill's simulated SIGKILL: stop dead. No drain, no
+            // store flush, no socket cleanup — the listener drops so new
+            // connects are refused, and the shutdown flag makes handler
+            // threads abandon their connections without replying, which is
+            // what their clients would see from a real process kill.
+            if let Some(site) = &self.cfg.crash_site {
+                if faults::armed() && faults::check(site).is_some() {
+                    obs::log!(Warn, "serve: failpoint '{site}' fired: simulating crash");
+                    self.shared.shutdown.store(true, Ordering::SeqCst);
+                    return Ok(DrainReport {
+                        reason: "crash",
+                        stats: self.shared.stats(),
+                    });
+                }
+            }
             // Periodic store maintenance, checked at a coarse interval so
             // the accept loop stays cheap:
             //  * fsync the append batch, bounding how much banked work a
@@ -493,7 +544,7 @@ impl Server {
                 }
             }
             match self.listener.accept() {
-                Ok((stream, _)) => {
+                Ok(stream) => {
                     obs::counter_inc!("gensor_serve_connections_total", "Connections accepted");
                     self.shared
                         .metrics
@@ -531,7 +582,9 @@ impl Server {
             let _ = w.join();
         }
         self.shared.cache.flush()?;
-        let _ = std::fs::remove_file(&self.cfg.socket);
+        if let Endpoint::Unix(path) = &self.bound {
+            let _ = std::fs::remove_file(path);
+        }
         Ok(DrainReport {
             reason,
             stats: self.shared.stats(),
@@ -663,19 +716,15 @@ fn process_job(shared: &Shared, job: &Job, waited: Duration) -> Response {
 }
 
 /// Per-connection frame loop.
-fn handle_connection(
-    stream: UnixStream,
-    shared: &Shared,
-    tx: &mpsc::Sender<Job>,
-    cfg: &ServerConfig,
-) {
+fn handle_connection(stream: Stream, shared: &Shared, tx: &mpsc::Sender<Job>, cfg: &ServerConfig) {
     let mut stream = stream;
     // Short read timeout so idle handlers poll the drain flag; writes get
     // a generous bound so a wedged client cannot pin a handler forever.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
 
-    // Handshake: the first frame must be a version match.
+    // Handshake: the first frame must be a version match carrying the
+    // right token (when the daemon requires one).
     let hello = loop {
         match server_read(&mut stream) {
             Ok(req) => break req,
@@ -691,7 +740,22 @@ fn handle_connection(
         }
     };
     match hello {
-        Request::Hello { proto } if proto == PROTO_VERSION => {
+        Request::Hello { proto, ref token } if proto == PROTO_VERSION => {
+            if cfg.token.is_some() && *token != cfg.token {
+                shared.metrics.auth_failures.fetch_add(1, Ordering::Relaxed);
+                obs::counter_inc!(
+                    "gensor_serve_auth_failures_total",
+                    "Connections refused for a missing or wrong shared token"
+                );
+                let _ = server_write(
+                    &mut stream,
+                    &Response::Error {
+                        kind: ErrKind::Unauthorized,
+                        message: "this daemon requires a shared token (serve --token)".into(),
+                    },
+                );
+                return;
+            }
             if server_write(
                 &mut stream,
                 &Response::Hello {
@@ -703,7 +767,7 @@ fn handle_connection(
                 return;
             }
         }
-        Request::Hello { proto } => {
+        Request::Hello { proto, .. } => {
             shared.metrics.proto_errors.fetch_add(1, Ordering::Relaxed);
             let _ = server_write(
                 &mut stream,
@@ -771,6 +835,50 @@ fn handle_connection(
             Request::FetchModel => Response::Model {
                 json: cfg.learned_model_json.clone(),
             },
+            // Fabric frames are answered inline: a probe is one map read,
+            // a put is verify + insert — neither competes with compiles
+            // for the admission gate or the worker pool.
+            // Both canonicalize the wire method ("roller") to the cache-key
+            // name the compile path uses (the tuner's display name,
+            // "Roller") so fabric frames and compiles share one key space.
+            Request::Probe { op, gpu, method } => match shared.registry.cache_method(&method) {
+                Some(method) => Response::Probed {
+                    cached: shared.cache.peek(&op, &gpu, &method).is_some(),
+                },
+                None => Response::Error {
+                    kind: ErrKind::UnknownMethod,
+                    message: format!("no method '{method}' registered"),
+                },
+            },
+            Request::Put {
+                op,
+                gpu,
+                method,
+                kernel,
+            } => {
+                if shared.draining(cfg.handle_signals) {
+                    Response::ShuttingDown
+                } else {
+                    match shared.registry.cache_method(&method) {
+                        Some(method) => {
+                            match shared.cache.install(&op, &gpu, &method, (*kernel).into()) {
+                                Ok(installed) => {
+                                    shared.metrics.puts.fetch_add(1, Ordering::Relaxed);
+                                    Response::PutDone { installed }
+                                }
+                                Err(rej) => Response::Error {
+                                    kind: ErrKind::Rejected,
+                                    message: rej.to_string(),
+                                },
+                            }
+                        }
+                        None => Response::Error {
+                            kind: ErrKind::UnknownMethod,
+                            message: format!("no method '{method}' registered"),
+                        },
+                    }
+                }
+            }
             Request::Shutdown => {
                 shared.shutdown.store(true, Ordering::SeqCst);
                 let _ = server_write(&mut stream, &Response::ShuttingDown);
@@ -807,7 +915,7 @@ fn handle_connection(
 
 /// [`read_frame`] behind the `served.socket.read` failpoint, so the chaos
 /// suite can break the transport without a misbehaving client.
-fn server_read(stream: &mut UnixStream) -> Result<Request, FrameError> {
+fn server_read(stream: &mut Stream) -> Result<Request, FrameError> {
     if faults::armed() && faults::check("served.socket.read").is_some() {
         return Err(FrameError::Io(faults::injected_err("served.socket.read")));
     }
@@ -815,7 +923,7 @@ fn server_read(stream: &mut UnixStream) -> Result<Request, FrameError> {
 }
 
 /// [`write_frame`] behind the `served.socket.write` failpoint.
-fn server_write(stream: &mut UnixStream, resp: &Response) -> Result<(), FrameError> {
+fn server_write(stream: &mut Stream, resp: &Response) -> Result<(), FrameError> {
     if faults::armed() && faults::check("served.socket.write").is_some() {
         return Err(FrameError::Io(faults::injected_err("served.socket.write")));
     }
@@ -825,9 +933,9 @@ fn server_write(stream: &mut UnixStream, resp: &Response) -> Result<(), FrameErr
 /// Has the peer hung up? A zero-byte non-blocking `MSG_PEEK` is EOF;
 /// pending bytes or `EWOULDBLOCK` mean the client is still there. Direct
 /// `recv(2)` binding in the same spirit as `install_signal_handlers`:
-/// the workspace builds offline with no libc crate, and
-/// `UnixStream::peek` is not yet stable.
-fn client_gone(stream: &UnixStream) -> bool {
+/// the workspace builds offline with no libc crate. Works identically on
+/// both transports — `recv(2)` takes any connected socket fd.
+fn client_gone(stream: &Stream) -> bool {
     use std::os::fd::AsRawFd;
     extern "C" {
         fn recv(fd: i32, buf: *mut u8, len: usize, flags: i32) -> isize;
@@ -862,7 +970,7 @@ fn dispatch_work(
     tx: &mpsc::Sender<Job>,
     deadline: Duration,
     permit: Permit,
-    stream: &UnixStream,
+    stream: &Stream,
 ) -> Response {
     if faults::armed() && faults::check("served.dispatch").is_some() {
         return Response::Error {

@@ -288,6 +288,7 @@ fn queued_job_is_cancelled_when_its_client_disconnects() {
             &mut s,
             &Request::Hello {
                 proto: PROTO_VERSION,
+                token: None,
             },
         )
         .unwrap();

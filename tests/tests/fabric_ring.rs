@@ -1,0 +1,117 @@
+//! Property tests for the fabric's consistent-hash ring (DESIGN §13):
+//! routing must be stable under spec serialization (every daemon and
+//! client that shares a member list must route identically), and losing
+//! one of N nodes must remap only that node's ~1/N of the key space.
+
+use fabric::{hash64, ring_key, Ring, RingSpec, DEFAULT_VNODES};
+use hardware::GpuSpec;
+use proptest::prelude::*;
+use schedcache::CacheKey;
+use tensor_expr::OpSpec;
+
+/// 2–7 distinct endpoints (position-salted so duplicates cannot occur).
+fn arb_nodes() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(0u32..10_000, 2..8).prop_map(|ids| {
+        ids.iter()
+            .enumerate()
+            .map(|(i, id)| format!("tcp://node-{i}-{id}:7070"))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// (a) key→node assignment survives a `RingSpec` serialization
+    /// round-trip: serialize, parse, rebuild — every key routes to the
+    /// same replica set, in the same order.
+    #[test]
+    fn route_is_stable_under_spec_round_trip(
+        nodes in arb_nodes(),
+        vnodes in 1u32..96,
+        keys in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let ring = Ring::build(&nodes, vnodes);
+        let json = serde_json::to_string(&ring.spec()).expect("serialize spec");
+        let parsed: RingSpec = serde_json::from_str(&json).expect("parse spec");
+        prop_assert_eq!(&parsed, &ring.spec());
+        let rebuilt = Ring::from_spec(&parsed);
+        for key in keys {
+            prop_assert_eq!(ring.route(key, 2), rebuilt.route(key, 2));
+            prop_assert_eq!(ring.primary(key), rebuilt.primary(key));
+        }
+    }
+
+    /// (b) removing one of N nodes remaps only ~1/N of the keys — and
+    /// *only* the removed node's keys; every key a survivor owned stays
+    /// exactly where it was.
+    #[test]
+    fn removing_one_node_remaps_about_one_nth(n in 3usize..7) {
+        let nodes: Vec<String> = (0..n).map(|i| format!("tcp://10.9.0.{i}:7070")).collect();
+        let full = Ring::build(&nodes, DEFAULT_VNODES);
+        let reduced = Ring::build(&nodes[..n - 1], DEFAULT_VNODES);
+        let dead = nodes[n - 1].as_str();
+        let samples = 4000u64;
+        let mut moved = 0u64;
+        for s in 0..samples {
+            let key = hash64(&s.to_le_bytes());
+            let before = full.primary(key).unwrap();
+            let after = reduced.primary(key).unwrap();
+            if before == dead {
+                prop_assert!(after != dead, "orphaned keys must land on a survivor");
+                moved += 1;
+            } else {
+                // A survivor's key must not move.
+                prop_assert_eq!(before, after);
+            }
+        }
+        let frac = moved as f64 / samples as f64;
+        let ideal = 1.0 / n as f64;
+        prop_assert!(
+            (frac - ideal).abs() <= 0.6 * ideal,
+            "expected ~{ideal:.3} of keys to move, got {frac:.3}"
+        );
+    }
+}
+
+#[test]
+fn ring_key_is_deterministic_and_shape_sensitive() {
+    let spec = GpuSpec::rtx4090();
+    let a = ring_key(&CacheKey::new(
+        &OpSpec::gemm(512, 256, 512),
+        &spec,
+        "gensor",
+    ));
+    let b = ring_key(&CacheKey::new(
+        &OpSpec::gemm(512, 256, 512),
+        &spec,
+        "gensor",
+    ));
+    assert_eq!(a, b, "same key must always land at the same ring position");
+    let c = ring_key(&CacheKey::new(
+        &OpSpec::gemm(512, 256, 513),
+        &spec,
+        "gensor",
+    ));
+    assert_ne!(a, c);
+}
+
+#[test]
+fn every_client_with_the_same_member_list_routes_identically() {
+    // The deployment invariant behind write-through replication: two
+    // processes that only share `--peers` (possibly in different order)
+    // must agree on every key's primary and replicas.
+    let listed = vec![
+        "tcp://a:1".to_string(),
+        "tcp://b:1".to_string(),
+        "tcp://c:1".to_string(),
+    ];
+    let mut reversed = listed.clone();
+    reversed.reverse();
+    let x = Ring::build(&listed, DEFAULT_VNODES);
+    let y = Ring::build(&reversed, DEFAULT_VNODES);
+    for s in 0..500u64 {
+        let key = hash64(&s.to_le_bytes());
+        assert_eq!(x.route(key, 2), y.route(key, 2));
+    }
+}

@@ -187,11 +187,18 @@ proptest! {
 fn hello_frames_carry_the_version() {
     let req = round_trip_request(&Request::Hello {
         proto: PROTO_VERSION,
+        token: None,
     });
-    assert_eq!(req, Request::Hello { proto: 4 });
+    assert_eq!(
+        req,
+        Request::Hello {
+            proto: 5,
+            token: None
+        }
+    );
     let resp = round_trip_response(&Response::Error {
         kind: ErrKind::UnsupportedProto,
-        message: "server speaks proto 4".into(),
+        message: "server speaks proto 5".into(),
     });
     assert!(matches!(
         resp,

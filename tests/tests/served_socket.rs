@@ -253,7 +253,14 @@ fn version_mismatch_and_garbage_frames_are_rejected() {
     // Wrong protocol version → typed error.
     {
         let mut s = UnixStream::connect(&path).unwrap();
-        served::proto::write_frame(&mut s, &Request::Hello { proto: 999 }).unwrap();
+        served::proto::write_frame(
+            &mut s,
+            &Request::Hello {
+                proto: 999,
+                token: None,
+            },
+        )
+        .unwrap();
         let reply: Response = served::proto::read_frame(&mut s).unwrap();
         match reply {
             Response::Error { kind, .. } => assert_eq!(kind, ErrKind::UnsupportedProto),
@@ -278,6 +285,7 @@ fn version_mismatch_and_garbage_frames_are_rejected() {
             &mut s,
             &Request::Hello {
                 proto: PROTO_VERSION,
+                token: None,
             },
         )
         .unwrap();
@@ -301,6 +309,7 @@ fn version_mismatch_and_garbage_frames_are_rejected() {
             &mut s,
             &Request::Hello {
                 proto: PROTO_VERSION,
+                token: None,
             },
         )
         .unwrap();
