@@ -1,0 +1,155 @@
+//! Criterion bench: cold vs warm verification sweeps over the zoo's
+//! unique operators. The cold sweep runs the full static pipeline per
+//! schedule; the warm sweep answers from the incremental verdict cache.
+//! Both sweeps and their ratio are recorded to `BENCH_verify.json` at
+//! the workspace root, and the run *asserts* the cache contract: the
+//! warm sweep is ≥ 5× faster and renders byte-identical verdicts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etir::Etir;
+use hardware::GpuSpec;
+use serde::Serialize;
+use simgpu::Tuner;
+use std::time::Instant;
+use tensor_expr::OpSpec;
+use verify::{verify_schedule, VerdictCache};
+
+#[derive(Serialize)]
+struct VerifySweep {
+    bench: &'static str,
+    unit: &'static str,
+    ops: u64,
+    cold_s: f64,
+    warm_s: f64,
+    speedup: f64,
+    hit_rate: f64,
+    identical_verdicts: bool,
+}
+
+/// Unique operators across the whole zoo at batch 1.
+fn zoo_ops() -> Vec<OpSpec> {
+    let graphs = [
+        models::zoo::resnet50(1),
+        models::zoo::resnet34(1),
+        models::zoo::mobilenet_v2(1),
+        models::zoo::bert_small(1, 128),
+        models::zoo::gpt2(1, 1024),
+    ];
+    let mut ops: Vec<OpSpec> = Vec::new();
+    for g in graphs {
+        for l in g.layers {
+            if !ops.contains(&l.op) {
+                ops.push(l.op);
+            }
+        }
+    }
+    ops
+}
+
+fn render(reports: &[verify::Report]) -> String {
+    reports
+        .iter()
+        .map(|r| serde_json::to_string(&r.to_json()).expect("serialize"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn verify_benches(c: &mut Criterion) {
+    let spec = GpuSpec::rtx4090();
+    let tuner = roller::Roller::default();
+    let schedules: Vec<Etir> = zoo_ops()
+        .iter()
+        .map(|op| tuner.compile(op, &spec).etir)
+        .collect();
+
+    let mut group = c.benchmark_group("verify");
+    group.bench_function("cold_sweep/zoo", |b| {
+        b.iter(|| {
+            for e in &schedules {
+                criterion::black_box(verify_schedule(e, Some(&spec)));
+            }
+        })
+    });
+    let warm_cache = VerdictCache::in_memory();
+    for e in &schedules {
+        let _ = warm_cache.verify(e, Some(&spec)); // populate
+    }
+    group.bench_function("warm_sweep/zoo", |b| {
+        b.iter(|| {
+            for e in &schedules {
+                criterion::black_box(warm_cache.verify(e, Some(&spec)));
+            }
+        })
+    });
+    group.finish();
+
+    // Direct measurement for the persisted row: cold sweeps run on a
+    // fresh cache every round (each verification proves from scratch);
+    // warm sweeps reuse one populated cache. Minimum-of-rounds on both
+    // sides keeps scheduler noise out of the recorded ratio.
+    let mut cold_s = f64::INFINITY;
+    let mut cold: Vec<verify::Report> = Vec::new();
+    for _ in 0..5 {
+        let fresh = VerdictCache::in_memory();
+        let t0 = Instant::now();
+        let sweep: Vec<verify::Report> = schedules
+            .iter()
+            .map(|e| fresh.verify(e, Some(&spec)))
+            .collect();
+        cold_s = cold_s.min(t0.elapsed().as_secs_f64());
+        cold = sweep;
+    }
+    let cache = VerdictCache::in_memory();
+    for e in &schedules {
+        let _ = cache.verify(e, Some(&spec)); // populate
+    }
+    let mut warm_s = f64::INFINITY;
+    let mut warm: Vec<verify::Report> = Vec::new();
+    for _ in 0..20 {
+        let t1 = Instant::now();
+        let sweep: Vec<verify::Report> = schedules
+            .iter()
+            .map(|e| cache.verify(e, Some(&spec)))
+            .collect();
+        warm_s = warm_s.min(t1.elapsed().as_secs_f64());
+        warm = sweep;
+    }
+    let stats = cache.stats();
+
+    let row = VerifySweep {
+        bench: "verify",
+        unit: "s",
+        ops: schedules.len() as u64,
+        cold_s,
+        warm_s,
+        speedup: cold_s / warm_s.max(1e-12),
+        hit_rate: stats.hit_rate(),
+        identical_verdicts: render(&cold) == render(&warm),
+    };
+    assert!(
+        row.identical_verdicts,
+        "warm verdicts must render byte-identically to cold ones"
+    );
+    assert!(
+        row.speedup >= 5.0,
+        "warm sweep must be ≥5× faster than cold (got {:.1}×: cold {:.6}s, warm {:.6}s)",
+        row.speedup,
+        cold_s,
+        warm_s
+    );
+    println!(
+        "{} schedules: cold {:.4}s, warm {:.6}s — {:.0}× speedup, {:.0}% verdict hit rate",
+        row.ops,
+        cold_s,
+        warm_s,
+        row.speedup,
+        row.hit_rate * 100.0
+    );
+    let json = serde_json::to_string_pretty(&row).expect("serialize");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_verify.json");
+    std::fs::write(out, &json).expect("write BENCH_verify.json");
+    bench::write_json("verify_sweep", &row);
+}
+
+criterion_group!(benches, verify_benches);
+criterion_main!(benches);

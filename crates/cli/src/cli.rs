@@ -48,6 +48,7 @@ USAGE:
   gensor cache compact <file>
   gensor lint [<op> <dims...> | <model> | zoo] [--gpu G] [--method M]
               [--batch B] [--budget N] [--json] [--deny-warnings]
+              [--sarif FILE] [--verdicts FILE] [--explain GSxxx]
   gensor trace [<op> <dims...> | <model> | matmul] --out FILE [--csv FILE]
                [--gpu G] [--method M] [--batch B] [--budget N]
   gensor metrics [<op> <dims...> | <model>] [--socket S] [--gpu G]
@@ -80,6 +81,10 @@ OPTIONS:
   --budget        lint/trace/metrics: cap Gensor construction at N chains
   --json          lint: machine-readable report
   --deny-warnings lint: treat GS02x warnings as failures
+  --sarif         lint: also write the report as SARIF 2.1.0 to FILE
+  --verdicts      lint: verify through the incremental verdict cache at
+                  FILE (created if absent; warm sweeps skip re-proving)
+  --explain       lint: describe one GSxxx code and exit (no compile)
   --compact-bytes serve: compact the store when its file exceeds N bytes
   --failpoints    serve: arm deterministic fault injection, e.g.
                   'store.append=err(1);simgpu.eval=prob(0.05,42)'
@@ -656,11 +661,33 @@ fn target_ops(pos: &[&str], batch: u64) -> Result<Vec<OpSpec>, CliError> {
     Ok(ops)
 }
 
+/// `gensor lint --explain GSxxx` — the rule book entry for one code:
+/// description, default severity, and a minimal failing example.
+fn explain_code(raw: &str) -> Result<String, CliError> {
+    let code = verify::Code::parse(raw).ok_or_else(|| {
+        let known: Vec<&str> = verify::Code::ALL.iter().map(|c| c.as_str()).collect();
+        CliError::Usage(format!(
+            "unknown diagnostic code '{raw}' (known: {})",
+            known.join(" ")
+        ))
+    })?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{} ({})", code.as_str(), code.severity().label());
+    let _ = writeln!(out, "  {}", code.description());
+    let _ = writeln!(out, "  example: {}", code.example());
+    Ok(out)
+}
+
 /// `gensor lint` — compile each target operator, run the static schedule
 /// verifier over the winner, and report typed `GS0xx` diagnostics. Any
 /// error — or, under `--deny-warnings`, any warning — makes the command
 /// exit nonzero (via [`CliError::Check`]) with the full report printed.
 fn lint(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
+    // `--explain GSxxx` is a pure lookup: no compile, no targets needed.
+    let explain = opt(opts, "explain", "");
+    if !explain.is_empty() {
+        return explain_code(explain);
+    }
     let gpu = parse_gpu(opt(opts, "gpu", "rtx4090"))?;
     let deny = has_flag(opts, "deny-warnings");
     let as_json = has_flag(opts, "json");
@@ -669,19 +696,44 @@ fn lint(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
         .map_err(|_| CliError::Usage("bad --batch".into()))?;
     let method = configured_method(opts)?;
     let ops = target_ops(pos, batch)?;
+    // `--verdicts F` routes every verification through the incremental
+    // verdict cache at F: warm sweeps skip the pipeline entirely.
+    let verdicts_path = opt(opts, "verdicts", "");
+    let verdicts = if verdicts_path.is_empty() {
+        None
+    } else {
+        Some(verify::VerdictCache::open(verdicts_path))
+    };
     let reports: Vec<verify::Report> = ops
         .iter()
         .map(|op| {
             let ck = method.compile(op, &gpu);
-            verify::verify_schedule(&ck.etir, Some(&gpu))
+            match &verdicts {
+                Some(vc) => vc.verify(&ck.etir, Some(&gpu)),
+                None => verify::verify_schedule(&ck.etir, Some(&gpu)),
+            }
         })
         .collect();
+    let vstats = verdicts.as_ref().map(|vc| {
+        vc.persist().map_err(|e| {
+            CliError::Usage(format!("cannot write verdicts '{verdicts_path}': {e}"))
+        })?;
+        Ok::<_, CliError>(vc.stats())
+    });
+    let vstats = vstats.transpose()?;
+    let sarif_path = opt(opts, "sarif", "");
+    if !sarif_path.is_empty() {
+        let doc = verify::sarif::to_sarif(&reports);
+        let body = serde_json::to_string_pretty(&doc).expect("serialize") + "\n";
+        std::fs::write(sarif_path, body)
+            .map_err(|e| CliError::Usage(format!("cannot write '{sarif_path}': {e}")))?;
+    }
     let errors: usize = reports.iter().map(|r| r.error_count()).sum();
     let warnings: usize = reports.iter().map(|r| r.warning_count()).sum();
     let failed = errors > 0 || (deny && warnings > 0);
     let out = if as_json {
         let arr: Vec<serde_json::Value> = reports.iter().map(|r| r.to_json()).collect();
-        let v = serde_json::json!({
+        let mut v = serde_json::json!({
             "gpu": gpu.name,
             "method": method.name(),
             "checked": reports.len() as u64,
@@ -690,6 +742,10 @@ fn lint(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
             "ok": !failed,
             "reports": serde_json::Value::Array(arr),
         });
+        if let (Some(s), serde_json::Value::Object(obj)) = (&vstats, &mut v) {
+            obj.push(("verdict_hits".to_string(), serde_json::json!(s.hits)));
+            obj.push(("verdict_misses".to_string(), serde_json::json!(s.misses)));
+        }
         serde_json::to_string_pretty(&v).expect("serialize") + "\n"
     } else {
         let mut out = String::new();
@@ -709,6 +765,15 @@ fn lint(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
             warnings,
             if deny { " (deny-warnings)" } else { "" }
         );
+        if let Some(s) = &vstats {
+            let _ = writeln!(
+                out,
+                "verdicts: {} warm, {} verified fresh ({:.0}% hit rate)",
+                s.hits,
+                s.misses,
+                s.hit_rate() * 100.0
+            );
+        }
         out
     };
     if failed {
@@ -1555,6 +1620,67 @@ mod tests {
     fn lint_usage_errors() {
         assert!(matches!(call("lint frobnicate"), Err(CliError::Usage(_))));
         assert!(matches!(call("lint gemm 1 2"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn lint_explain_describes_a_code_without_compiling() {
+        let out = call("lint --explain GS011").unwrap();
+        assert!(out.contains("GS011 (error)"), "{out}");
+        assert!(out.contains("example:"), "{out}");
+        // Lower-case and bare-number spellings resolve too.
+        assert!(call("lint --explain gs020").unwrap().contains("GS020"));
+        // Unknown codes list the registry instead of guessing.
+        let err = call("lint --explain GS999").unwrap_err();
+        let CliError::Usage(msg) = err else {
+            panic!("expected usage error");
+        };
+        assert!(msg.contains("GS001"), "{msg}");
+    }
+
+    #[test]
+    fn lint_json_output_is_byte_stable_across_runs() {
+        let cmd = "lint gemm 512 256 512 --budget 2 --json";
+        let first = call(cmd).unwrap();
+        let second = call(cmd).unwrap();
+        assert_eq!(first, second, "lint --json must render byte-identically");
+    }
+
+    #[test]
+    fn lint_sarif_writes_a_valid_document() {
+        let dir = std::env::temp_dir().join("gensor-cli-sarif-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("lint-{}.sarif", std::process::id()));
+        let cmd = format!(
+            "lint gemm 256 128 256 --budget 2 --sarif {}",
+            path.display()
+        );
+        call(&cmd).unwrap();
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc["version"].as_str(), Some("2.1.0"));
+        let rules = doc["runs"][0]["tool"]["driver"]["rules"]
+            .as_array()
+            .unwrap();
+        assert_eq!(rules.len(), verify::Code::ALL.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lint_verdicts_cache_answers_the_second_sweep_warm() {
+        let dir = std::env::temp_dir().join("gensor-cli-verdicts-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("lint-{}.verdicts", std::process::id()));
+        let cmd = format!(
+            "lint gemm 384 128 384 --budget 2 --json --verdicts {}",
+            path.display()
+        );
+        let cold: serde_json::Value = serde_json::from_str(&call(&cmd).unwrap()).unwrap();
+        assert_eq!(cold["verdict_misses"].as_u64(), Some(1), "{cold:?}");
+        let warm: serde_json::Value = serde_json::from_str(&call(&cmd).unwrap()).unwrap();
+        assert_eq!(warm["verdict_hits"].as_u64(), Some(1), "{warm:?}");
+        assert_eq!(warm["verdict_misses"].as_u64(), Some(0), "{warm:?}");
+        assert_eq!(cold["reports"], warm["reports"], "identical verdicts");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -219,6 +219,34 @@ impl Etir {
             .collect()
     }
 
+    /// Stable content fingerprint: FNV-1a over the operator label and
+    /// every schedule parameter. Unlike `Hash`, the value is fixed
+    /// across runs and toolchain versions, so it can key persistent
+    /// artifacts (the verifier's verdict cache); any mutation of the
+    /// operator or the schedule changes it.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        fn eat(h: u64, bytes: &[u8]) -> u64 {
+            bytes
+                .iter()
+                .fold(h, |h, &b| (h ^ b as u64).wrapping_mul(0x1_0000_01b3))
+        }
+        fn eat_u64s(mut h: u64, vals: &[u64]) -> u64 {
+            h = eat(h, &(vals.len() as u64).to_le_bytes());
+            for v in vals {
+                h = eat(h, &v.to_le_bytes());
+            }
+            h
+        }
+        let mut h = eat(OFFSET, self.op.label().as_bytes());
+        h = eat_u64s(h, &[self.num_levels as u64, self.cur_level as u64]);
+        h = eat_u64s(h, &self.smem_tile);
+        h = eat_u64s(h, &self.reg_tile);
+        h = eat_u64s(h, &self.vthreads);
+        h = eat_u64s(h, &self.reduce_tile);
+        eat_u64s(h, &[self.unroll])
+    }
+
     /// Display string: `smem[64,128] reg[4,8] vt[2,1] red[8] u2 @lvl1`.
     pub fn describe(&self) -> String {
         format!(
@@ -239,6 +267,23 @@ mod tests {
 
     fn gemm_state() -> Etir {
         Etir::initial(OpSpec::gemm(1024, 512, 2048), &GpuSpec::rtx4090())
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let e = gemm_state();
+        assert_eq!(e.fingerprint(), e.clone().fingerprint(), "deterministic");
+        let mut tampered = e.clone();
+        tampered.vthreads[0] = 0;
+        assert_ne!(e.fingerprint(), tampered.fingerprint(), "schedule bytes");
+        let other_op = Etir::initial(OpSpec::gemm(1024, 512, 1024), &GpuSpec::rtx4090());
+        assert_ne!(e.fingerprint(), other_op.fingerprint(), "operator identity");
+        // Length-prefixed vectors: moving an element across vector
+        // boundaries must not collide.
+        let mut shifted = e.clone();
+        shifted.smem_tile = vec![1, 1, 1];
+        shifted.reg_tile = vec![1];
+        assert_ne!(e.fingerprint(), shifted.fingerprint());
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //! the ring, and their key range flows to the survivors; if every peer
 //! is down (or refuses our token) the compile falls back to the local
 //! tuner, exactly like the single-daemon [`served::RemoteTuner`].
+//!
+//! Remote answers cross a trust boundary: before a peer's kernel is
+//! banked, written through, or returned it is re-verified with
+//! [`Provenance::RemotePeer`] (transport integrity says nothing about
+//! schedule legality). A content rejection fails over to the next
+//! replica without tripping the peer's breaker — the peer is alive,
+//! just wrong.
 
 use crate::membership::Membership;
 use crate::ring::ring_key;
@@ -21,6 +28,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use tensor_expr::OpSpec;
+use verify::{Provenance, VerdictCache};
 
 /// Where the fabric answered compiles from, and what it did on the way.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -37,6 +45,9 @@ pub struct FabricReport {
     pub failovers: u64,
     /// Write-through installs that found a replica missing the key.
     pub repairs: u64,
+    /// Remote kernels the verifier refused at the trust boundary —
+    /// answered by a peer but never banked, written through, or returned.
+    pub rejected: u64,
 }
 
 #[derive(Default)]
@@ -47,6 +58,7 @@ struct FabricStats {
     misses: AtomicU64,
     failovers: AtomicU64,
     repairs: AtomicU64,
+    rejected: AtomicU64,
 }
 
 /// A [`Tuner`] that shards compiles across a cluster of `gensor serve`
@@ -63,6 +75,12 @@ pub struct FabricClient<'a> {
     /// Pooled connections, per endpoint.
     pools: Mutex<HashMap<String, Vec<Client>>>,
     stats: FabricStats,
+    /// Trust boundary: every kernel a peer hands us is re-verified (as
+    /// [`Provenance::RemotePeer`]) before it is banked, written through,
+    /// or returned — transport integrity is not schedule legality. The
+    /// verdict cache keys on content, so repeated answers for the same
+    /// schedule cost one pipeline run.
+    verdicts: VerdictCache,
 }
 
 impl<'a> FabricClient<'a> {
@@ -84,6 +102,7 @@ impl<'a> FabricClient<'a> {
             fallback,
             pools: Mutex::new(HashMap::new()),
             stats: FabricStats::default(),
+            verdicts: VerdictCache::in_memory(),
         }
     }
 
@@ -121,6 +140,7 @@ impl<'a> FabricClient<'a> {
             misses: self.stats.misses.load(Ordering::Relaxed),
             failovers: self.stats.failovers.load(Ordering::Relaxed),
             repairs: self.stats.repairs.load(Ordering::Relaxed),
+            rejected: self.stats.rejected.load(Ordering::Relaxed),
         }
     }
 
@@ -238,7 +258,26 @@ impl<'a> FabricClient<'a> {
             }
             match self.remote_compile(ep, op, spec) {
                 Ok((kernel, outcome)) => {
+                    // The peer answered, so it is alive regardless of what
+                    // it answered with — content problems must not trip
+                    // the breaker and mask a reachable-but-corrupt peer.
                     breaker.on_success();
+                    let verdict =
+                        self.verdicts
+                            .verify_as(&kernel.etir, Some(spec), Provenance::RemotePeer);
+                    if !verdict.is_legal() {
+                        self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        obs::counter_inc!(
+                            "gensor_fabric_verifier_rejected_total",
+                            "Remote kernels refused by the verifier at the fabric trust boundary"
+                        );
+                        obs::log!(
+                            Warn,
+                            "fabric: {ep} answered with an illegal schedule, failing over: {}",
+                            verdict.summary()
+                        );
+                        continue;
+                    }
                     if rank > 0 {
                         self.stats.failovers.fetch_add(1, Ordering::Relaxed);
                         obs::counter_inc!(

@@ -11,6 +11,7 @@ use simgpu::CompiledKernel;
 use std::path::Path;
 use std::sync::Arc;
 use tensor_expr::OpSpec;
+use verify::{Provenance, VerdictCache};
 
 /// Extra shape-distance charged to a neighbour cached for a *different*
 /// device fingerprint (one octave of extent ratio): cross-device
@@ -39,6 +40,13 @@ pub struct ScheduleCache {
     /// `OpSpec` lives inside each `Etir`; the key's `gpu_fp` drives the
     /// cross-device penalty. Pruned when the map evicts.
     index: parking_lot::RwLock<Vec<(CacheKey, Etir)>>,
+    /// Incremental verification cache: verdicts keyed by schedule
+    /// fingerprint × verifier epoch × target, persisted as a
+    /// `<store>.verdicts` sidecar when this cache persists. Every
+    /// verification this cache performs — store load, fabric install,
+    /// banking a construction winner — goes through it, so re-proving a
+    /// known schedule costs a hash lookup.
+    verdicts: VerdictCache,
 }
 
 impl ScheduleCache {
@@ -69,11 +77,16 @@ impl ScheduleCache {
     }
 
     fn with_store(store: Option<Store>, cap: Option<usize>) -> std::io::Result<Self> {
+        let verdicts = match &store {
+            Some(store) => VerdictCache::open(VerdictCache::sidecar(store.path())),
+            None => VerdictCache::in_memory(),
+        };
         let cache = ScheduleCache {
             map: ShardedMap::with_entry_cap(cap),
             store,
             stats: Stats::default(),
             index: parking_lot::RwLock::new(Vec::new()),
+            verdicts,
         };
         if let Some(store) = &cache.store {
             let (records, report) = store.load()?;
@@ -83,9 +96,15 @@ impl ScheduleCache {
                 // A store record is untrusted input: bit rot or a foreign
                 // writer can yield a line that parses but encodes an
                 // illegal schedule. Structural verification (no device
-                // spec is available at load time) gates admission; a
-                // reject is counted and never becomes a servable entry.
-                if !verify::verify_schedule(&rec.etir, None).is_legal() {
+                // spec is available at load time) gates admission — warm
+                // via the verdict sidecar when the record's fingerprint is
+                // already proven; a reject is counted and never becomes a
+                // servable entry.
+                if !cache
+                    .verdicts
+                    .verify_as(&rec.etir, None, Provenance::Store)
+                    .is_legal()
+                {
                     cache.stats.record_rejected();
                     continue;
                 }
@@ -126,14 +145,28 @@ impl ScheduleCache {
     pub fn stats(&self) -> StatsSnapshot {
         let mut s = self.stats.snapshot();
         s.evictions = self.map.evictions();
+        let v = self.verdicts.stats();
+        s.verdict_hits = v.hits;
+        s.verdict_misses = v.misses;
         s
     }
 
-    /// Flush the persistent tier to stable storage (`fsync`). A no-op for
-    /// in-memory caches; the serve daemon calls this on graceful drain.
+    /// The incremental verification cache every admission check of this
+    /// cache runs through. Shared so the serve/fabric layers can verify
+    /// against the same banked verdicts.
+    pub fn verdicts(&self) -> &VerdictCache {
+        &self.verdicts
+    }
+
+    /// Flush the persistent tier to stable storage (`fsync`), along with
+    /// the verdict sidecar. A no-op for in-memory caches; the serve
+    /// daemon calls this on graceful drain.
     pub fn flush(&self) -> std::io::Result<()> {
         match &self.store {
-            Some(store) => store.sync(),
+            Some(store) => {
+                store.sync()?;
+                self.verdicts.persist()
+            }
             None => Ok(()),
         }
     }
@@ -235,7 +268,9 @@ impl ScheduleCache {
         method: &str,
         kernel: CompiledKernel,
     ) -> Result<bool, verify::Rejected> {
-        let report = verify::verify_schedule(&kernel.etir, Some(spec));
+        let report = self
+            .verdicts
+            .verify_as(&kernel.etir, Some(spec), Provenance::RemotePeer);
         if !report.is_legal() {
             self.stats.record_rejected();
             return Err(verify::Rejected(report));
@@ -290,7 +325,11 @@ impl ScheduleCache {
             Outcome::Coalesced => self.stats.record_coalesced(),
             Outcome::Built => {
                 self.stats.record_miss(kernel.wall_time_s, used_seeds);
-                if verify::verify_schedule(&kernel.etir, Some(spec)).is_legal() {
+                if self
+                    .verdicts
+                    .verify_as(&kernel.etir, Some(spec), Provenance::Local)
+                    .is_legal()
+                {
                     self.index.write().push((key, kernel.etir.clone()));
                     self.prune_index();
                     if let Some(store) = &self.store {
@@ -335,7 +374,9 @@ impl ScheduleCache {
         F: FnOnce(&[Etir]) -> CompiledKernel,
     {
         let (kernel, outcome) = self.get_or_compile(op, spec, method, build);
-        let report = verify::verify_schedule(&kernel.etir, Some(spec));
+        let report = self
+            .verdicts
+            .verify_as(&kernel.etir, Some(spec), Provenance::Local);
         if report.is_legal() {
             Ok((kernel, outcome))
         } else {
@@ -568,6 +609,35 @@ mod tests {
         });
         assert_eq!(o, Outcome::Hit);
         assert_eq!(k.etir, first);
+    }
+
+    #[test]
+    fn verdict_sidecar_warms_reopen_verification() {
+        let path = tmpfile("verdict-sidecar");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(VerdictCache::sidecar(&path));
+        let spec = GpuSpec::rtx4090();
+        let op = OpSpec::gemm(640, 256, 256);
+        {
+            let cache = ScheduleCache::open(&path).unwrap();
+            cache.get_or_compile(&op, &spec, "Gensor", |_| build(&op, &spec));
+            cache.flush().unwrap();
+        }
+        {
+            // First reopen: the record's spec-less load verdict is not
+            // banked yet — the admission check runs cold, then persists.
+            let cache = ScheduleCache::open(&path).unwrap();
+            assert_eq!(cache.len(), 1);
+            let s = cache.stats();
+            assert_eq!((s.verdict_hits, s.verdict_misses), (0, 1), "{s:?}");
+            cache.flush().unwrap();
+        }
+        // Second reopen: the load-time re-proof is a verdict-cache hit.
+        let cache = ScheduleCache::open(&path).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.verdict_hits, s.verdict_misses), (1, 0), "{s:?}");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(VerdictCache::sidecar(&path));
     }
 
     #[test]

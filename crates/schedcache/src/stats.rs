@@ -59,6 +59,12 @@ pub struct StatsSnapshot {
     /// Resident schedules evicted by the in-memory LRU bound (0 when the
     /// cache is unbounded; filled in by `ScheduleCache::stats`).
     pub evictions: u64,
+    /// Verifications answered from the incremental verdict cache without
+    /// re-running the pipeline (filled in by `ScheduleCache::stats`).
+    pub verdict_hits: u64,
+    /// Verifications that ran the full pipeline (filled in by
+    /// `ScheduleCache::stats`).
+    pub verdict_misses: u64,
     /// Store compactions run (CLI `cache compact` or the daemon's
     /// size-threshold trigger).
     pub compactions: u64,
@@ -175,6 +181,8 @@ impl Stats {
             recovered_truncated: g.recovered_truncated,
             verifier_rejected: g.verifier_rejected,
             evictions: 0,
+            verdict_hits: 0,
+            verdict_misses: 0,
             compactions: g.compactions,
             saved_tuning_s: g.saved_tuning_s,
             compiles: lat.len() as u64,

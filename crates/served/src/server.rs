@@ -317,7 +317,7 @@ impl Shared {
         method: &str,
         budget: Option<u32>,
     ) -> Result<(simgpu::CompiledKernel, WireOutcome), (ErrKind, String)> {
-        match self.registry.get(method) {
+        let built = match self.registry.get(method) {
             None => Err((
                 ErrKind::UnknownMethod,
                 format!("no method '{method}' registered"),
@@ -344,6 +344,25 @@ impl Shared {
                     Err(rej) => Err((ErrKind::Rejected, rej.to_string())),
                 }
             }
+        };
+        match built {
+            // Chaos hook: corrupt the *outgoing* schedule after the
+            // daemon's own verify gate passed it — the wire frame stays
+            // well-formed, so only a receiver that re-verifies content
+            // (the fabric trust boundary) can catch it.
+            Ok((mut kernel, outcome))
+                if faults::armed() && faults::check("served.reply.tamper").is_some() =>
+            {
+                obs::log!(
+                    Warn,
+                    "serve: failpoint 'served.reply.tamper' fired: corrupting outgoing schedule"
+                );
+                if let Some(v) = kernel.etir.vthreads.first_mut() {
+                    *v = 0;
+                }
+                Ok((kernel, outcome))
+            }
+            other => other,
         }
     }
 

@@ -16,24 +16,28 @@
 //! nothing downstream can be trusted.
 
 use crate::diag::{Code, Diagnostic};
+use crate::domain::AbsVal;
 use crate::pass::{Ctx, Pass};
+use crate::symbolic::{index_range, DimParams};
 use etir::loops::Binding;
 
 /// The interval + nest-volume analysis.
 pub struct BoundsPass;
 
 impl BoundsPass {
-    /// Per-dim maximum global index reachable by the decomposition.
+    /// Per-dim maximum global index reachable by the decomposition —
+    /// the singleton instantiation of the symbolic evaluator: the same
+    /// four-level [`index_range`] collecting semantics bucket
+    /// verification runs over extent ranges, here fed the one concrete
+    /// grid/tile of this nest.
     fn max_index(nest: &etir::LoopNest, i: usize) -> u64 {
-        let t = nest.smem_tile[i];
-        let (g, v, td, r) = (
-            nest.grid[i],
-            nest.vthreads[i],
-            nest.thread_dims[i],
-            nest.reg_tile[i],
-        );
-        // Each factor takes its maximum; all factors are ≥ 1 post-gate.
-        (g - 1) * t + ((v - 1) * td + (td - 1)) * r + (r - 1)
+        let p = DimParams {
+            tile: nest.smem_tile[i],
+            reg: nest.reg_tile[i],
+            vthreads: nest.vthreads[i],
+            thread_dims: nest.thread_dims[i],
+        };
+        index_range(nest.smem_tile[i], &AbsVal::constant(nest.grid[i]), &p).hi()
     }
 }
 

@@ -103,6 +103,99 @@ impl Code {
         }
     }
 
+    /// Every code, in stable `GS0xx` order — the registry the SARIF
+    /// exporter and `--explain` enumerate.
+    pub const ALL: [Code; 20] = [
+        Code::RankMismatch,
+        Code::ZeroTile,
+        Code::Divisibility,
+        Code::ReduceTile,
+        Code::BadUnroll,
+        Code::LevelOutOfRange,
+        Code::SmemOverflow,
+        Code::RegOverflow,
+        Code::ThreadBudget,
+        Code::CoverageGap,
+        Code::OutOfBounds,
+        Code::VolumeMismatch,
+        Code::WriteOverlap,
+        Code::WriteGap,
+        Code::BankConflict,
+        Code::SubWarpBlock,
+        Code::RegisterPressure,
+        Code::GridUnderfill,
+        Code::DegenerateTile,
+        Code::Incomplete,
+    ];
+
+    /// Parse a user-supplied code string (`"GS011"`, `"gs11"`, `"11"`).
+    pub fn parse(s: &str) -> Option<Code> {
+        let digits = s
+            .trim()
+            .trim_start_matches(['g', 'G'])
+            .trim_start_matches(['s', 'S']);
+        let n: u32 = digits.parse().ok()?;
+        Code::ALL
+            .into_iter()
+            .find(|c| c.as_str()[2..].parse() == Ok(n))
+    }
+
+    /// One-line meaning, mirroring the DESIGN §9 table.
+    pub fn description(self) -> &'static str {
+        match self {
+            Code::RankMismatch => "tile vector rank does not match the operator rank",
+            Code::ZeroTile => "a tile or vthread count is zero",
+            Code::Divisibility => "smem_tile % (reg_tile · vthreads) != 0",
+            Code::ReduceTile => "reduce tile/step bookkeeping inconsistent",
+            Code::BadUnroll => "unroll factor zero or not a power of two",
+            Code::LevelOutOfRange => "cur_level beyond the memory hierarchy",
+            Code::SmemOverflow => "staged smem tile exceeds per-block capacity",
+            Code::RegOverflow => "per-thread registers exceed the device limit",
+            Code::ThreadBudget => "block thread count outside the legal range",
+            Code::CoverageGap => "padded extents do not cover the iteration space",
+            Code::OutOfBounds => "an index provably escapes the padded extents",
+            Code::VolumeMismatch => "derived nest volume disagrees with the padded space",
+            Code::WriteOverlap => "two threads own overlapping tile elements",
+            Code::WriteGap => "some tile element is owned by no thread",
+            Code::BankConflict => "shared-memory stride causes heavy bank conflicts",
+            Code::SubWarpBlock => {
+                "sub-warp block whose idle lanes are not compensated by per-thread work"
+            }
+            Code::RegisterPressure => "register pressure at 85% or more of the cap",
+            Code::GridUnderfill => "grid launches fewer blocks than SMs",
+            Code::DegenerateTile => "complete schedule never tiled a large space",
+            Code::Incomplete => "schedule incomplete (not all levels visited)",
+        }
+    }
+
+    /// A minimal failing (or firing) example, for `--explain`.
+    pub fn example(self) -> &'static str {
+        match self {
+            Code::RankMismatch => "gemm (2 spatial dims) with smem_tile = [64] — rank 1 ≠ 2",
+            Code::ZeroTile => "smem_tile = [0, 64]: dim 0 stages nothing",
+            Code::Divisibility => "smem_tile 6 with reg_tile 4 · vthreads 1 — 6 % 4 = 2",
+            Code::ReduceTile => "extent 64 with reduce_tile 512 — tile exceeds next_pow2(64)",
+            Code::BadUnroll => "unroll = 3 — not a power of two",
+            Code::LevelOutOfRange => "cur_level = 99 with num_levels = 3",
+            Code::SmemOverflow => "128×128 FP32 tiles staged on a 48 KiB-smem device",
+            Code::RegOverflow => "reg_tile [32, 32] — 1024 accumulators per thread",
+            Code::ThreadBudget => "thread_dims [64, 32] — 2048 threads on a 1024 cap",
+            Code::CoverageGap => "padded extent 96 < operator extent 100",
+            Code::OutOfBounds => {
+                "extent 8 clamps the tile to 8, but vt 2 · td 8 · reg 2 = 32 lanes index it"
+            }
+            Code::VolumeMismatch => "derived nest volume 2^20 ≠ padded space 2^21",
+            Code::WriteOverlap => "32 lanes claim an 8-wide tile — each element written 4×",
+            Code::WriteGap => "4 lanes claim a 16-wide tile — 12 elements never written",
+            Code::BankConflict => "reg stride 32 on 32-bank smem — all lanes hit bank 0",
+            Code::SubWarpBlock => "8-thread block with reg_tile [1, 1] on a 32-wide warp",
+            Code::RegisterPressure => "220 registers per thread on a 255-reg device",
+            Code::GridUnderfill => "4-block grid on a 128-SM device",
+            Code::DegenerateTile => "complete 4096×4096 schedule with smem_tile [1, 1]",
+            Code::Incomplete => "cur_level 1 of 3 — shared/register stages not scheduled",
+        }
+    }
+
     /// The severity this code always carries.
     pub fn severity(self) -> Severity {
         match self {
@@ -213,6 +306,19 @@ impl Report {
         self.is_legal() && !(deny_warnings && self.warning_count() > 0)
     }
 
+    /// Canonicalize for deterministic output: findings sort by (code,
+    /// message, pass) — messages start with `dim {i}`, so per-code
+    /// findings land in dimension order — and exact (code, message)
+    /// repeats collapse to one. Rendering the same report twice, or the
+    /// same schedule through differently-ordered passes, is byte-stable.
+    pub fn normalize(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (a.code.as_str(), &a.message, a.pass).cmp(&(b.code.as_str(), &b.message, b.pass))
+        });
+        self.diagnostics
+            .dedup_by(|a, b| a.code == b.code && a.message == b.message);
+    }
+
     /// One-line digest for error messages and logs:
     /// `gemm[m512,k512,n512]: 2 errors, 1 warning (GS003, GS011, GS020)`.
     pub fn summary(&self) -> String {
@@ -307,6 +413,50 @@ mod tests {
         assert_eq!(r.error_count(), 1);
         assert_eq!(r.warning_count(), 1);
         assert!(r.summary().contains("GS011"));
+    }
+
+    #[test]
+    fn codes_parse_and_self_describe() {
+        assert_eq!(Code::parse("GS011"), Some(Code::OutOfBounds));
+        assert_eq!(Code::parse("gs3"), Some(Code::Divisibility));
+        assert_eq!(Code::parse("25"), Some(Code::Incomplete));
+        assert_eq!(Code::parse("GS099"), None);
+        assert_eq!(Code::parse("bogus"), None);
+        for c in Code::ALL {
+            assert_eq!(Code::parse(c.as_str()), Some(c), "{c} round-trips");
+            assert!(!c.description().is_empty());
+            assert!(!c.example().is_empty());
+        }
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedupes() {
+        let mut r = Report {
+            op_label: "op".into(),
+            schedule: "s".into(),
+            gpu: None,
+            diagnostics: vec![
+                Diagnostic::new(Code::WriteGap, "race", "dim 1: gap"),
+                Diagnostic::new(Code::OutOfBounds, "bounds", "dim 1: oob"),
+                Diagnostic::new(Code::OutOfBounds, "bounds", "dim 0: oob"),
+                Diagnostic::new(Code::OutOfBounds, "symbolic", "dim 0: oob"),
+            ],
+        };
+        r.normalize();
+        let keys: Vec<(Code, &str)> = r
+            .diagnostics
+            .iter()
+            .map(|d| (d.code, d.message.as_str()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                (Code::OutOfBounds, "dim 0: oob"),
+                (Code::OutOfBounds, "dim 1: oob"),
+                (Code::WriteGap, "dim 1: gap"),
+            ],
+            "sorted by (code, message); identical findings collapsed"
+        );
     }
 
     #[test]

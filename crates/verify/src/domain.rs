@@ -1,0 +1,767 @@
+//! The dataflow engine: abstract domains and the fixpoint driver.
+//!
+//! Everything symbolic in this crate is built from three pieces:
+//!
+//! * [`Lattice`] — the algebra an abstract domain must provide (bottom,
+//!   join, widen, order);
+//! * [`Interval`] × [`Congruence`] — the reduced product used for
+//!   loop-nest index expressions: an unsigned range plus a divisibility
+//!   class `value ≡ r (mod m)`, each tightening the other via
+//!   [`AbsVal::reduce`];
+//! * [`fixpoint`] — the generic ascending-chain driver with widening and
+//!   an iteration budget, used for loop collecting semantics and for the
+//!   product reduction itself.
+//!
+//! Widening follows a power-of-two threshold ladder plus any caller
+//! thresholds (classic threshold widening seeded from program constants:
+//! loop bounds land exactly on their guard instead of overshooting to ⊤).
+//! The ladder is finite, so every widened chain stabilises — the property
+//! suite drives the engine with randomized transfer functions and asserts
+//! convergence inside [`FIXPOINT_BUDGET`].
+
+/// Iterations the driver may spend before declaring divergence. The
+/// widening ladder has < 70 rungs per interval endpoint and the
+/// congruence modulus strictly gcd-descends, so honest domains converge
+/// far below this.
+pub const FIXPOINT_BUDGET: usize = 256;
+
+/// The algebra every abstract domain provides to the engine.
+pub trait Lattice: Clone + PartialEq {
+    /// The least element (empty set of concrete values).
+    fn bottom() -> Self;
+    /// Least upper bound.
+    fn join(&self, other: &Self) -> Self;
+    /// Widening: an upper bound of `self ∨ other` chosen from a finite
+    /// ladder, guaranteeing ascending chains stabilise.
+    fn widen(&self, other: &Self) -> Self;
+    /// Partial order: does `self` describe a subset of `other`?
+    fn leq(&self, other: &Self) -> bool;
+}
+
+/// Outcome of a [`fixpoint`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fixpoint<T> {
+    /// A post-fixpoint, reached after this many transfer applications.
+    Reached(T, usize),
+    /// The budget ran out first; the carried value is a sound over-
+    /// approximation only if the caller's transfer was monotone, so
+    /// treat it as ⊤-like and fail safe.
+    Budget(T),
+}
+
+impl<T> Fixpoint<T> {
+    /// The carried value, however the run ended.
+    pub fn value(self) -> T {
+        match self {
+            Fixpoint::Reached(v, _) => v,
+            Fixpoint::Budget(v) => v,
+        }
+    }
+
+    /// Whether a true post-fixpoint was reached inside the budget.
+    pub fn converged(&self) -> bool {
+        matches!(self, Fixpoint::Reached(..))
+    }
+}
+
+/// Ascending-chain iteration with a custom widening operator:
+/// `x ← widen(x, x ∨ f(x))` until `f(x) ≤ x` or the budget is spent.
+pub fn fixpoint_with<T, F, W>(seed: T, budget: usize, transfer: F, widen: W) -> Fixpoint<T>
+where
+    T: Lattice,
+    F: Fn(&T) -> T,
+    W: Fn(&T, &T) -> T,
+{
+    let mut cur = seed;
+    for iters in 0..budget {
+        let step = transfer(&cur);
+        if step.leq(&cur) {
+            return Fixpoint::Reached(cur, iters);
+        }
+        let next = widen(&cur, &cur.join(&step));
+        debug_assert!(cur.leq(&next), "widening must ascend");
+        cur = next;
+    }
+    Fixpoint::Budget(cur)
+}
+
+/// [`fixpoint_with`] using the domain's own [`Lattice::widen`].
+pub fn fixpoint<T: Lattice>(seed: T, budget: usize, transfer: impl Fn(&T) -> T) -> Fixpoint<T> {
+    fixpoint_with(seed, budget, transfer, |a: &T, b: &T| a.widen(b))
+}
+
+// ---------------------------------------------------------------------------
+// Interval domain
+// ---------------------------------------------------------------------------
+
+/// An unsigned range `[lo, hi]`; empty (`lo > hi`) is bottom. Arithmetic
+/// saturates at `u64::MAX`, which the order treats as "unbounded above".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+}
+
+impl Interval {
+    /// The singleton `[v, v]`.
+    pub fn constant(v: u64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// The range `[lo, hi]` (empty when `lo > hi`).
+    pub fn range(lo: u64, hi: u64) -> Interval {
+        Interval { lo, hi }
+    }
+
+    /// Every value: `[0, u64::MAX]`.
+    pub fn top() -> Interval {
+        Interval {
+            lo: 0,
+            hi: u64::MAX,
+        }
+    }
+
+    /// Whether no concrete value is described.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// `Some(v)` iff the interval is the singleton `[v, v]`.
+    pub fn as_const(&self) -> Option<u64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Pointwise saturating addition.
+    pub fn add(&self, o: &Interval) -> Interval {
+        if self.is_empty() || o.is_empty() {
+            return Self::bottom();
+        }
+        Interval {
+            lo: self.lo.saturating_add(o.lo),
+            hi: self.hi.saturating_add(o.hi),
+        }
+    }
+
+    /// Pointwise saturating multiplication (both operands unsigned, so
+    /// the extremes are the endpoint products).
+    pub fn mul(&self, o: &Interval) -> Interval {
+        if self.is_empty() || o.is_empty() {
+            return Self::bottom();
+        }
+        Interval {
+            lo: self.lo.saturating_mul(o.lo),
+            hi: self.hi.saturating_mul(o.hi),
+        }
+    }
+
+    /// Pointwise saturating subtraction (monotone in the minuend,
+    /// antitone in the subtrahend).
+    pub fn saturating_sub(&self, o: &Interval) -> Interval {
+        if self.is_empty() || o.is_empty() {
+            return Self::bottom();
+        }
+        Interval {
+            lo: self.lo.saturating_sub(o.hi),
+            hi: self.hi.saturating_sub(o.lo),
+        }
+    }
+
+    /// `⌈self / o⌉` pointwise; divisor values of 0 are ignored (the
+    /// callers' gates prove divisors positive before any division).
+    pub fn div_ceil(&self, o: &Interval) -> Interval {
+        if self.is_empty() || o.is_empty() || o.hi == 0 {
+            return Self::bottom();
+        }
+        Interval {
+            lo: self.lo.div_ceil(o.hi),
+            hi: self.hi.div_ceil(o.lo.max(1)),
+        }
+    }
+
+    /// `min(self, o)` pointwise (monotone in both arguments).
+    pub fn min(&self, o: &Interval) -> Interval {
+        if self.is_empty() || o.is_empty() {
+            return Self::bottom();
+        }
+        Interval {
+            lo: self.lo.min(o.lo),
+            hi: self.hi.min(o.hi),
+        }
+    }
+
+    /// `next_power_of_two` pointwise (monotone; saturates like the
+    /// concrete operator would overflow).
+    pub fn next_power_of_two(&self) -> Interval {
+        if self.is_empty() {
+            return Self::bottom();
+        }
+        let np2 = |v: u64| v.checked_next_power_of_two().unwrap_or(u64::MAX);
+        Interval {
+            lo: np2(self.lo),
+            hi: np2(self.hi),
+        }
+    }
+
+    /// Intersection — the meet.
+    pub fn meet(&self, o: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(o.lo),
+            hi: self.hi.min(o.hi),
+        }
+    }
+
+    /// Widen `self → next` against the power-of-two ladder plus the
+    /// caller's `thresholds` (loop guards, extent bounds): an escaping
+    /// upper bound jumps to the smallest threshold that still contains
+    /// it, instead of straight to `u64::MAX`.
+    pub fn widen_to(&self, next: &Interval, thresholds: &[u64]) -> Interval {
+        if self.is_empty() {
+            return *next;
+        }
+        if next.is_empty() {
+            return *self;
+        }
+        let lo = if next.lo < self.lo { 0 } else { self.lo };
+        let hi = if next.hi > self.hi {
+            ladder(next.hi, thresholds)
+        } else {
+            self.hi
+        };
+        Interval { lo, hi }
+    }
+}
+
+/// Smallest rung ≥ `v` among the pow2 ladder ∪ `thresholds`.
+fn ladder(v: u64, thresholds: &[u64]) -> u64 {
+    let mut best = u64::MAX;
+    for &t in thresholds {
+        if t >= v && t < best {
+            best = t;
+        }
+    }
+    let pow2 = v.checked_next_power_of_two().unwrap_or(u64::MAX);
+    best.min(pow2.max(v))
+}
+
+impl Lattice for Interval {
+    fn bottom() -> Self {
+        Interval { lo: 1, hi: 0 }
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    fn widen(&self, other: &Self) -> Self {
+        self.widen_to(other, &[])
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.is_empty() || (!other.is_empty() && other.lo <= self.lo && self.hi <= other.hi)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Congruence domain
+// ---------------------------------------------------------------------------
+
+/// A divisibility class `value ≡ rem (mod modulus)`.
+///
+/// `modulus == 0` encodes the constant `rem`; `modulus == 1` is ⊤ (no
+/// divisibility information). There is no bottom — emptiness lives in the
+/// interval component of the product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Congruence {
+    /// 0 = exactly `rem`; 1 = anything; m ≥ 2 = the class `rem mod m`.
+    pub modulus: u64,
+    /// Canonical representative (`rem < modulus` when `modulus ≥ 2`).
+    pub rem: u64,
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Congruence {
+    /// The constant `v`.
+    pub fn constant(v: u64) -> Congruence {
+        Congruence { modulus: 0, rem: v }
+    }
+
+    /// Any multiple of `m` (`m == 0` degenerates to the constant 0).
+    pub fn multiple_of(m: u64) -> Congruence {
+        if m == 0 {
+            Congruence::constant(0)
+        } else {
+            Congruence { modulus: m, rem: 0 }
+        }
+    }
+
+    /// No information.
+    pub fn top() -> Congruence {
+        Congruence { modulus: 1, rem: 0 }
+    }
+
+    fn canon(modulus: u64, rem: u64) -> Congruence {
+        match modulus {
+            0 => Congruence { modulus: 0, rem },
+            m => Congruence {
+                modulus: m,
+                rem: rem % m,
+            },
+        }
+    }
+
+    /// Least upper bound: the coarsest class containing both.
+    pub fn join(&self, o: &Congruence) -> Congruence {
+        match (self.modulus, o.modulus) {
+            (0, 0) if self.rem == o.rem => *self,
+            (0, 0) => Self::canon(self.rem.abs_diff(o.rem), self.rem),
+            (0, _) => o.join_const(self.rem),
+            (_, 0) => self.join_const(o.rem),
+            (m1, m2) => Self::canon(
+                gcd_nonzero2(gcd(m1, m2), self.rem.abs_diff(o.rem)),
+                self.rem,
+            ),
+        }
+    }
+
+    /// Join with the constant `k` (`self.modulus ≥ 1`).
+    fn join_const(&self, k: u64) -> Congruence {
+        let m = self.modulus.max(1);
+        Self::canon(gcd_nonzero2(m, k.abs_diff(self.rem % m)), self.rem)
+    }
+
+    /// Abstract addition.
+    pub fn add(&self, o: &Congruence) -> Congruence {
+        match (self.modulus, o.modulus) {
+            (0, 0) => Congruence::constant(self.rem.saturating_add(o.rem)),
+            (m1, m2) => Self::canon(gcd_nonzero2(m1, m2).max(1), self.rem.wrapping_add(o.rem)),
+        }
+    }
+
+    /// Abstract multiplication:
+    /// `(a + k·m1)(b + j·m2) ≡ ab (mod gcd(m1·m2, m1·b, m2·a))`,
+    /// with 0 terms meaning "no constraint from this factor".
+    pub fn mul(&self, o: &Congruence) -> Congruence {
+        if self.modulus == 0 && o.modulus == 0 {
+            return Congruence::constant(self.rem.saturating_mul(o.rem));
+        }
+        if (self.modulus == 0 && self.rem == 0) || (o.modulus == 0 && o.rem == 0) {
+            return Congruence::constant(0);
+        }
+        let m = [
+            self.modulus.saturating_mul(o.modulus),
+            self.modulus.saturating_mul(o.rem),
+            o.modulus.saturating_mul(self.rem),
+        ]
+        .into_iter()
+        .fold(0, gcd_nonzero2);
+        Self::canon(m.max(1), self.rem.wrapping_mul(o.rem))
+    }
+
+    /// Does the class contain `v`?
+    pub fn contains(&self, v: u64) -> bool {
+        match self.modulus {
+            0 => v == self.rem,
+            m => v % m == self.rem % m,
+        }
+    }
+
+    /// Partial order: is every member of `self` a member of `other`?
+    pub fn leq(&self, o: &Congruence) -> bool {
+        match (self.modulus, o.modulus) {
+            (_, 1) => true,
+            (0, _) => o.contains(self.rem),
+            (m1, m2) => m2 != 0 && m1 % m2 == 0 && self.rem % m2 == o.rem % m2,
+        }
+    }
+}
+
+/// gcd treating 0 as "no constraint yet" rather than divisor-of-all.
+fn gcd_nonzero2(a: u64, b: u64) -> u64 {
+    match (a, b) {
+        (0, x) | (x, 0) => x,
+        (a, b) => gcd(a, b),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reduced product
+// ---------------------------------------------------------------------------
+
+/// The reduced product interval × congruence: the symbolic value of one
+/// loop-nest index (or extent) expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AbsVal {
+    /// Range component.
+    pub itv: Interval,
+    /// Divisibility component.
+    pub cong: Congruence,
+}
+
+impl AbsVal {
+    /// The singleton `v` — the instantiation the concrete verifier uses.
+    pub fn constant(v: u64) -> AbsVal {
+        AbsVal {
+            itv: Interval::constant(v),
+            cong: Congruence::constant(v),
+        }
+    }
+
+    /// `[lo, hi]` with every value a multiple of `divisor` — one bucket
+    /// dimension.
+    pub fn multiples(lo: u64, hi: u64, divisor: u64) -> AbsVal {
+        AbsVal {
+            itv: Interval::range(lo, hi),
+            cong: Congruence::multiple_of(divisor.max(1)),
+        }
+        .reduce()
+    }
+
+    /// Whether no concrete value is described.
+    pub fn is_empty(&self) -> bool {
+        self.itv.is_empty()
+    }
+
+    /// `Some(v)` iff exactly one concrete value is described.
+    pub fn as_const(&self) -> Option<u64> {
+        self.itv.as_const()
+    }
+
+    /// Inclusive upper bound.
+    pub fn hi(&self) -> u64 {
+        self.itv.hi
+    }
+
+    /// Inclusive lower bound.
+    pub fn lo(&self) -> u64 {
+        self.itv.lo
+    }
+
+    /// Mutual tightening of the two components, run through the generic
+    /// fixpoint driver: the interval endpoints snap to the congruence
+    /// class, and a collapsed interval sharpens the congruence to a
+    /// constant. The reduction transfer is contracting on a finite
+    /// ladder, so the driver converges in a couple of iterations.
+    pub fn reduce(self) -> AbsVal {
+        if self.is_empty() {
+            return AbsVal::bottom();
+        }
+        // Reduction descends, and `fixpoint` ascends — drive the dual by
+        // tracking the *complement* of tightening as a step counter.
+        let mut cur = self;
+        for _ in 0..FIXPOINT_BUDGET {
+            let next = cur.reduce_once();
+            if next == cur {
+                return cur;
+            }
+            cur = next;
+        }
+        cur
+    }
+
+    fn reduce_once(self) -> AbsVal {
+        if self.is_empty() {
+            return AbsVal::bottom();
+        }
+        let (mut lo, mut hi) = (self.itv.lo, self.itv.hi);
+        match self.cong.modulus {
+            0 => {
+                if lo <= self.cong.rem && self.cong.rem <= hi {
+                    lo = self.cong.rem;
+                    hi = self.cong.rem;
+                } else {
+                    return AbsVal::bottom();
+                }
+            }
+            1 => {}
+            m => {
+                let r = self.cong.rem % m;
+                // Snap lo up to the next member of the class…
+                let up = (r + m - lo % m) % m;
+                lo = match lo.checked_add(up) {
+                    Some(v) => v,
+                    None => return AbsVal::bottom(),
+                };
+                // …and hi down to the previous member.
+                let down = (hi % m + m - r) % m;
+                if hi < down {
+                    return AbsVal::bottom();
+                }
+                hi -= down;
+            }
+        }
+        if lo > hi {
+            return AbsVal::bottom();
+        }
+        let cong = if lo == hi {
+            Congruence::constant(lo)
+        } else {
+            self.cong
+        };
+        AbsVal {
+            itv: Interval::range(lo, hi),
+            cong,
+        }
+    }
+
+    /// Abstract `+`.
+    pub fn add(&self, o: &AbsVal) -> AbsVal {
+        AbsVal {
+            itv: self.itv.add(&o.itv),
+            cong: self.cong.add(&o.cong),
+        }
+        .reduce()
+    }
+
+    /// Abstract `·`.
+    pub fn mul(&self, o: &AbsVal) -> AbsVal {
+        AbsVal {
+            itv: self.itv.mul(&o.itv),
+            cong: self.cong.mul(&o.cong),
+        }
+        .reduce()
+    }
+
+    /// Abstract saturating `-` (congruence is kept only for constants —
+    /// saturation breaks the class algebra).
+    pub fn saturating_sub(&self, o: &AbsVal) -> AbsVal {
+        let itv = self.itv.saturating_sub(&o.itv);
+        let cong = match itv.as_const() {
+            Some(v) => Congruence::constant(v),
+            None => Congruence::top(),
+        };
+        AbsVal { itv, cong }.reduce()
+    }
+
+    /// Abstract `⌈a/b⌉` (interval-only precision).
+    pub fn div_ceil(&self, o: &AbsVal) -> AbsVal {
+        let itv = self.itv.div_ceil(&o.itv);
+        let cong = match itv.as_const() {
+            Some(v) => Congruence::constant(v),
+            None => Congruence::top(),
+        };
+        AbsVal { itv, cong }.reduce()
+    }
+
+    /// Abstract `min`.
+    pub fn min(&self, o: &AbsVal) -> AbsVal {
+        let itv = self.itv.min(&o.itv);
+        let cong = match itv.as_const() {
+            Some(v) => Congruence::constant(v),
+            None => Congruence::top(),
+        };
+        AbsVal { itv, cong }.reduce()
+    }
+
+    /// Abstract `next_power_of_two`.
+    pub fn next_power_of_two(&self) -> AbsVal {
+        let itv = self.itv.next_power_of_two();
+        let cong = match itv.as_const() {
+            Some(v) => Congruence::constant(v),
+            None => Congruence::top(),
+        };
+        AbsVal { itv, cong }.reduce()
+    }
+
+    /// Meet with an upper bound (loop-guard narrowing).
+    pub fn clamp_hi(&self, hi: u64) -> AbsVal {
+        AbsVal {
+            itv: self.itv.meet(&Interval::range(0, hi)),
+            cong: self.cong,
+        }
+        .reduce()
+    }
+}
+
+impl Lattice for AbsVal {
+    fn bottom() -> Self {
+        AbsVal {
+            itv: Interval::bottom(),
+            cong: Congruence::top(),
+        }
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        AbsVal {
+            itv: self.itv.join(&other.itv),
+            cong: self.cong.join(&other.cong),
+        }
+    }
+
+    fn widen(&self, other: &Self) -> Self {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        AbsVal {
+            itv: self.itv.widen(&other.itv),
+            // The congruence modulus gcd-descends on its own; widening
+            // adds nothing.
+            cong: self.cong.join(&other.cong),
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.is_empty() || (self.itv.leq(&other.itv) && self.cong.leq(&other.cong))
+    }
+}
+
+/// Collecting semantics of `for j in 0..trips { x += stride }` starting
+/// from `base`: the join of the index over every iteration.
+///
+/// Run as a genuine widening/narrowing pair on the engine: the ascending
+/// phase widens against the loop-guard threshold, the narrowing phase
+/// meets the post-fixpoint with the exact affine bound (the transfer is
+/// affine, so the narrowed result is the least fixpoint — bit-identical
+/// to the closed form the concrete verifier used to hard-code).
+pub fn loop_accumulate(base: &AbsVal, stride: u64, trips: &AbsVal) -> AbsVal {
+    if base.is_empty() || trips.is_empty() || trips.hi() == 0 {
+        return AbsVal::bottom();
+    }
+    if stride == 0 || trips.as_const() == Some(1) {
+        return *base;
+    }
+    let max_off = trips.hi().saturating_sub(1).saturating_mul(stride);
+    let guard = base.hi().saturating_add(max_off);
+    let fp = fixpoint_with(
+        *base,
+        FIXPOINT_BUDGET,
+        |x: &AbsVal| x.add(&AbsVal::constant(stride)).clamp_hi(guard),
+        |old: &AbsVal, new: &AbsVal| AbsVal {
+            itv: old.itv.widen_to(&new.itv, &[guard]),
+            cong: old.cong.join(&new.cong),
+        },
+    );
+    // Narrowing: the affine closed form is exact; the driver's answer is
+    // only allowed to differ by widening overshoot below the guard.
+    let joined = fp.value().join(base);
+    let exact = AbsVal {
+        itv: Interval::range(base.lo(), guard),
+        cong: joined.cong,
+    };
+    AbsVal {
+        itv: joined.itv.meet(&exact.itv),
+        cong: exact.cong,
+    }
+    .reduce()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_lattice_laws_hold_on_samples() {
+        let a = Interval::range(2, 10);
+        let b = Interval::range(6, 20);
+        assert_eq!(a.join(&b), Interval::range(2, 20));
+        assert!(a.leq(&a.join(&b)));
+        assert!(b.leq(&a.join(&b)));
+        assert!(Interval::bottom().leq(&a));
+        assert!(Interval::bottom().is_empty());
+    }
+
+    #[test]
+    fn interval_arith_is_pointwise() {
+        let a = Interval::range(2, 4);
+        let b = Interval::range(3, 5);
+        assert_eq!(a.add(&b), Interval::range(5, 9));
+        assert_eq!(a.mul(&b), Interval::range(6, 20));
+        assert_eq!(Interval::range(7, 40).div_ceil(&a), Interval::range(2, 20));
+        assert_eq!(
+            Interval::range(3, 9).next_power_of_two(),
+            Interval::range(4, 16)
+        );
+    }
+
+    #[test]
+    fn congruence_join_is_gcd() {
+        let a = Congruence::constant(12);
+        let b = Congruence::constant(20);
+        let j = a.join(&b);
+        assert!(j.contains(12) && j.contains(20) && j.contains(28));
+        assert_eq!(j.modulus, 8);
+        let m = Congruence::multiple_of(6).join(&Congruence::multiple_of(8));
+        assert_eq!(m.modulus, 2);
+    }
+
+    #[test]
+    fn congruence_arith() {
+        let a = Congruence::multiple_of(4);
+        let b = Congruence::multiple_of(6);
+        assert_eq!(a.add(&b).modulus, 2);
+        assert!(a.mul(&b).contains(24));
+        assert_eq!(a.mul(&Congruence::constant(3)).modulus, 12);
+    }
+
+    #[test]
+    fn reduced_product_snaps_endpoints() {
+        let v = AbsVal::multiples(5, 26, 8);
+        assert_eq!((v.lo(), v.hi()), (8, 24));
+        // Collapsing to one member sharpens the congruence to a constant.
+        let one = AbsVal::multiples(9, 17, 16);
+        assert_eq!(one.as_const(), Some(16));
+        // No member at all is bottom.
+        assert!(AbsVal::multiples(9, 15, 16).is_empty());
+    }
+
+    #[test]
+    fn fixpoint_converges_on_a_bounded_counter() {
+        let fp = fixpoint(AbsVal::constant(0), FIXPOINT_BUDGET, |x: &AbsVal| {
+            x.add(&AbsVal::constant(3)).clamp_hi(30)
+        });
+        assert!(fp.converged());
+        let v = fp.value();
+        assert_eq!(v.lo(), 0);
+        assert!(v.hi() >= 30, "post-fixpoint covers the loop range: {v:?}");
+    }
+
+    #[test]
+    fn loop_accumulate_matches_the_closed_form() {
+        // for b in 0..8 { idx += 32 }: idx ∈ [0, 224], multiple of 32.
+        let idx = loop_accumulate(&AbsVal::constant(0), 32, &AbsVal::constant(8));
+        assert_eq!((idx.lo(), idx.hi()), (0, 7 * 32));
+        assert!(idx.cong.contains(64) && !idx.cong.contains(65));
+        // Chained: + for t in 0..4 { idx += 8 } → [0, 224 + 24].
+        let idx = loop_accumulate(&idx, 8, &AbsVal::constant(4));
+        assert_eq!(idx.hi(), 7 * 32 + 3 * 8);
+        // One trip is the identity.
+        let same = loop_accumulate(&idx, 999, &AbsVal::constant(1));
+        assert_eq!(same, idx);
+    }
+
+    #[test]
+    fn loop_accumulate_with_symbolic_trip_count() {
+        // grid ∈ [2, 5], stride 16 → max index 4·16 = 64.
+        let trips = AbsVal::multiples(2, 5, 1);
+        let idx = loop_accumulate(&AbsVal::constant(0), 16, &trips);
+        assert_eq!((idx.lo(), idx.hi()), (0, 64));
+    }
+}

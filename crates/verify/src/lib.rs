@@ -23,14 +23,23 @@
 
 pub mod bounds;
 pub mod diag;
+pub mod domain;
 pub mod invariants;
 pub mod lints;
 pub mod pass;
+pub mod provenance;
 pub mod race;
+pub mod sarif;
+pub mod symbolic;
+pub mod verdict;
 pub mod verifier;
 
 pub use diag::{Code, Diagnostic, Report, Severity};
+pub use domain::{AbsVal, Congruence, Interval, Lattice};
 pub use pass::{Ctx, Pass};
+pub use provenance::{BoundaryPolicy, Provenance, Requirement};
+pub use symbolic::{verify_bucket, DimRange, ShapeBucket};
+pub use verdict::{VerdictCache, VerdictStats, VERIFIER_EPOCH};
 pub use verifier::{verify_schedule, Verifier};
 
 /// A schedule refused by the verifier: the typed rejection carried in

@@ -1,0 +1,120 @@
+//! SARIF 2.1.0 export: verifier findings in the interchange format CI
+//! services ingest to annotate pull requests.
+//!
+//! The mapping is deliberately minimal and stable:
+//!
+//! * one `run` per export, with the full GS-code registry
+//!   ([`crate::diag::Code::ALL`]) as the tool's `rules` (id,
+//!   description, default severity);
+//! * one `result` per diagnostic, `ruleId` = the GS code, `level` =
+//!   `error`/`warning`/`note`, and the schedule identity carried as a
+//!   logical location (SARIF's physical locations assume source files,
+//!   which schedules do not have).
+
+use crate::diag::{Code, Report, Severity};
+use serde_json::{json, Value};
+
+/// SARIF `level` for a severity.
+fn level(s: Severity) -> &'static str {
+    match s {
+        Severity::Error => "error",
+        Severity::Warn => "warning",
+        Severity::Info => "note",
+    }
+}
+
+/// Render a batch of reports as one SARIF 2.1.0 document.
+pub fn to_sarif(reports: &[Report]) -> Value {
+    let rules: Vec<Value> = Code::ALL
+        .into_iter()
+        .map(|c| {
+            json!({
+                "id": c.as_str(),
+                "shortDescription": json!({ "text": c.description() }),
+                "helpUri": "https://example.invalid/gensor/DESIGN.md#9",
+                "defaultConfiguration": json!({ "level": level(c.severity()) })
+            })
+        })
+        .collect();
+    let results: Vec<Value> = reports
+        .iter()
+        .flat_map(|r| {
+            r.diagnostics.iter().map(move |d| {
+                let logical = json!({
+                    "name": r.op_label,
+                    "fullyQualifiedName": format!("{} :: {}", r.op_label, r.schedule),
+                    "kind": "schedule"
+                });
+                json!({
+                    "ruleId": d.code.as_str(),
+                    "level": level(d.severity()),
+                    "message": json!({ "text": format!("{}: {}", r.op_label, d.message) }),
+                    "locations": json!([json!({ "logicalLocations": json!([logical]) })]),
+                    "partialFingerprints": json!({
+                        "schedule": r.schedule,
+                        "pass": d.pass
+                    })
+                })
+            })
+        })
+        .collect();
+    let driver = json!({
+        "name": "gensor-verify",
+        "informationUri": "https://example.invalid/gensor",
+        "rules": Value::Array(rules)
+    });
+    let run = json!({
+        "tool": json!({ "driver": driver }),
+        "results": Value::Array(results)
+    });
+    json!({
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": json!([run])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verifier::verify_schedule;
+    use etir::Etir;
+    use hardware::GpuSpec;
+    use tensor_expr::OpSpec;
+
+    #[test]
+    fn sarif_document_has_rules_and_results() {
+        let spec = GpuSpec::rtx4090();
+        let mut e = Etir::initial(OpSpec::gemm(8, 64, 8), &spec);
+        e.smem_tile[0] = 32;
+        e.reg_tile[0] = 2;
+        e.vthreads[0] = 2;
+        let reports = vec![
+            verify_schedule(&Etir::initial(OpSpec::gemm(256, 256, 256), &spec), None),
+            verify_schedule(&e, None),
+        ];
+        let doc = to_sarif(&reports);
+        assert_eq!(doc["version"].as_str(), Some("2.1.0"));
+        let run = &doc["runs"][0];
+        assert_eq!(
+            run["tool"]["driver"]["rules"].as_array().unwrap().len(),
+            Code::ALL.len()
+        );
+        let results = run["results"].as_array().unwrap();
+        assert!(!results.is_empty(), "the bad schedule contributes results");
+        assert!(
+            results
+                .iter()
+                .any(|r| r["ruleId"].as_str() == Some("GS011")),
+            "{results:?}"
+        );
+        for r in results {
+            assert!(r["message"]["text"].as_str().unwrap().contains("GEMM"));
+        }
+        // Deterministic: same reports, same bytes.
+        assert_eq!(
+            serde_json::to_string(&doc).unwrap(),
+            serde_json::to_string(&to_sarif(&reports)).unwrap()
+        );
+    }
+}

@@ -1,0 +1,619 @@
+//! Symbolic bucket verification: one abstract-interpretation run proves
+//! GS010–GS014 for every concrete shape in a dynamic-shape *bucket*.
+//!
+//! A [`ShapeBucket`] abstracts the operator extents as interval ×
+//! congruence values ([`crate::domain::AbsVal`]): each dimension is
+//! `[lo, hi]` with every member a multiple of `divisor`. The schedule
+//! parameters stay concrete — a bucket shares one schedule template across
+//! shapes, which is exactly the dynamic-shape serving scenario.
+//!
+//! The only extent-dependent nonlinearity in lowering is the tile clamp
+//! `T = min(smem_tile, next_pow2(extent))`: it takes finitely many values
+//! over any extent range (one per power-of-two class). The evaluator
+//! therefore partitions each bucket dimension into its pow2 classes and,
+//! per class, runs the same four-level loop collecting semantics
+//! ([`index_range`]) the concrete [`crate::bounds::BoundsPass`] uses with
+//! singleton inputs — the concrete verifier is literally the one-point
+//! instantiation of this evaluator, which is what makes the bucket proof
+//! transfer: a clean bucket report implies a clean concrete report for
+//! every shape the bucket [`ShapeBucket::contains`].
+//!
+//! Checks proven per class (≤ ~64 classes per dimension, so "once per
+//! bucket" in practice):
+//!
+//! * GS003 — the extent-clamped tile still divides by reg·vthread;
+//! * GS010 — padded extent covers the true extent (holds by construction
+//!   of `grid = ⌈ext/T⌉`; the evaluator re-derives rather than assumes);
+//! * GS011 — the maximum global index stays inside the padded extent;
+//! * GS012 — nest volume: the derived volume is `Π gridᵢ·Tᵢ · Π steps·t`
+//!   by the same construction lowering uses, so a divergence is
+//!   impossible once GS003 holds (documented, not re-checked);
+//! * GS013/GS014 — write disjointness: the per-tile lane map
+//!   `(v·td + t)·r + rr` is the mixed-radix enumeration of
+//!   `[0, v·td·r)`, so it is bijective onto the tile iff `v·td·r = T`;
+//!   `> T` is an overlap, `< T` a gap — the same criterion
+//!   [`crate::race::RacePass`] proves by enumeration on small tiles;
+//! * GS004 — reduce tiles are sane for every extent in the class.
+//!
+//! Capacity (GS007–GS009) and performance lints stay per concrete shape:
+//! they depend on the device spec and are cheap relative to bounds/race.
+
+use crate::diag::{Code, Diagnostic, Report};
+use crate::domain::{loop_accumulate, AbsVal, Interval, Lattice};
+use etir::Etir;
+use tensor_expr::{OpClass, OpSpec};
+
+/// Pass name the bucket evaluator reports under.
+pub const SYMBOLIC_PASS: &str = "symbolic";
+
+/// One bucket dimension: extents in `[lo, hi]`, all multiples of
+/// `divisor`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DimRange {
+    /// Smallest extent in the bucket (≥ 1).
+    pub lo: u64,
+    /// Largest extent in the bucket.
+    pub hi: u64,
+    /// Every extent in the bucket is a multiple of this (≥ 1).
+    pub divisor: u64,
+}
+
+impl DimRange {
+    /// The range `[lo, hi]` with no divisibility constraint.
+    pub fn range(lo: u64, hi: u64) -> DimRange {
+        DimRange { lo, hi, divisor: 1 }
+    }
+
+    /// The abstract value of this dimension's extent.
+    pub fn abs(&self) -> AbsVal {
+        AbsVal::multiples(self.lo.max(1), self.hi, self.divisor.max(1))
+    }
+
+    /// Does `ext` fall in this dimension's range and divisibility class?
+    pub fn contains(&self, ext: u64) -> bool {
+        self.lo <= ext && ext <= self.hi && ext.is_multiple_of(self.divisor.max(1))
+    }
+}
+
+/// A dynamic-shape bucket: one operator class, abstract extents.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ShapeBucket {
+    /// Operator class every member shares.
+    pub class: OpClass,
+    /// Per-spatial-dimension extent ranges.
+    pub spatial: Vec<DimRange>,
+    /// Per-reduce-dimension extent ranges.
+    pub reduce: Vec<DimRange>,
+}
+
+impl ShapeBucket {
+    /// The smallest bucket covering all of `ops`: per-dimension
+    /// `[min, max]` with the gcd of the observed extents as divisor.
+    /// `None` when the set is empty or mixes classes/ranks.
+    pub fn cover<'a>(ops: impl IntoIterator<Item = &'a OpSpec>) -> Option<ShapeBucket> {
+        let mut bucket: Option<ShapeBucket> = None;
+        for op in ops {
+            let (sp, rd) = (op.spatial_extents(), op.reduce_extents());
+            match &mut bucket {
+                None => {
+                    bucket = Some(ShapeBucket {
+                        class: op.class(),
+                        spatial: sp.iter().map(|&e| dim_seed(e)).collect(),
+                        reduce: rd.iter().map(|&e| dim_seed(e)).collect(),
+                    });
+                }
+                Some(b) => {
+                    if b.class != op.class()
+                        || b.spatial.len() != sp.len()
+                        || b.reduce.len() != rd.len()
+                    {
+                        return None;
+                    }
+                    for (d, &e) in b
+                        .spatial
+                        .iter_mut()
+                        .chain(b.reduce.iter_mut())
+                        .zip(sp.iter().chain(rd.iter()))
+                    {
+                        d.lo = d.lo.min(e);
+                        d.hi = d.hi.max(e);
+                        d.divisor = gcd(d.divisor, e);
+                    }
+                }
+            }
+        }
+        bucket
+    }
+
+    /// Is `op` a member of this bucket?
+    pub fn contains(&self, op: &OpSpec) -> bool {
+        let (sp, rd) = (op.spatial_extents(), op.reduce_extents());
+        op.class() == self.class
+            && sp.len() == self.spatial.len()
+            && rd.len() == self.reduce.len()
+            && self.spatial.iter().zip(&sp).all(|(d, &e)| d.contains(e))
+            && self.reduce.iter().zip(&rd).all(|(d, &e)| d.contains(e))
+    }
+
+    /// Human-readable shape summary, e.g. `[64..1024/64, 256, 128..512/128]`.
+    pub fn describe(&self) -> String {
+        let dim = |d: &DimRange| {
+            if d.lo == d.hi {
+                format!("{}", d.lo)
+            } else if d.divisor > 1 {
+                format!("{}..{}/{}", d.lo, d.hi, d.divisor)
+            } else {
+                format!("{}..{}", d.lo, d.hi)
+            }
+        };
+        let sp: Vec<String> = self.spatial.iter().map(dim).collect();
+        let rd: Vec<String> = self.reduce.iter().map(dim).collect();
+        format!(
+            "{}[{}; red {}]",
+            self.class.name(),
+            sp.join(","),
+            rd.join(",")
+        )
+    }
+}
+
+fn dim_seed(e: u64) -> DimRange {
+    DimRange {
+        lo: e,
+        hi: e,
+        divisor: e.max(1),
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Concrete schedule parameters of one spatial dimension — everything the
+/// symbolic evaluator needs besides the (abstract) extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DimParams {
+    /// Raw (unclamped) shared-memory tile.
+    pub tile: u64,
+    /// Register tile.
+    pub reg: u64,
+    /// Virtual threads.
+    pub vthreads: u64,
+    /// Thread-block extent along this dim, derived from the *raw* tile
+    /// exactly as lowering does.
+    pub thread_dims: u64,
+}
+
+impl DimParams {
+    /// Read dimension `i`'s parameters out of a schedule state.
+    pub fn of(e: &Etir, i: usize) -> DimParams {
+        let (s, r, v) = (e.smem_tile[i], e.reg_tile[i], e.vthreads[i]);
+        DimParams {
+            tile: s,
+            reg: r,
+            vthreads: v,
+            thread_dims: s / (r * v).max(1),
+        }
+    }
+
+    /// Lanes claimed per block tile: `vthreads · thread_dims · reg`.
+    pub fn lanes(&self) -> u64 {
+        self.vthreads
+            .saturating_mul(self.thread_dims)
+            .saturating_mul(self.reg)
+    }
+}
+
+/// Everything the evaluator proves about one spatial dimension, joined
+/// over all pow2 clamp classes of the extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpatialFacts {
+    /// Extent-clamped block tile `min(tile, next_pow2(ext))`.
+    pub tile: AbsVal,
+    /// Grid extent `⌈ext / T⌉`.
+    pub grid: AbsVal,
+    /// Padded extent `grid · T`.
+    pub padded: AbsVal,
+    /// Maximum global index any lane computes.
+    pub max_index: AbsVal,
+}
+
+/// Collecting semantics of the four-level index loop for one dimension:
+///
+/// ```text
+/// for block in 0..grid     { idx += T        }   // grid stride = tile
+/// for v     in 0..vthreads { idx += td · reg }   // vthread stride
+/// for t     in 0..td       { idx += reg      }   // thread stride
+/// for rr    in 0..reg      { idx += 1        }   // register stride
+/// ```
+///
+/// Each level runs through the engine's widening/narrowing fixpoint
+/// ([`loop_accumulate`]); with singleton inputs the result is exactly the
+/// closed form `(g−1)·T + ((v−1)·td + (td−1))·r + (r−1)` the concrete
+/// bounds pass historically hard-coded.
+pub fn index_range(tile: u64, grid: &AbsVal, p: &DimParams) -> AbsVal {
+    let (v, td, r) = (p.vthreads.max(1), p.thread_dims.max(1), p.reg.max(1));
+    let mut idx = AbsVal::constant(0);
+    idx = loop_accumulate(&idx, tile, grid);
+    idx = loop_accumulate(&idx, td * r, &AbsVal::constant(v));
+    idx = loop_accumulate(&idx, r, &AbsVal::constant(td));
+    idx = loop_accumulate(&idx, 1, &AbsVal::constant(r));
+    idx
+}
+
+/// Partition an extent range into its power-of-two clamp classes: all
+/// extents `e` with `next_pow2(e) = p` share one class `(p/2, p]`, so the
+/// clamped tile is constant inside a class. Returns `(p, class)` pairs.
+pub fn np2_classes(ext: &AbsVal) -> Vec<(u64, AbsVal)> {
+    let mut out = Vec::new();
+    if ext.is_empty() {
+        return out;
+    }
+    let mut p = ext
+        .lo()
+        .max(1)
+        .checked_next_power_of_two()
+        .unwrap_or(u64::MAX);
+    loop {
+        let class_lo = if p <= 1 { 1 } else { p / 2 + 1 };
+        let cls = AbsVal {
+            itv: ext.itv.meet(&Interval::range(class_lo, p)),
+            cong: ext.cong,
+        }
+        .reduce();
+        if !cls.is_empty() {
+            out.push((p, cls));
+        }
+        if p >= ext.hi() || p == u64::MAX {
+            break;
+        }
+        p = p.saturating_mul(2);
+    }
+    out
+}
+
+/// Evaluate one clamp class: the tile is the constant `min(tile, p)`.
+pub fn class_facts(p: &DimParams, pow2: u64, class: &AbsVal) -> SpatialFacts {
+    let t = p.tile.min(pow2).max(1);
+    let tile = AbsVal::constant(t);
+    let grid = class.div_ceil(&tile);
+    let padded = grid.mul(&tile);
+    SpatialFacts {
+        tile,
+        grid,
+        padded,
+        max_index: index_range(t, &grid, p),
+    }
+}
+
+/// Facts for a whole extent range: the join over its clamp classes.
+pub fn eval_spatial(p: &DimParams, ext: &AbsVal) -> SpatialFacts {
+    let mut acc: Option<SpatialFacts> = None;
+    for (pow2, class) in np2_classes(ext) {
+        let f = class_facts(p, pow2, &class);
+        acc = Some(match acc {
+            None => f,
+            Some(a) => SpatialFacts {
+                tile: a.tile.join(&f.tile),
+                grid: a.grid.join(&f.grid),
+                padded: a.padded.join(&f.padded),
+                max_index: a.max_index.join(&f.max_index),
+            },
+        });
+    }
+    acc.unwrap_or(SpatialFacts {
+        tile: AbsVal::bottom(),
+        grid: AbsVal::bottom(),
+        padded: AbsVal::bottom(),
+        max_index: AbsVal::bottom(),
+    })
+}
+
+/// Verify a schedule template against every concrete shape in `bucket`
+/// at once. The report's legality transfers: if it is legal, the concrete
+/// verifier (structural + bounds + race, i.e. the spec-independent
+/// pipeline) is legal for every member shape; if it carries an error,
+/// at least one member shape fails concretely — the class ranges in the
+/// messages say which.
+pub fn verify_bucket(e: &Etir, bucket: &ShapeBucket) -> Report {
+    let _sp = obs::span!("verify.bucket", bucket = bucket.describe());
+    obs::counter_inc!(
+        "gensor_verify_bucket_runs_total",
+        "Symbolic bucket verifications run"
+    );
+    let mut out: Vec<Diagnostic> = Vec::new();
+    let p = SYMBOLIC_PASS;
+    let finish = |diagnostics: Vec<Diagnostic>| {
+        let mut report = Report {
+            op_label: bucket.describe(),
+            schedule: e.describe(),
+            gpu: None,
+            diagnostics,
+        };
+        report.normalize();
+        report
+    };
+    let has_error = |out: &[Diagnostic]| {
+        out.iter()
+            .any(|d| d.severity() == crate::diag::Severity::Error)
+    };
+
+    // Extent-independent structural gate (mirrors GS001–GS006 on the raw
+    // state; rank mismatch short-circuits like the concrete gate).
+    if e.smem_tile.len() != bucket.spatial.len()
+        || e.reg_tile.len() != bucket.spatial.len()
+        || e.vthreads.len() != bucket.spatial.len()
+        || e.reduce_tile.len() != bucket.reduce.len()
+    {
+        out.push(Diagnostic::new(
+            Code::RankMismatch,
+            p,
+            format!(
+                "schedule ranks (smem {}, reg {}, vthread {}, reduce {}) do not match \
+                 bucket ranks ({} spatial, {} reduce)",
+                e.smem_tile.len(),
+                e.reg_tile.len(),
+                e.vthreads.len(),
+                e.reduce_tile.len(),
+                bucket.spatial.len(),
+                bucket.reduce.len()
+            ),
+        ));
+        return finish(out);
+    }
+    for i in 0..bucket.spatial.len() {
+        let (s, r, v) = (e.smem_tile[i], e.reg_tile[i], e.vthreads[i]);
+        if s == 0 || r == 0 || v == 0 {
+            out.push(Diagnostic::new(
+                Code::ZeroTile,
+                p,
+                format!("dim {i}: zero tile (smem {s}, reg {r}, vthread {v})"),
+            ));
+        } else if s % (r * v) != 0 {
+            out.push(Diagnostic::new(
+                Code::Divisibility,
+                p,
+                format!(
+                    "dim {i}: smem tile {s} not divisible by reg·vthread {}",
+                    r * v
+                ),
+            ));
+        }
+    }
+    for (j, &t) in e.reduce_tile.iter().enumerate() {
+        if t == 0 {
+            out.push(Diagnostic::new(
+                Code::ZeroTile,
+                p,
+                format!("reduce dim {j}: zero reduce tile"),
+            ));
+        }
+    }
+    if e.unroll == 0 || !e.unroll.is_power_of_two() {
+        out.push(Diagnostic::new(
+            Code::BadUnroll,
+            p,
+            format!("unroll factor {} is not a positive power of two", e.unroll),
+        ));
+    }
+    if e.cur_level > e.num_levels {
+        out.push(Diagnostic::new(
+            Code::LevelOutOfRange,
+            p,
+            format!(
+                "cur_level {} exceeds the {} schedulable levels",
+                e.cur_level, e.num_levels
+            ),
+        ));
+    }
+    if has_error(&out) {
+        return finish(out); // unsafe to evaluate — mirrors the concrete gate
+    }
+
+    // Spatial dimensions, one clamp class at a time.
+    for (i, dim) in bucket.spatial.iter().enumerate() {
+        let params = DimParams::of(e, i);
+        let lanes = params.lanes();
+        let rv = (params.reg * params.vthreads).max(1);
+        for (pow2, class) in np2_classes(&dim.abs()) {
+            let t = params.tile.min(pow2).max(1);
+            let span = format!("extents {}..={}", class.lo(), class.hi());
+            if t != params.tile && t % rv != 0 {
+                out.push(Diagnostic::new(
+                    Code::Divisibility,
+                    p,
+                    format!(
+                        "dim {i}: for {span} the extent-clamped smem tile {t} (from {}) \
+                         is not divisible by reg·vthread {rv}",
+                        params.tile
+                    ),
+                ));
+                continue;
+            }
+            let facts = class_facts(&params, pow2, &class);
+            // GS010: ⌈e/T⌉·T ≥ e — re-derived, not assumed.
+            if facts.padded.lo() < class.lo() {
+                out.push(Diagnostic::new(
+                    Code::CoverageGap,
+                    p,
+                    format!(
+                        "dim {i}: for {span} padded extent {} may fall short of the extent",
+                        facts.padded.lo()
+                    ),
+                ));
+            }
+            if lanes > t {
+                out.push(Diagnostic::new(
+                    Code::OutOfBounds,
+                    p,
+                    format!(
+                        "dim {i}: for {span} the clamp caps the tile at {t} but \
+                         vt·td·reg claims {lanes} lanes — max index {} reaches past \
+                         padded extent {}",
+                        facts.max_index.hi(),
+                        facts.padded.lo()
+                    ),
+                ));
+                out.push(Diagnostic::new(
+                    Code::WriteOverlap,
+                    p,
+                    format!(
+                        "dim {i}: for {span} {lanes} lanes claim a {t}-wide tile — \
+                         lanes collide"
+                    ),
+                ));
+            } else if lanes < t {
+                out.push(Diagnostic::new(
+                    Code::WriteGap,
+                    p,
+                    format!(
+                        "dim {i}: for {span} {lanes} lanes underclaim the {t}-wide \
+                         tile — {} elements unwritten per tile",
+                        t - lanes
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Reduce dimensions: the staged tile must be sane for every extent.
+    for (j, dim) in bucket.reduce.iter().enumerate() {
+        let rt = e.reduce_tile[j];
+        for (pow2, class) in np2_classes(&dim.abs()) {
+            if rt > pow2 {
+                out.push(Diagnostic::new(
+                    Code::ReduceTile,
+                    p,
+                    format!(
+                        "reduce dim {j}: tile {rt} absurdly exceeds extents \
+                         {}..={}",
+                        class.lo(),
+                        class.hi()
+                    ),
+                ));
+            }
+        }
+    }
+
+    if has_error(&out) {
+        obs::counter_inc!(
+            "gensor_verify_bucket_rejected_total",
+            "Symbolic bucket verifications that found at least one error"
+        );
+    }
+    finish(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etir::LoopNest;
+    use hardware::GpuSpec;
+
+    #[test]
+    fn bucket_cover_and_membership() {
+        let ops: Vec<OpSpec> = (1..=8).map(|i| OpSpec::gemm(64 * i, 256, 128)).collect();
+        let b = ShapeBucket::cover(&ops).unwrap();
+        assert_eq!(
+            b.spatial[0],
+            DimRange {
+                lo: 64,
+                hi: 512,
+                divisor: 64
+            }
+        );
+        assert!(ops.iter().all(|op| b.contains(op)));
+        assert!(
+            !b.contains(&OpSpec::gemm(96, 256, 128)),
+            "divisor excludes 96"
+        );
+        assert!(
+            !b.contains(&OpSpec::gemm(576, 256, 128)),
+            "range excludes 576"
+        );
+        assert!(ShapeBucket::cover(&[]).is_none());
+    }
+
+    #[test]
+    fn np2_classes_partition_the_range() {
+        let ext = AbsVal::multiples(48, 200, 8);
+        let classes = np2_classes(&ext);
+        let caps: Vec<u64> = classes.iter().map(|&(p, _)| p).collect();
+        assert_eq!(caps, vec![64, 128, 256]);
+        // The classes tile the range exactly.
+        assert_eq!(classes.first().unwrap().1.lo(), 48);
+        assert_eq!(classes.last().unwrap().1.hi(), 200);
+        for w in classes.windows(2) {
+            assert!(w[0].1.hi() < w[1].1.lo());
+        }
+    }
+
+    #[test]
+    fn singleton_index_range_matches_the_closed_form() {
+        let spec = GpuSpec::rtx4090();
+        let e = Etir::initial(OpSpec::gemm(512, 256, 512), &spec);
+        let nest = LoopNest::from_etir(&e);
+        for i in 0..2 {
+            let p = DimParams::of(&e, i);
+            let (g, t) = (nest.grid[i], nest.smem_tile[i]);
+            let (v, td, r) = (nest.vthreads[i], nest.thread_dims[i], nest.reg_tile[i]);
+            let closed = (g - 1) * t + ((v - 1) * td + (td - 1)) * r + (r - 1);
+            let idx = index_range(t, &AbsVal::constant(g), &p);
+            assert_eq!(idx.hi(), closed);
+            assert_eq!(idx.lo(), 0);
+        }
+    }
+
+    #[test]
+    fn clean_bucket_verifies_clean() {
+        let spec = GpuSpec::rtx4090();
+        let ops: Vec<OpSpec> = (1..=16).map(|i| OpSpec::gemm(64 * i, 256, 512)).collect();
+        let bucket = ShapeBucket::cover(&ops).unwrap();
+        let e = Etir::initial(ops[0].clone(), &spec);
+        let report = verify_bucket(&e, &bucket);
+        assert!(report.is_legal(), "{}", report.render());
+    }
+
+    #[test]
+    fn overclaiming_template_fails_with_the_class_range_named() {
+        let spec = GpuSpec::rtx4090();
+        // Extents 8..64: the clamp caps the tile below the 32 raw lanes
+        // for the small end of the bucket.
+        let ops: Vec<OpSpec> = (1..=8).map(|i| OpSpec::gemm(8 * i, 64, 64)).collect();
+        let bucket = ShapeBucket::cover(&ops).unwrap();
+        let mut e = Etir::initial(ops.last().unwrap().clone(), &spec);
+        e.smem_tile[0] = 32;
+        e.reg_tile[0] = 2;
+        e.vthreads[0] = 2;
+        let report = verify_bucket(&e, &bucket);
+        assert!(!report.is_legal());
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == Code::OutOfBounds),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn rank_mismatch_short_circuits() {
+        let spec = GpuSpec::rtx4090();
+        let e = Etir::initial(OpSpec::gemm(64, 64, 64), &spec);
+        let bucket = ShapeBucket {
+            class: OpClass::Gemm,
+            spatial: vec![DimRange::range(64, 128)],
+            reduce: vec![DimRange::range(64, 64)],
+        };
+        let report = verify_bucket(&e, &bucket);
+        assert!(!report.is_legal());
+        assert_eq!(report.diagnostics[0].code, Code::RankMismatch);
+    }
+}

@@ -58,6 +58,7 @@ impl Verifier {
         }
         if report.error_count() > 0 {
             Self::count_rejected();
+            report.normalize();
             return report; // unsafe to lower
         }
         let nest = LoopNest::from_etir(e);
@@ -73,6 +74,7 @@ impl Verifier {
         if report.error_count() > 0 {
             Self::count_rejected();
         }
+        report.normalize();
         report
     }
 

@@ -169,6 +169,60 @@ fn write_through_replicates_to_the_replica_set() {
 }
 
 #[test]
+fn tampered_remote_schedule_is_rejected_at_the_trust_boundary() {
+    // Two daemons; the `served.reply.tamper` failpoint corrupts exactly
+    // one outgoing schedule *after* the answering daemon's own verify
+    // gate passed it — the wire frame stays well-formed, so only the
+    // fabric's cross-boundary re-verification can catch it.
+    let site = "served.reply.tamper";
+    let (ep_a, handle_a, join_a) = start_tcp(|_| {});
+    let (ep_b, handle_b, join_b) = start_tcp(|_| {});
+    let peers = vec![ep_a.clone(), ep_b.clone()];
+
+    let fallback = roller::Roller::default();
+    let fabric = FabricClient::new(&peers, "roller", None, &fallback)
+        .with_config(fast_client())
+        .with_breaker(hair_trigger());
+    let spec = GpuSpec::rtx4090();
+    let op = OpSpec::gemm(320, 128, 256);
+
+    faults::arm(site, faults::Policy::ErrNth(1));
+    let kernel = fabric.compile(&op, &spec);
+    let tampered = faults::hits(site);
+    faults::disarm(site);
+
+    assert_eq!(tampered, 1, "the primary's reply was corrupted");
+    let r = fabric.report();
+    assert_eq!(
+        r.rejected, 1,
+        "the verifier refused the tampered schedule at the boundary: {r:?}"
+    );
+    assert_eq!(
+        (r.remote, r.local, r.failovers),
+        (1, 0, 1),
+        "the compile failed over to the honest replica, never local: {r:?}"
+    );
+    assert!(
+        verify::verify_schedule(&kernel.etir, Some(&spec)).is_legal(),
+        "the kernel actually returned is verifier-clean"
+    );
+    // A content rejection is the peer's *answer*, not its absence: the
+    // tampering peer stays in the ring with a closed breaker.
+    for ep in &peers {
+        assert_eq!(
+            fabric.membership().breaker(ep).state(),
+            BreakerState::Closed,
+            "content rejection must not trip {ep}'s breaker"
+        );
+    }
+
+    handle_a.shutdown();
+    handle_b.shutdown();
+    join_a.join().unwrap();
+    join_b.join().unwrap();
+}
+
+#[test]
 fn bad_token_is_refused_typed_and_never_silently_downgraded() {
     let (ep, handle, join) = start_tcp(|cfg| {
         cfg.token = Some("open-sesame".to_string());

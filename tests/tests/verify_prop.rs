@@ -9,7 +9,9 @@ use hardware::GpuSpec;
 use proptest::prelude::*;
 use simgpu::Tuner;
 use tensor_expr::{benchmark_suite, OpSpec};
-use verify::verify_schedule;
+use verify::domain::{fixpoint, Fixpoint, Interval, Lattice, FIXPOINT_BUDGET};
+use verify::symbolic::{eval_spatial, index_range, DimParams};
+use verify::{verify_schedule, AbsVal};
 
 /// Tuner winners across the paper's 32-operator suite × the GPU presets
 /// verify with zero `GS0xx` errors (warnings allowed — `gensor lint
@@ -78,6 +80,55 @@ fn corrupted_schedules_are_rejected() {
     }
 }
 
+/// One symbolic verification of a dynamic-shape bucket covers every
+/// concrete shape in it: the bucket verdict equals the conjunction of
+/// per-shape concrete verification of the same schedule template — for a
+/// clean template, and for one that overclaims lanes on part of the
+/// extent range (so some members pass and some fail concretely).
+#[test]
+fn bucket_verdict_matches_per_shape_concrete_verification() {
+    let spec = GpuSpec::rtx4090();
+    let instantiate = |template: &Etir, op: &OpSpec| -> Etir {
+        let mut m = Etir::initial(op.clone(), &spec);
+        m.smem_tile = template.smem_tile.clone();
+        m.reg_tile = template.reg_tile.clone();
+        m.vthreads = template.vthreads.clone();
+        m.reduce_tile = template.reduce_tile.clone();
+        m.unroll = template.unroll;
+        m.cur_level = template.cur_level;
+        m
+    };
+
+    // Clean: a large-extent GEMM family under the default template.
+    let big: Vec<OpSpec> = (1..=16).map(|i| OpSpec::gemm(64 * i, 256, 512)).collect();
+    // Overclaiming: extents 8..=64 with a 32-wide tile claiming 32 lanes —
+    // the extent clamp caps the tile below the claim for the small end of
+    // the bucket, so concrete verification splits (m=64 legal, m=8 not).
+    let small: Vec<OpSpec> = (1..=8).map(|i| OpSpec::gemm(8 * i, 64, 64)).collect();
+    let mut overclaim = Etir::initial(small[0].clone(), &spec);
+    overclaim.smem_tile[0] = 32;
+    overclaim.reg_tile[0] = 2;
+    overclaim.vthreads[0] = 2;
+
+    for (members, template) in [
+        (&big, Etir::initial(big[0].clone(), &spec)),
+        (&small, overclaim),
+    ] {
+        let bucket = verify::ShapeBucket::cover(members.iter()).unwrap();
+        let symbolic_legal = verify::verify_bucket(&template, &bucket).is_legal();
+        let concrete: Vec<bool> = members
+            .iter()
+            .map(|op| verify_schedule(&instantiate(&template, op), None).is_legal())
+            .collect();
+        assert_eq!(
+            symbolic_legal,
+            concrete.iter().all(|&ok| ok),
+            "bucket {} disagrees with per-shape verdicts {concrete:?}",
+            bucket.describe()
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
 
@@ -132,5 +183,57 @@ proptest! {
         e.cur_level = level;
         let _ = verify_schedule(&e, Some(&spec));
         let _ = verify_schedule(&e, None);
+    }
+
+    /// The symbolic evaluator instantiated at a *singleton* extent agrees
+    /// with the concrete arithmetic the bounds pass historically
+    /// hard-coded: the widening/narrowing fixpoint over the four-level
+    /// index loop is exact, not just sound, on affine nests.
+    #[test]
+    fn symbolic_singleton_agrees_with_concrete_index_and_volume_math(
+        r in 1u64..=8,
+        v in 1u64..=8,
+        q in 1u64..=16,
+        g in 1u64..=64,
+        ext in 1u64..=4096,
+    ) {
+        let t = r * v * q;
+        let p = DimParams { tile: t, reg: r, vthreads: v, thread_dims: q };
+        // Index range at a fixed grid: exactly the closed form.
+        let idx = index_range(t, &AbsVal::constant(g), &p);
+        let closed = (g - 1) * t + ((v - 1) * q + (q - 1)) * r + (r - 1);
+        prop_assert_eq!(idx.hi(), closed);
+        prop_assert_eq!(idx.lo(), 0);
+        // Volume math at a fixed extent: clamp, grid, and padding all
+        // collapse to the concrete values.
+        let f = eval_spatial(&p, &AbsVal::constant(ext));
+        let tc = t.min(ext.next_power_of_two()).max(1);
+        let grid = ext.div_ceil(tc);
+        prop_assert_eq!(f.tile.as_const(), Some(tc));
+        prop_assert_eq!(f.grid.as_const(), Some(grid));
+        prop_assert_eq!(f.padded.as_const(), Some(grid * tc));
+    }
+
+    /// Threshold widening makes every ascending chain stabilise inside
+    /// the engine's iteration budget, whatever (monotone-ish) growth the
+    /// transfer function applies per step.
+    #[test]
+    fn widened_fixpoints_converge_within_the_budget(
+        seed_hi in 0u64..1000,
+        step in 1u64..(1 << 40),
+        factor in 1u64..16,
+    ) {
+        let seed = Interval::range(0, seed_hi);
+        let result = fixpoint(seed, FIXPOINT_BUDGET, |iv: &Interval| {
+            // Grows without bound concretely; only widening stops it.
+            let grown = Interval::range(iv.lo, iv.hi.saturating_mul(factor).saturating_add(step));
+            iv.join(&grown)
+        });
+        prop_assert!(result.converged(), "diverged: {:?}", result);
+        if let Fixpoint::Reached(iv, iters) = result {
+            // A post-fixpoint of a growing transfer is ⊤-like above.
+            prop_assert!(iv.hi == u64::MAX || iv.hi >= step, "{iv:?}");
+            prop_assert!(iters < FIXPOINT_BUDGET);
+        }
     }
 }
