@@ -1,7 +1,9 @@
 //! Criterion bench: the serve daemon's wire overhead. Measures the ping
 //! round-trip and the remote cache-hit path (client → socket → shared
 //! cache → reply) against the in-process hit path it wraps, and persists
-//! the comparison to `results/served_hit_path.json`.
+//! the comparison to `results/served_hit_path.json` and to
+//! `BENCH_serve.json` at the repo root — the serve-throughput trajectory
+//! later serve-core rewrites are measured against.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use schedcache::{CachedTuner, ScheduleCache};
@@ -13,6 +15,8 @@ use std::time::Instant;
 
 #[derive(Serialize)]
 struct HitPath {
+    bench: &'static str,
+    unit: &'static str,
     ping_us: f64,
     remote_hit_us: f64,
     local_hit_us: f64,
@@ -70,6 +74,8 @@ fn served_benches(c: &mut Criterion) {
         local.compile(&op, &spec);
     }));
     let row = HitPath {
+        bench: "serve",
+        unit: "us",
         ping_us,
         remote_hit_us,
         local_hit_us,
@@ -80,6 +86,9 @@ fn served_benches(c: &mut Criterion) {
          (wire overhead {:.1} µs)",
         row.wire_overhead_us
     );
+    let json = serde_json::to_string_pretty(&row).expect("serialize");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(out, &json).expect("write BENCH_serve.json");
     bench::write_json("served_hit_path", &row);
 
     client.shutdown().unwrap();

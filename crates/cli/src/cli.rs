@@ -37,7 +37,9 @@ USAGE:
                [--cache F] [--cache-cap N] [--workers N]
                [--max-inflight N] [--deadline SECS] [--compact-bytes N]
                [--failpoints SPEC] [--learned M.json] [--topk K] [--seed N]
+               [--flight-dir D] [--flight-cap N]
   gensor cluster status --peers A,B,C [--token T] [--emit E]
+  gensor cluster metrics --peers A,B,C [--token T] [--emit E | --json]
   gensor learn collect [<op> <dims...> | <model> | zoo] (--out D | --cache F)
                        [--gpu G] [--batch B] [--budget N] [--seed N]
   gensor learn train --data D --out M.json [--kind ridge|stumps] [--rounds N]
@@ -51,8 +53,9 @@ USAGE:
               [--sarif FILE] [--verdicts FILE] [--explain GSxxx]
   gensor trace [<op> <dims...> | <model> | matmul] --out FILE [--csv FILE]
                [--gpu G] [--method M] [--batch B] [--budget N]
+               [--remote S | --peers A,B,C] [--token T]
   gensor metrics [<op> <dims...> | <model>] [--socket S] [--gpu G]
-                 [--method M] [--batch B] [--budget N]
+                 [--method M] [--batch B] [--budget N] [--json]
   gensor devices
 
 OPS:
@@ -79,7 +82,8 @@ OPTIONS:
   --max-inflight  admission cap before the daemon sheds with Busy
   --deadline      per-request compile deadline, seconds (default 120)
   --budget        lint/trace/metrics: cap Gensor construction at N chains
-  --json          lint: machine-readable report
+  --json          lint/metrics: machine-readable report
+                  cluster metrics: shorthand for --emit json
   --deny-warnings lint: treat GS02x warnings as failures
   --sarif         lint: also write the report as SARIF 2.1.0 to FILE
   --verdicts      lint: verify through the incremental verdict cache at
@@ -92,6 +96,10 @@ OPTIONS:
   --out           trace: Chrome trace_event JSON output (open in Perfetto)
                   learn collect/train/fetch: output file
   --csv           trace: also write the per-walk convergence CSV here
+  --flight-dir    serve: where the always-on flight recorder writes its
+                  post-mortem JSONL dumps (default: the system temp dir)
+  --flight-cap    serve: flight-recorder ring capacity in events
+                  (default 4096)
   --learned       prune construction walks with a trained benefit model
                   (JSON file); serve also auto-loads the cache's
                   .model.json sidecar when this flag is absent
@@ -787,6 +795,13 @@ fn lint(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
 /// installed and write the span stream as Chrome `trace_event` JSON
 /// (loadable at ui.perfetto.dev), optionally with the per-walk
 /// convergence CSV (paper Fig. 8).
+///
+/// With `--peers` (or `--remote`, a one-daemon fleet) the compile runs
+/// through the cache fabric under a freshly minted [`obs::TraceContext`]:
+/// every daemon tags its `serve.request` spans with the propagated
+/// trace/parent ids, the client pulls each daemon's flight-recorder
+/// buffer over `TraceDump`, and the merged document shows one timeline
+/// per process — a single distributed trace under one trace id.
 fn trace(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     let out_path = opt(opts, "out", "");
     if out_path.is_empty() {
@@ -798,26 +813,88 @@ fn trace(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
         .map_err(|_| CliError::Usage("bad --batch".into()))?;
     let method = configured_method(opts)?;
     let ops = target_ops(pos, batch)?;
+    let mut peers = parse_peers(opts);
+    if peers.is_empty() {
+        if let Some(socket) = parse_remote(opts) {
+            peers.push(socket.to_string());
+        }
+    }
+    let ctx = obs::TraceContext::mint();
     let ring = Arc::new(obs::RingCollector::new(1 << 20));
     obs::install(ring.clone());
-    for op in &ops {
-        let ck = method.compile(op, &gpu);
-        // Verify + emit on this thread so the trace shows the full
-        // pipeline nested under one timeline: tune → verify → codegen.
-        let _ = verify::verify_schedule(&ck.etir, Some(&gpu));
-        let _ = codegen::emit_cuda(&ck.etir);
+    if peers.is_empty() {
+        for op in &ops {
+            let ck = method.compile(op, &gpu);
+            // Verify + emit on this thread so the trace shows the full
+            // pipeline nested under one timeline: tune → verify → codegen.
+            let _ = verify::verify_schedule(&ck.etir, Some(&gpu));
+            let _ = codegen::emit_cuda(&ck.etir);
+        }
+    } else {
+        let fabric_tuner =
+            fabric::FabricClient::new(&peers, opt(opts, "method", "gensor"), None, method.as_ref())
+                .with_config(client_config(opts))
+                .with_trace(ctx);
+        for op in &ops {
+            let _ = fabric_tuner.compile(op, &gpu);
+        }
     }
     obs::uninstall();
     let events = ring.take();
-    std::fs::write(out_path, obs::chrome::trace_json(&events))
-        .map_err(|e| CliError::Usage(format!("cannot write '{out_path}': {e}")))?;
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "trace : {out_path} ({} events from {} op(s) — open at ui.perfetto.dev)",
-        events.len(),
-        ops.len()
-    );
+    if peers.is_empty() {
+        std::fs::write(out_path, obs::chrome::trace_json(&events))
+            .map_err(|e| CliError::Usage(format!("cannot write '{out_path}': {e}")))?;
+        let _ = writeln!(
+            out,
+            "trace : {out_path} ({} events from {} op(s) — open at ui.perfetto.dev)",
+            events.len(),
+            ops.len()
+        );
+    } else {
+        // Pull every daemon's span buffer and merge: client is pid 1,
+        // each peer gets its own pid and a process_name metadata row.
+        let cfg = client_config(opts);
+        let mut remote: Vec<(String, Vec<obs::Event>)> = Vec::new();
+        for ep in &peers {
+            match served::Client::connect_with(ep, cfg.clone()).and_then(|mut c| c.trace_dump()) {
+                Ok((tag, wire)) => {
+                    let name = if tag.is_empty() {
+                        ep.clone()
+                    } else {
+                        format!("{ep} [{tag}]")
+                    };
+                    remote.push((name, wire.iter().map(served::WireEvent::to_event).collect()));
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "peer  : {ep} trace pull failed — {e}");
+                }
+            }
+        }
+        let mut parts = vec![obs::chrome::TraceProcess {
+            pid: 1,
+            name: "client".to_string(),
+            events: &events,
+        }];
+        for (i, (name, evs)) in remote.iter().enumerate() {
+            parts.push(obs::chrome::TraceProcess {
+                pid: 2 + i as u64,
+                name: name.clone(),
+                events: evs,
+            });
+        }
+        std::fs::write(out_path, obs::chrome::trace_json_multi(&parts))
+            .map_err(|e| CliError::Usage(format!("cannot write '{out_path}': {e}")))?;
+        let remote_events: usize = remote.iter().map(|(_, e)| e.len()).sum();
+        let _ = writeln!(
+            out,
+            "trace : {out_path} ({} local + {} remote events from {} peer(s), trace id {} — open at ui.perfetto.dev)",
+            events.len(),
+            remote_events,
+            remote.len(),
+            ctx.trace_hex()
+        );
+    }
     let csv_path = opt(opts, "csv", "");
     if !csv_path.is_empty() {
         let csv = obs::convergence::walk_csv(&events);
@@ -834,8 +911,16 @@ fn trace(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
 /// (twice, so cache hit/miss counters are exercised) and render this
 /// process's registry.
 fn metrics_cmd(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
+    let json = has_flag(opts, "json");
     let socket = opt(opts, "socket", "");
     if !socket.is_empty() {
+        if json {
+            return Err(CliError::Usage(
+                "metrics --json renders the local registry; for daemons use \
+                 `gensor cluster metrics --peers … --json`"
+                    .into(),
+            ));
+        }
         let mut client = served::Client::connect(socket)
             .map_err(|e| CliError::Usage(format!("cannot reach daemon at '{socket}': {e}")))?;
         return client
@@ -862,7 +947,15 @@ fn metrics_cmd(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> 
             let _ = verify::verify_schedule(&ck.etir, Some(&gpu));
         }
     }
-    Ok(obs::prometheus::render())
+    if json {
+        // Machine-readable snapshot: sorted names, fixed key order —
+        // two renders of the same registry state are byte-identical.
+        Ok(obs::prometheus::render_json_snapshot(
+            &obs::metrics::snapshot(),
+        ))
+    } else {
+        Ok(obs::prometheus::render())
+    }
 }
 
 /// `gensor serve --socket <path>` — run the compilation daemon until a
@@ -956,6 +1049,34 @@ fn serve(_pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     let registry = served::MethodRegistry::standard_with_gensor(gcfg);
     let server = served::Server::bind(cfg, cache, registry)
         .map_err(|e| CliError::Usage(format!("cannot bind '{socket}': {e}")))?;
+    // Always-on flight recorder: a bounded ring of recent spans/events
+    // that doubles as the `TraceDump` buffer and lands on disk as
+    // timestamped JSONL on panic, failpoint trip, SIGUSR1, or drain.
+    // Installed after bind so the tag carries the *resolved* endpoint.
+    let flight_dir = {
+        let d = opt(opts, "flight-dir", "");
+        if d.is_empty() {
+            std::env::temp_dir().join("gensor-flight")
+        } else {
+            std::path::PathBuf::from(d)
+        }
+    };
+    let flight_cap = parse_num(opts, "flight-cap")?
+        .map(|n| (n as usize).max(16))
+        .unwrap_or(4096);
+    let flight_tag: String = server
+        .endpoint()
+        .to_string()
+        .trim_start_matches("tcp://")
+        .trim_start_matches("unix://")
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    obs::FlightRecorder::install(&flight_dir, flight_cap, &flight_tag);
+    eprintln!(
+        "gensor serve: flight recorder armed ({flight_cap} events, dumps to {})",
+        flight_dir.display()
+    );
     // Announce on stderr before blocking; the summary goes to stdout at
     // drain time. The *resolved* endpoint is printed — a tcp://host:0
     // bind announces the kernel-assigned port.
@@ -973,32 +1094,50 @@ fn serve(_pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     ))
 }
 
-/// `gensor cluster status --peers a,b,c` — probe every fabric peer and
-/// report liveness, cache counters, and ring shares.
+/// `gensor cluster` — fleet-wide views over `--peers`:
+/// `status` probes liveness, cache counters, and ring shares;
+/// `metrics` scrapes every peer's Prometheus registry and merges the
+/// samples into one fleet view with per-peer labels.
 fn cluster(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     let sub = pos
         .first()
-        .ok_or_else(|| CliError::Usage("cluster expects a subcommand: status".into()))?;
-    if *sub != "status" {
+        .ok_or_else(|| CliError::Usage("cluster expects a subcommand: status | metrics".into()))?;
+    if !matches!(*sub, "status" | "metrics") {
         return Err(CliError::Usage(format!(
-            "unknown cluster subcommand '{sub}'"
+            "unknown cluster subcommand '{sub}' (expected status | metrics)"
         )));
     }
     let peers = parse_peers(opts);
     if peers.is_empty() {
-        return Err(CliError::Usage(
-            "cluster status needs --peers <a,b,c>".into(),
-        ));
+        return Err(CliError::Usage(format!(
+            "cluster {sub} needs --peers <a,b,c>"
+        )));
     }
-    // A status probe should answer fast even when peers are down: one
+    // A fleet probe should answer fast even when peers are down: one
     // connect attempt each, no retry backoff.
     let cfg = served::ClientConfig {
         retries: 1,
         connect_timeout: std::time::Duration::from_millis(500),
         ..client_config(opts)
     };
+    let emit = if has_flag(opts, "json") {
+        "json"
+    } else {
+        opt(opts, "emit", "summary")
+    };
+    if *sub == "metrics" {
+        let fleet = fabric::cluster_metrics(&peers, &cfg);
+        return match emit {
+            "json" => Ok(fleet.render_json()),
+            "summary" => Ok(fleet.render()),
+            // The merged text exposition itself, for piping into a
+            // Prometheus-compatible toolchain.
+            "prometheus" | "text" => Ok(fleet.merged_text()),
+            other => Err(CliError::Usage(format!("unknown emit mode '{other}'"))),
+        };
+    }
     let status = fabric::cluster_status(&peers, &cfg);
-    match opt(opts, "emit", "summary") {
+    match emit {
         "json" => Ok(serde_json::to_string_pretty(&status).expect("serialize") + "\n"),
         "summary" => Ok(status.render()),
         other => Err(CliError::Usage(format!("unknown emit mode '{other}'"))),
@@ -1643,6 +1782,78 @@ mod tests {
         let first = call(cmd).unwrap();
         let second = call(cmd).unwrap();
         assert_eq!(first, second, "lint --json must render byte-identically");
+    }
+
+    #[test]
+    fn metrics_json_snapshot_is_sorted_and_machine_readable() {
+        let out = call("metrics gemm 128 64 128 --budget 1 --json").unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let metrics = v["metrics"].as_array().unwrap();
+        let names: Vec<&str> = metrics
+            .iter()
+            .map(|m| m["name"].as_str().unwrap())
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "metric names must be sorted");
+        assert!(names.iter().all(|n| n.starts_with("gensor_")), "{names:?}");
+        // Histograms expose derived quantiles so consumers skip bucket math.
+        assert!(
+            metrics
+                .iter()
+                .any(|m| m["type"] == "histogram" && m["p99_us"].as_u64().is_some()),
+            "{out}"
+        );
+        // The remote scrape path stays text-only; the fleet JSON view is
+        // `cluster metrics --json`.
+        assert!(matches!(
+            call("metrics --socket /tmp/x.sock --json"),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn cluster_metrics_usage_and_dead_peers() {
+        assert!(matches!(call("cluster metrics"), Err(CliError::Usage(_))));
+        let out = call("cluster metrics --peers tcp://127.0.0.1:1").unwrap();
+        assert!(out.contains("0/1 peers"), "{out}");
+        let json = call("cluster metrics --peers tcp://127.0.0.1:1 --json").unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["up"].as_u64(), Some(0), "{json}");
+        assert_eq!(v["total"].as_u64(), Some(1), "{json}");
+    }
+
+    #[test]
+    fn trace_with_dead_peers_still_writes_a_merged_document() {
+        let dir = std::env::temp_dir().join("gensor-cli-trace-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join(format!("fleet-{}.json", std::process::id()));
+        let cmd = format!(
+            "trace gemm 128 64 128 --budget 1 --out {} --peers tcp://127.0.0.1:1",
+            out.display()
+        );
+        let msg = call(&cmd).unwrap();
+        assert!(msg.contains("trace id"), "{msg}");
+        assert!(msg.contains("trace pull failed"), "{msg}");
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        // The client's own process row is always present, even when no
+        // peer buffer could be pulled.
+        assert!(
+            events
+                .iter()
+                .any(|e| e["ph"] == "M" && e["args"]["name"] == "client"),
+            "no client process_name row"
+        );
+        // The compile fell back locally, so tune spans exist under pid 1.
+        assert!(
+            events
+                .iter()
+                .any(|e| e["name"] == "tune" && e["pid"].as_u64() == Some(1)),
+            "no local tune span"
+        );
+        std::fs::remove_file(&out).ok();
     }
 
     #[test]

@@ -135,6 +135,7 @@ impl Policy {
     /// the top-k shortlist (plus `Cache`) is exact-scored; a low-confidence
     /// shortlist falls back to the exact path.
     pub fn score_step(&self, state: &Etir, spec: &GpuSpec, t: u32) -> StepScoring {
+        let t_score = std::time::Instant::now();
         let before = ScheduleStats::compute(state);
         let candidates: Vec<Action> = Action::all(state.spatial_rank(), state.reduce_rank())
             .into_iter()
@@ -205,7 +206,22 @@ impl Policy {
             "Benefit-formula evaluations (Eqs. 1-3) across all transition scorings",
             evals
         );
-        obs::event!("benefit.eval", scored = evals, feasible = rows.len(), t = t);
+        // Per-class scoring latency (matmul/conv/reduce/elementwise). The
+        // registry lookup is a mutex + map probe — noise next to the
+        // benefit formulas this function just ran.
+        let class = state.op.class().metric_key();
+        obs::histogram_us(
+            &format!("gensor_core_benefit_eval_us_{class}"),
+            "Per-step benefit scoring latency (Eqs. 1-3 over the shortlist), split by operator class",
+        )
+        .record_us(t_score.elapsed().as_micros() as u64);
+        obs::event!(
+            "benefit.eval",
+            scored = evals,
+            feasible = rows.len(),
+            t = t,
+            class = class
+        );
         let total: f64 = rows.iter().map(|r| r.benefit).sum();
         if total <= 0.0 {
             rows.clear();

@@ -130,12 +130,20 @@ impl Walk {
         // is invariant across operator ranks — the paper's constants assume
         // its ~100-iteration GEMM walks.
         let budget = self.max_steps_for_rank(rank).max(1);
+        // Per-class step latency series (matmul/conv/reduce/elementwise):
+        // one registry lookup per walk, one atomic record per step.
+        let class = op.class().metric_key();
+        let step_hist = obs::histogram_us(
+            &format!("gensor_core_walk_step_us_{class}"),
+            "Markov-walk step latency (scoring + apply + simulate), split by operator class",
+        );
         let mut pass_start: u32 = 0;
         let mut exact_benefit_evals: u64 = 0;
         let mut model_predictions: u64 = 0;
         let mut pruned_steps: u32 = 0;
         let mut fallback_steps: u32 = 0;
         while t > threshold {
+            let t_step = std::time::Instant::now();
             // Annealing progress restarts with each construction pass so
             // every pass sees the full low→high cache-probability ramp.
             let t_norm = ((step - pass_start) as u64 * 100 / budget as u64) as u32;
@@ -162,6 +170,7 @@ impl Walk {
                     "walk.step",
                     walk = sp.id(),
                     step = step,
+                    class = class,
                     action = "restart",
                     benefit = 0.0,
                     probability = 0.0,
@@ -172,6 +181,7 @@ impl Walk {
                     exact_evals = scoring.exact_evals,
                     pruned = scoring.pruned
                 );
+                step_hist.record_us(t_step.elapsed().as_micros() as u64);
                 t /= 2.0;
                 step += 1;
                 best_time_trace.push(best_now);
@@ -190,6 +200,7 @@ impl Walk {
                 "walk.step",
                 walk = sp.id(),
                 step = step,
+                class = class,
                 action = format!("{:?}", row.action),
                 benefit = row.benefit,
                 probability = row.prob,
@@ -200,6 +211,7 @@ impl Walk {
                 exact_evals = scoring.exact_evals,
                 pruned = scoring.pruned
             );
+            step_hist.record_us(t_step.elapsed().as_micros() as u64);
             e = next;
             t /= 2.0;
             step += 1;
@@ -248,6 +260,31 @@ mod tests {
             "walk should do real work: {} steps",
             rec.steps
         );
+    }
+
+    #[test]
+    fn walks_feed_the_per_class_latency_histograms() {
+        let spec = GpuSpec::rtx4090();
+        let w = Walk::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let rec = w.run(&gemm(), &spec, &mut rng);
+        // A GEMM walk lands in the `matmul` class series for both the
+        // step loop and the benefit scorer.
+        let steps = obs::histogram_us(
+            "gensor_core_walk_step_us_matmul",
+            "Markov-walk step latency (scoring + apply + simulate), split by operator class",
+        );
+        assert!(
+            steps.count() >= rec.steps as u64,
+            "step histogram count {} < walk steps {}",
+            steps.count(),
+            rec.steps
+        );
+        let evals = obs::histogram_us(
+            "gensor_core_benefit_eval_us_matmul",
+            "Per-step benefit scoring latency (Eqs. 1-3 over the shortlist), split by operator class",
+        );
+        assert!(evals.count() >= 1);
     }
 
     #[test]

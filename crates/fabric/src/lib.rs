@@ -17,13 +17,18 @@
 //!   primary read, replica failover, write-through replication that
 //!   doubles as read-repair, local fallback when the fabric is gone.
 //! * [`status`] — the `gensor cluster status` probe.
+//! * [`metrics_agg`] — the `gensor cluster metrics` scrape: every peer's
+//!   Prometheus exposition merged with per-peer labels and fleet-level
+//!   histogram percentiles.
 
 pub mod membership;
+pub mod metrics_agg;
 pub mod ring;
 pub mod router;
 pub mod status;
 
 pub use membership::Membership;
+pub use metrics_agg::{cluster_metrics, ClusterMetrics, FleetHistogram, PeerScrape};
 pub use ring::{hash64, ring_key, Ring, RingSpec, DEFAULT_VNODES};
 pub use router::{FabricClient, FabricReport};
 pub use status::{cluster_status, ClusterStatus, PeerStatus};

@@ -1,0 +1,417 @@
+//! `gensor cluster metrics` — scrape every peer's Prometheus text
+//! exposition and merge it into one fleet view.
+//!
+//! Each peer's samples are kept verbatim but re-labeled with
+//! `peer="<endpoint>"`, so the merged exposition can be fed to any
+//! Prometheus-compatible consumer without the peers' identical metric
+//! names colliding. On top of the raw merge, two fleet aggregates are
+//! computed:
+//!
+//! * **Counters / gauges** sum across peers by name (a fleet hit count is
+//!   the sum of the peers' hit counts).
+//! * **Histograms** merge bucket-by-bucket: every daemon uses the same
+//!   µs bounds ([`obs::metrics`]), so summing each `le` bucket across
+//!   peers yields the true fleet distribution, and fleet p50/p99 come
+//!   from the merged cumulative counts — *not* from averaging per-peer
+//!   percentiles, which is statistically meaningless.
+
+use obs::metrics::quantile_from_cumulative;
+use obs::prometheus::{parse_samples, Sample};
+use served::{Client, ClientConfig};
+use std::collections::BTreeMap;
+
+/// One peer's scrape (or the reason it failed).
+#[derive(Debug)]
+pub struct PeerScrape {
+    /// The endpoint as configured.
+    pub endpoint: String,
+    /// Did it answer the metrics request?
+    pub up: bool,
+    /// Why not, when `up` is false.
+    pub error: Option<String>,
+    /// Parsed samples, in exposition order; empty when down.
+    pub samples: Vec<Sample>,
+}
+
+/// A histogram merged across the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetHistogram {
+    /// Base metric name (without `_bucket`/`_sum`/`_count`).
+    pub name: String,
+    /// Total observations across all peers.
+    pub count: u64,
+    /// Sum of observed values (µs) across all peers.
+    pub sum_us: u64,
+    /// Median of the merged distribution (µs).
+    pub p50_us: u64,
+    /// 99th percentile of the merged distribution (µs).
+    pub p99_us: u64,
+}
+
+/// The whole fleet's metric scrape.
+#[derive(Debug)]
+pub struct ClusterMetrics {
+    /// Every configured peer, in the order given.
+    pub peers: Vec<PeerScrape>,
+    /// How many answered.
+    pub up: usize,
+    /// How many are configured.
+    pub total: usize,
+}
+
+/// Parse a `le` label value: `+Inf` is the overflow bucket.
+fn parse_le(labels: &str) -> Option<u64> {
+    let rest = labels.split("le=\"").nth(1)?;
+    let raw = rest.split('"').next()?;
+    if raw == "+Inf" {
+        Some(u64::MAX)
+    } else {
+        raw.parse().ok()
+    }
+}
+
+/// Render a scrape value: counters and bucket counts are integral, so
+/// print them without a fraction; anything else keeps its float form.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl ClusterMetrics {
+    /// The raw merge: every sample from every live peer, re-labeled with
+    /// `peer="<endpoint>"` ahead of its original labels. One line per
+    /// sample, in (peer, scrape) order.
+    pub fn merged_text(&self) -> String {
+        let mut out = String::new();
+        for p in self.peers.iter().filter(|p| p.up) {
+            for s in &p.samples {
+                let labels = if s.labels.is_empty() {
+                    format!("peer=\"{}\"", p.endpoint)
+                } else {
+                    format!("peer=\"{}\",{}", p.endpoint, s.labels)
+                };
+                out.push_str(&format!("{}{{{labels}}} {}\n", s.name, fmt_value(s.value)));
+            }
+        }
+        out
+    }
+
+    /// Base names of every histogram any peer exposes (a metric is a
+    /// histogram iff it has `_bucket` rows).
+    fn histogram_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        for p in &self.peers {
+            for s in &p.samples {
+                if let Some(base) = s.name.strip_suffix("_bucket") {
+                    if !names.iter().any(|n| n == base) {
+                        names.push(base.to_string());
+                    }
+                }
+            }
+        }
+        names.sort();
+        names
+    }
+
+    /// Fleet counters and gauges: plain samples summed across peers by
+    /// name, sorted. Histogram component rows (`_bucket`/`_sum`/`_count`)
+    /// are folded into [`histograms`](ClusterMetrics::histograms), not
+    /// repeated here.
+    pub fn counters(&self) -> BTreeMap<String, f64> {
+        let hist = self.histogram_names();
+        let is_hist_part = |name: &str| {
+            name.strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .is_some_and(|base| hist.iter().any(|h| h == base))
+        };
+        let mut out = BTreeMap::new();
+        for p in &self.peers {
+            for s in &p.samples {
+                if !is_hist_part(&s.name) {
+                    *out.entry(s.name.clone()).or_insert(0.0) += s.value;
+                }
+            }
+        }
+        out
+    }
+
+    /// Every histogram merged bucket-by-bucket across the fleet, sorted
+    /// by name.
+    pub fn histograms(&self) -> Vec<FleetHistogram> {
+        self.histogram_names()
+            .into_iter()
+            .map(|name| {
+                let bucket = format!("{name}_bucket");
+                let sum_row = format!("{name}_sum");
+                let count_row = format!("{name}_count");
+                // Sum each `le` bucket across peers; the bounds are the
+                // shared obs bucket ladder, so they line up exactly.
+                let mut by_le: BTreeMap<u64, u64> = BTreeMap::new();
+                let mut sum_us = 0u64;
+                let mut count = 0u64;
+                for p in &self.peers {
+                    for s in &p.samples {
+                        if s.name == bucket {
+                            if let Some(le) = parse_le(&s.labels) {
+                                *by_le.entry(le).or_insert(0) += s.value as u64;
+                            }
+                        } else if s.name == sum_row {
+                            sum_us += s.value as u64;
+                        } else if s.name == count_row {
+                            count += s.value as u64;
+                        }
+                    }
+                }
+                let cumulative: Vec<(u64, u64)> = by_le.into_iter().collect();
+                FleetHistogram {
+                    p50_us: quantile_from_cumulative(&cumulative, count, 0.50),
+                    p99_us: quantile_from_cumulative(&cumulative, count, 0.99),
+                    name,
+                    count,
+                    sum_us,
+                }
+            })
+            .collect()
+    }
+
+    /// Human-readable fleet summary: per-peer liveness, then the summed
+    /// counters, then each histogram's merged p50/p99.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "cluster metrics: {}/{} peers scraped\n",
+            self.up, self.total
+        );
+        for p in &self.peers {
+            match &p.error {
+                None => out.push_str(&format!(
+                    "  up    {:<28} {} samples\n",
+                    p.endpoint,
+                    p.samples.len()
+                )),
+                Some(e) => out.push_str(&format!("  DOWN  {:<28} ({e})\n", p.endpoint)),
+            }
+        }
+        let counters = self.counters();
+        if !counters.is_empty() {
+            out.push_str("fleet counters:\n");
+            for (name, v) in &counters {
+                out.push_str(&format!("  {name} {}\n", fmt_value(*v)));
+            }
+        }
+        let hists = self.histograms();
+        if !hists.is_empty() {
+            out.push_str("fleet histograms (merged across peers):\n");
+            for h in &hists {
+                out.push_str(&format!(
+                    "  {} count {} p50 {} µs p99 {} µs\n",
+                    h.name, h.count, h.p50_us, h.p99_us
+                ));
+            }
+        }
+        out
+    }
+
+    /// Deterministic JSON: same scrape → same bytes (peers in configured
+    /// order, counters and histograms sorted by name).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"up\":{},\"total\":{},", self.up, self.total));
+        out.push_str("\"peers\":[");
+        for (i, p) in self.peers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let err = match &p.error {
+                Some(e) => format!("\"{}\"", e.replace('\\', "\\\\").replace('"', "\\\"")),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "{{\"endpoint\":\"{}\",\"up\":{},\"error\":{err},\"samples\":{}}}",
+                p.endpoint,
+                p.up,
+                p.samples.len()
+            ));
+        }
+        out.push_str("],\"counters\":{");
+        for (i, (name, v)) in self.counters().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{}", fmt_value(*v)));
+        }
+        out.push_str("},\"histograms\":[");
+        for (i, h) in self.histograms().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"count\":{},\"sum_us\":{},\"p50_us\":{},\"p99_us\":{}}}",
+                h.name, h.count, h.sum_us, h.p50_us, h.p99_us
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Scrape `peers` sequentially (metrics are a diagnostic, not a hot
+/// path). A peer that connects but answers garbage still counts as up —
+/// the parser skips malformed lines rather than failing the scrape.
+pub fn cluster_metrics(peers: &[String], cfg: &ClientConfig) -> ClusterMetrics {
+    let mut out = Vec::with_capacity(peers.len());
+    let mut up = 0usize;
+    for endpoint in peers {
+        match Client::connect_with(endpoint.as_str(), cfg.clone()).and_then(|mut c| c.metrics()) {
+            Ok(text) => {
+                up += 1;
+                out.push(PeerScrape {
+                    endpoint: endpoint.clone(),
+                    up: true,
+                    error: None,
+                    samples: parse_samples(&text),
+                });
+            }
+            Err(e) => out.push(PeerScrape {
+                endpoint: endpoint.clone(),
+                up: false,
+                error: Some(e.to_string()),
+                samples: Vec::new(),
+            }),
+        }
+    }
+    ClusterMetrics {
+        up,
+        total: out.len(),
+        peers: out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(endpoint: &str, text: &str) -> PeerScrape {
+        PeerScrape {
+            endpoint: endpoint.to_string(),
+            up: true,
+            error: None,
+            samples: parse_samples(text),
+        }
+    }
+
+    fn two_peer_fleet() -> ClusterMetrics {
+        let a = "gensor_fabric_hits_total 10\n\
+                 gensor_serve_service_us_bucket{le=\"100\"} 2\n\
+                 gensor_serve_service_us_bucket{le=\"1000\"} 4\n\
+                 gensor_serve_service_us_bucket{le=\"+Inf\"} 4\n\
+                 gensor_serve_service_us_sum 900\n\
+                 gensor_serve_service_us_count 4\n";
+        let b = "gensor_fabric_hits_total 5\n\
+                 gensor_serve_service_us_bucket{le=\"100\"} 0\n\
+                 gensor_serve_service_us_bucket{le=\"1000\"} 1\n\
+                 gensor_serve_service_us_bucket{le=\"+Inf\"} 2\n\
+                 gensor_serve_service_us_sum 3000\n\
+                 gensor_serve_service_us_count 2\n";
+        ClusterMetrics {
+            peers: vec![
+                scrape("tcp://127.0.0.1:7601", a),
+                scrape("tcp://127.0.0.1:7602", b),
+            ],
+            up: 2,
+            total: 2,
+        }
+    }
+
+    #[test]
+    fn counters_sum_across_peers_and_exclude_histogram_parts() {
+        let fleet = two_peer_fleet();
+        let counters = fleet.counters();
+        assert_eq!(counters.get("gensor_fabric_hits_total"), Some(&15.0));
+        assert!(!counters.contains_key("gensor_serve_service_us_sum"));
+        assert!(!counters.contains_key("gensor_serve_service_us_count"));
+        assert!(!counters.contains_key("gensor_serve_service_us_bucket"));
+    }
+
+    #[test]
+    fn histograms_merge_bucket_by_bucket() {
+        let fleet = two_peer_fleet();
+        let hists = fleet.histograms();
+        assert_eq!(hists.len(), 1);
+        let h = &hists[0];
+        assert_eq!(h.name, "gensor_serve_service_us");
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum_us, 3900);
+        // Merged cumulative: le=100 → 2, le=1000 → 5, +Inf → 6.
+        // p50 rank = 3 lands in the le=1000 bucket.
+        assert_eq!(h.p50_us, 1000);
+        // p99 rank = 6 lands in the overflow bucket (reported as 2× the
+        // last finite bound).
+        assert_eq!(h.p99_us, 2000);
+    }
+
+    #[test]
+    fn merged_text_labels_every_sample_with_its_peer() {
+        let fleet = two_peer_fleet();
+        let text = fleet.merged_text();
+        assert!(text.contains("gensor_fabric_hits_total{peer=\"tcp://127.0.0.1:7601\"} 10"));
+        assert!(text.contains("gensor_fabric_hits_total{peer=\"tcp://127.0.0.1:7602\"} 5"));
+        assert!(text.contains(
+            "gensor_serve_service_us_bucket{peer=\"tcp://127.0.0.1:7602\",le=\"1000\"} 1"
+        ));
+    }
+
+    #[test]
+    fn json_render_is_byte_stable() {
+        let fleet = two_peer_fleet();
+        assert_eq!(fleet.render_json(), fleet.render_json());
+        let json = fleet.render_json();
+        assert!(json.starts_with("{\"up\":2,\"total\":2,"));
+        assert!(json.contains("\"counters\":{\"gensor_fabric_hits_total\":15}"));
+        assert!(json.contains("\"p99_us\":2000"));
+        // It parses back as JSON.
+        let v: serde::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["up"].as_u64(), Some(2));
+        assert_eq!(v["histograms"][0]["count"].as_u64(), Some(6));
+    }
+
+    #[test]
+    fn down_peers_are_reported_but_do_not_poison_the_merge() {
+        let mut fleet = two_peer_fleet();
+        fleet.peers.push(PeerScrape {
+            endpoint: "tcp://127.0.0.1:7603".into(),
+            up: false,
+            error: Some("connect refused".into()),
+            samples: Vec::new(),
+        });
+        fleet.total = 3;
+        assert_eq!(
+            fleet.counters().get("gensor_fabric_hits_total"),
+            Some(&15.0)
+        );
+        let text = fleet.render();
+        assert!(text.contains("2/3 peers scraped"));
+        assert!(text.contains("DOWN  tcp://127.0.0.1:7603"));
+        assert!(
+            !fleet.merged_text().contains("7603"),
+            "down peer has no samples"
+        );
+    }
+
+    #[test]
+    fn unreachable_fleet_scrapes_as_all_down() {
+        let cfg = ClientConfig {
+            retries: 1,
+            connect_timeout: std::time::Duration::from_millis(100),
+            backoff_base: std::time::Duration::from_millis(1),
+            ..Default::default()
+        };
+        let fleet = cluster_metrics(&["tcp://127.0.0.1:1".to_string()], &cfg);
+        assert_eq!((fleet.up, fleet.total), (0, 1));
+        assert!(fleet.peers[0].error.is_some());
+        assert!(fleet.render_json().contains("\"up\":0"));
+    }
+}

@@ -71,6 +71,9 @@ pub struct FabricClient<'a> {
     budget: Option<u32>,
     /// Total copies per key: the primary plus `replicas - 1` backups.
     replicas: usize,
+    /// Distributed trace context `(trace_id, parent_span)` propagated to
+    /// every daemon this client touches; `(0, 0)` = no tracing.
+    trace: (u64, u64),
     fallback: &'a dyn Tuner,
     /// Pooled connections, per endpoint.
     pools: Mutex<HashMap<String, Vec<Client>>>,
@@ -99,6 +102,7 @@ impl<'a> FabricClient<'a> {
             method: method.to_string(),
             budget,
             replicas: 2,
+            trace: (0, 0),
             fallback,
             pools: Mutex::new(HashMap::new()),
             stats: FabricStats::default(),
@@ -123,6 +127,15 @@ impl<'a> FabricClient<'a> {
     /// Override the replication factor (total copies per key, ≥ 1).
     pub fn with_replicas(mut self, replicas: usize) -> Self {
         self.replicas = replicas.max(1);
+        self
+    }
+
+    /// Propagate a distributed trace context: every compile, put, and
+    /// probe this client issues carries `ctx` to the daemon (the remote
+    /// `serve.request` spans are stamped with the same trace id), and
+    /// the local `fabric.route` span becomes the remote spans' parent.
+    pub fn with_trace(mut self, ctx: obs::TraceContext) -> Self {
+        self.trace = (ctx.trace_id, ctx.parent_span_id);
         self
     }
 
@@ -177,8 +190,10 @@ impl<'a> FabricClient<'a> {
         endpoint: &str,
         op: &OpSpec,
         spec: &GpuSpec,
+        trace: (u64, u64),
     ) -> Result<(CompiledKernel, WireOutcome), ClientError> {
         let mut client = self.checkout(endpoint)?;
+        client.set_trace(trace.0, trace.1);
         match client.compile(op, spec, &self.method, self.budget) {
             Ok(ok) => {
                 self.checkin(endpoint, client);
@@ -201,6 +216,7 @@ impl<'a> FabricClient<'a> {
         op: &OpSpec,
         spec: &GpuSpec,
         kernel: &CompiledKernel,
+        trace: (u64, u64),
     ) {
         for &ep in targets.iter().filter(|&&ep| ep != winner) {
             let breaker = self.membership.breaker(ep);
@@ -208,6 +224,7 @@ impl<'a> FabricClient<'a> {
                 continue;
             }
             let outcome = self.checkout(ep).and_then(|mut client| {
+                client.set_trace(trace.0, trace.1);
                 match client.put(op, spec, &self.method, kernel) {
                     Ok(installed) => {
                         self.checkin(ep, client);
@@ -249,14 +266,26 @@ impl<'a> FabricClient<'a> {
             "fabric.route",
             op = op.label(),
             copies = targets.len(),
-            primary = targets.first().copied().unwrap_or("-")
+            primary = targets.first().copied().unwrap_or("-"),
+            trace = self.trace.0,
+            parent = self.trace.1
         );
+        // The remote hop's parent is this route span (when tracing is
+        // live locally), so the merged view nests serve.request under
+        // fabric.route; otherwise the caller's parent carries through.
+        let hop = if self.trace.0 == 0 {
+            (0, 0)
+        } else if _sp.id() != 0 {
+            (self.trace.0, _sp.id())
+        } else {
+            self.trace
+        };
         for (rank, &ep) in targets.iter().enumerate() {
             let breaker = self.membership.breaker(ep);
             if !breaker.allow() {
                 continue;
             }
-            match self.remote_compile(ep, op, spec) {
+            match self.remote_compile(ep, op, spec, hop) {
                 Ok((kernel, outcome)) => {
                     // The peer answered, so it is alive regardless of what
                     // it answered with — content problems must not trip
@@ -305,7 +334,7 @@ impl<'a> FabricClient<'a> {
                     // where routing expects it — repeating the put on
                     // every hit would double the steady-state wire cost.
                     if outcome != WireOutcome::Hit || rank > 0 {
-                        self.write_through(&targets, ep, op, spec, &kernel);
+                        self.write_through(&targets, ep, op, spec, &kernel, hop);
                     }
                     return Some(kernel);
                 }

@@ -216,6 +216,14 @@ fn count_injection(site: &str) {
     .inc();
     let metric = format!("gensor_faults_{}_total", site.replace(['.', '-'], "_"));
     obs::counter(&metric, "Failpoint injections fired at one site").inc();
+    // A fired failpoint is exactly the moment a post-mortem wants the
+    // recent past. Record the trip in the span stream first (so the
+    // dump contains it), then snapshot the flight recorder — throttled,
+    // so a prob() site in a hot loop cannot flood the disk.
+    if obs::flight::installed().is_some() {
+        obs::event!("faults.injected", site = site);
+        obs::flight::dump(&format!("failpoint:{site}"));
+    }
 }
 
 /// The error every fired I/O site returns.
@@ -503,6 +511,32 @@ mod tests {
         ] {
             assert!(parse_spec(bad).is_err(), "'{bad}' must not parse");
         }
+    }
+
+    #[test]
+    fn fired_failpoints_dump_the_flight_recorder() {
+        let _g = lock();
+        let dir = std::env::temp_dir().join(format!("gensor-faults-flight-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        obs::FlightRecorder::install(&dir, 64, "faults-test");
+        arm("t.flight", Policy::ErrNth(1));
+        assert!(failpoint!("t.flight").is_err());
+        let dumps: Vec<_> = std::fs::read_dir(&dir)
+            .expect("flight dir exists after a trip")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
+        assert!(!dumps.is_empty(), "no flight dump written");
+        let body = std::fs::read_to_string(&dumps[0]).unwrap();
+        let header = body.lines().next().unwrap();
+        assert!(header.contains("\"failpoint:t.flight\""), "{header}");
+        assert!(
+            body.contains("faults.injected"),
+            "trip event missing from dump:\n{body}"
+        );
+        obs::flight::uninstall();
+        std::fs::remove_dir_all(&dir).ok();
+        disarm_all();
     }
 
     #[test]

@@ -31,26 +31,35 @@ fn args_json(fields: &[(&'static str, Value)]) -> String {
     s
 }
 
-fn complete_event(tid: u64, name: &str, ts_us: u64, dur_us: u64, args: &str) -> String {
+fn complete_event(pid: u64, tid: u64, name: &str, ts_us: u64, dur_us: u64, args: &str) -> String {
     format!(
-        "{{\"name\":{},\"cat\":\"gensor\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us},\"dur\":{dur_us},\"args\":{args}}}",
+        "{{\"name\":{},\"cat\":\"gensor\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts_us},\"dur\":{dur_us},\"args\":{args}}}",
         json::string(name)
     )
 }
 
-fn instant_event(tid: u64, name: &str, ts_us: u64, args: &str) -> String {
+fn instant_event(pid: u64, tid: u64, name: &str, ts_us: u64, args: &str) -> String {
     format!(
-        "{{\"name\":{},\"cat\":\"gensor\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us},\"args\":{args}}}",
+        "{{\"name\":{},\"cat\":\"gensor\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts_us},\"args\":{args}}}",
         json::string(name)
     )
 }
 
-/// Render `events` (in record order) as a Chrome trace JSON document.
-pub fn trace_json(events: &[Event]) -> String {
+/// One process's event stream in a merged multi-process trace.
+pub struct TraceProcess<'a> {
+    /// Chrome `pid` for this stream (pick any distinct small integer).
+    pub pid: u64,
+    /// Process name shown in the viewer's track header (e.g. the peer's
+    /// endpoint).
+    pub name: String,
+    /// The stream, in record order.
+    pub events: &'a [Event],
+}
+
+fn render_part(pid: u64, events: &[Event], out: &mut Vec<String>) {
     let last_ts = events.iter().map(|e| e.ts_us).max().unwrap_or(0);
     // One open-span stack per thread; spans never migrate threads.
     let mut stacks: std::collections::BTreeMap<u64, Vec<Open>> = std::collections::BTreeMap::new();
-    let mut out: Vec<String> = Vec::with_capacity(events.len());
     for ev in events {
         match &ev.kind {
             EventKind::Begin { name } => {
@@ -67,6 +76,7 @@ pub fn trace_json(events: &[Event]) -> String {
                 if let Some(pos) = stack.iter().rposition(|o| o.name == *name) {
                     let open = stack.remove(pos);
                     out.push(complete_event(
+                        pid,
                         ev.tid,
                         open.name,
                         open.ts_us,
@@ -77,6 +87,7 @@ pub fn trace_json(events: &[Event]) -> String {
             }
             EventKind::Point { name } => {
                 out.push(instant_event(
+                    pid,
                     ev.tid,
                     name,
                     ev.ts_us,
@@ -88,7 +99,13 @@ pub fn trace_json(events: &[Event]) -> String {
                     ("level", Value::Str(level.as_str().to_string())),
                     ("message", Value::Str(message.clone())),
                 ];
-                out.push(instant_event(ev.tid, "log", ev.ts_us, &args_json(&fields)));
+                out.push(instant_event(
+                    pid,
+                    ev.tid,
+                    "log",
+                    ev.ts_us,
+                    &args_json(&fields),
+                ));
             }
         }
     }
@@ -96,6 +113,7 @@ pub fn trace_json(events: &[Event]) -> String {
     for (tid, stack) in stacks {
         for open in stack {
             out.push(complete_event(
+                pid,
                 tid,
                 open.name,
                 open.ts_us,
@@ -104,10 +122,39 @@ pub fn trace_json(events: &[Event]) -> String {
             ));
         }
     }
+}
+
+fn finish_doc(out: Vec<String>) -> String {
     let mut doc = String::from("{\"traceEvents\":[\n");
     doc.push_str(&out.join(",\n"));
     doc.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
     doc
+}
+
+/// Render `events` (in record order) as a Chrome trace JSON document.
+pub fn trace_json(events: &[Event]) -> String {
+    let mut out: Vec<String> = Vec::with_capacity(events.len());
+    render_part(1, events, &mut out);
+    finish_doc(out)
+}
+
+/// Merge several processes' event streams (the local client ring plus
+/// each peer's `TraceDump`) into one Chrome trace document: every part
+/// gets its own `pid` and a `process_name` metadata row, so Perfetto
+/// shows one aligned timeline per process. Timestamps stay in each
+/// process's own epoch — hop ordering comes from the `trace` /
+/// `parent` span arguments, not from clock alignment.
+pub fn trace_json_multi(parts: &[TraceProcess<'_>]) -> String {
+    let mut out: Vec<String> = Vec::new();
+    for part in parts {
+        out.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":{}}}}}",
+            part.pid,
+            json::string(&part.name)
+        ));
+        render_part(part.pid, part.events, &mut out);
+    }
+    finish_doc(out)
 }
 
 #[cfg(test)]
@@ -187,5 +234,85 @@ mod tests {
     fn empty_stream_is_still_a_valid_document() {
         let doc = trace_json(&[]);
         assert!(doc.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn multi_process_merge_names_each_pid_track() {
+        let local = vec![
+            ev(
+                10,
+                1,
+                EventKind::Begin {
+                    name: "fabric.route",
+                },
+            ),
+            ev(
+                90,
+                1,
+                EventKind::End {
+                    name: "fabric.route",
+                },
+            ),
+        ];
+        let remote = vec![
+            ev(
+                2,
+                1,
+                EventKind::Begin {
+                    name: "serve.request",
+                },
+            ),
+            ev(
+                40,
+                1,
+                EventKind::End {
+                    name: "serve.request",
+                },
+            ),
+        ];
+        let doc = trace_json_multi(&[
+            TraceProcess {
+                pid: 1,
+                name: "client".into(),
+                events: &local,
+            },
+            TraceProcess {
+                pid: 2,
+                name: "tcp://127.0.0.1:7601".into(),
+                events: &remote,
+            },
+        ]);
+        assert!(doc.contains("\"ph\":\"M\""));
+        assert!(doc.contains("\"args\":{\"name\":\"client\"}"));
+        assert!(doc.contains("\"args\":{\"name\":\"tcp://127.0.0.1:7601\"}"));
+        assert!(doc.contains("\"name\":\"fabric.route\",\"cat\":\"gensor\",\"ph\":\"X\",\"pid\":1"));
+        assert!(
+            doc.contains("\"name\":\"serve.request\",\"cat\":\"gensor\",\"ph\":\"X\",\"pid\":2")
+        );
+    }
+
+    #[test]
+    fn multi_process_merge_is_total_on_truncated_remote_rings() {
+        // A ring snapshotted mid-request: orphan End (Begin rotated out)
+        // plus a still-open Begin. The merge must stay well-formed.
+        let remote = vec![
+            ev(5, 1, EventKind::End { name: "ghost" }),
+            ev(
+                6,
+                1,
+                EventKind::Begin {
+                    name: "serve.request",
+                },
+            ),
+            ev(9, 1, EventKind::Point { name: "walk.step" }),
+        ];
+        let doc = trace_json_multi(&[TraceProcess {
+            pid: 3,
+            name: "survivor".into(),
+            events: &remote,
+        }]);
+        assert!(!doc.contains("ghost"));
+        assert!(doc.contains("\"name\":\"serve.request\""));
+        assert!(doc.contains("\"ts\":6,\"dur\":3"));
     }
 }

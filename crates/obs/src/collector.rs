@@ -215,53 +215,55 @@ impl JsonlCollector {
             w: Mutex::new(BufWriter::new(File::create(path)?)),
         })
     }
+}
 
-    fn render(ev: &Event) -> String {
-        let mut s = String::with_capacity(128);
-        s.push_str("{\"ts_us\":");
-        s.push_str(&ev.ts_us.to_string());
-        s.push_str(",\"tid\":");
-        s.push_str(&ev.tid.to_string());
-        match &ev.kind {
-            EventKind::Begin { name } => {
-                s.push_str(",\"ph\":\"B\",\"name\":");
-                s.push_str(&crate::json::string(name));
-            }
-            EventKind::End { name } => {
-                s.push_str(",\"ph\":\"E\",\"name\":");
-                s.push_str(&crate::json::string(name));
-            }
-            EventKind::Point { name } => {
-                s.push_str(",\"ph\":\"i\",\"name\":");
-                s.push_str(&crate::json::string(name));
-            }
-            EventKind::Log { level, message } => {
-                s.push_str(",\"ph\":\"log\",\"level\":");
-                s.push_str(&crate::json::string(level.as_str()));
-                s.push_str(",\"message\":");
-                s.push_str(&crate::json::string(message));
-            }
+/// One event as a JSONL line (the [`JsonlCollector`] format; the flight
+/// recorder writes the same lines into its dump sidecars).
+pub fn render_jsonl(ev: &Event) -> String {
+    let mut s = String::with_capacity(128);
+    s.push_str("{\"ts_us\":");
+    s.push_str(&ev.ts_us.to_string());
+    s.push_str(",\"tid\":");
+    s.push_str(&ev.tid.to_string());
+    match &ev.kind {
+        EventKind::Begin { name } => {
+            s.push_str(",\"ph\":\"B\",\"name\":");
+            s.push_str(&crate::json::string(name));
         }
-        if !ev.fields.is_empty() {
-            s.push_str(",\"fields\":{");
-            for (i, (k, v)) in ev.fields.iter().enumerate() {
-                if i > 0 {
-                    s.push(',');
-                }
-                s.push_str(&crate::json::string(k));
-                s.push(':');
-                s.push_str(&crate::json::value(v));
+        EventKind::End { name } => {
+            s.push_str(",\"ph\":\"E\",\"name\":");
+            s.push_str(&crate::json::string(name));
+        }
+        EventKind::Point { name } => {
+            s.push_str(",\"ph\":\"i\",\"name\":");
+            s.push_str(&crate::json::string(name));
+        }
+        EventKind::Log { level, message } => {
+            s.push_str(",\"ph\":\"log\",\"level\":");
+            s.push_str(&crate::json::string(level.as_str()));
+            s.push_str(",\"message\":");
+            s.push_str(&crate::json::string(message));
+        }
+    }
+    if !ev.fields.is_empty() {
+        s.push_str(",\"fields\":{");
+        for (i, (k, v)) in ev.fields.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
             }
-            s.push('}');
+            s.push_str(&crate::json::string(k));
+            s.push(':');
+            s.push_str(&crate::json::value(v));
         }
         s.push('}');
-        s
     }
+    s.push('}');
+    s
 }
 
 impl Collector for JsonlCollector {
     fn record(&self, ev: Event) {
-        let line = Self::render(&ev);
+        let line = render_jsonl(&ev);
         let mut w = self.w.lock().unwrap_or_else(|p| p.into_inner());
         let _ = writeln!(w, "{line}");
     }

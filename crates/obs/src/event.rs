@@ -163,6 +163,26 @@ impl Event {
     }
 }
 
+/// Intern `s` into a `&'static str`. Event names and field keys are
+/// static in the in-process taxonomy; events arriving off the wire
+/// (a `TraceDump` from a remote daemon) carry owned strings, and this is
+/// how they re-enter the [`Event`] model. The set of distinct names is
+/// small and bounded by the span taxonomy, so the leak is a one-time
+/// cost per name, deduplicated forever after.
+pub fn intern_name(s: &str) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    static INTERNED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let set = INTERNED.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut set = set.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(hit) = set.get(s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
@@ -214,6 +234,15 @@ mod tests {
         assert_eq!(current_tid(), current_tid());
         let other = std::thread::spawn(current_tid).join().unwrap();
         assert_ne!(current_tid(), other);
+    }
+
+    #[test]
+    fn interned_names_are_deduplicated() {
+        let a = intern_name("obs.test.interned");
+        let owned = String::from("obs.test.interned");
+        let b = intern_name(&owned);
+        assert!(std::ptr::eq(a, b), "same name must intern to one &'static");
+        assert_ne!(intern_name("obs.test.other"), a);
     }
 
     #[test]

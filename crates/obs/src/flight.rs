@@ -1,0 +1,265 @@
+//! The always-on flight recorder: a bounded in-memory ring of recent
+//! events plus a metric snapshot, dumped to a timestamped JSONL sidecar
+//! when something goes wrong.
+//!
+//! A daemon installs one recorder at startup ([`FlightRecorder::install`]
+//! makes its ring the process collector, so every span/event/log flows in
+//! at `RingCollector` cost) and then forgets about it. On a panic, a
+//! failpoint trip, `SIGUSR1`, or drain, [`dump`] writes
+//! `flight-<tag>-<secs>-<seq>.jsonl`:
+//!
+//! ```text
+//! {"flight":"7601","reason":"crash","seq":0,"ts_us":…,"events":314}
+//! {"ts_us":…,"tid":2,"ph":"B","name":"serve.request",…}   ← ring, oldest first
+//! …
+//! {"metric":"gensor_serve_queue_us","type":"histogram","count":…,…}
+//! ```
+//!
+//! Dumps are throttled (at most one per second) so a failpoint armed with
+//! a high-frequency policy cannot fill the disk, and the panic hook
+//! chains the previous hook so backtraces still print.
+
+use crate::collector::{render_jsonl, Collector, RingCollector};
+use crate::event::{now_us, Event};
+use crate::metrics::{self, MetricValue};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Minimum microseconds between two throttled dumps.
+const DUMP_MIN_GAP_US: u64 = 1_000_000;
+
+/// The process flight recorder (see the module docs).
+pub struct FlightRecorder {
+    ring: Arc<RingCollector>,
+    dir: PathBuf,
+    tag: String,
+    seq: AtomicU64,
+    /// `now_us` of the last throttled dump; `u64::MAX` = never dumped.
+    last_dump_us: AtomicU64,
+}
+
+static FLIGHT: RwLock<Option<Arc<FlightRecorder>>> = RwLock::new(None);
+
+impl FlightRecorder {
+    /// Build a recorder without touching process-global state (tests).
+    pub fn new(dir: impl AsRef<Path>, cap: usize, tag: &str) -> FlightRecorder {
+        FlightRecorder {
+            ring: Arc::new(RingCollector::new(cap)),
+            dir: dir.as_ref().to_path_buf(),
+            tag: tag.to_string(),
+            seq: AtomicU64::new(0),
+            last_dump_us: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Install a recorder process-wide: its ring becomes the collector
+    /// (tracing on), the panic hook dumps it, and [`dump`] finds it.
+    pub fn install(dir: impl AsRef<Path>, cap: usize, tag: &str) -> Arc<FlightRecorder> {
+        let rec = Arc::new(FlightRecorder::new(dir, cap, tag));
+        crate::install(rec.ring.clone() as Arc<dyn Collector>);
+        install_panic_hook();
+        let mut slot = FLIGHT.write().unwrap_or_else(|p| p.into_inner());
+        *slot = Some(rec.clone());
+        rec
+    }
+
+    /// The recorder's ring (the `TraceDump` frame answers from it).
+    pub fn ring(&self) -> Arc<RingCollector> {
+        self.ring.clone()
+    }
+
+    /// The recorder's tag (a daemon uses its listen port).
+    pub fn tag(&self) -> &str {
+        &self.tag
+    }
+
+    /// Snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.ring.events()
+    }
+
+    /// Write the ring plus a metric snapshot to a fresh sidecar file,
+    /// returning its path.
+    pub fn dump(&self, reason: &str) -> std::io::Result<PathBuf> {
+        let secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self
+            .dir
+            .join(format!("flight-{}-{secs}-{seq}.jsonl", self.tag));
+        let events = self.ring.events();
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        writeln!(
+            w,
+            "{{\"flight\":{},\"reason\":{},\"seq\":{seq},\"ts_us\":{},\"events\":{}}}",
+            crate::json::string(&self.tag),
+            crate::json::string(reason),
+            now_us(),
+            events.len()
+        )?;
+        for ev in &events {
+            writeln!(w, "{}", render_jsonl(ev))?;
+        }
+        for m in metrics::snapshot() {
+            writeln!(w, "{}", render_metric_line(&m.name, &m.value))?;
+        }
+        w.flush()?;
+        Ok(path)
+    }
+
+    /// [`dump`], rate-limited to one per second. `None` when throttled
+    /// (or when the write failed — the recorder never propagates errors
+    /// into a crashing process's unwind path).
+    pub fn dump_throttled(&self, reason: &str) -> Option<PathBuf> {
+        let now = now_us();
+        let last = self.last_dump_us.load(Ordering::SeqCst);
+        if last != u64::MAX && now.saturating_sub(last) < DUMP_MIN_GAP_US {
+            return None;
+        }
+        if self
+            .last_dump_us
+            .compare_exchange(last, now, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return None; // another thread is dumping this second
+        }
+        self.dump(reason).ok()
+    }
+}
+
+fn render_metric_line(name: &str, value: &MetricValue) -> String {
+    match value {
+        MetricValue::Counter(v) => format!(
+            "{{\"metric\":{},\"type\":\"counter\",\"value\":{v}}}",
+            crate::json::string(name)
+        ),
+        MetricValue::Gauge(v) => format!(
+            "{{\"metric\":{},\"type\":\"gauge\",\"value\":{v}}}",
+            crate::json::string(name)
+        ),
+        MetricValue::Histogram {
+            cumulative,
+            sum_us,
+            count,
+        } => format!(
+            "{{\"metric\":{},\"type\":\"histogram\",\"count\":{count},\"sum_us\":{sum_us},\
+             \"p50_us\":{},\"p99_us\":{}}}",
+            crate::json::string(name),
+            metrics::quantile_from_cumulative(cumulative, *count, 0.50),
+            metrics::quantile_from_cumulative(cumulative, *count, 0.99),
+        ),
+    }
+}
+
+/// Remove the installed recorder (tests): clears the global slot and
+/// the collector. The panic hook stays chained but becomes a no-op —
+/// it looks the recorder up through this slot at panic time.
+pub fn uninstall() {
+    let mut slot = FLIGHT.write().unwrap_or_else(|p| p.into_inner());
+    if slot.take().is_some() {
+        crate::uninstall();
+    }
+}
+
+/// The installed recorder, if any.
+pub fn installed() -> Option<Arc<FlightRecorder>> {
+    FLIGHT
+        .read()
+        .unwrap_or_else(|p| p.into_inner())
+        .as_ref()
+        .cloned()
+}
+
+/// Throttled dump of the installed recorder; `None` when none is
+/// installed, the throttle holds, or the write failed.
+pub fn dump(reason: &str) -> Option<PathBuf> {
+    installed().and_then(|rec| rec.dump_throttled(reason))
+}
+
+/// Chain a panic hook that dumps the flight recorder before the default
+/// hook prints the backtrace. Installed once per process.
+fn install_panic_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            dump("panic");
+            prev(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Value};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("obs-flight-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn point(i: u64) -> Event {
+        Event {
+            ts_us: i,
+            tid: 1,
+            kind: EventKind::Point { name: "tick" },
+            fields: vec![("i", Value::U64(i))],
+        }
+    }
+
+    #[test]
+    fn dump_writes_header_events_and_metrics() {
+        let dir = temp_dir("dump");
+        let rec = FlightRecorder::new(&dir, 8, "t1");
+        for i in 0..3 {
+            rec.ring.record(point(i));
+        }
+        crate::counter("obs_flight_test_total", "test").inc();
+        let path = rec.dump("unit-test").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("\"flight\":\"t1\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"reason\":\"unit-test\""));
+        assert!(lines[0].contains("\"events\":3"));
+        assert_eq!(
+            lines.iter().filter(|l| l.contains("\"ph\":\"i\"")).count(),
+            3
+        );
+        assert!(
+            text.contains("\"metric\":\"obs_flight_test_total\",\"type\":\"counter\""),
+            "{text}"
+        );
+        // Every line is a JSON object (brace-delimited, no trailing junk).
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn throttle_allows_the_first_dump_and_blocks_the_burst() {
+        let dir = temp_dir("throttle");
+        let rec = FlightRecorder::new(&dir, 8, "t2");
+        rec.ring.record(point(0));
+        assert!(rec.dump_throttled("first").is_some());
+        assert!(rec.dump_throttled("burst").is_none(), "within the gap");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sequential_dumps_get_distinct_paths() {
+        let dir = temp_dir("seq");
+        let rec = FlightRecorder::new(&dir, 8, "t3");
+        let a = rec.dump("a").unwrap();
+        let b = rec.dump("b").unwrap();
+        assert_ne!(a, b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -12,9 +12,15 @@
 //! * **Metrics** — a global registry of [`Counter`]s, [`Gauge`]s and
 //!   µs-bucket [`Histogram`]s named `gensor_<crate>_<name>`, unifying the
 //!   cache, daemon, and verifier statistics.
-//! * **Exporters** — [`chrome::trace_json`] (Perfetto/chrome://tracing),
-//!   [`prometheus::render`] (text exposition), and
+//! * **Exporters** — [`chrome::trace_json`] (Perfetto/chrome://tracing,
+//!   with [`chrome::trace_json_multi`] merging several processes' rings
+//!   into one view), [`prometheus::render`] (text exposition), and
 //!   [`convergence::walk_csv`] (the paper's Fig. 8 convergence traces).
+//!
+//! Two distributed-plane pieces sit on top: [`trace::TraceContext`] (the
+//! two-integer identity a request carries across process hops) and
+//! [`flight::FlightRecorder`] (the always-on ring every daemon dumps to a
+//! JSONL sidecar on panic, failpoint trip, `SIGUSR1`, or drain).
 //!
 //! The crate is std-only so every other crate can depend on it without
 //! dragging the shim graph along.
@@ -23,16 +29,20 @@ pub mod chrome;
 mod collector;
 pub mod convergence;
 mod event;
+pub mod flight;
 pub(crate) mod json;
 pub mod metrics;
 pub mod prometheus;
+pub mod trace;
 
 pub use collector::{
-    emit_log, install, log_enabled, record, record_point, tracing_enabled, uninstall, Collector,
-    JsonlCollector, RingCollector, Span,
+    emit_log, install, log_enabled, record, record_point, render_jsonl, tracing_enabled, uninstall,
+    Collector, JsonlCollector, RingCollector, Span,
 };
-pub use event::{current_tid, now_us, Event, EventKind, Level, Value};
+pub use event::{current_tid, intern_name, now_us, Event, EventKind, Level, Value};
+pub use flight::FlightRecorder;
 pub use metrics::{counter, gauge, histogram_us, Counter, Gauge, Histogram};
+pub use trace::TraceContext;
 
 /// Open a span: `let _sp = span!("tune", op = op.label(), chains = 4u64);`
 ///

@@ -283,6 +283,33 @@ pub fn snapshot() -> Vec<MetricSnapshot> {
         .collect()
 }
 
+/// Quantile over cumulative `(le_us, count)` histogram rows (the
+/// [`MetricValue::Histogram`] shape, also what the Prometheus parser
+/// reconstructs): the upper bound of the bucket containing rank
+/// `ceil(q·count)`, 0 when empty. Shared by the flight recorder and the
+/// fleet metrics aggregator so single-process and merged quantiles agree.
+pub fn quantile_from_cumulative(cumulative: &[(u64, u64)], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    // The overflow bucket has no upper bound; report 2× the last finite
+    // bound *of this cumulative* (a parsed scrape may carry a different
+    // ladder than the live registry's).
+    let overflow = 2 * cumulative
+        .iter()
+        .rev()
+        .find(|(le, _)| *le != u64::MAX)
+        .map(|(le, _)| *le)
+        .unwrap_or(BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1]);
+    for (le, acc) in cumulative {
+        if *acc >= rank {
+            return if *le == u64::MAX { overflow } else { *le };
+        }
+    }
+    overflow
+}
+
 /// Zero every registered metric (names and handles survive). Test-only
 /// escape hatch: the registry is process-global, and tests asserting exact
 /// values need a known baseline.
@@ -343,6 +370,30 @@ mod tests {
         assert_eq!(h.quantile_us(0.99), 50_000);
         assert_eq!(h.quantile_us(1.0), 20_000_000);
         assert_eq!(h.sum_us(), 98 * 80 + 40_000 + 20_000_000);
+    }
+
+    #[test]
+    fn cumulative_quantiles_match_the_live_histogram() {
+        let h = histogram_us("obs_test_cumulative_q_us", "test");
+        for _ in 0..98 {
+            h.record_us(80);
+        }
+        h.record_us(40_000);
+        h.record_us(20_000_000);
+        let mut cumulative = Vec::new();
+        let mut acc = 0;
+        for (i, c) in h.bucket_counts().into_iter().enumerate() {
+            acc += c;
+            cumulative.push((BUCKET_BOUNDS_US.get(i).copied().unwrap_or(u64::MAX), acc));
+        }
+        for q in [0.5, 0.99, 1.0] {
+            assert_eq!(
+                quantile_from_cumulative(&cumulative, h.count(), q),
+                h.quantile_us(q),
+                "q={q}"
+            );
+        }
+        assert_eq!(quantile_from_cumulative(&[], 0, 0.5), 0);
     }
 
     #[test]

@@ -47,6 +47,66 @@ pub fn render() -> String {
     render_snapshot(&metrics::snapshot())
 }
 
+/// JSON-escape a string into `out` (quotes included).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render one snapshot list as deterministic machine-readable JSON:
+/// metrics sorted by name (the [`metrics::snapshot`] order), object keys
+/// in a fixed order, integers rendered without float noise. Two renders
+/// of the same snapshot are byte-identical — the `gensor metrics --json`
+/// contract, mirroring `gensor lint --json`. Histograms expose the
+/// derived `p50_us`/`p99_us` alongside `sum_us`/`count` so consumers
+/// need no bucket math.
+pub fn render_json_snapshot(snap: &[MetricSnapshot]) -> String {
+    let mut out = String::from("{\"metrics\":[");
+    for (i, m) in snap.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"name\":");
+        push_json_str(&mut out, &m.name);
+        out.push_str(",\"type\":");
+        match &m.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("\"counter\",\"value\":{v}"));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("\"gauge\",\"value\":{v}"));
+            }
+            MetricValue::Histogram {
+                cumulative,
+                sum_us,
+                count,
+            } => {
+                let p50 = metrics::quantile_from_cumulative(cumulative, *count, 0.50);
+                let p99 = metrics::quantile_from_cumulative(cumulative, *count, 0.99);
+                out.push_str(&format!(
+                    "\"histogram\",\"count\":{count},\"sum_us\":{sum_us},\"p50_us\":{p50},\"p99_us\":{p99}"
+                ));
+            }
+        }
+        out.push_str(",\"help\":");
+        push_json_str(&mut out, &m.help);
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
 /// One parsed sample line: `(metric_name, labels, value)`. `labels` is the
 /// raw `{…}` body (empty for unlabeled samples).
 #[derive(Debug, Clone, PartialEq)]
@@ -147,6 +207,32 @@ mod tests {
         assert_eq!(buckets[1].value, 3.0);
         // Cumulative buckets never decrease.
         assert!(buckets.windows(2).all(|w| w[0].value <= w[1].value));
+    }
+
+    #[test]
+    fn json_rendering_is_byte_stable_against_the_golden_form() {
+        let fixture = snap();
+        let golden = "{\"metrics\":[\n  \
+            {\"name\":\"gensor_test_hits_total\",\"type\":\"counter\",\"value\":42,\"help\":\"cache hits\"},\n  \
+            {\"name\":\"gensor_test_inflight\",\"type\":\"gauge\",\"value\":-1,\"help\":\"jobs in flight\"},\n  \
+            {\"name\":\"gensor_test_latency_us\",\"type\":\"histogram\",\"count\":4,\"sum_us\":12345,\"p50_us\":100,\"p99_us\":200,\"help\":\"latency\"}\n\
+            ]}\n";
+        assert_eq!(render_json_snapshot(&fixture), golden);
+        assert_eq!(
+            render_json_snapshot(&fixture),
+            render_json_snapshot(&snap())
+        );
+    }
+
+    #[test]
+    fn json_rendering_escapes_help_text() {
+        let snap = vec![MetricSnapshot {
+            name: "gensor_test_x".into(),
+            help: "line\none \"two\"".into(),
+            value: MetricValue::Counter(0),
+        }];
+        let text = render_json_snapshot(&snap);
+        assert!(text.contains("line\\none \\\"two\\\""), "{text}");
     }
 
     #[test]

@@ -9,8 +9,8 @@
 
 use crate::endpoint::{Endpoint, Stream};
 use crate::proto::{
-    read_frame, write_frame, ErrKind, FrameError, Request, Response, WireKernel, WireOutcome,
-    PROTO_VERSION,
+    read_frame, write_frame, ErrKind, FrameError, Request, Response, WireEvent, WireKernel,
+    WireOutcome, MIN_PROTO_VERSION, PROTO_VERSION,
 };
 use hardware::GpuSpec;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -108,6 +108,14 @@ impl From<FrameError> for ClientError {
 pub struct Client {
     stream: Stream,
     cfg: ClientConfig,
+    /// Protocol version negotiated in the handshake (the lower of the two
+    /// ends'; a v5 daemon answers 5 and trace frames are then skipped).
+    proto: u32,
+    /// Desired distributed trace context `(trace_id, parent_span)`;
+    /// `(0, 0)` = none.
+    trace: (u64, u64),
+    /// The context the server last acknowledged for this connection.
+    trace_synced: (u64, u64),
 }
 
 /// A seed that differs across processes and calls without consulting a
@@ -155,18 +163,29 @@ impl Client {
                     let mut client = Client {
                         stream,
                         cfg: cfg.clone(),
+                        proto: PROTO_VERSION,
+                        trace: (0, 0),
+                        trace_synced: (0, 0),
                     };
                     client.set_deadline(client.cfg.connect_timeout)?;
                     match client.exchange(&Request::Hello {
                         proto: PROTO_VERSION,
                         token: cfg.token.clone(),
                     }) {
-                        Ok(Response::Hello { proto }) if proto == PROTO_VERSION => {
-                            return Ok(client)
+                        // The server answers with the version the
+                        // connection will speak — ours, or its own lower
+                        // one (an in-place fleet upgrade has mixed
+                        // daemons for a while).
+                        Ok(Response::Hello { proto })
+                            if (MIN_PROTO_VERSION..=PROTO_VERSION).contains(&proto) =>
+                        {
+                            client.proto = proto;
+                            return Ok(client);
                         }
                         Ok(Response::Hello { proto }) => {
                             return Err(ClientError::Protocol(format!(
-                                "server answered proto {proto}, wanted {PROTO_VERSION}"
+                                "server answered proto {proto}, \
+                                 wanted {MIN_PROTO_VERSION}..={PROTO_VERSION}"
                             )))
                         }
                         Ok(Response::Error { kind, message }) => {
@@ -206,10 +225,48 @@ impl Client {
         Ok(read_frame(&mut self.stream)?)
     }
 
+    /// Set (or with `trace_id == 0` clear) the distributed trace context
+    /// for this connection. Cheap and lazy: the `Trace` frame is sent
+    /// piggybacked on the next request, and only when the context
+    /// actually changed. No-op against a pre-v6 daemon.
+    pub fn set_trace(&mut self, trace_id: u64, parent_span: u64) {
+        self.trace = if trace_id == 0 {
+            (0, 0)
+        } else {
+            (trace_id, parent_span)
+        };
+    }
+
+    /// The protocol version the handshake settled on.
+    pub fn proto(&self) -> u32 {
+        self.proto
+    }
+
+    /// Bring the server's connection-scoped trace context in line with
+    /// [`set_trace`](Client::set_trace). Called under the request
+    /// deadline, before the request itself.
+    fn sync_trace(&mut self) -> Result<(), ClientError> {
+        if self.trace == self.trace_synced || self.proto < 6 {
+            return Ok(());
+        }
+        match self.exchange(&Request::Trace {
+            trace_id: self.trace.0,
+            parent_span: self.trace.1,
+        })? {
+            Response::TraceAck => {
+                self.trace_synced = self.trace;
+                Ok(())
+            }
+            Response::Error { kind, message } => Err(ClientError::Remote { kind, message }),
+            other => Err(ClientError::Protocol(format!("trace answered {other:?}"))),
+        }
+    }
+
     /// One request/response exchange under the request timeout, with
     /// `Busy` and `Error` replies mapped to typed errors.
     pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
         self.set_deadline(self.cfg.request_timeout)?;
+        self.sync_trace()?;
         match self.exchange(req)? {
             Response::Busy {
                 inflight,
@@ -326,6 +383,19 @@ impl Client {
             Response::Model { json } => Ok(json),
             other => Err(ClientError::Protocol(format!(
                 "fetch-model answered {other:?}"
+            ))),
+        }
+    }
+
+    /// Pull the daemon's flight-recorder ring: `(tag, events)`, oldest
+    /// event first. A daemon without a recorder answers an empty dump;
+    /// a pre-v6 daemon does not speak the frame, reported as a typed
+    /// protocol error by the server.
+    pub fn trace_dump(&mut self) -> Result<(String, Vec<WireEvent>), ClientError> {
+        match self.request(&Request::TraceDump)? {
+            Response::TraceDumped { tag, events } => Ok((tag, events)),
+            other => Err(ClientError::Protocol(format!(
+                "trace-dump answered {other:?}"
             ))),
         }
     }

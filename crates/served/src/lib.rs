@@ -30,5 +30,8 @@ pub use client::{
 };
 pub use endpoint::{Endpoint, Listener, Stream};
 pub use metrics::ServeStats;
-pub use proto::{ErrKind, FrameError, Request, Response, WireKernel, WireOutcome, PROTO_VERSION};
+pub use proto::{
+    ErrKind, FrameError, Request, Response, WireEvent, WireKernel, WireOutcome, MIN_PROTO_VERSION,
+    PROTO_VERSION,
+};
 pub use server::{DrainReport, MethodRegistry, Server, ServerConfig, ServerHandle};

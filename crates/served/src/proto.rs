@@ -9,9 +9,10 @@
 //! * **Bounded** — a header announcing more than [`MAX_FRAME_BYTES`] is
 //!   rejected *before* any allocation, so a garbage header cannot make the
 //!   daemon allocate gigabytes.
-//! * **Versioned** — a connection opens with `Hello { proto }`; the server
-//!   refuses mismatched [`PROTO_VERSION`]s with a typed error instead of
-//!   mis-parsing newer frames.
+//! * **Versioned** — a connection opens with `Hello { proto }`; both ends
+//!   accept the [`MIN_PROTO_VERSION`]`..=`[`PROTO_VERSION`] range and speak
+//!   the lower of the two versions, refusing anything outside it with a
+//!   typed error instead of mis-parsing newer frames.
 //! * **Failure-typed** — decode problems are classified
 //!   ([`FrameError::Closed`] / [`Truncated`] / [`TooLarge`] /
 //!   [`Malformed`]) so the server can tell a clean disconnect from a
@@ -30,7 +31,9 @@ use std::io::{Read, Write};
 use tensor_expr::OpSpec;
 
 /// Protocol version; bumped on any incompatible frame change. The
-/// handshake refuses other versions. v2 added the `Metrics` frame pair
+/// handshake accepts [`MIN_PROTO_VERSION`]`..=PROTO_VERSION` and the
+/// connection speaks the lower of the two ends' versions. v2 added the
+/// `Metrics` frame pair
 /// (Prometheus text exposition) and the queue/service latency split in
 /// [`ServeStats`]. v3 added the robustness counters (`worker_panics`,
 /// `cancelled` in [`ServeStats`], `recovered_truncated` in the cache
@@ -43,7 +46,17 @@ use tensor_expr::OpSpec;
 /// ([`Request::Put`] / [`Response::PutDone`]) for write-through and
 /// read-repair, the freshness probe ([`Request::Probe`] /
 /// [`Response::Probed`]), and the daemon's peer list in [`ServeStats`].
-pub const PROTO_VERSION: u32 = 5;
+/// v6 is the observability plane: the connection-scoped trace context
+/// ([`Request::Trace`] / [`Response::TraceAck`]) stamped onto every
+/// subsequent request's span, and the flight-recorder pull
+/// ([`Request::TraceDump`] / [`Response::TraceDumped`]). v6 only *adds*
+/// frames — every v5 frame still parses unchanged — so the handshake
+/// accepts v5 clients.
+pub const PROTO_VERSION: u32 = 6;
+
+/// Oldest protocol version this build still speaks. v6 added frames
+/// without changing any v5 frame, so v5 peers remain fully serviceable.
+pub const MIN_PROTO_VERSION: u32 = 5;
 
 /// Upper bound on one frame's JSON payload (32 MiB — far above any real
 /// schedule, far below an allocation-of-death).
@@ -96,6 +109,19 @@ pub enum Request {
         gpu: GpuSpec,
         method: String,
     },
+    /// Set (or clear, with `trace_id == 0`) the connection's distributed
+    /// trace context. The server stamps `trace` / `parent` onto every
+    /// subsequent request's `serve.request` span until the context changes,
+    /// so one compile fanned out over the fabric shows up as a single
+    /// trace id across every daemon it touched. Answered inline with
+    /// [`Response::TraceAck`]; one frame per context change, not per
+    /// request.
+    Trace { trace_id: u64, parent_span: u64 },
+    /// Pull the daemon's flight-recorder ring (recent spans, points, and
+    /// log lines). Answered inline with [`Response::TraceDumped`]; a
+    /// daemon without a recorder installed answers with an empty dump
+    /// rather than an error.
+    TraceDump,
     /// Server counters + latency percentiles + cache statistics.
     Stats,
     /// The server's metric registry in Prometheus text exposition format.
@@ -136,6 +162,14 @@ pub enum Response {
     PutDone { installed: bool },
     /// Reply to [`Request::Probe`].
     Probed { cached: bool },
+    /// Reply to [`Request::Trace`]: the context is set for this
+    /// connection.
+    TraceAck,
+    /// Reply to [`Request::TraceDump`]: the daemon's flight-recorder ring
+    /// in wire form, oldest event first. `tag` is the recorder's tag (the
+    /// daemon's listen port by convention); empty when no recorder is
+    /// installed, alongside an empty `events`.
+    TraceDumped { tag: String, events: Vec<WireEvent> },
     /// Reply to [`Request::Stats`].
     Stats { server: ServeStats },
     /// Reply to [`Request::Metrics`]: Prometheus text exposition, ready
@@ -235,6 +269,114 @@ impl From<WireKernel> for CompiledKernel {
             wall_time_s: k.wall_time_s,
             simulated_tuning_s: k.simulated_tuning_s,
             candidates_evaluated: k.candidates_evaluated,
+        }
+    }
+}
+
+/// One flight-recorder event in wire form (the [`Response::TraceDumped`]
+/// payload). The in-process [`obs::Event`] uses `&'static str` names and
+/// keys from the span taxonomy; on the wire they travel as owned strings
+/// and re-enter the static model through [`obs::intern_name`] — the set of
+/// distinct names is small and bounded by the taxonomy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireEvent {
+    /// Microseconds since the *remote* process's trace epoch. Epochs are
+    /// per-process; hop ordering comes from the `trace`/`parent` span
+    /// fields, not from comparing timestamps across dumps.
+    pub ts_us: u64,
+    /// The remote process's dense thread id.
+    pub tid: u64,
+    /// Phase: `"B"` (span begin), `"E"` (span end), `"i"` (point),
+    /// `"log"`.
+    pub ph: String,
+    /// Span/point name (`"log"` for log lines).
+    pub name: String,
+    /// Log severity (`"debug"`…`"error"`); empty for non-log events.
+    pub level: String,
+    /// Log message; empty for non-log events.
+    pub message: String,
+    /// Structured fields.
+    pub fields: Vec<(String, serde::Value)>,
+}
+
+fn obs_value_to_wire(v: &obs::Value) -> serde::Value {
+    match v {
+        obs::Value::U64(n) => serde::Value::U64(*n),
+        obs::Value::I64(n) => serde::Value::I64(*n),
+        obs::Value::F64(f) => serde::Value::F64(*f),
+        obs::Value::Bool(b) => serde::Value::Bool(*b),
+        obs::Value::Str(s) => serde::Value::Str(s.clone()),
+    }
+}
+
+fn wire_value_to_obs(v: &serde::Value) -> obs::Value {
+    match v {
+        serde::Value::U64(n) => obs::Value::U64(*n),
+        serde::Value::I64(n) => obs::Value::I64(*n),
+        serde::Value::F64(f) => obs::Value::F64(*f),
+        serde::Value::Bool(b) => obs::Value::Bool(*b),
+        serde::Value::Str(s) => obs::Value::Str(s.clone()),
+        // Null/Array/Object never leave obs, but a forged frame could
+        // carry them; render rather than reject.
+        other => obs::Value::Str(format!("{other:?}")),
+    }
+}
+
+impl From<&obs::Event> for WireEvent {
+    fn from(ev: &obs::Event) -> Self {
+        let (ph, name, level, message) = match &ev.kind {
+            obs::EventKind::Begin { name } => ("B", *name, "", String::new()),
+            obs::EventKind::End { name } => ("E", *name, "", String::new()),
+            obs::EventKind::Point { name } => ("i", *name, "", String::new()),
+            obs::EventKind::Log { level, message } => {
+                ("log", "log", level.as_str(), message.clone())
+            }
+        };
+        WireEvent {
+            ts_us: ev.ts_us,
+            tid: ev.tid,
+            ph: ph.to_string(),
+            name: name.to_string(),
+            level: level.to_string(),
+            message,
+            fields: ev
+                .fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), obs_value_to_wire(v)))
+                .collect(),
+        }
+    }
+}
+
+impl WireEvent {
+    /// Rebuild the in-process event. Unknown phases decay to points and
+    /// unknown levels to `Info` — a dump viewer wants totality, not
+    /// rejection.
+    pub fn to_event(&self) -> obs::Event {
+        let name = obs::intern_name(&self.name);
+        let kind = match self.ph.as_str() {
+            "B" => obs::EventKind::Begin { name },
+            "E" => obs::EventKind::End { name },
+            "log" => obs::EventKind::Log {
+                level: match self.level.as_str() {
+                    "debug" => obs::Level::Debug,
+                    "warn" => obs::Level::Warn,
+                    "error" => obs::Level::Error,
+                    _ => obs::Level::Info,
+                },
+                message: self.message.clone(),
+            },
+            _ => obs::EventKind::Point { name },
+        };
+        obs::Event {
+            ts_us: self.ts_us,
+            tid: self.tid,
+            kind,
+            fields: self
+                .fields
+                .iter()
+                .map(|(k, v)| (obs::intern_name(k), wire_value_to_obs(v)))
+                .collect(),
         }
     }
 }
@@ -513,6 +655,125 @@ mod tests {
             let back: Response = read_frame(&mut buf.as_slice()).unwrap();
             assert_eq!(back, f);
         }
+    }
+
+    #[test]
+    fn trace_frames_round_trip() {
+        for f in [
+            Request::Trace {
+                trace_id: 0xdead_beef_cafe_f00d,
+                parent_span: 42,
+            },
+            Request::Trace {
+                trace_id: 0,
+                parent_span: 0,
+            },
+            Request::TraceDump,
+        ] {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &f).unwrap();
+            let back: Request = read_frame(&mut buf.as_slice()).unwrap();
+            assert_eq!(back, f);
+        }
+        let dumped = Response::TraceDumped {
+            tag: "7601".into(),
+            events: vec![
+                WireEvent {
+                    ts_us: 10,
+                    tid: 2,
+                    ph: "B".into(),
+                    name: "serve.request".into(),
+                    level: String::new(),
+                    message: String::new(),
+                    fields: vec![
+                        ("trace".into(), serde::Value::U64(7)),
+                        ("op".into(), serde::Value::Str("gemm".into())),
+                    ],
+                },
+                WireEvent {
+                    ts_us: 11,
+                    tid: 2,
+                    ph: "log".into(),
+                    name: "log".into(),
+                    level: "warn".into(),
+                    message: "uh oh".into(),
+                    fields: Vec::new(),
+                },
+            ],
+        };
+        for f in [dumped, Response::TraceAck] {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &f).unwrap();
+            let back: Response = read_frame(&mut buf.as_slice()).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn wire_events_round_trip_through_the_obs_model() {
+        let events = vec![
+            obs::Event {
+                ts_us: 5,
+                tid: 1,
+                kind: obs::EventKind::Begin { name: "tune" },
+                fields: vec![
+                    ("span", obs::Value::U64(9)),
+                    ("op", obs::Value::Str("gemm".into())),
+                    ("ok", obs::Value::Bool(true)),
+                    ("gain", obs::Value::F64(0.5)),
+                    ("delta", obs::Value::I64(-3)),
+                ],
+            },
+            obs::Event {
+                ts_us: 6,
+                tid: 1,
+                kind: obs::EventKind::End { name: "tune" },
+                fields: vec![("span", obs::Value::U64(9))],
+            },
+            obs::Event {
+                ts_us: 7,
+                tid: 2,
+                kind: obs::EventKind::Point { name: "walk.step" },
+                fields: Vec::new(),
+            },
+            obs::Event {
+                ts_us: 8,
+                tid: 2,
+                kind: obs::EventKind::Log {
+                    level: obs::Level::Error,
+                    message: "boom".into(),
+                },
+                fields: Vec::new(),
+            },
+        ];
+        for ev in &events {
+            let wire = WireEvent::from(ev);
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &wire).unwrap();
+            let back: WireEvent = read_frame(&mut buf.as_slice()).unwrap();
+            assert_eq!(back.to_event(), *ev);
+        }
+    }
+
+    #[test]
+    fn v5_frames_still_parse_on_a_v6_build() {
+        // Literal v5 wire JSON (as a v5 client would send it). v6 added
+        // frames without touching these layouts, so they must keep
+        // parsing byte-for-byte.
+        let hello: Request =
+            serde_json::from_str(r#"{"Hello":{"proto":5,"token":"fabric-secret"}}"#).unwrap();
+        assert_eq!(
+            hello,
+            Request::Hello {
+                proto: 5,
+                token: Some("fabric-secret".into()),
+            }
+        );
+        let ping: Request = serde_json::from_str(r#""Ping""#).unwrap();
+        assert_eq!(ping, Request::Ping);
+        let probe_reply: Response = serde_json::from_str(r#"{"Probed":{"cached":true}}"#).unwrap();
+        assert_eq!(probe_reply, Response::Probed { cached: true });
+        const { assert!(MIN_PROTO_VERSION <= 5 && PROTO_VERSION >= 6) };
     }
 
     #[test]

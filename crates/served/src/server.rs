@@ -38,7 +38,8 @@
 use crate::endpoint::{Endpoint, Listener, Stream};
 use crate::metrics::{Metrics, ServeStats};
 use crate::proto::{
-    read_frame, write_frame, ErrKind, FrameError, Request, Response, WireOutcome, PROTO_VERSION,
+    read_frame, write_frame, ErrKind, FrameError, Request, Response, WireEvent, WireOutcome,
+    MIN_PROTO_VERSION, PROTO_VERSION,
 };
 use gensor::{Gensor, GensorConfig};
 use hardware::GpuSpec;
@@ -242,6 +243,10 @@ struct Job {
     request: Request,
     accepted: Instant,
     deadline: Duration,
+    /// The connection's distributed trace context `(trace_id,
+    /// parent_span)` at dispatch time; `(0, 0)` when the client set none.
+    /// Stamped onto the job's `serve.request` span.
+    trace: (u64, u64),
     reply: mpsc::Sender<Response>,
     /// The admission permit, shared with the dispatching handler so a
     /// cancelled job's slot can be released while the job still sits in
@@ -259,8 +264,16 @@ struct Job {
 /// async-signal-safe).
 static TERMINATED: AtomicBool = AtomicBool::new(false);
 
+/// SIGUSR1 flag: "dump the flight recorder now". Consumed (swapped back
+/// to false) by the accept loop.
+static DUMP_REQUESTED: AtomicBool = AtomicBool::new(false);
+
 extern "C" fn on_terminate(_sig: i32) {
     TERMINATED.store(true, Ordering::SeqCst);
+}
+
+extern "C" fn on_usr1(_sig: i32) {
+    DUMP_REQUESTED.store(true, Ordering::SeqCst);
 }
 
 fn install_signal_handlers() {
@@ -270,10 +283,12 @@ fn install_signal_handlers() {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
     const SIGINT: i32 = 2;
+    const SIGUSR1: i32 = 10;
     const SIGTERM: i32 = 15;
     unsafe {
         signal(SIGTERM, on_terminate);
         signal(SIGINT, on_terminate);
+        signal(SIGUSR1, on_usr1);
     }
 }
 
@@ -537,11 +552,26 @@ impl Server {
             if let Some(site) = &self.cfg.crash_site {
                 if faults::armed() && faults::check(site).is_some() {
                     obs::log!(Warn, "serve: failpoint '{site}' fired: simulating crash");
+                    // Last act before "dying": preserve the recent past.
+                    // A real SIGKILL would leave nothing; the simulated
+                    // one leaves the black box, which is the point of
+                    // carrying one.
+                    obs::flight::dump("crash");
                     self.shared.shutdown.store(true, Ordering::SeqCst);
                     return Ok(DrainReport {
                         reason: "crash",
                         stats: self.shared.stats(),
                     });
+                }
+            }
+            // Operator-requested dump (`kill -USR1 <daemon>`): snapshot
+            // the flight recorder without disturbing service.
+            if self.cfg.handle_signals && DUMP_REQUESTED.swap(false, Ordering::SeqCst) {
+                match obs::flight::dump("sigusr1") {
+                    Some(path) => {
+                        obs::log!(Info, "serve: flight recorder dumped to {}", path.display())
+                    }
+                    None => obs::log!(Warn, "serve: SIGUSR1 but no flight dump written"),
                 }
             }
             // Periodic store maintenance, checked at a coarse interval so
@@ -593,6 +623,9 @@ impl Server {
         } else {
             "signal"
         };
+        // A drain is the last chance to see what the daemon was doing;
+        // dump the black box alongside the final counters.
+        obs::flight::dump(reason);
         for h in handlers {
             let _ = h.join();
         }
@@ -687,7 +720,9 @@ fn process_job(shared: &Shared, job: &Job, waited: Duration) -> Response {
                 kind = "compile",
                 method = method.as_str(),
                 op = op.label(),
-                queued_us = waited.as_micros() as u64
+                queued_us = waited.as_micros() as u64,
+                trace = job.trace.0,
+                parent = job.trace.1
             );
             let t_service = Instant::now();
             match shared.compile(op, gpu, method, *budget) {
@@ -715,7 +750,9 @@ fn process_job(shared: &Shared, job: &Job, waited: Duration) -> Response {
                 "serve.request",
                 kind = "batch",
                 method = method.as_str(),
-                model = model.as_str()
+                model = model.as_str(),
+                trace = job.trace.0,
+                parent = job.trace.1
             );
             let r = shared.batch(model, *batch, gpu, method);
             if matches!(r, Response::BatchDone { .. }) {
@@ -759,7 +796,9 @@ fn handle_connection(stream: Stream, shared: &Shared, tx: &mpsc::Sender<Job>, cf
         }
     };
     match hello {
-        Request::Hello { proto, ref token } if proto == PROTO_VERSION => {
+        Request::Hello { proto, ref token }
+            if (MIN_PROTO_VERSION..=PROTO_VERSION).contains(&proto) =>
+        {
             if cfg.token.is_some() && *token != cfg.token {
                 shared.metrics.auth_failures.fetch_add(1, Ordering::Relaxed);
                 obs::counter_inc!(
@@ -775,14 +814,9 @@ fn handle_connection(stream: Stream, shared: &Shared, tx: &mpsc::Sender<Job>, cf
                 );
                 return;
             }
-            if server_write(
-                &mut stream,
-                &Response::Hello {
-                    proto: PROTO_VERSION,
-                },
-            )
-            .is_err()
-            {
+            // Speak the lower of the two versions; the reply tells the
+            // client which one won.
+            if server_write(&mut stream, &Response::Hello { proto }).is_err() {
                 return;
             }
         }
@@ -792,7 +826,10 @@ fn handle_connection(stream: Stream, shared: &Shared, tx: &mpsc::Sender<Job>, cf
                 &mut stream,
                 &Response::Error {
                     kind: ErrKind::UnsupportedProto,
-                    message: format!("server speaks proto {PROTO_VERSION}, client sent {proto}"),
+                    message: format!(
+                        "server speaks proto {MIN_PROTO_VERSION}..={PROTO_VERSION}, \
+                         client sent {proto}"
+                    ),
                 },
             );
             return;
@@ -810,6 +847,9 @@ fn handle_connection(stream: Stream, shared: &Shared, tx: &mpsc::Sender<Job>, cf
         }
     }
 
+    // The connection's distributed trace context, set by a `Trace` frame
+    // and stamped onto every subsequent work span. `(0, 0)` = none.
+    let mut conn_trace: (u64, u64) = (0, 0);
     loop {
         let request = match server_read(&mut stream) {
             Ok(req) => req,
@@ -850,6 +890,30 @@ fn handle_connection(stream: Stream, shared: &Shared, tx: &mpsc::Sender<Job>, cf
             },
             Request::Metrics => Response::Metrics {
                 text: obs::prometheus::render(),
+            },
+            Request::Trace {
+                trace_id,
+                parent_span,
+            } => {
+                conn_trace = if trace_id == 0 {
+                    (0, 0)
+                } else {
+                    (trace_id, parent_span)
+                };
+                Response::TraceAck
+            }
+            // Answered inline: reading the ring is a lock + clone, and a
+            // trace pull must work even when the worker pool is saturated
+            // (that is exactly when someone wants the trace).
+            Request::TraceDump => match obs::flight::installed() {
+                Some(rec) => Response::TraceDumped {
+                    tag: rec.tag().to_string(),
+                    events: rec.events().iter().map(WireEvent::from).collect(),
+                },
+                None => Response::TraceDumped {
+                    tag: String::new(),
+                    events: Vec::new(),
+                },
             },
             Request::FetchModel => Response::Model {
                 json: cfg.learned_model_json.clone(),
@@ -919,9 +983,15 @@ fn handle_connection(stream: Stream, shared: &Shared, tx: &mpsc::Sender<Job>, cf
                                 max_inflight: shared.gate.cap,
                             }
                         }
-                        Some(permit) => {
-                            dispatch_work(work, shared, tx, cfg.deadline, permit, &stream)
-                        }
+                        Some(permit) => dispatch_work(
+                            work,
+                            conn_trace,
+                            shared,
+                            tx,
+                            cfg.deadline,
+                            permit,
+                            &stream,
+                        ),
                     }
                 }
             }
@@ -985,6 +1055,7 @@ fn client_gone(stream: &Stream) -> bool {
 /// job that has not started yet.
 fn dispatch_work(
     work: Request,
+    trace: (u64, u64),
     shared: &Shared,
     tx: &mpsc::Sender<Job>,
     deadline: Duration,
@@ -1005,6 +1076,7 @@ fn dispatch_work(
         request: work,
         accepted,
         deadline,
+        trace,
         reply: reply_tx,
         permit: permit.clone(),
         cancelled: cancelled.clone(),

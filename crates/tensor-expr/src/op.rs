@@ -27,6 +27,20 @@ impl OpClass {
             OpClass::Elementwise => "Elementwise",
         }
     }
+
+    /// Metric-name suffix for per-class observability series
+    /// (`gensor_core_walk_step_us_<key>` and friends): the coarse
+    /// matmul / conv / reduce / elementwise split, snake_case-safe for
+    /// Prometheus names. GEMM and GEMV are both `matmul` (one class of
+    /// tensor-contraction behaviour); pooling is the `reduce` shape.
+    pub fn metric_key(self) -> &'static str {
+        match self {
+            OpClass::Gemm | OpClass::Gemv => "matmul",
+            OpClass::Conv2d => "conv",
+            OpClass::AvgPool2d => "reduce",
+            OpClass::Elementwise => "elementwise",
+        }
+    }
 }
 
 /// Per-operand element counts touched by one tile of the iteration space.
@@ -492,6 +506,28 @@ mod tests {
         assert_eq!(op.reduce_extents(), vec![64]);
         assert_eq!(op.flops(), 2.0 * 128.0 * 64.0 * 256.0);
         assert_eq!(op.output_elems(), 128 * 256);
+    }
+
+    #[test]
+    fn metric_keys_cover_the_four_observability_classes() {
+        assert_eq!(OpClass::Gemm.metric_key(), "matmul");
+        assert_eq!(OpClass::Gemv.metric_key(), "matmul");
+        assert_eq!(OpClass::Conv2d.metric_key(), "conv");
+        assert_eq!(OpClass::AvgPool2d.metric_key(), "reduce");
+        assert_eq!(OpClass::Elementwise.metric_key(), "elementwise");
+        // Prometheus-name-safe: lowercase snake fragments only.
+        for c in [
+            OpClass::Gemm,
+            OpClass::Gemv,
+            OpClass::Conv2d,
+            OpClass::AvgPool2d,
+            OpClass::Elementwise,
+        ] {
+            assert!(c
+                .metric_key()
+                .chars()
+                .all(|ch| ch.is_ascii_lowercase() || ch == '_'));
+        }
     }
 
     #[test]
