@@ -37,8 +37,10 @@ USAGE:
                [--cache F] [--cache-cap N] [--workers N]
                [--max-inflight N] [--deadline SECS] [--compact-bytes N]
                [--failpoints SPEC] [--learned M.json] [--topk K] [--seed N]
-               [--flight-dir D] [--flight-cap N]
+               [--flight-dir D] [--flight-cap N] [--gossip-interval SECS]
   gensor cluster status --peers A,B,C [--token T] [--emit E]
+  gensor cluster members --peers A,B,C [--token T] [--emit E | --json]
+  gensor cluster repair --peers A,B,C [--token T] [--emit E | --json]
   gensor cluster metrics --peers A,B,C [--token T] [--emit E | --json]
   gensor learn collect [<op> <dims...> | <model> | zoo] (--out D | --cache F)
                        [--gpu G] [--batch B] [--budget N] [--seed N]
@@ -100,6 +102,10 @@ OPTIONS:
                   post-mortem JSONL dumps (default: the system temp dir)
   --flight-cap    serve: flight-recorder ring capacity in events
                   (default 4096)
+  --gossip-interval
+                  serve: run the SWIM failure detector, probing --peers
+                  every SECS seconds; rejoins trigger anti-entropy cache
+                  repair (0 or absent: disabled)
   --learned       prune construction walks with a trained benefit model
                   (JSON file); serve also auto-loads the cache's
                   .model.json sidecar when this flag is absent
@@ -1046,9 +1052,42 @@ fn serve(_pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
         );
     }
     let (workers, max_inflight) = (cfg.workers, cfg.max_inflight);
+    let (peers_for_gossip, token_for_gossip) = (cfg.peers.clone(), cfg.token.clone());
     let registry = served::MethodRegistry::standard_with_gensor(gcfg);
+    let cache_for_gossip = cache.clone();
     let server = served::Server::bind(cfg, cache, registry)
         .map_err(|e| CliError::Usage(format!("cannot bind '{socket}': {e}")))?;
+    // Self-healing layer: with `--gossip-interval` and `--peers`, run
+    // the SWIM failure detector against the fleet. The membership table
+    // also answers this daemon's Gossip/Members frames, and rejoins
+    // (ours included — the startup pass) trigger anti-entropy repair of
+    // the schedule cache.
+    let gossip_interval = parse_num(opts, "gossip-interval")?.unwrap_or(0);
+    let detector = if gossip_interval > 0 && !peers_for_gossip.is_empty() {
+        let me = server.endpoint().to_string();
+        let table = fabric::MemberTable::new(&me, &peers_for_gossip);
+        server.attach_cluster(table.clone());
+        let gcfg = fabric::GossipConfig {
+            interval: std::time::Duration::from_secs(gossip_interval),
+            suspicion_timeout: std::time::Duration::from_secs(gossip_interval.saturating_mul(3)),
+            client: served::ClientConfig {
+                token: token_for_gossip,
+                ..fabric::GossipConfig::default().client
+            },
+            ..Default::default()
+        };
+        eprintln!(
+            "gensor serve: gossip detector on ({} peers, {gossip_interval}s rounds)",
+            peers_for_gossip.len().saturating_sub(1)
+        );
+        Some(
+            fabric::Detector::new(table, gcfg)
+                .with_cache(cache_for_gossip)
+                .spawn(),
+        )
+    } else {
+        None
+    };
     // Always-on flight recorder: a bounded ring of recent spans/events
     // that doubles as the `TraceDump` buffer and lands on disk as
     // timestamped JSONL on panic, failpoint trip, SIGUSR1, or drain.
@@ -1087,6 +1126,9 @@ fn serve(_pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
     let report = server
         .run()
         .map_err(|e| CliError::Usage(format!("serve failed: {e}")))?;
+    if let Some(handle) = detector {
+        handle.stop();
+    }
     let s = report.stats;
     Ok(format!(
         "drained ({}) after {:.1} s: {} requests, {} compiles ({} built / {} hits / {} coalesced), {} shed\n",
@@ -1096,15 +1138,17 @@ fn serve(_pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
 
 /// `gensor cluster` — fleet-wide views over `--peers`:
 /// `status` probes liveness, cache counters, and ring shares;
+/// `members` asks a gossip-enabled daemon for the SWIM membership view;
+/// `repair` drives the whole fleet's caches to the union key set;
 /// `metrics` scrapes every peer's Prometheus registry and merges the
 /// samples into one fleet view with per-peer labels.
 fn cluster(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
-    let sub = pos
-        .first()
-        .ok_or_else(|| CliError::Usage("cluster expects a subcommand: status | metrics".into()))?;
-    if !matches!(*sub, "status" | "metrics") {
+    let sub = pos.first().ok_or_else(|| {
+        CliError::Usage("cluster expects a subcommand: status | members | repair | metrics".into())
+    })?;
+    if !matches!(*sub, "status" | "members" | "repair" | "metrics") {
         return Err(CliError::Usage(format!(
-            "unknown cluster subcommand '{sub}' (expected status | metrics)"
+            "unknown cluster subcommand '{sub}' (expected status | members | repair | metrics)"
         )));
     }
     let peers = parse_peers(opts);
@@ -1135,6 +1179,67 @@ fn cluster(pos: &[&str], opts: &[(&str, &str)]) -> Result<String, CliError> {
             "prometheus" | "text" => Ok(fleet.merged_text()),
             other => Err(CliError::Usage(format!("unknown emit mode '{other}'"))),
         };
+    }
+    if *sub == "members" {
+        // The SWIM view lives on the daemons; the first reachable
+        // gossip-enabled peer answers for the cluster.
+        let mut last_err = String::from("no peer reachable");
+        for peer in &peers {
+            let mut c = match served::Client::connect_with(peer.as_str(), cfg.clone()) {
+                Ok(c) => c,
+                Err(e) => {
+                    last_err = e.to_string();
+                    continue;
+                }
+            };
+            if !c.supports_selfheal() {
+                last_err = format!("{peer} speaks proto {} (gossip needs v7)", c.proto());
+                continue;
+            }
+            let members = match c.members() {
+                Ok(m) => m,
+                Err(e) => {
+                    last_err = e.to_string();
+                    continue;
+                }
+            };
+            if members.is_empty() {
+                last_err = format!("{peer} runs no gossip detector (serve --gossip-interval)");
+                continue;
+            }
+            if emit == "json" {
+                return Ok(serde_json::to_string_pretty(&members).expect("serialize") + "\n");
+            }
+            let mut out = format!("membership per {peer}:\n");
+            for m in members {
+                out.push_str(&format!(
+                    "  {:<8} {:<28} incarnation {:>3}  since {}\n",
+                    m.state, m.endpoint, m.incarnation, m.since_unix_s
+                ));
+            }
+            return Ok(out);
+        }
+        return Err(CliError::Usage(format!(
+            "cluster members: no gossip view available ({last_err})"
+        )));
+    }
+    if *sub == "repair" {
+        let report = fabric::converge_cluster(&peers, &cfg);
+        if emit == "json" {
+            return Ok(format!(
+                "{{\"peers\":{},\"pre_v7\":{},\"union_keys\":{},\"pushed\":{},\"rejected\":{},\"converged\":{}}}\n",
+                report.peers,
+                report.pre_v7,
+                report.union_keys,
+                report.pushed,
+                report.rejected,
+                report.converged
+            ));
+        }
+        return Ok(format!(
+            "repair: {} peers, union {} keys, pushed {} (rejected {}), converged: {}\n",
+            report.peers, report.union_keys, report.pushed, report.rejected, report.converged
+        ));
     }
     let status = fabric::cluster_status(&peers, &cfg);
     match emit {

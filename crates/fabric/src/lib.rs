@@ -13,6 +13,15 @@
 //! * [`membership`] — static peer list + per-endpoint circuit breakers;
 //!   the routing ring is over *live* peers and rebuilds when one dies
 //!   or recovers.
+//! * [`gossip`] — SWIM-style failure detection: probe rounds with
+//!   indirect relays, suspicion timeouts, incarnation-numbered
+//!   alive → suspect → dead → rejoined transitions, disseminated by
+//!   piggybacking on proto-v7 `Gossip` frames.
+//! * [`repair`] — anti-entropy cache repair: shard-fingerprint digests
+//!   compared peer-to-peer, only missing entries streamed, every pulled
+//!   kernel re-verified at the `RemotePeer` trust boundary.
+//! * [`hints`] — hinted handoff: writes a dead owner missed wait in a
+//!   bounded CRC-framed log and replay on recovery.
 //! * [`router`] — [`FabricClient`], the [`simgpu::Tuner`]-shaped client:
 //!   primary read, replica failover, write-through replication that
 //!   doubles as read-repair, local fallback when the fabric is gone.
@@ -20,15 +29,25 @@
 //! * [`metrics_agg`] — the `gensor cluster metrics` scrape: every peer's
 //!   Prometheus exposition merged with per-peer labels and fleet-level
 //!   histogram percentiles.
+//!
+//! See DESIGN.md §13 for routing and §16 for the self-healing layer
+//! (membership state machine, digest format, hint-log framing, and the
+//! repair trust policy).
 
+pub mod gossip;
+pub mod hints;
 pub mod membership;
 pub mod metrics_agg;
+pub mod repair;
 pub mod ring;
 pub mod router;
 pub mod status;
 
+pub use gossip::{Detector, DetectorHandle, GossipConfig, MemberState, MemberTable};
+pub use hints::{Hint, HintLog, DEFAULT_HINT_CAP};
 pub use membership::Membership;
 pub use metrics_agg::{cluster_metrics, ClusterMetrics, FleetHistogram, PeerScrape};
+pub use repair::{converge_cluster, sync_from_peers, ConvergeReport, RepairReport};
 pub use ring::{hash64, ring_key, Ring, RingSpec, DEFAULT_VNODES};
 pub use router::{FabricClient, FabricReport};
 pub use status::{cluster_status, ClusterStatus, PeerStatus};

@@ -8,6 +8,7 @@
 //! range flows to the survivors within one breaker trip, and flows back
 //! when its half-open probe succeeds.
 
+use crate::gossip::MemberTable;
 use crate::ring::{hash64, Ring, DEFAULT_VNODES};
 use served::{Breaker, BreakerConfig, BreakerMap};
 use std::sync::{Arc, Mutex};
@@ -17,6 +18,11 @@ pub struct Membership {
     peers: Vec<String>,
     vnodes: u32,
     breakers: BreakerMap,
+    /// SWIM overlay, when a gossip detector runs in this process:
+    /// confirmed-dead peers leave the ring even before their breaker
+    /// trips, and confirmed rejoins bring them back without waiting out
+    /// a breaker cooldown.
+    gossip: Mutex<Option<Arc<MemberTable>>>,
     /// `(live-set signature, ring)` — rebuilt when the signature moves.
     cached: Mutex<Option<(u64, Arc<Ring>)>>,
 }
@@ -32,8 +38,16 @@ impl Membership {
             peers,
             vnodes: DEFAULT_VNODES,
             breakers: BreakerMap::new(breaker_cfg),
+            gossip: Mutex::new(None),
             cached: Mutex::new(None),
         }
+    }
+
+    /// Overlay a SWIM membership table: from now on `live_peers`
+    /// excludes gossip-confirmed-dead peers too, and the ring follows
+    /// the table's confirmed transitions (dead ↔ rejoined).
+    pub fn set_gossip(&self, table: Arc<MemberTable>) {
+        *self.gossip.lock().unwrap_or_else(|p| p.into_inner()) = Some(table);
     }
 
     /// Override the virtual-node count (tests use small rings).
@@ -57,17 +71,27 @@ impl Membership {
         self.breakers.breaker(endpoint)
     }
 
-    /// Peers whose breaker is not currently open. If *every* breaker is
-    /// open the full list is returned instead — an empty ring would route
-    /// nothing and, worse, freeze the half-open probes that are the only
-    /// way back; keeping the dead peers routable lets `allow()` meter
+    /// Peers whose breaker is not currently open and whom gossip (when
+    /// running) has not confirmed dead. Suspect peers stay routable —
+    /// SWIM gives them the suspicion window to refute before their key
+    /// range moves. If the filters empty the list entirely, the full
+    /// list is returned instead — an empty ring would route nothing
+    /// and, worse, freeze the half-open probes that are the only way
+    /// back; keeping the dead peers routable lets `allow()` meter
     /// recovery attempts normally.
     pub fn live_peers(&self) -> Vec<String> {
         let open = self.breakers.open_endpoints();
+        let dead = self
+            .gossip
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .as_ref()
+            .map(|t| t.dead_peers())
+            .unwrap_or_default();
         let live: Vec<String> = self
             .peers
             .iter()
-            .filter(|p| !open.contains(p))
+            .filter(|p| !open.contains(p) && !dead.contains(p))
             .cloned()
             .collect();
         if live.is_empty() {
@@ -150,6 +174,24 @@ mod tests {
         m.breaker(&peers()[0]).on_failure();
         let c = m.ring();
         assert!(!Arc::ptr_eq(&b, &c));
+    }
+
+    #[test]
+    fn gossip_confirmed_death_evicts_and_rejoin_restores() {
+        use crate::gossip::MemberTable;
+        let m = Membership::new(&peers(), trippy());
+        let table = MemberTable::new("tcp://me", &peers());
+        m.set_gossip(table.clone());
+        assert_eq!(m.ring().len(), 3);
+        let dead = &peers()[2];
+        table.observe_unreachable(dead);
+        assert_eq!(m.ring().len(), 3, "suspect stays routable");
+        table.sweep_suspects(Duration::ZERO);
+        let ring = m.ring();
+        assert_eq!(ring.len(), 2, "confirmed dead leaves the ring");
+        assert!(!ring.nodes().contains(dead));
+        table.observe_alive(dead);
+        assert_eq!(m.ring().len(), 3, "rejoin restores the key range");
     }
 
     #[test]

@@ -8,10 +8,76 @@ use crate::store::{self, CompactReport, Store};
 use etir::Etir;
 use hardware::GpuSpec;
 use simgpu::CompiledKernel;
+use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
 use tensor_expr::OpSpec;
 use verify::{Provenance, VerdictCache};
+
+/// Number of digest shards in a [`CacheDigest`] (independent of the
+/// concurrent map's lock shards; both happen to be 16). A shard digest
+/// mismatch between two replicas narrows anti-entropy repair to ~1/16th
+/// of the key space before any key set is shipped.
+pub const DIGEST_SHARDS: usize = 16;
+
+/// A Merkle-ish fingerprint of the cache's resident key set: one
+/// XOR-fold of per-key hashes per digest shard plus a root fold over all
+/// of them. XOR makes the digest order-independent and incrementally
+/// comparable: two caches with equal `root` and `count` hold the same
+/// keys (up to astronomically unlikely collisions), and a mismatched
+/// shard pinpoints where they diverge. The cache is insert-only across
+/// replicas (existing entries never get clobbered), so "missing keys" is
+/// the only divergence class repair has to close.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheDigest {
+    /// XOR-fold over every resident key's hash.
+    pub root: u64,
+    /// Per-shard folds, `DIGEST_SHARDS` long.
+    pub shards: Vec<u64>,
+    /// Resident entries.
+    pub count: u64,
+}
+
+impl CacheDigest {
+    /// Digest-shard indexes where `self` and `other` disagree.
+    pub fn diverging_shards(&self, other: &CacheDigest) -> Vec<usize> {
+        (0..DIGEST_SHARDS.min(self.shards.len()).min(other.shards.len()))
+            .filter(|&i| self.shards[i] != other.shards[i])
+            .collect()
+    }
+}
+
+/// One cache entry in transferable form — the unit anti-entropy repair
+/// streams between replicas. Carries the raw [`CacheKey`] because the
+/// receiving side cannot reconstruct it (fingerprints are one-way and
+/// the original `GpuSpec` is not recoverable from the kernel), plus the
+/// operator label and method the persistent store record needs.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    pub key: CacheKey,
+    pub op_label: String,
+    pub method: String,
+    pub kernel: CompiledKernel,
+}
+
+/// The per-key hash a [`CacheDigest`] folds. FNV-1a over the key's three
+/// fingerprints with a murmur-style finalizer, so near-identical keys
+/// spread before the XOR-fold; must be a pure function of the key so
+/// every daemon computes identical digests.
+fn key_digest(key: &CacheKey) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for fp in [key.op_fp, key.gpu_fp, key.policy_fp] {
+        for b in fp.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
 
 /// Extra shape-distance charged to a neighbour cached for a *different*
 /// device fingerprint (one octave of extent ratio): cross-device
@@ -40,6 +106,12 @@ pub struct ScheduleCache {
     /// `OpSpec` lives inside each `Etir`; the key's `gpu_fp` drives the
     /// cross-device penalty. Pruned when the map evicts.
     index: parking_lot::RwLock<Vec<(CacheKey, Etir)>>,
+    /// Method name per resident key. The in-memory map keys on
+    /// fingerprints only, but exporting an entry for anti-entropy repair
+    /// needs the method string back (the receiving store record carries
+    /// it); this side table remembers it for every banked entry. Pruned
+    /// when the map evicts.
+    methods: parking_lot::RwLock<HashMap<CacheKey, String>>,
     /// Incremental verification cache: verdicts keyed by schedule
     /// fingerprint × verifier epoch × target, persisted as a
     /// `<store>.verdicts` sidecar when this cache persists. Every
@@ -86,6 +158,7 @@ impl ScheduleCache {
             store,
             stats: Stats::default(),
             index: parking_lot::RwLock::new(Vec::new()),
+            methods: parking_lot::RwLock::new(HashMap::new()),
             verdicts,
         };
         if let Some(store) = &cache.store {
@@ -119,6 +192,7 @@ impl ScheduleCache {
                 };
                 cache.map.insert(rec.key, Arc::new(kernel));
                 index.push((rec.key, rec.etir));
+                cache.methods.write().insert(rec.key, rec.method);
             }
             drop(index);
             cache.prune_index();
@@ -212,6 +286,7 @@ impl ScheduleCache {
         }
         let gone: std::collections::HashSet<CacheKey> = evicted.into_iter().collect();
         self.index.write().retain(|(k, _)| !gone.contains(k));
+        self.methods.write().retain(|k, _| !gone.contains(k));
     }
 
     /// Cached schedules usable as warm-start seeds when compiling `op` on
@@ -282,6 +357,7 @@ impl ScheduleCache {
         let kernel = Arc::new(kernel);
         self.map.insert(key, kernel.clone());
         self.index.write().push((key, kernel.etir.clone()));
+        self.methods.write().insert(key, method.to_string());
         self.prune_index();
         if let Some(store) = &self.store {
             let rec = store::record(key, op.label(), method, &kernel);
@@ -295,6 +371,97 @@ impl ScheduleCache {
             }
         }
         Ok(true)
+    }
+
+    /// Install a repaired entry by its *raw* key — the anti-entropy path,
+    /// where the key travelled with the entry because the receiving side
+    /// cannot recompute fingerprints it never saw the specs for. The
+    /// kernel is verified structurally (no device spec is reconstructable
+    /// from a raw entry) under the same remote-peer provenance policy as
+    /// [`install`]; an illegal schedule is refused and never banked.
+    /// Returns `true` when admitted, `false` when the key was already
+    /// resident.
+    ///
+    /// [`install`]: ScheduleCache::install
+    pub fn install_raw(&self, entry: CacheEntry) -> Result<bool, verify::Rejected> {
+        let report = self
+            .verdicts
+            .verify_as(&entry.kernel.etir, None, Provenance::RemotePeer);
+        if !report.is_legal() {
+            self.stats.record_rejected();
+            return Err(verify::Rejected(report));
+        }
+        if self.map.get(&entry.key).is_some() {
+            return Ok(false);
+        }
+        let kernel = Arc::new(entry.kernel);
+        self.map.insert(entry.key, kernel.clone());
+        self.index.write().push((entry.key, kernel.etir.clone()));
+        self.methods.write().insert(entry.key, entry.method.clone());
+        self.prune_index();
+        if let Some(store) = &self.store {
+            let rec = store::record(entry.key, entry.op_label.clone(), &entry.method, &kernel);
+            if let Err(e) = store.append(&rec) {
+                obs::log!(
+                    Warn,
+                    "schedcache: could not persist repaired {} to {}: {e}",
+                    entry.op_label,
+                    store.path().display()
+                );
+            }
+        }
+        Ok(true)
+    }
+
+    /// The Merkle-ish fingerprint of the resident key set (see
+    /// [`CacheDigest`]). A point-in-time snapshot; entries inserted
+    /// concurrently may or may not be included.
+    pub fn digest(&self) -> CacheDigest {
+        let mut shards = vec![0u64; DIGEST_SHARDS];
+        let mut root = 0u64;
+        let mut count = 0u64;
+        for (key, _) in self.map.snapshot() {
+            let h = key_digest(&key);
+            shards[key.shard(DIGEST_SHARDS)] ^= h;
+            root ^= h;
+            count += 1;
+        }
+        CacheDigest {
+            root,
+            shards,
+            count,
+        }
+    }
+
+    /// All resident keys whose digest shard is `shard` (see
+    /// [`CacheDigest::diverging_shards`]).
+    pub fn keys_in_shard(&self, shard: usize) -> Vec<CacheKey> {
+        self.map
+            .snapshot()
+            .into_iter()
+            .map(|(key, _)| key)
+            .filter(|key| key.shard(DIGEST_SHARDS) == shard)
+            .collect()
+    }
+
+    /// Resident entries for `keys`, in transferable form. Keys not
+    /// resident (or whose method is unknown — impossible through the
+    /// public install paths, but a snapshot race could surface one) are
+    /// skipped, not errors: repair converges over repeated rounds.
+    pub fn export(&self, keys: &[CacheKey]) -> Vec<CacheEntry> {
+        let methods = self.methods.read();
+        keys.iter()
+            .filter_map(|key| {
+                let kernel = self.map.get(key)?;
+                let method = methods.get(key)?.clone();
+                Some(CacheEntry {
+                    key: *key,
+                    op_label: kernel.etir.op.label(),
+                    method,
+                    kernel: (*kernel).clone(),
+                })
+            })
+            .collect()
     }
 
     /// Fetch the kernel for (`op`, `spec`, `method`), running `build` on a
@@ -331,6 +498,7 @@ impl ScheduleCache {
                     .is_legal()
                 {
                     self.index.write().push((key, kernel.etir.clone()));
+                    self.methods.write().insert(key, method.to_string());
                     self.prune_index();
                     if let Some(store) = &self.store {
                         let rec = store::record(key, op.label(), method, &kernel);
@@ -727,6 +895,77 @@ mod tests {
             .expect_err("illegal replica must be refused");
         assert!(err.0.error_count() > 0);
         assert!(cache.peek(&op, &spec, "Gensor").is_none());
+        assert_eq!(cache.stats().verifier_rejected, 1);
+    }
+
+    #[test]
+    fn digest_tracks_the_key_set_and_repair_round_trips() {
+        let spec = GpuSpec::rtx4090();
+        let a = ScheduleCache::in_memory();
+        let b = ScheduleCache::in_memory();
+        let empty = a.digest();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.root, 0);
+        assert_eq!(empty, b.digest(), "empty caches agree");
+
+        let ops: Vec<OpSpec> = [256u64, 512, 1024]
+            .iter()
+            .map(|&m| OpSpec::gemm(m, 256, 256))
+            .collect();
+        for op in &ops {
+            a.get_or_compile(op, &spec, "Gensor", |_| build(op, &spec));
+        }
+        let da = a.digest();
+        assert_eq!(da.count, 3);
+        assert_ne!(da, b.digest());
+
+        // Diff the diverging shards, export from a, install raw into b —
+        // exactly what anti-entropy repair does over the wire.
+        let db = b.digest();
+        let mut pulled = Vec::new();
+        for shard in da.diverging_shards(&db) {
+            pulled.extend(a.keys_in_shard(shard));
+        }
+        assert_eq!(pulled.len(), 3, "every key lives in a diverging shard");
+        let mut installed = 0;
+        for entry in a.export(&pulled) {
+            assert_eq!(entry.method, "Gensor");
+            if b.install_raw(entry).unwrap() {
+                installed += 1;
+            }
+        }
+        assert_eq!(installed, 3);
+        assert_eq!(a.digest(), b.digest(), "repair converges to equality");
+        // The repaired entries answer as hits and survive re-export.
+        for op in &ops {
+            let (_, o) =
+                b.get_or_compile(op, &spec, "Gensor", |_| panic!("repaired entry must hit"));
+            assert_eq!(o, Outcome::Hit);
+        }
+        // A second raw install of the same entries is a no-op.
+        for entry in a.export(&pulled) {
+            assert!(!b.install_raw(entry).unwrap());
+        }
+    }
+
+    #[test]
+    fn install_raw_refuses_an_illegal_kernel() {
+        let spec = GpuSpec::rtx4090();
+        let cache = ScheduleCache::in_memory();
+        let op = OpSpec::gemm(192, 192, 192);
+        let mut bad = build(&op, &spec);
+        bad.etir.vthreads[0] = 0;
+        let key = CacheKey::new(&op, &spec, "Gensor");
+        let err = cache
+            .install_raw(CacheEntry {
+                key,
+                op_label: op.label(),
+                method: "Gensor".into(),
+                kernel: bad,
+            })
+            .expect_err("illegal repaired entry must be refused");
+        assert!(err.0.error_count() > 0);
+        assert_eq!(cache.digest().count, 0);
         assert_eq!(cache.stats().verifier_rejected, 1);
     }
 

@@ -39,7 +39,7 @@ pub mod stats;
 pub mod store;
 pub mod tuner;
 
-pub use cache::{ScheduleCache, CROSS_DEVICE_PENALTY};
+pub use cache::{CacheDigest, CacheEntry, ScheduleCache, CROSS_DEVICE_PENALTY, DIGEST_SHARDS};
 pub use key::{CacheKey, FORMAT_VERSION, POLICY_EPOCH};
 pub use map::Outcome;
 pub use service::{CompileService, ServiceReport};

@@ -164,6 +164,23 @@ impl ShardedMap {
         std::mem::take(&mut *self.evicted.lock())
     }
 
+    /// All resident (`Ready`) entries, one shard read lock at a time.
+    /// In-flight builds are skipped — they have nothing to export yet.
+    /// The snapshot is a point-in-time copy: entries inserted while a
+    /// later shard is scanned may or may not appear, which is fine for
+    /// the anti-entropy digest (repair converges over repeated rounds).
+    pub fn snapshot(&self) -> Vec<(CacheKey, Arc<CompiledKernel>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read();
+            out.extend(shard.iter().filter_map(|(k, v)| match v {
+                Slot::Ready(r) => Some((*k, r.kernel.clone())),
+                Slot::Building(_) => None,
+            }));
+        }
+        out
+    }
+
     /// Lookup without building.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<CompiledKernel>> {
         match self.shard(key).read().get(key) {

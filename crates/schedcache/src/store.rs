@@ -138,8 +138,13 @@ pub fn frame_line(payload: &str) -> String {
 
 /// `Ok(Some(json))`: valid frame. `Ok(None)`: legacy unframed line.
 /// `Err(())`: a frame that announces itself but fails validation
-/// (truncated, bit-flipped, wrong length).
-fn unframe(line: &str) -> Result<Option<&str>, ()> {
+/// (truncated, bit-flipped, wrong length). Public (like [`frame_line`])
+/// so other CRC-framed logs — the fabric's hint log — share one frame
+/// dialect instead of inventing a second.
+// The unit error is deliberate: "damaged" has no useful substructure,
+// and every caller treats it as a truncation point, not a message.
+#[allow(clippy::result_unit_err)]
+pub fn unframe(line: &str) -> Result<Option<&str>, ()> {
     let Some(rest) = line.strip_prefix(const_format_prefix()) else {
         return Ok(None);
     };

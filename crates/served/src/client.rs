@@ -9,8 +9,8 @@
 
 use crate::endpoint::{Endpoint, Stream};
 use crate::proto::{
-    read_frame, write_frame, ErrKind, FrameError, Request, Response, WireEvent, WireKernel,
-    WireOutcome, MIN_PROTO_VERSION, PROTO_VERSION,
+    read_frame, write_frame, ErrKind, FrameError, Request, Response, WireEntry, WireEvent,
+    WireKernel, WireMember, WireOutcome, MAX_PULL_KEYS, MIN_PROTO_VERSION, PROTO_VERSION,
 };
 use hardware::GpuSpec;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -407,6 +407,144 @@ impl Client {
             Response::Metrics { text } => Ok(text),
             other => Err(ClientError::Protocol(format!("metrics answered {other:?}"))),
         }
+    }
+
+    /// Does this connection speak the self-healing frames (gossip +
+    /// anti-entropy repair, added in v7)? Callers use this to *cleanly
+    /// disable* gossip and repair against older daemons instead of
+    /// sending frames they would answer with `Malformed`.
+    pub fn supports_selfheal(&self) -> bool {
+        self.proto >= 7
+    }
+
+    /// The typed refusal every v7 method returns against a pre-v7 peer:
+    /// nothing touched the wire, the caller falls back to "feature
+    /// absent" rather than tripping any breaker.
+    fn require_selfheal(&self) -> Result<(), ClientError> {
+        if self.supports_selfheal() {
+            Ok(())
+        } else {
+            Err(ClientError::Remote {
+                kind: ErrKind::UnsupportedProto,
+                message: format!(
+                    "peer speaks proto {}; gossip/repair frames need v7",
+                    self.proto
+                ),
+            })
+        }
+    }
+
+    /// One SWIM gossip exchange: announce ourselves (`from`,
+    /// `incarnation`), piggyback `updates`, and receive the peer's
+    /// updates in return. Answering at all proves the peer alive. Against
+    /// a pre-v7 daemon this is a typed local refusal, never a wire frame.
+    pub fn gossip(
+        &mut self,
+        from: &str,
+        incarnation: u64,
+        updates: Vec<WireMember>,
+    ) -> Result<Vec<WireMember>, ClientError> {
+        self.require_selfheal()?;
+        match self.request(&Request::Gossip {
+            from: from.to_string(),
+            incarnation,
+            updates,
+        })? {
+            Response::GossipAck { updates } => Ok(updates),
+            other => Err(ClientError::Protocol(format!("gossip answered {other:?}"))),
+        }
+    }
+
+    /// Ask this peer to ping `target` for us (SWIM's indirect probe).
+    pub fn ping_req(&mut self, target: &str) -> Result<bool, ClientError> {
+        self.require_selfheal()?;
+        match self.request(&Request::PingReq {
+            target: target.to_string(),
+        })? {
+            Response::PingReqDone { ok } => Ok(ok),
+            other => Err(ClientError::Protocol(format!(
+                "ping-req answered {other:?}"
+            ))),
+        }
+    }
+
+    /// The daemon's membership table (empty when it has no gossip agent).
+    pub fn members(&mut self) -> Result<Vec<WireMember>, ClientError> {
+        self.require_selfheal()?;
+        match self.request(&Request::Members)? {
+            Response::Members { members } => Ok(members),
+            other => Err(ClientError::Protocol(format!("members answered {other:?}"))),
+        }
+    }
+
+    /// The daemon's cache digest: `(root, per-shard folds, count)`.
+    pub fn cache_digest(&mut self) -> Result<(u64, Vec<u64>, u64), ClientError> {
+        self.require_selfheal()?;
+        match self.request(&Request::CacheDigest)? {
+            Response::CacheDigest {
+                root,
+                shards,
+                count,
+            } => Ok((root, shards, count)),
+            other => Err(ClientError::Protocol(format!("digest answered {other:?}"))),
+        }
+    }
+
+    /// All keys resident in one of the daemon's digest shards.
+    pub fn cache_keys(&mut self, shard: u32) -> Result<Vec<schedcache::CacheKey>, ClientError> {
+        self.require_selfheal()?;
+        match self.request(&Request::CacheKeys { shard })? {
+            Response::CacheKeys { keys } => Ok(keys),
+            other => Err(ClientError::Protocol(format!(
+                "cache-keys answered {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch full entries for `keys`, chunking requests to
+    /// [`MAX_PULL_KEYS`] so one reply never nears the frame cap.
+    pub fn cache_pull(
+        &mut self,
+        keys: &[schedcache::CacheKey],
+    ) -> Result<Vec<WireEntry>, ClientError> {
+        self.require_selfheal()?;
+        let mut out = Vec::new();
+        for chunk in keys.chunks(MAX_PULL_KEYS.max(1)) {
+            match self.request(&Request::CachePull {
+                keys: chunk.to_vec(),
+            })? {
+                Response::CacheEntries { entries } => out.extend(entries),
+                other => Err(ClientError::Protocol(format!(
+                    "cache-pull answered {other:?}"
+                )))?,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Push repaired entries into the daemon (the operator-driven repair
+    /// path); returns `(installed, rejected)` totals across chunks.
+    pub fn cache_push(&mut self, entries: Vec<WireEntry>) -> Result<(u64, u64), ClientError> {
+        self.require_selfheal()?;
+        let (mut installed, mut rejected) = (0u64, 0u64);
+        let mut entries = entries;
+        while !entries.is_empty() {
+            let rest = entries.split_off(entries.len().min(MAX_PULL_KEYS));
+            match self.request(&Request::CachePush { entries })? {
+                Response::CachePushed {
+                    installed: i,
+                    rejected: r,
+                } => {
+                    installed += i;
+                    rejected += r;
+                }
+                other => Err(ClientError::Protocol(format!(
+                    "cache-push answered {other:?}"
+                )))?,
+            }
+            entries = rest;
+        }
+        Ok((installed, rejected))
     }
 
     /// Ask the daemon to drain and exit. The connection is closed by the

@@ -104,7 +104,7 @@ impl Endpoint {
     fn try_bind(&self) -> std::io::Result<Listener> {
         match self {
             Endpoint::Unix(path) => Ok(Listener::Unix(UnixListener::bind(path)?)),
-            Endpoint::Tcp(addr) => Ok(Listener::Tcp(TcpListener::bind(resolve(addr)?)?)),
+            Endpoint::Tcp(addr) => Ok(Listener::Tcp(bind_tcp_reuseaddr(resolve(addr)?)?)),
         }
     }
 
@@ -121,6 +121,64 @@ fn resolve(addr: &str) -> std::io::Result<SocketAddr> {
             format!("'{addr}' resolved to no address"),
         )
     })
+}
+
+/// Bind a TCP listener with `SO_REUSEADDR`, the standard server idiom
+/// `std::net::TcpListener::bind` omits. It matters for self-healing: a
+/// crashed daemon that restarts must re-bind its old port immediately,
+/// and without the flag every connection the crash abandoned holds the
+/// port hostage in `TIME_WAIT` for a minute — turning "restart and
+/// rejoin" into "restart, fail to bind, die again".
+#[cfg(unix)]
+fn bind_tcp_reuseaddr(addr: SocketAddr) -> std::io::Result<TcpListener> {
+    use std::os::unix::io::FromRawFd;
+    // Direct syscall bindings: the workspace builds offline with no libc
+    // crate (same pattern as the serve signal handlers).
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const u8, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    // Hand-rolling sockaddr_in6 is not worth it for a loopback/IPv4
+    // fleet; V6 binds keep the std path (first bind of a fresh port).
+    let SocketAddr::V4(v4) = addr else {
+        return TcpListener::bind(addr);
+    };
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM, 0);
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        let one: i32 = 1;
+        if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4) != 0 {
+            let e = std::io::Error::last_os_error();
+            close(fd);
+            return Err(e);
+        }
+        // struct sockaddr_in { i16 family; u16 port (BE); u32 addr (BE);
+        // u8 zero[8] } — 16 bytes.
+        let mut sa = [0u8; 16];
+        sa[0..2].copy_from_slice(&(AF_INET as u16).to_ne_bytes());
+        sa[2..4].copy_from_slice(&v4.port().to_be_bytes());
+        sa[4..8].copy_from_slice(&v4.ip().octets());
+        if bind(fd, sa.as_ptr(), 16) != 0 || listen(fd, 128) != 0 {
+            let e = std::io::Error::last_os_error();
+            close(fd);
+            return Err(e);
+        }
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
+
+#[cfg(not(unix))]
+fn bind_tcp_reuseaddr(addr: SocketAddr) -> std::io::Result<TcpListener> {
+    TcpListener::bind(addr)
 }
 
 impl std::fmt::Display for Endpoint {
@@ -346,5 +404,26 @@ mod tests {
         let mut buf = [0u8; 4];
         server.read_exact(&mut buf).unwrap();
         assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn tcp_port_rebinds_immediately_after_a_server_side_close() {
+        // The restart-and-rejoin path: a daemon that crashed while
+        // holding connections must re-bind its port at once. Without
+        // SO_REUSEADDR the fully-read connection the server closes
+        // below parks the port in TIME_WAIT for ~a minute.
+        let ep = Endpoint::parse("tcp://127.0.0.1:0");
+        let listener = ep.bind().unwrap();
+        let bound = listener.local_endpoint(&ep);
+        let mut client = bound.connect(Duration::from_millis(500)).unwrap();
+        let mut server = listener.accept().unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        drop(server); // server closes first: its side goes TIME_WAIT
+        drop(listener);
+        let relisten = bound.bind().expect("rebind must not hit TIME_WAIT");
+        drop(client);
+        drop(relisten);
     }
 }

@@ -31,7 +31,7 @@ pub use client::{
 pub use endpoint::{Endpoint, Listener, Stream};
 pub use metrics::ServeStats;
 pub use proto::{
-    ErrKind, FrameError, Request, Response, WireEvent, WireKernel, WireOutcome, MIN_PROTO_VERSION,
-    PROTO_VERSION,
+    ErrKind, FrameError, Request, Response, WireEntry, WireEvent, WireKernel, WireMember,
+    WireOutcome, MAX_PULL_KEYS, MIN_PROTO_VERSION, PROTO_VERSION,
 };
-pub use server::{DrainReport, MethodRegistry, Server, ServerConfig, ServerHandle};
+pub use server::{ClusterAgent, DrainReport, MethodRegistry, Server, ServerConfig, ServerHandle};

@@ -51,16 +51,30 @@ use tensor_expr::OpSpec;
 /// subsequent request's span, and the flight-recorder pull
 /// ([`Request::TraceDump`] / [`Response::TraceDumped`]). v6 only *adds*
 /// frames — every v5 frame still parses unchanged — so the handshake
-/// accepts v5 clients.
-pub const PROTO_VERSION: u32 = 6;
+/// accepts v5 clients. v7 is the self-healing layer: SWIM-style
+/// membership exchange ([`Request::Gossip`] / [`Response::GossipAck`],
+/// [`Request::PingReq`] / [`Response::PingReqDone`],
+/// [`Request::Members`] / [`Response::Members`]) and anti-entropy cache
+/// repair ([`Request::CacheDigest`], [`Request::CacheKeys`],
+/// [`Request::CachePull`], [`Request::CachePush`]). Like v6, v7 only
+/// *adds* frames; a v5/v6 peer keeps compiling with gossip and repair
+/// cleanly disabled (clients gate the new methods on the negotiated
+/// version).
+pub const PROTO_VERSION: u32 = 7;
 
-/// Oldest protocol version this build still speaks. v6 added frames
-/// without changing any v5 frame, so v5 peers remain fully serviceable.
+/// Oldest protocol version this build still speaks. v6 and v7 added
+/// frames without changing any v5 frame, so v5 peers remain fully
+/// serviceable.
 pub const MIN_PROTO_VERSION: u32 = 5;
 
 /// Upper bound on one frame's JSON payload (32 MiB — far above any real
 /// schedule, far below an allocation-of-death).
 pub const MAX_FRAME_BYTES: usize = 32 << 20;
+
+/// Most entries a server packs into one [`Response::CacheEntries`] reply,
+/// keeping repair frames far under [`MAX_FRAME_BYTES`]. Clients chunk
+/// their [`Request::CachePull`]s to this size too.
+pub const MAX_PULL_KEYS: usize = 256;
 
 /// Client → server frames.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -122,6 +136,41 @@ pub enum Request {
     /// daemon without a recorder installed answers with an empty dump
     /// rather than an error.
     TraceDump,
+    /// SWIM-style membership exchange (v7). `from` is the sender's own
+    /// endpoint, `incarnation` its current incarnation number, and
+    /// `updates` the piggybacked slice of its membership table. Doubles
+    /// as the direct liveness probe: answering at all proves the daemon
+    /// alive. A daemon without a gossip agent attached answers with an
+    /// empty update set — gossip is cleanly absent, never an error.
+    Gossip {
+        from: String,
+        incarnation: u64,
+        updates: Vec<WireMember>,
+    },
+    /// Indirect probe (v7): "dial `target` and ping it for me". Used when
+    /// a direct probe fails, so one flaky link does not condemn a healthy
+    /// peer. Answered inline with [`Response::PingReqDone`].
+    PingReq { target: String },
+    /// The daemon's current membership table (v7); empty when no gossip
+    /// agent is attached.
+    Members,
+    /// The daemon's cache fingerprint digest (v7): one root plus one
+    /// XOR-fold per shard, so a repair pass can locate divergence without
+    /// shipping key sets. Answered inline.
+    CacheDigest,
+    /// All cache keys resident in one digest shard (v7). Used by repair
+    /// after a shard digest mismatch to diff key sets.
+    CacheKeys { shard: u32 },
+    /// Fetch full entries for `keys` (v7) — the streaming half of
+    /// anti-entropy repair. Keys absent from the cache are skipped, not
+    /// errors. The server caps one reply at [`MAX_PULL_KEYS`] entries;
+    /// clients chunk.
+    CachePull { keys: Vec<schedcache::CacheKey> },
+    /// Install raw repaired entries (v7) — the push half of
+    /// operator-driven repair (`gensor cluster repair`). Every entry is
+    /// re-verified under the remote-peer provenance policy before
+    /// banking; rejected entries are counted, never installed.
+    CachePush { entries: Vec<WireEntry> },
     /// Server counters + latency percentiles + cache statistics.
     Stats,
     /// The server's metric registry in Prometheus text exposition format.
@@ -170,6 +219,31 @@ pub enum Response {
     /// daemon's listen port by convention); empty when no recorder is
     /// installed, alongside an empty `events`.
     TraceDumped { tag: String, events: Vec<WireEvent> },
+    /// Reply to [`Request::Gossip`]: the responder's piggybacked
+    /// membership updates (empty when no gossip agent is attached).
+    GossipAck { updates: Vec<WireMember> },
+    /// Reply to [`Request::PingReq`]: whether the indirect target
+    /// answered a ping within the probe timeout.
+    PingReqDone { ok: bool },
+    /// Reply to [`Request::Members`]: the daemon's membership table,
+    /// empty when no gossip agent is attached.
+    Members { members: Vec<WireMember> },
+    /// Reply to [`Request::CacheDigest`]: `root` is the XOR-fold over
+    /// every resident key's hash, `shards` the per-shard folds, `count`
+    /// the resident-entry count. Two caches with equal `root` and
+    /// `count` hold the same key set (modulo astronomically unlikely
+    /// XOR collisions).
+    CacheDigest {
+        root: u64,
+        shards: Vec<u64>,
+        count: u64,
+    },
+    /// Reply to [`Request::CacheKeys`].
+    CacheKeys { keys: Vec<schedcache::CacheKey> },
+    /// Reply to [`Request::CachePull`].
+    CacheEntries { entries: Vec<WireEntry> },
+    /// Reply to [`Request::CachePush`].
+    CachePushed { installed: u64, rejected: u64 },
     /// Reply to [`Request::Stats`].
     Stats { server: ServeStats },
     /// Reply to [`Request::Metrics`]: Prometheus text exposition, ready
@@ -271,6 +345,35 @@ impl From<WireKernel> for CompiledKernel {
             candidates_evaluated: k.candidates_evaluated,
         }
     }
+}
+
+/// One membership-table row in wire form: a peer endpoint, its gossip
+/// state (`"alive"` / `"suspect"` / `"dead"` — strings so a future state
+/// never breaks old parsers), its incarnation number, and the Unix time
+/// of its last state transition. Incarnations implement SWIM's
+/// refutation rule: a higher incarnation always wins a merge, and a node
+/// seeing itself reported suspect or dead re-announces with a bumped
+/// incarnation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireMember {
+    pub endpoint: String,
+    pub state: String,
+    pub incarnation: u64,
+    pub since_unix_s: u64,
+}
+
+/// One repaired cache entry in wire form. Carries the *raw* cache key
+/// (fingerprints cannot be reconstructed from specs on the receiving
+/// side — the original `GpuSpec` is not recoverable from the kernel), the
+/// operator label and method for the persistent store record, and the
+/// kernel itself. The receiver re-verifies the kernel under the
+/// remote-peer provenance policy before banking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireEntry {
+    pub key: schedcache::CacheKey,
+    pub op_label: String,
+    pub method: String,
+    pub kernel: WireKernel,
 }
 
 /// One flight-recorder event in wire form (the [`Response::TraceDumped`]
@@ -753,6 +856,114 @@ mod tests {
             let back: WireEvent = read_frame(&mut buf.as_slice()).unwrap();
             assert_eq!(back.to_event(), *ev);
         }
+    }
+
+    #[test]
+    fn selfheal_frames_round_trip() {
+        let spec = GpuSpec::rtx4090();
+        let op = OpSpec::gemm(96, 96, 96);
+        let key = schedcache::CacheKey::new(&op, &spec, "gensor");
+        let e = Etir::initial(op, &spec);
+        let report = simgpu::simulate(&e, &spec).unwrap();
+        let entry = WireEntry {
+            key,
+            op_label: e.op.label(),
+            method: "Gensor".into(),
+            kernel: WireKernel {
+                etir: e,
+                report,
+                wall_time_s: 0.1,
+                simulated_tuning_s: 0.0,
+                candidates_evaluated: 3,
+            },
+        };
+        let member = WireMember {
+            endpoint: "tcp://127.0.0.1:7601".into(),
+            state: "suspect".into(),
+            incarnation: 4,
+            since_unix_s: 1_754_600_000,
+        };
+        let requests = vec![
+            Request::Gossip {
+                from: "tcp://127.0.0.1:7602".into(),
+                incarnation: 9,
+                updates: vec![member.clone()],
+            },
+            Request::PingReq {
+                target: "tcp://127.0.0.1:7603".into(),
+            },
+            Request::Members,
+            Request::CacheDigest,
+            Request::CacheKeys { shard: 11 },
+            Request::CachePull { keys: vec![key] },
+            Request::CachePush {
+                entries: vec![entry.clone()],
+            },
+        ];
+        for f in requests {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &f).unwrap();
+            let back: Request = read_frame(&mut buf.as_slice()).unwrap();
+            assert_eq!(back, f);
+        }
+        let responses = vec![
+            Response::GossipAck {
+                updates: vec![member.clone()],
+            },
+            Response::PingReqDone { ok: true },
+            Response::Members {
+                members: vec![member],
+            },
+            Response::CacheDigest {
+                root: 0xfeed_f00d,
+                shards: vec![1, 2, 3],
+                count: 3,
+            },
+            Response::CacheKeys { keys: vec![key] },
+            Response::CacheEntries {
+                entries: vec![entry],
+            },
+            Response::CachePushed {
+                installed: 2,
+                rejected: 1,
+            },
+        ];
+        for f in responses {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &f).unwrap();
+            let back: Response = read_frame(&mut buf.as_slice()).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn v6_frames_still_parse_on_a_v7_build() {
+        // Literal v6 wire JSON (as a v6 client would send it). v7 added
+        // frames without touching these layouts, so they must keep
+        // parsing byte-for-byte — an old peer in a new cluster keeps
+        // compiling, with gossip and repair simply absent.
+        let hello: Request =
+            serde_json::from_str(r#"{"Hello":{"proto":6,"token":"fabric-secret"}}"#).unwrap();
+        assert_eq!(
+            hello,
+            Request::Hello {
+                proto: 6,
+                token: Some("fabric-secret".into()),
+            }
+        );
+        let trace: Request =
+            serde_json::from_str(r#"{"Trace":{"trace_id":7,"parent_span":3}}"#).unwrap();
+        assert_eq!(
+            trace,
+            Request::Trace {
+                trace_id: 7,
+                parent_span: 3,
+            }
+        );
+        let put_reply: Response =
+            serde_json::from_str(r#"{"PutDone":{"installed":false}}"#).unwrap();
+        assert_eq!(put_reply, Response::PutDone { installed: false });
+        const { assert!(MIN_PROTO_VERSION <= 6 && PROTO_VERSION >= 7) };
     }
 
     #[test]

@@ -38,8 +38,8 @@
 use crate::endpoint::{Endpoint, Listener, Stream};
 use crate::metrics::{Metrics, ServeStats};
 use crate::proto::{
-    read_frame, write_frame, ErrKind, FrameError, Request, Response, WireEvent, WireOutcome,
-    MIN_PROTO_VERSION, PROTO_VERSION,
+    read_frame, write_frame, ErrKind, FrameError, Request, Response, WireEntry, WireEvent,
+    WireKernel, WireMember, WireOutcome, MAX_PULL_KEYS, MIN_PROTO_VERSION, PROTO_VERSION,
 };
 use gensor::{Gensor, GensorConfig};
 use hardware::GpuSpec;
@@ -115,6 +115,25 @@ impl ServerConfig {
             learned_model_json: None,
         }
     }
+}
+
+/// The daemon side of SWIM-style membership, kept behind a trait so the
+/// gossip state machine can live in the `fabric` crate (which depends on
+/// this one — the dependency cannot point the other way). The serve loop
+/// only ever *answers* gossip: a peer's `Gossip` frame is merged and
+/// acknowledged with piggybacked updates, and `Members` reads the table.
+/// Probing, suspicion timeouts, and ring rebuilds belong to the agent's
+/// owner (the CLI or an embedding test), which drives them on its own
+/// timer. A daemon with no agent attached answers empty — gossip is
+/// cleanly absent for it, never an error, which is also how pre-v7 peers
+/// experience the cluster.
+pub trait ClusterAgent: Send + Sync {
+    /// Merge a peer's piggybacked updates (it announced itself as
+    /// `from` at `incarnation`) and return this daemon's updates for the
+    /// return leg.
+    fn exchange(&self, from: &str, incarnation: u64, updates: Vec<WireMember>) -> Vec<WireMember>;
+    /// The current membership table.
+    fn members(&self) -> Vec<WireMember>;
 }
 
 /// A tuning method the daemon can serve. Gensor is kept as a config (so
@@ -310,9 +329,20 @@ struct Shared {
     shutdown: AtomicBool,
     started: Instant,
     peers: Vec<String>,
+    /// The gossip agent, when one is attached (see [`ClusterAgent`]).
+    /// Behind a mutex because attachment happens after `bind` (the agent
+    /// usually wants the bound endpoint first); reads clone the `Arc`.
+    cluster: Mutex<Option<Arc<dyn ClusterAgent>>>,
 }
 
 impl Shared {
+    fn cluster(&self) -> Option<Arc<dyn ClusterAgent>> {
+        self.cluster
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
     fn draining(&self, handle_signals: bool) -> bool {
         self.shutdown.load(Ordering::SeqCst)
             || (handle_signals && TERMINATED.load(Ordering::SeqCst))
@@ -477,6 +507,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             peers: cfg.peers.clone(),
+            cluster: Mutex::new(None),
         });
         Ok(Server {
             cfg,
@@ -498,6 +529,19 @@ impl Server {
         ServerHandle {
             shared: self.shared.clone(),
         }
+    }
+
+    /// Attach the gossip agent answering this daemon's `Gossip` /
+    /// `Members` frames (see [`ClusterAgent`]). Called between `bind`
+    /// and `run` — the agent usually needs the bound endpoint, which
+    /// `bind` resolves. Without an attachment the daemon answers gossip
+    /// frames with empty tables (cleanly disabled).
+    pub fn attach_cluster(&self, agent: Arc<dyn ClusterAgent>) {
+        *self
+            .shared
+            .cluster
+            .lock()
+            .unwrap_or_else(|p| p.into_inner()) = Some(agent);
     }
 
     /// Serve until drained (`Shutdown` frame, `ServerHandle::shutdown`, or
@@ -959,6 +1003,125 @@ fn handle_connection(stream: Stream, shared: &Shared, tx: &mpsc::Sender<Job>, cf
                             kind: ErrKind::UnknownMethod,
                             message: format!("no method '{method}' registered"),
                         },
+                    }
+                }
+            }
+            // Self-healing frames (v7) are answered inline: gossip and
+            // digest reads must work even when the worker pool is
+            // saturated — a probe that sheds with Busy would look exactly
+            // like a dead daemon to the failure detector.
+            Request::Gossip {
+                from,
+                incarnation,
+                updates,
+            } => {
+                obs::counter_inc!(
+                    "gensor_serve_gossip_total",
+                    "Gossip exchanges answered (membership piggyback + liveness)"
+                );
+                match shared.cluster() {
+                    Some(agent) => Response::GossipAck {
+                        updates: agent.exchange(&from, incarnation, updates),
+                    },
+                    // No agent: gossip is cleanly absent for this daemon.
+                    None => Response::GossipAck {
+                        updates: Vec::new(),
+                    },
+                }
+            }
+            Request::PingReq { target } => {
+                // Indirect probe: dial the target on the asker's behalf
+                // with a tight budget — this runs on the handler thread
+                // and must not pin it for long. The drop-probe failpoint
+                // simulates the relay losing the probe (asymmetric
+                // partition), which must read as "no" rather than hang.
+                let ok = if faults::armed() && faults::check("served.pingreq.drop").is_some() {
+                    obs::log!(
+                        Warn,
+                        "serve: failpoint 'served.pingreq.drop' fired: dropping indirect probe"
+                    );
+                    false
+                } else {
+                    let probe_cfg = crate::client::ClientConfig {
+                        connect_timeout: Duration::from_millis(300),
+                        request_timeout: Duration::from_millis(500),
+                        retries: 1,
+                        backoff_base: Duration::from_millis(1),
+                        connect_budget: Duration::from_millis(500),
+                        token: cfg.token.clone(),
+                    };
+                    crate::client::Client::connect_with(target.as_str(), probe_cfg)
+                        .and_then(|mut c| c.ping())
+                        .is_ok()
+                };
+                Response::PingReqDone { ok }
+            }
+            Request::Members => match shared.cluster() {
+                Some(agent) => Response::Members {
+                    members: agent.members(),
+                },
+                None => Response::Members {
+                    members: Vec::new(),
+                },
+            },
+            Request::CacheDigest => {
+                let d = shared.cache.digest();
+                Response::CacheDigest {
+                    root: d.root,
+                    shards: d.shards,
+                    count: d.count,
+                }
+            }
+            Request::CacheKeys { shard } => Response::CacheKeys {
+                keys: shared.cache.keys_in_shard(shard as usize),
+            },
+            Request::CachePull { keys } => {
+                let capped = &keys[..keys.len().min(MAX_PULL_KEYS)];
+                let entries: Vec<WireEntry> = shared
+                    .cache
+                    .export(capped)
+                    .into_iter()
+                    .map(|e| WireEntry {
+                        key: e.key,
+                        op_label: e.op_label,
+                        method: e.method,
+                        kernel: WireKernel::from(&e.kernel),
+                    })
+                    .collect();
+                obs::counter_add!(
+                    "gensor_serve_repair_served_total",
+                    "Cache entries streamed out to repairing peers",
+                    entries.len() as u64
+                );
+                Response::CacheEntries { entries }
+            }
+            Request::CachePush { entries } => {
+                if shared.draining(cfg.handle_signals) {
+                    Response::ShuttingDown
+                } else {
+                    let (mut installed, mut rejected) = (0u64, 0u64);
+                    for entry in entries {
+                        match shared.cache.install_raw(schedcache::CacheEntry {
+                            key: entry.key,
+                            op_label: entry.op_label,
+                            method: entry.method,
+                            kernel: entry.kernel.into(),
+                        }) {
+                            Ok(true) => installed += 1,
+                            Ok(false) => {}
+                            Err(_) => rejected += 1,
+                        }
+                    }
+                    if rejected > 0 {
+                        obs::counter_add!(
+                            "gensor_serve_repair_rejected_total",
+                            "Pushed repair entries refused by the provenance verifier",
+                            rejected
+                        );
+                    }
+                    Response::CachePushed {
+                        installed,
+                        rejected,
                     }
                 }
             }
